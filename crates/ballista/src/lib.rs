@@ -1,0 +1,38 @@
+//! Ballista-style robustness evaluation (§6, Figure 6).
+//!
+//! The paper evaluates its wrapper by re-running the Ballista test
+//! programs for the 86 POSIX functions previously found to suffer crash
+//! failures. Ballista's methodology [Kropp, Koopman, Siewiorek,
+//! FTCS-28] generates tests as the cross product of typed test-value
+//! pools; every test here combines at least one exceptional value
+//! (the published suite consists precisely of violation-exhibiting
+//! tests).
+//!
+//! This crate reimplements that methodology against the simulated
+//! library: typed pools ([`pools`]), the 86-function target list
+//! ([`targets`]), and a runner ([`runner`]) that executes every test in
+//! a sandboxed clone of a prepared world — unwrapped, through the fully
+//! automatic wrapper, or through the semi-automatic wrapper — and
+//! classifies the outcome on the CRASH-style scale.
+//!
+//! # Examples
+//!
+//! ```
+//! use healers_ballista::{Ballista, Mode};
+//!
+//! let ballista = Ballista::new().with_functions(&["strcpy", "abs"]);
+//! let report = ballista.run(Mode::Unwrapped);
+//! assert!(report.function("strcpy").unwrap().crashes > 0);
+//! assert_eq!(report.function("abs").unwrap().crashes, 0);
+//! ```
+
+pub mod bitflip;
+pub mod pools;
+pub mod report;
+pub mod runner;
+pub mod targets;
+
+pub use bitflip::run_bitflip;
+pub use report::{BallistaReport, FunctionOutcomes, TestClass};
+pub use runner::{Ballista, Mode};
+pub use targets::{ballista_targets, NEVER_CRASHING};

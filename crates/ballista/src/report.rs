@@ -1,0 +1,174 @@
+//! Outcome classification and aggregation (the data behind Figure 6).
+
+use std::collections::BTreeMap;
+
+/// Classification of one Ballista test, CRASH-scale style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestClass {
+    /// Fatal signal (segmentation fault / arithmetic exception).
+    Crash,
+    /// Deliberate abort (allocator consistency check, `abort()`).
+    Abort,
+    /// Exceeded the hang-detection budget.
+    Hang,
+    /// Returned with `errno` set — the graceful outcome the wrapper
+    /// converts failures into.
+    ErrnoSet,
+    /// Returned without any error indication on exceptional input — a
+    /// silent failure.
+    Silent,
+}
+
+/// Aggregated outcomes for one function.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FunctionOutcomes {
+    /// Total tests executed.
+    pub tests: usize,
+    /// Crashes.
+    pub crashes: usize,
+    /// Aborts.
+    pub aborts: usize,
+    /// Hangs.
+    pub hangs: usize,
+    /// Error returns with `errno`.
+    pub errno_set: usize,
+    /// Silent returns.
+    pub silent: usize,
+}
+
+impl FunctionOutcomes {
+    /// Robustness failures: crash + abort + hang (the paper's wrapper
+    /// goal is preventing all three).
+    pub fn failures(&self) -> usize {
+        self.crashes + self.aborts + self.hangs
+    }
+
+    fn add(&mut self, class: TestClass) {
+        self.tests += 1;
+        match class {
+            TestClass::Crash => self.crashes += 1,
+            TestClass::Abort => self.aborts += 1,
+            TestClass::Hang => self.hangs += 1,
+            TestClass::ErrnoSet => self.errno_set += 1,
+            TestClass::Silent => self.silent += 1,
+        }
+    }
+}
+
+/// The full evaluation report for one configuration.
+#[derive(Debug, Clone, Default)]
+pub struct BallistaReport {
+    /// Configuration label ("Unwrapped", "Full-Auto Wrapped", …).
+    pub label: String,
+    per_function: BTreeMap<String, FunctionOutcomes>,
+}
+
+impl BallistaReport {
+    /// An empty report with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        BallistaReport {
+            label: label.into(),
+            per_function: BTreeMap::new(),
+        }
+    }
+
+    /// Record one test outcome.
+    pub fn record(&mut self, function: &str, class: TestClass) {
+        self.per_function
+            .entry(function.to_string())
+            .or_default()
+            .add(class);
+    }
+
+    /// Outcomes for one function.
+    pub fn function(&self, name: &str) -> Option<&FunctionOutcomes> {
+        self.per_function.get(name)
+    }
+
+    /// Iterate over all per-function outcomes.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &FunctionOutcomes)> {
+        self.per_function.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Grand totals.
+    pub fn totals(&self) -> FunctionOutcomes {
+        let mut t = FunctionOutcomes::default();
+        for o in self.per_function.values() {
+            t.tests += o.tests;
+            t.crashes += o.crashes;
+            t.aborts += o.aborts;
+            t.hangs += o.hangs;
+            t.errno_set += o.errno_set;
+            t.silent += o.silent;
+        }
+        t
+    }
+
+    /// Functions with at least one robustness failure — the "77 of 86"
+    /// / "16 with the wrapper" / "0 semi-automatic" counts of §6.
+    pub fn functions_with_failures(&self) -> Vec<&str> {
+        self.per_function
+            .iter()
+            .filter(|(_, o)| o.failures() > 0)
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// Percentage helpers for the Figure 6 bars.
+    pub fn percent(&self, selector: impl Fn(&FunctionOutcomes) -> usize) -> f64 {
+        let t = self.totals();
+        if t.tests == 0 {
+            return 0.0;
+        }
+        100.0 * selector(&t) as f64 / t.tests as f64
+    }
+
+    /// Render the Figure 6 bar for this configuration.
+    pub fn render(&self) -> String {
+        let t = self.totals();
+        format!(
+            "{:<22} tests={:<6} crash={:.2}% (crash {} / abort {} / hang {})  silent={:.2}%  errno-set={:.2}%  failing-functions={}",
+            self.label,
+            t.tests,
+            self.percent(FunctionOutcomes::failures),
+            t.crashes,
+            t.aborts,
+            t.hangs,
+            self.percent(|o| o.silent),
+            self.percent(|o| o.errno_set),
+            self.functions_with_failures().len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_and_totals() {
+        let mut r = BallistaReport::new("test");
+        r.record("f", TestClass::Crash);
+        r.record("f", TestClass::ErrnoSet);
+        r.record("g", TestClass::Silent);
+        r.record("g", TestClass::Hang);
+        r.record("g", TestClass::Abort);
+
+        assert_eq!(r.function("f").unwrap().crashes, 1);
+        assert_eq!(r.function("f").unwrap().failures(), 1);
+        assert_eq!(r.function("g").unwrap().failures(), 2);
+        let t = r.totals();
+        assert_eq!(t.tests, 5);
+        assert_eq!(t.errno_set, 1);
+        assert_eq!(r.functions_with_failures(), vec!["f", "g"]);
+        assert!((r.percent(|o| o.silent) - 20.0).abs() < 1e-9);
+        assert!(r.render().contains("tests=5"));
+    }
+
+    #[test]
+    fn empty_report_percentages_are_zero() {
+        let r = BallistaReport::new("empty");
+        assert_eq!(r.percent(FunctionOutcomes::failures), 0.0);
+        assert!(r.functions_with_failures().is_empty());
+    }
+}

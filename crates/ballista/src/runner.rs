@@ -1,0 +1,303 @@
+//! The evaluation runner: cross-product test generation and sandboxed
+//! execution in three configurations (Figure 6's three bars).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use healers_core::{analyze, FunctionDecl, RobustnessWrapper, WrapperConfig};
+use healers_libc::{Libc, World};
+use healers_simproc::{SimFault, SimValue};
+
+use crate::pools::{param_kind, prepare, ParamKind, Pools};
+use crate::report::{BallistaReport, TestClass};
+use crate::targets::ballista_targets;
+
+/// Fuel budget per Ballista test (hang detection).
+pub const BALLISTA_FUEL: u64 = 300_000;
+
+/// The configuration under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Call the library directly.
+    Unwrapped,
+    /// Through the automatically generated wrapper.
+    FullAuto,
+    /// Through the wrapper built from manually edited declarations
+    /// with directory/stream tracking and executable assertions.
+    SemiAuto,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Unwrapped => "Unwrapped",
+            Mode::FullAuto => "Full-Auto Wrapped",
+            Mode::SemiAuto => "Semi-Auto Wrapped",
+        }
+    }
+}
+
+/// The Ballista-style evaluation harness.
+pub struct Ballista {
+    functions: Vec<String>,
+    cap_per_function: usize,
+    seed: u64,
+}
+
+impl Ballista {
+    /// A harness over the full 86-function target list.
+    pub fn new() -> Self {
+        Ballista {
+            functions: ballista_targets().iter().map(|s| s.to_string()).collect(),
+            cap_per_function: 180,
+            seed: 0x2002_0623,
+        }
+    }
+
+    /// Restrict to a subset of functions (tests, quick runs).
+    pub fn with_functions(mut self, functions: &[&str]) -> Self {
+        self.functions = functions.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Cap the number of tests per function (sampled deterministically
+    /// when the cross product is larger).
+    pub fn with_cap(mut self, cap: usize) -> Self {
+        self.cap_per_function = cap;
+        self
+    }
+
+    /// Change the sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Run the fault-injection analysis for all target functions (the
+    /// input to both wrapped configurations). Exposed so callers can
+    /// reuse the declarations across modes.
+    pub fn analyze_targets(&self, libc: &Libc) -> Vec<FunctionDecl> {
+        let names: Vec<&str> = self.functions.iter().map(|s| s.as_str()).collect();
+        analyze(libc, &names)
+    }
+
+    /// Run one configuration end to end.
+    pub fn run(&self, mode: Mode) -> BallistaReport {
+        let libc = Libc::standard();
+        let decls = match mode {
+            Mode::Unwrapped => Vec::new(),
+            _ => self.analyze_targets(&libc),
+        };
+        self.run_with_decls(&libc, mode, decls)
+    }
+
+    /// Run one configuration with precomputed declarations.
+    pub fn run_with_decls(
+        &self,
+        libc: &Libc,
+        mode: Mode,
+        decls: Vec<FunctionDecl>,
+    ) -> BallistaReport {
+        let mut wrapper = match mode {
+            Mode::Unwrapped => None,
+            Mode::FullAuto => Some(RobustnessWrapper::new(decls, WrapperConfig::full_auto())),
+            Mode::SemiAuto => Some(RobustnessWrapper::with_overrides(
+                decls,
+                &healers_core::semi_auto_overrides(),
+                WrapperConfig::semi_auto(),
+            )),
+        };
+
+        let mut world = World::new();
+        world.proc.set_fuel_budget(BALLISTA_FUEL);
+        let pools = prepare(libc, &mut wrapper, &mut world);
+
+        let mut report = BallistaReport::new(mode.label());
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        for name in &self.functions {
+            let func = libc
+                .get(name)
+                .unwrap_or_else(|| panic!("{name} not exported"));
+            let kinds: Vec<ParamKind> = func.proto.params.iter().map(param_kind).collect();
+            let vectors = generate_vectors(&pools, &kinds, self.cap_per_function, &mut rng);
+            for vector in vectors {
+                let class = execute(libc, &wrapper, &world, name, &vector);
+                report.record(name, class);
+            }
+        }
+        report
+    }
+}
+
+impl Default for Ballista {
+    fn default() -> Self {
+        Ballista::new()
+    }
+}
+
+/// Build the test vectors for one function: the full cross product of
+/// its parameter pools when small enough, a deterministic sample
+/// otherwise — always excluding all-valid combinations.
+fn generate_vectors(
+    pools: &Pools,
+    kinds: &[ParamKind],
+    cap: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<SimValue>> {
+    if kinds.is_empty() {
+        return Vec::new();
+    }
+    let sizes: Vec<usize> = kinds.iter().map(|k| pools.for_kind(*k).len()).collect();
+    let total: usize = sizes.iter().product();
+
+    let mut vector_at = |mut index: usize| -> Option<Vec<SimValue>> {
+        let mut values = Vec::with_capacity(kinds.len());
+        let mut any_invalid = false;
+        for (kind, size) in kinds.iter().zip(&sizes) {
+            let pool = pools.for_kind(*kind);
+            let v = &pool[index % size];
+            index /= size;
+            any_invalid |= !v.valid;
+            values.push(v.value);
+        }
+        any_invalid.then_some(values)
+    };
+
+    if total <= cap {
+        (0..total).filter_map(&mut vector_at).collect()
+    } else {
+        // Deterministic sample without replacement (indices may repeat
+        // across functions but never within one).
+        let mut indices: Vec<usize> = Vec::with_capacity(cap);
+        while indices.len() < cap {
+            let i = rng.random_range(0..total);
+            if !indices.contains(&i) {
+                indices.push(i);
+            }
+        }
+        indices.into_iter().filter_map(&mut vector_at).collect()
+    }
+}
+
+/// Execute one test in a sandboxed clone of the prepared world (and
+/// wrapper), and classify the outcome.
+fn execute(
+    libc: &Libc,
+    wrapper: &Option<RobustnessWrapper>,
+    world: &World,
+    name: &str,
+    args: &[SimValue],
+) -> TestClass {
+    let mut child = world.clone();
+    child.proc.set_errno(0);
+    let result = match wrapper {
+        Some(w) => {
+            let mut w = w.clone();
+            w.call(libc, &mut child, name, args)
+        }
+        None => libc.call(&mut child, name, args),
+    };
+    match result {
+        Ok(_) => {
+            if child.proc.errno() != 0 {
+                TestClass::ErrnoSet
+            } else {
+                TestClass::Silent
+            }
+        }
+        Err(SimFault::FuelExhausted) => TestClass::Hang,
+        Err(SimFault::Abort { .. }) => TestClass::Abort,
+        Err(_) => TestClass::Crash,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrapped_strcpy_crashes_and_wrapped_does_not() {
+        let b = Ballista::new().with_functions(&["strcpy"]).with_cap(100);
+        let unwrapped = b.run(Mode::Unwrapped);
+        assert!(unwrapped.function("strcpy").unwrap().failures() > 0);
+
+        let full = b.run(Mode::FullAuto);
+        let f = full.function("strcpy").unwrap();
+        assert_eq!(f.failures(), 0, "full-auto strcpy still failing");
+        assert!(f.errno_set > 0, "violations should become errno returns");
+    }
+
+    #[test]
+    fn never_crashing_functions_have_no_failures_even_unwrapped() {
+        let b = Ballista::new()
+            .with_functions(crate::targets::NEVER_CRASHING)
+            .with_cap(100);
+        let r = b.run(Mode::Unwrapped);
+        for (name, o) in r.iter() {
+            assert_eq!(o.failures(), 0, "{name} crashed unwrapped");
+            assert!(o.tests > 0, "{name} had no tests");
+        }
+    }
+
+    #[test]
+    fn closedir_is_fixed_only_by_the_semi_auto_wrapper() {
+        let b = Ballista::new().with_functions(&["closedir"]).with_cap(50);
+        let unwrapped = b.run(Mode::Unwrapped);
+        assert!(unwrapped.function("closedir").unwrap().failures() > 0);
+
+        let full = b.run(Mode::FullAuto);
+        assert!(
+            full.function("closedir").unwrap().failures() > 0,
+            "full-auto should NOT be able to validate DIR pointers (§5.2)"
+        );
+
+        let semi = b.run(Mode::SemiAuto);
+        assert_eq!(semi.function("closedir").unwrap().failures(), 0);
+    }
+
+    #[test]
+    fn corrupted_streams_survive_full_auto_but_not_semi_auto() {
+        let b = Ballista::new().with_functions(&["fgetc"]).with_cap(50);
+        let full = b.run(Mode::FullAuto);
+        assert!(
+            full.function("fgetc").unwrap().failures() > 0,
+            "corrupted FILE should slip past fileno+fstat"
+        );
+        let semi = b.run(Mode::SemiAuto);
+        assert_eq!(semi.function("fgetc").unwrap().failures(), 0);
+    }
+
+    #[test]
+    fn vectors_never_contain_only_valid_values() {
+        let libc = Libc::standard();
+        let mut world = World::new();
+        let mut none = None;
+        let pools = prepare(&libc, &mut none, &mut world);
+        let mut rng = StdRng::seed_from_u64(1);
+        let kinds = [ParamKind::Buffer, ParamKind::CString];
+        let vectors = generate_vectors(&pools, &kinds, 10_000, &mut rng);
+        // Count: full product minus the all-valid combinations.
+        let bufs = pools.for_kind(ParamKind::Buffer);
+        let strs = pools.for_kind(ParamKind::CString);
+        let valid_b = bufs.iter().filter(|v| v.valid).count();
+        let valid_s = strs.iter().filter(|v| v.valid).count();
+        assert_eq!(
+            vectors.len(),
+            bufs.len() * strs.len() - valid_b * valid_s
+        );
+    }
+
+    #[test]
+    fn sampling_respects_the_cap() {
+        let libc = Libc::standard();
+        let mut world = World::new();
+        let mut none = None;
+        let pools = prepare(&libc, &mut none, &mut world);
+        let mut rng = StdRng::seed_from_u64(1);
+        let kinds = [ParamKind::Buffer, ParamKind::CString, ParamKind::GenericInt];
+        let vectors = generate_vectors(&pools, &kinds, 50, &mut rng);
+        assert!(vectors.len() <= 50);
+        assert!(vectors.len() >= 40); // a few all-valid samples dropped
+    }
+}

@@ -1,0 +1,69 @@
+//! The 86-function evaluation target list.
+//!
+//! §6: "we concentrate on the 86 POSIX functions that were previously
+//! found to suffer crash failures in the Ballista test under Linux
+//! 2.0.18 … Only 9 functions never crash [under Linux 2.4.4 /
+//! glibc 2.2]. All other 77 functions crashed for at least one test
+//! case."
+
+/// The 9 functions of the 86 that never crash (scalar-only arguments
+/// fully validated by the kernel).
+pub const NEVER_CRASHING: &[&str] = &[
+    "close", "dup", "dup2", "lseek", "isatty", "sleep", "umask", "abs", "labs",
+];
+
+/// The 77 functions that crash for at least one test case.
+pub const CRASHING: &[&str] = &[
+    // string.h (22)
+    "strcpy", "strncpy", "strcat", "strncat", "strcmp", "strncmp", "strlen", "strchr", "strrchr",
+    "strstr", "strpbrk", "strspn", "strcspn", "strtok", "strdup", "strcoll", "strxfrm", "memcpy",
+    "memmove", "memset", "memcmp", "memchr",
+    // stdio.h (28)
+    "fopen", "freopen", "fdopen", "fclose", "fflush", "fread", "fwrite", "fgets", "fputs",
+    "fgetc", "fputc", "getc", "putc", "ungetc", "puts", "gets", "fseek", "ftell", "rewind",
+    "feof", "ferror", "clearerr", "fileno", "setbuf", "setvbuf", "tmpnam", "sprintf", "sscanf",
+    // time.h (8)
+    "time", "stime", "asctime", "ctime", "gmtime", "localtime", "mktime", "strftime",
+    // termios.h (6)
+    "cfgetispeed", "cfgetospeed", "cfsetispeed", "cfsetospeed", "tcgetattr", "tcsetattr",
+    // dirent.h (6)
+    "opendir", "readdir", "closedir", "rewinddir", "seekdir", "telldir",
+    // stdlib.h (7)
+    "atoi", "atol", "atof", "strtol", "strtoul", "strtod", "getenv",
+];
+
+/// All 86 evaluation targets.
+pub fn ballista_targets() -> Vec<&'static str> {
+    let mut v: Vec<&'static str> = CRASHING.to_vec();
+    v.extend(NEVER_CRASHING);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_86_targets_77_crashing_9_robust() {
+        assert_eq!(CRASHING.len(), 77);
+        assert_eq!(NEVER_CRASHING.len(), 9);
+        assert_eq!(ballista_targets().len(), 86);
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let mut v = ballista_targets();
+        v.sort_unstable();
+        let before = v.len();
+        v.dedup();
+        assert_eq!(v.len(), before);
+    }
+
+    #[test]
+    fn all_targets_are_exported_by_the_library() {
+        let libc = healers_libc::Libc::standard();
+        for name in ballista_targets() {
+            assert!(libc.get(name).is_some(), "{name} not in library");
+        }
+    }
+}

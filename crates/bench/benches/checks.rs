@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the individual checking functions (§5): the
+//! per-check costs that Table 2's "checking overhead" row aggregates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use healers_core::checker::{check_value, CheckCapabilities, Tables};
+use healers_libc::{file, World};
+use healers_os::OpenFlags;
+use healers_simproc::SimValue;
+use healers_typesys::TypeExpr;
+
+fn bench_checks(c: &mut Criterion) {
+    let mut world = World::new();
+    let caps = CheckCapabilities {
+        stateful_heap: true,
+        dir_tracking: true,
+        file_tracking: false,
+    };
+    let mut tables = Tables::default();
+
+    // A tracked heap block (stateful path) and an untracked one
+    // (stateless page-probe path).
+    let tracked = world.alloc_buf(4096);
+    tables.heap_blocks.insert(tracked, 4096);
+    let untracked = world.alloc_buf(4096);
+
+    // A real stream for the fileno+fstat check.
+    let fd = world
+        .kernel
+        .open("/etc/passwd", OpenFlags::read_only(), 0)
+        .unwrap();
+    let stream = world.alloc_buf(file::FILE_SIZE);
+    file::init_file_object(&mut world.proc, stream, fd, file::F_READ).unwrap();
+
+    // A string for the NUL-scan check.
+    let s = world.alloc_cstr("a reasonably short argument string");
+
+    let mut group = c.benchmark_group("checks");
+    group.bench_function("rw_array_stateful_hit", |b| {
+        b.iter(|| check_value(&world, &tables, &caps, SimValue::Ptr(tracked), TypeExpr::RwArray(4096)))
+    });
+    group.bench_function("rw_array_stateless_probe", |b| {
+        b.iter(|| {
+            check_value(
+                &world,
+                &tables,
+                &caps,
+                SimValue::Ptr(untracked),
+                TypeExpr::RwArray(4096),
+            )
+        })
+    });
+    group.bench_function("open_file_fileno_fstat", |b| {
+        b.iter(|| check_value(&world, &tables, &caps, SimValue::Ptr(stream), TypeExpr::OpenFile))
+    });
+    group.bench_function("nts_scan", |b| {
+        b.iter(|| check_value(&world, &tables, &caps, SimValue::Ptr(s), TypeExpr::Nts))
+    });
+    group.bench_function("scalar_nonneg", |b| {
+        b.iter(|| check_value(&world, &tables, &caps, SimValue::Int(42), TypeExpr::IntNonNeg))
+    });
+    group.bench_function("rejecting_null", |b| {
+        b.iter(|| check_value(&world, &tables, &caps, SimValue::NULL, TypeExpr::RArray(44)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checks);
+criterion_main!(benches);

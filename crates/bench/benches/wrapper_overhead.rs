@@ -1,0 +1,32 @@
+//! Criterion benches behind Table 2: each utility workload, unwrapped
+//! vs. through the fully automatic robustness wrapper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use healers_ballista::ballista_targets;
+use healers_bench::{run_workload, workloads};
+use healers_core::{analyze, RobustnessWrapper, WrapperConfig};
+use healers_libc::Libc;
+
+fn bench_workloads(c: &mut Criterion) {
+    let libc = Libc::standard();
+    let decls = analyze(&libc, &ballista_targets());
+
+    let mut group = c.benchmark_group("table2_workloads");
+    group.sample_size(10);
+    for workload in workloads() {
+        group.bench_function(format!("{}_unwrapped", workload.name), |b| {
+            b.iter(|| run_workload(&libc, &workload, None));
+        });
+        group.bench_function(format!("{}_wrapped", workload.name), |b| {
+            b.iter(|| {
+                let wrapper = RobustnessWrapper::new(decls.clone(), WrapperConfig::full_auto());
+                run_workload(&libc, &workload, Some(wrapper))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

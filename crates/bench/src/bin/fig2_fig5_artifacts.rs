@@ -1,0 +1,37 @@
+//! Regenerates the **Figure 2** function declaration and the **Figure
+//! 5** generated wrapper code for `asctime`, plus the complete wrapper
+//! library source for all 86 evaluation targets.
+
+use healers_ballista::ballista_targets;
+use healers_core::{analyze, decls_to_xml, emit_wrapper_source};
+use healers_libc::Libc;
+
+fn main() {
+    let libc = Libc::standard();
+
+    println!("Figure 2 — generated function declaration for asctime");
+    println!("======================================================");
+    let asctime = analyze(&libc, &["asctime"]);
+    print!("{}", decls_to_xml(&asctime));
+
+    println!();
+    println!("Figure 5 — generated wrapper code for asctime");
+    println!("==============================================");
+    print!(
+        "{}",
+        healers_core::emit::emit_function(&asctime[0]).expect("asctime is unsafe")
+    );
+
+    eprintln!();
+    eprintln!("generating the full 86-function wrapper library…");
+    let decls = analyze(&libc, &ballista_targets());
+    let source = emit_wrapper_source(&decls);
+    let lines = source.lines().count();
+    let path = std::env::temp_dir().join("healers_wrapper.c");
+    std::fs::write(&path, &source).expect("write wrapper source");
+    eprintln!(
+        "wrote {lines} lines of wrapper C source ({} unsafe functions) to {}",
+        decls.iter().filter(|d| d.is_unsafe()).count(),
+        path.display()
+    );
+}

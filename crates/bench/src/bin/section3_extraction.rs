@@ -1,0 +1,55 @@
+//! Regenerates the **§3 extraction statistics** for the simulated
+//! glibc-2.2-scale corpus.
+//!
+//! Paper reference values (glibc 2.2 on SUSE LINUX 7.2 Professional):
+//! more than 34 % of global symbols are internal; 51.1 % of functions
+//! have a manual page; 1.2 % of pages list no headers; 7.7 % list wrong
+//! headers; prototypes are found for 96.0 % of functions.
+
+use healers_corpus::{generate::CorpusConfig, pipeline::recover_all};
+use healers_corpus::pipeline::RecoverySource;
+
+fn main() {
+    let corpus = CorpusConfig::default().generate();
+    let report = recover_all(&corpus);
+
+    println!("Section 3 — prototype extraction over the simulated corpus");
+    println!("===========================================================");
+    println!("global symbols:           {}", corpus.symbols.symbols.len());
+    println!("external functions:       {}", report.externals());
+    println!(
+        "internal symbols:         {:>5.1}%   (paper: >34%)",
+        100.0 * report.internal_fraction()
+    );
+    println!(
+        "man-page coverage:        {:>5.1}%   (paper: 51.1%)",
+        100.0 * report.manpage_coverage()
+    );
+    println!(
+        "pages listing no headers: {:>5.1}%   (paper: 1.2%)",
+        100.0 * report.manpage_no_headers_fraction()
+    );
+    println!(
+        "pages with wrong headers: {:>5.1}%   (paper: 7.7%)",
+        100.0 * report.manpage_wrong_headers_fraction()
+    );
+    println!(
+        "prototypes found:         {:>5.1}%   (paper: 96.0%)",
+        100.0 * report.found_fraction()
+    );
+
+    let by_manpage = report
+        .iter()
+        .filter(|r| r.source == RecoverySource::ManPageHeaders)
+        .count();
+    let by_scan = report
+        .iter()
+        .filter(|r| r.source == RecoverySource::GlobalScan)
+        .count();
+    let not_found = report
+        .iter()
+        .filter(|r| r.source == RecoverySource::NotFound)
+        .count();
+    println!();
+    println!("recovery routes: man-page headers {by_manpage}, global scan {by_scan}, not found {not_found}");
+}

@@ -1,0 +1,60 @@
+//! Regenerates **Table 1**: error-return-code determination for the 86
+//! evaluation functions.
+//!
+//! Paper reference values: No Return Code 8 (9.3 %), Consistent 39
+//! (45.3 %), Inconsistent 2 (2.3 %), No Error Return Code Found 37
+//! (43.0 %); the two inconsistent functions are `fdopen` and `freopen`,
+//! and `fflush` is the one function that should set `errno` but was not
+//! observed doing so.
+
+use std::collections::BTreeMap;
+
+use healers_ballista::ballista_targets;
+use healers_inject::{ErrCodeClass, FaultInjector};
+use healers_libc::Libc;
+
+fn main() {
+    let libc = Libc::standard();
+    let mut by_class: BTreeMap<&'static str, Vec<String>> = BTreeMap::new();
+    let targets = ballista_targets();
+    for name in &targets {
+        let report = FaultInjector::new(&libc, name)
+            .unwrap_or_else(|| panic!("{name} missing"))
+            .run();
+        by_class
+            .entry(report.errcode.class.label())
+            .or_default()
+            .push(name.to_string());
+    }
+
+    let total = targets.len();
+    println!("Table 1 — error return code determination ({total} functions)");
+    println!("==============================================================");
+    println!("{:<34} {:>6} {:>11}   (paper)", "Return Code Class", "Number", "Percentage");
+    let order = [
+        (ErrCodeClass::NoReturnCode.label(), "8 / 9.3%"),
+        (ErrCodeClass::Consistent.label(), "39 / 45.3%"),
+        (ErrCodeClass::Inconsistent.label(), "2 / 2.3%"),
+        (ErrCodeClass::NoErrorReturnCodeFound.label(), "37 / 43.0%"),
+    ];
+    for (label, paper) in order {
+        let n = by_class.get(label).map(|v| v.len()).unwrap_or(0);
+        println!(
+            "{:<34} {:>6} {:>10.1}%   ({paper})",
+            label,
+            n,
+            100.0 * n as f64 / total as f64
+        );
+    }
+    println!();
+    if let Some(inconsistent) = by_class.get(ErrCodeClass::Inconsistent.label()) {
+        println!("inconsistent functions: {}", inconsistent.join(", "));
+        println!("(paper: fdopen, freopen — errno sometimes set on success)");
+    }
+    if let Some(none) = by_class.get(ErrCodeClass::NoErrorReturnCodeFound.label()) {
+        println!(
+            "fflush in the none-found class: {} (paper: the one function that should set errno)",
+            none.iter().any(|f| f == "fflush")
+        );
+    }
+}

@@ -1,0 +1,361 @@
+//! The four utility workloads of §7 (Table 2).
+//!
+//! The paper measures its wrapper's overhead on `tar`, `gzip`, `gcc`
+//! and `ps2pdf`. What determines wrapper overhead is not what a utility
+//! is *for* but its **call-mix profile**: how often it crosses the
+//! library boundary and how much of its time it spends there. The
+//! workloads here reproduce those profiles against the simulated
+//! library:
+//!
+//! * **tar** — archiver: block-sized `fread`/`fwrite` through open
+//!   streams with checksumming between blocks (moderate call rate,
+//!   ~1 % of time in the library);
+//! * **gzip** — compressor: one bulk read, then long stretches of pure
+//!   computation with very rare library calls (lowest call rate);
+//! * **gcc** — compiler driver: line-oriented parsing with *many* tiny
+//!   string-library calls per line and several process startups
+//!   (highest call rate, largest overhead);
+//! * **ps2pdf** — document converter: character-at-a-time stream
+//!   transformation with periodic formatted output (high call rate).
+
+use std::time::{Duration, Instant};
+
+use healers_core::RobustnessWrapper;
+use healers_libc::{Libc, World};
+use healers_simproc::{SimFault, SimValue};
+
+/// A calling context: either straight to the library or through a
+/// wrapper — the only difference between a workload's two measurements.
+pub struct CallCtx<'a> {
+    /// The library.
+    pub libc: &'a Libc,
+    /// The machine image the workload runs on.
+    pub world: &'a mut World,
+    /// The interposed wrapper, when measuring the wrapped configuration.
+    pub wrapper: Option<&'a mut RobustnessWrapper>,
+    /// Checksum accumulator (keeps the "application computation" from
+    /// being optimized away).
+    pub sink: u64,
+}
+
+impl CallCtx<'_> {
+    /// One library call through the configured path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library faults — the workloads are correct
+    /// programs; a fault is a harness bug.
+    pub fn call(&mut self, name: &str, args: &[SimValue]) -> SimValue {
+        let result: Result<SimValue, SimFault> = match self.wrapper.as_deref_mut() {
+            Some(w) => w.call(self.libc, self.world, name, args),
+            None => self.libc.call(self.world, name, args),
+        };
+        result.unwrap_or_else(|e| panic!("workload call {name} faulted: {e}"))
+    }
+
+    /// Application-side computation: `rounds` of integer mixing.
+    pub fn compute(&mut self, rounds: u64) {
+        let mut x = self.sink | 1;
+        for i in 0..rounds {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i)
+                .rotate_left(17);
+        }
+        self.sink ^= x;
+    }
+
+    fn cstr(&mut self, s: &str) -> SimValue {
+        SimValue::Ptr(self.world.alloc_cstr(s))
+    }
+
+    fn buf(&mut self, n: u32) -> SimValue {
+        SimValue::Ptr(self.world.alloc_buf(n))
+    }
+}
+
+/// One workload.
+#[derive(Clone, Copy)]
+pub struct Workload {
+    /// Utility name ("tar", …).
+    pub name: &'static str,
+    /// The program.
+    pub run: fn(&mut CallCtx<'_>),
+}
+
+/// Measured results for one workload under one configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadStats {
+    /// Total wall-clock execution time.
+    pub total: Duration,
+    /// Calls to wrapped (checked) functions.
+    pub wrapped_calls: u64,
+    /// Wall-clock time spent inside the library (measurement mode).
+    pub time_in_library: Duration,
+    /// Wall-clock time spent in argument checking (measurement mode).
+    pub time_checking: Duration,
+}
+
+/// Execute a workload against a fresh world, returning its stats. The
+/// wrapper (if any) is consumed fresh per run so its tables start
+/// empty, like a newly loaded interposition library.
+pub fn run_workload(
+    libc: &Libc,
+    workload: &Workload,
+    mut wrapper: Option<RobustnessWrapper>,
+) -> WorkloadStats {
+    let mut world = World::new();
+    setup_files(&mut world);
+    let started = Instant::now();
+    let mut ctx = CallCtx {
+        libc,
+        world: &mut world,
+        wrapper: wrapper.as_mut(),
+        sink: 0x9e3779b97f4a7c15,
+    };
+    (workload.run)(&mut ctx);
+    let total = started.elapsed();
+    std::hint::black_box(ctx.sink);
+    match wrapper {
+        Some(w) => WorkloadStats {
+            total,
+            wrapped_calls: w.stats.wrapped_calls,
+            time_in_library: w.stats.time_in_library,
+            time_checking: w.stats.time_checking,
+        },
+        None => WorkloadStats {
+            total,
+            wrapped_calls: 0,
+            time_in_library: Duration::ZERO,
+            time_checking: Duration::ZERO,
+        },
+    }
+}
+
+fn setup_files(world: &mut World) {
+    // Input corpus for the utilities.
+    for i in 0..16 {
+        let body: Vec<u8> = (0..2048u32)
+            .map(|j| b'a' + ((i * 7 + j) % 23) as u8)
+            .collect();
+        world
+            .kernel
+            .write_file(&format!("/tmp/src{i}.txt"), &body)
+            .expect("setup");
+    }
+    let source: String = (0..200)
+        .map(|i| format!("int f{i}(int x) {{ return x + {i}; }}\n"))
+        .collect();
+    world
+        .kernel
+        .write_file("/tmp/program.c", source.as_bytes())
+        .expect("setup");
+    world
+        .kernel
+        .write_file("/tmp/document.ps", &vec![b'%'; 8192])
+        .expect("setup");
+}
+
+/// The four Table 2 workloads.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "tar",
+            run: tar_like,
+        },
+        Workload {
+            name: "gzip",
+            run: gzip_like,
+        },
+        Workload {
+            name: "gcc",
+            run: gcc_like,
+        },
+        Workload {
+            name: "ps2pdf",
+            run: ps2pdf_like,
+        },
+    ]
+}
+
+/// Archiver profile: block I/O with checksumming.
+fn tar_like(ctx: &mut CallCtx<'_>) {
+    let archive_path = ctx.cstr("/tmp/archive.tar");
+    let w_mode = ctx.cstr("w");
+    let archive = ctx.call("fopen", &[archive_path, w_mode]);
+    assert_ne!(archive, SimValue::NULL);
+    let block = ctx.buf(512);
+    let header = ctx.buf(512);
+    let name_fmt = ctx.cstr("member-%s-%04d");
+
+    for i in 0..16 {
+        let path = ctx.cstr(&format!("/tmp/src{i}.txt"));
+        let r_mode = ctx.cstr("r");
+        let member = ctx.call("fopen", &[path, r_mode]);
+        assert_ne!(member, SimValue::NULL);
+        // Header block.
+        let tag = ctx.cstr("src");
+        ctx.call(
+            "sprintf",
+            &[header, name_fmt, tag, SimValue::Int(i)],
+        );
+        ctx.call("fwrite", &[header, SimValue::Int(1), SimValue::Int(512), archive]);
+        // Data blocks with application-side checksumming between reads.
+        loop {
+            let got = ctx.call(
+                "fread",
+                &[block, SimValue::Int(1), SimValue::Int(512), member],
+            );
+            if got.as_int() == 0 {
+                break;
+            }
+            ctx.compute(1_500_000); // checksum + sparse-block detection
+            ctx.call(
+                "fwrite",
+                &[block, SimValue::Int(1), got, archive],
+            );
+        }
+        ctx.call("fclose", &[member]);
+    }
+    ctx.call("fclose", &[archive]);
+}
+
+/// Compressor profile: one bulk read, then compute-dominated stretches
+/// with very rare library calls.
+fn gzip_like(ctx: &mut CallCtx<'_>) {
+    let path = ctx.cstr("/tmp/src0.txt");
+    let mode = ctx.cstr("r");
+    let input = ctx.call("fopen", &[path, mode]);
+    assert_ne!(input, SimValue::NULL);
+    let buf = ctx.buf(2048);
+    ctx.call("fread", &[buf, SimValue::Int(1), SimValue::Int(2048), input]);
+    ctx.call("fclose", &[input]);
+
+    let out_path = ctx.cstr("/tmp/src0.gz");
+    let w_mode = ctx.cstr("w");
+    let output = ctx.call("fopen", &[out_path, w_mode]);
+    // Eight huge compression passes, each followed by one tiny write.
+    for _ in 0..8 {
+        ctx.compute(2_000_000); // LZ window matching + Huffman coding
+        ctx.call("fwrite", &[buf, SimValue::Int(1), SimValue::Int(256), output]);
+    }
+    ctx.call("fclose", &[output]);
+}
+
+/// Compiler-driver profile: line-oriented parsing with many tiny
+/// string-library calls, across several process startups.
+fn gcc_like(ctx: &mut CallCtx<'_>) {
+    let line = ctx.buf(256);
+    let token = ctx.buf(256);
+    let keyword_int = ctx.cstr("int");
+    let keyword_return = ctx.cstr("return");
+    let fmt = ctx.cstr("sym_%d");
+    let symbol = ctx.buf(128);
+
+    // The paper notes gcc pays the wrapper-load cost five times (cpp,
+    // cc1, as, collect2, ld); each "process" re-reads the source.
+    for _process in 0..5 {
+        let path = ctx.cstr("/tmp/program.c");
+        let mode = ctx.cstr("r");
+        let src = ctx.call("fopen", &[path, mode]);
+        assert_ne!(src, SimValue::NULL);
+        let mut sym = 0i64;
+        loop {
+            let got = ctx.call("fgets", &[line, SimValue::Int(256), src]);
+            if got == SimValue::NULL {
+                break;
+            }
+            // Tokenize with the string library, as 2002-era front ends did.
+            ctx.call("strlen", &[line]);
+            ctx.call("strcpy", &[token, line]);
+            ctx.call("strchr", &[token, SimValue::Int(i64::from(b'('))]);
+            ctx.call("strncmp", &[token, keyword_int, SimValue::Int(3)]);
+            ctx.call("strstr", &[token, keyword_return]);
+            ctx.call("sprintf", &[symbol, fmt, SimValue::Int(sym)]);
+            ctx.call("strcmp", &[symbol, token]);
+            sym += 1;
+            ctx.compute(75_000); // constant folding on the parsed line
+        }
+        ctx.call("fclose", &[src]);
+    }
+}
+
+/// Document-converter profile: character-at-a-time stream
+/// transformation with periodic formatted output.
+fn ps2pdf_like(ctx: &mut CallCtx<'_>) {
+    let path = ctx.cstr("/tmp/document.ps");
+    let mode = ctx.cstr("r");
+    let input = ctx.call("fopen", &[path, mode]);
+    assert_ne!(input, SimValue::NULL);
+    let out_path = ctx.cstr("/tmp/document.pdf");
+    let w_mode = ctx.cstr("w");
+    let output = ctx.call("fopen", &[out_path, w_mode]);
+    let obj = ctx.buf(128);
+    let fmt = ctx.cstr("obj %d 0 R");
+
+    let mut count = 0i64;
+    loop {
+        let c = ctx.call("fgetc", &[input]);
+        if c.as_int() < 0 {
+            break;
+        }
+        ctx.call("fputc", &[c, output]);
+        count += 1;
+        if count % 64 == 0 {
+            ctx.call("sprintf", &[obj, fmt, SimValue::Int(count / 64)]);
+            ctx.call("fputs", &[obj, output]);
+        }
+        ctx.compute(4_500); // tokenizer state machine
+    }
+    ctx.call("fclose", &[input]);
+    ctx.call("fclose", &[output]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use healers_core::{analyze, WrapperConfig};
+    use healers_ballista::ballista_targets;
+
+    #[test]
+    fn all_workloads_run_unwrapped() {
+        let libc = Libc::standard();
+        for w in workloads() {
+            let stats = run_workload(&libc, &w, None);
+            assert!(stats.total > Duration::ZERO, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn all_workloads_run_wrapped_without_violations() {
+        // The workloads are correct programs: the wrapper must be fully
+        // transparent for them.
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &ballista_targets());
+        for w in workloads() {
+            let wrapper = RobustnessWrapper::new(decls.clone(), WrapperConfig::full_auto());
+            let mut wrapper = wrapper;
+            wrapper.reset_stats();
+            let stats = run_workload(&libc, &w, Some(wrapper));
+            assert!(stats.wrapped_calls > 0, "{} made no wrapped calls", w.name);
+        }
+    }
+
+    #[test]
+    fn call_mix_profiles_are_ordered_like_the_paper() {
+        // gcc and ps2pdf cross the library boundary far more often than
+        // tar, and gzip hardly at all — the determinant of Table 2's
+        // overhead ordering.
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &ballista_targets());
+        let mut calls = std::collections::BTreeMap::new();
+        for w in workloads() {
+            let wrapper = RobustnessWrapper::new(decls.clone(), WrapperConfig::full_auto());
+            let stats = run_workload(&libc, &w, Some(wrapper));
+            calls.insert(w.name, stats.wrapped_calls);
+        }
+        assert!(calls["gcc"] > calls["tar"], "{calls:?}");
+        assert!(calls["ps2pdf"] > calls["tar"], "{calls:?}");
+        assert!(calls["tar"] > calls["gzip"], "{calls:?}");
+    }
+}

@@ -1,0 +1,536 @@
+//! Runtime argument checking (§5.1–5.2).
+//!
+//! The wrapper validates a value against a robust argument type using
+//! three techniques, exactly as the paper describes:
+//!
+//! * **Stateful memory checking** — the wrapper keeps its own table of
+//!   heap blocks (built by intercepting `malloc`/`free`); a buffer
+//!   inside a tracked block is bounds-checked against the block, which
+//!   catches overflows *within* a memory page that no signal-handler
+//!   probe could see.
+//! * **Stack bounds** — a buffer on the stack is checked against the
+//!   stack segment (the Libsafe-style frame check).
+//! * **Stateless probing** — for everything else, accessibility is
+//!   probed one byte per page (the signal-handler technique of ref. 2).
+//!
+//! Data structures get semantic checks: a `FILE*` is validated by
+//! extracting `fileno` and `fstat`-ing it (§5.2); a `DIR*` can only be
+//! validated against the wrapper's directory table, and only when that
+//! stateful tracking is switched on.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use healers_libc::{file, World};
+use healers_os::Termios;
+use healers_simproc::{Addr, SimValue, HEAP_BASE, PAGE_SIZE, STACK_BASE};
+use healers_typesys::TypeExpr;
+
+/// Upper bound on string-validation scans (a terminated string longer
+/// than this is rejected rather than scanned forever).
+pub const MAX_STRING_SCAN: u32 = 64 * 1024;
+
+/// The wrapper's internal tables (§5.1's "internal table" plus the
+/// stream/directory tables of §5.2).
+#[derive(Debug, Clone, Default)]
+pub struct Tables {
+    /// Heap blocks observed through the wrapped allocator: base → size.
+    pub heap_blocks: BTreeMap<Addr, u32>,
+    /// Streams returned by `fopen`/`fdopen`/`freopen`/`tmpfile`.
+    pub open_files: BTreeSet<Addr>,
+    /// Directory handles returned by `opendir`.
+    pub open_dirs: BTreeSet<Addr>,
+}
+
+impl Tables {
+    /// The tracked block containing `addr`, if any.
+    pub fn block_containing(&self, addr: Addr) -> Option<(Addr, u32)> {
+        let (&base, &size) = self.heap_blocks.range(..=addr).next_back()?;
+        if addr >= base && addr - base < size.max(1) {
+            Some((base, size))
+        } else {
+            None
+        }
+    }
+}
+
+/// Which checking techniques are switched on.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckCapabilities {
+    /// Consult the heap table before falling back to page probing.
+    pub stateful_heap: bool,
+    /// Validate `DIR*` against the directory table (semi-automatic).
+    pub dir_tracking: bool,
+    /// Validate `FILE*` against the stream table instead of the
+    /// `fileno`+`fstat` heuristic (semi-automatic).
+    pub file_tracking: bool,
+}
+
+/// Whether the wrapper owns a checking function for `t` under the given
+/// capabilities. Fundamental types are never directly checkable ("the
+/// wrapper library provides for each unified type … a checking
+/// function", §4.2).
+pub fn checkable(t: TypeExpr, caps: &CheckCapabilities) -> bool {
+    use TypeExpr::*;
+    match t {
+        RArray(_) | WArray(_) | RwArray(_) | RArrayNull(_) | WArrayNull(_) | RwArrayNull(_)
+        | Unconstrained | Null => true,
+        RFile | WFile | OpenFile | OpenFileNull => true,
+        OpenDir | OpenDirNull => caps.dir_tracking,
+        Nts | NtsWritable | NtsNull | NtsMax(_) | ModeShort | ModeValid => true,
+        IntNeg | IntZero | IntPos | IntNonNeg | IntNonPos | IntAny => true,
+        FdReadable | FdWritable | FdOpen => true,
+        SpeedValid => true,
+        _ => false,
+    }
+}
+
+/// The strongest *checkable* supertype of a robust type: when the
+/// wrapper has no checking function for the robust type itself (the
+/// `OPEN_DIR` situation of §5.2), it degrades to the nearest weaker
+/// type it can check — which is why some corrupted-data-structure
+/// crashes survive the fully automatic wrapper.
+pub fn checkable_supertype(t: TypeExpr, caps: &CheckCapabilities) -> TypeExpr {
+    use TypeExpr::*;
+    let mut cur = t;
+    loop {
+        if checkable(cur, caps) {
+            return cur;
+        }
+        cur = match cur {
+            RonlyFixed(s) => RArray(s),
+            RwFixed(s) => RwArray(s),
+            WonlyFixed(s) => WArray(s),
+            OpenDirF => OpenDir,
+            OpenDir => RwArray(healers_typesys::order::DIR_SIZE),
+            OpenDirNull => RwArrayNull(healers_typesys::order::DIR_SIZE),
+            RonlyFile | WonlyFile | RwFile => OpenFile,
+            ClosedFile | StaleDir | Invalid => Unconstrained,
+            NtsRo(l) | NtsRw(l) => NtsMax(l),
+            ModeBogus => ModeShort,
+            FdRonly | FdRdwr => FdReadable,
+            FdWonly => FdWritable,
+            FdClosed | FdNegative | SpeedBogus => IntAny,
+            _ => Unconstrained,
+        };
+    }
+}
+
+/// Validate a memory region of `size` bytes at `ptr` with the required
+/// access, using stateful checking where possible and page probing
+/// otherwise.
+fn check_region(
+    world: &World,
+    tables: &Tables,
+    caps: &CheckCapabilities,
+    ptr: Addr,
+    size: u32,
+    need_read: bool,
+    need_write: bool,
+) -> bool {
+    if ptr == 0 {
+        return false;
+    }
+    let size = size.max(1);
+    // Stateful: the wrapper's heap table knows exact block bounds, so
+    // even a sub-page overflow is caught.
+    if caps.stateful_heap && (HEAP_BASE..healers_simproc::proc::HEAP_LIMIT).contains(&ptr) {
+        if let Some((base, block_size)) = tables.block_containing(ptr) {
+            let remaining = base + block_size - ptr;
+            if remaining < size {
+                return false;
+            }
+            // Tracked blocks come from malloc and are read-write; a
+            // single probe confirms the pages are still mapped.
+            return world.proc.mem.probe_read(ptr);
+        }
+        // In heap range but untracked (allocated before the wrapper
+        // loaded): fall through to stateless probing.
+    }
+    // Stack: bounds against the stack segment.
+    if world.proc.in_stack(ptr) {
+        return u64::from(ptr) + u64::from(size) <= u64::from(STACK_BASE);
+    }
+    // Stateless: probe one byte per page across the region.
+    let mut a = ptr;
+    let end = match ptr.checked_add(size - 1) {
+        Some(e) => e,
+        None => return false,
+    };
+    loop {
+        let ok = (!need_read || world.proc.mem.probe_read(a))
+            && (!need_write || world.proc.mem.probe_write(a));
+        if !ok {
+            return false;
+        }
+        if a / PAGE_SIZE == end / PAGE_SIZE {
+            break;
+        }
+        a = (a / PAGE_SIZE + 1) * PAGE_SIZE;
+    }
+    (!need_read || world.proc.mem.probe_read(end))
+        && (!need_write || world.proc.mem.probe_write(end))
+}
+
+/// Scan for a NUL terminator within `limit` bytes of readable (and
+/// optionally writable) memory. Returns the string length if valid.
+fn scan_string(world: &World, ptr: Addr, limit: u32, need_write: bool) -> Option<u32> {
+    if ptr == 0 {
+        return None;
+    }
+    for i in 0..=limit {
+        let a = ptr.checked_add(i)?;
+        if !world.proc.mem.probe_read(a) || (need_write && !world.proc.mem.probe_write(a)) {
+            return None;
+        }
+        // Probes established accessibility; a direct read cannot fault.
+        if world.proc.mem.read_u8(a).ok()? == 0 {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Validate a `FILE*` (§5.2): the region must look like a stream object
+/// and its descriptor must satisfy `fstat`. With stream tracking on,
+/// membership in the wrapper's table is required instead — the stronger
+/// semi-automatic check.
+fn check_file(
+    world: &World,
+    tables: &Tables,
+    caps: &CheckCapabilities,
+    ptr: Addr,
+    need_read: bool,
+    need_write: bool,
+) -> bool {
+    if caps.file_tracking {
+        if !tables.open_files.contains(&ptr) {
+            return false;
+        }
+    } else if !check_region(world, tables, caps, ptr, file::FILE_SIZE, true, true) {
+        return false;
+    }
+    // Extract the descriptor (the region is readable; reads cannot
+    // fault) and fstat it.
+    let Ok(fd) = world.proc.mem.read_i32(ptr + file::OFF_FILENO) else {
+        return false;
+    };
+    if world.kernel.fstat(fd).is_err() {
+        return false;
+    }
+    let Ok(flags) = world.kernel.fd_flags(fd) else {
+        return false;
+    };
+    if (need_read && !flags.read) || (need_write && !flags.write) {
+        return false;
+    }
+    // Semi-automatic integrity assertion: the stream's internal buffer
+    // pointer must be null or accessible. Tracking alone cannot catch a
+    // *tracked* stream whose object was corrupted afterwards.
+    if caps.file_tracking {
+        match world.proc.mem.read_u32(ptr + file::OFF_BUFPTR) {
+            Ok(0) => {}
+            Ok(buf) if world.proc.mem.probe_read(buf) => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Validate a tracked `DIR*`'s structural integrity (semi-automatic):
+/// the embedded dirent-buffer pointer must be writable.
+fn check_dir_integrity(world: &World, ptr: Addr) -> bool {
+    match world.proc.mem.read_u32(ptr + healers_libc::dirent::OFF_BUF) {
+        Ok(buf) => buf != 0 && world.proc.mem.probe_write(buf),
+        Err(_) => false,
+    }
+}
+
+/// Check one value against one (checkable) type.
+///
+/// # Panics
+///
+/// Panics when asked to check a type for which no checking function
+/// exists under the given capabilities — callers must first degrade via
+/// [`checkable_supertype`].
+pub fn check_value(
+    world: &World,
+    tables: &Tables,
+    caps: &CheckCapabilities,
+    value: SimValue,
+    t: TypeExpr,
+) -> bool {
+    use TypeExpr::*;
+    let ptr = value.as_ptr();
+    match t {
+        Unconstrained | IntAny => true,
+        Null => value.is_null(),
+        RArray(s) => check_region(world, tables, caps, ptr, s, true, false),
+        WArray(s) => check_region(world, tables, caps, ptr, s, false, true),
+        RwArray(s) => check_region(world, tables, caps, ptr, s, true, true),
+        RArrayNull(s) => value.is_null() || check_region(world, tables, caps, ptr, s, true, false),
+        WArrayNull(s) => value.is_null() || check_region(world, tables, caps, ptr, s, false, true),
+        RwArrayNull(s) => value.is_null() || check_region(world, tables, caps, ptr, s, true, true),
+        OpenFile => check_file(world, tables, caps, ptr, false, false),
+        OpenFileNull => value.is_null() || check_file(world, tables, caps, ptr, false, false),
+        RFile => check_file(world, tables, caps, ptr, true, false),
+        WFile => check_file(world, tables, caps, ptr, false, true),
+        OpenDir => tables.open_dirs.contains(&ptr) && check_dir_integrity(world, ptr),
+        OpenDirNull => {
+            value.is_null() || (tables.open_dirs.contains(&ptr) && check_dir_integrity(world, ptr))
+        }
+        Nts => scan_string(world, ptr, MAX_STRING_SCAN, false).is_some(),
+        NtsWritable => scan_string(world, ptr, MAX_STRING_SCAN, true).is_some(),
+        NtsNull => value.is_null() || scan_string(world, ptr, MAX_STRING_SCAN, false).is_some(),
+        NtsMax(l) => scan_string(world, ptr, l, false).is_some(),
+        ModeShort => scan_string(world, ptr, healers_typesys::order::MODE_MAX_LEN, false).is_some(),
+        ModeValid => match scan_string(world, ptr, healers_typesys::order::MODE_MAX_LEN, false) {
+            Some(len) if len > 0 => {
+                let first = world.proc.mem.read_u8(ptr).unwrap_or(0);
+                matches!(first, b'r' | b'w' | b'a')
+            }
+            _ => false,
+        },
+        IntNeg => value.as_int() < 0,
+        IntZero => value.as_int() == 0,
+        IntPos => value.as_int() > 0,
+        IntNonNeg => value.as_int() >= 0,
+        IntNonPos => value.as_int() <= 0,
+        FdOpen => world.kernel.fd_is_open(value.as_int() as i32),
+        FdReadable => world
+            .kernel
+            .fd_flags(value.as_int() as i32)
+            .map(|f| f.read)
+            .unwrap_or(false),
+        FdWritable => world
+            .kernel
+            .fd_flags(value.as_int() as i32)
+            .map(|f| f.write)
+            .unwrap_or(false),
+        SpeedValid => {
+            let v = value.as_int();
+            v >= 0 && v <= i64::from(u32::MAX) && Termios::is_valid_speed(v as u32)
+        }
+        other => panic!("no checking function for {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use healers_os::OpenFlags;
+
+    fn caps() -> CheckCapabilities {
+        CheckCapabilities {
+            stateful_heap: true,
+            dir_tracking: false,
+            file_tracking: false,
+        }
+    }
+
+    #[test]
+    fn stateful_check_catches_sub_page_overflow() {
+        // Packed heap: two adjacent 16-byte blocks in one page. The
+        // stateless probe cannot tell them apart; the table can.
+        let mut world = World::new();
+        let a = world.alloc_buf(16);
+        let _b = world.alloc_buf(16);
+        let mut tables = Tables::default();
+        tables.heap_blocks.insert(a, 16);
+
+        // 16 bytes at a: fine. 17 bytes: stateful check rejects…
+        assert!(check_value(&world, &tables, &caps(), SimValue::Ptr(a), TypeExpr::RwArray(16)));
+        assert!(!check_value(&world, &tables, &caps(), SimValue::Ptr(a), TypeExpr::RwArray(17)));
+
+        // …while the stateless configuration misses the overflow (the
+        // page is accessible throughout) — the §8 comparison.
+        let stateless = CheckCapabilities {
+            stateful_heap: false,
+            ..caps()
+        };
+        assert!(check_value(&world, &tables, &stateless, SimValue::Ptr(a), TypeExpr::RwArray(17)));
+    }
+
+    #[test]
+    fn stateless_probe_rejects_unmapped_and_protected() {
+        let world = World::new();
+        let tables = Tables::default();
+        assert!(!check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Ptr(0xdead_0000),
+            TypeExpr::RArray(4)
+        ));
+        assert!(!check_value(&world, &tables, &caps(), SimValue::NULL, TypeExpr::RArray(4)));
+        // NULL is fine for the _NULL variants.
+        assert!(check_value(&world, &tables, &caps(), SimValue::NULL, TypeExpr::RArrayNull(4)));
+    }
+
+    #[test]
+    fn probe_spans_pages() {
+        let mut world = World::new();
+        // A guarded block of 8000 bytes spans 2 pages followed by guard.
+        world.proc.heap.set_mode(healers_simproc::HeapMode::Guarded);
+        let p = world.alloc_buf(8000);
+        let tables = Tables::default();
+        let stateless = CheckCapabilities {
+            stateful_heap: false,
+            dir_tracking: false,
+            file_tracking: false,
+        };
+        assert!(check_value(&world, &tables, &stateless, SimValue::Ptr(p), TypeExpr::RwArray(8000)));
+        assert!(!check_value(&world, &tables, &stateless, SimValue::Ptr(p), TypeExpr::RwArray(8001)));
+    }
+
+    #[test]
+    fn stack_buffers_are_bounds_checked() {
+        let mut world = World::new();
+        let p = world.proc.stack_alloc(64);
+        let tables = Tables::default();
+        assert!(check_value(&world, &tables, &caps(), SimValue::Ptr(p), TypeExpr::WArray(64)));
+        // A size reaching past the stack top is rejected.
+        assert!(!check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Ptr(p),
+            TypeExpr::WArray(healers_simproc::STACK_SIZE)
+        ));
+    }
+
+    #[test]
+    fn file_check_validates_via_fileno_fstat() {
+        let mut world = World::new();
+        let fd = world
+            .kernel
+            .open("/etc/passwd", OpenFlags::read_only(), 0)
+            .unwrap();
+        let stream = world.alloc_buf(file::FILE_SIZE);
+        file::init_file_object(&mut world.proc, stream, fd, file::F_READ).unwrap();
+        let tables = Tables::default();
+
+        assert!(check_value(&world, &tables, &caps(), SimValue::Ptr(stream), TypeExpr::OpenFile));
+        assert!(check_value(&world, &tables, &caps(), SimValue::Ptr(stream), TypeExpr::RFile));
+        // Read-only stream fails the writable-file check.
+        assert!(!check_value(&world, &tables, &caps(), SimValue::Ptr(stream), TypeExpr::WFile));
+
+        // Garbage fd: rejected.
+        world.proc.mem.write_i32(stream + file::OFF_FILENO, -555).unwrap();
+        assert!(!check_value(&world, &tables, &caps(), SimValue::Ptr(stream), TypeExpr::OpenFile));
+    }
+
+    #[test]
+    fn file_tracking_is_stricter() {
+        let mut world = World::new();
+        let fd = world
+            .kernel
+            .open("/etc/passwd", OpenFlags::read_only(), 0)
+            .unwrap();
+        let stream = world.alloc_buf(file::FILE_SIZE);
+        file::init_file_object(&mut world.proc, stream, fd, file::F_READ).unwrap();
+        let tables = Tables::default();
+        let tracking = CheckCapabilities {
+            file_tracking: true,
+            ..caps()
+        };
+        // Valid-looking but untracked: rejected under tracking.
+        assert!(!check_value(&world, &tables, &tracking, SimValue::Ptr(stream), TypeExpr::OpenFile));
+        let mut tracked = tables.clone();
+        tracked.open_files.insert(stream);
+        assert!(check_value(&world, &tracked, &tracking, SimValue::Ptr(stream), TypeExpr::OpenFile));
+    }
+
+    #[test]
+    fn dir_check_requires_tracking() {
+        let caps_with = CheckCapabilities {
+            dir_tracking: true,
+            ..caps()
+        };
+        assert!(!checkable(TypeExpr::OpenDir, &caps()));
+        assert!(checkable(TypeExpr::OpenDir, &caps_with));
+        // Degradation: without tracking, OPEN_DIR degrades to a memory
+        // check over sizeof(DIR).
+        assert_eq!(
+            checkable_supertype(TypeExpr::OpenDir, &caps()),
+            TypeExpr::RwArray(32)
+        );
+        assert_eq!(checkable_supertype(TypeExpr::OpenDir, &caps_with), TypeExpr::OpenDir);
+
+        // A structurally sound tracked DIR passes; an untracked one and
+        // a tracked-but-corrupted one do not.
+        let mut world = World::new();
+        let dirp = world.alloc_buf(32);
+        let buf = world.alloc_buf(268);
+        world
+            .proc
+            .mem
+            .write_u32(dirp + healers_libc::dirent::OFF_BUF, buf)
+            .unwrap();
+        let mut tables = Tables::default();
+        tables.open_dirs.insert(dirp);
+        assert!(check_value(&world, &tables, &caps_with, SimValue::Ptr(dirp), TypeExpr::OpenDir));
+        assert!(!check_value(&world, &tables, &caps_with, SimValue::Ptr(dirp + 4), TypeExpr::OpenDir));
+        // Corrupt the buffer pointer: the integrity probe rejects it.
+        world
+            .proc
+            .mem
+            .write_u32(dirp + healers_libc::dirent::OFF_BUF, 0xdead_0000)
+            .unwrap();
+        assert!(!check_value(&world, &tables, &caps_with, SimValue::Ptr(dirp), TypeExpr::OpenDir));
+    }
+
+    #[test]
+    fn string_checks() {
+        let mut world = World::new();
+        let s = world.alloc_cstr("hello");
+        let tables = Tables::default();
+        assert!(check_value(&world, &tables, &caps(), SimValue::Ptr(s), TypeExpr::Nts));
+        assert!(check_value(&world, &tables, &caps(), SimValue::Ptr(s), TypeExpr::NtsMax(5)));
+        assert!(!check_value(&world, &tables, &caps(), SimValue::Ptr(s), TypeExpr::NtsMax(4)));
+        assert!(!check_value(&world, &tables, &caps(), SimValue::NULL, TypeExpr::Nts));
+        assert!(check_value(&world, &tables, &caps(), SimValue::NULL, TypeExpr::NtsNull));
+
+        let mode = world.alloc_cstr("r+");
+        assert!(check_value(&world, &tables, &caps(), SimValue::Ptr(mode), TypeExpr::ModeValid));
+        let bad = world.alloc_cstr("q");
+        assert!(!check_value(&world, &tables, &caps(), SimValue::Ptr(bad), TypeExpr::ModeValid));
+        assert!(check_value(&world, &tables, &caps(), SimValue::Ptr(bad), TypeExpr::ModeShort));
+    }
+
+    #[test]
+    fn scalar_and_fd_checks() {
+        let mut world = World::new();
+        let tables = Tables::default();
+        assert!(check_value(&world, &tables, &caps(), SimValue::Int(5), TypeExpr::IntNonNeg));
+        assert!(!check_value(&world, &tables, &caps(), SimValue::Int(-5), TypeExpr::IntNonNeg));
+        assert!(check_value(&world, &tables, &caps(), SimValue::Int(0), TypeExpr::FdOpen));
+        assert!(!check_value(&world, &tables, &caps(), SimValue::Int(99), TypeExpr::FdOpen));
+        let fd = world
+            .kernel
+            .open("/etc/passwd", OpenFlags::read_only(), 0)
+            .unwrap();
+        assert!(check_value(&world, &tables, &caps(), SimValue::Int(i64::from(fd)), TypeExpr::FdReadable));
+        assert!(!check_value(&world, &tables, &caps(), SimValue::Int(i64::from(fd)), TypeExpr::FdWritable));
+        assert!(check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Int(i64::from(healers_os::B9600)),
+            TypeExpr::SpeedValid
+        ));
+        assert!(!check_value(&world, &tables, &caps(), SimValue::Int(31337), TypeExpr::SpeedValid));
+    }
+
+    #[test]
+    fn fallback_chain_terminates_everywhere() {
+        let c = caps();
+        for t in healers_typesys::universe::full_universe(&[1, 44, 148]) {
+            let ct = checkable_supertype(t, &c);
+            assert!(checkable(ct, &c), "{t} degraded to uncheckable {ct}");
+            assert!(
+                t == ct || healers_typesys::is_subtype(t, ct),
+                "{t} degraded to non-supertype {ct}"
+            );
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Function declarations (§3, Figure 2).
+
+use healers_ctypes::FunctionPrototype;
+use healers_inject::{ErrCodeClass, FaultInjector, InjectionReport};
+use healers_libc::Libc;
+use healers_simproc::SimValue;
+use healers_typesys::TypeExpr;
+
+/// The safe/unsafe attribute of §3.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FunctionAttribute {
+    /// Never crashed, hung or aborted during fault injection — the
+    /// wrapper generator skips it ("it avoids the overhead of
+    /// unnecessary argument checks").
+    Safe,
+    /// Crashed for at least one test case; needs protection.
+    Unsafe,
+}
+
+/// A function declaration: everything the wrapper generator needs to
+/// know about one library function (Figure 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDecl {
+    /// Function name.
+    pub name: String,
+    /// Symbol version.
+    pub version: String,
+    /// The C prototype.
+    pub proto: FunctionPrototype,
+    /// Robust argument type per argument (`None` ≙ `UNCONSTRAINED`, no
+    /// check needed).
+    pub robust_args: Vec<Option<TypeExpr>>,
+    /// The error return value the wrapper uses on a violation (`None`
+    /// for `void` functions).
+    pub error_value: Option<SimValue>,
+    /// The `errno` value set on a violation.
+    pub errno_value: i32,
+    /// Error-code class discovered by the injector.
+    pub errcode_class: ErrCodeClass,
+    /// Safe or unsafe.
+    pub attribute: FunctionAttribute,
+}
+
+impl FunctionDecl {
+    /// Build a declaration from an injection report.
+    pub fn from_report(report: &InjectionReport) -> FunctionDecl {
+        let robust_args = report
+            .args
+            .iter()
+            .map(|a| match a.robust.robust {
+                TypeExpr::Unconstrained | TypeExpr::IntAny => None,
+                t => Some(t),
+            })
+            .collect();
+        // The wrapper must return *something* on a violation even when
+        // the injector found no error code: the conventional -1 / NULL
+        // for the return type, as the paper's generator does.
+        let error_value = report.errcode.error_value.or_else(|| {
+            if report.proto.ret.is_void() {
+                None
+            } else if report.proto.ret.is_pointer() {
+                Some(SimValue::NULL)
+            } else {
+                Some(SimValue::Int(-1))
+            }
+        });
+        FunctionDecl {
+            name: report.function.clone(),
+            version: "GLIBC_2.2".to_string(),
+            proto: report.proto.clone(),
+            robust_args,
+            error_value,
+            errno_value: report.errcode.errno_value,
+            errcode_class: report.errcode.class,
+            attribute: if report.safe {
+                FunctionAttribute::Safe
+            } else {
+                FunctionAttribute::Unsafe
+            },
+        }
+    }
+
+    /// Whether this function needs wrapping.
+    pub fn is_unsafe(&self) -> bool {
+        self.attribute == FunctionAttribute::Unsafe
+    }
+}
+
+/// Run the fault injector over `functions` and produce their
+/// declarations — phase one of Figure 1.
+///
+/// # Panics
+///
+/// Panics if a requested function is not exported by the library
+/// (calling the injector on an undefined symbol is a harness bug).
+pub fn analyze(libc: &Libc, functions: &[&str]) -> Vec<FunctionDecl> {
+    functions
+        .iter()
+        .map(|name| {
+            let injector = FaultInjector::new(libc, name)
+                .unwrap_or_else(|| panic!("{name} is not exported by the library"));
+            FunctionDecl::from_report(&injector.run())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asctime_declaration_matches_figure_2() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["asctime"]);
+        let d = &decls[0];
+        assert_eq!(d.name, "asctime");
+        assert_eq!(d.robust_args, vec![Some(TypeExpr::RArrayNull(44))]);
+        assert_eq!(d.error_value, Some(SimValue::NULL));
+        assert_eq!(d.errno_value, healers_os::errno::EINVAL);
+        assert!(d.is_unsafe());
+    }
+
+    #[test]
+    fn safe_functions_are_marked_safe() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["abs", "strcpy"]);
+        assert_eq!(decls[0].attribute, FunctionAttribute::Safe);
+        assert_eq!(decls[1].attribute, FunctionAttribute::Unsafe);
+    }
+
+    #[test]
+    fn unconstrained_arguments_get_no_check() {
+        let libc = Libc::standard();
+        // abs never crashes: its argument needs no check at all.
+        let decls = analyze(&libc, &["abs"]);
+        assert_eq!(decls[0].robust_args, vec![None]);
+    }
+
+    #[test]
+    fn default_error_value_follows_return_type() {
+        let libc = Libc::standard();
+        // strcpy never sets errno, but as a pointer-returning function
+        // its violation return is NULL.
+        let decls = analyze(&libc, &["strcpy", "rewind"]);
+        assert_eq!(decls[0].error_value, Some(SimValue::NULL));
+        // rewind returns void: nothing to return.
+        assert_eq!(decls[1].error_value, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not exported")]
+    fn unknown_function_panics() {
+        let libc = Libc::standard();
+        let _ = analyze(&libc, &["blorp"]);
+    }
+}

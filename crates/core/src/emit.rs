@@ -1,0 +1,295 @@
+//! C wrapper source emission (Figure 5).
+//!
+//! The wrapper generator can also render the interposition library as C
+//! source — the artifact the paper's system would compile into the
+//! `LD_PRELOAD`-able shared object. The emitted shape follows Figure 5
+//! exactly: recursion-flag fast path, argument checks, error return
+//! with `errno`, the call through the saved function pointer, and the
+//! `PostProcessing` label.
+
+use healers_typesys::TypeExpr;
+
+use crate::decl::FunctionDecl;
+
+fn check_call(t: TypeExpr, arg: &str) -> String {
+    use TypeExpr::*;
+    match t {
+        RArray(s) => format!("check_R_ARRAY({arg},{s})"),
+        WArray(s) => format!("check_W_ARRAY({arg},{s})"),
+        RwArray(s) => format!("check_RW_ARRAY({arg},{s})"),
+        RArrayNull(s) => format!("check_R_ARRAY_NULL({arg},{s})"),
+        WArrayNull(s) => format!("check_W_ARRAY_NULL({arg},{s})"),
+        RwArrayNull(s) => format!("check_RW_ARRAY_NULL({arg},{s})"),
+        OpenFile => format!("check_OPEN_FILE({arg})"),
+        OpenFileNull => format!("check_OPEN_FILE_NULL({arg})"),
+        RFile => format!("check_R_FILE({arg})"),
+        WFile => format!("check_W_FILE({arg})"),
+        OpenDir => format!("check_OPEN_DIR({arg})"),
+        OpenDirNull => format!("check_OPEN_DIR_NULL({arg})"),
+        Nts => format!("check_NTS({arg})"),
+        NtsWritable => format!("check_NTS_RW({arg})"),
+        NtsNull => format!("check_NTS_NULL({arg})"),
+        NtsMax(l) => format!("check_NTS_MAX({arg},{l})"),
+        ModeShort => format!("check_MODE_SHORT({arg})"),
+        ModeValid => format!("check_MODE_VALID({arg})"),
+        IntNonNeg => format!("check_INT_NONNEG({arg})"),
+        IntNonPos => format!("check_INT_NONPOS({arg})"),
+        IntNeg => format!("check_INT_NEG({arg})"),
+        IntZero => format!("({arg} == 0)"),
+        IntPos => format!("check_INT_POS({arg})"),
+        FdOpen => format!("check_FD_OPEN({arg})"),
+        FdReadable => format!("check_FD_READABLE({arg})"),
+        FdWritable => format!("check_FD_WRITABLE({arg})"),
+        SpeedValid => format!("check_SPEED_VALID({arg})"),
+        Null => format!("({arg} == NULL)"),
+        other => format!("check_{}({arg})", other.notation().replace(['[', ']'], "_")),
+    }
+}
+
+fn errno_token(e: i32) -> String {
+    match e {
+        9 => "EBADF".into(),
+        22 => "EINVAL".into(),
+        25 => "ENOTTY".into(),
+        2 => "ENOENT".into(),
+        34 => "ERANGE".into(),
+        _ => format!("{e}"),
+    }
+}
+
+/// Emit the wrapper function for one declaration (Figure 5). Returns
+/// `None` for safe functions, which need no wrapper.
+pub fn emit_function(decl: &FunctionDecl) -> Option<String> {
+    if !decl.is_unsafe() {
+        return None;
+    }
+    let ret_type = decl.proto.ret.display_with("");
+    let is_void = decl.proto.ret.is_void();
+    let params: Vec<String> = decl
+        .proto
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| p.ty.display_with(&format!("a{}", i + 1)))
+        .collect();
+    let args: Vec<String> = (1..=decl.proto.params.len()).map(|i| format!("a{i}")).collect();
+    let params_text = if params.is_empty() {
+        "void".to_string()
+    } else {
+        params.join(", ")
+    };
+    let args_text = args.join(", ");
+
+    let mut out = String::new();
+    out.push_str(&format!("{ret_type} {} ({params_text})\n{{\n", decl.name));
+    if !is_void {
+        out.push_str(&format!("    {ret_type} ret;\n"));
+    }
+    out.push_str("    if (in_flag) {\n");
+    if is_void {
+        out.push_str(&format!("        (*libc_{}) ({args_text});\n        return;\n", decl.name));
+    } else {
+        out.push_str(&format!("        return (*libc_{}) ({args_text});\n", decl.name));
+    }
+    out.push_str("    }\n");
+    out.push_str("    in_flag = 1 ;\n");
+
+    for (i, robust) in decl.robust_args.iter().enumerate() {
+        let Some(t) = robust else { continue };
+        let arg = format!("a{}", i + 1);
+        out.push_str(&format!("    if (!{}) {{\n", check_call(*t, &arg)));
+        out.push_str(&format!("        errno = {} ;\n", errno_token(decl.errno_value)));
+        if let Some(v) = decl.error_value {
+            let text = match v {
+                healers_simproc::SimValue::Ptr(0) => format!("({ret_type}) NULL"),
+                healers_simproc::SimValue::Int(n) => format!("{n}"),
+                healers_simproc::SimValue::Ptr(p) => format!("({ret_type}) 0x{p:x}"),
+                healers_simproc::SimValue::Double(d) => format!("{d}"),
+                healers_simproc::SimValue::Void => "0".into(),
+            };
+            out.push_str(&format!("        ret = {text};\n"));
+        }
+        out.push_str("        goto PostProcessing;\n");
+        out.push_str("    }\n");
+    }
+
+    if is_void {
+        out.push_str(&format!("    (*libc_{}) ({args_text});\n", decl.name));
+    } else {
+        out.push_str(&format!("    ret = (*libc_{}) ({args_text});\n", decl.name));
+    }
+    out.push_str("PostProcessing: ;\n");
+    out.push_str("    in_flag = 0 ;\n");
+    if is_void {
+        out.push_str("    return;\n");
+    } else {
+        out.push_str("    return ret;\n");
+    }
+    out.push_str("}\n");
+    Some(out)
+}
+
+/// Emit the `healers_checks.h` header declaring every checking function
+/// the generated wrappers call (the wrapper library of §5, which
+/// implements the per-unified-type checking functions of §4.2).
+pub fn emit_checks_header(decls: &[FunctionDecl]) -> String {
+    let mut names: Vec<String> = Vec::new();
+    for d in decls.iter().filter(|d| d.is_unsafe()) {
+        for t in d.robust_args.iter().flatten() {
+            let call = check_call(*t, "x");
+            if let Some(name) = call.strip_suffix(')').and_then(|c| c.split('(').next()) {
+                if name.starts_with("check_") && !names.contains(&name.to_string()) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+    }
+    names.sort();
+    let mut out = String::new();
+    out.push_str("/* Generated by HEALERS — checking-function declarations. */\n");
+    out.push_str("#ifndef HEALERS_CHECKS_H\n#define HEALERS_CHECKS_H\n\n");
+    out.push_str("#include <stddef.h>\n\n");
+    for name in names {
+        // Sized checks take (pointer, size); the rest take one value.
+        if name.contains("ARRAY") || name.contains("NTS_MAX") {
+            out.push_str(&format!("int {name}(const void *p, size_t size);\n"));
+        } else if name.contains("INT") || name.contains("FD") || name.contains("SPEED") {
+            out.push_str(&format!("int {name}(long value);\n"));
+        } else {
+            out.push_str(&format!("int {name}(const void *p);\n"));
+        }
+    }
+    out.push_str("\n#endif /* HEALERS_CHECKS_H */\n");
+    out
+}
+
+/// Emit the complete wrapper library source: prelude (function-pointer
+/// slots, recursion flag, resolver) plus one wrapper per unsafe
+/// function.
+pub fn emit_wrapper_source(decls: &[FunctionDecl]) -> String {
+    let mut out = String::new();
+    out.push_str("/* Generated by HEALERS — robustness wrapper library. */\n");
+    out.push_str("#define _GNU_SOURCE\n");
+    out.push_str("#include <errno.h>\n#include <dlfcn.h>\n#include <stddef.h>\n");
+    out.push_str("#include \"healers_checks.h\"\n\n");
+    out.push_str("static __thread int in_flag = 0;\n\n");
+
+    for d in decls.iter().filter(|d| d.is_unsafe()) {
+        let ret = d.proto.ret.display_with("");
+        let params: Vec<String> = d.proto.params.iter().map(|p| p.ty.display_with("")).collect();
+        let params = if params.is_empty() {
+            "void".to_string()
+        } else {
+            params.join(", ")
+        };
+        out.push_str(&format!(
+            "static {ret} (*libc_{})({params});\n",
+            d.name
+        ));
+    }
+    out.push_str("\nstatic void __attribute__((constructor)) healers_resolve(void)\n{\n");
+    for d in decls.iter().filter(|d| d.is_unsafe()) {
+        out.push_str(&format!(
+            "    libc_{n} = dlsym(RTLD_NEXT, \"{n}\");\n",
+            n = d.name
+        ));
+    }
+    out.push_str("}\n\n");
+
+    for d in decls {
+        if let Some(f) = emit_function(d) {
+            out.push_str(&f);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decl::analyze;
+    use healers_libc::Libc;
+
+    /// The emitted asctime wrapper must match Figure 5 line for line
+    /// (modulo whitespace).
+    #[test]
+    fn asctime_emission_matches_figure_5() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["asctime"]);
+        let emitted = emit_function(&decls[0]).unwrap();
+        let expected = r#"char* asctime (const struct tm* a1)
+{
+    char* ret;
+    if (in_flag) {
+        return (*libc_asctime) (a1);
+    }
+    in_flag = 1 ;
+    if (!check_R_ARRAY_NULL(a1,44)) {
+        errno = EINVAL ;
+        ret = (char*) NULL;
+        goto PostProcessing;
+    }
+    ret = (*libc_asctime) (a1);
+PostProcessing: ;
+    in_flag = 0 ;
+    return ret;
+}
+"#;
+        assert_eq!(emitted, expected);
+    }
+
+    #[test]
+    fn safe_functions_are_not_emitted() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["abs"]);
+        assert!(emit_function(&decls[0]).is_none());
+    }
+
+    #[test]
+    fn void_functions_emit_without_ret() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["rewind"]);
+        let emitted = emit_function(&decls[0]).unwrap();
+        assert!(!emitted.contains(" ret;"));
+        assert!(emitted.contains("(*libc_rewind) (a1);"));
+        assert!(emitted.contains("PostProcessing: ;"));
+    }
+
+    #[test]
+    fn full_source_has_prelude_and_resolver() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["asctime", "strlen", "abs"]);
+        let src = emit_wrapper_source(&decls);
+        assert!(src.contains("static __thread int in_flag = 0;"));
+        assert!(src.contains("dlsym(RTLD_NEXT, \"asctime\")"));
+        assert!(src.contains("dlsym(RTLD_NEXT, \"strlen\")"));
+        // abs is safe: no resolver entry, no wrapper.
+        assert!(!src.contains("dlsym(RTLD_NEXT, \"abs\")"));
+        assert!(src.contains("char* asctime (const struct tm* a1)"));
+    }
+
+    #[test]
+    fn checks_header_declares_every_used_check() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["asctime", "strlen", "fclose", "abs"]);
+        let header = emit_checks_header(&decls);
+        assert!(header.contains("int check_R_ARRAY_NULL(const void *p, size_t size);"));
+        assert!(header.contains("check_NTS"));
+        assert!(header.contains("check_OPEN_FILE"));
+        assert!(header.contains("#ifndef HEALERS_CHECKS_H"));
+        // abs is safe and contributes nothing.
+        assert!(!header.contains("INT_ANY"));
+    }
+
+    #[test]
+    fn multi_argument_checks_are_sequenced() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["strcpy"]);
+        let emitted = emit_function(&decls[0]).unwrap();
+        // Both arguments are checked, destination first.
+        let dst_pos = emitted.find("(a1").unwrap();
+        let src_pos = emitted.find("(a2").unwrap();
+        assert!(dst_pos < src_pos);
+    }
+}

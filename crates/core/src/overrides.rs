@@ -1,0 +1,200 @@
+//! Manual declaration editing (§5, §6).
+//!
+//! "In the next step, we manually edited the generated function
+//! declarations to add robust argument types and some executable
+//! assertions (which we used to track directory structures). With these
+//! additional checks we were able to eliminate all crash failures in
+//! the Ballista test." This module packages that manual step: per-
+//! function robust-type overrides, size assertions relating a buffer
+//! argument to the count arguments that bound it, and the switches for
+//! stateful directory/stream tracking.
+
+use std::collections::BTreeMap;
+
+use healers_typesys::TypeExpr;
+
+use crate::decl::FunctionDecl;
+
+/// One term of a size expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeTerm {
+    /// The value of argument `i` (as an unsigned count).
+    Arg(usize),
+    /// The product of two argument values (e.g. `size * nmemb`).
+    ArgProduct(usize, usize),
+    /// The length of the NUL-terminated string at argument `i`.
+    StrlenArg(usize),
+    /// A constant.
+    Const(u32),
+}
+
+/// An executable assertion: the buffer at `buf_arg` must be accessible
+/// for the sum of the `terms` bytes, with the given access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeAssertion {
+    /// Function the assertion applies to.
+    pub function: String,
+    /// Index of the buffer argument.
+    pub buf_arg: usize,
+    /// Terms summed to the required byte count.
+    pub terms: Vec<SizeTerm>,
+    /// Whether the buffer must be writable (else readable).
+    pub write: bool,
+}
+
+impl SizeAssertion {
+    fn new(function: &str, buf_arg: usize, terms: Vec<SizeTerm>, write: bool) -> Self {
+        SizeAssertion {
+            function: function.to_string(),
+            buf_arg,
+            terms,
+            write,
+        }
+    }
+}
+
+/// A manual edit to one function's declaration.
+#[derive(Debug, Clone, Default)]
+pub struct ManualOverride {
+    /// Robust-type replacements: argument index → new type.
+    pub robust_args: BTreeMap<usize, TypeExpr>,
+    /// Extra executable assertions.
+    pub assertions: Vec<SizeAssertion>,
+}
+
+/// The wrapper library's *built-in* stateful boundary checks (§5.1).
+///
+/// These encode the known buffer/count relations of the string, memory
+/// and stdio copy functions — "functions in the string library often
+/// omit boundary checks of destination buffers … the wrapper consults
+/// its table to locate the memory block that contains the buffer and
+/// performs boundary checks before invoking the original function",
+/// including the Libsafe-style stack-smashing prevention. They are part
+/// of every generated wrapper, not of the manual-editing step.
+pub fn builtin_assertions() -> Vec<SizeAssertion> {
+    use SizeTerm::*;
+    let mut out = Vec::new();
+    let mut add = |func: &str, buf: usize, terms: Vec<SizeTerm>, write: bool| {
+        out.push(SizeAssertion::new(func, buf, terms, write));
+    };
+
+    // String-copy family: the destination must hold the source (+ NUL).
+    add("strcpy", 0, vec![StrlenArg(1), Const(1)], true);
+    add("strcat", 0, vec![StrlenArg(0), StrlenArg(1), Const(1)], true);
+    add("strncpy", 0, vec![Arg(2)], true);
+    add("strncat", 0, vec![StrlenArg(0), Arg(2), Const(1)], true);
+    add("strxfrm", 0, vec![Arg(2)], true);
+    add("sprintf", 0, vec![StrlenArg(1), Const(64)], true);
+
+    // mem family: both buffers bound by the count.
+    add("memcpy", 0, vec![Arg(2)], true);
+    add("memcpy", 1, vec![Arg(2)], false);
+    add("memmove", 0, vec![Arg(2)], true);
+    add("memmove", 1, vec![Arg(2)], false);
+    add("memset", 0, vec![Arg(2)], true);
+    add("memcmp", 0, vec![Arg(2)], false);
+    add("memcmp", 1, vec![Arg(2)], false);
+    add("memchr", 0, vec![Arg(2)], false);
+
+    // stdio: buffers bound by size*nmemb / n; gets gets the Libsafe
+    // treatment (a conservative minimum destination size).
+    add("fread", 0, vec![ArgProduct(1, 2)], true);
+    add("strftime", 0, vec![Arg(1)], true);
+    add("fwrite", 0, vec![ArgProduct(1, 2)], false);
+    add("fgets", 0, vec![Arg(1)], true);
+    add("snprintf", 0, vec![Arg(1)], true);
+    add("gets", 0, vec![Const(128)], true);
+
+    // unistd: raw I/O buffers.
+    add("read", 1, vec![Arg(2)], true);
+    add("write", 1, vec![Arg(2)], false);
+    add("getcwd", 0, vec![Arg(1)], true);
+
+    out
+}
+
+/// The packaged manual edits used for the semi-automatic wrapper of
+/// Figure 6 (the tracking switches live in [`crate::WrapperConfig`]).
+pub fn semi_auto_overrides() -> BTreeMap<String, ManualOverride> {
+    let mut out: BTreeMap<String, ManualOverride> = BTreeMap::new();
+
+    // strtok's saved-state hazard: require a real (non-null) writable
+    // string, which also covers the resumed-scan calls the wrapper
+    // cannot reason about.
+    out.entry("strtok".to_string())
+        .or_default()
+        .robust_args
+        .insert(0, TypeExpr::NtsWritable);
+
+    out
+}
+
+/// Apply overrides to a set of declarations (the "manual editing" box
+/// of Figure 1). Returns the edited declarations; assertions are
+/// collected by the wrapper from the same override map.
+pub fn apply_overrides(
+    mut decls: Vec<FunctionDecl>,
+    overrides: &BTreeMap<String, ManualOverride>,
+) -> Vec<FunctionDecl> {
+    for decl in &mut decls {
+        if let Some(o) = overrides.get(&decl.name) {
+            for (&i, &t) in &o.robust_args {
+                if i < decl.robust_args.len() {
+                    decl.robust_args[i] = Some(t);
+                }
+            }
+        }
+    }
+    decls
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_assertions_cover_the_copy_functions() {
+        let a = builtin_assertions();
+        let names: Vec<&str> = a.iter().map(|x| x.function.as_str()).collect();
+        for f in ["strcpy", "strcat", "fread", "fwrite", "memcpy", "gets", "read"] {
+            assert!(names.contains(&f), "missing builtin assertion for {f}");
+        }
+        let strcpy = a.iter().find(|x| x.function == "strcpy").unwrap();
+        assert!(strcpy.write);
+        assert_eq!(strcpy.buf_arg, 0);
+        assert_eq!(strcpy.terms, vec![SizeTerm::StrlenArg(1), SizeTerm::Const(1)]);
+    }
+
+    #[test]
+    fn semi_auto_adds_the_strtok_edit() {
+        let o = semi_auto_overrides();
+        assert!(o.contains_key("strtok"));
+        assert_eq!(
+            o["strtok"].robust_args.get(&0),
+            Some(&TypeExpr::NtsWritable)
+        );
+    }
+
+    #[test]
+    fn overrides_edit_declarations() {
+        use healers_ctypes::{CType, FunctionPrototype};
+        let decl = FunctionDecl {
+            name: "strtok".into(),
+            version: "GLIBC_2.2".into(),
+            proto: FunctionPrototype {
+                name: "strtok".into(),
+                ret: CType::ptr(CType::char_()),
+                params: vec![],
+                variadic: false,
+            },
+            robust_args: vec![Some(TypeExpr::RArray(1)), Some(TypeExpr::Nts)],
+            error_value: None,
+            errno_value: 22,
+            errcode_class: healers_inject::ErrCodeClass::NoErrorReturnCodeFound,
+            attribute: crate::decl::FunctionAttribute::Unsafe,
+        };
+        let edited = apply_overrides(vec![decl], &semi_auto_overrides());
+        assert_eq!(edited[0].robust_args[0], Some(TypeExpr::NtsWritable));
+        assert_eq!(edited[0].robust_args[1], Some(TypeExpr::Nts));
+    }
+}

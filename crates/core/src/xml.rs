@@ -1,0 +1,309 @@
+//! Function-declaration serialization in the paper's XML-ish format
+//! (Figure 2).
+//!
+//! The format is deliberately the paper's ad-hoc one, not a generic XML
+//! dialect: one element per property, the argument's C type as text
+//! inside `<argument>`, the robust type in the paper's notation, and
+//! symbolic errno names.
+
+use healers_inject::ErrCodeClass;
+use healers_simproc::SimValue;
+use healers_typesys::TypeExpr;
+
+use crate::decl::{FunctionAttribute, FunctionDecl};
+
+fn errno_name(e: i32) -> String {
+    let name = match e {
+        1 => "EPERM",
+        2 => "ENOENT",
+        9 => "EBADF",
+        12 => "ENOMEM",
+        13 => "EACCES",
+        14 => "EFAULT",
+        17 => "EEXIST",
+        20 => "ENOTDIR",
+        21 => "EISDIR",
+        22 => "EINVAL",
+        25 => "ENOTTY",
+        28 => "ENOSPC",
+        29 => "ESPIPE",
+        34 => "ERANGE",
+        36 => "ENAMETOOLONG",
+        39 => "ENOTEMPTY",
+        _ => return format!("E#{e}"),
+    };
+    name.to_string()
+}
+
+fn errno_value(name: &str) -> Option<i32> {
+    Some(match name {
+        "EPERM" => 1,
+        "ENOENT" => 2,
+        "EBADF" => 9,
+        "ENOMEM" => 12,
+        "EACCES" => 13,
+        "EFAULT" => 14,
+        "EEXIST" => 17,
+        "ENOTDIR" => 20,
+        "EISDIR" => 21,
+        "EINVAL" => 22,
+        "ENOTTY" => 25,
+        "ENOSPC" => 28,
+        "ESPIPE" => 29,
+        "ERANGE" => 34,
+        "ENAMETOOLONG" => 36,
+        "ENOTEMPTY" => 39,
+        other => other.strip_prefix("E#")?.parse().ok()?,
+    })
+}
+
+fn value_text(v: SimValue) -> String {
+    match v {
+        SimValue::Ptr(0) => "NULL".to_string(),
+        SimValue::Ptr(p) => format!("0x{p:x}"),
+        SimValue::Int(i) => format!("{i}"),
+        SimValue::Double(d) => format!("{d}"),
+        SimValue::Void => "void".to_string(),
+    }
+}
+
+fn parse_value(s: &str) -> Option<SimValue> {
+    if s == "NULL" {
+        return Some(SimValue::NULL);
+    }
+    if s == "void" {
+        return Some(SimValue::Void);
+    }
+    if let Some(hex) = s.strip_prefix("0x") {
+        return u32::from_str_radix(hex, 16).ok().map(SimValue::Ptr);
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Some(SimValue::Int(i));
+    }
+    s.parse::<f64>().ok().map(SimValue::Double)
+}
+
+fn class_text(c: ErrCodeClass) -> &'static str {
+    match c {
+        ErrCodeClass::NoReturnCode => "no_return_code",
+        ErrCodeClass::Consistent => "consistent",
+        ErrCodeClass::Inconsistent => "inconsistent",
+        ErrCodeClass::NoErrorReturnCodeFound => "none_found",
+    }
+}
+
+fn parse_class(s: &str) -> Option<ErrCodeClass> {
+    Some(match s {
+        "no_return_code" => ErrCodeClass::NoReturnCode,
+        "consistent" => ErrCodeClass::Consistent,
+        "inconsistent" => ErrCodeClass::Inconsistent,
+        "none_found" => ErrCodeClass::NoErrorReturnCodeFound,
+        _ => return None,
+    })
+}
+
+/// Serialize declarations to the Figure 2 format.
+pub fn decls_to_xml(decls: &[FunctionDecl]) -> String {
+    let mut out = String::from("<functions>\n");
+    for d in decls {
+        out.push_str("<function>\n");
+        out.push_str(&format!("<name>{}</name>\n", d.name));
+        out.push_str(&format!("<version>{}</version>\n", d.version));
+        for (param, robust) in d.proto.params.iter().zip(&d.robust_args) {
+            out.push_str(&format!("<argument>{}\n", param.ty));
+            match robust {
+                Some(t) => out.push_str(&format!("<robust_type>{}</robust_type>\n", t.notation())),
+                None => out.push_str("<robust_type>UNCONSTRAINED</robust_type>\n"),
+            }
+            out.push_str("</argument>\n");
+        }
+        if d.proto.variadic {
+            out.push_str("<variadic/>\n");
+        }
+        out.push_str(&format!("<return_type>{}</return_type>\n", d.proto.ret));
+        if let Some(v) = d.error_value {
+            out.push_str(&format!("<error_value>{}</error_value>\n", value_text(v)));
+        }
+        out.push_str("<errors>\n");
+        out.push_str(&format!("<errno>{}</errno>\n", errno_name(d.errno_value)));
+        out.push_str("</errors>\n");
+        out.push_str(&format!(
+            "<errcode_class>{}</errcode_class>\n",
+            class_text(d.errcode_class)
+        ));
+        out.push_str(&format!(
+            "<attribute>{}</attribute>\n",
+            match d.attribute {
+                FunctionAttribute::Safe => "safe",
+                FunctionAttribute::Unsafe => "unsafe",
+            }
+        ));
+        out.push_str("</function>\n");
+    }
+    out.push_str("</functions>\n");
+    out
+}
+
+fn inner<'a>(line: &'a str, tag: &str) -> Option<&'a str> {
+    line.strip_prefix(&format!("<{tag}>"))?
+        .strip_suffix(&format!("</{tag}>"))
+}
+
+/// Parse declarations back from the Figure 2 format.
+///
+/// Parameter names are not part of the format, so the reconstructed
+/// prototypes carry anonymous parameters.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed element.
+pub fn decls_from_xml(text: &str) -> Result<Vec<FunctionDecl>, String> {
+    let mut decls = Vec::new();
+    let mut lines = text.lines().peekable();
+    while let Some(line) = lines.next() {
+        let line = line.trim();
+        if line != "<function>" {
+            continue;
+        }
+        let mut name = String::new();
+        let mut version = "GLIBC_2.2".to_string();
+        let mut arg_types: Vec<String> = Vec::new();
+        let mut robust_args: Vec<Option<TypeExpr>> = Vec::new();
+        let mut ret_type = String::from("void");
+        let mut error_value = None;
+        let mut errno_v = healers_os::errno::EINVAL;
+        let mut class = ErrCodeClass::NoErrorReturnCodeFound;
+        let mut attribute = FunctionAttribute::Unsafe;
+        let mut variadic = false;
+
+        for line in lines.by_ref() {
+            let line = line.trim();
+            if line == "</function>" {
+                break;
+            }
+            if let Some(v) = inner(line, "name") {
+                name = v.to_string();
+            } else if let Some(v) = inner(line, "version") {
+                version = v.to_string();
+            } else if let Some(rest) = line.strip_prefix("<argument>") {
+                arg_types.push(rest.to_string());
+                robust_args.push(None);
+            } else if let Some(v) = inner(line, "robust_type") {
+                // Only meaningful inside an <argument>; stray ones are
+                // ignored, like unknown elements.
+                if let Some(last) = robust_args.last_mut() {
+                    let t = TypeExpr::parse_notation(v)
+                        .ok_or_else(|| format!("{name}: bad robust type {v:?}"))?;
+                    *last = (t != TypeExpr::Unconstrained).then_some(t);
+                }
+            } else if line == "<variadic/>" {
+                variadic = true;
+            } else if let Some(v) = inner(line, "return_type") {
+                ret_type = v.to_string();
+            } else if let Some(v) = inner(line, "error_value") {
+                error_value =
+                    Some(parse_value(v).ok_or_else(|| format!("{name}: bad value {v:?}"))?);
+            } else if let Some(v) = inner(line, "errno") {
+                errno_v = errno_value(v).ok_or_else(|| format!("{name}: bad errno {v:?}"))?;
+            } else if let Some(v) = inner(line, "errcode_class") {
+                class = parse_class(v).ok_or_else(|| format!("{name}: bad class {v:?}"))?;
+            } else if let Some(v) = inner(line, "attribute") {
+                attribute = match v {
+                    "safe" => FunctionAttribute::Safe,
+                    "unsafe" => FunctionAttribute::Unsafe,
+                    other => return Err(format!("{name}: bad attribute {other:?}")),
+                };
+            }
+        }
+
+        // Reconstruct the prototype by parsing a synthetic declaration.
+        let params = if arg_types.is_empty() {
+            "void".to_string()
+        } else {
+            arg_types.join(", ")
+        };
+        let ellipsis = if variadic { ", ..." } else { "" };
+        let synthetic = format!("extern {ret_type} {name}({params}{ellipsis});");
+        let proto = healers_ctypes::parse_prototype(&synthetic)
+            .map_err(|e| format!("{name}: cannot reconstruct prototype: {e}"))?;
+
+        decls.push(FunctionDecl {
+            name,
+            version,
+            proto,
+            robust_args,
+            error_value,
+            errno_value: errno_v,
+            errcode_class: class,
+            attribute,
+        });
+    }
+    Ok(decls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decl::analyze;
+    use healers_libc::Libc;
+
+    #[test]
+    fn asctime_xml_matches_figure_2_shape() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["asctime"]);
+        let xml = decls_to_xml(&decls);
+        assert!(xml.contains("<name>asctime</name>"));
+        assert!(xml.contains("<argument>const struct tm*"));
+        assert!(xml.contains("<robust_type>R_ARRAY_NULL[44]</robust_type>"));
+        assert!(xml.contains("<return_type>char*</return_type>"));
+        assert!(xml.contains("<error_value>NULL</error_value>"));
+        assert!(xml.contains("<errno>EINVAL</errno>"));
+        assert!(xml.contains("<attribute>unsafe</attribute>"));
+    }
+
+    #[test]
+    fn xml_roundtrip_preserves_declarations() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["asctime", "strcpy", "fseek", "rewind", "abs"]);
+        let xml = decls_to_xml(&decls);
+        let back = decls_from_xml(&xml).unwrap();
+        assert_eq!(back.len(), decls.len());
+        for (a, b) in decls.iter().zip(&back) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.robust_args, b.robust_args, "{}", a.name);
+            assert_eq!(a.error_value, b.error_value, "{}", a.name);
+            assert_eq!(a.errno_value, b.errno_value, "{}", a.name);
+            assert_eq!(a.errcode_class, b.errcode_class, "{}", a.name);
+            assert_eq!(a.attribute, b.attribute, "{}", a.name);
+            assert_eq!(a.proto.params.len(), b.proto.params.len(), "{}", a.name);
+            assert_eq!(a.proto.ret, b.proto.ret, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn variadic_flag_roundtrips() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["sprintf"]);
+        let xml = decls_to_xml(&decls);
+        assert!(xml.contains("<variadic/>"));
+        let back = decls_from_xml(&xml).unwrap();
+        assert!(back[0].proto.variadic);
+    }
+
+    #[test]
+    fn malformed_xml_is_rejected() {
+        let bad = "<function>\n<name>f</name>\n<robust_type>NOT_A_TYPE</robust_type>\n</function>";
+        // robust_type outside an <argument> is ignored; a bad one inside
+        // is an error.
+        let bad2 = "<function>\n<name>f</name>\n<argument>int\n<robust_type>NOT_A_TYPE</robust_type>\n</argument>\n</function>";
+        assert!(decls_from_xml(bad).is_ok());
+        assert!(decls_from_xml(bad2).is_err());
+    }
+
+    #[test]
+    fn errno_names_roundtrip() {
+        for e in [1, 2, 9, 22, 25, 34, 1234] {
+            assert_eq!(errno_value(&errno_name(e)), Some(e));
+        }
+    }
+}

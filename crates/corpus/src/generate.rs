@@ -1,0 +1,324 @@
+//! Corpus generation: a glibc-2.2-scale symbol population with the
+//! paper's measured documentation imperfections.
+//!
+//! The generator is deterministic for a given seed. The real library's
+//! functions ([`healers_libc::decls::DECLS`]) are always present and
+//! always declared in their canonical headers; a configurable filler
+//! population scales the corpus up to the ~1500-symbol regime where the
+//! paper's percentages are meaningful.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use healers_ctypes::FunctionPrototype;
+
+use crate::headers::HeaderCorpus;
+use crate::manpages::{ManCorpus, ManPage};
+use crate::symbols::{Symbol, SymbolTable};
+
+/// Tuning knobs for corpus generation, defaulting to the paper's
+/// measured rates for glibc 2.2 on SUSE 7.2 Professional.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// RNG seed (determinism).
+    pub seed: u64,
+    /// Number of synthetic external functions in addition to the real
+    /// library.
+    pub filler_externals: usize,
+    /// Target fraction of symbols that are internal (paper: > 34 %).
+    pub internal_fraction: f64,
+    /// Fraction of external functions with a manual page (51.1 %).
+    pub manpage_coverage: f64,
+    /// Fraction of manual pages that list no headers (1.2 %).
+    pub manpage_no_headers: f64,
+    /// Fraction of manual pages that list the wrong headers (7.7 %).
+    pub manpage_wrong_headers: f64,
+    /// Fraction of external functions whose prototype appears in no
+    /// header at all (paper finds prototypes for 96.0 %).
+    pub headerless: f64,
+    /// Fraction of filler functions declared in a non-canonical header
+    /// (prototype scattering).
+    pub scattered: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            seed: 2002,
+            filler_externals: 900,
+            internal_fraction: 0.345,
+            manpage_coverage: 0.511,
+            manpage_no_headers: 0.012,
+            manpage_wrong_headers: 0.077,
+            headerless: 0.040,
+            scattered: 0.15,
+        }
+    }
+}
+
+/// Everything the extraction pipeline consumes, plus the ground truth
+/// the tests validate against.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// The `objdump`-visible symbol table.
+    pub symbols: SymbolTable,
+    /// `/usr/include` contents.
+    pub headers: HeaderCorpus,
+    /// The installed manual.
+    pub manpages: ManCorpus,
+    /// Ground truth: name → the prototype the library was built from
+    /// (`None` for functions deliberately left out of every header).
+    pub truth: BTreeMap<String, Option<FunctionPrototype>>,
+}
+
+const FILLER_HEADERS: &[&str] = &[
+    "math.h",
+    "locale.h",
+    "signal.h",
+    "setjmp.h",
+    "wchar.h",
+    "netdb.h",
+    "pwd.h",
+    "grp.h",
+    "rpc/xdr.h",
+    "sys/socket.h",
+    "sys/resource.h",
+    "regex.h",
+];
+
+const FILLER_TYPES: &[&str] = &[
+    "int",
+    "unsigned int",
+    "long",
+    "double",
+    "char *",
+    "const char *",
+    "void *",
+    "const void *",
+];
+
+const FILLER_STEMS: &[&str] = &[
+    "xdr", "svc", "clnt", "key", "re", "rt", "ns", "if", "in", "arg", "env", "grp", "pwd", "hst",
+];
+
+impl CorpusConfig {
+    /// Generate the corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the real library's declaration table fails to parse —
+    /// a build-time inconsistency.
+    pub fn generate(&self) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut headers = HeaderCorpus::default();
+        let mut manpages = ManCorpus::default();
+        let mut truth = BTreeMap::new();
+        let mut symbols = Vec::new();
+        let mut addr = 0x0001_0000u32;
+        let mut next_addr = |rng: &mut StdRng| {
+            addr += rng.random_range(0x40..0x400) & !0xf;
+            addr
+        };
+
+        // ---- the real library ------------------------------------------
+        for (name, header, decl) in healers_libc::decls::DECLS {
+            let proto = healers_ctypes::parse_prototype(decl)
+                .unwrap_or_else(|e| panic!("bad decl for {name}: {e}"));
+            headers.append(header, &format!("{decl}\n"));
+            truth.insert((*name).to_string(), Some(proto.clone()));
+            symbols.push(Symbol {
+                name: (*name).to_string(),
+                version: "GLIBC_2.2".to_string(),
+                address: next_addr(&mut rng),
+            });
+            // Manual page buckets.
+            if rng.random_bool(self.manpage_coverage) {
+                let proto_text = format!("{proto};");
+                let page = if rng.random_bool(self.manpage_no_headers) {
+                    ManPage::render(name, &[], &proto_text, "is a C library function")
+                } else if rng.random_bool(self.manpage_wrong_headers) {
+                    let wrong = FILLER_HEADERS[rng.random_range(0..FILLER_HEADERS.len())];
+                    ManPage::render(name, &[wrong], &proto_text, "is a C library function")
+                } else {
+                    ManPage::render(name, &[header], &proto_text, "is a C library function")
+                };
+                manpages.install(page);
+            }
+        }
+
+        // ---- filler externals -------------------------------------------
+        for i in 0..self.filler_externals {
+            let stem = FILLER_STEMS[rng.random_range(0..FILLER_STEMS.len())];
+            let name = format!("{stem}_fn{i}");
+            let ret = FILLER_TYPES[rng.random_range(0..FILLER_TYPES.len())];
+            let nparams = rng.random_range(0..=4usize);
+            let params: Vec<String> = (0..nparams)
+                .map(|j| {
+                    let t = FILLER_TYPES[rng.random_range(0..FILLER_TYPES.len())];
+                    format!("{t} a{j}")
+                })
+                .collect();
+            let params_text = if params.is_empty() {
+                "void".to_string()
+            } else {
+                params.join(", ")
+            };
+            let decl = format!("extern {ret} {name}({params_text});");
+            let proto = healers_ctypes::parse_prototype(&decl)
+                .unwrap_or_else(|e| panic!("bad filler decl {decl}: {e}"));
+
+            let canonical = FILLER_HEADERS[rng.random_range(0..FILLER_HEADERS.len())];
+            let headerless = rng.random_bool(self.headerless);
+            // Scattered functions are declared away from their canonical
+            // header; their man pages still point at the right place (the
+            // "wrong headers" bucket is sampled separately below).
+            let mut declared_in = canonical;
+            if headerless {
+                truth.insert(name.clone(), None);
+            } else {
+                if rng.random_bool(self.scattered) {
+                    declared_in = FILLER_HEADERS[rng.random_range(0..FILLER_HEADERS.len())];
+                }
+                headers.append(declared_in, &format!("{decl}\n"));
+                truth.insert(name.clone(), Some(proto.clone()));
+            }
+            symbols.push(Symbol {
+                name: name.clone(),
+                version: "GLIBC_2.2".to_string(),
+                address: next_addr(&mut rng),
+            });
+            if rng.random_bool(self.manpage_coverage) {
+                let proto_text = format!("{proto};");
+                let page = if rng.random_bool(self.manpage_no_headers) {
+                    ManPage::render(&name, &[], &proto_text, "is an internal-ish helper")
+                } else if headerless || rng.random_bool(self.manpage_wrong_headers) {
+                    // Headerless functions' pages necessarily point at
+                    // headers that do not declare them. For the sampled
+                    // wrong-headers bucket, pick any header other than
+                    // the declaring one.
+                    let wrong = FILLER_HEADERS
+                        .iter()
+                        .cycle()
+                        .skip(rng.random_range(0..FILLER_HEADERS.len()))
+                        .find(|h| **h != declared_in)
+                        .unwrap();
+                    ManPage::render(&name, &[wrong], &proto_text, "is an internal-ish helper")
+                } else {
+                    ManPage::render(&name, &[declared_in], &proto_text, "is an internal-ish helper")
+                };
+                manpages.install(page);
+            }
+        }
+
+        // ---- internal symbols -------------------------------------------
+        let externals = symbols.len();
+        let internals_needed = (self.internal_fraction / (1.0 - self.internal_fraction)
+            * externals as f64)
+            .round() as usize;
+        for (i, base) in (0..internals_needed)
+            .zip(healers_libc::decls::INTERNAL_SYMBOLS.iter().cycle())
+        {
+            let name = if i < healers_libc::decls::INTERNAL_SYMBOLS.len() {
+                (*base).to_string()
+            } else {
+                format!("{base}_{i}")
+            };
+            symbols.push(Symbol {
+                name,
+                version: "GLIBC_2.2".to_string(),
+                address: next_addr(&mut rng),
+            });
+        }
+
+        // Give the headers some realistic noise: comments, macros,
+        // struct definitions, include guards.
+        let paths: Vec<String> = headers.files.keys().cloned().collect();
+        for path in paths {
+            let body = headers.files.remove(&path).unwrap();
+            let guard = path.to_uppercase().replace(['.', '/'], "_");
+            headers.files.insert(
+                path,
+                format!(
+                    "/* Simulated SUSE 7.2 header */\n#ifndef _{guard}\n#define _{guard} 1\n\
+                     #include <features.h>\n\n{body}\n#endif\n"
+                ),
+            );
+        }
+        headers.append(
+            "features.h",
+            "/* feature test macros */\n#define __USE_POSIX 1\n",
+        );
+
+        Corpus {
+            symbols: SymbolTable { symbols },
+            headers,
+            manpages,
+            truth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CorpusConfig::default().generate();
+        let b = CorpusConfig::default().generate();
+        assert_eq!(a.symbols.symbols, b.symbols.symbols);
+        assert_eq!(a.headers.files, b.headers.files);
+    }
+
+    #[test]
+    fn internal_fraction_matches_target() {
+        let c = CorpusConfig::default().generate();
+        let frac = c.symbols.internal_fraction();
+        assert!((frac - 0.345).abs() < 0.01, "internal fraction {frac}");
+    }
+
+    #[test]
+    fn real_functions_are_always_declared() {
+        let c = CorpusConfig::default().generate();
+        for (name, _, _) in healers_libc::decls::DECLS {
+            assert!(
+                c.headers.scan_all(name).is_some(),
+                "{name} missing from headers"
+            );
+        }
+    }
+
+    #[test]
+    fn manpage_coverage_near_target() {
+        let c = CorpusConfig::default().generate();
+        let externals = c.symbols.external().count();
+        let paged = c
+            .symbols
+            .external()
+            .filter(|s| c.manpages.page(&s.name).is_some())
+            .count();
+        let frac = paged as f64 / externals as f64;
+        assert!((frac - 0.511).abs() < 0.06, "coverage {frac}");
+    }
+
+    #[test]
+    fn some_functions_are_headerless() {
+        let c = CorpusConfig::default().generate();
+        let missing = c.truth.values().filter(|t| t.is_none()).count();
+        assert!(missing > 0);
+        let frac = missing as f64 / c.truth.len() as f64;
+        assert!(frac < 0.08, "headerless fraction too high: {frac}");
+    }
+
+    #[test]
+    fn smaller_corpus_is_fast_and_valid() {
+        let c = CorpusConfig {
+            filler_externals: 50,
+            ..Default::default()
+        }
+        .generate();
+        assert!(c.symbols.symbols.len() > 150);
+    }
+}

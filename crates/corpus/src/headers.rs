@@ -1,0 +1,151 @@
+//! Header files: a corpus of C headers and the scanner over them.
+
+use std::collections::BTreeMap;
+
+use healers_ctypes::{parse_declarations, FunctionPrototype};
+
+/// A set of header files under a simulated include path.
+#[derive(Debug, Clone, Default)]
+pub struct HeaderCorpus {
+    /// Path (relative to the include root, e.g. `string.h` or
+    /// `sys/stat.h`) → file contents.
+    pub files: BTreeMap<String, String>,
+}
+
+impl HeaderCorpus {
+    /// Add (or extend) a header file.
+    pub fn append(&mut self, path: &str, text: &str) {
+        self.files
+            .entry(path.to_string())
+            .or_default()
+            .push_str(text);
+    }
+
+    /// Parse one header (following one level of `#include "…"`-style
+    /// references into the same corpus, as real headers spread
+    /// definitions across files).
+    pub fn declarations_in(&self, path: &str) -> Vec<FunctionPrototype> {
+        let mut protos = Vec::new();
+        let mut visited = Vec::new();
+        self.collect(path, &mut protos, &mut visited, 0);
+        protos
+    }
+
+    fn collect(
+        &self,
+        path: &str,
+        protos: &mut Vec<FunctionPrototype>,
+        visited: &mut Vec<String>,
+        depth: usize,
+    ) {
+        if depth > 4 || visited.iter().any(|v| v == path) {
+            return;
+        }
+        visited.push(path.to_string());
+        let Some(text) = self.files.get(path) else {
+            return;
+        };
+        protos.extend(parse_declarations(text));
+        // Follow includes of corpus-local headers.
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("#include") {
+                let name: String = rest
+                    .trim()
+                    .trim_matches(['<', '>', '"'])
+                    .to_string();
+                if self.files.contains_key(&name) {
+                    self.collect(&name, protos, visited, depth + 1);
+                }
+            }
+        }
+    }
+
+    /// Look for `name`'s prototype in the given headers (the man-page
+    /// route of §3.2).
+    pub fn find_in(&self, name: &str, paths: &[String]) -> Option<FunctionPrototype> {
+        for path in paths {
+            if let Some(p) = self
+                .declarations_in(path)
+                .into_iter()
+                .find(|p| p.name == name)
+            {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Search *all* headers below the include root (the fallback route:
+    /// "we search through all header files below a given path to locate
+    /// the prototype of the function").
+    pub fn scan_all(&self, name: &str) -> Option<FunctionPrototype> {
+        for path in self.files.keys() {
+            if let Some(p) = self
+                .declarations_in(path)
+                .into_iter()
+                .find(|p| p.name == name)
+            {
+                return Some(p);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> HeaderCorpus {
+        let mut c = HeaderCorpus::default();
+        c.append(
+            "string.h",
+            "#include <stddef.h>\nextern char *strcpy(char *d, const char *s);\n",
+        );
+        c.append(
+            "stddef.h",
+            "typedef unsigned int size_t;\nextern size_t hidden_helper(const char *s);\n",
+        );
+        c.append(
+            "stdio.h",
+            "extern int puts(const char *s);\nextern int fclose(FILE *f);\n",
+        );
+        c
+    }
+
+    #[test]
+    fn find_in_named_headers() {
+        let c = corpus();
+        let p = c.find_in("strcpy", &["string.h".into()]).unwrap();
+        assert_eq!(p.params.len(), 2);
+        assert!(c.find_in("puts", &["string.h".into()]).is_none());
+    }
+
+    #[test]
+    fn includes_are_followed() {
+        let c = corpus();
+        // hidden_helper is declared in stddef.h, reachable via string.h's
+        // include line.
+        assert!(c.find_in("hidden_helper", &["string.h".into()]).is_some());
+    }
+
+    #[test]
+    fn scan_all_finds_everything() {
+        let c = corpus();
+        assert!(c.scan_all("puts").is_some());
+        assert!(c.scan_all("strcpy").is_some());
+        assert!(c.scan_all("nonexistent").is_none());
+    }
+
+    #[test]
+    fn include_cycles_terminate() {
+        let mut c = HeaderCorpus::default();
+        c.append("a.h", "#include <b.h>\nextern int fa(void);\n");
+        c.append("b.h", "#include <a.h>\nextern int fb(void);\n");
+        let protos = c.declarations_in("a.h");
+        let names: Vec<_> = protos.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"fa"));
+        assert!(names.contains(&"fb"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Manual pages: generation and SYNOPSIS parsing.
+//!
+//! "By convention, manual pages contain a list of all header files that
+//! need to be included by a program that wants to use the function"
+//! (§3.2) — the pipeline parses the SYNOPSIS section to learn which
+//! headers to consult.
+
+use std::collections::BTreeMap;
+
+/// A rendered manual page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManPage {
+    /// The function the page documents.
+    pub name: String,
+    /// Manual section (3 for library calls).
+    pub section: u8,
+    /// The full roff-less text of the page.
+    pub text: String,
+}
+
+impl ManPage {
+    /// Render a page in the classic man(3) layout.
+    pub fn render(name: &str, headers: &[&str], prototype: &str, description: &str) -> ManPage {
+        let mut text = String::new();
+        text.push_str(&format!("{}(3)\n\n", name.to_uppercase()));
+        text.push_str("NAME\n");
+        text.push_str(&format!("       {name} - {description}\n\n"));
+        text.push_str("SYNOPSIS\n");
+        for h in headers {
+            text.push_str(&format!("       #include <{h}>\n"));
+        }
+        if !headers.is_empty() {
+            text.push('\n');
+        }
+        text.push_str(&format!("       {prototype}\n\n"));
+        text.push_str("DESCRIPTION\n");
+        text.push_str(&format!("       The {name}() function {description}.\n"));
+        ManPage {
+            name: name.to_string(),
+            section: 3,
+            text,
+        }
+    }
+
+    /// Extract the headers named in the SYNOPSIS section.
+    pub fn synopsis_headers(&self) -> Vec<String> {
+        let mut in_synopsis = false;
+        let mut out = Vec::new();
+        for line in self.text.lines() {
+            let trimmed = line.trim();
+            if trimmed == "SYNOPSIS" {
+                in_synopsis = true;
+                continue;
+            }
+            if in_synopsis {
+                if trimmed
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_uppercase())
+                    .unwrap_or(false)
+                    && trimmed == trimmed.to_uppercase()
+                    && !trimmed.starts_with('#')
+                    && !trimmed.is_empty()
+                {
+                    break; // next section heading
+                }
+                if let Some(rest) = trimmed.strip_prefix("#include") {
+                    out.push(rest.trim().trim_matches(['<', '>', '"']).to_string());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The installed manual corpus: function name → page.
+#[derive(Debug, Clone, Default)]
+pub struct ManCorpus {
+    /// Pages by function name.
+    pub pages: BTreeMap<String, ManPage>,
+}
+
+impl ManCorpus {
+    /// Look up the page for a function (`man 3 name`).
+    pub fn page(&self, name: &str) -> Option<&ManPage> {
+        self.pages.get(name)
+    }
+
+    /// Install a page.
+    pub fn install(&mut self, page: ManPage) {
+        self.pages.insert(page.name.clone(), page);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_parse_synopsis() {
+        let page = ManPage::render(
+            "fread",
+            &["stdio.h"],
+            "size_t fread(void *ptr, size_t size, size_t nmemb, FILE *stream);",
+            "reads data from a stream",
+        );
+        assert_eq!(page.synopsis_headers(), vec!["stdio.h"]);
+        assert!(page.text.contains("FREAD(3)"));
+    }
+
+    #[test]
+    fn multiple_headers() {
+        let page = ManPage::render(
+            "stat",
+            &["sys/types.h", "sys/stat.h", "unistd.h"],
+            "int stat(const char *path, struct stat *buf);",
+            "gets file status",
+        );
+        assert_eq!(
+            page.synopsis_headers(),
+            vec!["sys/types.h", "sys/stat.h", "unistd.h"]
+        );
+    }
+
+    #[test]
+    fn page_without_headers() {
+        // 1.2% of real pages list no headers at all (§3.2).
+        let page = ManPage::render("mystery", &[], "int mystery(int x);", "does things");
+        assert!(page.synopsis_headers().is_empty());
+    }
+
+    #[test]
+    fn synopsis_parsing_stops_at_next_section() {
+        let page = ManPage::render("x", &["a.h"], "int x(void);", "mentions #include <fake.h> in prose");
+        // The DESCRIPTION mention must not be picked up.
+        assert_eq!(page.synopsis_headers(), vec!["a.h"]);
+    }
+
+    #[test]
+    fn corpus_lookup() {
+        let mut c = ManCorpus::default();
+        assert!(c.page("strcpy").is_none());
+        c.install(ManPage::render("strcpy", &["string.h"], "char *strcpy(char *, const char *);", "copies strings"));
+        assert!(c.page("strcpy").is_some());
+    }
+}

@@ -1,0 +1,49 @@
+//! Property test: the recovery statistics track the corpus generator's
+//! configured imperfection rates — for *any* plausible configuration,
+//! not just the paper's.
+
+use proptest::prelude::*;
+
+use healers_corpus::{generate::CorpusConfig, pipeline::recover_all};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn statistics_track_the_configuration(
+        seed in 0u64..1000,
+        coverage in 0.2f64..0.9,
+        headerless in 0.0f64..0.10,
+    ) {
+        let config = CorpusConfig {
+            seed,
+            filler_externals: 400,
+            manpage_coverage: coverage,
+            headerless,
+            ..CorpusConfig::default()
+        };
+        let corpus = config.generate();
+        let report = recover_all(&corpus);
+
+        // Coverage tracks the configured rate (±8 points of sampling
+        // noise at this population size).
+        prop_assert!((report.manpage_coverage() - coverage).abs() < 0.08,
+            "coverage {} vs configured {}", report.manpage_coverage(), coverage);
+
+        // Found-fraction complements the headerless rate: only filler
+        // functions can be headerless, and everything declared anywhere
+        // is found.
+        let fillers = 400.0;
+        let externals = report.externals() as f64;
+        let max_missing = headerless * fillers / externals + 0.05;
+        prop_assert!(1.0 - report.found_fraction() <= max_missing,
+            "missing {} vs bound {}", 1.0 - report.found_fraction(), max_missing);
+
+        // Ground truth is always respected.
+        for r in report.iter() {
+            if let (Some(found), Some(Some(truth))) = (&r.prototype, corpus.truth.get(&r.name)) {
+                prop_assert_eq!(found, truth);
+            }
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! Data layout of the simulated target machine.
+//!
+//! The paper's experiments ran on 32-bit SUSE Linux 7.2 with glibc 2.2. We
+//! therefore model an ILP32 target: `int` and `long` are 4 bytes and
+//! pointers are 4 bytes. This matters for reproducing concrete numbers —
+//! most prominently the robust argument type of `asctime`, which the paper
+//! reports as `R_ARRAY_NULL[44]` because `struct tm` occupies 44 bytes on
+//! that machine (9 × `int` + `long tm_gmtoff` + `const char *tm_zone`).
+
+use std::collections::BTreeMap;
+
+use crate::types::{CType, Primitive, TagKind};
+
+/// A field of a known struct layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldLayout {
+    /// Field name.
+    pub name: String,
+    /// Byte offset from the start of the struct.
+    pub offset: u32,
+    /// Field type.
+    pub ty: CType,
+}
+
+/// Size/alignment (and, where modeled, fields) of a named struct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructLayout {
+    /// Struct tag or typedef name.
+    pub name: String,
+    /// Total size in bytes.
+    pub size: u32,
+    /// Required alignment in bytes.
+    pub align: u32,
+    /// Known fields (may be empty for opaque types).
+    pub fields: Vec<FieldLayout>,
+}
+
+impl StructLayout {
+    /// Look up a field's byte offset by name.
+    pub fn offset_of(&self, field: &str) -> Option<u32> {
+        self.fields.iter().find(|f| f.name == field).map(|f| f.offset)
+    }
+}
+
+/// The ILP32 target layout: primitive sizes plus a registry of the struct
+/// layouts the simulated C library uses.
+#[derive(Debug, Clone)]
+pub struct TargetLayout {
+    structs: BTreeMap<String, StructLayout>,
+}
+
+/// Size of a pointer on the target, in bytes.
+pub const PTR_SIZE: u32 = 4;
+
+impl TargetLayout {
+    /// The layout registry pre-populated with every struct the simulated
+    /// glibc-2.2-alike defines (`struct tm`, `FILE`, `DIR`, `struct
+    /// termios`, `struct stat`, …).
+    pub fn new() -> Self {
+        let mut structs = BTreeMap::new();
+        for layout in builtin_structs() {
+            structs.insert(layout.name.clone(), layout);
+        }
+        TargetLayout { structs }
+    }
+
+    /// Size in bytes of a primitive type. `void` reports size 1 (as GNU C
+    /// does for pointer arithmetic purposes).
+    pub fn primitive_size(&self, p: Primitive) -> u32 {
+        match p {
+            Primitive::Void => 1,
+            Primitive::Char | Primitive::SChar | Primitive::UChar => 1,
+            Primitive::Short | Primitive::UShort => 2,
+            Primitive::Int | Primitive::UInt => 4,
+            Primitive::Long | Primitive::ULong => 4,
+            Primitive::LongLong | Primitive::ULongLong => 8,
+            Primitive::Float => 4,
+            Primitive::Double => 8,
+            Primitive::LongDouble => 12,
+        }
+    }
+
+    /// Size in bytes of an arbitrary type, if known.
+    pub fn size_of(&self, ty: &CType) -> Option<u32> {
+        match ty {
+            CType::Primitive(p) => Some(self.primitive_size(*p)),
+            CType::Pointer { .. } | CType::Function { .. } => Some(PTR_SIZE),
+            CType::Tagged { kind, tag } => match kind {
+                TagKind::Enum => Some(4),
+                _ => self.structs.get(tag).map(|s| s.size),
+            },
+            CType::Named(name) => self.structs.get(name).map(|s| s.size),
+            CType::Array { elem, len } => {
+                let elem_size = self.size_of(elem)?;
+                len.map(|l| elem_size * l)
+            }
+        }
+    }
+
+    /// Alignment in bytes of a type, if known.
+    pub fn align_of(&self, ty: &CType) -> Option<u32> {
+        match ty {
+            CType::Primitive(p) => Some(self.primitive_size(*p).min(4)),
+            CType::Pointer { .. } | CType::Function { .. } => Some(PTR_SIZE),
+            CType::Tagged { kind, tag } => match kind {
+                TagKind::Enum => Some(4),
+                _ => self.structs.get(tag).map(|s| s.align),
+            },
+            CType::Named(name) => self.structs.get(name).map(|s| s.align),
+            CType::Array { elem, .. } => self.align_of(elem),
+        }
+    }
+
+    /// Look up a struct layout by tag or typedef name.
+    pub fn struct_layout(&self, name: &str) -> Option<&StructLayout> {
+        self.structs.get(name)
+    }
+
+    /// Register (or replace) a struct layout. Returns the previous layout
+    /// if one existed.
+    pub fn register_struct(&mut self, layout: StructLayout) -> Option<StructLayout> {
+        self.structs.insert(layout.name.clone(), layout)
+    }
+
+    /// Iterate over all registered struct layouts.
+    pub fn structs(&self) -> impl Iterator<Item = &StructLayout> {
+        self.structs.values()
+    }
+}
+
+impl Default for TargetLayout {
+    fn default() -> Self {
+        TargetLayout::new()
+    }
+}
+
+fn int_field(name: &str, offset: u32) -> FieldLayout {
+    FieldLayout {
+        name: name.to_string(),
+        offset,
+        ty: CType::int(),
+    }
+}
+
+#[allow(clippy::vec_init_then_push)]
+fn builtin_structs() -> Vec<StructLayout> {
+    let mut v = Vec::new();
+
+    // struct tm: 9 ints + long tm_gmtoff + const char *tm_zone = 44 bytes
+    // on ILP32 — the exact figure the paper reports for asctime.
+    v.push(StructLayout {
+        name: "tm".to_string(),
+        size: 44,
+        align: 4,
+        fields: vec![
+            int_field("tm_sec", 0),
+            int_field("tm_min", 4),
+            int_field("tm_hour", 8),
+            int_field("tm_mday", 12),
+            int_field("tm_mon", 16),
+            int_field("tm_year", 20),
+            int_field("tm_wday", 24),
+            int_field("tm_yday", 28),
+            int_field("tm_isdst", 32),
+            FieldLayout {
+                name: "tm_gmtoff".to_string(),
+                offset: 36,
+                ty: CType::Primitive(Primitive::Long),
+            },
+            FieldLayout {
+                name: "tm_zone".to_string(),
+                offset: 40,
+                ty: CType::const_ptr(CType::char_()),
+            },
+        ],
+    });
+
+    // FILE (struct _IO_FILE): modeled after glibc 2.2's 32-bit stream
+    // object, 148 bytes. Only the fields the simulated library and the
+    // wrapper's checks actually read are laid out.
+    v.push(StructLayout {
+        name: "FILE".to_string(),
+        size: 148,
+        align: 4,
+        fields: vec![
+            int_field("_flags", 0),
+            FieldLayout {
+                name: "_IO_read_ptr".to_string(),
+                offset: 4,
+                ty: CType::ptr(CType::char_()),
+            },
+            FieldLayout {
+                name: "_IO_buf_base".to_string(),
+                offset: 8,
+                ty: CType::ptr(CType::char_()),
+            },
+            FieldLayout {
+                name: "_IO_buf_end".to_string(),
+                offset: 12,
+                ty: CType::ptr(CType::char_()),
+            },
+            int_field("_ungetc", 16),
+            int_field("_offset", 20),
+            int_field("_eof", 24),
+            int_field("_error", 28),
+            int_field("_fileno", 56),
+            int_field("_mode", 60),
+        ],
+    });
+
+    // DIR: deliberately content-opaque (the paper stresses that POSIX
+    // defines no way to validate a DIR*, which is why the wrapper must
+    // track directory pointers statefully).
+    v.push(StructLayout {
+        name: "DIR".to_string(),
+        size: 32,
+        align: 4,
+        fields: vec![
+            int_field("__dd_fd", 0),
+            int_field("__dd_loc", 4),
+            int_field("__dd_size", 8),
+            FieldLayout {
+                name: "__dd_buf".to_string(),
+                offset: 12,
+                ty: CType::ptr(CType::char_()),
+            },
+        ],
+    });
+
+    // struct dirent: d_ino + d_off + d_reclen + d_type + d_name[256].
+    v.push(StructLayout {
+        name: "dirent".to_string(),
+        size: 268,
+        align: 4,
+        fields: vec![
+            FieldLayout {
+                name: "d_ino".to_string(),
+                offset: 0,
+                ty: CType::Primitive(Primitive::ULong),
+            },
+            FieldLayout {
+                name: "d_off".to_string(),
+                offset: 4,
+                ty: CType::Primitive(Primitive::Long),
+            },
+            FieldLayout {
+                name: "d_reclen".to_string(),
+                offset: 8,
+                ty: CType::Primitive(Primitive::UShort),
+            },
+            FieldLayout {
+                name: "d_type".to_string(),
+                offset: 10,
+                ty: CType::Primitive(Primitive::UChar),
+            },
+            FieldLayout {
+                name: "d_name".to_string(),
+                offset: 11,
+                ty: CType::Array {
+                    elem: Box::new(CType::char_()),
+                    len: Some(256),
+                },
+            },
+        ],
+    });
+
+    // struct termios: c_iflag/c_oflag/c_cflag/c_lflag (4×4) + c_line (1) +
+    // c_cc[32] + pad + c_ispeed + c_ospeed = 60 bytes, as in glibc 2.2.
+    v.push(StructLayout {
+        name: "termios".to_string(),
+        size: 60,
+        align: 4,
+        fields: vec![
+            FieldLayout {
+                name: "c_iflag".to_string(),
+                offset: 0,
+                ty: CType::Primitive(Primitive::UInt),
+            },
+            FieldLayout {
+                name: "c_oflag".to_string(),
+                offset: 4,
+                ty: CType::Primitive(Primitive::UInt),
+            },
+            FieldLayout {
+                name: "c_cflag".to_string(),
+                offset: 8,
+                ty: CType::Primitive(Primitive::UInt),
+            },
+            FieldLayout {
+                name: "c_lflag".to_string(),
+                offset: 12,
+                ty: CType::Primitive(Primitive::UInt),
+            },
+            FieldLayout {
+                name: "c_line".to_string(),
+                offset: 16,
+                ty: CType::Primitive(Primitive::UChar),
+            },
+            FieldLayout {
+                name: "c_cc".to_string(),
+                offset: 17,
+                ty: CType::Array {
+                    elem: Box::new(CType::Primitive(Primitive::UChar)),
+                    len: Some(32),
+                },
+            },
+            FieldLayout {
+                name: "c_ispeed".to_string(),
+                offset: 52,
+                ty: CType::Primitive(Primitive::UInt),
+            },
+            FieldLayout {
+                name: "c_ospeed".to_string(),
+                offset: 56,
+                ty: CType::Primitive(Primitive::UInt),
+            },
+        ],
+    });
+
+    // struct stat (32-bit glibc flavor, 88 bytes).
+    v.push(StructLayout {
+        name: "stat".to_string(),
+        size: 88,
+        align: 4,
+        fields: vec![
+            FieldLayout {
+                name: "st_dev".to_string(),
+                offset: 0,
+                ty: CType::Primitive(Primitive::ULong),
+            },
+            FieldLayout {
+                name: "st_ino".to_string(),
+                offset: 4,
+                ty: CType::Primitive(Primitive::ULong),
+            },
+            FieldLayout {
+                name: "st_mode".to_string(),
+                offset: 8,
+                ty: CType::Primitive(Primitive::UInt),
+            },
+            FieldLayout {
+                name: "st_nlink".to_string(),
+                offset: 12,
+                ty: CType::Primitive(Primitive::UInt),
+            },
+            FieldLayout {
+                name: "st_uid".to_string(),
+                offset: 16,
+                ty: CType::Primitive(Primitive::UInt),
+            },
+            FieldLayout {
+                name: "st_gid".to_string(),
+                offset: 20,
+                ty: CType::Primitive(Primitive::UInt),
+            },
+            FieldLayout {
+                name: "st_size".to_string(),
+                offset: 24,
+                ty: CType::Primitive(Primitive::Long),
+            },
+            FieldLayout {
+                name: "st_atime".to_string(),
+                offset: 28,
+                ty: CType::Primitive(Primitive::Long),
+            },
+            FieldLayout {
+                name: "st_mtime".to_string(),
+                offset: 32,
+                ty: CType::Primitive(Primitive::Long),
+            },
+            FieldLayout {
+                name: "st_ctime".to_string(),
+                offset: 36,
+                ty: CType::Primitive(Primitive::Long),
+            },
+        ],
+    });
+
+    // div_t / ldiv_t: quotient + remainder.
+    for name in ["div_t", "ldiv_t"] {
+        v.push(StructLayout {
+            name: name.to_string(),
+            size: 8,
+            align: 4,
+            fields: vec![int_field("quot", 0), int_field("rem", 4)],
+        });
+    }
+
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tm_is_44_bytes_like_the_paper() {
+        let layout = TargetLayout::new();
+        let tm = layout.struct_layout("tm").unwrap();
+        assert_eq!(tm.size, 44);
+        assert_eq!(tm.offset_of("tm_zone"), Some(40));
+    }
+
+    #[test]
+    fn ilp32_primitive_sizes() {
+        let layout = TargetLayout::new();
+        assert_eq!(layout.primitive_size(Primitive::Int), 4);
+        assert_eq!(layout.primitive_size(Primitive::Long), 4);
+        assert_eq!(layout.primitive_size(Primitive::LongLong), 8);
+        assert_eq!(layout.size_of(&CType::ptr(CType::void())), Some(4));
+    }
+
+    #[test]
+    fn sizeof_struct_by_tag_and_typedef() {
+        let layout = TargetLayout::new();
+        let tm = CType::Tagged {
+            kind: TagKind::Struct,
+            tag: "tm".into(),
+        };
+        assert_eq!(layout.size_of(&tm), Some(44));
+        assert_eq!(layout.size_of(&CType::Named("FILE".into())), Some(148));
+        assert_eq!(layout.size_of(&CType::Named("DIR".into())), Some(32));
+        assert_eq!(layout.size_of(&CType::Named("nonsense".into())), None);
+    }
+
+    #[test]
+    fn sizeof_array() {
+        let layout = TargetLayout::new();
+        let arr = CType::Array {
+            elem: Box::new(CType::int()),
+            len: Some(10),
+        };
+        assert_eq!(layout.size_of(&arr), Some(40));
+        let unsized_arr = CType::Array {
+            elem: Box::new(CType::int()),
+            len: None,
+        };
+        assert_eq!(layout.size_of(&unsized_arr), None);
+    }
+
+    #[test]
+    fn register_custom_struct() {
+        let mut layout = TargetLayout::new();
+        assert!(layout
+            .register_struct(StructLayout {
+                name: "widget".into(),
+                size: 12,
+                align: 4,
+                fields: vec![],
+            })
+            .is_none());
+        assert_eq!(layout.struct_layout("widget").unwrap().size, 12);
+    }
+
+    #[test]
+    fn termios_speed_fields() {
+        let layout = TargetLayout::new();
+        let t = layout.struct_layout("termios").unwrap();
+        assert_eq!(t.size, 60);
+        assert_eq!(t.offset_of("c_ispeed"), Some(52));
+        assert_eq!(t.offset_of("c_ospeed"), Some(56));
+    }
+}

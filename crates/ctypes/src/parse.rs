@@ -1,0 +1,835 @@
+//! A recursive-descent parser for C function declarations.
+//!
+//! The paper originally used the CINT C/C++ interpreter to extract function
+//! prototypes from header files. We implement the subset of C's declaration
+//! grammar that real libc headers use: storage classes, type qualifiers,
+//! GNU attributes (`__attribute__((...))`, `__THROW`, `__nonnull`, asm
+//! labels), multi-keyword primitive types, struct/union/enum tags, typedef
+//! names, pointer declarators, function-pointer parameters, array
+//! parameters (which decay to pointers), and variadic parameter lists.
+//!
+//! Two entry points are provided: [`parse_prototype`] parses a single
+//! declaration strictly, and [`parse_declarations`] tolerantly scans a
+//! whole header file, skipping comments, preprocessor directives, and any
+//! declaration it cannot understand — a header scanner must survive
+//! arbitrary real-world headers.
+
+use std::fmt;
+
+use crate::proto::{FunctionPrototype, Param};
+use crate::types::{CType, Primitive, TagKind};
+
+/// Error produced when a declaration cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset in the input where the failure occurred.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+    Ellipsis,
+    Number(i64),
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<(Tok, usize)>, ParseError> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.pos += 2;
+                    while self.pos + 1 < self.src.len()
+                        && !(self.src[self.pos] == b'*' && self.src[self.pos + 1] == b'/')
+                    {
+                        self.pos += 1;
+                    }
+                    self.pos = (self.pos + 2).min(self.src.len());
+                }
+                b'#' => {
+                    // Preprocessor line: skip to end of (possibly continued) line.
+                    while self.pos < self.src.len() {
+                        if self.src[self.pos] == b'\n'
+                            && self.src.get(self.pos.wrapping_sub(1)) != Some(&b'\\')
+                        {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                b'"' | b'\'' => {
+                    // String/char literal (asm labels): skip it. The
+                    // contents never matter for prototypes.
+                    let quote = c;
+                    self.pos += 1;
+                    while self.pos < self.src.len() && self.src[self.pos] != quote {
+                        if self.src[self.pos] == b'\\' {
+                            self.pos += 1;
+                        }
+                        self.pos += 1;
+                    }
+                    self.pos += 1;
+                }
+                b'.' if self.peek(1) == Some(b'.') && self.peek(2) == Some(b'.') => {
+                    out.push((Tok::Ellipsis, self.pos));
+                    self.pos += 3;
+                }
+                b'0'..=b'9' => {
+                    let start = self.pos;
+                    while self.pos < self.src.len()
+                        && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'x')
+                    {
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                    let value = if let Some(hex) = text.strip_prefix("0x") {
+                        i64::from_str_radix(hex, 16).unwrap_or(0)
+                    } else {
+                        text.trim_end_matches(['u', 'U', 'l', 'L']).parse().unwrap_or(0)
+                    };
+                    out.push((Tok::Number(value), start));
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    let start = self.pos;
+                    while self.pos < self.src.len()
+                        && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                    out.push((Tok::Ident(text.to_string()), start));
+                }
+                b'(' | b')' | b'[' | b']' | b'{' | b'}' | b',' | b';' | b'*' | b'=' | b'+'
+                | b'-' | b'<' | b'>' | b'|' | b'&' => {
+                    out.push((Tok::Punct(c as char), self.pos));
+                    self.pos += 1;
+                }
+                _ => {
+                    return Err(ParseError {
+                        message: format!("unexpected character {:?}", c as char),
+                        offset: self.pos,
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+}
+
+/// Typedef names the parser resolves to concrete types, matching the
+/// definitions of the simulated target (ILP32).
+fn resolve_typedef(name: &str) -> Option<CType> {
+    let t = match name {
+        "size_t" => CType::Primitive(Primitive::UInt),
+        "ssize_t" => CType::Primitive(Primitive::Int),
+        "ptrdiff_t" => CType::Primitive(Primitive::Int),
+        "time_t" | "clock_t" | "off_t" | "suseconds_t" => CType::Primitive(Primitive::Long),
+        "pid_t" | "wchar_t" => CType::Primitive(Primitive::Int),
+        "uid_t" | "gid_t" | "mode_t" | "dev_t" | "ino_t" | "nlink_t" | "socklen_t" => {
+            CType::Primitive(Primitive::UInt)
+        }
+        "speed_t" | "tcflag_t" => CType::Primitive(Primitive::UInt),
+        "cc_t" => CType::Primitive(Primitive::UChar),
+        "int8_t" => CType::Primitive(Primitive::SChar),
+        "uint8_t" => CType::Primitive(Primitive::UChar),
+        "int16_t" => CType::Primitive(Primitive::Short),
+        "uint16_t" => CType::Primitive(Primitive::UShort),
+        "int32_t" => CType::Primitive(Primitive::Int),
+        "uint32_t" => CType::Primitive(Primitive::UInt),
+        "int64_t" => CType::Primitive(Primitive::LongLong),
+        "uint64_t" => CType::Primitive(Primitive::ULongLong),
+        // Opaque library typedefs stay opaque (the injector keys
+        // specialized generators off these names).
+        "FILE" | "DIR" | "va_list" | "fpos_t" | "div_t" | "ldiv_t" | "sigjmp_buf"
+        | "jmp_buf" => CType::Named(name.to_string()),
+        _ => return None,
+    };
+    Some(t)
+}
+
+fn is_qualifier(word: &str) -> bool {
+    matches!(
+        word,
+        "const"
+            | "volatile"
+            | "restrict"
+            | "__restrict"
+            | "__restrict__"
+            | "__const"
+            | "inline"
+            | "__inline"
+            | "__inline__"
+            | "_Noreturn"
+    )
+}
+
+fn is_storage_class(word: &str) -> bool {
+    matches!(word, "extern" | "static" | "register" | "auto" | "__extension__")
+}
+
+fn is_attribute_intro(word: &str) -> bool {
+    matches!(
+        word,
+        "__attribute__"
+            | "__attribute"
+            | "__asm__"
+            | "__asm"
+            | "__THROW"
+            | "__THROWNL"
+            | "__wur"
+            | "__nonnull"
+            | "__REDIRECT"
+            | "__noexcept"
+    )
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    idx: usize,
+}
+
+#[derive(Debug)]
+struct BaseType {
+    ty: CType,
+    /// Whether the base itself was const-qualified (propagates to the
+    /// pointee of the first pointer level).
+    is_const: bool,
+}
+
+impl Parser {
+    fn new(toks: Vec<(Tok, usize)>) -> Self {
+        Parser { toks, idx: 0 }
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.idx)
+            .map(|t| t.1)
+            .unwrap_or_else(|| self.toks.last().map(|t| t.1 + 1).unwrap_or(0))
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self.offset(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.idx).map(|t| &t.0)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.idx).map(|t| t.0.clone());
+        if t.is_some() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(p)) {
+            self.idx += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: char) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {p:?}")))
+        }
+    }
+
+    /// Skip GNU attributes and asm labels, including their parenthesized
+    /// payloads.
+    fn skip_attributes(&mut self) {
+        while let Some(Tok::Ident(w)) = self.peek() {
+            if !is_attribute_intro(w) {
+                break;
+            }
+            self.idx += 1;
+            if self.peek() == Some(&Tok::Punct('(')) {
+                self.skip_balanced_parens();
+            }
+        }
+    }
+
+    fn skip_balanced_parens(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.bump() {
+            match t {
+                Tok::Punct('(') => depth += 1,
+                Tok::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Parse the declaration-specifier part: qualifiers, storage classes,
+    /// and the base type.
+    fn parse_base_type(&mut self) -> Result<BaseType, ParseError> {
+        let mut is_const = false;
+        let mut primitive_words: Vec<String> = Vec::new();
+        let mut ty: Option<CType> = None;
+
+        loop {
+            self.skip_attributes();
+            let Some(tok) = self.peek().cloned() else { break };
+            match tok {
+                Tok::Ident(word) => {
+                    if is_storage_class(&word) {
+                        self.idx += 1;
+                    } else if is_qualifier(&word) {
+                        if word.contains("const") {
+                            is_const = true;
+                        }
+                        self.idx += 1;
+                    } else if matches!(
+                        word.as_str(),
+                        "void"
+                            | "char"
+                            | "short"
+                            | "int"
+                            | "long"
+                            | "float"
+                            | "double"
+                            | "signed"
+                            | "unsigned"
+                    ) {
+                        if ty.is_some() {
+                            break;
+                        }
+                        primitive_words.push(word);
+                        self.idx += 1;
+                    } else if matches!(word.as_str(), "struct" | "union" | "enum") {
+                        if ty.is_some() || !primitive_words.is_empty() {
+                            break;
+                        }
+                        self.idx += 1;
+                        let tag = match self.bump() {
+                            Some(Tok::Ident(t)) => t,
+                            _ => return Err(self.err("expected tag name after struct/union/enum")),
+                        };
+                        let kind = match word.as_str() {
+                            "struct" => TagKind::Struct,
+                            "union" => TagKind::Union,
+                            _ => TagKind::Enum,
+                        };
+                        ty = Some(CType::Tagged { kind, tag });
+                    } else if let Some(resolved) = resolve_typedef(&word) {
+                        if ty.is_some() || !primitive_words.is_empty() {
+                            break;
+                        }
+                        self.idx += 1;
+                        ty = Some(resolved);
+                    } else {
+                        // Unknown identifier: either a declarator name or an
+                        // unknown typedef. If we have no type yet, treat a
+                        // trailing ALL-unknown identifier followed by
+                        // another identifier as a typedef; otherwise stop.
+                        if ty.is_none() && primitive_words.is_empty() {
+                            // Unknown typedef name, e.g. `intmax_t x`. Only
+                            // accept it as a type if another declarator
+                            // token follows.
+                            let next = self.toks.get(self.idx + 1).map(|t| &t.0);
+                            match next {
+                                Some(Tok::Ident(_)) | Some(Tok::Punct('*')) => {
+                                    self.idx += 1;
+                                    ty = Some(CType::Named(word));
+                                }
+                                _ => break,
+                            }
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        let ty = if let Some(t) = ty {
+            t
+        } else if !primitive_words.is_empty() {
+            primitive_from_words(&primitive_words).ok_or_else(|| {
+                self.err(format!("unintelligible primitive type {primitive_words:?}"))
+            })?
+        } else {
+            return Err(self.err("expected a type"));
+        };
+
+        Ok(BaseType { ty, is_const })
+    }
+
+    /// Parse a declarator: pointers, a name, function params, arrays.
+    /// Returns (name, type). Supports one level of parenthesized
+    /// function-pointer declarators.
+    fn parse_declarator(&mut self, base: CType, base_const: bool) -> Result<(Option<String>, CType), ParseError> {
+        // Pointer levels. The first level consumes base_const into its
+        // pointee constness.
+        let mut ty = base;
+        let mut next_const = base_const;
+        loop {
+            self.skip_attributes();
+            if self.eat_punct('*') {
+                ty = CType::Pointer {
+                    pointee: Box::new(ty),
+                    is_const: next_const,
+                };
+                next_const = false;
+                // Qualifiers after the star qualify the pointer itself; we
+                // don't track pointer-constness, only pointee constness.
+                while let Some(Tok::Ident(w)) = self.peek() {
+                    if is_qualifier(w) {
+                        self.idx += 1;
+                    } else {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+
+        // Function pointer declarator: (*name)(params)
+        if self.peek() == Some(&Tok::Punct('(')) {
+            let save = self.idx;
+            self.idx += 1;
+            if self.eat_punct('*') {
+                let name = match self.peek() {
+                    Some(Tok::Ident(_)) => match self.bump() {
+                        Some(Tok::Ident(n)) => Some(n),
+                        _ => unreachable!(),
+                    },
+                    _ => None,
+                };
+                self.expect_punct(')')?;
+                let (params, variadic) = self.parse_param_list()?;
+                let fnty = CType::Function {
+                    ret: Box::new(ty),
+                    params: params.into_iter().map(|p| p.ty).collect(),
+                    variadic,
+                };
+                return Ok((name, CType::ptr(fnty)));
+            }
+            self.idx = save;
+        }
+
+        let name = match self.peek() {
+            Some(Tok::Ident(w)) if !is_qualifier(w) && !is_attribute_intro(w) => {
+                match self.bump() {
+                    Some(Tok::Ident(n)) => Some(n),
+                    _ => unreachable!(),
+                }
+            }
+            _ => None,
+        };
+
+        // Array suffixes decay to pointers in parameter position; we model
+        // them as Array and let the caller decay.
+        let mut out_ty = ty;
+        while self.eat_punct('[') {
+            let len = match self.peek() {
+                Some(Tok::Number(n)) => {
+                    let n = *n;
+                    self.idx += 1;
+                    Some(n as u32)
+                }
+                _ => None,
+            };
+            self.expect_punct(']')?;
+            out_ty = CType::Array {
+                elem: Box::new(out_ty),
+                len,
+            };
+        }
+
+        Ok((name, out_ty))
+    }
+
+    fn parse_param_list(&mut self) -> Result<(Vec<Param>, bool), ParseError> {
+        self.expect_punct('(')?;
+        let mut params = Vec::new();
+        let mut variadic = false;
+
+        if self.eat_punct(')') {
+            return Ok((params, variadic));
+        }
+        // Special case: (void)
+        if let Some(Tok::Ident(w)) = self.peek() {
+            if w == "void" && self.toks.get(self.idx + 1).map(|t| &t.0) == Some(&Tok::Punct(')')) {
+                self.idx += 2;
+                return Ok((params, variadic));
+            }
+        }
+
+        loop {
+            if self.peek() == Some(&Tok::Ellipsis) {
+                self.idx += 1;
+                variadic = true;
+                break;
+            }
+            let base = self.parse_base_type()?;
+            let (name, ty) = self.parse_declarator(base.ty, base.is_const)?;
+            // Arrays in parameter position decay to pointers.
+            let ty = match ty {
+                CType::Array { elem, .. } => CType::Pointer {
+                    pointee: elem,
+                    is_const: false,
+                },
+                other => other,
+            };
+            self.skip_attributes();
+            params.push(Param { name, ty });
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+        self.expect_punct(')')?;
+        Ok((params, variadic))
+    }
+
+    /// Parse one complete function declaration ending in `;`.
+    fn parse_function_decl(&mut self) -> Result<FunctionPrototype, ParseError> {
+        let base = self.parse_base_type()?;
+        let (name, ret) = self.parse_declarator(base.ty, base.is_const)?;
+        let name = name.ok_or_else(|| self.err("declaration has no name"))?;
+        let (params, variadic) = self.parse_param_list()?;
+        self.skip_attributes();
+        // Optional asm label / attribute already skipped; expect `;`.
+        if !self.eat_punct(';') {
+            // Tolerate missing semicolon at end of input.
+            if self.peek().is_some() {
+                return Err(self.err("expected ';' after declaration"));
+            }
+        }
+        Ok(FunctionPrototype {
+            name,
+            ret,
+            params,
+            variadic,
+        })
+    }
+}
+
+fn primitive_from_words(words: &[String]) -> Option<CType> {
+    let mut unsigned = false;
+    let mut signed = false;
+    let mut longs = 0;
+    let mut base: Option<&str> = None;
+    for w in words {
+        match w.as_str() {
+            "unsigned" => unsigned = true,
+            "signed" => signed = true,
+            "long" => longs += 1,
+            "void" | "char" | "short" | "int" | "float" | "double" => base = Some(w),
+            _ => return None,
+        }
+    }
+    let p = match (base, longs, unsigned, signed) {
+        (Some("void"), 0, false, false) => Primitive::Void,
+        (Some("char"), 0, false, false) => Primitive::Char,
+        (Some("char"), 0, false, true) => Primitive::SChar,
+        (Some("char"), 0, true, false) => Primitive::UChar,
+        (Some("short"), 0, u, _) | (Some("int"), 0, u, _) if base == Some("short") || words.iter().any(|w| w == "short") => {
+            if u {
+                Primitive::UShort
+            } else {
+                Primitive::Short
+            }
+        }
+        (Some("int"), 0, true, _) => Primitive::UInt,
+        (Some("int"), 0, false, _) => Primitive::Int,
+        (None, 0, true, _) => Primitive::UInt,
+        (None, 0, false, true) => Primitive::Int,
+        (Some("int"), 1, u, _) | (None, 1, u, _) => {
+            if u {
+                Primitive::ULong
+            } else {
+                Primitive::Long
+            }
+        }
+        (Some("int"), 2, u, _) | (None, 2, u, _) => {
+            if u {
+                Primitive::ULongLong
+            } else {
+                Primitive::LongLong
+            }
+        }
+        (Some("float"), 0, false, false) => Primitive::Float,
+        (Some("double"), 0, false, false) => Primitive::Double,
+        (Some("double"), 1, false, false) => Primitive::LongDouble,
+        _ => return None,
+    };
+    Some(CType::Primitive(p))
+}
+
+/// Parse a single C function declaration strictly.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] if the input is not a well-formed function
+/// declaration in the supported grammar.
+///
+/// # Examples
+///
+/// ```
+/// let p = healers_ctypes::parse_prototype(
+///     "extern size_t strlen(const char *__s) __THROW __attribute__((__pure__));",
+/// ).unwrap();
+/// assert_eq!(p.name, "strlen");
+/// ```
+pub fn parse_prototype(source: &str) -> Result<FunctionPrototype, ParseError> {
+    let toks = Lexer::new(source).tokenize()?;
+    let mut parser = Parser::new(toks);
+    parser.parse_function_decl()
+}
+
+/// Tolerantly scan a header-file body for function declarations.
+///
+/// Comments and preprocessor directives are skipped; declarations that
+/// cannot be parsed (typedefs, variable declarations, inline bodies,
+/// exotic grammar) are silently ignored, because a header scanner must
+/// survive arbitrary headers.
+pub fn parse_declarations(source: &str) -> Vec<FunctionPrototype> {
+    let Ok(toks) = Lexer::new(source).tokenize() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let n = toks.len();
+    let mut i = 0usize;
+    let mut brace_depth = 0i32;
+    while i < n {
+        match &toks[i].0 {
+            Tok::Punct('{') => brace_depth += 1,
+            Tok::Punct('}') => {
+                brace_depth -= 1;
+                if brace_depth == 0 {
+                    // A brace-delimited body (inline function, struct
+                    // definition) ends the current candidate declaration.
+                    start = i + 1;
+                }
+            }
+            Tok::Punct(';') if brace_depth == 0 => {
+                let slice = toks[start..=i].to_vec();
+                let mut parser = Parser::new(slice);
+                if let Ok(proto) = parser.parse_function_decl() {
+                    // Reject declarations that did not consume everything —
+                    // they are likely misparses of something else.
+                    if parser.peek().is_none() {
+                        out.push(proto);
+                    }
+                }
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_strcpy() {
+        let p = parse_prototype("extern char *strcpy(char *__dest, const char *__src);").unwrap();
+        assert_eq!(p.name, "strcpy");
+        assert_eq!(p.params.len(), 2);
+        assert_eq!(p.ret, CType::ptr(CType::char_()));
+        assert!(p.params[1].ty.points_to_const());
+        assert!(!p.params[0].ty.points_to_const());
+    }
+
+    #[test]
+    fn parses_asctime_with_struct_arg() {
+        let p = parse_prototype("extern char *asctime(const struct tm *__tp) __THROW;").unwrap();
+        assert_eq!(p.name, "asctime");
+        let arg = &p.params[0].ty;
+        assert!(arg.points_to_const());
+        assert_eq!(
+            arg.pointee().unwrap(),
+            &CType::Tagged {
+                kind: TagKind::Struct,
+                tag: "tm".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_typedefs() {
+        let p = parse_prototype("extern size_t fread(void *ptr, size_t size, size_t n, FILE *stream);")
+            .unwrap();
+        assert_eq!(p.name, "fread");
+        assert_eq!(p.ret, CType::Primitive(Primitive::UInt));
+        assert_eq!(p.params[3].ty, CType::ptr(CType::Named("FILE".into())));
+    }
+
+    #[test]
+    fn parses_variadic() {
+        let p = parse_prototype("extern int fprintf(FILE *__restrict __stream, const char *__restrict __format, ...);").unwrap();
+        assert!(p.variadic);
+        assert_eq!(p.params.len(), 2);
+    }
+
+    #[test]
+    fn parses_void_param_list() {
+        let p = parse_prototype("extern int getpid(void);").unwrap();
+        assert!(p.params.is_empty());
+        assert!(!p.variadic);
+    }
+
+    #[test]
+    fn parses_empty_param_list() {
+        let p = parse_prototype("int rand();").unwrap();
+        assert!(p.params.is_empty());
+    }
+
+    #[test]
+    fn parses_function_pointer_param() {
+        let p = parse_prototype(
+            "extern void qsort(void *base, size_t nmemb, size_t size, int (*compar)(const void *, const void *));",
+        )
+        .unwrap();
+        assert_eq!(p.params.len(), 4);
+        match &p.params[3].ty {
+            CType::Pointer { pointee, .. } => match pointee.as_ref() {
+                CType::Function { params, .. } => assert_eq!(params.len(), 2),
+                other => panic!("expected function type, got {other:?}"),
+            },
+            other => panic!("expected pointer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_params_decay_to_pointers() {
+        let p = parse_prototype("extern int pipe(int __pipedes[2]);").unwrap();
+        assert_eq!(p.params[0].ty, CType::ptr(CType::int()));
+    }
+
+    #[test]
+    fn skips_attributes_and_asm_labels() {
+        let p = parse_prototype(
+            "extern int stat(const char *__file, struct stat *__buf) __THROW __nonnull((1, 2)) __asm__(\"__xstat\");",
+        )
+        .unwrap();
+        assert_eq!(p.name, "stat");
+        assert_eq!(p.params.len(), 2);
+    }
+
+    #[test]
+    fn scan_skips_garbage() {
+        let src = r#"
+            /* glibc-style header */
+            #ifndef _STRING_H
+            #define _STRING_H 1
+            #include <stddef.h>
+            typedef unsigned int size_t;
+            extern char *strcpy(char *__dest, const char *__src) __THROW;
+            struct obscure { int x; };
+            extern size_t strlen(const char *__s) __THROW __attribute__((__pure__));
+            extern int weird_thing = 3;
+            extern void *memcpy(void *__dest, const void *__src, size_t __n) __THROW;
+            #endif
+        "#;
+        let protos = parse_declarations(src);
+        let names: Vec<_> = protos.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"strcpy"));
+        assert!(names.contains(&"strlen"));
+        assert!(names.contains(&"memcpy"));
+        assert!(!names.contains(&"weird_thing"));
+    }
+
+    #[test]
+    fn scan_ignores_inline_bodies() {
+        let src = r#"
+            static inline int twice(int x) { return strlen_helper(x) * 2; }
+            extern int atoi(const char *__nptr) __THROW;
+        "#;
+        let protos = parse_declarations(src);
+        let names: Vec<_> = protos.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"atoi"));
+    }
+
+    #[test]
+    fn unsigned_long_long_combo() {
+        let p = parse_prototype("extern unsigned long long strtoull(const char *nptr, char **endptr, int base);").unwrap();
+        assert_eq!(p.ret, CType::Primitive(Primitive::ULongLong));
+    }
+
+    #[test]
+    fn unsigned_alone_is_uint() {
+        let p = parse_prototype("unsigned sleep(unsigned __seconds);").unwrap();
+        assert_eq!(p.ret, CType::Primitive(Primitive::UInt));
+        assert_eq!(p.params[0].ty, CType::Primitive(Primitive::UInt));
+    }
+
+    #[test]
+    fn short_types() {
+        let p = parse_prototype("unsigned short f(short x);").unwrap();
+        assert_eq!(p.ret, CType::Primitive(Primitive::UShort));
+        assert_eq!(p.params[0].ty, CType::Primitive(Primitive::Short));
+    }
+
+    #[test]
+    fn rejects_non_function() {
+        assert!(parse_prototype("int x;").is_err());
+        assert!(parse_prototype("struct tm;").is_err());
+    }
+
+    #[test]
+    fn double_pointer_param() {
+        let p = parse_prototype("extern long strtol(const char *nptr, char **endptr, int base);").unwrap();
+        assert_eq!(
+            p.params[1].ty,
+            CType::ptr(CType::ptr(CType::char_()))
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Function prototypes as recovered from header files.
+
+use std::fmt;
+
+use crate::types::CType;
+
+/// A single parameter of a function prototype.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name, if the prototype declares one (`char *__dest`).
+    pub name: Option<String>,
+    /// Parameter type, after array-to-pointer decay.
+    pub ty: CType,
+}
+
+impl Param {
+    /// A named parameter.
+    pub fn named(name: &str, ty: CType) -> Param {
+        Param {
+            name: Some(name.to_string()),
+            ty,
+        }
+    }
+
+    /// An anonymous parameter.
+    pub fn anon(ty: CType) -> Param {
+        Param { name: None, ty }
+    }
+}
+
+/// The C prototype of a global library function.
+///
+/// # Examples
+///
+/// ```
+/// use healers_ctypes::{CType, FunctionPrototype, Param};
+///
+/// let proto = FunctionPrototype {
+///     name: "strlen".into(),
+///     ret: CType::Primitive(healers_ctypes::Primitive::UInt),
+///     params: vec![Param::named("s", CType::const_ptr(CType::char_()))],
+///     variadic: false,
+/// };
+/// assert_eq!(proto.to_string(), "unsigned int strlen(const char* s)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionPrototype {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: CType,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Whether the function takes `...` trailing arguments.
+    pub variadic: bool,
+}
+
+impl FunctionPrototype {
+    /// Number of declared (non-variadic) parameters.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+}
+
+impl fmt::Display for FunctionPrototype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut params: Vec<String> = self
+            .params
+            .iter()
+            .map(|p| match &p.name {
+                Some(n) => p.ty.display_with(n),
+                None => p.ty.display_with(""),
+            })
+            .collect();
+        if self.variadic {
+            params.push("...".to_string());
+        }
+        let params = if params.is_empty() {
+            "void".to_string()
+        } else {
+            params.join(", ")
+        };
+        write!(
+            f,
+            "{} {}({})",
+            self.ret.display_with(""),
+            self.name,
+            params
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Primitive;
+
+    #[test]
+    fn display_zero_arg() {
+        let p = FunctionPrototype {
+            name: "getpid".into(),
+            ret: CType::int(),
+            params: vec![],
+            variadic: false,
+        };
+        assert_eq!(p.to_string(), "int getpid(void)");
+    }
+
+    #[test]
+    fn display_variadic() {
+        let p = FunctionPrototype {
+            name: "fprintf".into(),
+            ret: CType::int(),
+            params: vec![
+                Param::named("stream", CType::ptr(CType::Named("FILE".into()))),
+                Param::named("fmt", CType::const_ptr(CType::char_())),
+            ],
+            variadic: true,
+        };
+        assert_eq!(
+            p.to_string(),
+            "int fprintf(FILE* stream, const char* fmt, ...)"
+        );
+    }
+
+    #[test]
+    fn arity_counts_declared_params() {
+        let p = FunctionPrototype {
+            name: "strtol".into(),
+            ret: CType::Primitive(Primitive::Long),
+            params: vec![
+                Param::anon(CType::const_ptr(CType::char_())),
+                Param::anon(CType::ptr(CType::ptr(CType::char_()))),
+                Param::anon(CType::int()),
+            ],
+            variadic: false,
+        };
+        assert_eq!(p.arity(), 3);
+    }
+}

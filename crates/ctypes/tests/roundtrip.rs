@@ -1,0 +1,87 @@
+//! Property test: rendering a prototype to C and re-parsing it is the
+//! identity — the guarantee that the corpus generator and the header
+//! scanner speak the same language.
+
+use proptest::prelude::*;
+
+use healers_ctypes::{parse_prototype, CType, FunctionPrototype, Param, Primitive};
+
+fn arb_base_type() -> impl Strategy<Value = CType> {
+    prop::sample::select(vec![
+        CType::Primitive(Primitive::Int),
+        CType::Primitive(Primitive::UInt),
+        CType::Primitive(Primitive::Long),
+        CType::Primitive(Primitive::Double),
+        CType::Primitive(Primitive::Char),
+        CType::Tagged {
+            kind: healers_ctypes::types::TagKind::Struct,
+            tag: "tm".into(),
+        },
+        CType::Tagged {
+            kind: healers_ctypes::types::TagKind::Struct,
+            tag: "stat".into(),
+        },
+        CType::Named("FILE".into()),
+        CType::Named("DIR".into()),
+    ])
+}
+
+fn arb_type() -> impl Strategy<Value = CType> {
+    (arb_base_type(), 0u8..=2, any::<bool>()).prop_map(|(base, ptr_depth, is_const)| {
+        let mut t = base;
+        for level in 0..ptr_depth {
+            t = CType::Pointer {
+                pointee: Box::new(t),
+                is_const: is_const && level == 0,
+            };
+        }
+        t
+    })
+}
+
+fn arb_ret_type() -> impl Strategy<Value = CType> {
+    prop_oneof![
+        arb_type().prop_filter("struct returns unsupported by value", |t| {
+            // Returning a bare struct/FILE by value is not in the
+            // supported ABI; behind a pointer is fine.
+            !matches!(t, CType::Tagged { .. } | CType::Named(_))
+        }),
+        Just(CType::void()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prototype_display_parse_roundtrip(
+        name in "[a-z][a-z0-9_]{0,20}",
+        ret in arb_ret_type(),
+        param_types in prop::collection::vec(arb_type(), 0..5),
+        variadic in any::<bool>(),
+    ) {
+        // Reserved words collide with the grammar.
+        prop_assume!(!matches!(
+            name.as_str(),
+            "int" | "char" | "long" | "void" | "short" | "float" | "double" | "signed"
+                | "unsigned" | "struct" | "union" | "enum" | "const" | "extern" | "static"
+        ));
+        let proto = FunctionPrototype {
+            name: name.clone(),
+            ret,
+            params: param_types
+                .into_iter()
+                .enumerate()
+                .map(|(i, ty)| Param::named(&format!("a{i}"), ty))
+                .collect(),
+            variadic,
+        };
+        // Variadic functions need at least one named parameter in C.
+        prop_assume!(!proto.variadic || !proto.params.is_empty());
+
+        let rendered = format!("extern {proto};");
+        let parsed = parse_prototype(&rendered)
+            .unwrap_or_else(|e| panic!("{rendered:?} failed to re-parse: {e}"));
+        prop_assert_eq!(parsed, proto, "through {}", rendered);
+    }
+}

@@ -1,0 +1,150 @@
+//! Generator selection (§4.1: "the fault-injector generator uses the C
+//! argument type to select at least one test case generator for each
+//! argument … we also permit the addition of new test case generators
+//! that contain specific test cases for certain types").
+//!
+//! Selection is driven by the parameter's C type, refined by
+//! parameter-name heuristics for `const char *` (mode strings, paths)
+//! and integer parameters (descriptors, baud rates).
+
+use healers_ctypes::{CType, Param};
+
+use crate::generators::{
+    ArrayGen, DirGen, FdGen, FileGen, IntGen, ModeGen, PathGen, SpeedGen, StringGen,
+    TestCaseGenerator,
+};
+
+fn name_contains(param: &Param, needles: &[&str]) -> bool {
+    match &param.name {
+        Some(n) => {
+            let lower = n.to_lowercase();
+            needles.iter().any(|needle| lower.contains(needle))
+        }
+        None => false,
+    }
+}
+
+/// Pick the test-case generator for one parameter of `function`.
+pub fn generator_for(function: &str, index: usize, param: &Param) -> Box<dyn TestCaseGenerator> {
+    let _ = (function, index);
+    match &param.ty {
+        CType::Pointer { pointee, is_const } => match pointee.as_ref() {
+            CType::Named(n) if n == "FILE" => Box::new(FileGen::new()),
+            CType::Named(n) if n == "DIR" => Box::new(DirGen::new()),
+            CType::Primitive(healers_ctypes::Primitive::Char) if *is_const => {
+                if name_contains(param, &["mode"]) {
+                    Box::new(ModeGen::new())
+                } else if name_contains(param, &["file", "path", "name", "old", "new", "dir"]) {
+                    Box::new(PathGen::new())
+                } else {
+                    Box::new(StringGen::new())
+                }
+            }
+            _ => Box::new(ArrayGen::new()),
+        },
+        ty if ty.is_arithmetic() => {
+            if name_contains(param, &["fd", "fildes"]) {
+                Box::new(FdGen::new())
+            } else if name_contains(param, &["speed"]) {
+                Box::new(SpeedGen::new())
+            } else if name_contains(param, &["base"]) {
+                Box::new(IntGen::with_benign(10))
+            } else if name_contains(param, &["whence"]) {
+                Box::new(IntGen::with_benign(0))
+            } else if name_contains(param, &["size", "len", "nbyte", "nmemb"])
+                || param.name.as_deref().map(|n| n.trim_start_matches('_')) == Some("n")
+            {
+                // Count parameters: a benign value of 1 would let the
+                // callee return before touching its buffer arguments,
+                // blinding the other campaigns; 64 exercises them.
+                Box::new(IntGen::with_benign(64))
+            } else {
+                Box::new(IntGen::new())
+            }
+        }
+        // Anything else (function pointers, unknown named types):
+        // treat as generic memory.
+        _ => Box::new(ArrayGen::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use healers_libc::Libc;
+
+    fn param_of(libc: &Libc, func: &str, i: usize) -> Param {
+        libc.get(func).unwrap().proto.params[i].clone()
+    }
+
+    #[test]
+    fn file_and_dir_pointers_get_specific_generators() {
+        let libc = Libc::standard();
+        assert_eq!(
+            generator_for("fclose", 0, &param_of(&libc, "fclose", 0)).name(),
+            "file-pointer"
+        );
+        assert_eq!(
+            generator_for("closedir", 0, &param_of(&libc, "closedir", 0)).name(),
+            "dir-pointer"
+        );
+    }
+
+    #[test]
+    fn const_char_heuristics() {
+        let libc = Libc::standard();
+        // fopen(filename, modes)
+        assert_eq!(
+            generator_for("fopen", 0, &param_of(&libc, "fopen", 0)).name(),
+            "path-string"
+        );
+        assert_eq!(
+            generator_for("fopen", 1, &param_of(&libc, "fopen", 1)).name(),
+            "mode-string"
+        );
+        // strcpy's src is a plain string.
+        assert_eq!(
+            generator_for("strcpy", 1, &param_of(&libc, "strcpy", 1)).name(),
+            "c-string"
+        );
+        // strcpy's dst is a writable buffer.
+        assert_eq!(
+            generator_for("strcpy", 0, &param_of(&libc, "strcpy", 0)).name(),
+            "fixed-size-array"
+        );
+    }
+
+    #[test]
+    fn integer_heuristics() {
+        let libc = Libc::standard();
+        assert_eq!(
+            generator_for("close", 0, &param_of(&libc, "close", 0)).name(),
+            "file-descriptor"
+        );
+        assert_eq!(
+            generator_for("cfsetispeed", 1, &param_of(&libc, "cfsetispeed", 1)).name(),
+            "baud-speed"
+        );
+        assert_eq!(
+            generator_for("strtol", 2, &param_of(&libc, "strtol", 2)).name(),
+            "integer"
+        );
+        assert_eq!(
+            generator_for("abs", 0, &param_of(&libc, "abs", 0)).name(),
+            "integer"
+        );
+    }
+
+    #[test]
+    fn struct_pointers_get_array_generator() {
+        let libc = Libc::standard();
+        assert_eq!(
+            generator_for("asctime", 0, &param_of(&libc, "asctime", 0)).name(),
+            "fixed-size-array"
+        );
+        assert_eq!(
+            generator_for("tcsetattr", 2, &param_of(&libc, "tcsetattr", 2)).name(),
+            "fixed-size-array"
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! `ctype.h`: classification via the classic `__ctype_b` lookup table.
+//!
+//! The real glibc implements `isalpha(c)` as an unchecked index into a
+//! table sized for `c ∈ [-128, 255]`. Passing a wild `int` (as Ballista
+//! does) indexes far outside the table — historically a real crash
+//! vector. The simulated table lives in its own pair of pages with
+//! unmapped neighbors, so wild indices genuinely fault.
+
+use healers_simproc::{Addr, Protection, SimFault, SimValue, PAGE_SIZE};
+
+use crate::registry::CFuncImpl;
+use crate::world::{int_arg, World};
+
+/// Classification bits stored per table entry.
+const CT_UPPER: u8 = 0x01;
+const CT_LOWER: u8 = 0x02;
+const CT_DIGIT: u8 = 0x04;
+const CT_SPACE: u8 = 0x08;
+const CT_PUNCT: u8 = 0x10;
+const CT_PRINT: u8 = 0x20;
+
+/// Name → implementation table for this module.
+pub(crate) fn funcs() -> Vec<(&'static str, CFuncImpl)> {
+    vec![
+        ("isalpha", |w, a| classify(w, a, CT_UPPER | CT_LOWER)),
+        ("isdigit", |w, a| classify(w, a, CT_DIGIT)),
+        ("isalnum", |w, a| classify(w, a, CT_UPPER | CT_LOWER | CT_DIGIT)),
+        ("isspace", |w, a| classify(w, a, CT_SPACE)),
+        ("isupper", |w, a| classify(w, a, CT_UPPER)),
+        ("islower", |w, a| classify(w, a, CT_LOWER)),
+        ("ispunct", |w, a| classify(w, a, CT_PUNCT)),
+        ("isprint", |w, a| classify(w, a, CT_PRINT)),
+        ("toupper", toupper),
+        ("tolower", tolower),
+    ]
+}
+
+/// The classification table occupies one dedicated page; index 0 of the
+/// table corresponds to `c = -128` at offset 1024 so the page boundaries
+/// surround it relatively tightly.
+const TABLE_PAGE: Addr = 0x0a00_0000;
+const TABLE_BIAS: u32 = 1024;
+
+fn table_base(w: &mut World) -> Addr {
+    if !w.proc.mem.is_mapped(TABLE_PAGE) {
+        w.proc.mem.map(TABLE_PAGE, PAGE_SIZE, Protection::ReadWrite);
+        for c in -128i32..=255 {
+            let byte = (c & 0xff) as u8;
+            let mut bits = 0u8;
+            if byte.is_ascii_uppercase() {
+                bits |= CT_UPPER;
+            }
+            if byte.is_ascii_lowercase() {
+                bits |= CT_LOWER;
+            }
+            if byte.is_ascii_digit() {
+                bits |= CT_DIGIT;
+            }
+            if byte.is_ascii_whitespace() {
+                bits |= CT_SPACE;
+            }
+            if byte.is_ascii_punctuation() {
+                bits |= CT_PUNCT;
+            }
+            if (0x20..0x7f).contains(&byte) {
+                bits |= CT_PRINT;
+            }
+            let off = (TABLE_BIAS as i64 + i64::from(c)) as u32;
+            w.proc
+                .mem
+                .write_u8(TABLE_PAGE + off, bits)
+                .expect("ctype table init");
+        }
+        w.proc.mem.protect(TABLE_PAGE, PAGE_SIZE, Protection::ReadOnly);
+    }
+    TABLE_PAGE + TABLE_BIAS
+}
+
+/// The unchecked table lookup shared by all `is*` functions. A wild `c`
+/// computes an address outside the table page and faults.
+fn lookup(w: &mut World, c: i64) -> Result<u8, SimFault> {
+    let base = table_base(w);
+    let addr = (i64::from(base) + c) as u32;
+    w.proc.mem.read_u8(addr)
+}
+
+fn classify(w: &mut World, args: &[SimValue], mask: u8) -> Result<SimValue, SimFault> {
+    let c = int_arg(args, 0);
+    let bits = lookup(w, c)?;
+    Ok(SimValue::Int(i64::from(bits & mask != 0)))
+}
+
+fn toupper(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let c = int_arg(args, 0);
+    let bits = lookup(w, c)?;
+    if bits & CT_LOWER != 0 {
+        Ok(SimValue::Int(c - 32))
+    } else {
+        Ok(SimValue::Int(c))
+    }
+}
+
+fn tolower(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let c = int_arg(args, 0);
+    let bits = lookup(w, c)?;
+    if bits & CT_UPPER != 0 {
+        Ok(SimValue::Int(c + 32))
+    } else {
+        Ok(SimValue::Int(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Libc;
+
+    fn setup() -> (Libc, World) {
+        (Libc::standard(), World::new())
+    }
+
+    #[test]
+    fn classification_basics() {
+        let (libc, mut w) = setup();
+        let cases = [
+            ("isalpha", b'a' as i64, 1),
+            ("isalpha", b'7' as i64, 0),
+            ("isdigit", b'7' as i64, 1),
+            ("isspace", b' ' as i64, 1),
+            ("isupper", b'Q' as i64, 1),
+            ("islower", b'Q' as i64, 0),
+            ("ispunct", b'!' as i64, 1),
+            ("isprint", 0x07, 0),
+            ("isalnum", b'z' as i64, 1),
+        ];
+        for (f, c, expect) in cases {
+            let r = libc.call(&mut w, f, &[SimValue::Int(c)]).unwrap();
+            assert_eq!(r, SimValue::Int(expect), "{f}({c})");
+        }
+    }
+
+    #[test]
+    fn case_conversion() {
+        let (libc, mut w) = setup();
+        assert_eq!(
+            libc.call(&mut w, "toupper", &[SimValue::Int(i64::from(b'a'))])
+                .unwrap(),
+            SimValue::Int(i64::from(b'A'))
+        );
+        assert_eq!(
+            libc.call(&mut w, "tolower", &[SimValue::Int(i64::from(b'A'))])
+                .unwrap(),
+            SimValue::Int(i64::from(b'a'))
+        );
+        assert_eq!(
+            libc.call(&mut w, "toupper", &[SimValue::Int(i64::from(b'5'))])
+                .unwrap(),
+            SimValue::Int(i64::from(b'5'))
+        );
+    }
+
+    #[test]
+    fn eof_is_in_range() {
+        // isalpha(EOF) must be legal per ISO C.
+        let (libc, mut w) = setup();
+        let r = libc.call(&mut w, "isalpha", &[SimValue::Int(-1)]).unwrap();
+        assert_eq!(r, SimValue::Int(0));
+    }
+
+    #[test]
+    fn wild_int_crashes_like_the_real_table() {
+        let (libc, mut w) = setup();
+        for c in [100_000i64, -100_000, i64::from(i32::MAX)] {
+            let err = libc.call(&mut w, "isalpha", &[SimValue::Int(c)]).unwrap_err();
+            assert!(err.segv_addr().is_some(), "isalpha({c}) should fault");
+        }
+    }
+}

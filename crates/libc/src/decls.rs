@@ -1,0 +1,225 @@
+//! The canonical declaration table of the simulated library.
+//!
+//! One row per exported function: name, owning header, and the exact
+//! declaration text as it appears in that header. The registry parses
+//! these to obtain prototypes, and the corpus crate reuses the same rows
+//! to generate the simulated header files and manual pages — so the
+//! extraction pipeline of §3 recovers precisely the prototypes the
+//! library was built from.
+
+/// One exported function: `(name, header, declaration)`.
+pub type DeclRow = (&'static str, &'static str, &'static str);
+
+/// All exported (global, external) functions of the simulated library.
+pub const DECLS: &[DeclRow] = &[
+    // ---- string.h -------------------------------------------------------
+    ("strcpy", "string.h", "extern char *strcpy(char *__dest, const char *__src) __THROW;"),
+    ("strncpy", "string.h", "extern char *strncpy(char *__dest, const char *__src, size_t __n) __THROW;"),
+    ("strcat", "string.h", "extern char *strcat(char *__dest, const char *__src) __THROW;"),
+    ("strncat", "string.h", "extern char *strncat(char *__dest, const char *__src, size_t __n) __THROW;"),
+    ("strcmp", "string.h", "extern int strcmp(const char *__s1, const char *__s2) __THROW;"),
+    ("strncmp", "string.h", "extern int strncmp(const char *__s1, const char *__s2, size_t __n) __THROW;"),
+    ("strlen", "string.h", "extern size_t strlen(const char *__s) __THROW;"),
+    ("strchr", "string.h", "extern char *strchr(const char *__s, int __c) __THROW;"),
+    ("strrchr", "string.h", "extern char *strrchr(const char *__s, int __c) __THROW;"),
+    ("strstr", "string.h", "extern char *strstr(const char *__haystack, const char *__needle) __THROW;"),
+    ("strpbrk", "string.h", "extern char *strpbrk(const char *__s, const char *__accept) __THROW;"),
+    ("strspn", "string.h", "extern size_t strspn(const char *__s, const char *__accept) __THROW;"),
+    ("strcspn", "string.h", "extern size_t strcspn(const char *__s, const char *__reject) __THROW;"),
+    ("strtok", "string.h", "extern char *strtok(char *__s, const char *__delim) __THROW;"),
+    ("strdup", "string.h", "extern char *strdup(const char *__s) __THROW;"),
+    ("strcoll", "string.h", "extern int strcoll(const char *__s1, const char *__s2) __THROW;"),
+    ("strxfrm", "string.h", "extern size_t strxfrm(char *__dest, const char *__src, size_t __n) __THROW;"),
+    ("strerror", "string.h", "extern char *strerror(int __errnum) __THROW;"),
+    ("memcpy", "string.h", "extern void *memcpy(void *__dest, const void *__src, size_t __n) __THROW;"),
+    ("memmove", "string.h", "extern void *memmove(void *__dest, const void *__src, size_t __n) __THROW;"),
+    ("memset", "string.h", "extern void *memset(void *__s, int __c, size_t __n) __THROW;"),
+    ("memcmp", "string.h", "extern int memcmp(const void *__s1, const void *__s2, size_t __n) __THROW;"),
+    ("memchr", "string.h", "extern void *memchr(const void *__s, int __c, size_t __n) __THROW;"),
+    ("strcasecmp", "string.h", "extern int strcasecmp(const char *__s1, const char *__s2) __THROW;"),
+    ("strncasecmp", "string.h", "extern int strncasecmp(const char *__s1, const char *__s2, size_t __n) __THROW;"),
+    ("strnlen", "string.h", "extern size_t strnlen(const char *__string, size_t __maxlen) __THROW;"),
+    ("strsep", "string.h", "extern char *strsep(char **__stringp, const char *__delim) __THROW;"),
+    ("index", "string.h", "extern char *index(const char *__s, int __c) __THROW;"),
+    ("rindex", "string.h", "extern char *rindex(const char *__s, int __c) __THROW;"),
+    ("bzero", "string.h", "extern void bzero(void *__s, size_t __n) __THROW;"),
+    ("bcopy", "string.h", "extern void bcopy(const void *__src, void *__dest, size_t __n) __THROW;"),
+    ("bcmp", "string.h", "extern int bcmp(const void *__s1, const void *__s2, size_t __n) __THROW;"),
+    // ---- stdio.h --------------------------------------------------------
+    ("fopen", "stdio.h", "extern FILE *fopen(const char *__filename, const char *__modes);"),
+    ("freopen", "stdio.h", "extern FILE *freopen(const char *__filename, const char *__modes, FILE *__stream);"),
+    ("fdopen", "stdio.h", "extern FILE *fdopen(int __fd, const char *__modes) __THROW;"),
+    ("fclose", "stdio.h", "extern int fclose(FILE *__stream);"),
+    ("fflush", "stdio.h", "extern int fflush(FILE *__stream);"),
+    ("fread", "stdio.h", "extern size_t fread(void *__ptr, size_t __size, size_t __n, FILE *__stream);"),
+    ("fwrite", "stdio.h", "extern size_t fwrite(const void *__ptr, size_t __size, size_t __n, FILE *__s);"),
+    ("fgets", "stdio.h", "extern char *fgets(char *__s, int __n, FILE *__stream);"),
+    ("fputs", "stdio.h", "extern int fputs(const char *__s, FILE *__stream);"),
+    ("fgetc", "stdio.h", "extern int fgetc(FILE *__stream);"),
+    ("fputc", "stdio.h", "extern int fputc(int __c, FILE *__stream);"),
+    ("getc", "stdio.h", "extern int getc(FILE *__stream);"),
+    ("putc", "stdio.h", "extern int putc(int __c, FILE *__stream);"),
+    ("ungetc", "stdio.h", "extern int ungetc(int __c, FILE *__stream);"),
+    ("puts", "stdio.h", "extern int puts(const char *__s);"),
+    ("getchar", "stdio.h", "extern int getchar(void);"),
+    ("putchar", "stdio.h", "extern int putchar(int __c);"),
+    ("gets", "stdio.h", "extern char *gets(char *__s);"),
+    ("fseek", "stdio.h", "extern int fseek(FILE *__stream, long __off, int __whence);"),
+    ("ftell", "stdio.h", "extern long ftell(FILE *__stream);"),
+    ("rewind", "stdio.h", "extern void rewind(FILE *__stream);"),
+    ("feof", "stdio.h", "extern int feof(FILE *__stream) __THROW;"),
+    ("ferror", "stdio.h", "extern int ferror(FILE *__stream) __THROW;"),
+    ("clearerr", "stdio.h", "extern void clearerr(FILE *__stream) __THROW;"),
+    ("fileno", "stdio.h", "extern int fileno(FILE *__stream) __THROW;"),
+    ("setbuf", "stdio.h", "extern void setbuf(FILE *__stream, char *__buf) __THROW;"),
+    ("setvbuf", "stdio.h", "extern int setvbuf(FILE *__stream, char *__buf, int __modes, size_t __n) __THROW;"),
+    ("tmpfile", "stdio.h", "extern FILE *tmpfile(void);"),
+    ("tmpnam", "stdio.h", "extern char *tmpnam(char *__s) __THROW;"),
+    ("sprintf", "stdio.h", "extern int sprintf(char *__s, const char *__format, ...) __THROW;"),
+    ("snprintf", "stdio.h", "extern int snprintf(char *__s, size_t __maxlen, const char *__format, ...) __THROW;"),
+    ("fprintf", "stdio.h", "extern int fprintf(FILE *__stream, const char *__format, ...);"),
+    ("sscanf", "stdio.h", "extern int sscanf(const char *__s, const char *__format, ...) __THROW;"),
+    ("perror", "stdio.h", "extern void perror(const char *__s);"),
+    ("remove", "stdio.h", "extern int remove(const char *__filename) __THROW;"),
+    ("rename", "stdio.h", "extern int rename(const char *__old, const char *__new) __THROW;"),
+    // ---- stdlib.h -------------------------------------------------------
+    ("atoi", "stdlib.h", "extern int atoi(const char *__nptr) __THROW;"),
+    ("atol", "stdlib.h", "extern long atol(const char *__nptr) __THROW;"),
+    ("atoll", "stdlib.h", "extern long long atoll(const char *__nptr) __THROW;"),
+    ("atof", "stdlib.h", "extern double atof(const char *__nptr) __THROW;"),
+    ("strtol", "stdlib.h", "extern long strtol(const char *__nptr, char **__endptr, int __base) __THROW;"),
+    ("strtoul", "stdlib.h", "extern unsigned long strtoul(const char *__nptr, char **__endptr, int __base) __THROW;"),
+    ("strtod", "stdlib.h", "extern double strtod(const char *__nptr, char **__endptr) __THROW;"),
+    ("malloc", "stdlib.h", "extern void *malloc(size_t __size) __THROW;"),
+    ("calloc", "stdlib.h", "extern void *calloc(size_t __nmemb, size_t __size) __THROW;"),
+    ("realloc", "stdlib.h", "extern void *realloc(void *__ptr, size_t __size) __THROW;"),
+    ("free", "stdlib.h", "extern void free(void *__ptr) __THROW;"),
+    ("getenv", "stdlib.h", "extern char *getenv(const char *__name) __THROW;"),
+    ("setenv", "stdlib.h", "extern int setenv(const char *__name, const char *__value, int __replace) __THROW;"),
+    ("unsetenv", "stdlib.h", "extern int unsetenv(const char *__name) __THROW;"),
+    ("abs", "stdlib.h", "extern int abs(int __x) __THROW;"),
+    ("labs", "stdlib.h", "extern long labs(long __x) __THROW;"),
+    ("rand", "stdlib.h", "extern int rand(void) __THROW;"),
+    ("srand", "stdlib.h", "extern void srand(unsigned int __seed) __THROW;"),
+    ("rand_r", "stdlib.h", "extern int rand_r(unsigned int *__seed) __THROW;"),
+    ("abort", "stdlib.h", "extern void abort(void) __THROW;"),
+    // ---- time.h ---------------------------------------------------------
+    ("time", "time.h", "extern time_t time(time_t *__timer) __THROW;"),
+    ("stime", "time.h", "extern int stime(const time_t *__when) __THROW;"),
+    ("asctime", "time.h", "extern char *asctime(const struct tm *__tp) __THROW;"),
+    ("ctime", "time.h", "extern char *ctime(const time_t *__timer) __THROW;"),
+    ("gmtime", "time.h", "extern struct tm *gmtime(const time_t *__timer) __THROW;"),
+    ("localtime", "time.h", "extern struct tm *localtime(const time_t *__timer) __THROW;"),
+    ("mktime", "time.h", "extern time_t mktime(struct tm *__tp) __THROW;"),
+    ("strftime", "time.h", "extern size_t strftime(char *__s, size_t __maxsize, const char *__format, const struct tm *__tp) __THROW;"),
+    ("difftime", "time.h", "extern double difftime(time_t __time1, time_t __time0) __THROW;"),
+    // ---- termios.h ------------------------------------------------------
+    ("cfgetispeed", "termios.h", "extern speed_t cfgetispeed(const struct termios *__termios_p) __THROW;"),
+    ("cfgetospeed", "termios.h", "extern speed_t cfgetospeed(const struct termios *__termios_p) __THROW;"),
+    ("cfsetispeed", "termios.h", "extern int cfsetispeed(struct termios *__termios_p, speed_t __speed) __THROW;"),
+    ("cfsetospeed", "termios.h", "extern int cfsetospeed(struct termios *__termios_p, speed_t __speed) __THROW;"),
+    ("tcgetattr", "termios.h", "extern int tcgetattr(int __fd, struct termios *__termios_p) __THROW;"),
+    ("tcsetattr", "termios.h", "extern int tcsetattr(int __fd, int __optional_actions, const struct termios *__termios_p) __THROW;"),
+    ("tcflush", "termios.h", "extern int tcflush(int __fd, int __queue_selector) __THROW;"),
+    ("tcdrain", "termios.h", "extern int tcdrain(int __fd);"),
+    ("tcflow", "termios.h", "extern int tcflow(int __fd, int __action) __THROW;"),
+    ("tcsendbreak", "termios.h", "extern int tcsendbreak(int __fd, int __duration) __THROW;"),
+    // ---- dirent.h -------------------------------------------------------
+    ("opendir", "dirent.h", "extern DIR *opendir(const char *__name);"),
+    ("readdir", "dirent.h", "extern struct dirent *readdir(DIR *__dirp);"),
+    ("closedir", "dirent.h", "extern int closedir(DIR *__dirp);"),
+    ("rewinddir", "dirent.h", "extern void rewinddir(DIR *__dirp);"),
+    ("seekdir", "dirent.h", "extern void seekdir(DIR *__dirp, long __pos);"),
+    ("telldir", "dirent.h", "extern long telldir(DIR *__dirp);"),
+    // ---- unistd.h / fcntl.h / sys/stat.h ---------------------------------
+    ("open", "fcntl.h", "extern int open(const char *__file, int __oflag, ...);"),
+    ("creat", "fcntl.h", "extern int creat(const char *__file, mode_t __mode);"),
+    ("read", "unistd.h", "extern ssize_t read(int __fd, void *__buf, size_t __nbytes);"),
+    ("write", "unistd.h", "extern ssize_t write(int __fd, const void *__buf, size_t __n);"),
+    ("close", "unistd.h", "extern int close(int __fd);"),
+    ("lseek", "unistd.h", "extern off_t lseek(int __fd, off_t __offset, int __whence) __THROW;"),
+    ("dup", "unistd.h", "extern int dup(int __fd) __THROW;"),
+    ("dup2", "unistd.h", "extern int dup2(int __fd, int __fd2) __THROW;"),
+    ("pipe", "unistd.h", "extern int pipe(int __pipedes[2]) __THROW;"),
+    ("isatty", "unistd.h", "extern int isatty(int __fd) __THROW;"),
+    ("access", "unistd.h", "extern int access(const char *__name, int __type) __THROW;"),
+    ("chdir", "unistd.h", "extern int chdir(const char *__path) __THROW;"),
+    ("getcwd", "unistd.h", "extern char *getcwd(char *__buf, size_t __size) __THROW;"),
+    ("unlink", "unistd.h", "extern int unlink(const char *__name) __THROW;"),
+    ("rmdir", "unistd.h", "extern int rmdir(const char *__path) __THROW;"),
+    ("sleep", "unistd.h", "extern unsigned int sleep(unsigned int __seconds);"),
+    ("getpid", "unistd.h", "extern pid_t getpid(void) __THROW;"),
+    ("mkdir", "sys/stat.h", "extern int mkdir(const char *__path, mode_t __mode) __THROW;"),
+    ("stat", "sys/stat.h", "extern int stat(const char *__file, struct stat *__buf) __THROW;"),
+    ("fstat", "sys/stat.h", "extern int fstat(int __fd, struct stat *__buf) __THROW;"),
+    ("umask", "sys/stat.h", "extern mode_t umask(mode_t __mask) __THROW;"),
+    // ---- ctype.h --------------------------------------------------------
+    ("isalpha", "ctype.h", "extern int isalpha(int __c) __THROW;"),
+    ("isdigit", "ctype.h", "extern int isdigit(int __c) __THROW;"),
+    ("isalnum", "ctype.h", "extern int isalnum(int __c) __THROW;"),
+    ("isspace", "ctype.h", "extern int isspace(int __c) __THROW;"),
+    ("isupper", "ctype.h", "extern int isupper(int __c) __THROW;"),
+    ("islower", "ctype.h", "extern int islower(int __c) __THROW;"),
+    ("ispunct", "ctype.h", "extern int ispunct(int __c) __THROW;"),
+    ("isprint", "ctype.h", "extern int isprint(int __c) __THROW;"),
+    ("toupper", "ctype.h", "extern int toupper(int __c) __THROW;"),
+    ("tolower", "ctype.h", "extern int tolower(int __c) __THROW;"),
+];
+
+/// Internal symbols the shared library also exports (names beginning with
+/// an underscore). §3.1: "more than 34% of the global functions are
+/// internal" — the corpus generator scales this list up to reproduce that
+/// statistic; these are the ones the library itself defines.
+pub const INTERNAL_SYMBOLS: &[&str] = &[
+    "_IO_fflush",
+    "_IO_file_open",
+    "_IO_do_write",
+    "__libc_malloc",
+    "__libc_free",
+    "__strtol_internal",
+    "__errno_location",
+    "__ctype_b_loc",
+    "__xstat",
+    "__fxstat",
+    "__overflow",
+    "__underflow",
+];
+
+/// Look up the declaration row for `name`.
+pub fn find(name: &str) -> Option<&'static DeclRow> {
+    DECLS.iter().find(|(n, _, _)| *n == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn all_declarations_parse() {
+        for (name, _, decl) in DECLS {
+            let proto = healers_ctypes::parse_prototype(decl)
+                .unwrap_or_else(|e| panic!("decl for {name} failed to parse: {e}"));
+            assert_eq!(&proto.name, name, "declaration name mismatch");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let set: BTreeSet<_> = DECLS.iter().map(|(n, _, _)| n).collect();
+        assert_eq!(set.len(), DECLS.len());
+    }
+
+    #[test]
+    fn find_works() {
+        assert!(find("strcpy").is_some());
+        assert!(find("no_such_function").is_none());
+    }
+
+    #[test]
+    fn library_is_large_enough_for_the_evaluation() {
+        // The paper evaluates 86 POSIX functions; the library must export
+        // at least that many.
+        assert!(DECLS.len() >= 100, "only {} functions", DECLS.len());
+    }
+}

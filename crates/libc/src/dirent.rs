@@ -1,0 +1,272 @@
+//! `dirent.h`: directory streams.
+//!
+//! `DIR` is the paper's example of a data structure that **cannot** be
+//! validated statelessly: "POSIX does not define any function to verify
+//! that a pointer points to a valid directory structure" (§5.2). The
+//! wrapper must therefore track directory pointers in an internal table —
+//! the manual/semi-automatic step of §6. Here, `closedir` on a garbage
+//! pointer genuinely frees garbage and aborts, and `readdir` on a
+//! corrupted `DIR` chases a garbage buffer pointer.
+
+
+use healers_os::OpenFlags;
+use healers_simproc::{SimFault, SimValue};
+
+use crate::registry::CFuncImpl;
+use crate::world::{int_arg, ptr_arg, World};
+
+/// Size of the `DIR` structure.
+pub const DIR_SIZE: u32 = 32;
+/// Size of `struct dirent` (`d_ino` + `d_off` + `d_reclen` + `d_type` +
+/// `d_name[256]`, padded).
+pub const DIRENT_SIZE: u32 = 268;
+
+/// Byte offset of the descriptor field inside `DIR`.
+pub const OFF_FD: u32 = 0;
+/// Byte offset of the position field inside `DIR`.
+pub const OFF_LOC: u32 = 4;
+/// Byte offset of the dirent-buffer pointer inside `DIR`.
+pub const OFF_BUF: u32 = 12;
+
+/// Name → implementation table for this module.
+pub(crate) fn funcs() -> Vec<(&'static str, CFuncImpl)> {
+    vec![
+        ("opendir", opendir),
+        ("readdir", readdir),
+        ("closedir", closedir),
+        ("rewinddir", rewinddir),
+        ("seekdir", seekdir),
+        ("telldir", telldir),
+    ]
+}
+
+fn opendir(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let path = ptr_arg(args, 0);
+    let name = w.read_cstr_lossy(path)?;
+    let node = match w.kernel.vfs.resolve(&name) {
+        Ok(n) => n,
+        Err(e) => return w.fail(e, SimValue::NULL),
+    };
+    if w.kernel.vfs.kind(node) != healers_os::NodeKind::Directory {
+        return w.fail(healers_os::errno::ENOTDIR, SimValue::NULL);
+    }
+    let fd = match w.kernel.open(&name, OpenFlags::read_only(), 0) {
+        Ok(fd) => fd,
+        Err(e) => return w.fail(e, SimValue::NULL),
+    };
+    let (Ok(dirp), Ok(buf)) = (w.proc.heap_alloc(DIR_SIZE), w.proc.heap_alloc(DIRENT_SIZE))
+    else {
+        let _ = w.kernel.close(fd);
+        return w.fail(healers_os::errno::ENOMEM, SimValue::NULL);
+    };
+    w.proc.mem.write_i32(dirp + OFF_FD, fd)?;
+    w.proc.mem.write_i32(dirp + OFF_LOC, 0)?;
+    w.proc.mem.write_u32(dirp + 8, DIRENT_SIZE)?;
+    w.proc.mem.write_u32(dirp + OFF_BUF, buf)?;
+    Ok(SimValue::Ptr(dirp))
+}
+
+fn readdir(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let dirp = ptr_arg(args, 0);
+    let fd = w.proc.mem.read_i32(dirp + OFF_FD)?;
+    let loc = w.proc.mem.read_i32(dirp + OFF_LOC)?;
+    let entry = match w.kernel.read_dir_entry(fd, loc.max(0) as u32) {
+        Ok(Some(e)) => e,
+        Ok(None) => return Ok(SimValue::NULL),
+        Err(e) => return w.fail(e, SimValue::NULL),
+    };
+    // Chase the (possibly corrupted) buffer pointer and marshal the
+    // dirent into it — a garbage DIR* crashes right here.
+    let buf = w.proc.mem.read_u32(dirp + OFF_BUF)?;
+    w.proc.mem.write_u32(buf, entry.ino)?;
+    w.proc.mem.write_i32(buf + 4, loc + 1)?;
+    w.proc.mem.write_u16(buf + 8, DIRENT_SIZE as u16)?;
+    w.proc.mem.write_u8(buf + 10, entry.d_type)?;
+    let name_bytes: Vec<u8> = entry.name.bytes().take(255).collect();
+    w.proc.mem.write_bytes(buf + 11, &name_bytes)?;
+    w.proc.mem.write_u8(buf + 11 + name_bytes.len() as u32, 0)?;
+    w.proc.mem.write_i32(dirp + OFF_LOC, loc + 1)?;
+    Ok(SimValue::Ptr(buf))
+}
+
+fn closedir(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let dirp = ptr_arg(args, 0);
+    let fd = w.proc.mem.read_i32(dirp + OFF_FD)?;
+    let buf = w.proc.mem.read_u32(dirp + OFF_BUF)?;
+    let close_result = w.kernel.close(fd);
+    // Free the dirent buffer and the DIR itself. On a garbage or
+    // already-closed DIR these frees hit the allocator's consistency
+    // checks and abort — the crash §6 could not eliminate automatically.
+    for ptr in [buf, dirp] {
+        if ptr != 0 {
+            if let Err(e) = w.proc.heap_free(ptr) {
+                return Err(SimFault::Abort {
+                    reason: e.to_string(),
+                });
+            }
+        }
+    }
+    match close_result {
+        Ok(()) => Ok(SimValue::Int(0)),
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn rewinddir(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let dirp = ptr_arg(args, 0);
+    w.proc.mem.write_i32(dirp + OFF_LOC, 0)?;
+    Ok(SimValue::Void)
+}
+
+fn seekdir(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let dirp = ptr_arg(args, 0);
+    let pos = int_arg(args, 1) as i32;
+    w.proc.mem.write_i32(dirp + OFF_LOC, pos)?;
+    Ok(SimValue::Void)
+}
+
+fn telldir(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let dirp = ptr_arg(args, 0);
+    let loc = w.proc.mem.read_i32(dirp + OFF_LOC)?;
+    Ok(SimValue::Int(i64::from(loc)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Libc;
+    use healers_os::errno::EBADF;
+    use healers_simproc::INVALID_PTR;
+
+    fn setup() -> (Libc, World) {
+        let libc = Libc::standard();
+        let mut w = World::new();
+        w.kernel.write_file("/tmp/f1", b"1").unwrap();
+        w.kernel.write_file("/tmp/f2", b"2").unwrap();
+        (libc, w)
+    }
+
+    fn p(a: u32) -> SimValue {
+        SimValue::Ptr(a)
+    }
+
+    #[test]
+    fn opendir_readdir_closedir_cycle() {
+        let (libc, mut w) = setup();
+        let path = w.alloc_cstr("/tmp");
+        let dirp = libc.call(&mut w, "opendir", &[p(path)]).unwrap();
+        assert_ne!(dirp, SimValue::NULL);
+
+        let e1 = libc.call(&mut w, "readdir", &[dirp]).unwrap();
+        let name1 = w.read_cstr_lossy(e1.as_ptr() + 11).unwrap();
+        assert_eq!(name1, "f1");
+        let e2 = libc.call(&mut w, "readdir", &[dirp]).unwrap();
+        let name2 = w.read_cstr_lossy(e2.as_ptr() + 11).unwrap();
+        assert_eq!(name2, "f2");
+        let e3 = libc.call(&mut w, "readdir", &[dirp]).unwrap();
+        assert_eq!(e3, SimValue::NULL);
+
+        assert_eq!(
+            libc.call(&mut w, "closedir", &[dirp]).unwrap(),
+            SimValue::Int(0)
+        );
+    }
+
+    #[test]
+    fn telldir_seekdir_rewinddir() {
+        let (libc, mut w) = setup();
+        let path = w.alloc_cstr("/tmp");
+        let dirp = libc.call(&mut w, "opendir", &[p(path)]).unwrap();
+        libc.call(&mut w, "readdir", &[dirp]).unwrap();
+        assert_eq!(
+            libc.call(&mut w, "telldir", &[dirp]).unwrap(),
+            SimValue::Int(1)
+        );
+        libc.call(&mut w, "rewinddir", &[dirp]).unwrap();
+        assert_eq!(
+            libc.call(&mut w, "telldir", &[dirp]).unwrap(),
+            SimValue::Int(0)
+        );
+        libc.call(&mut w, "seekdir", &[dirp, SimValue::Int(1)]).unwrap();
+        let e = libc.call(&mut w, "readdir", &[dirp]).unwrap();
+        assert_eq!(w.read_cstr_lossy(e.as_ptr() + 11).unwrap(), "f2");
+    }
+
+    #[test]
+    fn opendir_errors() {
+        let (libc, mut w) = setup();
+        let missing = w.alloc_cstr("/nonexistent");
+        let r = libc.call(&mut w, "opendir", &[p(missing)]).unwrap();
+        assert_eq!(r, SimValue::NULL);
+        assert_eq!(w.proc.errno(), healers_os::errno::ENOENT);
+
+        let file = w.alloc_cstr("/tmp/f1");
+        let r = libc.call(&mut w, "opendir", &[p(file)]).unwrap();
+        assert_eq!(r, SimValue::NULL);
+        assert_eq!(w.proc.errno(), healers_os::errno::ENOTDIR);
+
+        assert!(libc.call(&mut w, "opendir", &[SimValue::NULL]).is_err());
+    }
+
+    #[test]
+    fn closedir_garbage_pointer_aborts() {
+        // §5.2/§6: the closedir failure that stateless checking cannot
+        // prevent — a readable heap block that was never a DIR.
+        let (libc, mut w) = setup();
+        let junk = w.alloc_buf(DIR_SIZE);
+        w.proc.mem.write_i32(junk + OFF_FD, 1).unwrap();
+        w.proc.mem.write_u32(junk + OFF_BUF, 0).unwrap();
+        let interior = junk + 4; // not a block start → abort in free
+        let _ = interior;
+        // Write a garbage buf pointer that IS a valid heap range but not
+        // a block start: freeing it aborts.
+        w.proc.mem.write_u32(junk + OFF_BUF, junk + 8).unwrap();
+        let err = libc.call(&mut w, "closedir", &[p(junk)]).unwrap_err();
+        assert!(err.is_abort());
+    }
+
+    #[test]
+    fn closedir_double_close_aborts() {
+        let (libc, mut w) = setup();
+        let path = w.alloc_cstr("/tmp");
+        let dirp = libc.call(&mut w, "opendir", &[p(path)]).unwrap();
+        libc.call(&mut w, "closedir", &[dirp]).unwrap();
+        // The DIR's pages are revoked only in guarded mode; in packed
+        // mode the memory stays readable, so the second closedir reaches
+        // the allocator and aborts on the double free.
+        let err = libc.call(&mut w, "closedir", &[dirp]).unwrap_err();
+        assert!(err.is_abort() || err.segv_addr().is_some());
+    }
+
+    #[test]
+    fn readdir_invalid_pointer_crashes() {
+        let (libc, mut w) = setup();
+        assert!(libc.call(&mut w, "readdir", &[p(INVALID_PTR)]).is_err());
+        assert!(libc.call(&mut w, "readdir", &[SimValue::NULL]).is_err());
+    }
+
+    #[test]
+    fn readdir_corrupted_buffer_pointer_crashes() {
+        let (libc, mut w) = setup();
+        let path = w.alloc_cstr("/tmp");
+        let dirp = libc.call(&mut w, "opendir", &[p(path)]).unwrap();
+        w.proc
+            .mem
+            .write_u32(dirp.as_ptr() + OFF_BUF, INVALID_PTR)
+            .unwrap();
+        let err = libc.call(&mut w, "readdir", &[dirp]).unwrap_err();
+        assert_eq!(err.segv_addr(), Some(INVALID_PTR));
+    }
+
+    #[test]
+    fn readdir_stale_fd_reports_ebadf() {
+        let (libc, mut w) = setup();
+        let path = w.alloc_cstr("/tmp");
+        let dirp = libc.call(&mut w, "opendir", &[p(path)]).unwrap();
+        let fd = w.proc.mem.read_i32(dirp.as_ptr() + OFF_FD).unwrap();
+        w.kernel.close(fd).unwrap();
+        let r = libc.call(&mut w, "readdir", &[dirp]).unwrap();
+        assert_eq!(r, SimValue::NULL);
+        assert_eq!(w.proc.errno(), EBADF);
+    }
+}

@@ -1,0 +1,58 @@
+//! The simulated C library under test.
+//!
+//! HEALERS hardens a library *without source access*; the library itself
+//! is the object of study. This crate implements a glibc-2.2-alike over
+//! the simulated process ([`healers_simproc`]) and kernel
+//! ([`healers_os`]): roughly 120 functions across `string.h`, `stdio.h`,
+//! `stdlib.h`, `time.h`, `termios.h`, `dirent.h`, `ctype.h` and
+//! `unistd.h`.
+//!
+//! Two properties make the simulation faithful to the paper's experiments:
+//!
+//! 1. **Crashes are emergent.** Functions perform *no* argument
+//!    validation beyond what their real counterparts do; they simply
+//!    access simulated memory. `strcpy` copies until NUL, `asctime` reads
+//!    a 44-byte `struct tm`, `closedir` frees whatever pointer it is
+//!    given. Invalid arguments genuinely fault, abort, or hang — nothing
+//!    is scripted.
+//! 2. **Errors are authentic.** Kernel-level failures surface as the
+//!    documented error returns with `errno` set (`EBADF`, `ENOENT`, …),
+//!    including the paper's observed quirks: `fflush` fails without
+//!    setting `errno`, and `fdopen`/`freopen` sometimes set `errno` even
+//!    though they succeed.
+//!
+//! # Examples
+//!
+//! ```
+//! use healers_libc::{Libc, World};
+//! use healers_simproc::SimValue;
+//!
+//! let libc = Libc::standard();
+//! let mut world = World::new();
+//! let s = world.alloc_cstr("hello");
+//! let len = libc.call(&mut world, "strlen", &[SimValue::Ptr(s)]).unwrap();
+//! assert_eq!(len, SimValue::Int(5));
+//!
+//! // An invalid pointer genuinely segfaults:
+//! let crash = libc.call(&mut world, "strlen", &[SimValue::Ptr(0xdead_0000)]);
+//! assert!(crash.is_err());
+//! ```
+
+pub mod ctype;
+pub mod decls;
+pub mod dirent;
+pub mod file;
+pub mod registry;
+pub mod stdio;
+pub mod stdlib;
+pub mod string;
+pub mod termios;
+pub mod time;
+pub mod unistd;
+pub mod world;
+
+pub use registry::{CFunction, Libc};
+pub use world::World;
+
+/// `EOF` as returned by stdio functions.
+pub const EOF: i64 = -1;

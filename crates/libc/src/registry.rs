@@ -1,0 +1,174 @@
+//! The function registry — the simulated equivalent of a shared library's
+//! dynamic symbol table plus its code.
+
+use std::collections::BTreeMap;
+
+use healers_ctypes::FunctionPrototype;
+use healers_simproc::{SimFault, SimValue};
+
+use crate::world::World;
+use crate::{ctype, decls, dirent, stdio, stdlib, string, termios, time, unistd};
+
+/// The implementation of one C function.
+pub type CFuncImpl = fn(&mut World, &[SimValue]) -> Result<SimValue, SimFault>;
+
+/// One exported function: prototype plus implementation.
+#[derive(Clone)]
+pub struct CFunction {
+    /// Function name.
+    pub name: String,
+    /// Owning header file.
+    pub header: &'static str,
+    /// Parsed prototype.
+    pub proto: FunctionPrototype,
+    imp: CFuncImpl,
+}
+
+impl std::fmt::Debug for CFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CFunction({})", self.proto)
+    }
+}
+
+impl CFunction {
+    /// Invoke the implementation directly (no fuel reset — for internal
+    /// calls made *by* other libc functions or by the wrapper).
+    pub fn invoke(&self, world: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+        (self.imp)(world, args)
+    }
+}
+
+/// The simulated shared library.
+#[derive(Debug, Clone)]
+pub struct Libc {
+    funcs: BTreeMap<String, CFunction>,
+}
+
+impl Libc {
+    /// The standard library with every function registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the declaration table and the implementation tables
+    /// disagree — a build-time consistency error.
+    pub fn standard() -> Self {
+        let mut impls: BTreeMap<&'static str, CFuncImpl> = BTreeMap::new();
+        for module in [
+            string::funcs(),
+            stdio::funcs(),
+            stdlib::funcs(),
+            time::funcs(),
+            termios::funcs(),
+            dirent::funcs(),
+            unistd::funcs(),
+            ctype::funcs(),
+        ] {
+            for (name, imp) in module {
+                let clash = impls.insert(name, imp);
+                assert!(clash.is_none(), "duplicate implementation for {name}");
+            }
+        }
+
+        let mut funcs = BTreeMap::new();
+        for (name, header, decl) in decls::DECLS {
+            let proto = healers_ctypes::parse_prototype(decl)
+                .unwrap_or_else(|e| panic!("bad declaration for {name}: {e}"));
+            let imp = *impls
+                .get(name)
+                .unwrap_or_else(|| panic!("no implementation for declared function {name}"));
+            funcs.insert(
+                name.to_string(),
+                CFunction {
+                    name: name.to_string(),
+                    header,
+                    proto,
+                    imp,
+                },
+            );
+            impls.remove(name);
+        }
+        assert!(
+            impls.is_empty(),
+            "implementations without declarations: {:?}",
+            impls.keys().collect::<Vec<_>>()
+        );
+        Libc { funcs }
+    }
+
+    /// Look up a function by name.
+    pub fn get(&self, name: &str) -> Option<&CFunction> {
+        self.funcs.get(name)
+    }
+
+    /// Call a function by name at a library-call boundary: the fuel
+    /// budget is reset, so a hang in this call is attributed to it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the callee's [`SimFault`] (segfault / abort / hang).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not an exported function — calling an
+    /// undefined symbol is a harness bug, the dynamic linker would have
+    /// failed at load time.
+    pub fn call(
+        &self,
+        world: &mut World,
+        name: &str,
+        args: &[SimValue],
+    ) -> Result<SimValue, SimFault> {
+        let f = self
+            .funcs
+            .get(name)
+            .unwrap_or_else(|| panic!("undefined symbol: {name}"));
+        world.proc.reset_fuel();
+        f.invoke(world, args)
+    }
+
+    /// Names of all exported functions, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.funcs.keys().map(|s| s.as_str())
+    }
+
+    /// Number of exported functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Whether the library exports no functions (never true for
+    /// [`Libc::standard`]).
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_builds() {
+        let libc = Libc::standard();
+        assert!(libc.len() >= 100);
+        assert!(!libc.is_empty());
+        assert!(libc.get("strcpy").is_some());
+        assert!(libc.get("nonexistent").is_none());
+    }
+
+    #[test]
+    fn prototypes_match_names() {
+        let libc = Libc::standard();
+        for name in libc.names() {
+            assert_eq!(libc.get(name).unwrap().proto.name, name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined symbol")]
+    fn undefined_symbol_panics() {
+        let libc = Libc::standard();
+        let mut w = World::new();
+        let _ = libc.call(&mut w, "no_such_fn", &[]);
+    }
+}

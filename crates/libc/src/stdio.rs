@@ -1,0 +1,1313 @@
+//! `stdio.h`: streams, formatted I/O, and their authentic failure modes.
+//!
+//! Notable authenticity points, each of which the paper's evaluation
+//! observes:
+//!
+//! * `fopen`/`freopen`/`fdopen` copy the caller's mode string into a
+//!   fixed 8-byte internal buffer with no bounds check — long mode
+//!   strings overflow into a guard page and crash ("functions fopen and
+//!   freopen crash when the mode string is invalid but can cope with
+//!   invalid file names", §6);
+//! * `fflush` on a stream with a bad descriptor returns `EOF` **without
+//!   setting `errno`** (§6: the one function that was supposed to set
+//!   `errno` but was not observed doing so);
+//! * `fdopen` and `freopen` sometimes set `errno` even though they
+//!   succeed (§6: the two functions with *inconsistent* error return
+//!   codes);
+//! * `gets` and `sprintf` write through their destination without any
+//!   bound, and the format engine supports `%n` — the classic smashing
+//!   vectors the wrapper's stateful heap check is designed to contain.
+
+use healers_os::errno::{EBADF, EINVAL, ENOMEM};
+use healers_os::OpenFlags;
+use healers_simproc::{Addr, SimFault, SimValue, PAGE_SIZE};
+
+use crate::file::{self, FILE_SIZE};
+use crate::registry::CFuncImpl;
+use crate::string::c_strlen;
+use crate::world::{int_arg, ptr_arg, World};
+use crate::EOF;
+
+/// Page holding the stdio internal mode-string scratch buffer.
+pub const MODE_SCRATCH_PAGE: Addr = 0x0900_0000;
+/// The 8-byte scratch buffer sits at the very end of its page; byte 8
+/// falls on an unmapped page and faults.
+pub const MODE_SCRATCH: Addr = MODE_SCRATCH_PAGE + PAGE_SIZE - 8;
+
+/// Name → implementation table for this module.
+pub(crate) fn funcs() -> Vec<(&'static str, CFuncImpl)> {
+    vec![
+        ("fopen", fopen),
+        ("freopen", freopen),
+        ("fdopen", fdopen),
+        ("fclose", fclose),
+        ("fflush", fflush),
+        ("fread", fread),
+        ("fwrite", fwrite),
+        ("fgets", fgets),
+        ("fputs", fputs),
+        ("fgetc", fgetc),
+        ("fputc", fputc),
+        ("getc", fgetc),
+        ("putc", fputc),
+        ("ungetc", ungetc),
+        ("puts", puts),
+        ("getchar", getchar),
+        ("putchar", putchar),
+        ("gets", gets),
+        ("fseek", fseek),
+        ("ftell", ftell),
+        ("rewind", rewind),
+        ("feof", feof),
+        ("ferror", ferror),
+        ("clearerr", clearerr),
+        ("fileno", fileno),
+        ("setbuf", setbuf),
+        ("setvbuf", setvbuf),
+        ("tmpfile", tmpfile),
+        ("tmpnam", tmpnam),
+        ("sprintf", sprintf),
+        ("snprintf", snprintf),
+        ("fprintf", fprintf),
+        ("sscanf", sscanf),
+        ("perror", perror),
+        ("remove", remove),
+        ("rename", rename),
+    ]
+}
+
+/// A parsed stream mode: first character (`r`/`w`/`a`) plus the `+` flag.
+#[derive(Debug, Clone, Copy)]
+struct StreamMode {
+    first: u8,
+    plus: bool,
+}
+
+impl StreamMode {
+    /// The `(read, write, append)` capabilities of the stream.
+    fn caps(self) -> (bool, bool, bool) {
+        match (self.first, self.plus) {
+            (b'r', false) => (true, false, false),
+            (b'r', true) => (true, true, false),
+            (b'w', false) => (false, true, false),
+            (b'w', true) => (true, true, false),
+            (b'a', false) => (false, true, true),
+            (b'a', true) => (true, true, true),
+            _ => unreachable!("validated by parse"),
+        }
+    }
+
+    /// Kernel open flags with fopen's create/truncate semantics:
+    /// `r`/`r+` never create, `w`/`w+` create+truncate, `a`/`a+`
+    /// create+append.
+    fn open_flags(self) -> OpenFlags {
+        let (read, write, append) = self.caps();
+        OpenFlags {
+            read,
+            write,
+            append,
+            create: self.first != b'r',
+            truncate: self.first == b'w',
+        }
+    }
+
+    /// Mode bits for the `FILE` `_flags` word.
+    fn file_bits(self) -> u32 {
+        let (read, write, append) = self.caps();
+        file::mode_bits(read, write, append)
+    }
+}
+
+/// Copy the caller's mode string into the internal scratch buffer
+/// (unchecked, like the 2002-era library) and parse it.
+///
+/// Returns `Ok(None)` for a syntactically invalid mode (leading char not
+/// `r`/`w`/`a`); the caller reports `EINVAL`.
+fn copy_and_parse_mode(w: &mut World, mode: Addr) -> Result<Option<StreamMode>, SimFault> {
+    let mut bytes = Vec::new();
+    let mut i = 0u32;
+    loop {
+        w.proc.tick(1)?;
+        let b = w.proc.mem.read_u8(mode.wrapping_add(i))?;
+        // The unchecked internal copy: byte 8 lands on the guard page.
+        w.proc.mem.write_u8(MODE_SCRATCH + i, b)?;
+        if b == 0 {
+            break;
+        }
+        bytes.push(b);
+        i += 1;
+    }
+    match bytes.first() {
+        Some(&first @ (b'r' | b'w' | b'a')) => Ok(Some(StreamMode {
+            first,
+            plus: bytes[1..].contains(&b'+'),
+        })),
+        _ => Ok(None),
+    }
+}
+
+fn alloc_file(w: &mut World, fd: i32, bits: u32) -> Result<SimValue, SimFault> {
+    match w.proc.heap_alloc(FILE_SIZE) {
+        Ok(addr) => {
+            file::init_file_object(&mut w.proc, addr, fd, bits)?;
+            Ok(SimValue::Ptr(addr))
+        }
+        Err(_) => w.fail(ENOMEM, SimValue::NULL),
+    }
+}
+
+fn fopen(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let path = ptr_arg(args, 0);
+    let Some(mode) = copy_and_parse_mode(w, ptr_arg(args, 1))? else {
+        return w.fail(EINVAL, SimValue::NULL);
+    };
+    let name = w.read_cstr_lossy(path)?;
+    match w.kernel.open(&name, mode.open_flags(), 0o666) {
+        Ok(fd) => alloc_file(w, fd, mode.file_bits()),
+        Err(e) => w.fail(e, SimValue::NULL),
+    }
+}
+
+fn freopen(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let path = ptr_arg(args, 0);
+    let stream = ptr_arg(args, 2);
+    let Some(mode) = copy_and_parse_mode(w, ptr_arg(args, 1))? else {
+        return w.fail(EINVAL, SimValue::NULL);
+    };
+    let old_fd = file::read_fileno(w, stream)?;
+    // The inconsistent-errno quirk (§6): the internal isatty probe on
+    // the old descriptor fails for regular files and leaves errno =
+    // ENOTTY even though freopen ultimately succeeds.
+    let spurious = w.kernel.isatty(old_fd).is_err();
+    let _ = w.kernel.close(old_fd);
+    let name = w.read_cstr_lossy(path)?;
+    match w.kernel.open(&name, mode.open_flags(), 0o666) {
+        Ok(fd) => {
+            file::init_file_object(&mut w.proc, stream, fd, mode.file_bits())?;
+            if spurious {
+                w.proc.set_errno(healers_os::errno::ENOTTY);
+            }
+            Ok(SimValue::Ptr(stream))
+        }
+        Err(e) => w.fail(e, SimValue::NULL),
+    }
+}
+
+fn fdopen(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let fd = int_arg(args, 0) as i32;
+    let Some(mode) = copy_and_parse_mode(w, ptr_arg(args, 1))? else {
+        return w.fail(EINVAL, SimValue::NULL);
+    };
+    if !w.kernel.fd_is_open(fd) {
+        return w.fail(EBADF, SimValue::NULL);
+    }
+    // The inconsistent-errno quirk (§6): the internal isatty probe sets
+    // errno = ENOTTY for non-terminal descriptors even on success.
+    if w.kernel.isatty(fd).is_err() {
+        w.proc.set_errno(healers_os::errno::ENOTTY);
+    }
+    alloc_file(w, fd, mode.file_bits())
+}
+
+fn fclose(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let stream = ptr_arg(args, 0);
+    // fclose flushes the stream before closing; a corrupted buffer
+    // pointer crashes here, like real stdio.
+    touch_buffer(w, stream, true)?;
+    let fd = file::read_fileno(w, stream)?;
+    let close_result = w.kernel.close(fd);
+    // Release the stream object. fclose cannot know whether the pointer
+    // came from fopen: a heap pointer that is not a block start trips the
+    // allocator's consistency check and aborts, exactly like glibc.
+    if w.proc.heap.contains_range(stream) {
+        match w.proc.heap_free(stream) {
+            Ok(()) => {}
+            Err(e) => {
+                return Err(SimFault::Abort {
+                    reason: e.to_string(),
+                })
+            }
+        }
+    }
+    match close_result {
+        Ok(()) => Ok(SimValue::Int(0)),
+        Err(e) => w.fail(e, SimValue::Int(EOF)),
+    }
+}
+
+fn fflush(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let stream = ptr_arg(args, 0);
+    if stream == 0 {
+        // fflush(NULL) flushes all streams — always succeeds unbuffered.
+        return Ok(SimValue::Int(0));
+    }
+    let fd = file::read_fileno(w, stream)?;
+    if w.kernel.fd_is_open(fd) {
+        Ok(SimValue::Int(0))
+    } else {
+        // The authentic quirk: failure WITHOUT setting errno. §6 singles
+        // out fflush as the one function that should set errno but was
+        // not observed to.
+        Ok(SimValue::Int(EOF))
+    }
+}
+
+fn fread(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let ptr = ptr_arg(args, 0);
+    let size = int_arg(args, 1) as u32;
+    let nmemb = int_arg(args, 2) as u32;
+    let stream = ptr_arg(args, 3);
+    touch_buffer(w, stream, false)?;
+    let fd = file::read_fileno(w, stream)?;
+    let total = size.wrapping_mul(nmemb);
+    if total == 0 {
+        return Ok(SimValue::Int(0));
+    }
+    let mut got: Vec<u8> = Vec::new();
+    if let Some(b) = file::take_ungetc(w, stream)? {
+        got.push(b);
+    }
+    match w.kernel.read(fd, total - got.len() as u32) {
+        Ok(bytes) => got.extend(bytes),
+        Err(e) => {
+            file::set_error(w, stream, true)?;
+            return w.fail(e, SimValue::Int(0));
+        }
+    }
+    w.proc.tick(got.len() as u64)?;
+    w.proc.mem.write_bytes(ptr, &got)?;
+    if (got.len() as u32) < total {
+        file::set_eof(w, stream, true)?;
+    }
+    Ok(SimValue::Int(i64::from(got.len() as u32 / size)))
+}
+
+fn fwrite(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let ptr = ptr_arg(args, 0);
+    let size = int_arg(args, 1) as u32;
+    let nmemb = int_arg(args, 2) as u32;
+    let stream = ptr_arg(args, 3);
+    touch_buffer(w, stream, true)?;
+    let fd = file::read_fileno(w, stream)?;
+    let total = size.wrapping_mul(nmemb);
+    if total == 0 {
+        return Ok(SimValue::Int(0));
+    }
+    w.proc.tick(u64::from(total))?;
+    let bytes = w.proc.mem.read_bytes(ptr, total)?;
+    match w.kernel.write(fd, &bytes) {
+        Ok(_) => Ok(SimValue::Int(i64::from(nmemb))),
+        Err(e) => {
+            file::set_error(w, stream, true)?;
+            w.fail(e, SimValue::Int(0))
+        }
+    }
+}
+
+/// Touch the stream's buffer, as buffered stdio does on every I/O
+/// operation. A legitimate stream has a zero buffer pointer (the
+/// simulated stdio is unbuffered) or a pointer installed by
+/// `setbuf`/`setvbuf`; a *corrupted* FILE object in accessible memory has
+/// garbage here — chasing it is what makes real stdio crash on corrupted
+/// streams ("the failures that remain undetected usually involve
+/// corrupted data structures in accessible memory", §6).
+fn touch_buffer(w: &mut World, stream: Addr, writing: bool) -> Result<(), SimFault> {
+    let buf = w.proc.mem.read_u32(stream + file::OFF_BUFPTR)?;
+    if buf != 0 {
+        if writing {
+            w.proc.mem.write_u8(buf, 0)?;
+        } else {
+            w.proc.mem.read_u8(buf)?;
+        }
+    }
+    Ok(())
+}
+
+fn read_one(w: &mut World, stream: Addr) -> Result<Option<u8>, SimFault> {
+    if let Some(b) = file::take_ungetc(w, stream)? {
+        return Ok(Some(b));
+    }
+    touch_buffer(w, stream, false)?;
+    let fd = file::read_fileno(w, stream)?;
+    match w.kernel.read(fd, 1) {
+        Ok(bytes) if bytes.is_empty() => {
+            file::set_eof(w, stream, true)?;
+            Ok(None)
+        }
+        Ok(bytes) => Ok(Some(bytes[0])),
+        Err(e) => {
+            file::set_error(w, stream, true)?;
+            w.proc.set_errno(e);
+            Ok(None)
+        }
+    }
+}
+
+fn fgets(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let s = ptr_arg(args, 0);
+    let n = int_arg(args, 1);
+    let stream = ptr_arg(args, 2);
+    if n <= 0 {
+        return Ok(SimValue::NULL);
+    }
+    let mut written = 0u32;
+    while i64::from(written) < n - 1 {
+        w.proc.tick(1)?;
+        match read_one(w, stream)? {
+            None => break,
+            Some(b) => {
+                w.proc.mem.write_u8(s + written, b)?;
+                written += 1;
+                if b == b'\n' {
+                    break;
+                }
+            }
+        }
+    }
+    if written == 0 {
+        return Ok(SimValue::NULL);
+    }
+    w.proc.mem.write_u8(s + written, 0)?;
+    Ok(SimValue::Ptr(s))
+}
+
+fn fputs(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let s = ptr_arg(args, 0);
+    let stream = ptr_arg(args, 1);
+    let len = c_strlen(w, s)?;
+    let bytes = w.proc.mem.read_bytes(s, len)?;
+    touch_buffer(w, stream, true)?;
+    let fd = file::read_fileno(w, stream)?;
+    match w.kernel.write(fd, &bytes) {
+        Ok(_) => Ok(SimValue::Int(1)),
+        Err(e) => {
+            file::set_error(w, stream, true)?;
+            w.fail(e, SimValue::Int(EOF))
+        }
+    }
+}
+
+fn fgetc(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let stream = ptr_arg(args, 0);
+    match read_one(w, stream)? {
+        Some(b) => Ok(SimValue::Int(i64::from(b))),
+        None => Ok(SimValue::Int(EOF)),
+    }
+}
+
+fn fputc(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let c = (int_arg(args, 0) & 0xff) as u8;
+    let stream = ptr_arg(args, 1);
+    touch_buffer(w, stream, true)?;
+    let fd = file::read_fileno(w, stream)?;
+    match w.kernel.write(fd, &[c]) {
+        Ok(_) => Ok(SimValue::Int(i64::from(c))),
+        Err(e) => {
+            file::set_error(w, stream, true)?;
+            w.fail(e, SimValue::Int(EOF))
+        }
+    }
+}
+
+fn ungetc(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let c = int_arg(args, 0);
+    let stream = ptr_arg(args, 1);
+    if c == EOF {
+        return Ok(SimValue::Int(EOF));
+    }
+    let c = (c & 0xff) as u8;
+    file::store_ungetc(w, stream, c)?;
+    Ok(SimValue::Int(i64::from(c)))
+}
+
+fn puts(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let s = ptr_arg(args, 0);
+    let len = c_strlen(w, s)?;
+    let mut bytes = w.proc.mem.read_bytes(s, len)?;
+    bytes.push(b'\n');
+    match w.kernel.write(1, &bytes) {
+        Ok(_) => Ok(SimValue::Int(i64::from(len) + 1)),
+        Err(e) => w.fail(e, SimValue::Int(EOF)),
+    }
+}
+
+fn getchar(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let _ = args;
+    let stdin = w.stdin_file;
+    match read_one(w, stdin)? {
+        Some(b) => Ok(SimValue::Int(i64::from(b))),
+        None => Ok(SimValue::Int(EOF)),
+    }
+}
+
+fn putchar(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let c = (int_arg(args, 0) & 0xff) as u8;
+    match w.kernel.write(1, &[c]) {
+        Ok(_) => Ok(SimValue::Int(i64::from(c))),
+        Err(e) => w.fail(e, SimValue::Int(EOF)),
+    }
+}
+
+/// The infamous `gets`: reads a line into the caller's buffer with no
+/// bound whatsoever.
+fn gets(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let s = ptr_arg(args, 0);
+    let mut i = 0u32;
+    loop {
+        w.proc.tick(1)?;
+        let bytes = match w.kernel.read(0, 1) {
+            Ok(b) => b,
+            Err(e) => return w.fail(e, SimValue::NULL),
+        };
+        match bytes.first() {
+            None | Some(b'\n') => break,
+            Some(&b) => {
+                w.proc.mem.write_u8(s.wrapping_add(i), b)?;
+                i += 1;
+            }
+        }
+    }
+    if i == 0 {
+        return Ok(SimValue::NULL);
+    }
+    w.proc.mem.write_u8(s.wrapping_add(i), 0)?;
+    Ok(SimValue::Ptr(s))
+}
+
+fn fseek(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let stream = ptr_arg(args, 0);
+    let off = int_arg(args, 1);
+    let whence = int_arg(args, 2) as i32;
+    let fd = file::read_fileno(w, stream)?;
+    match w.kernel.lseek(fd, off, whence) {
+        Ok(_) => {
+            file::set_eof(w, stream, false)?;
+            Ok(SimValue::Int(0))
+        }
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn ftell(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let stream = ptr_arg(args, 0);
+    let fd = file::read_fileno(w, stream)?;
+    match w.kernel.lseek(fd, 0, 1) {
+        Ok(pos) => Ok(SimValue::Int(i64::from(pos))),
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn rewind(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let stream = ptr_arg(args, 0);
+    let fd = file::read_fileno(w, stream)?;
+    let _ = w.kernel.lseek(fd, 0, 0);
+    file::set_eof(w, stream, false)?;
+    file::set_error(w, stream, false)?;
+    Ok(SimValue::Void)
+}
+
+fn feof(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let stream = ptr_arg(args, 0);
+    let v = w.proc.mem.read_i32(stream + file::OFF_EOF)?;
+    Ok(SimValue::Int(i64::from(v)))
+}
+
+fn ferror(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let stream = ptr_arg(args, 0);
+    let v = w.proc.mem.read_i32(stream + file::OFF_ERROR)?;
+    Ok(SimValue::Int(i64::from(v)))
+}
+
+fn clearerr(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let stream = ptr_arg(args, 0);
+    file::set_eof(w, stream, false)?;
+    file::set_error(w, stream, false)?;
+    Ok(SimValue::Void)
+}
+
+fn fileno(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let stream = ptr_arg(args, 0);
+    let fd = file::read_fileno(w, stream)?;
+    Ok(SimValue::Int(i64::from(fd)))
+}
+
+fn setbuf(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let stream = ptr_arg(args, 0);
+    let buf = ptr_arg(args, 1);
+    w.proc.mem.write_u32(stream + file::OFF_BUFPTR, buf)?;
+    Ok(SimValue::Void)
+}
+
+fn setvbuf(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let stream = ptr_arg(args, 0);
+    let buf = ptr_arg(args, 1);
+    let mode = int_arg(args, 2);
+    if !(0..=2).contains(&mode) {
+        return w.fail(EINVAL, SimValue::Int(-1));
+    }
+    w.proc.mem.write_u32(stream + file::OFF_BUFPTR, buf)?;
+    w.proc.mem.write_u32(stream + file::OFF_BUFMODE, mode as u32)?;
+    Ok(SimValue::Int(0))
+}
+
+fn tmpfile(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let _ = args;
+    w.tmp_counter += 1;
+    let name = format!("/tmp/tmpf{:06}", w.tmp_counter);
+    let flags = OpenFlags {
+        read: true,
+        write: true,
+        create: true,
+        truncate: true,
+        append: false,
+    };
+    match w.kernel.open(&name, flags, 0o600) {
+        Ok(fd) => alloc_file(w, fd, file::F_READ | file::F_WRITE),
+        Err(e) => w.fail(e, SimValue::NULL),
+    }
+}
+
+fn tmpnam(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let s = ptr_arg(args, 0);
+    w.tmp_counter += 1;
+    let name = format!("/tmp/tmpnam{:06}", w.tmp_counter);
+    let target = if s == 0 {
+        w.proc.named_static("tmpnam_buf", 32)
+    } else {
+        s
+    };
+    w.proc.write_cstr(target, name.as_bytes())?;
+    Ok(SimValue::Ptr(target))
+}
+
+// ---------------------------------------------------------------------
+// Formatted output/input
+// ---------------------------------------------------------------------
+
+/// Render a printf-style format with `varargs`, reading the format (and
+/// any `%s` argument strings) from simulated memory. Supports the
+/// directives the four workload programs and the Ballista pools use:
+/// `%d %i %u %x %X %o %c %s %f %g %e %p %%` with `-`/`0` flags, width,
+/// precision, and the `l` length modifier — plus `%n`, which *writes*
+/// the running count through a pointer argument (the classic
+/// format-string attack vector).
+pub(crate) fn format_c(
+    w: &mut World,
+    fmt: Addr,
+    varargs: &[SimValue],
+) -> Result<Vec<u8>, SimFault> {
+    let fmt_bytes = w.proc.read_cstr(fmt)?;
+    let mut out = Vec::new();
+    let mut args = varargs.iter().copied();
+    let mut i = 0usize;
+    while i < fmt_bytes.len() {
+        w.proc.tick(1)?;
+        let c = fmt_bytes[i];
+        if c != b'%' {
+            out.push(c);
+            i += 1;
+            continue;
+        }
+        i += 1;
+        if i >= fmt_bytes.len() {
+            out.push(b'%');
+            break;
+        }
+        // Flags.
+        let mut left = false;
+        let mut zero = false;
+        while i < fmt_bytes.len() {
+            match fmt_bytes[i] {
+                b'-' => left = true,
+                b'0' => zero = true,
+                b'+' | b' ' | b'#' => {}
+                _ => break,
+            }
+            i += 1;
+        }
+        // Width.
+        let mut width = 0usize;
+        while i < fmt_bytes.len() && fmt_bytes[i].is_ascii_digit() {
+            width = width * 10 + (fmt_bytes[i] - b'0') as usize;
+            i += 1;
+        }
+        // Precision.
+        let mut precision: Option<usize> = None;
+        if i < fmt_bytes.len() && fmt_bytes[i] == b'.' {
+            i += 1;
+            let mut p = 0usize;
+            while i < fmt_bytes.len() && fmt_bytes[i].is_ascii_digit() {
+                p = p * 10 + (fmt_bytes[i] - b'0') as usize;
+                i += 1;
+            }
+            precision = Some(p);
+        }
+        // Length modifiers (ignored: long == int on the target).
+        while i < fmt_bytes.len() && matches!(fmt_bytes[i], b'l' | b'h' | b'z') {
+            i += 1;
+        }
+        if i >= fmt_bytes.len() {
+            break;
+        }
+        let conv = fmt_bytes[i];
+        i += 1;
+        let mut next = || args.next().unwrap_or(SimValue::Int(0));
+        let piece: Vec<u8> = match conv {
+            b'%' => vec![b'%'],
+            b'd' | b'i' => format!("{}", next().as_int() as i32).into_bytes(),
+            b'u' => format!("{}", next().as_int() as u32).into_bytes(),
+            b'x' => format!("{:x}", next().as_int() as u32).into_bytes(),
+            b'X' => format!("{:X}", next().as_int() as u32).into_bytes(),
+            b'o' => format!("{:o}", next().as_int() as u32).into_bytes(),
+            b'c' => vec![(next().as_int() & 0xff) as u8],
+            b'p' => format!("0x{:x}", next().as_ptr()).into_bytes(),
+            b'f' | b'g' | b'e' => {
+                let v = next().as_double();
+                let p = precision.unwrap_or(6);
+                format!("{v:.p$}").into_bytes()
+            }
+            b's' => {
+                let ptr = next().as_ptr();
+                // Authentic: %s dereferences blindly.
+                let s = w.proc.read_cstr(ptr)?;
+                match precision {
+                    Some(p) => s.into_iter().take(p).collect(),
+                    None => s,
+                }
+            }
+            b'n' => {
+                // Write the byte count so far through the pointer.
+                let ptr = next().as_ptr();
+                w.proc.mem.write_i32(ptr, out.len() as i32)?;
+                Vec::new()
+            }
+            other => vec![b'%', other],
+        };
+        // Apply width/padding.
+        if piece.len() < width {
+            let pad = width - piece.len();
+            if left {
+                out.extend(piece);
+                out.extend(std::iter::repeat_n(b' ', pad));
+            } else {
+                let padc = if zero && conv != b's' { b'0' } else { b' ' };
+                out.extend(std::iter::repeat_n(padc, pad));
+                out.extend(piece);
+            }
+        } else {
+            out.extend(piece);
+        }
+    }
+    Ok(out)
+}
+
+fn sprintf(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let s = ptr_arg(args, 0);
+    let fmt = ptr_arg(args, 1);
+    let rendered = format_c(w, fmt, &args[2.min(args.len())..])?;
+    // Unbounded write — the reason sprintf is a smashing vector.
+    w.proc.mem.write_bytes(s, &rendered)?;
+    w.proc.mem.write_u8(s + rendered.len() as u32, 0)?;
+    Ok(SimValue::Int(rendered.len() as i64))
+}
+
+fn snprintf(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let s = ptr_arg(args, 0);
+    let maxlen = int_arg(args, 1) as u32;
+    let fmt = ptr_arg(args, 2);
+    let rendered = format_c(w, fmt, &args[3.min(args.len())..])?;
+    if maxlen > 0 {
+        let n = rendered.len().min(maxlen as usize - 1);
+        w.proc.mem.write_bytes(s, &rendered[..n])?;
+        w.proc.mem.write_u8(s + n as u32, 0)?;
+    }
+    Ok(SimValue::Int(rendered.len() as i64))
+}
+
+fn fprintf(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let stream = ptr_arg(args, 0);
+    let fmt = ptr_arg(args, 1);
+    let rendered = format_c(w, fmt, &args[2.min(args.len())..])?;
+    touch_buffer(w, stream, true)?;
+    let fd = file::read_fileno(w, stream)?;
+    match w.kernel.write(fd, &rendered) {
+        Ok(_) => Ok(SimValue::Int(rendered.len() as i64)),
+        Err(e) => {
+            file::set_error(w, stream, true)?;
+            w.fail(e, SimValue::Int(-1))
+        }
+    }
+}
+
+fn sscanf(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let input_addr = ptr_arg(args, 0);
+    let fmt_addr = ptr_arg(args, 1);
+    let input = w.proc.read_cstr(input_addr)?;
+    let fmt = w.proc.read_cstr(fmt_addr)?;
+    let mut out_args = args[2.min(args.len())..].iter().copied();
+    let mut pos = 0usize;
+    let mut converted = 0i64;
+    let mut fi = 0usize;
+    while fi < fmt.len() {
+        w.proc.tick(1)?;
+        let fc = fmt[fi];
+        if fc.is_ascii_whitespace() {
+            while pos < input.len() && input[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            fi += 1;
+            continue;
+        }
+        if fc != b'%' {
+            if pos < input.len() && input[pos] == fc {
+                pos += 1;
+                fi += 1;
+                continue;
+            }
+            break;
+        }
+        fi += 1;
+        // Length modifier.
+        let mut long_mod = false;
+        while fi < fmt.len() && matches!(fmt[fi], b'l' | b'h') {
+            long_mod = fmt[fi] == b'l';
+            fi += 1;
+        }
+        if fi >= fmt.len() {
+            break;
+        }
+        let conv = fmt[fi];
+        fi += 1;
+        // Skip leading whitespace for all conversions except %c.
+        if conv != b'c' {
+            while pos < input.len() && input[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+        }
+        if pos >= input.len() && conv != b'%' {
+            if converted == 0 {
+                converted = EOF;
+            }
+            break;
+        }
+        match conv {
+            b'%' => {
+                if pos < input.len() && input[pos] == b'%' {
+                    pos += 1;
+                } else {
+                    break;
+                }
+            }
+            b'd' | b'u' | b'i' | b'x' => {
+                let start = pos;
+                if pos < input.len() && (input[pos] == b'-' || input[pos] == b'+') {
+                    pos += 1;
+                }
+                let radix = if conv == b'x' { 16 } else { 10 };
+                let digit_start = pos;
+                while pos < input.len() && (input[pos] as char).is_digit(radix) {
+                    pos += 1;
+                }
+                if pos == digit_start {
+                    break;
+                }
+                let text = std::str::from_utf8(&input[start..pos]).unwrap_or("0");
+                let value = if radix == 16 {
+                    i64::from_str_radix(text.trim_start_matches('+'), 16).unwrap_or(0)
+                } else {
+                    text.parse::<i64>().unwrap_or(0)
+                };
+                let ptr = out_args.next().unwrap_or(SimValue::Int(0)).as_ptr();
+                w.proc.mem.write_i32(ptr, value as i32)?;
+                converted += 1;
+            }
+            b's' => {
+                let start = pos;
+                while pos < input.len() && !input[pos].is_ascii_whitespace() {
+                    pos += 1;
+                }
+                let ptr = out_args.next().unwrap_or(SimValue::Int(0)).as_ptr();
+                // Authentic: %s stores unbounded.
+                w.proc.mem.write_bytes(ptr, &input[start..pos])?;
+                w.proc.mem.write_u8(ptr + (pos - start) as u32, 0)?;
+                converted += 1;
+            }
+            b'c' => {
+                let ptr = out_args.next().unwrap_or(SimValue::Int(0)).as_ptr();
+                w.proc.mem.write_u8(ptr, input[pos])?;
+                pos += 1;
+                converted += 1;
+            }
+            b'f' | b'g' | b'e' => {
+                let start = pos;
+                if pos < input.len() && (input[pos] == b'-' || input[pos] == b'+') {
+                    pos += 1;
+                }
+                while pos < input.len()
+                    && (input[pos].is_ascii_digit() || matches!(input[pos], b'.' | b'e' | b'E' | b'-' | b'+'))
+                {
+                    pos += 1;
+                }
+                let text = std::str::from_utf8(&input[start..pos]).unwrap_or("0");
+                let value: f64 = text.parse().unwrap_or(0.0);
+                let ptr = out_args.next().unwrap_or(SimValue::Int(0)).as_ptr();
+                if long_mod {
+                    w.proc.mem.write_f64(ptr, value)?;
+                } else {
+                    w.proc.mem.write_u32(ptr, (value as f32).to_bits())?;
+                }
+                converted += 1;
+            }
+            _ => break,
+        }
+    }
+    Ok(SimValue::Int(converted))
+}
+
+fn perror(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let s = ptr_arg(args, 0);
+    let msg = healers_os::errno::strerror(w.proc.errno());
+    let line = if s == 0 {
+        format!("{msg}\n")
+    } else {
+        let prefix = w.read_cstr_lossy(s)?;
+        if prefix.is_empty() {
+            format!("{msg}\n")
+        } else {
+            format!("{prefix}: {msg}\n")
+        }
+    };
+    let _ = w.kernel.write(2, line.as_bytes());
+    Ok(SimValue::Void)
+}
+
+fn remove(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let path = ptr_arg(args, 0);
+    let name = w.read_cstr_lossy(path)?;
+    let result = w
+        .kernel
+        .vfs
+        .unlink(&name)
+        .or_else(|_| w.kernel.vfs.rmdir(&name));
+    match result {
+        Ok(()) => Ok(SimValue::Int(0)),
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn rename(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let old = ptr_arg(args, 0);
+    let new = ptr_arg(args, 1);
+    let old_name = w.read_cstr_lossy(old)?;
+    let new_name = w.read_cstr_lossy(new)?;
+    match w.kernel.vfs.rename(&old_name, &new_name) {
+        Ok(()) => Ok(SimValue::Int(0)),
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Libc;
+    use healers_simproc::INVALID_PTR;
+
+    fn setup() -> (Libc, World) {
+        (Libc::standard(), World::new())
+    }
+
+    fn p(a: u32) -> SimValue {
+        SimValue::Ptr(a)
+    }
+
+    fn open_stream(libc: &Libc, w: &mut World, path: &str, mode: &str) -> Addr {
+        let pa = w.alloc_cstr(path);
+        let ma = w.alloc_cstr(mode);
+        let r = libc.call(w, "fopen", &[p(pa), p(ma)]).unwrap();
+        assert_ne!(r, SimValue::NULL, "fopen({path}, {mode}) failed");
+        r.as_ptr()
+    }
+
+    #[test]
+    fn fopen_write_read_roundtrip() {
+        let (libc, mut w) = setup();
+        let f = open_stream(&libc, &mut w, "/tmp/x", "w");
+        let data = w.alloc_cstr("payload");
+        libc.call(&mut w, "fputs", &[p(data), p(f)]).unwrap();
+        libc.call(&mut w, "fclose", &[p(f)]).unwrap();
+
+        let f = open_stream(&libc, &mut w, "/tmp/x", "r");
+        let buf = w.alloc_buf(32);
+        let r = libc
+            .call(&mut w, "fgets", &[p(buf), SimValue::Int(32), p(f)])
+            .unwrap();
+        assert_eq!(r, p(buf));
+        assert_eq!(w.read_cstr_lossy(buf).unwrap(), "payload");
+        libc.call(&mut w, "fclose", &[p(f)]).unwrap();
+    }
+
+    #[test]
+    fn fopen_invalid_mode_char_is_einval() {
+        let (libc, mut w) = setup();
+        let pa = w.alloc_cstr("/tmp/x");
+        let ma = w.alloc_cstr("q");
+        let r = libc.call(&mut w, "fopen", &[p(pa), p(ma)]).unwrap();
+        assert_eq!(r, SimValue::NULL);
+        assert_eq!(w.proc.errno(), EINVAL);
+    }
+
+    #[test]
+    fn fopen_long_mode_string_crashes() {
+        // §6: fopen crashes when the mode string is invalid. The internal
+        // 8-byte mode buffer overflows into the guard page.
+        let (libc, mut w) = setup();
+        let pa = w.alloc_cstr("/tmp/x");
+        let ma = w.alloc_cstr("this mode string is far too long");
+        let err = libc.call(&mut w, "fopen", &[p(pa), p(ma)]).unwrap_err();
+        assert_eq!(err.segv_addr(), Some(MODE_SCRATCH_PAGE + PAGE_SIZE));
+    }
+
+    #[test]
+    fn fopen_copes_with_invalid_file_names() {
+        // §6: fopen "can cope with invalid file names".
+        let (libc, mut w) = setup();
+        let pa = w.alloc_cstr("/no/such/deep/path");
+        let ma = w.alloc_cstr("r");
+        let r = libc.call(&mut w, "fopen", &[p(pa), p(ma)]).unwrap();
+        assert_eq!(r, SimValue::NULL);
+        assert_ne!(w.proc.errno(), 0);
+    }
+
+    #[test]
+    fn fopen_null_mode_crashes() {
+        let (libc, mut w) = setup();
+        let pa = w.alloc_cstr("/tmp/x");
+        assert!(libc
+            .call(&mut w, "fopen", &[p(pa), SimValue::NULL])
+            .is_err());
+    }
+
+    #[test]
+    fn fdopen_sets_spurious_errno_on_success() {
+        // §6: fdopen sometimes sets errno even though a valid stream is
+        // returned — the "inconsistent error return code" class.
+        let (libc, mut w) = setup();
+        let fd = w
+            .kernel
+            .open("/etc/passwd", OpenFlags::read_only(), 0)
+            .unwrap();
+        let ma = w.alloc_cstr("r");
+        w.proc.set_errno(0);
+        let r = libc
+            .call(&mut w, "fdopen", &[SimValue::Int(i64::from(fd)), p(ma)])
+            .unwrap();
+        assert_ne!(r, SimValue::NULL);
+        assert_eq!(w.proc.errno(), healers_os::errno::ENOTTY);
+    }
+
+    #[test]
+    fn fdopen_bad_fd_is_ebadf() {
+        let (libc, mut w) = setup();
+        let ma = w.alloc_cstr("r");
+        let r = libc
+            .call(&mut w, "fdopen", &[SimValue::Int(99), p(ma)])
+            .unwrap();
+        assert_eq!(r, SimValue::NULL);
+        assert_eq!(w.proc.errno(), EBADF);
+    }
+
+    #[test]
+    fn fflush_bad_stream_returns_eof_without_errno() {
+        // §6: fflush is supposed to set errno but does not.
+        let (libc, mut w) = setup();
+        let junk = w.alloc_buf(FILE_SIZE); // readable garbage, fd field = 0-init = fd 0 is open!
+        w.proc.mem.write_i32(junk + file::OFF_FILENO, -77).unwrap();
+        w.proc.set_errno(0);
+        let r = libc.call(&mut w, "fflush", &[p(junk)]).unwrap();
+        assert_eq!(r, SimValue::Int(EOF));
+        assert_eq!(w.proc.errno(), 0);
+    }
+
+    #[test]
+    fn fflush_null_flushes_all() {
+        let (libc, mut w) = setup();
+        let r = libc.call(&mut w, "fflush", &[SimValue::NULL]).unwrap();
+        assert_eq!(r, SimValue::Int(0));
+    }
+
+    #[test]
+    fn fflush_invalid_pointer_crashes() {
+        let (libc, mut w) = setup();
+        assert!(libc.call(&mut w, "fflush", &[p(INVALID_PTR)]).is_err());
+    }
+
+    #[test]
+    fn fread_fwrite_binary_roundtrip() {
+        let (libc, mut w) = setup();
+        let f = open_stream(&libc, &mut w, "/tmp/bin", "w");
+        let src = w.alloc_buf(16);
+        w.proc.mem.write_bytes(src, &[9u8; 16]).unwrap();
+        let r = libc
+            .call(&mut w, "fwrite", &[p(src), SimValue::Int(4), SimValue::Int(4), p(f)])
+            .unwrap();
+        assert_eq!(r, SimValue::Int(4));
+        libc.call(&mut w, "fclose", &[p(f)]).unwrap();
+
+        let f = open_stream(&libc, &mut w, "/tmp/bin", "r");
+        let dst = w.alloc_buf(16);
+        let r = libc
+            .call(&mut w, "fread", &[p(dst), SimValue::Int(4), SimValue::Int(4), p(f)])
+            .unwrap();
+        assert_eq!(r, SimValue::Int(4));
+        assert_eq!(w.proc.mem.read_bytes(dst, 16).unwrap(), vec![9u8; 16]);
+        // EOF now.
+        let r = libc
+            .call(&mut w, "fread", &[p(dst), SimValue::Int(1), SimValue::Int(1), p(f)])
+            .unwrap();
+        assert_eq!(r, SimValue::Int(0));
+        let r = libc.call(&mut w, "feof", &[p(f)]).unwrap();
+        assert_eq!(r, SimValue::Int(1));
+    }
+
+    #[test]
+    fn fgetc_ungetc_interplay() {
+        let (libc, mut w) = setup();
+        w.kernel.write_file("/tmp/c", b"AB").unwrap();
+        let f = open_stream(&libc, &mut w, "/tmp/c", "r");
+        let a = libc.call(&mut w, "fgetc", &[p(f)]).unwrap();
+        assert_eq!(a, SimValue::Int(i64::from(b'A')));
+        libc.call(&mut w, "ungetc", &[SimValue::Int(i64::from(b'Z')), p(f)])
+            .unwrap();
+        let z = libc.call(&mut w, "fgetc", &[p(f)]).unwrap();
+        assert_eq!(z, SimValue::Int(i64::from(b'Z')));
+        let b = libc.call(&mut w, "fgetc", &[p(f)]).unwrap();
+        assert_eq!(b, SimValue::Int(i64::from(b'B')));
+        let e = libc.call(&mut w, "fgetc", &[p(f)]).unwrap();
+        assert_eq!(e, SimValue::Int(EOF));
+    }
+
+    #[test]
+    fn fseek_ftell_rewind() {
+        let (libc, mut w) = setup();
+        w.kernel.write_file("/tmp/s", b"0123456789").unwrap();
+        let f = open_stream(&libc, &mut w, "/tmp/s", "r");
+        libc.call(&mut w, "fseek", &[p(f), SimValue::Int(4), SimValue::Int(0)])
+            .unwrap();
+        assert_eq!(
+            libc.call(&mut w, "ftell", &[p(f)]).unwrap(),
+            SimValue::Int(4)
+        );
+        let c = libc.call(&mut w, "fgetc", &[p(f)]).unwrap();
+        assert_eq!(c, SimValue::Int(i64::from(b'4')));
+        libc.call(&mut w, "rewind", &[p(f)]).unwrap();
+        assert_eq!(
+            libc.call(&mut w, "ftell", &[p(f)]).unwrap(),
+            SimValue::Int(0)
+        );
+        // Invalid whence.
+        let r = libc
+            .call(&mut w, "fseek", &[p(f), SimValue::Int(0), SimValue::Int(42)])
+            .unwrap();
+        assert_eq!(r, SimValue::Int(-1));
+        assert_eq!(w.proc.errno(), EINVAL);
+    }
+
+    #[test]
+    fn sprintf_formats_and_overflows() {
+        let (libc, mut w) = setup();
+        let fmt = w.alloc_cstr("x=%d s=%s h=%04x c=%c");
+        let sval = w.alloc_cstr("str");
+        let buf = w.alloc_buf(64);
+        let r = libc
+            .call(
+                &mut w,
+                "sprintf",
+                &[
+                    p(buf),
+                    p(fmt),
+                    SimValue::Int(-7),
+                    p(sval),
+                    SimValue::Int(0xab),
+                    SimValue::Int(i64::from(b'!')),
+                ],
+            )
+            .unwrap();
+        assert_eq!(w.read_cstr_lossy(buf).unwrap(), "x=-7 s=str h=00ab c=!");
+        assert_eq!(r.as_int() as usize, "x=-7 s=str h=00ab c=!".len());
+
+        // Overflow: guarded destination too small.
+        let mut wg = World::new_guarded();
+        let libc = Libc::standard();
+        let fmt = wg.alloc_cstr("%s%s%s%s");
+        let long = wg.alloc_cstr("AAAAAAAAAAAAAAAA");
+        let small = wg.alloc_buf(8);
+        let err = libc
+            .call(
+                &mut wg,
+                "sprintf",
+                &[p(small), p(fmt), p(long), p(long), p(long), p(long)],
+            )
+            .unwrap_err();
+        assert_eq!(err.segv_addr(), Some(small + 8));
+    }
+
+    #[test]
+    fn snprintf_is_bounded() {
+        let (libc, mut w) = setup();
+        let fmt = w.alloc_cstr("%d%d%d");
+        let buf = w.alloc_buf(8);
+        let r = libc
+            .call(
+                &mut w,
+                "snprintf",
+                &[
+                    p(buf),
+                    SimValue::Int(5),
+                    p(fmt),
+                    SimValue::Int(111),
+                    SimValue::Int(222),
+                    SimValue::Int(333),
+                ],
+            )
+            .unwrap();
+        assert_eq!(r, SimValue::Int(9)); // full length reported
+        assert_eq!(w.read_cstr_lossy(buf).unwrap(), "1112"); // truncated
+    }
+
+    #[test]
+    fn percent_n_writes_through_pointer() {
+        let (libc, mut w) = setup();
+        let fmt = w.alloc_cstr("abc%nxyz");
+        let buf = w.alloc_buf(16);
+        let counter = w.alloc_buf(4);
+        libc.call(&mut w, "sprintf", &[p(buf), p(fmt), p(counter)])
+            .unwrap();
+        assert_eq!(w.proc.mem.read_i32(counter).unwrap(), 3);
+        assert_eq!(w.read_cstr_lossy(buf).unwrap(), "abcxyz");
+    }
+
+    #[test]
+    fn sscanf_parses_mixed() {
+        let (libc, mut w) = setup();
+        let input = w.alloc_cstr("42 hello -7");
+        let fmt = w.alloc_cstr("%d %s %d");
+        let a = w.alloc_buf(4);
+        let s = w.alloc_buf(16);
+        let b = w.alloc_buf(4);
+        let r = libc
+            .call(&mut w, "sscanf", &[p(input), p(fmt), p(a), p(s), p(b)])
+            .unwrap();
+        assert_eq!(r, SimValue::Int(3));
+        assert_eq!(w.proc.mem.read_i32(a).unwrap(), 42);
+        assert_eq!(w.read_cstr_lossy(s).unwrap(), "hello");
+        assert_eq!(w.proc.mem.read_i32(b).unwrap(), -7);
+    }
+
+    #[test]
+    fn sscanf_empty_input_returns_eof() {
+        let (libc, mut w) = setup();
+        let input = w.alloc_cstr("");
+        let fmt = w.alloc_cstr("%d");
+        let a = w.alloc_buf(4);
+        let r = libc.call(&mut w, "sscanf", &[p(input), p(fmt), p(a)]).unwrap();
+        assert_eq!(r, SimValue::Int(EOF));
+    }
+
+    #[test]
+    fn gets_overflows_without_bound() {
+        let libc = Libc::standard();
+        let mut w = World::new_guarded();
+        w.kernel.type_input(0, b"longer than the buffer\n");
+        let buf = w.alloc_buf(4);
+        let err = libc.call(&mut w, "gets", &[p(buf)]).unwrap_err();
+        assert_eq!(err.segv_addr(), Some(buf + 4));
+    }
+
+    #[test]
+    fn fclose_heap_garbage_aborts() {
+        let (libc, mut w) = setup();
+        let block = w.alloc_buf(FILE_SIZE);
+        // Interior pointer: not a block start → allocator consistency
+        // abort, like glibc's free().
+        let interior = block + 4;
+        w.proc.mem.write_i32(interior + file::OFF_FILENO, 1).unwrap();
+        let err = libc.call(&mut w, "fclose", &[p(interior)]).unwrap_err();
+        assert!(err.is_abort());
+    }
+
+    #[test]
+    fn setvbuf_validates_mode() {
+        let (libc, mut w) = setup();
+        let f = open_stream(&libc, &mut w, "/tmp/v", "w");
+        let r = libc
+            .call(
+                &mut w,
+                "setvbuf",
+                &[p(f), SimValue::NULL, SimValue::Int(1), SimValue::Int(0)],
+            )
+            .unwrap();
+        assert_eq!(r, SimValue::Int(0));
+        let r = libc
+            .call(
+                &mut w,
+                "setvbuf",
+                &[p(f), SimValue::NULL, SimValue::Int(7), SimValue::Int(0)],
+            )
+            .unwrap();
+        assert_eq!(r, SimValue::Int(-1));
+        assert_eq!(w.proc.errno(), EINVAL);
+    }
+
+    #[test]
+    fn tmpfile_and_tmpnam() {
+        let (libc, mut w) = setup();
+        let f = libc.call(&mut w, "tmpfile", &[]).unwrap();
+        assert_ne!(f, SimValue::NULL);
+        let name = libc.call(&mut w, "tmpnam", &[SimValue::NULL]).unwrap();
+        let s = w.read_cstr_lossy(name.as_ptr()).unwrap();
+        assert!(s.starts_with("/tmp/"));
+        let buf = w.alloc_buf(32);
+        let name2 = libc.call(&mut w, "tmpnam", &[p(buf)]).unwrap();
+        assert_eq!(name2, p(buf));
+    }
+
+    #[test]
+    fn remove_and_rename() {
+        let (libc, mut w) = setup();
+        w.kernel.write_file("/tmp/old", b"x").unwrap();
+        let old = w.alloc_cstr("/tmp/old");
+        let newp = w.alloc_cstr("/tmp/new");
+        let r = libc.call(&mut w, "rename", &[p(old), p(newp)]).unwrap();
+        assert_eq!(r, SimValue::Int(0));
+        let r = libc.call(&mut w, "remove", &[p(newp)]).unwrap();
+        assert_eq!(r, SimValue::Int(0));
+        let r = libc.call(&mut w, "remove", &[p(newp)]).unwrap();
+        assert_eq!(r, SimValue::Int(-1));
+    }
+
+    #[test]
+    fn puts_and_perror_reach_the_tty() {
+        let (libc, mut w) = setup();
+        let s = w.alloc_cstr("out");
+        libc.call(&mut w, "puts", &[p(s)]).unwrap();
+        w.proc.set_errno(EINVAL);
+        let pfx = w.alloc_cstr("ctx");
+        libc.call(&mut w, "perror", &[p(pfx)]).unwrap();
+        let out = String::from_utf8_lossy(w.kernel.tty_output(0)).into_owned();
+        assert!(out.contains("out\n"));
+        assert!(out.contains("ctx: Invalid argument"));
+    }
+
+    #[test]
+    fn fileno_returns_raw_field() {
+        let (libc, mut w) = setup();
+        let f = open_stream(&libc, &mut w, "/tmp/fn", "w");
+        let fd = libc.call(&mut w, "fileno", &[p(f)]).unwrap();
+        assert!(fd.as_int() >= 3);
+        // On garbage memory it returns garbage, not an error.
+        let junk = w.alloc_buf(FILE_SIZE);
+        w.proc.mem.write_i32(junk + file::OFF_FILENO, -999).unwrap();
+        let fd = libc.call(&mut w, "fileno", &[p(junk)]).unwrap();
+        assert_eq!(fd, SimValue::Int(-999));
+    }
+}

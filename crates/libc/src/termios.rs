@@ -1,0 +1,341 @@
+//! `termios.h`: terminal attribute functions.
+//!
+//! §6 of the paper reports a finding its injector made here: `cfsetispeed`
+//! needs only **write** access to its `struct termios` argument, while
+//! `cfsetospeed` needs **read and write** access. We reproduce the
+//! underlying implementation asymmetry: `cfsetispeed` stores the new
+//! input speed into its own field, whereas `cfsetospeed` read-modify-
+//! writes the shared `c_cflag` word.
+
+use healers_os::errno::EINVAL;
+use healers_os::Termios;
+use healers_simproc::{Addr, SimFault, SimValue};
+
+use crate::registry::CFuncImpl;
+use crate::world::{int_arg, ptr_arg, World};
+
+/// Size of `struct termios` on the target.
+pub const TERMIOS_SIZE: u32 = 60;
+
+const OFF_CFLAG: u32 = 8;
+const OFF_ISPEED: u32 = 52;
+const OFF_OSPEED: u32 = 56;
+
+/// Name → implementation table for this module.
+pub(crate) fn funcs() -> Vec<(&'static str, CFuncImpl)> {
+    vec![
+        ("cfgetispeed", cfgetispeed),
+        ("cfgetospeed", cfgetospeed),
+        ("cfsetispeed", cfsetispeed),
+        ("cfsetospeed", cfsetospeed),
+        ("tcgetattr", tcgetattr),
+        ("tcsetattr", tcsetattr),
+        ("tcflush", tcflush),
+        ("tcdrain", tcdrain),
+        ("tcflow", tcflow),
+        ("tcsendbreak", tcdrain),
+    ]
+}
+
+/// Read a `struct termios` image from simulated memory (all 60 bytes).
+///
+/// # Errors
+///
+/// Faults if any byte is unreadable.
+pub fn read_termios(w: &mut World, addr: Addr) -> Result<Termios, SimFault> {
+    let bytes = w.proc.mem.read_bytes(addr, TERMIOS_SIZE)?;
+    let u = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+    let mut cc = [0u8; 32];
+    cc.copy_from_slice(&bytes[17..49]);
+    Ok(Termios {
+        c_iflag: u(0),
+        c_oflag: u(4),
+        c_cflag: u(8),
+        c_lflag: u(12),
+        c_line: bytes[16],
+        c_cc: cc,
+        c_ispeed: u(52),
+        c_ospeed: u(56),
+    })
+}
+
+/// Write a `struct termios` image to simulated memory.
+///
+/// # Errors
+///
+/// Faults if any byte is unwritable.
+pub fn write_termios(w: &mut World, addr: Addr, t: &Termios) -> Result<(), SimFault> {
+    w.proc.mem.write_u32(addr, t.c_iflag)?;
+    w.proc.mem.write_u32(addr + 4, t.c_oflag)?;
+    w.proc.mem.write_u32(addr + 8, t.c_cflag)?;
+    w.proc.mem.write_u32(addr + 12, t.c_lflag)?;
+    w.proc.mem.write_u8(addr + 16, t.c_line)?;
+    w.proc.mem.write_bytes(addr + 17, &t.c_cc)?;
+    // Pad bytes 49..52 stay whatever they were.
+    w.proc.mem.write_u32(addr + OFF_ISPEED, t.c_ispeed)?;
+    w.proc.mem.write_u32(addr + OFF_OSPEED, t.c_ospeed)?;
+    Ok(())
+}
+
+fn cfgetispeed(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let t = ptr_arg(args, 0);
+    let speed = w.proc.mem.read_u32(t + OFF_ISPEED)?;
+    Ok(SimValue::Int(i64::from(speed)))
+}
+
+fn cfgetospeed(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let t = ptr_arg(args, 0);
+    let speed = w.proc.mem.read_u32(t + OFF_OSPEED)?;
+    Ok(SimValue::Int(i64::from(speed)))
+}
+
+/// Sets the input speed with a pure store — write access suffices, the
+/// asymmetry the paper's injector discovered.
+fn cfsetispeed(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let t = ptr_arg(args, 0);
+    let speed = int_arg(args, 1) as u32;
+    if !Termios::is_valid_speed(speed) {
+        return w.fail(EINVAL, SimValue::Int(-1));
+    }
+    w.proc.mem.write_u32(t + OFF_ISPEED, speed)?;
+    Ok(SimValue::Int(0))
+}
+
+/// Sets the output speed with a read-modify-write of `c_cflag` — needs
+/// both read and write access.
+fn cfsetospeed(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let t = ptr_arg(args, 0);
+    let speed = int_arg(args, 1) as u32;
+    if !Termios::is_valid_speed(speed) {
+        return w.fail(EINVAL, SimValue::Int(-1));
+    }
+    const CBAUD: u32 = 0o010017;
+    let cflag = w.proc.mem.read_u32(t + OFF_CFLAG)?;
+    w.proc.mem.write_u32(t + OFF_CFLAG, (cflag & !CBAUD) | speed)?;
+    w.proc.mem.write_u32(t + OFF_OSPEED, speed)?;
+    Ok(SimValue::Int(0))
+}
+
+fn tcgetattr(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let fd = int_arg(args, 0) as i32;
+    let out = ptr_arg(args, 1);
+    match w.kernel.tcgetattr(fd) {
+        Ok(t) => {
+            write_termios(w, out, &t)?;
+            Ok(SimValue::Int(0))
+        }
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn tcsetattr(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let fd = int_arg(args, 0) as i32;
+    let optional_actions = int_arg(args, 1);
+    let tp = ptr_arg(args, 2);
+    if !(0..=2).contains(&optional_actions) {
+        return w.fail(EINVAL, SimValue::Int(-1));
+    }
+    let t = read_termios(w, tp)?;
+    match w.kernel.tcsetattr(fd, t) {
+        Ok(()) => Ok(SimValue::Int(0)),
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn tcflush(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let fd = int_arg(args, 0) as i32;
+    let queue = int_arg(args, 1);
+    if !(0..=2).contains(&queue) {
+        return w.fail(EINVAL, SimValue::Int(-1));
+    }
+    match w.kernel.isatty(fd) {
+        Ok(()) => Ok(SimValue::Int(0)),
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn tcdrain(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let fd = int_arg(args, 0) as i32;
+    match w.kernel.isatty(fd) {
+        Ok(()) => Ok(SimValue::Int(0)),
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn tcflow(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let fd = int_arg(args, 0) as i32;
+    let action = int_arg(args, 1);
+    if !(0..=3).contains(&action) {
+        return w.fail(EINVAL, SimValue::Int(-1));
+    }
+    match w.kernel.isatty(fd) {
+        Ok(()) => Ok(SimValue::Int(0)),
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Libc;
+    use healers_os::{B38400, B9600};
+    use healers_simproc::Protection;
+
+    fn setup() -> (Libc, World) {
+        (Libc::standard(), World::new())
+    }
+
+    fn p(a: u32) -> SimValue {
+        SimValue::Ptr(a)
+    }
+
+    #[test]
+    fn tcgetattr_tcsetattr_roundtrip() {
+        let (libc, mut w) = setup();
+        let buf = w.alloc_buf(TERMIOS_SIZE);
+        let r = libc
+            .call(&mut w, "tcgetattr", &[SimValue::Int(0), p(buf)])
+            .unwrap();
+        assert_eq!(r, SimValue::Int(0));
+        let t = read_termios(&mut w, buf).unwrap();
+        assert_eq!(t.c_ispeed, B9600);
+
+        w.proc.mem.write_u32(buf + OFF_ISPEED, B38400).unwrap();
+        let r = libc
+            .call(
+                &mut w,
+                "tcsetattr",
+                &[SimValue::Int(0), SimValue::Int(0), p(buf)],
+            )
+            .unwrap();
+        assert_eq!(r, SimValue::Int(0));
+        assert_eq!(w.kernel.tcgetattr(0).unwrap().c_ispeed, B38400);
+    }
+
+    #[test]
+    fn tcgetattr_bad_fd() {
+        let (libc, mut w) = setup();
+        let buf = w.alloc_buf(TERMIOS_SIZE);
+        let r = libc
+            .call(&mut w, "tcgetattr", &[SimValue::Int(99), p(buf)])
+            .unwrap();
+        assert_eq!(r, SimValue::Int(-1));
+        assert_eq!(w.proc.errno(), healers_os::errno::EBADF);
+    }
+
+    #[test]
+    fn cfsetispeed_works_on_write_only_memory() {
+        // The §6 asymmetry: a pure store succeeds on WONLY memory…
+        let (libc, mut w) = setup();
+        let wo = w
+            .proc
+            .heap
+            .alloc_with_prot(&mut w.proc.mem, TERMIOS_SIZE, Protection::WriteOnly)
+            .unwrap();
+        let r = libc
+            .call(
+                &mut w,
+                "cfsetispeed",
+                &[p(wo), SimValue::Int(i64::from(B9600))],
+            )
+            .unwrap();
+        assert_eq!(r, SimValue::Int(0));
+    }
+
+    #[test]
+    fn cfsetospeed_crashes_on_write_only_memory() {
+        // …while the read-modify-write of cfsetospeed faults on it.
+        let (libc, mut w) = setup();
+        let wo = w
+            .proc
+            .heap
+            .alloc_with_prot(&mut w.proc.mem, TERMIOS_SIZE, Protection::WriteOnly)
+            .unwrap();
+        let err = libc
+            .call(
+                &mut w,
+                "cfsetospeed",
+                &[p(wo), SimValue::Int(i64::from(B9600))],
+            )
+            .unwrap_err();
+        assert_eq!(err.segv_addr(), Some(wo + OFF_CFLAG));
+    }
+
+    #[test]
+    fn cfset_validates_speed() {
+        let (libc, mut w) = setup();
+        let buf = w.alloc_buf(TERMIOS_SIZE);
+        let r = libc
+            .call(&mut w, "cfsetispeed", &[p(buf), SimValue::Int(31337)])
+            .unwrap();
+        assert_eq!(r, SimValue::Int(-1));
+        assert_eq!(w.proc.errno(), EINVAL);
+    }
+
+    #[test]
+    fn cfget_reads_fields() {
+        let (libc, mut w) = setup();
+        let buf = w.alloc_buf(TERMIOS_SIZE);
+        w.proc.mem.write_u32(buf + OFF_ISPEED, B9600).unwrap();
+        w.proc.mem.write_u32(buf + OFF_OSPEED, B38400).unwrap();
+        assert_eq!(
+            libc.call(&mut w, "cfgetispeed", &[p(buf)]).unwrap(),
+            SimValue::Int(i64::from(B9600))
+        );
+        assert_eq!(
+            libc.call(&mut w, "cfgetospeed", &[p(buf)]).unwrap(),
+            SimValue::Int(i64::from(B38400))
+        );
+        assert!(libc.call(&mut w, "cfgetispeed", &[SimValue::NULL]).is_err());
+    }
+
+    #[test]
+    fn tcflush_validates_queue_and_fd() {
+        let (libc, mut w) = setup();
+        assert_eq!(
+            libc.call(&mut w, "tcflush", &[SimValue::Int(0), SimValue::Int(1)])
+                .unwrap(),
+            SimValue::Int(0)
+        );
+        let r = libc
+            .call(&mut w, "tcflush", &[SimValue::Int(0), SimValue::Int(9)])
+            .unwrap();
+        assert_eq!(r, SimValue::Int(-1));
+        assert_eq!(w.proc.errno(), EINVAL);
+        let r = libc
+            .call(&mut w, "tcflush", &[SimValue::Int(99), SimValue::Int(0)])
+            .unwrap();
+        assert_eq!(r, SimValue::Int(-1));
+    }
+
+    #[test]
+    fn tcflow_and_tcdrain_and_tcsendbreak() {
+        let (libc, mut w) = setup();
+        assert_eq!(
+            libc.call(&mut w, "tcdrain", &[SimValue::Int(1)]).unwrap(),
+            SimValue::Int(0)
+        );
+        assert_eq!(
+            libc.call(&mut w, "tcsendbreak", &[SimValue::Int(1), SimValue::Int(0)])
+                .unwrap(),
+            SimValue::Int(0)
+        );
+        assert_eq!(
+            libc.call(&mut w, "tcflow", &[SimValue::Int(1), SimValue::Int(5)])
+                .unwrap(),
+            SimValue::Int(-1)
+        );
+    }
+
+    #[test]
+    fn termios_marshal_roundtrip() {
+        let mut w = World::new();
+        let buf = w.alloc_buf(TERMIOS_SIZE);
+        let mut t = Termios::sane();
+        t.c_cc[3] = 42;
+        t.c_line = 7;
+        write_termios(&mut w, buf, &t).unwrap();
+        let back = read_termios(&mut w, buf).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,494 @@
+//! `time.h`: calendar conversion on the 44-byte `struct tm`.
+//!
+//! `asctime` is the paper's running example (Figure 2): its robust
+//! argument type is `R_ARRAY_NULL[44]` — a null pointer or a readable
+//! block of at least 44 bytes. The implementations here read/write the
+//! struct through simulated memory, so that property is discoverable by
+//! the fault injector rather than asserted.
+
+use healers_os::errno::EINVAL;
+use healers_simproc::{Addr, SimFault, SimValue};
+
+use crate::registry::CFuncImpl;
+use crate::world::{int_arg, ptr_arg, World};
+
+/// Size of `struct tm` on the target (9 ints + `long` + `char *`).
+pub const TM_SIZE: u32 = 44;
+
+/// Name → implementation table for this module.
+pub(crate) fn funcs() -> Vec<(&'static str, CFuncImpl)> {
+    vec![
+        ("time", time_),
+        ("stime", stime),
+        ("asctime", asctime),
+        ("ctime", ctime),
+        ("gmtime", gmtime),
+        ("localtime", gmtime), // the simulated TZ is always UTC
+        ("mktime", mktime),
+        ("strftime", strftime),
+        ("difftime", difftime),
+    ]
+}
+
+/// Broken-down time, mirroring `struct tm`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tm {
+    /// Seconds `[0,60]`.
+    pub sec: i32,
+    /// Minutes `[0,59]`.
+    pub min: i32,
+    /// Hours `[0,23]`.
+    pub hour: i32,
+    /// Day of month `[1,31]`.
+    pub mday: i32,
+    /// Month `[0,11]`.
+    pub mon: i32,
+    /// Years since 1900.
+    pub year: i32,
+    /// Day of week `[0,6]` (Sunday = 0).
+    pub wday: i32,
+    /// Day of year `[0,365]`.
+    pub yday: i32,
+    /// Daylight-saving flag.
+    pub isdst: i32,
+}
+
+/// Read a `struct tm` image from simulated memory. Reads the full 44
+/// bytes, including the trailing `tm_gmtoff`/`tm_zone` fields — which is
+/// why the robust size is 44, not 36.
+///
+/// # Errors
+///
+/// Faults if any of the 44 bytes is unreadable.
+pub fn read_tm(w: &mut World, addr: Addr) -> Result<Tm, SimFault> {
+    let bytes = w.proc.mem.read_bytes(addr, TM_SIZE)?;
+    let f = |i: usize| i32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().unwrap());
+    Ok(Tm {
+        sec: f(0),
+        min: f(1),
+        hour: f(2),
+        mday: f(3),
+        mon: f(4),
+        year: f(5),
+        wday: f(6),
+        yday: f(7),
+        isdst: f(8),
+    })
+}
+
+/// Write a `struct tm` image to simulated memory (all 44 bytes;
+/// `tm_gmtoff` = 0 and `tm_zone` = a static "UTC" string).
+///
+/// # Errors
+///
+/// Faults if any byte is unwritable.
+pub fn write_tm(w: &mut World, addr: Addr, tm: &Tm) -> Result<(), SimFault> {
+    let zone = w.proc.named_static("tz_utc", 4);
+    w.proc.write_cstr(zone, b"UTC")?;
+    for (i, v) in [
+        tm.sec, tm.min, tm.hour, tm.mday, tm.mon, tm.year, tm.wday, tm.yday, tm.isdst,
+    ]
+    .iter()
+    .enumerate()
+    {
+        w.proc.mem.write_i32(addr + (i as u32) * 4, *v)?;
+    }
+    w.proc.mem.write_i32(addr + 36, 0)?; // tm_gmtoff
+    w.proc.mem.write_u32(addr + 40, zone)?; // tm_zone
+    Ok(())
+}
+
+const DAYS_PER_MONTH: [i32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(y: i32) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+/// Convert an epoch timestamp to broken-down UTC time.
+pub fn civil_from_epoch(t: i64) -> Tm {
+    let days = t.div_euclid(86400);
+    let secs = t.rem_euclid(86400);
+    let mut year = 1970;
+    let mut remaining = days;
+    loop {
+        let len = if is_leap(year) { 366 } else { 365 };
+        if remaining >= i64::from(len) {
+            remaining -= i64::from(len);
+            year += 1;
+        } else if remaining < 0 {
+            year -= 1;
+            remaining += if is_leap(year) { 366 } else { 365 };
+        } else {
+            break;
+        }
+    }
+    let yday = remaining as i32;
+    let mut mon = 0;
+    let mut mday = yday + 1;
+    for (m, &len) in DAYS_PER_MONTH.iter().enumerate() {
+        let len = len + i32::from(m == 1 && is_leap(year));
+        if mday <= len {
+            mon = m as i32;
+            break;
+        }
+        mday -= len;
+    }
+    // Jan 1 1970 was a Thursday (wday 4).
+    let wday = ((days + 4).rem_euclid(7)) as i32;
+    Tm {
+        sec: (secs % 60) as i32,
+        min: ((secs / 60) % 60) as i32,
+        hour: (secs / 3600) as i32,
+        mday,
+        mon,
+        year: year - 1900,
+        wday,
+        yday,
+        isdst: 0,
+    }
+}
+
+/// Convert broken-down time to an epoch timestamp, normalizing
+/// out-of-range fields the way `mktime` does.
+pub fn epoch_from_civil(tm: &Tm) -> i64 {
+    let year = i64::from(tm.year) + 1900;
+    let mut days: i64 = 0;
+    if year >= 1970 {
+        for y in 1970..year {
+            days += if is_leap(y as i32) { 366 } else { 365 };
+        }
+    } else {
+        for y in year..1970 {
+            days -= if is_leap(y as i32) { 366 } else { 365 };
+        }
+    }
+    for m in 0..tm.mon.clamp(0, 11) {
+        days += i64::from(DAYS_PER_MONTH[m as usize]) + i64::from(m == 1 && is_leap(year as i32));
+    }
+    days += i64::from(tm.mday) - 1;
+    days * 86400 + i64::from(tm.hour) * 3600 + i64::from(tm.min) * 60 + i64::from(tm.sec)
+}
+
+const WDAY_NAMES: [&str; 7] = ["Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"];
+const MON_NAMES: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+fn format_asctime(tm: &Tm) -> String {
+    let wday = WDAY_NAMES.get(tm.wday as usize).copied().unwrap_or("???");
+    let mon = MON_NAMES.get(tm.mon as usize).copied().unwrap_or("???");
+    format!(
+        "{} {} {:2} {:02}:{:02}:{:02} {}\n",
+        wday,
+        mon,
+        tm.mday,
+        tm.hour,
+        tm.min,
+        tm.sec,
+        i64::from(tm.year) + 1900
+    )
+}
+
+fn time_(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let t = w.kernel.now();
+    let out = ptr_arg(args, 0);
+    if out != 0 {
+        // Writing through a non-null invalid pointer faults — authentic.
+        w.proc.mem.write_i32(out, t as i32)?;
+    }
+    Ok(SimValue::Int(t))
+}
+
+fn stime(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let when = ptr_arg(args, 0);
+    // Dereferences unconditionally: stime(NULL) crashes.
+    let t = w.proc.mem.read_i32(when)?;
+    let delta = i64::from(t) - w.kernel.now();
+    w.kernel.advance_clock(delta);
+    Ok(SimValue::Int(0))
+}
+
+fn asctime(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let tp = ptr_arg(args, 0);
+    if tp == 0 {
+        // The glibc-2.2 behavior the paper's injector discovered: NULL is
+        // tolerated (returns NULL, errno EINVAL) — hence the NULL branch
+        // of R_ARRAY_NULL[44].
+        return w.fail(EINVAL, SimValue::NULL);
+    }
+    let tm = read_tm(w, tp)?;
+    let text = format_asctime(&tm);
+    let buf = w.proc.named_static("asctime_buf", 40);
+    w.proc.write_cstr(buf, text.as_bytes())?;
+    Ok(SimValue::Ptr(buf))
+}
+
+fn ctime(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let tp = ptr_arg(args, 0);
+    // Unlike asctime, ctime dereferences its argument unconditionally.
+    let t = w.proc.mem.read_i32(tp)?;
+    let tm = civil_from_epoch(i64::from(t));
+    let text = format_asctime(&tm);
+    let buf = w.proc.named_static("asctime_buf", 40);
+    w.proc.write_cstr(buf, text.as_bytes())?;
+    Ok(SimValue::Ptr(buf))
+}
+
+fn gmtime(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let tp = ptr_arg(args, 0);
+    let t = w.proc.mem.read_i32(tp)?;
+    let tm = civil_from_epoch(i64::from(t));
+    let buf = w.proc.named_static("gmtime_buf", TM_SIZE);
+    write_tm(w, buf, &tm)?;
+    Ok(SimValue::Ptr(buf))
+}
+
+fn mktime(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let tp = ptr_arg(args, 0);
+    let tm = read_tm(w, tp)?;
+    let t = epoch_from_civil(&tm);
+    // mktime normalizes the struct in place — it needs write access, so
+    // its robust type is RW_ARRAY[44], not R_ARRAY[44].
+    let normalized = civil_from_epoch(t);
+    write_tm(w, tp, &normalized)?;
+    Ok(SimValue::Int(t))
+}
+
+fn strftime(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let s = ptr_arg(args, 0);
+    let maxsize = int_arg(args, 1) as u32;
+    let fmt = ptr_arg(args, 2);
+    let tp = ptr_arg(args, 3);
+    let fmt_bytes = w.proc.read_cstr(fmt)?;
+    let tm = read_tm(w, tp)?;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < fmt_bytes.len() {
+        w.proc.tick(1)?;
+        let c = fmt_bytes[i];
+        if c != b'%' || i + 1 >= fmt_bytes.len() {
+            out.push(c);
+            i += 1;
+            continue;
+        }
+        i += 1;
+        let conv = fmt_bytes[i];
+        i += 1;
+        let piece = match conv {
+            b'Y' => format!("{}", i64::from(tm.year) + 1900),
+            b'y' => format!("{:02}", (tm.year % 100).abs()),
+            b'm' => format!("{:02}", tm.mon + 1),
+            b'd' => format!("{:02}", tm.mday),
+            b'H' => format!("{:02}", tm.hour),
+            b'M' => format!("{:02}", tm.min),
+            b'S' => format!("{:02}", tm.sec),
+            b'a' => WDAY_NAMES
+                .get(tm.wday as usize)
+                .copied()
+                .unwrap_or("???")
+                .to_string(),
+            b'b' => MON_NAMES
+                .get(tm.mon as usize)
+                .copied()
+                .unwrap_or("???")
+                .to_string(),
+            b'j' => format!("{:03}", tm.yday + 1),
+            b'%' => "%".to_string(),
+            other => format!("%{}", other as char),
+        };
+        out.extend_from_slice(piece.as_bytes());
+    }
+    if out.len() as u32 + 1 > maxsize {
+        return Ok(SimValue::Int(0));
+    }
+    w.proc.mem.write_bytes(s, &out)?;
+    w.proc.mem.write_u8(s + out.len() as u32, 0)?;
+    Ok(SimValue::Int(out.len() as i64))
+}
+
+fn difftime(_w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let t1 = int_arg(args, 0);
+    let t0 = int_arg(args, 1);
+    Ok(SimValue::Double((t1 - t0) as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Libc;
+    use healers_simproc::INVALID_PTR;
+
+    fn setup() -> (Libc, World) {
+        (Libc::standard(), World::new())
+    }
+
+    fn p(a: u32) -> SimValue {
+        SimValue::Ptr(a)
+    }
+
+    #[test]
+    fn civil_roundtrip() {
+        for t in [0i64, 86399, 86400, 1_000_000_000, 951_782_400 /* 2000-02-29 */] {
+            let tm = civil_from_epoch(t);
+            assert_eq!(epoch_from_civil(&tm), t, "roundtrip {t}");
+        }
+    }
+
+    #[test]
+    fn epoch_zero_is_jan_1_1970_thursday() {
+        let tm = civil_from_epoch(0);
+        assert_eq!((tm.year, tm.mon, tm.mday), (70, 0, 1));
+        assert_eq!(tm.wday, 4);
+        assert_eq!(tm.yday, 0);
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        // 2000-02-29 12:00:00 UTC
+        let tm = civil_from_epoch(951_825_600);
+        assert_eq!((tm.year + 1900, tm.mon, tm.mday, tm.hour), (2000, 1, 29, 12));
+    }
+
+    #[test]
+    fn asctime_reads_exactly_44_bytes() {
+        let (libc, mut w) = setup();
+        // A guarded 44-byte block: asctime succeeds.
+        let mut wg = World::new_guarded();
+        let buf = wg.alloc_buf(44);
+        write_tm(&mut wg, buf, &civil_from_epoch(0)).unwrap();
+        let r = libc.call(&mut wg, "asctime", &[p(buf)]).unwrap();
+        let text = wg.read_cstr_lossy(r.as_ptr()).unwrap();
+        assert_eq!(text, "Thu Jan  1 00:00:00 1970\n");
+
+        // A guarded 43-byte block: the read of byte 43 faults.
+        let short = wg.alloc_buf(43);
+        let err = libc.call(&mut wg, "asctime", &[p(short)]).unwrap_err();
+        assert_eq!(err.segv_addr(), Some(short + 43));
+        let _ = &mut w;
+    }
+
+    #[test]
+    fn asctime_null_returns_null_with_einval() {
+        let (libc, mut w) = setup();
+        w.proc.set_errno(0);
+        let r = libc.call(&mut w, "asctime", &[SimValue::NULL]).unwrap();
+        assert_eq!(r, SimValue::NULL);
+        assert_eq!(w.proc.errno(), EINVAL);
+    }
+
+    #[test]
+    fn ctime_dereferences_null() {
+        let (libc, mut w) = setup();
+        assert!(libc.call(&mut w, "ctime", &[SimValue::NULL]).is_err());
+        let t = w.alloc_buf(4);
+        w.proc.mem.write_i32(t, 0).unwrap();
+        let r = libc.call(&mut w, "ctime", &[p(t)]).unwrap();
+        assert!(w
+            .read_cstr_lossy(r.as_ptr())
+            .unwrap()
+            .starts_with("Thu Jan  1"));
+    }
+
+    #[test]
+    fn gmtime_writes_static_tm() {
+        let (libc, mut w) = setup();
+        let t = w.alloc_buf(4);
+        w.proc.mem.write_i32(t, 86400 + 3600).unwrap();
+        let r = libc.call(&mut w, "gmtime", &[p(t)]).unwrap();
+        let tm = read_tm(&mut w, r.as_ptr()).unwrap();
+        assert_eq!((tm.mday, tm.hour), (2, 1));
+    }
+
+    #[test]
+    fn mktime_normalizes_in_place() {
+        let (libc, mut w) = setup();
+        let buf = w.alloc_buf(44);
+        // 25 hours on Jan 1 1970 normalizes to Jan 2, 01:00.
+        let tm = Tm {
+            hour: 25,
+            mday: 1,
+            mon: 0,
+            year: 70,
+            ..Default::default()
+        };
+        write_tm(&mut w, buf, &tm).unwrap();
+        let r = libc.call(&mut w, "mktime", &[p(buf)]).unwrap();
+        assert_eq!(r, SimValue::Int(25 * 3600));
+        let back = read_tm(&mut w, buf).unwrap();
+        assert_eq!((back.mday, back.hour), (2, 1));
+    }
+
+    #[test]
+    fn mktime_needs_write_access() {
+        let libc = Libc::standard();
+        let mut w = World::new();
+        // A read-only tm: the normalize-write faults.
+        let ro = w
+            .proc
+            .heap
+            .alloc_with_prot(&mut w.proc.mem, 44, healers_simproc::Protection::ReadOnly)
+            .unwrap();
+        let err = libc.call(&mut w, "mktime", &[p(ro)]).unwrap_err();
+        assert!(err.segv_addr().is_some());
+    }
+
+    #[test]
+    fn time_writes_optional_out_param() {
+        let (libc, mut w) = setup();
+        let r = libc.call(&mut w, "time", &[SimValue::NULL]).unwrap();
+        assert!(r.as_int() > 0);
+        let out = w.alloc_buf(4);
+        let r2 = libc.call(&mut w, "time", &[p(out)]).unwrap();
+        assert_eq!(i64::from(w.proc.mem.read_i32(out).unwrap()), r2.as_int());
+        assert!(libc.call(&mut w, "time", &[p(INVALID_PTR)]).is_err());
+    }
+
+    #[test]
+    fn stime_sets_clock() {
+        let (libc, mut w) = setup();
+        let t = w.alloc_buf(4);
+        w.proc.mem.write_i32(t, 1_234_567_890).unwrap();
+        libc.call(&mut w, "stime", &[p(t)]).unwrap();
+        assert_eq!(w.kernel.now(), 1_234_567_890);
+        assert!(libc.call(&mut w, "stime", &[SimValue::NULL]).is_err());
+    }
+
+    #[test]
+    fn strftime_formats() {
+        let (libc, mut w) = setup();
+        let buf = w.alloc_buf(64);
+        let fmt = w.alloc_cstr("%Y-%m-%d %H:%M:%S (%a)");
+        let tmb = w.alloc_buf(44);
+        write_tm(&mut w, tmb, &civil_from_epoch(0)).unwrap();
+        let r = libc
+            .call(
+                &mut w,
+                "strftime",
+                &[p(buf), SimValue::Int(64), p(fmt), p(tmb)],
+            )
+            .unwrap();
+        assert_eq!(
+            w.read_cstr_lossy(buf).unwrap(),
+            "1970-01-01 00:00:00 (Thu)"
+        );
+        assert_eq!(r.as_int() as usize, "1970-01-01 00:00:00 (Thu)".len());
+        // Too-small max returns 0.
+        let r = libc
+            .call(
+                &mut w,
+                "strftime",
+                &[p(buf), SimValue::Int(4), p(fmt), p(tmb)],
+            )
+            .unwrap();
+        assert_eq!(r, SimValue::Int(0));
+    }
+
+    #[test]
+    fn difftime_is_pure() {
+        let (libc, mut w) = setup();
+        let r = libc
+            .call(&mut w, "difftime", &[SimValue::Int(100), SimValue::Int(58)])
+            .unwrap();
+        assert_eq!(r, SimValue::Double(42.0));
+    }
+}

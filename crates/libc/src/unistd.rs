@@ -1,0 +1,489 @@
+//! `unistd.h` / `fcntl.h` / `sys/stat.h`: the thin syscall wrappers.
+//!
+//! Most of these are among the paper's nine never-crashing functions:
+//! they take only scalar arguments and the kernel validates descriptors,
+//! so the worst case is `EBADF`. The pointer-taking ones (`read`,
+//! `write`, `stat`, `getcwd`, `pipe`, path functions) crash exactly where
+//! their real counterparts do.
+
+use healers_os::errno::{ENOMEM, ERANGE};
+use healers_os::OpenFlags;
+use healers_simproc::{SimFault, SimValue};
+
+use crate::registry::CFuncImpl;
+use crate::world::{int_arg, ptr_arg, World};
+
+/// Name → implementation table for this module.
+pub(crate) fn funcs() -> Vec<(&'static str, CFuncImpl)> {
+    vec![
+        ("open", open_),
+        ("creat", creat),
+        ("read", read_),
+        ("write", write_),
+        ("close", close_),
+        ("lseek", lseek),
+        ("dup", dup),
+        ("dup2", dup2),
+        ("pipe", pipe_),
+        ("isatty", isatty),
+        ("access", access),
+        ("chdir", chdir),
+        ("getcwd", getcwd),
+        ("unlink", unlink),
+        ("rmdir", rmdir),
+        ("mkdir", mkdir),
+        ("stat", stat_),
+        ("fstat", fstat_),
+        ("umask", umask),
+        ("sleep", sleep_),
+        ("getpid", getpid),
+    ]
+}
+
+// O_* flag bits (Linux i386 numbering).
+const O_WRONLY: i64 = 0o1;
+const O_RDWR: i64 = 0o2;
+const O_CREAT: i64 = 0o100;
+const O_TRUNC: i64 = 0o1000;
+const O_APPEND: i64 = 0o2000;
+
+fn decode_oflags(oflag: i64) -> OpenFlags {
+    let acc = oflag & 0o3;
+    OpenFlags {
+        read: acc == 0 || acc == O_RDWR,
+        write: acc == O_WRONLY || acc == O_RDWR,
+        append: oflag & O_APPEND != 0,
+        create: oflag & O_CREAT != 0,
+        truncate: oflag & O_TRUNC != 0,
+    }
+}
+
+fn open_(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let path = ptr_arg(args, 0);
+    let oflag = int_arg(args, 1);
+    let mode = int_arg(args, 2) as u32;
+    let name = w.read_cstr_lossy(path)?;
+    match w.kernel.open(&name, decode_oflags(oflag), mode) {
+        Ok(fd) => Ok(SimValue::Int(i64::from(fd))),
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn creat(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let path = ptr_arg(args, 0);
+    let mode = int_arg(args, 1) as u32;
+    let name = w.read_cstr_lossy(path)?;
+    match w.kernel.open(&name, OpenFlags::write_create(), mode) {
+        Ok(fd) => Ok(SimValue::Int(i64::from(fd))),
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn read_(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let fd = int_arg(args, 0) as i32;
+    let buf = ptr_arg(args, 1);
+    let count = int_arg(args, 2) as u32;
+    match w.kernel.read(fd, count) {
+        Ok(bytes) => {
+            w.proc.tick(bytes.len() as u64)?;
+            // Partial writes before a fault persist — authentic.
+            w.proc.mem.write_bytes(buf, &bytes)?;
+            Ok(SimValue::Int(bytes.len() as i64))
+        }
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn write_(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let fd = int_arg(args, 0) as i32;
+    let buf = ptr_arg(args, 1);
+    let count = int_arg(args, 2) as u32;
+    w.proc.tick(u64::from(count))?;
+    let bytes = w.proc.mem.read_bytes(buf, count)?;
+    match w.kernel.write(fd, &bytes) {
+        Ok(n) => Ok(SimValue::Int(i64::from(n))),
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn close_(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let fd = int_arg(args, 0) as i32;
+    match w.kernel.close(fd) {
+        Ok(()) => Ok(SimValue::Int(0)),
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn lseek(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let fd = int_arg(args, 0) as i32;
+    let off = int_arg(args, 1);
+    let whence = int_arg(args, 2) as i32;
+    match w.kernel.lseek(fd, off, whence) {
+        Ok(pos) => Ok(SimValue::Int(i64::from(pos))),
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn dup(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let fd = int_arg(args, 0) as i32;
+    match w.kernel.dup(fd) {
+        Ok(n) => Ok(SimValue::Int(i64::from(n))),
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn dup2(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let fd = int_arg(args, 0) as i32;
+    let newfd = int_arg(args, 1) as i32;
+    match w.kernel.dup2(fd, newfd) {
+        Ok(n) => Ok(SimValue::Int(i64::from(n))),
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn pipe_(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let out = ptr_arg(args, 0);
+    match w.kernel.pipe() {
+        Ok((r, wr)) => {
+            w.proc.mem.write_i32(out, r)?;
+            w.proc.mem.write_i32(out + 4, wr)?;
+            Ok(SimValue::Int(0))
+        }
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn isatty(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let fd = int_arg(args, 0) as i32;
+    match w.kernel.isatty(fd) {
+        Ok(()) => Ok(SimValue::Int(1)),
+        Err(e) => w.fail(e, SimValue::Int(0)),
+    }
+}
+
+fn access(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let path = ptr_arg(args, 0);
+    let mode = int_arg(args, 1) as i32;
+    let name = w.read_cstr_lossy(path)?;
+    match w.kernel.access(&name, mode) {
+        Ok(()) => Ok(SimValue::Int(0)),
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn chdir(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let path = ptr_arg(args, 0);
+    let name = w.read_cstr_lossy(path)?;
+    match w.kernel.vfs.chdir(&name) {
+        Ok(()) => Ok(SimValue::Int(0)),
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn getcwd(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let buf = ptr_arg(args, 0);
+    let size = int_arg(args, 1) as u32;
+    let cwd = w.kernel.vfs.cwd_path();
+    if buf == 0 {
+        // The glibc extension: allocate a buffer.
+        match w.proc.heap_alloc(cwd.len() as u32 + 1) {
+            Ok(p) => {
+                w.proc.write_cstr(p, cwd.as_bytes())?;
+                Ok(SimValue::Ptr(p))
+            }
+            Err(_) => w.fail(ENOMEM, SimValue::NULL),
+        }
+    } else {
+        if (cwd.len() as u32) + 1 > size {
+            return w.fail(ERANGE, SimValue::NULL);
+        }
+        // Size is checked, pointer validity is not: bad pointers fault.
+        w.proc.write_cstr(buf, cwd.as_bytes())?;
+        Ok(SimValue::Ptr(buf))
+    }
+}
+
+fn unlink(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let path = ptr_arg(args, 0);
+    let name = w.read_cstr_lossy(path)?;
+    match w.kernel.vfs.unlink(&name) {
+        Ok(()) => Ok(SimValue::Int(0)),
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn rmdir(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let path = ptr_arg(args, 0);
+    let name = w.read_cstr_lossy(path)?;
+    match w.kernel.vfs.rmdir(&name) {
+        Ok(()) => Ok(SimValue::Int(0)),
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn mkdir(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let path = ptr_arg(args, 0);
+    let mode = int_arg(args, 1) as u32;
+    let name = w.read_cstr_lossy(path)?;
+    let now = w.kernel.now();
+    match w.kernel.vfs.mkdir(&name, mode, now) {
+        Ok(_) => Ok(SimValue::Int(0)),
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+/// Marshal a [`healers_os::FileStat`] into a `struct stat` image.
+fn write_stat(
+    w: &mut World,
+    addr: healers_simproc::Addr,
+    st: &healers_os::FileStat,
+) -> Result<(), SimFault> {
+    w.proc.mem.write_u32(addr, 1)?; // st_dev
+    w.proc.mem.write_u32(addr + 4, st.ino)?;
+    w.proc.mem.write_u32(addr + 8, st.mode)?;
+    w.proc.mem.write_u32(addr + 12, st.nlink)?;
+    w.proc.mem.write_u32(addr + 16, 1000)?; // st_uid
+    w.proc.mem.write_u32(addr + 20, 1000)?; // st_gid
+    w.proc.mem.write_i32(addr + 24, st.size as i32)?;
+    for off in [28u32, 32, 36] {
+        w.proc.mem.write_i32(addr + off, st.mtime as i32)?;
+    }
+    // Remaining bytes up to 88 are padding; touch the last byte so the
+    // full struct must be writable, like a real 88-byte store.
+    w.proc.mem.write_u8(addr + 87, 0)?;
+    Ok(())
+}
+
+fn stat_(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let path = ptr_arg(args, 0);
+    let out = ptr_arg(args, 1);
+    let name = w.read_cstr_lossy(path)?;
+    match w.kernel.stat(&name) {
+        Ok(st) => {
+            write_stat(w, out, &st)?;
+            Ok(SimValue::Int(0))
+        }
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn fstat_(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let fd = int_arg(args, 0) as i32;
+    let out = ptr_arg(args, 1);
+    match w.kernel.fstat(fd) {
+        Ok(st) => {
+            write_stat(w, out, &st)?;
+            Ok(SimValue::Int(0))
+        }
+        Err(e) => w.fail(e, SimValue::Int(-1)),
+    }
+}
+
+fn umask(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let mask = int_arg(args, 0) as u32;
+    Ok(SimValue::Int(i64::from(w.kernel.umask(mask))))
+}
+
+fn sleep_(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let secs = int_arg(args, 0);
+    // Advances the simulated clock instantly; never hangs the simulation.
+    w.kernel.advance_clock(secs.clamp(0, i64::from(u32::MAX)));
+    Ok(SimValue::Int(0))
+}
+
+fn getpid(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
+    let _ = args;
+    Ok(SimValue::Int(i64::from(w.kernel.getpid())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Libc;
+    use healers_simproc::INVALID_PTR;
+
+    fn setup() -> (Libc, World) {
+        (Libc::standard(), World::new())
+    }
+
+    fn p(a: u32) -> SimValue {
+        SimValue::Ptr(a)
+    }
+
+    #[test]
+    fn open_read_write_close_syscalls() {
+        let (libc, mut w) = setup();
+        let path = w.alloc_cstr("/tmp/u");
+        let fd = libc
+            .call(
+                &mut w,
+                "open",
+                &[p(path), SimValue::Int(O_WRONLY | O_CREAT | O_TRUNC), SimValue::Int(0o644)],
+            )
+            .unwrap();
+        assert!(fd.as_int() >= 3);
+        let data = w.alloc_cstr("bytes");
+        let n = libc
+            .call(&mut w, "write", &[fd, p(data), SimValue::Int(5)])
+            .unwrap();
+        assert_eq!(n, SimValue::Int(5));
+        libc.call(&mut w, "close", &[fd]).unwrap();
+
+        let fd = libc
+            .call(&mut w, "open", &[p(path), SimValue::Int(0), SimValue::Int(0)])
+            .unwrap();
+        let buf = w.alloc_buf(16);
+        let n = libc
+            .call(&mut w, "read", &[fd, p(buf), SimValue::Int(16)])
+            .unwrap();
+        assert_eq!(n, SimValue::Int(5));
+        assert_eq!(w.proc.mem.read_bytes(buf, 5).unwrap(), b"bytes");
+    }
+
+    #[test]
+    fn the_nine_robust_functions_never_crash_on_wild_scalars() {
+        // close, dup, dup2, lseek, isatty, sleep, umask, abs, labs — the
+        // simulated counterparts of the paper's 9 never-failing functions.
+        let (libc, mut w) = setup();
+        let wild = [
+            SimValue::Int(i64::from(i32::MIN)),
+            SimValue::Int(-1),
+            SimValue::Int(0),
+            SimValue::Int(77),
+            SimValue::Int(i64::from(i32::MAX)),
+        ];
+        for &a in &wild {
+            for &b in &wild {
+                for name in ["close", "dup", "isatty", "umask", "abs", "labs", "sleep"] {
+                    libc.call(&mut w, name, &[a]).unwrap_or_else(|e| {
+                        panic!("{name}({a}) crashed: {e}");
+                    });
+                }
+                for name in ["dup2", "lseek"] {
+                    libc.call(&mut w, name, &[a, b, SimValue::Int(0)])
+                        .unwrap_or_else(|e| panic!("{name}({a},{b}) crashed: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn read_into_bad_buffer_crashes() {
+        let (libc, mut w) = setup();
+        w.kernel.type_input(0, b"input!");
+        let err = libc
+            .call(&mut w, "read", &[SimValue::Int(0), p(INVALID_PTR), SimValue::Int(6)])
+            .unwrap_err();
+        assert_eq!(err.segv_addr(), Some(INVALID_PTR));
+    }
+
+    #[test]
+    fn write_from_bad_buffer_crashes() {
+        let (libc, mut w) = setup();
+        let err = libc
+            .call(&mut w, "write", &[SimValue::Int(1), SimValue::NULL, SimValue::Int(4)])
+            .unwrap_err();
+        assert_eq!(err.segv_addr(), Some(0));
+    }
+
+    #[test]
+    fn stat_writes_88_bytes() {
+        let (libc, mut w) = setup();
+        let path = w.alloc_cstr("/etc/passwd");
+        let buf = w.alloc_buf(88);
+        let r = libc.call(&mut w, "stat", &[p(path), p(buf)]).unwrap();
+        assert_eq!(r, SimValue::Int(0));
+        let mode = w.proc.mem.read_u32(buf + 8).unwrap();
+        assert_ne!(mode & healers_os::fs::S_IFREG, 0);
+
+        // An 87-byte guarded buffer is too small.
+        let mut wg = World::new_guarded();
+        let path = wg.alloc_cstr("/etc/passwd");
+        let small = wg.alloc_buf(87);
+        let err = libc.call(&mut wg, "stat", &[p(path), p(small)]).unwrap_err();
+        assert_eq!(err.segv_addr(), Some(small + 87));
+    }
+
+    #[test]
+    fn fstat_distinguishes_tty() {
+        let (libc, mut w) = setup();
+        let buf = w.alloc_buf(88);
+        libc.call(&mut w, "fstat", &[SimValue::Int(0), p(buf)]).unwrap();
+        let mode = w.proc.mem.read_u32(buf + 8).unwrap();
+        assert_ne!(mode & healers_os::fs::S_IFCHR, 0);
+        let r = libc
+            .call(&mut w, "fstat", &[SimValue::Int(55), p(buf)])
+            .unwrap();
+        assert_eq!(r, SimValue::Int(-1));
+    }
+
+    #[test]
+    fn getcwd_variants() {
+        let (libc, mut w) = setup();
+        let home = w.alloc_cstr("/home/user");
+        libc.call(&mut w, "chdir", &[p(home)]).unwrap();
+        // NULL buffer: allocates.
+        let r = libc
+            .call(&mut w, "getcwd", &[SimValue::NULL, SimValue::Int(0)])
+            .unwrap();
+        assert_eq!(w.read_cstr_lossy(r.as_ptr()).unwrap(), "/home/user");
+        // Too-small size: ERANGE.
+        let buf = w.alloc_buf(4);
+        let r = libc
+            .call(&mut w, "getcwd", &[p(buf), SimValue::Int(4)])
+            .unwrap();
+        assert_eq!(r, SimValue::NULL);
+        assert_eq!(w.proc.errno(), ERANGE);
+        // Good size, bad pointer: crash.
+        assert!(libc
+            .call(&mut w, "getcwd", &[p(INVALID_PTR), SimValue::Int(64)])
+            .is_err());
+    }
+
+    #[test]
+    fn pipe_writes_fd_pair() {
+        let (libc, mut w) = setup();
+        let fds = w.alloc_buf(8);
+        let r = libc.call(&mut w, "pipe", &[p(fds)]).unwrap();
+        assert_eq!(r, SimValue::Int(0));
+        let rfd = w.proc.mem.read_i32(fds).unwrap();
+        let wfd = w.proc.mem.read_i32(fds + 4).unwrap();
+        assert_ne!(rfd, wfd);
+        assert!(libc.call(&mut w, "pipe", &[SimValue::NULL]).is_err());
+    }
+
+    #[test]
+    fn mkdir_unlink_rmdir_access() {
+        let (libc, mut w) = setup();
+        let d = w.alloc_cstr("/tmp/newdir");
+        assert_eq!(
+            libc.call(&mut w, "mkdir", &[p(d), SimValue::Int(0o755)]).unwrap(),
+            SimValue::Int(0)
+        );
+        assert_eq!(
+            libc.call(&mut w, "access", &[p(d), SimValue::Int(0)]).unwrap(),
+            SimValue::Int(0)
+        );
+        assert_eq!(
+            libc.call(&mut w, "rmdir", &[p(d)]).unwrap(),
+            SimValue::Int(0)
+        );
+        let r = libc.call(&mut w, "access", &[p(d), SimValue::Int(0)]).unwrap();
+        assert_eq!(r, SimValue::Int(-1));
+    }
+
+    #[test]
+    fn sleep_advances_clock_without_hanging() {
+        let (libc, mut w) = setup();
+        let t0 = w.kernel.now();
+        libc.call(&mut w, "sleep", &[SimValue::Int(i64::from(i32::MAX))])
+            .unwrap();
+        assert!(w.kernel.now() >= t0 + i64::from(i32::MAX));
+    }
+
+    #[test]
+    fn getpid_is_positive() {
+        let (libc, mut w) = setup();
+        assert!(libc.call(&mut w, "getpid", &[]).unwrap().as_int() > 0);
+    }
+}

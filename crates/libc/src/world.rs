@@ -1,0 +1,186 @@
+//! The combined machine image: process memory + kernel + libc-internal
+//! state.
+
+use std::collections::BTreeMap;
+
+use healers_os::Kernel;
+use healers_simproc::{Addr, SimFault, SimProcess, SimValue};
+
+use crate::file;
+
+/// The complete state a simulated program runs against. Cloning a `World`
+/// snapshots everything — process memory, heap metadata, kernel state —
+/// which is how calls are sandboxed for fault containment.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// The process image (memory, heap, errno, fuel).
+    pub proc: SimProcess,
+    /// The kernel (filesystem, descriptors, terminals, clock).
+    pub kernel: Kernel,
+    /// Environment variables (canonical store; string images are
+    /// materialized into static memory on demand by `getenv`).
+    pub env: BTreeMap<String, String>,
+    /// `rand`/`srand` LCG state.
+    pub rand_state: u64,
+    /// Counter for `tmpfile`/`tmpnam` names.
+    pub tmp_counter: u32,
+    /// Address of the `stdin` FILE object.
+    pub stdin_file: Addr,
+    /// Address of the `stdout` FILE object.
+    pub stdout_file: Addr,
+    /// Address of the `stderr` FILE object.
+    pub stderr_file: Addr,
+}
+
+impl World {
+    /// A fresh world: standard kernel layout, standard streams wired to
+    /// the terminal, a small default environment.
+    pub fn new() -> Self {
+        let mut proc = SimProcess::new();
+        // The stdio mode-string scratch buffer: an 8-byte internal buffer
+        // placed at the very end of its own page, with the next page
+        // unmapped. `fopen`/`freopen`/`fdopen` copy the caller's mode
+        // string here without a bounds check — the glibc-2.2-era bug the
+        // paper's fault injector discovers (mode strings longer than 7
+        // characters overflow and fault).
+        proc.mem.map(
+            crate::stdio::MODE_SCRATCH_PAGE,
+            healers_simproc::PAGE_SIZE,
+            healers_simproc::Protection::ReadWrite,
+        );
+        let kernel = Kernel::with_standard_layout();
+        let stdin_file = file::create_file_object(&mut proc, 0, file::F_READ);
+        let stdout_file = file::create_file_object(&mut proc, 1, file::F_WRITE);
+        let stderr_file = file::create_file_object(&mut proc, 2, file::F_WRITE);
+        let mut env = BTreeMap::new();
+        env.insert("HOME".to_string(), "/home/user".to_string());
+        env.insert("PATH".to_string(), "/bin:/usr/bin".to_string());
+        env.insert("TZ".to_string(), "UTC".to_string());
+        World {
+            proc,
+            kernel,
+            env,
+            rand_state: 1,
+            tmp_counter: 0,
+            stdin_file,
+            stdout_file,
+            stderr_file,
+        }
+    }
+
+    /// A fresh world with the heap in guarded (electric-fence) mode, as
+    /// used by the fault injector.
+    pub fn new_guarded() -> Self {
+        let mut w = World::new();
+        w.proc.heap.set_mode(healers_simproc::HeapMode::Guarded);
+        w
+    }
+
+    /// Allocate a NUL-terminated string on the heap and return its
+    /// address.
+    ///
+    /// # Panics
+    ///
+    /// Panics on heap exhaustion (a harness configuration error).
+    pub fn alloc_cstr(&mut self, s: &str) -> Addr {
+        let bytes = s.as_bytes();
+        let addr = self
+            .proc
+            .heap_alloc(bytes.len() as u32 + 1)
+            .expect("harness out of simulated memory");
+        self.proc
+            .write_cstr(addr, bytes)
+            .expect("fresh allocation must be writable");
+        addr
+    }
+
+    /// Allocate a raw buffer on the heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics on heap exhaustion (a harness configuration error).
+    pub fn alloc_buf(&mut self, len: u32) -> Addr {
+        self.proc
+            .heap_alloc(len)
+            .expect("harness out of simulated memory")
+    }
+
+    /// Read a NUL-terminated string at `addr` as UTF-8 (lossy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory faults.
+    pub fn read_cstr_lossy(&mut self, addr: Addr) -> Result<String, SimFault> {
+        let bytes = self.proc.read_cstr(addr)?;
+        Ok(String::from_utf8_lossy(&bytes).into_owned())
+    }
+
+    /// Set `errno` and return an error value — the standard C error
+    /// convention (`errno = e; return v;`).
+    pub fn fail(&mut self, e: i32, v: SimValue) -> Result<SimValue, SimFault> {
+        self.proc.set_errno(e);
+        Ok(v)
+    }
+}
+
+impl Default for World {
+    fn default() -> Self {
+        World::new()
+    }
+}
+
+/// Fetch argument `i` as a pointer (C's weakly-typed call boundary:
+/// integers coerce).
+pub fn ptr_arg(args: &[SimValue], i: usize) -> Addr {
+    args.get(i).copied().unwrap_or(SimValue::Void).as_ptr()
+}
+
+/// Fetch argument `i` as an integer.
+pub fn int_arg(args: &[SimValue], i: usize) -> i64 {
+    args.get(i).copied().unwrap_or(SimValue::Void).as_int()
+}
+
+/// Fetch argument `i` as a double.
+pub fn dbl_arg(args: &[SimValue], i: usize) -> f64 {
+    args.get(i).copied().unwrap_or(SimValue::Void).as_double()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_world_has_standard_streams() {
+        let mut w = World::new();
+        assert_ne!(w.stdin_file, 0);
+        let (fin, fout, ferr) = (w.stdin_file, w.stdout_file, w.stderr_file);
+        assert_eq!(file::read_fileno(&mut w, fin).unwrap(), 0);
+        assert_eq!(file::read_fileno(&mut w, fout).unwrap(), 1);
+        assert_eq!(file::read_fileno(&mut w, ferr).unwrap(), 2);
+    }
+
+    #[test]
+    fn alloc_cstr_roundtrip() {
+        let mut w = World::new();
+        let a = w.alloc_cstr("robust");
+        assert_eq!(w.read_cstr_lossy(a).unwrap(), "robust");
+    }
+
+    #[test]
+    fn world_clone_isolates_env() {
+        let mut w = World::new();
+        let mut w2 = w.clone();
+        w2.env.insert("X".into(), "1".into());
+        assert!(!w.env.contains_key("X"));
+        w.env.insert("Y".into(), "2".into());
+        assert!(!w2.env.contains_key("Y"));
+    }
+
+    #[test]
+    fn arg_helpers_tolerate_missing_args() {
+        assert_eq!(ptr_arg(&[], 0), 0);
+        assert_eq!(int_arg(&[SimValue::Int(9)], 0), 9);
+        assert_eq!(int_arg(&[SimValue::Int(9)], 5), 0);
+        assert_eq!(dbl_arg(&[SimValue::Double(1.5)], 0), 1.5);
+    }
+}

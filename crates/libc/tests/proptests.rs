@@ -1,0 +1,187 @@
+//! Property tests: the simulated C functions agree with their Rust
+//! reference semantics on valid inputs.
+
+use proptest::prelude::*;
+
+use healers_libc::{Libc, World};
+use healers_simproc::SimValue;
+
+fn setup() -> (Libc, World) {
+    (Libc::standard(), World::new())
+}
+
+fn p(a: u32) -> SimValue {
+    SimValue::Ptr(a)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// strlen agrees with the Rust length for any NUL-free content.
+    #[test]
+    fn strlen_matches(text in "[ -~]{0,200}") {
+        let (libc, mut w) = setup();
+        let s = w.alloc_cstr(&text);
+        let r = libc.call(&mut w, "strlen", &[p(s)]).unwrap();
+        prop_assert_eq!(r.as_int() as usize, text.len());
+    }
+
+    /// strcpy really copies: destination reads back as the source.
+    #[test]
+    fn strcpy_copies(text in "[ -~]{0,100}") {
+        let (libc, mut w) = setup();
+        let src = w.alloc_cstr(&text);
+        let dst = w.alloc_buf(128);
+        libc.call(&mut w, "strcpy", &[p(dst), p(src)]).unwrap();
+        prop_assert_eq!(w.read_cstr_lossy(dst).unwrap(), text);
+    }
+
+    /// strcmp has the sign of Rust byte-slice comparison.
+    #[test]
+    fn strcmp_matches(a in "[ -~]{0,40}", b in "[ -~]{0,40}") {
+        let (libc, mut w) = setup();
+        let pa = w.alloc_cstr(&a);
+        let pb = w.alloc_cstr(&b);
+        let r = libc.call(&mut w, "strcmp", &[p(pa), p(pb)]).unwrap().as_int();
+        let expect = a.as_bytes().cmp(b.as_bytes());
+        prop_assert_eq!(r.signum(), match expect {
+            std::cmp::Ordering::Less => -1,
+            std::cmp::Ordering::Equal => 0,
+            std::cmp::Ordering::Greater => 1,
+        });
+    }
+
+    /// strchr finds exactly what Rust's find sees.
+    #[test]
+    fn strchr_matches(text in "[a-z]{0,60}", needle in b'a'..=b'z') {
+        let (libc, mut w) = setup();
+        let s = w.alloc_cstr(&text);
+        let r = libc
+            .call(&mut w, "strchr", &[p(s), SimValue::Int(i64::from(needle))])
+            .unwrap();
+        match text.bytes().position(|b| b == needle) {
+            Some(i) => prop_assert_eq!(r.as_ptr(), s + i as u32),
+            None => prop_assert!(r.is_null()),
+        }
+    }
+
+    /// strstr agrees with Rust's substring search.
+    #[test]
+    fn strstr_matches(hay in "[ab]{0,30}", needle in "[ab]{1,4}") {
+        let (libc, mut w) = setup();
+        let h = w.alloc_cstr(&hay);
+        let n = w.alloc_cstr(&needle);
+        let r = libc.call(&mut w, "strstr", &[p(h), p(n)]).unwrap();
+        match hay.find(&needle) {
+            Some(i) => prop_assert_eq!(r.as_ptr(), h + i as u32),
+            None => prop_assert!(r.is_null()),
+        }
+    }
+
+    /// atoi agrees with Rust's parse for canonical decimal strings.
+    #[test]
+    fn atoi_matches(n in -1_000_000i64..1_000_000) {
+        let (libc, mut w) = setup();
+        let s = w.alloc_cstr(&n.to_string());
+        let r = libc.call(&mut w, "atoi", &[p(s)]).unwrap();
+        prop_assert_eq!(r.as_int(), n);
+    }
+
+    /// strtol round-trips any i32 in any base from 2 to 36.
+    #[test]
+    fn strtol_roundtrips(n in any::<i32>(), base in 2u32..=36) {
+        let (libc, mut w) = setup();
+        let text = if n < 0 {
+            format!("-{}", to_radix(n.unsigned_abs(), base))
+        } else {
+            to_radix(n.unsigned_abs(), base)
+        };
+        let s = w.alloc_cstr(&text);
+        let end = w.alloc_buf(4);
+        let r = libc
+            .call(&mut w, "strtol", &[p(s), p(end), SimValue::Int(i64::from(base))])
+            .unwrap();
+        prop_assert_eq!(r.as_int(), i64::from(n));
+        // endptr points at the terminator.
+        prop_assert_eq!(w.proc.mem.read_u32(end).unwrap(), s + text.len() as u32);
+    }
+
+    /// sprintf %d then sscanf %d is the identity.
+    #[test]
+    fn printf_scanf_roundtrip(n in any::<i32>()) {
+        let (libc, mut w) = setup();
+        let buf = w.alloc_buf(64);
+        let fmt = w.alloc_cstr("%d");
+        libc.call(&mut w, "sprintf", &[p(buf), p(fmt), SimValue::Int(i64::from(n))])
+            .unwrap();
+        let out = w.alloc_buf(4);
+        let r = libc.call(&mut w, "sscanf", &[p(buf), p(fmt), p(out)]).unwrap();
+        prop_assert_eq!(r, SimValue::Int(1));
+        prop_assert_eq!(w.proc.mem.read_i32(out).unwrap(), n);
+    }
+
+    /// memmove with arbitrary overlap equals Rust's copy_within.
+    #[test]
+    fn memmove_matches_copy_within(
+        data in prop::collection::vec(any::<u8>(), 32..64),
+        src_off in 0usize..16,
+        dst_off in 0usize..16,
+        len in 0usize..16,
+    ) {
+        let (libc, mut w) = setup();
+        let base = w.alloc_buf(64);
+        w.proc.mem.write_bytes(base, &data).unwrap();
+        libc.call(
+            &mut w,
+            "memmove",
+            &[
+                p(base + dst_off as u32),
+                p(base + src_off as u32),
+                SimValue::Int(len as i64),
+            ],
+        )
+        .unwrap();
+        let mut expect = data.clone();
+        expect.copy_within(src_off..src_off + len, dst_off);
+        prop_assert_eq!(w.proc.mem.read_bytes(base, data.len() as u32).unwrap(), expect);
+    }
+
+    /// gmtime ∘ mktime is the identity on the epoch range.
+    #[test]
+    fn gmtime_mktime_roundtrip(t in 0i64..2_000_000_000) {
+        let (libc, mut w) = setup();
+        let tp = w.alloc_buf(4);
+        w.proc.mem.write_i32(tp, t as i32).unwrap();
+        let tm = libc.call(&mut w, "gmtime", &[p(tp)]).unwrap();
+        // Copy the static tm into a writable buffer for mktime.
+        let copy = w.alloc_buf(44);
+        let bytes = w.proc.mem.read_bytes(tm.as_ptr(), 44).unwrap();
+        w.proc.mem.write_bytes(copy, &bytes).unwrap();
+        let back = libc.call(&mut w, "mktime", &[p(copy)]).unwrap();
+        prop_assert_eq!(back.as_int(), t);
+    }
+
+    /// toupper/tolower agree with Rust for the full valid domain.
+    #[test]
+    fn case_conversion_matches(c in 0i64..=255) {
+        let (libc, mut w) = setup();
+        let up = libc.call(&mut w, "toupper", &[SimValue::Int(c)]).unwrap().as_int();
+        let down = libc.call(&mut w, "tolower", &[SimValue::Int(c)]).unwrap().as_int();
+        prop_assert_eq!(up as u8, (c as u8).to_ascii_uppercase());
+        prop_assert_eq!(down as u8, (c as u8).to_ascii_lowercase());
+    }
+}
+
+fn to_radix(mut n: u32, base: u32) -> String {
+    if n == 0 {
+        return "0".to_string();
+    }
+    let digits = b"0123456789abcdefghijklmnopqrstuvwxyz";
+    let mut out = Vec::new();
+    while n > 0 {
+        out.push(digits[(n % base) as usize]);
+        n /= base;
+    }
+    out.reverse();
+    String::from_utf8(out).unwrap()
+}

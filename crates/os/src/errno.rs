@@ -1,0 +1,105 @@
+//! errno values of the simulated kernel (Linux i386 numbering).
+
+/// An errno code. `0` means "no error".
+pub type Errno = i32;
+
+/// Operation not permitted.
+pub const EPERM: Errno = 1;
+/// No such file or directory.
+pub const ENOENT: Errno = 2;
+/// Interrupted system call.
+pub const EINTR: Errno = 4;
+/// I/O error.
+pub const EIO: Errno = 5;
+/// Bad file descriptor.
+pub const EBADF: Errno = 9;
+/// Out of memory.
+pub const ENOMEM: Errno = 12;
+/// Permission denied.
+pub const EACCES: Errno = 13;
+/// Bad address.
+pub const EFAULT: Errno = 14;
+/// File exists.
+pub const EEXIST: Errno = 17;
+/// Not a directory.
+pub const ENOTDIR: Errno = 20;
+/// Is a directory.
+pub const EISDIR: Errno = 21;
+/// Invalid argument.
+pub const EINVAL: Errno = 22;
+/// Too many open files in system.
+pub const ENFILE: Errno = 23;
+/// Too many open files.
+pub const EMFILE: Errno = 24;
+/// Inappropriate ioctl for device (not a tty).
+pub const ENOTTY: Errno = 25;
+/// No space left on device.
+pub const ENOSPC: Errno = 28;
+/// Illegal seek.
+pub const ESPIPE: Errno = 29;
+/// Read-only file system.
+pub const EROFS: Errno = 30;
+/// Broken pipe.
+pub const EPIPE: Errno = 32;
+/// Math argument out of domain.
+pub const EDOM: Errno = 33;
+/// Result out of range.
+pub const ERANGE: Errno = 34;
+/// File name too long.
+pub const ENAMETOOLONG: Errno = 36;
+/// Function not implemented.
+pub const ENOSYS: Errno = 38;
+/// Directory not empty.
+pub const ENOTEMPTY: Errno = 39;
+
+/// A short human-readable message for an errno value, as `strerror`
+/// reports it.
+pub fn strerror(e: Errno) -> &'static str {
+    match e {
+        0 => "Success",
+        EPERM => "Operation not permitted",
+        ENOENT => "No such file or directory",
+        EINTR => "Interrupted system call",
+        EIO => "Input/output error",
+        EBADF => "Bad file descriptor",
+        ENOMEM => "Cannot allocate memory",
+        EACCES => "Permission denied",
+        EFAULT => "Bad address",
+        EEXIST => "File exists",
+        ENOTDIR => "Not a directory",
+        EISDIR => "Is a directory",
+        EINVAL => "Invalid argument",
+        ENFILE => "Too many open files in system",
+        EMFILE => "Too many open files",
+        ENOTTY => "Inappropriate ioctl for device",
+        ENOSPC => "No space left on device",
+        ESPIPE => "Illegal seek",
+        EROFS => "Read-only file system",
+        EPIPE => "Broken pipe",
+        EDOM => "Numerical argument out of domain",
+        ERANGE => "Numerical result out of range",
+        ENAMETOOLONG => "File name too long",
+        ENOSYS => "Function not implemented",
+        ENOTEMPTY => "Directory not empty",
+        _ => "Unknown error",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linux_numbering() {
+        assert_eq!(EINVAL, 22);
+        assert_eq!(EBADF, 9);
+        assert_eq!(ENOENT, 2);
+    }
+
+    #[test]
+    fn strerror_messages() {
+        assert_eq!(strerror(EINVAL), "Invalid argument");
+        assert_eq!(strerror(0), "Success");
+        assert_eq!(strerror(9999), "Unknown error");
+    }
+}

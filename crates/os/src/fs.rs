@@ -1,0 +1,554 @@
+//! An inode-based in-memory filesystem.
+
+use std::collections::BTreeMap;
+
+use crate::errno::{self, Errno};
+
+/// An inode number / node handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// What a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A regular file.
+    File,
+    /// A directory.
+    Directory,
+}
+
+#[derive(Debug, Clone)]
+enum NodeBody {
+    File { data: Vec<u8> },
+    Directory { entries: BTreeMap<String, NodeId> },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    body: NodeBody,
+    mode: u32,
+    nlink: u32,
+    /// Modification timestamp (simulated clock ticks).
+    mtime: i64,
+}
+
+/// `stat`-style metadata for a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileStat {
+    /// Inode number.
+    pub ino: u32,
+    /// File type and permission bits (`S_IFREG`/`S_IFDIR` + mode).
+    pub mode: u32,
+    /// Link count.
+    pub nlink: u32,
+    /// Size in bytes (0 for directories).
+    pub size: u32,
+    /// Modification time.
+    pub mtime: i64,
+}
+
+/// `S_IFREG`: regular file bit.
+pub const S_IFREG: u32 = 0o100000;
+/// `S_IFDIR`: directory bit.
+pub const S_IFDIR: u32 = 0o040000;
+/// `S_IFCHR`: character device bit (ttys).
+pub const S_IFCHR: u32 = 0o020000;
+
+/// An inode-based in-memory filesystem with a working directory.
+#[derive(Debug, Clone)]
+pub struct Vfs {
+    nodes: BTreeMap<u32, Node>,
+    next_ino: u32,
+    root: NodeId,
+    cwd: NodeId,
+}
+
+/// Maximum path component length (like `NAME_MAX`).
+pub const NAME_MAX: usize = 255;
+/// Maximum total path length (like `PATH_MAX`).
+pub const PATH_MAX: usize = 4096;
+
+impl Vfs {
+    /// A filesystem containing only `/`.
+    pub fn new() -> Self {
+        let mut nodes = BTreeMap::new();
+        nodes.insert(
+            1,
+            Node {
+                body: NodeBody::Directory {
+                    entries: BTreeMap::new(),
+                },
+                mode: S_IFDIR | 0o755,
+                nlink: 2,
+                mtime: 0,
+            },
+        );
+        Vfs {
+            nodes,
+            next_ino: 2,
+            root: NodeId(1),
+            cwd: NodeId(1),
+        }
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The current working directory.
+    pub fn cwd(&self) -> NodeId {
+        self.cwd
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[&id.0]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        self.nodes.get_mut(&id.0).expect("dangling NodeId")
+    }
+
+    /// The kind of a node.
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        match self.node(id).body {
+            NodeBody::File { .. } => NodeKind::File,
+            NodeBody::Directory { .. } => NodeKind::Directory,
+        }
+    }
+
+    /// Resolve a path to a node.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` for missing components, `ENOTDIR` when a file is used as a
+    /// directory, `ENAMETOOLONG` for oversized paths, `EINVAL` for empty
+    /// paths.
+    pub fn resolve(&self, path: &str) -> Result<NodeId, Errno> {
+        if path.is_empty() {
+            return Err(errno::ENOENT);
+        }
+        if path.len() > PATH_MAX {
+            return Err(errno::ENAMETOOLONG);
+        }
+        let mut cur = if path.starts_with('/') {
+            self.root
+        } else {
+            self.cwd
+        };
+        for comp in path.split('/') {
+            match comp {
+                "" | "." => continue,
+                ".." => {
+                    // Parent tracking is implicit: search for the dir that
+                    // contains `cur`. Root's parent is root.
+                    cur = self.parent_of(cur).unwrap_or(self.root);
+                }
+                name => {
+                    if name.len() > NAME_MAX {
+                        return Err(errno::ENAMETOOLONG);
+                    }
+                    let NodeBody::Directory { entries } = &self.node(cur).body else {
+                        return Err(errno::ENOTDIR);
+                    };
+                    cur = *entries.get(name).ok_or(errno::ENOENT)?;
+                }
+            }
+        }
+        Ok(cur)
+    }
+
+    fn parent_of(&self, child: NodeId) -> Option<NodeId> {
+        for (ino, node) in &self.nodes {
+            if let NodeBody::Directory { entries } = &node.body {
+                if entries.values().any(|&v| v == child) {
+                    return Some(NodeId(*ino));
+                }
+            }
+        }
+        None
+    }
+
+    /// Split a path into (parent directory node, final component).
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution errors for the parent; `EINVAL` when the path
+    /// has no final component (e.g. `/`).
+    pub fn resolve_parent(&self, path: &str) -> Result<(NodeId, String), Errno> {
+        let trimmed = path.trim_end_matches('/');
+        if trimmed.is_empty() {
+            return Err(errno::EINVAL);
+        }
+        match trimmed.rfind('/') {
+            Some(idx) => {
+                let (dir, name) = trimmed.split_at(idx);
+                let dir = if dir.is_empty() { "/" } else { dir };
+                Ok((self.resolve(dir)?, name[1..].to_string()))
+            }
+            None => Ok((self.cwd, trimmed.to_string())),
+        }
+    }
+
+    /// Create (or truncate) a regular file, returning its node.
+    ///
+    /// # Errors
+    ///
+    /// `EISDIR` if the path names an existing directory, plus resolution
+    /// errors.
+    pub fn create_file(&mut self, path: &str, mode: u32, now: i64) -> Result<NodeId, Errno> {
+        if let Ok(existing) = self.resolve(path) {
+            return match &mut self.node_mut(existing).body {
+                NodeBody::File { data } => {
+                    data.clear();
+                    Ok(existing)
+                }
+                NodeBody::Directory { .. } => Err(errno::EISDIR),
+            };
+        }
+        let (parent, name) = self.resolve_parent(path)?;
+        if name.len() > NAME_MAX {
+            return Err(errno::ENAMETOOLONG);
+        }
+        let ino = self.next_ino;
+        self.next_ino += 1;
+        self.nodes.insert(
+            ino,
+            Node {
+                body: NodeBody::File { data: Vec::new() },
+                mode: S_IFREG | (mode & 0o777),
+                nlink: 1,
+                mtime: now,
+            },
+        );
+        let NodeBody::Directory { entries } = &mut self.node_mut(parent).body else {
+            return Err(errno::ENOTDIR);
+        };
+        entries.insert(name, NodeId(ino));
+        Ok(NodeId(ino))
+    }
+
+    /// Create a directory.
+    ///
+    /// # Errors
+    ///
+    /// `EEXIST` if the path already exists, plus resolution errors.
+    pub fn mkdir(&mut self, path: &str, mode: u32, now: i64) -> Result<NodeId, Errno> {
+        if self.resolve(path).is_ok() {
+            return Err(errno::EEXIST);
+        }
+        let (parent, name) = self.resolve_parent(path)?;
+        let ino = self.next_ino;
+        self.next_ino += 1;
+        self.nodes.insert(
+            ino,
+            Node {
+                body: NodeBody::Directory {
+                    entries: BTreeMap::new(),
+                },
+                mode: S_IFDIR | (mode & 0o777),
+                nlink: 2,
+                mtime: now,
+            },
+        );
+        let NodeBody::Directory { entries } = &mut self.node_mut(parent).body else {
+            return Err(errno::ENOTDIR);
+        };
+        entries.insert(name, NodeId(ino));
+        Ok(NodeId(ino))
+    }
+
+    /// Remove a file.
+    ///
+    /// # Errors
+    ///
+    /// `EISDIR` for directories, plus resolution errors.
+    pub fn unlink(&mut self, path: &str) -> Result<(), Errno> {
+        let id = self.resolve(path)?;
+        if self.kind(id) == NodeKind::Directory {
+            return Err(errno::EISDIR);
+        }
+        let (parent, name) = self.resolve_parent(path)?;
+        if let NodeBody::Directory { entries } = &mut self.node_mut(parent).body {
+            entries.remove(&name);
+        }
+        self.nodes.remove(&id.0);
+        Ok(())
+    }
+
+    /// Remove an empty directory.
+    ///
+    /// # Errors
+    ///
+    /// `ENOTDIR` for files, `ENOTEMPTY` for non-empty directories.
+    pub fn rmdir(&mut self, path: &str) -> Result<(), Errno> {
+        let id = self.resolve(path)?;
+        match &self.node(id).body {
+            NodeBody::File { .. } => return Err(errno::ENOTDIR),
+            NodeBody::Directory { entries } => {
+                if !entries.is_empty() {
+                    return Err(errno::ENOTEMPTY);
+                }
+            }
+        }
+        let (parent, name) = self.resolve_parent(path)?;
+        if let NodeBody::Directory { entries } = &mut self.node_mut(parent).body {
+            entries.remove(&name);
+        }
+        self.nodes.remove(&id.0);
+        Ok(())
+    }
+
+    /// Change the working directory.
+    ///
+    /// # Errors
+    ///
+    /// `ENOTDIR` if the path is not a directory, plus resolution errors.
+    pub fn chdir(&mut self, path: &str) -> Result<(), Errno> {
+        let id = self.resolve(path)?;
+        if self.kind(id) != NodeKind::Directory {
+            return Err(errno::ENOTDIR);
+        }
+        self.cwd = id;
+        Ok(())
+    }
+
+    /// The absolute path of the working directory.
+    pub fn cwd_path(&self) -> String {
+        self.path_of(self.cwd).unwrap_or_else(|| "/".to_string())
+    }
+
+    fn path_of(&self, id: NodeId) -> Option<String> {
+        if id == self.root {
+            return Some("/".to_string());
+        }
+        let parent = self.parent_of(id)?;
+        let NodeBody::Directory { entries } = &self.node(parent).body else {
+            return None;
+        };
+        let name = entries.iter().find(|(_, &v)| v == id)?.0.clone();
+        let pp = self.path_of(parent)?;
+        Some(if pp == "/" {
+            format!("/{name}")
+        } else {
+            format!("{pp}/{name}")
+        })
+    }
+
+    /// `stat` metadata for a node.
+    pub fn stat(&self, id: NodeId) -> FileStat {
+        let n = self.node(id);
+        FileStat {
+            ino: id.0,
+            mode: n.mode,
+            nlink: n.nlink,
+            size: match &n.body {
+                NodeBody::File { data } => data.len() as u32,
+                NodeBody::Directory { .. } => 0,
+            },
+            mtime: n.mtime,
+        }
+    }
+
+    /// Read up to `len` bytes at `offset` from a file.
+    ///
+    /// # Errors
+    ///
+    /// `EISDIR` for directories.
+    pub fn read_at(&self, id: NodeId, offset: u32, len: u32) -> Result<Vec<u8>, Errno> {
+        match &self.node(id).body {
+            NodeBody::File { data } => {
+                let start = (offset as usize).min(data.len());
+                let end = (start + len as usize).min(data.len());
+                Ok(data[start..end].to_vec())
+            }
+            NodeBody::Directory { .. } => Err(errno::EISDIR),
+        }
+    }
+
+    /// Write bytes at `offset` into a file, growing it as needed.
+    ///
+    /// # Errors
+    ///
+    /// `EISDIR` for directories.
+    pub fn write_at(&mut self, id: NodeId, offset: u32, bytes: &[u8], now: i64) -> Result<u32, Errno> {
+        match &mut self.node_mut(id).body {
+            NodeBody::File { data } => {
+                let end = offset as usize + bytes.len();
+                if data.len() < end {
+                    data.resize(end, 0);
+                }
+                data[offset as usize..end].copy_from_slice(bytes);
+                Ok(bytes.len() as u32)
+            }
+            NodeBody::Directory { .. } => Err(errno::EISDIR),
+        }
+        .inspect(|_| self.node_mut(id).mtime = now)
+    }
+
+    /// Truncate a file to `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// `EISDIR` for directories.
+    pub fn truncate(&mut self, id: NodeId, len: u32) -> Result<(), Errno> {
+        match &mut self.node_mut(id).body {
+            NodeBody::File { data } => {
+                data.resize(len as usize, 0);
+                Ok(())
+            }
+            NodeBody::Directory { .. } => Err(errno::EISDIR),
+        }
+    }
+
+    /// Directory entries (sorted by name) with their inode and kind.
+    ///
+    /// # Errors
+    ///
+    /// `ENOTDIR` for files.
+    pub fn list(&self, id: NodeId) -> Result<Vec<(String, NodeId, NodeKind)>, Errno> {
+        match &self.node(id).body {
+            NodeBody::Directory { entries } => Ok(entries
+                .iter()
+                .map(|(name, &nid)| (name.clone(), nid, self.kind(nid)))
+                .collect()),
+            NodeBody::File { .. } => Err(errno::ENOTDIR),
+        }
+    }
+
+    /// Permission mode bits of a node.
+    pub fn mode(&self, id: NodeId) -> u32 {
+        self.node(id).mode
+    }
+
+    /// Rename a file or directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution errors for either path.
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<(), Errno> {
+        let id = self.resolve(from)?;
+        let (old_parent, old_name) = self.resolve_parent(from)?;
+        let (new_parent, new_name) = self.resolve_parent(to)?;
+        if let NodeBody::Directory { entries } = &mut self.node_mut(old_parent).body {
+            entries.remove(&old_name);
+        }
+        let NodeBody::Directory { entries } = &mut self.node_mut(new_parent).body else {
+            return Err(errno::ENOTDIR);
+        };
+        entries.insert(new_name, id);
+        Ok(())
+    }
+}
+
+impl Default for Vfs {
+    fn default() -> Self {
+        Vfs::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_resolve() {
+        let mut fs = Vfs::new();
+        fs.mkdir("/tmp", 0o777, 0).unwrap();
+        let f = fs.create_file("/tmp/a.txt", 0o644, 0).unwrap();
+        assert_eq!(fs.resolve("/tmp/a.txt").unwrap(), f);
+        assert_eq!(fs.kind(f), NodeKind::File);
+        assert_eq!(fs.resolve("/tmp/missing").unwrap_err(), errno::ENOENT);
+    }
+
+    #[test]
+    fn relative_paths_and_dots() {
+        let mut fs = Vfs::new();
+        fs.mkdir("/home", 0o755, 0).unwrap();
+        fs.mkdir("/home/user", 0o755, 0).unwrap();
+        fs.chdir("/home/user").unwrap();
+        fs.create_file("notes", 0o644, 0).unwrap();
+        assert!(fs.resolve("./notes").is_ok());
+        assert!(fs.resolve("../user/notes").is_ok());
+        assert_eq!(fs.cwd_path(), "/home/user");
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut fs = Vfs::new();
+        let f = fs.create_file("/data", 0o644, 0).unwrap();
+        fs.write_at(f, 0, b"hello world", 1).unwrap();
+        assert_eq!(fs.read_at(f, 6, 5).unwrap(), b"world");
+        assert_eq!(fs.stat(f).size, 11);
+        // Sparse write grows with zeros.
+        fs.write_at(f, 20, b"x", 2).unwrap();
+        assert_eq!(fs.stat(f).size, 21);
+        assert_eq!(fs.read_at(f, 15, 3).unwrap(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn unlink_and_rmdir() {
+        let mut fs = Vfs::new();
+        fs.mkdir("/d", 0o755, 0).unwrap();
+        fs.create_file("/d/f", 0o644, 0).unwrap();
+        assert_eq!(fs.rmdir("/d").unwrap_err(), errno::ENOTEMPTY);
+        assert_eq!(fs.unlink("/d").unwrap_err(), errno::EISDIR);
+        fs.unlink("/d/f").unwrap();
+        fs.rmdir("/d").unwrap();
+        assert_eq!(fs.resolve("/d").unwrap_err(), errno::ENOENT);
+    }
+
+    #[test]
+    fn listing_is_sorted() {
+        let mut fs = Vfs::new();
+        fs.mkdir("/d", 0o755, 0).unwrap();
+        fs.create_file("/d/b", 0o644, 0).unwrap();
+        fs.create_file("/d/a", 0o644, 0).unwrap();
+        let names: Vec<_> = fs
+            .list(fs.resolve("/d").unwrap())
+            .unwrap()
+            .into_iter()
+            .map(|(n, _, _)| n)
+            .collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn file_as_directory_is_enotdir() {
+        let mut fs = Vfs::new();
+        fs.create_file("/f", 0o644, 0).unwrap();
+        assert_eq!(fs.resolve("/f/x").unwrap_err(), errno::ENOTDIR);
+        assert_eq!(fs.chdir("/f").unwrap_err(), errno::ENOTDIR);
+    }
+
+    #[test]
+    fn create_truncates_existing() {
+        let mut fs = Vfs::new();
+        let f = fs.create_file("/f", 0o644, 0).unwrap();
+        fs.write_at(f, 0, b"content", 0).unwrap();
+        let f2 = fs.create_file("/f", 0o644, 1).unwrap();
+        assert_eq!(f, f2);
+        assert_eq!(fs.stat(f).size, 0);
+    }
+
+    #[test]
+    fn rename_moves_entries() {
+        let mut fs = Vfs::new();
+        fs.mkdir("/a", 0o755, 0).unwrap();
+        fs.mkdir("/b", 0o755, 0).unwrap();
+        fs.create_file("/a/f", 0o644, 0).unwrap();
+        fs.rename("/a/f", "/b/g").unwrap();
+        assert!(fs.resolve("/a/f").is_err());
+        assert!(fs.resolve("/b/g").is_ok());
+    }
+
+    #[test]
+    fn long_names_rejected() {
+        let mut fs = Vfs::new();
+        let long = "x".repeat(NAME_MAX + 1);
+        assert_eq!(
+            fs.create_file(&format!("/{long}"), 0o644, 0).unwrap_err(),
+            errno::ENAMETOOLONG
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Simulated kernel for HEALERS.
+//!
+//! The simulated C library ([`healers_libc`](https://docs.rs) in this
+//! workspace) needs an operating system underneath it: `fopen` opens real
+//! file descriptors, the wrapper's FILE check calls `fstat`, `opendir`
+//! iterates directory entries, and `cfsetispeed` manipulates termios
+//! state. This crate provides that kernel as deterministic in-memory
+//! state:
+//!
+//! * [`Vfs`] — an inode-based filesystem with paths, directories,
+//!   permissions and a working directory,
+//! * [`Kernel`] — the syscall surface (open/read/write/close/lseek/stat/
+//!   dup/pipe/directory iteration/termios/clock), with a POSIX-style file
+//!   descriptor table and errno-coded failures,
+//! * [`Termios`] — terminal attributes incl. the input/output baud rates
+//!   that the paper's `cfsetispeed`/`cfsetospeed` anecdote exercises,
+//! * [`errno`] — the errno constants shared by the whole workspace.
+//!
+//! Everything is `Clone`, so a kernel image can be snapshotted together
+//! with the process memory for fault containment.
+//!
+//! # Examples
+//!
+//! ```
+//! use healers_os::{Kernel, OpenFlags};
+//!
+//! let mut k = Kernel::with_standard_layout();
+//! k.write_file("/tmp/greeting", b"hello").unwrap();
+//! let fd = k.open("/tmp/greeting", OpenFlags::read_only(), 0o644).unwrap();
+//! assert_eq!(k.read(fd, 5).unwrap(), b"hello");
+//! k.close(fd).unwrap();
+//! ```
+
+pub mod errno;
+pub mod fs;
+pub mod kernel;
+pub mod tty;
+
+pub use errno::Errno;
+pub use fs::{FileStat, NodeId, NodeKind, Vfs};
+pub use kernel::{DirEntry, Fd, Kernel, OpenFlags};
+pub use tty::{Termios, B0, B115200, B19200, B38400, B9600};

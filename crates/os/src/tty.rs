@@ -1,0 +1,109 @@
+//! Terminal devices and termios attributes.
+//!
+//! The paper's robustness evaluation includes the termios family
+//! (`cfsetispeed`, `cfsetospeed`, `tcgetattr`, `tcsetattr`, …) and
+//! specifically observes that `cfsetispeed` needs only *write* access to
+//! its `struct termios` argument while `cfsetospeed` needs *read and
+//! write* access. The kernel side modeled here stores the canonical
+//! attributes per terminal; the `struct termios` image in simulated
+//! memory is marshaled by the libc layer.
+
+/// Baud-rate constant `B0` (hang up).
+pub const B0: u32 = 0;
+/// Baud-rate constant for 9600 baud.
+pub const B9600: u32 = 0o000015;
+/// Baud-rate constant for 19200 baud.
+pub const B19200: u32 = 0o000016;
+/// Baud-rate constant for 38400 baud.
+pub const B38400: u32 = 0o000017;
+/// Baud-rate constant for 115200 baud.
+pub const B115200: u32 = 0o010002;
+
+/// The set of valid baud-rate constants the simulated driver accepts.
+pub const VALID_SPEEDS: &[u32] = &[
+    B0, 0o000001, 0o000002, 0o000003, 0o000004, 0o000005, 0o000006, 0o000007, 0o000010, 0o000011,
+    0o000012, 0o000013, 0o000014, B9600, B19200, B38400, B115200,
+];
+
+/// Number of control characters in `c_cc`.
+pub const NCCS: usize = 32;
+
+/// Kernel-side terminal attributes (the canonical copy; the `struct
+/// termios` in process memory is a marshaled image of this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Termios {
+    /// Input mode flags.
+    pub c_iflag: u32,
+    /// Output mode flags.
+    pub c_oflag: u32,
+    /// Control mode flags (includes the encoded line speed on real
+    /// glibc; modeled separately here).
+    pub c_cflag: u32,
+    /// Local mode flags.
+    pub c_lflag: u32,
+    /// Line discipline.
+    pub c_line: u8,
+    /// Control characters.
+    pub c_cc: [u8; NCCS],
+    /// Input baud rate (a `VALID_SPEEDS` constant).
+    pub c_ispeed: u32,
+    /// Output baud rate (a `VALID_SPEEDS` constant).
+    pub c_ospeed: u32,
+}
+
+impl Termios {
+    /// Sane cooked-mode defaults at 9600 baud.
+    pub fn sane() -> Self {
+        Termios {
+            c_iflag: 0o2400, // ICRNL|IXON
+            c_oflag: 0o5,    // OPOST|ONLCR
+            c_cflag: 0o277,  // CS8|CREAD|...
+            c_lflag: 0o105073,
+            c_line: 0,
+            c_cc: [0; NCCS],
+            c_ispeed: B9600,
+            c_ospeed: B9600,
+        }
+    }
+
+    /// Whether `speed` is a valid baud constant.
+    pub fn is_valid_speed(speed: u32) -> bool {
+        VALID_SPEEDS.contains(&speed)
+    }
+}
+
+impl Default for Termios {
+    fn default() -> Self {
+        Termios::sane()
+    }
+}
+
+/// A terminal device: attributes plus unread input and captured output.
+#[derive(Debug, Clone, Default)]
+pub struct Tty {
+    /// Current attributes.
+    pub termios: Termios,
+    /// Bytes typed but not yet read.
+    pub input: Vec<u8>,
+    /// Bytes written to the terminal (captured for tests).
+    pub output: Vec<u8>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sane_defaults() {
+        let t = Termios::sane();
+        assert_eq!(t.c_ispeed, B9600);
+        assert_eq!(t.c_ospeed, B9600);
+    }
+
+    #[test]
+    fn speed_validation() {
+        assert!(Termios::is_valid_speed(B38400));
+        assert!(Termios::is_valid_speed(B0));
+        assert!(!Termios::is_valid_speed(12345));
+    }
+}

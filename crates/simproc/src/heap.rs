@@ -1,0 +1,454 @@
+//! A `malloc`-style heap over the simulated address space.
+//!
+//! Two placement modes are supported, mirroring the two worlds of the
+//! paper:
+//!
+//! * [`HeapMode::Packed`] — production `malloc`: blocks are packed
+//!   tightly within mapped pages, so a buffer overflow **within the same
+//!   page does not fault**. This is the regime where the paper argues its
+//!   *stateful* table-based checking beats signal-handler probing (§8).
+//! * [`HeapMode::Guarded`] — electric-fence placement: every block ends
+//!   exactly at a page boundary with an inaccessible guard page after it,
+//!   so the first out-of-bounds byte faults. The fault injector uses this
+//!   to discover required array sizes adaptively (§4.1: "we use hardware
+//!   memory protection to make sure that an access … generates a memory
+//!   segmentation fault").
+//!
+//! All allocations are recorded in a block table, which is exactly the
+//! "internal table" the robustness wrapper consults for stateful boundary
+//! checks (§5.1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::mem::{AddressSpace, Protection, PAGE_SIZE};
+use crate::Addr;
+
+/// Allocation placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapMode {
+    /// Pack blocks tightly (production allocator behavior).
+    Packed,
+    /// Electric-fence placement: block end coincides with a page end and a
+    /// guard page follows.
+    Guarded,
+}
+
+/// Metadata for one allocated (or freed) block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapBlock {
+    /// Start address of the usable region.
+    pub base: Addr,
+    /// Usable size in bytes as requested by the caller.
+    pub size: u32,
+    /// Whether the block has been freed. Freed blocks are kept in the
+    /// table (their pages are revoked) so double-frees can be diagnosed.
+    pub free: bool,
+}
+
+/// Errors surfaced by the allocator itself (not simulated faults).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeapError {
+    /// The heap region is exhausted.
+    OutOfMemory,
+    /// `free`/`realloc` was handed a pointer that is not an allocated
+    /// block start. Real glibc aborts the process on this; the simulated
+    /// libc converts this into [`crate::SimFault::Abort`].
+    InvalidPointer {
+        /// The offending pointer value.
+        addr: Addr,
+    },
+    /// `free` was handed an already-freed block (double free).
+    DoubleFree {
+        /// The offending pointer value.
+        addr: Addr,
+    },
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::OutOfMemory => write!(f, "out of memory"),
+            HeapError::InvalidPointer { addr } => {
+                write!(f, "free(): invalid pointer {addr:#010x}")
+            }
+            HeapError::DoubleFree { addr } => write!(f, "free(): double free {addr:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// The heap allocator.
+#[derive(Debug, Clone)]
+pub struct Heap {
+    base: Addr,
+    limit: Addr,
+    /// Bump cursor for fresh page ranges.
+    next_page: Addr,
+    /// Cursor inside the current packed page range.
+    packed_cursor: Option<(Addr, u32)>, // (region start, bytes used)
+    mode: HeapMode,
+    blocks: BTreeMap<Addr, HeapBlock>,
+    /// Total bytes handed out and not yet freed.
+    live_bytes: u64,
+}
+
+const PACKED_REGION_PAGES: u32 = 16;
+const ALIGN: u32 = 8;
+
+impl Heap {
+    /// A heap managing `[base, limit)` in the given mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not page aligned or the range is empty.
+    pub fn new(base: Addr, limit: Addr, mode: HeapMode) -> Self {
+        assert_eq!(base % PAGE_SIZE, 0, "heap base must be page aligned");
+        assert!(base < limit, "heap range must be non-empty");
+        Heap {
+            base,
+            limit,
+            next_page: base,
+            packed_cursor: None,
+            mode,
+            blocks: BTreeMap::new(),
+            live_bytes: 0,
+        }
+    }
+
+    /// The placement mode.
+    pub fn mode(&self) -> HeapMode {
+        self.mode
+    }
+
+    /// Switch placement modes (affects future allocations only).
+    pub fn set_mode(&mut self, mode: HeapMode) {
+        self.mode = mode;
+        if mode == HeapMode::Guarded {
+            self.packed_cursor = None;
+        }
+    }
+
+    /// Total bytes currently allocated.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Allocate `size` bytes (zero-size allocations are legal and receive
+    /// a distinct, inaccessible-after pointer). Pages are mapped
+    /// read-write.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfMemory`] if the heap range is exhausted.
+    pub fn malloc(&mut self, mem: &mut AddressSpace, size: u32) -> Result<Addr, HeapError> {
+        self.alloc_with_prot(mem, size, Protection::ReadWrite)
+    }
+
+    /// Allocate with explicit page protection. The fault injector uses
+    /// this to create read-only and write-only test arrays.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfMemory`] if the heap range is exhausted.
+    pub fn alloc_with_prot(
+        &mut self,
+        mem: &mut AddressSpace,
+        size: u32,
+        prot: Protection,
+    ) -> Result<Addr, HeapError> {
+        let addr = match self.mode {
+            HeapMode::Guarded => self.place_guarded(mem, size, prot)?,
+            HeapMode::Packed => {
+                if prot == Protection::ReadWrite {
+                    self.place_packed(mem, size)?
+                } else {
+                    // Non-RW blocks need their own pages regardless of mode.
+                    self.place_guarded(mem, size, prot)?
+                }
+            }
+        };
+        self.blocks.insert(
+            addr,
+            HeapBlock {
+                base: addr,
+                size,
+                free: false,
+            },
+        );
+        self.live_bytes += u64::from(size);
+        Ok(addr)
+    }
+
+    fn take_pages(&mut self, pages: u32) -> Result<Addr, HeapError> {
+        let bytes = pages
+            .checked_mul(PAGE_SIZE)
+            .ok_or(HeapError::OutOfMemory)?;
+        let start = self.next_page;
+        let end = start.checked_add(bytes).ok_or(HeapError::OutOfMemory)?;
+        if end > self.limit {
+            return Err(HeapError::OutOfMemory);
+        }
+        self.next_page = end;
+        Ok(start)
+    }
+
+    /// Guarded placement: block ends exactly at the end of its last page;
+    /// the following page is left unmapped so the very first byte past the
+    /// block faults.
+    fn place_guarded(
+        &mut self,
+        mem: &mut AddressSpace,
+        size: u32,
+        prot: Protection,
+    ) -> Result<Addr, HeapError> {
+        let data_pages = size.div_ceil(PAGE_SIZE).max(1);
+        // +1 page of gap that stays unmapped as the guard.
+        let region = self.take_pages(data_pages + 1)?;
+        mem.map(region, data_pages * PAGE_SIZE, prot);
+        let end = region + data_pages * PAGE_SIZE;
+        let addr = end - size;
+        // Align down within the page if needed; keep end-alignment exact
+        // when size is not 8-aligned by preferring fault-precision over
+        // alignment (the injector never requires aligned test arrays).
+        Ok(addr.max(region))
+    }
+
+    /// Packed placement: bump-allocate inside shared RW page regions.
+    fn place_packed(&mut self, mem: &mut AddressSpace, size: u32) -> Result<Addr, HeapError> {
+        let need = size.max(1).next_multiple_of(ALIGN);
+        let region_bytes = PACKED_REGION_PAGES * PAGE_SIZE;
+        if need > region_bytes {
+            // Large allocation: give it its own pages (packed allocators
+            // do this too), but without a guard gap.
+            let pages = need.div_ceil(PAGE_SIZE);
+            let region = self.take_pages(pages)?;
+            mem.map(region, pages * PAGE_SIZE, Protection::ReadWrite);
+            return Ok(region);
+        }
+        if let Some((region, used)) = self.packed_cursor {
+            if used + need <= region_bytes {
+                self.packed_cursor = Some((region, used + need));
+                return Ok(region + used);
+            }
+        }
+        let region = self.take_pages(PACKED_REGION_PAGES)?;
+        mem.map(region, region_bytes, Protection::ReadWrite);
+        self.packed_cursor = Some((region, need));
+        Ok(region)
+    }
+
+    /// Free a block.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::InvalidPointer`] if `addr` is not a block start, or
+    /// [`HeapError::DoubleFree`] if the block is already free — callers
+    /// (the simulated `free`) convert these into aborts, like glibc's
+    /// consistency checks.
+    pub fn free(&mut self, mem: &mut AddressSpace, addr: Addr) -> Result<(), HeapError> {
+        let block = self
+            .blocks
+            .get_mut(&addr)
+            .ok_or(HeapError::InvalidPointer { addr })?;
+        if block.free {
+            return Err(HeapError::DoubleFree { addr });
+        }
+        block.free = true;
+        let size = block.size;
+        self.live_bytes -= u64::from(size);
+        // Revoke access so use-after-free faults. Guarded blocks own their
+        // pages; packed blocks share pages with neighbors, so only whole
+        // owned pages are revoked (authentic: packed use-after-free often
+        // does NOT fault on real machines — the injector and the Ballista
+        // suite rely on guarded placement to surface it).
+        if self.mode == HeapMode::Guarded {
+            let data_pages = size.div_ceil(PAGE_SIZE).max(1);
+            let region_start = addr / PAGE_SIZE * PAGE_SIZE;
+            mem.protect(region_start, data_pages * PAGE_SIZE, Protection::None);
+        }
+        Ok(())
+    }
+
+    /// Reallocate a block, preserving contents up to the smaller size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeapError`] from lookup or allocation.
+    pub fn realloc(
+        &mut self,
+        mem: &mut AddressSpace,
+        addr: Addr,
+        new_size: u32,
+    ) -> Result<Addr, HeapError> {
+        let block = *self
+            .blocks
+            .get(&addr)
+            .ok_or(HeapError::InvalidPointer { addr })?;
+        if block.free {
+            return Err(HeapError::InvalidPointer { addr });
+        }
+        let new_addr = self.malloc(mem, new_size)?;
+        let copy = block.size.min(new_size);
+        if copy > 0 {
+            // Both blocks are live RW memory; a fault here is a simulator
+            // bug, not an application fault.
+            let bytes = mem
+                .read_bytes(addr, copy)
+                .expect("realloc source must be readable");
+            mem.write_bytes(new_addr, &bytes)
+                .expect("realloc destination must be writable");
+        }
+        self.free(mem, addr).expect("realloc source must be freeable");
+        Ok(new_addr)
+    }
+
+    /// The live block containing `addr`, if any — the wrapper's stateful
+    /// boundary check (§5.1: "the wrapper consults its table to locate the
+    /// memory block that contains the buffer").
+    pub fn block_containing(&self, addr: Addr) -> Option<HeapBlock> {
+        let (_, block) = self.blocks.range(..=addr).next_back()?;
+        if !block.free && addr >= block.base && addr - block.base < block.size.max(1) {
+            Some(*block)
+        } else {
+            None
+        }
+    }
+
+    /// The block whose base is exactly `addr`, live or freed.
+    pub fn block_at(&self, addr: Addr) -> Option<HeapBlock> {
+        self.blocks.get(&addr).copied()
+    }
+
+    /// Whether `addr` falls inside the heap's managed range.
+    pub fn contains_range(&self, addr: Addr) -> bool {
+        addr >= self.base && addr < self.limit
+    }
+
+    /// Iterate over all live blocks.
+    pub fn live_blocks(&self) -> impl Iterator<Item = &HeapBlock> {
+        self.blocks.values().filter(|b| !b.free)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(mode: HeapMode) -> (AddressSpace, Heap) {
+        let mem = AddressSpace::new();
+        let heap = Heap::new(0x1000_0000, 0x2000_0000, mode);
+        (mem, heap)
+    }
+
+    #[test]
+    fn guarded_block_faults_one_past_end() {
+        let (mut mem, mut heap) = setup(HeapMode::Guarded);
+        let p = heap.malloc(&mut mem, 44).unwrap();
+        // All 44 bytes accessible…
+        mem.write_bytes(p, &[0xab; 44]).unwrap();
+        // …and byte 44 faults exactly (end-of-page placement).
+        let err = mem.read_u8(p + 44).unwrap_err();
+        assert_eq!(err.segv_addr(), Some(p + 44));
+        assert_eq!(p % PAGE_SIZE, (PAGE_SIZE - 44) % PAGE_SIZE);
+    }
+
+    #[test]
+    fn guarded_zero_size_block_faults_immediately() {
+        let (mut mem, mut heap) = setup(HeapMode::Guarded);
+        let p = heap.malloc(&mut mem, 0).unwrap();
+        let err = mem.read_u8(p).unwrap_err();
+        assert_eq!(err.segv_addr(), Some(p));
+    }
+
+    #[test]
+    fn packed_blocks_share_pages() {
+        let (mut mem, mut heap) = setup(HeapMode::Packed);
+        let a = heap.malloc(&mut mem, 16).unwrap();
+        let b = heap.malloc(&mut mem, 16).unwrap();
+        assert_eq!(b, a + 16);
+        // Overflowing `a` by a few bytes does NOT fault (same page)…
+        assert!(mem.write_bytes(a, &[1; 20]).is_ok());
+        // …but the block table knows the true bounds.
+        assert_eq!(heap.block_containing(a + 8).unwrap().base, a);
+        assert_eq!(heap.block_containing(a + 17).unwrap().base, b);
+    }
+
+    #[test]
+    fn free_and_double_free() {
+        let (mut mem, mut heap) = setup(HeapMode::Guarded);
+        let p = heap.malloc(&mut mem, 100).unwrap();
+        heap.free(&mut mem, p).unwrap();
+        assert_eq!(heap.free(&mut mem, p), Err(HeapError::DoubleFree { addr: p }));
+        assert_eq!(
+            heap.free(&mut mem, 0x123),
+            Err(HeapError::InvalidPointer { addr: 0x123 })
+        );
+        // Use-after-free faults in guarded mode.
+        assert!(mem.read_u8(p).is_err());
+    }
+
+    #[test]
+    fn block_containing_respects_bounds() {
+        let (mut mem, mut heap) = setup(HeapMode::Guarded);
+        let p = heap.malloc(&mut mem, 32).unwrap();
+        assert_eq!(heap.block_containing(p).unwrap().size, 32);
+        assert_eq!(heap.block_containing(p + 31).unwrap().size, 32);
+        assert!(heap.block_containing(p + 32).is_none());
+        heap.free(&mut mem, p).unwrap();
+        assert!(heap.block_containing(p).is_none());
+    }
+
+    #[test]
+    fn realloc_preserves_contents() {
+        let (mut mem, mut heap) = setup(HeapMode::Packed);
+        let p = heap.malloc(&mut mem, 8).unwrap();
+        mem.write_bytes(p, b"abcdefgh").unwrap();
+        let q = heap.realloc(&mut mem, p, 16).unwrap();
+        assert_eq!(mem.read_bytes(q, 8).unwrap(), b"abcdefgh");
+        assert!(heap.block_at(p).unwrap().free);
+        assert_eq!(heap.block_containing(q).unwrap().size, 16);
+    }
+
+    #[test]
+    fn readonly_allocation() {
+        let (mut mem, mut heap) = setup(HeapMode::Packed);
+        let p = heap
+            .alloc_with_prot(&mut mem, 64, Protection::ReadOnly)
+            .unwrap();
+        assert!(mem.read_u8(p).is_ok());
+        assert!(mem.write_u8(p, 1).is_err());
+    }
+
+    #[test]
+    fn live_bytes_accounting() {
+        let (mut mem, mut heap) = setup(HeapMode::Packed);
+        let p = heap.malloc(&mut mem, 100).unwrap();
+        let _q = heap.malloc(&mut mem, 50).unwrap();
+        assert_eq!(heap.live_bytes(), 150);
+        heap.free(&mut mem, p).unwrap();
+        assert_eq!(heap.live_bytes(), 50);
+        assert_eq!(heap.live_blocks().count(), 1);
+    }
+
+    #[test]
+    fn out_of_memory() {
+        let mut mem = AddressSpace::new();
+        let mut heap = Heap::new(0x1000_0000, 0x1000_0000 + 8 * PAGE_SIZE, HeapMode::Guarded);
+        // Each guarded alloc takes 2 pages; the 5th fails.
+        for _ in 0..4 {
+            heap.malloc(&mut mem, 8).unwrap();
+        }
+        assert_eq!(heap.malloc(&mut mem, 8), Err(HeapError::OutOfMemory));
+    }
+
+    #[test]
+    fn large_packed_allocation_gets_own_pages() {
+        let (mut mem, mut heap) = setup(HeapMode::Packed);
+        let big = PACKED_REGION_PAGES * PAGE_SIZE + 1;
+        let p = heap.malloc(&mut mem, big).unwrap();
+        assert_eq!(p % PAGE_SIZE, 0);
+        assert!(mem.write_u8(p + big - 1, 1).is_ok());
+    }
+}

@@ -1,0 +1,495 @@
+//! Sparse paged address space with per-page protection.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::Addr;
+
+/// Page size of the simulated machine, in bytes (matching i386 Linux).
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Per-page protection bits, mirroring `mprotect` modes. Write-only pages
+/// exist on the simulated machine because the paper's type hierarchy
+/// distinguishes `WONLY_FIXED[s]` regions (real hardware rarely supports
+/// them, but the abstraction is exactly what the fault injector probes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protection {
+    /// Mapped but inaccessible (like `PROT_NONE`); used for guard pages.
+    None,
+    /// Readable only.
+    ReadOnly,
+    /// Readable and writable.
+    ReadWrite,
+    /// Writable only.
+    WriteOnly,
+}
+
+impl Protection {
+    /// Whether reads are permitted.
+    pub fn allows_read(self) -> bool {
+        matches!(self, Protection::ReadOnly | Protection::ReadWrite)
+    }
+
+    /// Whether writes are permitted.
+    pub fn allows_write(self) -> bool {
+        matches!(self, Protection::ReadWrite | Protection::WriteOnly)
+    }
+}
+
+/// The kind of memory access that faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// A failure raised by the simulated machine — the analogue of a fatal
+/// signal delivered to a real process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimFault {
+    /// Segmentation fault: an access to `addr` was not permitted. Carries
+    /// the faulting address — the paper's adaptive generators use it to
+    /// decide which argument caused a crash and how to adjust it.
+    Segv {
+        /// The address whose access faulted.
+        addr: Addr,
+        /// Whether the faulting access was a read or a write.
+        access: AccessKind,
+    },
+    /// Arithmetic fault (SIGFPE), e.g. integer division by zero.
+    Fpe,
+    /// The callee deliberately aborted (SIGABRT), e.g. glibc's heap
+    /// consistency checks in `free`.
+    Abort {
+        /// Diagnostic printed by the aborting code.
+        reason: String,
+    },
+    /// The fuel budget was exhausted — the deterministic analogue of the
+    /// paper's hang-detection timeout.
+    FuelExhausted,
+}
+
+impl SimFault {
+    /// The faulting address, if this is a segmentation fault.
+    pub fn segv_addr(&self) -> Option<Addr> {
+        match self {
+            SimFault::Segv { addr, .. } => Some(*addr),
+            _ => None,
+        }
+    }
+
+    /// Whether this fault is a hang (fuel exhaustion) rather than a crash.
+    pub fn is_hang(&self) -> bool {
+        matches!(self, SimFault::FuelExhausted)
+    }
+
+    /// Whether this fault is an abort.
+    pub fn is_abort(&self) -> bool {
+        matches!(self, SimFault::Abort { .. })
+    }
+}
+
+impl fmt::Display for SimFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimFault::Segv { addr, access } => {
+                let what = match access {
+                    AccessKind::Read => "read",
+                    AccessKind::Write => "write",
+                };
+                write!(f, "segmentation fault ({what} at {addr:#010x})")
+            }
+            SimFault::Fpe => write!(f, "arithmetic exception"),
+            SimFault::Abort { reason } => write!(f, "abort: {reason}"),
+            SimFault::FuelExhausted => write!(f, "hang (fuel exhausted)"),
+        }
+    }
+}
+
+impl std::error::Error for SimFault {}
+
+#[derive(Clone)]
+struct Page {
+    prot: Protection,
+    data: Box<[u8; PAGE_SIZE as usize]>,
+}
+
+impl Page {
+    fn new(prot: Protection) -> Self {
+        Page {
+            prot,
+            data: Box::new([0u8; PAGE_SIZE as usize]),
+        }
+    }
+}
+
+impl fmt::Debug for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Page {{ prot: {:?} }}", self.prot)
+    }
+}
+
+/// A sparse, paged 32-bit address space.
+///
+/// Page 0 is never mapped, so null-pointer dereferences fault exactly as on
+/// a real Unix machine.
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    pages: BTreeMap<u32, Page>,
+}
+
+fn page_of(addr: Addr) -> u32 {
+    addr / PAGE_SIZE
+}
+
+impl AddressSpace {
+    /// An empty address space.
+    pub fn new() -> Self {
+        AddressSpace::default()
+    }
+
+    /// Map `len` bytes starting at `addr` (rounded out to page boundaries)
+    /// with protection `prot`. Remapping an already-mapped page resets its
+    /// contents to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region would include page 0 (the null page) or wrap
+    /// around the address space — both indicate a bug in the simulator.
+    pub fn map(&mut self, addr: Addr, len: u32, prot: Protection) {
+        assert!(len > 0, "cannot map an empty region");
+        let first = page_of(addr);
+        let last = page_of(addr.checked_add(len - 1).expect("mapping wraps address space"));
+        assert!(first > 0, "cannot map the null page");
+        for p in first..=last {
+            self.pages.insert(p, Page::new(prot));
+        }
+    }
+
+    /// Unmap all pages overlapping `[addr, addr+len)`.
+    pub fn unmap(&mut self, addr: Addr, len: u32) {
+        if len == 0 {
+            return;
+        }
+        let first = page_of(addr);
+        let last = page_of(addr + (len - 1));
+        for p in first..=last {
+            self.pages.remove(&p);
+        }
+    }
+
+    /// Change the protection of all pages overlapping `[addr, addr+len)`.
+    /// Pages that are not mapped are ignored.
+    pub fn protect(&mut self, addr: Addr, len: u32, prot: Protection) {
+        if len == 0 {
+            return;
+        }
+        let first = page_of(addr);
+        let last = page_of(addr + (len - 1));
+        for p in first..=last {
+            if let Some(page) = self.pages.get_mut(&p) {
+                page.prot = prot;
+            }
+        }
+    }
+
+    /// Whether `addr` lies in a mapped page (regardless of protection).
+    pub fn is_mapped(&self, addr: Addr) -> bool {
+        self.pages.contains_key(&page_of(addr))
+    }
+
+    /// Non-faulting probe: whether one byte at `addr` is readable. This is
+    /// the primitive behind the wrapper's *stateless* memory validation
+    /// (the paper tests one byte per page via a signal handler).
+    pub fn probe_read(&self, addr: Addr) -> bool {
+        self.pages
+            .get(&page_of(addr))
+            .map(|p| p.prot.allows_read())
+            .unwrap_or(false)
+    }
+
+    /// Non-faulting probe: whether one byte at `addr` is writable.
+    pub fn probe_write(&self, addr: Addr) -> bool {
+        self.pages
+            .get(&page_of(addr))
+            .map(|p| p.prot.allows_write())
+            .unwrap_or(false)
+    }
+
+    /// The protection of the page containing `addr`, if mapped.
+    pub fn protection_at(&self, addr: Addr) -> Option<Protection> {
+        self.pages.get(&page_of(addr)).map(|p| p.prot)
+    }
+
+    /// Number of mapped pages (diagnostics).
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn check(&self, addr: Addr, access: AccessKind) -> Result<(), SimFault> {
+        let ok = match access {
+            AccessKind::Read => self.probe_read(addr),
+            AccessKind::Write => self.probe_write(addr),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(SimFault::Segv { addr, access })
+        }
+    }
+
+    /// Read one byte.
+    ///
+    /// # Errors
+    ///
+    /// Faults with [`SimFault::Segv`] if the byte is not readable.
+    pub fn read_u8(&self, addr: Addr) -> Result<u8, SimFault> {
+        self.check(addr, AccessKind::Read)?;
+        let page = &self.pages[&page_of(addr)];
+        Ok(page.data[(addr % PAGE_SIZE) as usize])
+    }
+
+    /// Write one byte.
+    ///
+    /// # Errors
+    ///
+    /// Faults with [`SimFault::Segv`] if the byte is not writable.
+    pub fn write_u8(&mut self, addr: Addr, value: u8) -> Result<(), SimFault> {
+        self.check(addr, AccessKind::Write)?;
+        let page = self.pages.get_mut(&page_of(addr)).unwrap();
+        page.data[(addr % PAGE_SIZE) as usize] = value;
+        Ok(())
+    }
+
+    /// Read `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults at the first inaccessible byte, reporting its exact address —
+    /// partial progress is discarded, as with a real fault.
+    pub fn read_bytes(&self, addr: Addr, len: u32) -> Result<Vec<u8>, SimFault> {
+        let mut out = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            let a = addr.checked_add(i).ok_or(SimFault::Segv {
+                addr: u32::MAX,
+                access: AccessKind::Read,
+            })?;
+            out.push(self.read_u8(a)?);
+        }
+        Ok(out)
+    }
+
+    /// Write `bytes` starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults at the first non-writable byte. Bytes before the fault *are*
+    /// written — exactly the partial-write behavior a real buffer overflow
+    /// exhibits before the signal arrives.
+    pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) -> Result<(), SimFault> {
+        for (i, b) in bytes.iter().enumerate() {
+            let a = addr.checked_add(i as u32).ok_or(SimFault::Segv {
+                addr: u32::MAX,
+                access: AccessKind::Write,
+            })?;
+            self.write_u8(a, *b)?;
+        }
+        Ok(())
+    }
+
+    /// Read a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if any of the four bytes is unreadable.
+    pub fn read_u32(&self, addr: Addr) -> Result<u32, SimFault> {
+        let b = self.read_bytes(addr, 4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Write a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if any of the four bytes is unwritable.
+    pub fn write_u32(&mut self, addr: Addr, value: u32) -> Result<(), SimFault> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Read a little-endian `i32`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if any of the four bytes is unreadable.
+    pub fn read_i32(&self, addr: Addr) -> Result<i32, SimFault> {
+        Ok(self.read_u32(addr)? as i32)
+    }
+
+    /// Write a little-endian `i32`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if any of the four bytes is unwritable.
+    pub fn write_i32(&mut self, addr: Addr, value: i32) -> Result<(), SimFault> {
+        self.write_u32(addr, value as u32)
+    }
+
+    /// Read a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if either byte is unreadable.
+    pub fn read_u16(&self, addr: Addr) -> Result<u16, SimFault> {
+        let b = self.read_bytes(addr, 2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Write a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if either byte is unwritable.
+    pub fn write_u16(&mut self, addr: Addr, value: u16) -> Result<(), SimFault> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Read a little-endian `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if any of the eight bytes is unreadable.
+    pub fn read_f64(&self, addr: Addr) -> Result<f64, SimFault> {
+        let b = self.read_bytes(addr, 8)?;
+        Ok(f64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Write a little-endian `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if any of the eight bytes is unwritable.
+    pub fn write_f64(&mut self, addr: Addr, value: f64) -> Result<(), SimFault> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_page_faults() {
+        let m = AddressSpace::new();
+        let err = m.read_u8(0).unwrap_err();
+        assert_eq!(
+            err,
+            SimFault::Segv {
+                addr: 0,
+                access: AccessKind::Read
+            }
+        );
+    }
+
+    #[test]
+    fn map_read_write_roundtrip() {
+        let mut m = AddressSpace::new();
+        m.map(0x1000, 4096, Protection::ReadWrite);
+        m.write_u32(0x1000, 0xdeadbeef).unwrap();
+        assert_eq!(m.read_u32(0x1000).unwrap(), 0xdeadbeef);
+    }
+
+    #[test]
+    fn protection_enforced() {
+        let mut m = AddressSpace::new();
+        m.map(0x1000, 4096, Protection::ReadOnly);
+        assert!(m.read_u8(0x1000).is_ok());
+        let err = m.write_u8(0x1000, 1).unwrap_err();
+        assert_eq!(err.segv_addr(), Some(0x1000));
+
+        m.protect(0x1000, 4096, Protection::WriteOnly);
+        assert!(m.write_u8(0x1000, 1).is_ok());
+        assert!(m.read_u8(0x1000).is_err());
+    }
+
+    #[test]
+    fn fault_reports_exact_address() {
+        let mut m = AddressSpace::new();
+        // One mapped page followed by an unmapped one: a read crossing the
+        // boundary must fault exactly at the first unmapped byte. This is
+        // the property the adaptive array generator depends on.
+        m.map(0x2000, 4096, Protection::ReadWrite);
+        let err = m.read_bytes(0x2ffe, 8).unwrap_err();
+        assert_eq!(err.segv_addr(), Some(0x3000));
+    }
+
+    #[test]
+    fn partial_writes_persist_before_fault() {
+        let mut m = AddressSpace::new();
+        m.map(0x2000, 4096, Protection::ReadWrite);
+        let err = m.write_bytes(0x2ffe, &[1, 2, 3, 4]).unwrap_err();
+        assert_eq!(err.segv_addr(), Some(0x3000));
+        assert_eq!(m.read_bytes(0x2ffe, 2).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn unmap_revokes_access() {
+        let mut m = AddressSpace::new();
+        m.map(0x5000, 4096, Protection::ReadWrite);
+        assert!(m.probe_read(0x5000));
+        m.unmap(0x5000, 4096);
+        assert!(!m.probe_read(0x5000));
+        assert!(m.read_u8(0x5000).is_err());
+    }
+
+    #[test]
+    fn guard_page_protection_none() {
+        let mut m = AddressSpace::new();
+        m.map(0x7000, 4096, Protection::None);
+        assert!(m.is_mapped(0x7000));
+        assert!(!m.probe_read(0x7000));
+        assert!(!m.probe_write(0x7000));
+    }
+
+    #[test]
+    fn multibyte_little_endian() {
+        let mut m = AddressSpace::new();
+        m.map(0x1000, 4096, Protection::ReadWrite);
+        m.write_u32(0x1010, 0x11223344).unwrap();
+        assert_eq!(m.read_u8(0x1010).unwrap(), 0x44);
+        assert_eq!(m.read_u16(0x1010).unwrap(), 0x3344);
+        m.write_f64(0x1020, 2.5).unwrap();
+        assert_eq!(m.read_f64(0x1020).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn remap_zeroes_contents() {
+        let mut m = AddressSpace::new();
+        m.map(0x1000, 4096, Protection::ReadWrite);
+        m.write_u8(0x1000, 0xff).unwrap();
+        m.map(0x1000, 4096, Protection::ReadWrite);
+        assert_eq!(m.read_u8(0x1000).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "null page")]
+    fn mapping_null_page_panics() {
+        let mut m = AddressSpace::new();
+        m.map(0, 4096, Protection::ReadWrite);
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = SimFault::Segv {
+            addr: 0x1234,
+            access: AccessKind::Write,
+        };
+        assert!(f.to_string().contains("write"));
+        assert!(SimFault::FuelExhausted.is_hang());
+        assert!(SimFault::Abort {
+            reason: "free(): invalid pointer".into()
+        }
+        .is_abort());
+    }
+}

@@ -1,0 +1,304 @@
+//! The simulated process: address space, heap, stack, statics, `errno`,
+//! and the fuel budget that models hang detection.
+
+use std::collections::BTreeMap;
+
+use crate::heap::{Heap, HeapError, HeapMode};
+use crate::mem::{AddressSpace, Protection, SimFault, PAGE_SIZE};
+use crate::Addr;
+
+/// Base of the static-data region (libc internal buffers, `errno`
+/// storage, ctype tables, environment strings).
+pub const STATIC_BASE: Addr = 0x0801_0000;
+/// Size of the static-data region. Kept small so that cloning a
+/// process image (fault containment) stays cheap.
+pub const STATIC_SIZE: u32 = 0x0002_0000;
+/// Base of the heap region.
+pub const HEAP_BASE: Addr = 0x1000_0000;
+/// End of the heap region (exclusive).
+pub const HEAP_LIMIT: Addr = 0x7000_0000;
+/// Top of the downward-growing stack.
+pub const STACK_BASE: Addr = 0xbfff_f000;
+/// Mapped stack size. Kept small so process clones stay cheap.
+pub const STACK_SIZE: u32 = 16 * PAGE_SIZE;
+/// A canonical pointer that is never mapped — the classic "invalid
+/// non-null pointer" test value.
+pub const INVALID_PTR: Addr = 0xdead_0000;
+
+/// Default fuel budget per library call. One unit corresponds roughly to
+/// one byte processed or one loop iteration; exhausting the budget raises
+/// [`SimFault::FuelExhausted`], the deterministic analogue of the paper's
+/// hang-detection timeout.
+pub const DEFAULT_FUEL: u64 = 2_000_000;
+
+/// A simulated process image.
+///
+/// Cloning a `SimProcess` clones the entire image — this is how the fault
+/// injector "spawns a child process" for each test case (§4.1).
+#[derive(Debug, Clone)]
+pub struct SimProcess {
+    /// The paged address space.
+    pub mem: AddressSpace,
+    /// The heap allocator.
+    pub heap: Heap,
+    /// The C `errno` cell.
+    errno: i32,
+    /// Fuel remaining for the current call.
+    fuel_left: u64,
+    /// Configured fuel budget per call.
+    fuel_budget: u64,
+    /// Bump cursor for static allocations.
+    static_cursor: Addr,
+    /// Named static buffers (e.g. `asctime`'s result buffer).
+    statics: BTreeMap<String, Addr>,
+    /// Bump cursor for stack "frames" handed to application code.
+    stack_cursor: Addr,
+}
+
+impl SimProcess {
+    /// A fresh process: stack and static regions mapped, heap in packed
+    /// (production) mode.
+    pub fn new() -> Self {
+        let mut mem = AddressSpace::new();
+        mem.map(STATIC_BASE, STATIC_SIZE, Protection::ReadWrite);
+        mem.map(STACK_BASE - STACK_SIZE, STACK_SIZE, Protection::ReadWrite);
+        SimProcess {
+            mem,
+            heap: Heap::new(HEAP_BASE, HEAP_LIMIT, HeapMode::Packed),
+            errno: 0,
+            fuel_left: DEFAULT_FUEL,
+            fuel_budget: DEFAULT_FUEL,
+            static_cursor: STATIC_BASE,
+            statics: BTreeMap::new(),
+            stack_cursor: STACK_BASE,
+        }
+    }
+
+    /// A fresh process with the heap in guarded (electric-fence) mode, as
+    /// the fault injector uses.
+    pub fn new_guarded() -> Self {
+        let mut p = SimProcess::new();
+        p.heap.set_mode(HeapMode::Guarded);
+        p
+    }
+
+    /// Current `errno` value.
+    pub fn errno(&self) -> i32 {
+        self.errno
+    }
+
+    /// Set `errno`.
+    pub fn set_errno(&mut self, e: i32) {
+        self.errno = e;
+    }
+
+    /// Allocate on the heap (read-write).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfMemory`] when the heap is exhausted.
+    pub fn heap_alloc(&mut self, size: u32) -> Result<Addr, HeapError> {
+        self.heap.malloc(&mut self.mem, size)
+    }
+
+    /// Free a heap block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator consistency errors (invalid pointer / double
+    /// free) for the caller to convert into an abort.
+    pub fn heap_free(&mut self, addr: Addr) -> Result<(), HeapError> {
+        self.heap.free(&mut self.mem, addr)
+    }
+
+    /// Carve `size` bytes from the static region (never freed). Used for
+    /// libc-internal tables and buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the static region overflows — a simulator configuration
+    /// bug, not an application error.
+    pub fn static_alloc(&mut self, size: u32) -> Addr {
+        let addr = self.static_cursor.next_multiple_of(8);
+        assert!(
+            addr + size <= STATIC_BASE + STATIC_SIZE,
+            "static region exhausted"
+        );
+        self.static_cursor = addr + size;
+        addr
+    }
+
+    /// Get or create a named static buffer of `size` bytes.
+    pub fn named_static(&mut self, name: &str, size: u32) -> Addr {
+        if let Some(&a) = self.statics.get(name) {
+            return a;
+        }
+        let a = self.static_alloc(size);
+        self.statics.insert(name.to_string(), a);
+        a
+    }
+
+    /// Look up a named static buffer without creating it.
+    pub fn named_static_get(&self, name: &str) -> Option<Addr> {
+        self.statics.get(name).copied()
+    }
+
+    /// Carve `size` bytes of mapped stack space (for application-owned
+    /// buffers in examples and workloads). Wraps around when exhausted.
+    pub fn stack_alloc(&mut self, size: u32) -> Addr {
+        let size = size.next_multiple_of(8);
+        if self.stack_cursor - size < STACK_BASE - STACK_SIZE {
+            self.stack_cursor = STACK_BASE;
+        }
+        self.stack_cursor -= size;
+        self.stack_cursor
+    }
+
+    /// Whether `addr` is inside the mapped stack.
+    pub fn in_stack(&self, addr: Addr) -> bool {
+        (STACK_BASE - STACK_SIZE..STACK_BASE).contains(&addr)
+    }
+
+    /// Consume `n` units of fuel.
+    ///
+    /// # Errors
+    ///
+    /// [`SimFault::FuelExhausted`] once the per-call budget is spent —
+    /// the caller treats this as a hang.
+    pub fn tick(&mut self, n: u64) -> Result<(), SimFault> {
+        if self.fuel_left < n {
+            self.fuel_left = 0;
+            return Err(SimFault::FuelExhausted);
+        }
+        self.fuel_left -= n;
+        Ok(())
+    }
+
+    /// Reset the fuel budget (called at every library-call boundary).
+    pub fn reset_fuel(&mut self) {
+        self.fuel_left = self.fuel_budget;
+    }
+
+    /// Configure the per-call fuel budget.
+    pub fn set_fuel_budget(&mut self, budget: u64) {
+        self.fuel_budget = budget;
+        self.fuel_left = budget;
+    }
+
+    /// Fuel consumed since the last reset.
+    pub fn fuel_used(&self) -> u64 {
+        self.fuel_budget - self.fuel_left
+    }
+
+    /// Read a NUL-terminated C string, consuming fuel per byte.
+    ///
+    /// # Errors
+    ///
+    /// Faults if any byte before the terminator is unreadable, or with
+    /// [`SimFault::FuelExhausted`] on unterminated gigantic regions.
+    pub fn read_cstr(&mut self, addr: Addr) -> Result<Vec<u8>, SimFault> {
+        let mut out = Vec::new();
+        let mut a = addr;
+        loop {
+            self.tick(1)?;
+            let b = self.mem.read_u8(a)?;
+            if b == 0 {
+                return Ok(out);
+            }
+            out.push(b);
+            a = a.wrapping_add(1);
+        }
+    }
+
+    /// Write a NUL-terminated C string.
+    ///
+    /// # Errors
+    ///
+    /// Faults at the first unwritable byte (partial writes persist).
+    pub fn write_cstr(&mut self, addr: Addr, bytes: &[u8]) -> Result<(), SimFault> {
+        self.mem.write_bytes(addr, bytes)?;
+        self.mem.write_u8(addr + bytes.len() as u32, 0)
+    }
+}
+
+impl Default for SimProcess {
+    fn default() -> Self {
+        SimProcess::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_process_layout() {
+        let p = SimProcess::new();
+        assert!(p.mem.probe_read(STATIC_BASE));
+        assert!(p.mem.probe_write(STACK_BASE - 8));
+        assert!(!p.mem.probe_read(0));
+        assert!(!p.mem.probe_read(INVALID_PTR));
+        assert_eq!(p.errno(), 0);
+    }
+
+    #[test]
+    fn cstr_roundtrip() {
+        let mut p = SimProcess::new();
+        let a = p.heap_alloc(16).unwrap();
+        p.write_cstr(a, b"hi there").unwrap();
+        assert_eq!(p.read_cstr(a).unwrap(), b"hi there");
+    }
+
+    #[test]
+    fn unterminated_cstr_hangs_or_faults() {
+        let mut p = SimProcess::new_guarded();
+        let a = p.heap_alloc(8).unwrap();
+        p.mem.write_bytes(a, &[1; 8]).unwrap();
+        // Guarded block: the read runs off the end and faults at the guard.
+        let err = p.read_cstr(a).unwrap_err();
+        assert_eq!(err.segv_addr(), Some(a + 8));
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_hang() {
+        let mut p = SimProcess::new();
+        p.set_fuel_budget(10);
+        assert!(p.tick(5).is_ok());
+        assert_eq!(p.tick(6).unwrap_err(), SimFault::FuelExhausted);
+        p.reset_fuel();
+        assert!(p.tick(10).is_ok());
+    }
+
+    #[test]
+    fn named_statics_are_stable() {
+        let mut p = SimProcess::new();
+        let a = p.named_static("asctime_buf", 26);
+        let b = p.named_static("asctime_buf", 26);
+        assert_eq!(a, b);
+        let c = p.named_static("other", 8);
+        assert_ne!(a, c);
+        assert_eq!(p.named_static_get("asctime_buf"), Some(a));
+        assert_eq!(p.named_static_get("missing"), None);
+    }
+
+    #[test]
+    fn stack_alloc_is_mapped() {
+        let mut p = SimProcess::new();
+        let a = p.stack_alloc(128);
+        assert!(p.in_stack(a));
+        p.mem.write_bytes(a, &[7; 128]).unwrap();
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut parent = SimProcess::new();
+        let a = parent.heap_alloc(8).unwrap();
+        parent.mem.write_u32(a, 1).unwrap();
+        let mut child = parent.clone();
+        child.mem.write_u32(a, 2).unwrap();
+        child.set_errno(42);
+        assert_eq!(parent.mem.read_u32(a).unwrap(), 1);
+        assert_eq!(parent.errno(), 0);
+        assert_eq!(child.mem.read_u32(a).unwrap(), 2);
+    }
+}

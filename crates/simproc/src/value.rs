@@ -1,0 +1,131 @@
+//! Machine values passed to and returned from simulated C functions.
+
+use std::fmt;
+
+use crate::Addr;
+
+/// A value in the simulated C ABI.
+///
+/// Integer-family arguments (including `char`, enums, `size_t`) travel as
+/// [`SimValue::Int`]; all pointers travel as [`SimValue::Ptr`]; floating
+/// point as [`SimValue::Double`]; `void` returns as [`SimValue::Void`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimValue {
+    /// An integer value (sign-extended to 64 bits).
+    Int(i64),
+    /// A pointer value.
+    Ptr(Addr),
+    /// A floating-point value.
+    Double(f64),
+    /// The absence of a value (`void`).
+    Void,
+}
+
+impl SimValue {
+    /// The null pointer.
+    pub const NULL: SimValue = SimValue::Ptr(0);
+
+    /// Interpret the value as an integer. Pointers coerce to their
+    /// address, doubles truncate — mirroring C's weakly-typed call ABI
+    /// where a test harness may pass any bit pattern.
+    pub fn as_int(self) -> i64 {
+        match self {
+            SimValue::Int(v) => v,
+            SimValue::Ptr(p) => i64::from(p),
+            SimValue::Double(d) => d as i64,
+            SimValue::Void => 0,
+        }
+    }
+
+    /// Interpret the value as a pointer (integers are truncated to the
+    /// 32-bit address width, like a cast through `uintptr_t`).
+    pub fn as_ptr(self) -> Addr {
+        match self {
+            SimValue::Ptr(p) => p,
+            SimValue::Int(v) => v as u32,
+            SimValue::Double(d) => d as u32,
+            SimValue::Void => 0,
+        }
+    }
+
+    /// Interpret the value as a double.
+    pub fn as_double(self) -> f64 {
+        match self {
+            SimValue::Double(d) => d,
+            SimValue::Int(v) => v as f64,
+            SimValue::Ptr(p) => f64::from(p),
+            SimValue::Void => 0.0,
+        }
+    }
+
+    /// Whether this is the null pointer (or integer zero used as one).
+    pub fn is_null(self) -> bool {
+        self.as_ptr() == 0
+    }
+}
+
+impl fmt::Display for SimValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimValue::Int(v) => write!(f, "{v}"),
+            SimValue::Ptr(0) => write!(f, "NULL"),
+            SimValue::Ptr(p) => write!(f, "{p:#010x}"),
+            SimValue::Double(d) => write!(f, "{d}"),
+            SimValue::Void => write!(f, "void"),
+        }
+    }
+}
+
+impl From<i32> for SimValue {
+    fn from(v: i32) -> Self {
+        SimValue::Int(i64::from(v))
+    }
+}
+
+impl From<i64> for SimValue {
+    fn from(v: i64) -> Self {
+        SimValue::Int(v)
+    }
+}
+
+impl From<u32> for SimValue {
+    fn from(v: u32) -> Self {
+        SimValue::Int(i64::from(v))
+    }
+}
+
+impl From<f64> for SimValue {
+    fn from(v: f64) -> Self {
+        SimValue::Double(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coercions() {
+        assert_eq!(SimValue::Int(-1).as_ptr(), 0xffff_ffff);
+        assert_eq!(SimValue::Ptr(0x1000).as_int(), 0x1000);
+        assert_eq!(SimValue::Double(3.9).as_int(), 3);
+        assert!(SimValue::NULL.is_null());
+        assert!(SimValue::Int(0).is_null());
+        assert!(!SimValue::Ptr(4).is_null());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimValue::NULL.to_string(), "NULL");
+        assert_eq!(SimValue::Ptr(0x1234).to_string(), "0x00001234");
+        assert_eq!(SimValue::Int(-5).to_string(), "-5");
+        assert_eq!(SimValue::Void.to_string(), "void");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(SimValue::from(7i32), SimValue::Int(7));
+        assert_eq!(SimValue::from(7u32), SimValue::Int(7));
+        assert_eq!(SimValue::from(2.5f64), SimValue::Double(2.5));
+    }
+}

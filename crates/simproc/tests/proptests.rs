@@ -1,0 +1,99 @@
+//! Property tests for the simulated process substrate: allocator
+//! invariants, memory semantics, and fault precision.
+
+use proptest::prelude::*;
+
+use healers_simproc::{AddressSpace, Heap, HeapMode, Protection, SimProcess, PAGE_SIZE};
+
+proptest! {
+    /// Live heap blocks never overlap, in either placement mode.
+    #[test]
+    fn live_blocks_never_overlap(
+        sizes in prop::collection::vec(0u32..6000, 1..24),
+        guarded in any::<bool>(),
+    ) {
+        let mut mem = AddressSpace::new();
+        let mode = if guarded { HeapMode::Guarded } else { HeapMode::Packed };
+        let mut heap = Heap::new(0x1000_0000, 0x4000_0000, mode);
+        let mut blocks: Vec<(u32, u32)> = Vec::new();
+        for size in sizes {
+            let base = heap.malloc(&mut mem, size).unwrap();
+            for &(b, s) in &blocks {
+                let a_end = u64::from(base) + u64::from(size.max(1));
+                let b_end = u64::from(b) + u64::from(s.max(1));
+                prop_assert!(
+                    a_end <= u64::from(b) || b_end <= u64::from(base),
+                    "blocks ({base:#x},{size}) and ({b:#x},{s}) overlap"
+                );
+            }
+            blocks.push((base, size));
+        }
+    }
+
+    /// In guarded mode every block's last byte is accessible and the
+    /// byte after it faults at exactly that address.
+    #[test]
+    fn guarded_blocks_fault_precisely(size in 1u32..9000) {
+        let mut mem = AddressSpace::new();
+        let mut heap = Heap::new(0x1000_0000, 0x4000_0000, HeapMode::Guarded);
+        let base = heap.malloc(&mut mem, size).unwrap();
+        prop_assert!(mem.write_u8(base + size - 1, 0xAB).is_ok());
+        let fault = mem.read_u8(base + size).unwrap_err();
+        prop_assert_eq!(fault.segv_addr(), Some(base + size));
+    }
+
+    /// Whatever bytes are written are read back, and byte-granular
+    /// faults never corrupt neighboring data.
+    #[test]
+    fn write_read_roundtrip(
+        offset in 0u32..(PAGE_SIZE * 2 - 64),
+        data in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let mut mem = AddressSpace::new();
+        mem.map(0x8000, PAGE_SIZE * 2, Protection::ReadWrite);
+        mem.write_bytes(0x8000 + offset, &data).unwrap();
+        prop_assert_eq!(mem.read_bytes(0x8000 + offset, data.len() as u32).unwrap(), data);
+    }
+
+    /// free() then re-malloc never hands out a region overlapping a
+    /// still-live block, and double frees are always caught.
+    #[test]
+    fn free_is_caught_exactly_once(sizes in prop::collection::vec(1u32..512, 2..12)) {
+        let mut mem = AddressSpace::new();
+        let mut heap = Heap::new(0x1000_0000, 0x4000_0000, HeapMode::Packed);
+        let blocks: Vec<u32> = sizes.iter().map(|s| heap.malloc(&mut mem, *s).unwrap()).collect();
+        for &b in &blocks {
+            prop_assert!(heap.free(&mut mem, b).is_ok());
+            prop_assert!(heap.free(&mut mem, b).is_err());
+        }
+    }
+
+    /// The fuel budget makes every loop terminate: a cstr read over
+    /// non-NUL memory exhausts its fuel before escaping the region.
+    #[test]
+    fn fuel_bounds_unterminated_scans(budget in 1u64..4000) {
+        let mut proc = SimProcess::new();
+        proc.set_fuel_budget(budget);
+        // A large non-NUL region in the statics.
+        let addr = proc.static_alloc(4096);
+        for i in 0..4096 {
+            proc.mem.write_u8(addr + i, 0x41).unwrap();
+        }
+        let r = proc.read_cstr(addr);
+        prop_assert!(r.is_err());
+    }
+
+    /// Cloned processes are fully independent (fault containment).
+    #[test]
+    fn clone_isolation(writes in prop::collection::vec((0u32..4096, any::<u8>()), 1..32)) {
+        let mut parent = SimProcess::new();
+        let base = parent.heap_alloc(4096).unwrap();
+        let mut child = parent.clone();
+        for (off, byte) in &writes {
+            child.mem.write_u8(base + off, *byte).unwrap();
+        }
+        for (off, _) in &writes {
+            prop_assert_eq!(parent.mem.read_u8(base + off).unwrap(), 0);
+        }
+    }
+}

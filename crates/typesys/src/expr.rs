@@ -1,0 +1,338 @@
+//! Type expressions: every type any test-case generator defines.
+
+use std::fmt;
+
+/// A type in the extensible hierarchy. Size parameters are in bytes
+/// (array types) or string lengths (string types).
+///
+/// Fundamental types (disjoint value sets; test cases carry these):
+/// `Null`, `Invalid`, `RonlyFixed`, `RwFixed`, `WonlyFixed`, `RonlyFile`,
+/// `RwFile`, `WonlyFile`, `ClosedFile`, `OpenDirF`, `StaleDir`, `NtsRo`,
+/// `NtsRw`, `ModeValid`, `ModeBogus`, `IntNeg`, `IntZero`, `IntPos`,
+/// `FdRonly`, `FdWonly`, `FdRdwr`, `FdClosed`, `FdNegative`,
+/// `SpeedValid`, `SpeedBogus`. All others are unified types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TypeExpr {
+    // ---- pointer / fixed-size array hierarchy (Figure 3) ---------------
+    /// The null pointer (fundamental).
+    Null,
+    /// Non-null pointers to inaccessible memory (fundamental).
+    Invalid,
+    /// Pointers to a read-only region of exactly `s` bytes (fundamental).
+    RonlyFixed(u32),
+    /// Pointers to a read-write region of exactly `s` bytes (fundamental).
+    RwFixed(u32),
+    /// Pointers to a write-only region of exactly `s` bytes (fundamental).
+    WonlyFixed(u32),
+    /// Readable region of at least `s` bytes (unified).
+    RArray(u32),
+    /// Writable region of at least `s` bytes (unified).
+    WArray(u32),
+    /// Read-write region of at least `s` bytes (unified).
+    RwArray(u32),
+    /// `R_ARRAY[s]` or null (unified).
+    RArrayNull(u32),
+    /// `W_ARRAY[s]` or null (unified).
+    WArrayNull(u32),
+    /// `RW_ARRAY[s]` or null (unified).
+    RwArrayNull(u32),
+    /// All pointers (unified top of the pointer hierarchies).
+    Unconstrained,
+
+    // ---- file pointer hierarchy (Figure 4) ------------------------------
+    /// `FILE*` open for reading only (fundamental).
+    RonlyFile,
+    /// `FILE*` open for reading and writing (fundamental).
+    RwFile,
+    /// `FILE*` open for writing only (fundamental).
+    WonlyFile,
+    /// A `FILE*` that has been `fclose`d (fundamental; its memory has
+    /// been freed).
+    ClosedFile,
+    /// Readable file pointer: `RONLY_FILE ∪ RW_FILE` (unified).
+    RFile,
+    /// Writable file pointer: `WONLY_FILE ∪ RW_FILE` (unified).
+    WFile,
+    /// Any open file pointer (unified).
+    OpenFile,
+    /// Any open file pointer or null (unified).
+    OpenFileNull,
+
+    // ---- directory pointer hierarchy ------------------------------------
+    /// A live `DIR*` returned by `opendir` (fundamental).
+    OpenDirF,
+    /// A `DIR*` that was `closedir`d or never valid but in accessible
+    /// memory (fundamental).
+    StaleDir,
+    /// Any live directory pointer (unified; the type POSIX gives the
+    /// wrapper *no stateless way to check* — §5.2).
+    OpenDir,
+    /// Live directory pointer or null (unified).
+    OpenDirNull,
+
+    // ---- C string hierarchy ----------------------------------------------
+    /// NUL-terminated string of length exactly `l` in read-only memory
+    /// (fundamental).
+    NtsRo(u32),
+    /// NUL-terminated string of length exactly `l` in writable memory
+    /// (fundamental).
+    NtsRw(u32),
+    /// Any NUL-terminated string of length ≤ `l` (unified).
+    NtsMax(u32),
+    /// Any NUL-terminated string (unified).
+    Nts,
+    /// Any NUL-terminated string, writable memory (unified).
+    NtsWritable,
+    /// Any NUL-terminated string or null (unified).
+    NtsNull,
+
+    // ---- fopen-style mode strings ----------------------------------------
+    /// A valid mode string (`"r"`, `"w+"`, `"ab"`, …) (fundamental).
+    ModeValid,
+    /// A short but syntactically invalid mode string (fundamental).
+    ModeBogus,
+    /// Any short mode-shaped string, valid or not (unified).
+    ModeShort,
+
+    // ---- scalar integer hierarchy ----------------------------------------
+    /// Negative integers (fundamental).
+    IntNeg,
+    /// Zero (fundamental).
+    IntZero,
+    /// Positive integers (fundamental).
+    IntPos,
+    /// Non-negative integers (unified).
+    IntNonNeg,
+    /// Non-positive integers (unified).
+    IntNonPos,
+    /// All integers (unified top of the scalar hierarchies).
+    IntAny,
+
+    // ---- file descriptor hierarchy ----------------------------------------
+    /// Open fd with read-only access (fundamental).
+    FdRonly,
+    /// Open fd with write-only access (fundamental).
+    FdWonly,
+    /// Open fd with read-write access (fundamental).
+    FdRdwr,
+    /// Non-negative integer that is not an open fd (fundamental).
+    FdClosed,
+    /// Negative integer used as an fd (fundamental).
+    FdNegative,
+    /// Readable fd (unified).
+    FdReadable,
+    /// Writable fd (unified).
+    FdWritable,
+    /// Any open fd (unified).
+    FdOpen,
+
+    // ---- termios speed values ----------------------------------------------
+    /// A valid `B*` baud constant (fundamental).
+    SpeedValid,
+    /// An integer that is not a baud constant (fundamental).
+    SpeedBogus,
+}
+
+impl TypeExpr {
+    /// Whether this is a fundamental type (disjoint value set; the tag a
+    /// test case carries). Unified types are everything else.
+    pub fn is_fundamental(self) -> bool {
+        use TypeExpr::*;
+        matches!(
+            self,
+            Null | Invalid
+                | RonlyFixed(_)
+                | RwFixed(_)
+                | WonlyFixed(_)
+                | RonlyFile
+                | RwFile
+                | WonlyFile
+                | ClosedFile
+                | OpenDirF
+                | StaleDir
+                | NtsRo(_)
+                | NtsRw(_)
+                | ModeValid
+                | ModeBogus
+                | IntNeg
+                | IntZero
+                | IntPos
+                | FdRonly
+                | FdWonly
+                | FdRdwr
+                | FdClosed
+                | FdNegative
+                | SpeedValid
+                | SpeedBogus
+        )
+    }
+
+    /// The paper's notation for the type, e.g. `R_ARRAY_NULL[44]`.
+    pub fn notation(self) -> String {
+        use TypeExpr::*;
+        match self {
+            Null => "NULL".into(),
+            Invalid => "INVALID".into(),
+            RonlyFixed(s) => format!("RONLY_FIXED[{s}]"),
+            RwFixed(s) => format!("RW_FIXED[{s}]"),
+            WonlyFixed(s) => format!("WONLY_FIXED[{s}]"),
+            RArray(s) => format!("R_ARRAY[{s}]"),
+            WArray(s) => format!("W_ARRAY[{s}]"),
+            RwArray(s) => format!("RW_ARRAY[{s}]"),
+            RArrayNull(s) => format!("R_ARRAY_NULL[{s}]"),
+            WArrayNull(s) => format!("W_ARRAY_NULL[{s}]"),
+            RwArrayNull(s) => format!("RW_ARRAY_NULL[{s}]"),
+            Unconstrained => "UNCONSTRAINED".into(),
+            RonlyFile => "RONLY_FILE".into(),
+            RwFile => "RW_FILE".into(),
+            WonlyFile => "WONLY_FILE".into(),
+            ClosedFile => "CLOSED_FILE".into(),
+            RFile => "R_FILE".into(),
+            WFile => "W_FILE".into(),
+            OpenFile => "OPEN_FILE".into(),
+            OpenFileNull => "OPEN_FILE_NULL".into(),
+            OpenDirF => "OPEN_DIR_F".into(),
+            StaleDir => "STALE_DIR".into(),
+            OpenDir => "OPEN_DIR".into(),
+            OpenDirNull => "OPEN_DIR_NULL".into(),
+            NtsRo(l) => format!("NTS_RO[{l}]"),
+            NtsRw(l) => format!("NTS_RW[{l}]"),
+            NtsMax(l) => format!("NTS_MAX[{l}]"),
+            Nts => "NTS".into(),
+            NtsWritable => "NTS_RW_ANY".into(),
+            NtsNull => "NTS_NULL".into(),
+            ModeValid => "MODE_VALID".into(),
+            ModeBogus => "MODE_BOGUS".into(),
+            ModeShort => "MODE_SHORT".into(),
+            IntNeg => "INT_NEG".into(),
+            IntZero => "INT_ZERO".into(),
+            IntPos => "INT_POS".into(),
+            IntNonNeg => "INT_NONNEG".into(),
+            IntNonPos => "INT_NONPOS".into(),
+            IntAny => "INT_ANY".into(),
+            FdRonly => "FD_RONLY".into(),
+            FdWonly => "FD_WONLY".into(),
+            FdRdwr => "FD_RDWR".into(),
+            FdClosed => "FD_CLOSED".into(),
+            FdNegative => "FD_NEGATIVE".into(),
+            FdReadable => "FD_READABLE".into(),
+            FdWritable => "FD_WRITABLE".into(),
+            FdOpen => "FD_OPEN".into(),
+            SpeedValid => "SPEED_VALID".into(),
+            SpeedBogus => "SPEED_BOGUS".into(),
+        }
+    }
+}
+
+impl TypeExpr {
+    /// Parse the paper's notation back into a type (the inverse of
+    /// [`TypeExpr::notation`]); used when reading function declarations.
+    pub fn parse_notation(s: &str) -> Option<TypeExpr> {
+        use TypeExpr::*;
+        if let Some(open) = s.find('[') {
+            let close = s.find(']')?;
+            let size: u32 = s.get(open + 1..close)?.parse().ok()?;
+            let t = match &s[..open] {
+                "RONLY_FIXED" => RonlyFixed(size),
+                "RW_FIXED" => RwFixed(size),
+                "WONLY_FIXED" => WonlyFixed(size),
+                "R_ARRAY" => RArray(size),
+                "W_ARRAY" => WArray(size),
+                "RW_ARRAY" => RwArray(size),
+                "R_ARRAY_NULL" => RArrayNull(size),
+                "W_ARRAY_NULL" => WArrayNull(size),
+                "RW_ARRAY_NULL" => RwArrayNull(size),
+                "NTS_RO" => NtsRo(size),
+                "NTS_RW" => NtsRw(size),
+                "NTS_MAX" => NtsMax(size),
+                _ => return None,
+            };
+            return Some(t);
+        }
+        let t = match s {
+            "NULL" => Null,
+            "INVALID" => Invalid,
+            "UNCONSTRAINED" => Unconstrained,
+            "RONLY_FILE" => RonlyFile,
+            "RW_FILE" => RwFile,
+            "WONLY_FILE" => WonlyFile,
+            "CLOSED_FILE" => ClosedFile,
+            "R_FILE" => RFile,
+            "W_FILE" => WFile,
+            "OPEN_FILE" => OpenFile,
+            "OPEN_FILE_NULL" => OpenFileNull,
+            "OPEN_DIR_F" => OpenDirF,
+            "STALE_DIR" => StaleDir,
+            "OPEN_DIR" => OpenDir,
+            "OPEN_DIR_NULL" => OpenDirNull,
+            "NTS" => Nts,
+            "NTS_RW_ANY" => NtsWritable,
+            "NTS_NULL" => NtsNull,
+            "MODE_VALID" => ModeValid,
+            "MODE_BOGUS" => ModeBogus,
+            "MODE_SHORT" => ModeShort,
+            "INT_NEG" => IntNeg,
+            "INT_ZERO" => IntZero,
+            "INT_POS" => IntPos,
+            "INT_NONNEG" => IntNonNeg,
+            "INT_NONPOS" => IntNonPos,
+            "INT_ANY" => IntAny,
+            "FD_RONLY" => FdRonly,
+            "FD_WONLY" => FdWonly,
+            "FD_RDWR" => FdRdwr,
+            "FD_CLOSED" => FdClosed,
+            "FD_NEGATIVE" => FdNegative,
+            "FD_READABLE" => FdReadable,
+            "FD_WRITABLE" => FdWritable,
+            "FD_OPEN" => FdOpen,
+            "SPEED_VALID" => SpeedValid,
+            "SPEED_BOGUS" => SpeedBogus,
+            _ => return None,
+        };
+        Some(t)
+    }
+}
+
+impl fmt::Display for TypeExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.notation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fundamental_classification() {
+        assert!(TypeExpr::Null.is_fundamental());
+        assert!(TypeExpr::RonlyFixed(44).is_fundamental());
+        assert!(!TypeExpr::RArrayNull(44).is_fundamental());
+        assert!(!TypeExpr::Unconstrained.is_fundamental());
+        assert!(TypeExpr::RwFile.is_fundamental());
+        assert!(!TypeExpr::OpenFile.is_fundamental());
+        assert!(TypeExpr::IntZero.is_fundamental());
+        assert!(!TypeExpr::IntNonNeg.is_fundamental());
+    }
+
+    #[test]
+    fn paper_notation() {
+        assert_eq!(TypeExpr::RArrayNull(44).notation(), "R_ARRAY_NULL[44]");
+        assert_eq!(TypeExpr::OpenFile.notation(), "OPEN_FILE");
+        assert_eq!(TypeExpr::Unconstrained.to_string(), "UNCONSTRAINED");
+    }
+
+    #[test]
+    fn notation_roundtrip() {
+        let samples = crate::universe::full_universe(&[1, 44, 148]);
+        for t in samples {
+            assert_eq!(
+                TypeExpr::parse_notation(&t.notation()),
+                Some(t),
+                "roundtrip {t}"
+            );
+        }
+        assert_eq!(TypeExpr::parse_notation("NONSENSE"), None);
+        assert_eq!(TypeExpr::parse_notation("R_ARRAY[x]"), None);
+    }
+}

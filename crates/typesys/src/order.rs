@@ -1,0 +1,455 @@
+//! The subtype relation `≤` over [`TypeExpr`].
+//!
+//! `T1 ≤ T2` iff `V(T1) ⊆ V(T2)`. The implementation characterizes each
+//! type by what it *guarantees* about its members (memory capabilities,
+//! nullability, content family) and each potential supertype by what it
+//! *requires*; containment is implication. This construction makes the
+//! relation reflexive, transitive and antisymmetric by design — the
+//! property tests at the bottom verify all three over the full universe.
+//!
+//! Cross-hierarchy edges follow the paper: an open `FILE*` is also a
+//! pointer to a read-write region of `sizeof(FILE)` bytes (`OPEN_FILE ≤
+//! RW_ARRAY[s]`, Figure 4), a NUL-terminated string of length `l` is
+//! also a readable region of `l+1` bytes, and a live `DIR*` is a
+//! read-write region of `sizeof(DIR)` bytes.
+
+use crate::expr::TypeExpr;
+
+/// `sizeof(FILE)` on the target — the memory guarantee behind the
+/// `OPEN_FILE ≤ RW_ARRAY[s]` edge.
+pub const FILE_SIZE: u32 = 148;
+/// `sizeof(DIR)` on the target.
+pub const DIR_SIZE: u32 = 32;
+/// Maximum length of a mode string the `ModeShort` type admits.
+pub const MODE_MAX_LEN: u32 = 7;
+/// Maximum length of a *valid* mode string (`"ab+"` etc.).
+pub const MODE_VALID_MAX_LEN: u32 = 3;
+
+/// Minimal memory capabilities every non-null member of a type is
+/// guaranteed to have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MemCaps {
+    read: bool,
+    write: bool,
+    size: u32,
+}
+
+/// What a type guarantees about its members.
+#[derive(Debug, Clone, Copy)]
+struct Profile {
+    /// V(T) contains the null pointer.
+    has_null: bool,
+    /// V(T) contains invalid (inaccessible non-null) pointers.
+    has_invalid: bool,
+    /// Capabilities guaranteed for every non-null member; `None` when
+    /// there are no accessible-memory guarantees (or no non-null
+    /// members at all, as for `Null`).
+    caps: Option<MemCaps>,
+    /// Whether the type belongs to the pointer world at all (scalars are
+    /// never subtypes of pointer types and vice versa).
+    pointer: bool,
+}
+
+fn caps(read: bool, write: bool, size: u32) -> Option<MemCaps> {
+    Some(MemCaps { read, write, size })
+}
+
+fn profile(t: TypeExpr) -> Profile {
+    use TypeExpr::*;
+    let (has_null, has_invalid, c, pointer) = match t {
+        Null => (true, false, None, true),
+        Invalid => (false, true, None, true),
+        RonlyFixed(s) => (false, false, caps(true, false, s), true),
+        RwFixed(s) => (false, false, caps(true, true, s), true),
+        WonlyFixed(s) => (false, false, caps(false, true, s), true),
+        RArray(s) => (false, false, caps(true, false, s), true),
+        WArray(s) => (false, false, caps(false, true, s), true),
+        RwArray(s) => (false, false, caps(true, true, s), true),
+        RArrayNull(s) => (true, false, caps(true, false, s), true),
+        WArrayNull(s) => (true, false, caps(false, true, s), true),
+        RwArrayNull(s) => (true, false, caps(true, true, s), true),
+        Unconstrained => (true, true, None, true),
+        RonlyFile | RwFile | WonlyFile | RFile | WFile | OpenFile => {
+            (false, false, caps(true, true, FILE_SIZE), true)
+        }
+        OpenFileNull => (true, false, caps(true, true, FILE_SIZE), true),
+        // A closed FILE/stale DIR points at freed memory: no guarantees.
+        ClosedFile | StaleDir => (false, false, None, true),
+        OpenDirF | OpenDir => (false, false, caps(true, true, DIR_SIZE), true),
+        OpenDirNull => (true, false, caps(true, true, DIR_SIZE), true),
+        NtsRo(l) => (false, false, caps(true, false, l + 1), true),
+        NtsRw(l) => (false, false, caps(true, true, l + 1), true),
+        NtsMax(_) | Nts => (false, false, caps(true, false, 1), true),
+        NtsWritable => (false, false, caps(true, true, 1), true),
+        NtsNull => (true, false, caps(true, false, 1), true),
+        ModeValid => (false, false, caps(true, true, 2), true),
+        ModeBogus | ModeShort => (false, false, caps(true, true, 1), true),
+        IntNeg | IntZero | IntPos | IntNonNeg | IntNonPos | IntAny | FdRonly | FdWonly
+        | FdRdwr | FdClosed | FdNegative | FdReadable | FdWritable | FdOpen | SpeedValid
+        | SpeedBogus => (false, false, None, false),
+    };
+    Profile {
+        has_null,
+        has_invalid,
+        caps: c,
+        pointer,
+    }
+}
+
+/// Membership of `a` in the content family that unified type `b` names.
+/// Returns `None` when `b` is not a family type (memory types and
+/// fundamentals are handled elsewhere).
+fn family_accepts(b: TypeExpr, a: TypeExpr) -> Option<bool> {
+    use TypeExpr::*;
+    let ok = match b {
+        RFile => matches!(a, RonlyFile | RwFile | RFile),
+        WFile => matches!(a, WonlyFile | RwFile | WFile),
+        OpenFile => matches!(a, RonlyFile | RwFile | WonlyFile | RFile | WFile | OpenFile),
+        OpenFileNull => {
+            matches!(
+                a,
+                RonlyFile | RwFile | WonlyFile | RFile | WFile | OpenFile | Null | OpenFileNull
+            )
+        }
+        OpenDir => matches!(a, OpenDirF | OpenDir),
+        OpenDirNull => matches!(a, OpenDirF | OpenDir | Null | OpenDirNull),
+        NtsMax(m) => match a {
+            NtsRo(l) | NtsRw(l) | NtsMax(l) => l <= m,
+            ModeValid => MODE_VALID_MAX_LEN <= m,
+            ModeBogus | ModeShort => MODE_MAX_LEN <= m,
+            _ => false,
+        },
+        Nts => matches!(
+            a,
+            NtsRo(_)
+                | NtsRw(_)
+                | NtsMax(_)
+                | NtsWritable
+                | ModeValid
+                | ModeBogus
+                | ModeShort
+                | Nts
+        ),
+        NtsWritable => matches!(a, NtsRw(_) | NtsWritable | ModeValid | ModeBogus | ModeShort),
+        NtsNull => {
+            matches!(
+                a,
+                NtsRo(_)
+                    | NtsRw(_)
+                    | NtsMax(_)
+                    | NtsWritable
+                    | ModeValid
+                    | ModeBogus
+                    | ModeShort
+                    | Nts
+                    | Null
+                    | NtsNull
+            )
+        }
+        ModeShort => matches!(a, ModeValid | ModeBogus | ModeShort),
+        IntAny => {
+            matches!(
+                a,
+                IntNeg
+                    | IntZero
+                    | IntPos
+                    | IntNonNeg
+                    | IntNonPos
+                    | IntAny
+                    | FdRonly
+                    | FdWonly
+                    | FdRdwr
+                    | FdClosed
+                    | FdNegative
+                    | FdReadable
+                    | FdWritable
+                    | FdOpen
+                    | SpeedValid
+                    | SpeedBogus
+            )
+        }
+        IntNonNeg => matches!(
+            a,
+            IntZero
+                | IntPos
+                | IntNonNeg
+                | FdRonly
+                | FdWonly
+                | FdRdwr
+                | FdClosed
+                | FdReadable
+                | FdWritable
+                | FdOpen
+                | SpeedValid
+        ),
+        IntNonPos => matches!(a, IntNeg | IntZero | IntNonPos | FdNegative),
+        FdReadable => matches!(a, FdRonly | FdRdwr | FdReadable),
+        FdWritable => matches!(a, FdWonly | FdRdwr | FdWritable),
+        FdOpen => matches!(
+            a,
+            FdRonly | FdWonly | FdRdwr | FdReadable | FdWritable | FdOpen
+        ),
+        _ => return None,
+    };
+    Some(ok)
+}
+
+/// Whether `b` is a pure memory-requirement type (the Figure 3 unified
+/// array types): membership is decided solely by nullability and memory
+/// capabilities.
+fn memory_requirement(b: TypeExpr) -> Option<(MemCaps, bool)> {
+    use TypeExpr::*;
+    match b {
+        RArray(s) => Some((
+            MemCaps {
+                read: true,
+                write: false,
+                size: s,
+            },
+            false,
+        )),
+        WArray(s) => Some((
+            MemCaps {
+                read: false,
+                write: true,
+                size: s,
+            },
+            false,
+        )),
+        RwArray(s) => Some((
+            MemCaps {
+                read: true,
+                write: true,
+                size: s,
+            },
+            false,
+        )),
+        RArrayNull(s) => Some((
+            MemCaps {
+                read: true,
+                write: false,
+                size: s,
+            },
+            true,
+        )),
+        WArrayNull(s) => Some((
+            MemCaps {
+                read: false,
+                write: true,
+                size: s,
+            },
+            true,
+        )),
+        RwArrayNull(s) => Some((
+            MemCaps {
+                read: true,
+                write: true,
+                size: s,
+            },
+            true,
+        )),
+        _ => None,
+    }
+}
+
+fn caps_imply(have: MemCaps, need: MemCaps) -> bool {
+    (!need.read || have.read) && (!need.write || have.write) && have.size >= need.size
+}
+
+/// The subtype relation: `is_subtype(a, b)` iff `V(a) ⊆ V(b)`.
+/// Reflexive; see [`is_strict_subtype`] for the strict version.
+pub fn is_subtype(a: TypeExpr, b: TypeExpr) -> bool {
+    use TypeExpr::*;
+    if a == b {
+        return true;
+    }
+    let pa = profile(a);
+    // The top of the pointer world.
+    if b == Unconstrained {
+        return pa.pointer;
+    }
+    // Fundamentals have disjoint value sets: nothing (other than the
+    // type itself) is below a fundamental.
+    if b.is_fundamental() {
+        return false;
+    }
+    // Content families (files, dirs, strings, modes, scalars).
+    if let Some(ok) = family_accepts(b, a) {
+        return ok;
+    }
+    // Pure memory types (Figure 3 unified array types).
+    if let Some((need, b_nullable)) = memory_requirement(b) {
+        if !pa.pointer {
+            return false;
+        }
+        if pa.has_invalid {
+            return false; // invalid pointers satisfy no memory requirement
+        }
+        if pa.has_null && !b_nullable {
+            return false;
+        }
+        return match pa.caps {
+            Some(have) => caps_imply(have, need),
+            // No memory guarantee: only acceptable if `a` has no
+            // non-null members (i.e. a == Null).
+            None => a == Null,
+        };
+    }
+    false
+}
+
+/// Strict subtype: `a ≤ b` and `a ≠ b`.
+pub fn is_strict_subtype(a: TypeExpr, b: TypeExpr) -> bool {
+    a != b && is_subtype(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe;
+    use proptest::prelude::*;
+
+    #[test]
+    fn figure_3_edges() {
+        use TypeExpr::*;
+        // Fundamental → unified edges with size conditions.
+        assert!(is_subtype(RonlyFixed(44), RArray(44)));
+        assert!(is_subtype(RonlyFixed(44), RArray(20)));
+        assert!(!is_subtype(RonlyFixed(44), RArray(45)));
+        assert!(is_subtype(RwFixed(44), RArray(44)));
+        assert!(is_subtype(RwFixed(44), WArray(44)));
+        assert!(is_subtype(RwFixed(44), RwArray(44)));
+        assert!(is_subtype(WonlyFixed(44), WArray(44)));
+        assert!(!is_subtype(WonlyFixed(44), RArray(44)));
+        assert!(!is_subtype(RonlyFixed(44), WArray(44)));
+        // RW_ARRAY[u] ≤ R_ARRAY[t] and W_ARRAY[t] for t ≤ u.
+        assert!(is_subtype(RwArray(44), RArray(40)));
+        assert!(is_subtype(RwArray(44), WArray(44)));
+        assert!(!is_subtype(RArray(44), RwArray(44)));
+        // NULL joins the *_NULL types.
+        assert!(is_subtype(Null, RArrayNull(44)));
+        assert!(is_subtype(RArray(44), RArrayNull(44)));
+        assert!(!is_subtype(RArrayNull(44), RArray(44)));
+        // INVALID only fits UNCONSTRAINED.
+        assert!(is_subtype(Invalid, Unconstrained));
+        assert!(!is_subtype(Invalid, RArrayNull(0)));
+        // Everything pointer-ish fits UNCONSTRAINED.
+        assert!(is_subtype(RArrayNull(44), Unconstrained));
+        assert!(is_subtype(Null, Unconstrained));
+    }
+
+    #[test]
+    fn figure_4_edges() {
+        use TypeExpr::*;
+        assert!(is_subtype(RonlyFile, RFile));
+        assert!(is_subtype(RwFile, RFile));
+        assert!(is_subtype(RwFile, WFile));
+        assert!(is_subtype(WonlyFile, WFile));
+        assert!(!is_subtype(RonlyFile, WFile));
+        assert!(is_subtype(RFile, OpenFile));
+        assert!(is_subtype(WFile, OpenFile));
+        assert!(is_subtype(OpenFile, OpenFileNull));
+        assert!(is_subtype(Null, OpenFileNull));
+        // R_FILE and W_FILE are incomparable (their intersection is
+        // RW_FILE, a strict subset of both) — exactly as §4.2 notes.
+        assert!(!is_subtype(RFile, WFile));
+        assert!(!is_subtype(WFile, RFile));
+        // The cross-hierarchy edge: OPEN_FILE ≤ RW_ARRAY[s] for s ≤ size.
+        assert!(is_subtype(OpenFile, RwArray(FILE_SIZE)));
+        assert!(is_subtype(OpenFile, RwArray(100)));
+        assert!(!is_subtype(OpenFile, RwArray(FILE_SIZE + 1)));
+        assert!(is_subtype(OpenFileNull, RwArrayNull(FILE_SIZE)));
+        assert!(!is_subtype(OpenFileNull, RwArray(FILE_SIZE)));
+        // A closed FILE guarantees nothing.
+        assert!(!is_subtype(ClosedFile, RArray(1)));
+        assert!(is_subtype(ClosedFile, Unconstrained));
+    }
+
+    #[test]
+    fn string_edges() {
+        use TypeExpr::*;
+        assert!(is_subtype(NtsRo(5), NtsMax(5)));
+        assert!(is_subtype(NtsRo(5), NtsMax(9)));
+        assert!(!is_subtype(NtsRo(5), NtsMax(4)));
+        assert!(is_subtype(NtsRw(5), NtsWritable));
+        assert!(!is_subtype(NtsRo(5), NtsWritable));
+        assert!(is_subtype(NtsMax(5), Nts));
+        assert!(is_subtype(Nts, NtsNull));
+        assert!(is_subtype(Null, NtsNull));
+        // A string of length l is readable memory of l+1 bytes.
+        assert!(is_subtype(NtsRo(5), RArray(6)));
+        assert!(!is_subtype(NtsRo(5), RArray(7)));
+        assert!(is_subtype(NtsRw(5), RwArray(6)));
+        // Mode strings are strings.
+        assert!(is_subtype(ModeValid, ModeShort));
+        assert!(is_subtype(ModeBogus, ModeShort));
+        assert!(!is_subtype(ModeValid, ModeBogus));
+        assert!(is_subtype(ModeShort, Nts));
+        assert!(is_subtype(ModeValid, NtsMax(7)));
+    }
+
+    #[test]
+    fn dir_edges() {
+        use TypeExpr::*;
+        assert!(is_subtype(OpenDirF, OpenDir));
+        assert!(is_subtype(OpenDir, OpenDirNull));
+        assert!(is_subtype(OpenDir, RwArray(DIR_SIZE)));
+        assert!(!is_subtype(StaleDir, RwArray(1)));
+        assert!(is_subtype(StaleDir, Unconstrained));
+    }
+
+    #[test]
+    fn scalar_edges() {
+        use TypeExpr::*;
+        assert!(is_subtype(IntZero, IntNonNeg));
+        assert!(is_subtype(IntZero, IntNonPos));
+        assert!(is_subtype(IntPos, IntNonNeg));
+        assert!(!is_subtype(IntPos, IntNonPos));
+        assert!(is_subtype(IntNonNeg, IntAny));
+        assert!(is_subtype(FdRdwr, FdReadable));
+        assert!(is_subtype(FdRdwr, FdWritable));
+        assert!(is_subtype(FdReadable, FdOpen));
+        assert!(is_subtype(FdOpen, IntNonNeg));
+        assert!(is_subtype(FdNegative, IntNonPos));
+        assert!(is_subtype(SpeedValid, IntNonNeg));
+        // Scalars never cross into the pointer world.
+        assert!(!is_subtype(IntAny, Unconstrained));
+        assert!(!is_subtype(Null, IntAny));
+    }
+
+    fn arb_type() -> impl Strategy<Value = TypeExpr> {
+        let sizes = prop::sample::select(vec![1u32, 2, 8, 32, 44, 148, 256]);
+        sizes.prop_flat_map(|s| {
+            prop::sample::select(universe::full_universe(&[s, s + 1, s.saturating_sub(1).max(1)]))
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn reflexive(t in arb_type()) {
+            prop_assert!(is_subtype(t, t));
+        }
+
+        #[test]
+        fn transitive(a in arb_type(), b in arb_type(), c in arb_type()) {
+            if is_subtype(a, b) && is_subtype(b, c) {
+                prop_assert!(is_subtype(a, c), "{a} ≤ {b} ≤ {c} but not {a} ≤ {c}");
+            }
+        }
+
+        #[test]
+        fn antisymmetric(a in arb_type(), b in arb_type()) {
+            if a != b && is_subtype(a, b) {
+                prop_assert!(!is_subtype(b, a), "{a} and {b} mutually subtype");
+            }
+        }
+
+        #[test]
+        fn fundamentals_are_minimal(a in arb_type(), b in arb_type()) {
+            // Nothing is strictly below a fundamental type (disjointness).
+            if b.is_fundamental() {
+                prop_assert!(!is_strict_subtype(a, b));
+            }
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! Robust and safe argument type selection (§4.3).
+//!
+//! Given the outcomes of a fault-injection campaign — each test case
+//! tagged with its fundamental type and whether the call succeeded,
+//! returned an error, crashed, hung or aborted — select the **robust
+//! argument type**: the weakest type that admits every gracefully
+//! handled input while admitting as few crashing inputs as possible.
+//! When a type exists that admits *all* non-crashing inputs and *no*
+//! crashing ones, it is the **safe argument type**, and the robust type
+//! equals it (the paper's guarantee: "whenever there exists a safe
+//! argument type, the robust argument type computed by our system is
+//! safe").
+
+use crate::expr::TypeExpr;
+use crate::order::{is_strict_subtype, is_subtype};
+
+/// The outcome of a single injected call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Returned without indicating an error.
+    Success,
+    /// Returned an error indication (error return code and/or `errno`).
+    ErrorReturn,
+    /// Segmentation fault or other fatal signal.
+    Crash,
+    /// Exceeded the hang-detection budget.
+    Hang,
+    /// Deliberate abort (allocator consistency check, `abort()`).
+    Abort,
+}
+
+impl Outcome {
+    /// Whether this outcome is a robustness failure (the wrapper must
+    /// prevent inputs that lead here).
+    pub fn is_failure(self) -> bool {
+        matches!(self, Outcome::Crash | Outcome::Hang | Outcome::Abort)
+    }
+
+    /// Whether the call returned control to the caller.
+    pub fn returned(self) -> bool {
+        matches!(self, Outcome::Success | Outcome::ErrorReturn)
+    }
+}
+
+/// One observation: a test case's fundamental type and its outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    /// The fundamental type the test-case generator tagged the value
+    /// with.
+    pub fundamental: TypeExpr,
+    /// What happened.
+    pub outcome: Outcome,
+}
+
+impl Observation {
+    /// Construct an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fundamental` is not a fundamental type — test cases
+    /// always carry fundamentals (§4.2: "for unified types there exist
+    /// no test cases").
+    pub fn new(fundamental: TypeExpr, outcome: Outcome) -> Self {
+        assert!(
+            fundamental.is_fundamental(),
+            "{fundamental} is not a fundamental type"
+        );
+        Observation {
+            fundamental,
+            outcome,
+        }
+    }
+}
+
+/// Which outcomes the selected type must admit (§4.3's two variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionCriterion {
+    /// Admit inputs for which the function *returned successfully*
+    /// (the paper's default, which assumes functions are atomic: for an
+    /// input the function merely rejects, the wrapper may reject it
+    /// first).
+    #[default]
+    SuccessfulReturns,
+    /// Admit inputs for which the function *returned at all*, with or
+    /// without an error (the paper's "more conservative" variant).
+    AnyReturn,
+}
+
+/// The result of robust-type selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RobustType {
+    /// The selected robust argument type.
+    pub robust: TypeExpr,
+    /// Whether the selected type is also *safe*: it admits every
+    /// non-crashing input and no crashing one.
+    pub safe: bool,
+    /// Number of crashing fundamental types the robust type admits
+    /// (zero whenever a crash-free admissible type exists).
+    pub admitted_crashes: usize,
+}
+
+/// Select the robust argument type for one argument.
+///
+/// The algorithm works over the finite `universe` of candidate types:
+///
+/// 1. A candidate is **admissible** if it contains every fundamental
+///    type with a must-admit outcome (per `criterion`).
+/// 2. Among admissible candidates, keep those admitting the minimum
+///    number of crashing fundamentals (zero when possible).
+/// 3. Among those, return the **weakest** (maximal under `≤`), so the
+///    wrapper never rejects more than necessary. Every strict supertype
+///    of the result admits a crashing input (or more of them) — the
+///    paper's boundary condition.
+///
+/// With no observations at all, the weakest type in the universe is
+/// returned (nothing is known, nothing is restricted).
+///
+/// # Panics
+///
+/// Panics if `universe` is empty.
+pub fn robust_type(
+    universe: &[TypeExpr],
+    observations: &[Observation],
+    criterion: SelectionCriterion,
+) -> RobustType {
+    assert!(!universe.is_empty(), "empty candidate universe");
+
+    // Aggregate outcomes per fundamental type: a fundamental may have
+    // several test cases with different outcomes (e.g. INT_POS covers
+    // both a valid and an invalid whence value).
+    let mut must_admit: Vec<TypeExpr> = Vec::new();
+    let mut crashing: Vec<TypeExpr> = Vec::new();
+    let mut returning: Vec<TypeExpr> = Vec::new();
+    for obs in observations {
+        let admit = match criterion {
+            SelectionCriterion::SuccessfulReturns => obs.outcome == Outcome::Success,
+            SelectionCriterion::AnyReturn => obs.outcome.returned(),
+        };
+        if admit && !must_admit.contains(&obs.fundamental) {
+            must_admit.push(obs.fundamental);
+        }
+        if obs.outcome.is_failure() && !crashing.contains(&obs.fundamental) {
+            crashing.push(obs.fundamental);
+        }
+        if obs.outcome.returned() && !returning.contains(&obs.fundamental) {
+            returning.push(obs.fundamental);
+        }
+    }
+
+    let admissible: Vec<TypeExpr> = universe
+        .iter()
+        .copied()
+        .filter(|t| must_admit.iter().all(|f| is_subtype(*f, *t)))
+        .collect();
+    assert!(
+        !admissible.is_empty(),
+        "universe lacks a common supertype for {must_admit:?}"
+    );
+
+    let crashes_in = |t: TypeExpr| crashing.iter().filter(|f| is_subtype(**f, t)).count();
+    let min_crashes = admissible.iter().map(|t| crashes_in(*t)).min().unwrap();
+    let candidates: Vec<TypeExpr> = admissible
+        .into_iter()
+        .filter(|t| crashes_in(*t) == min_crashes)
+        .collect();
+
+    // Weakest = maximal under ≤. Ties between incomparable maxima are
+    // broken by how many of the *returning* fundamentals the type
+    // admits (prefer admitting more graceful inputs), then by Ord for
+    // determinism.
+    let mut maximal: Vec<TypeExpr> = candidates
+        .iter()
+        .copied()
+        .filter(|t| !candidates.iter().any(|u| is_strict_subtype(*t, *u)))
+        .collect();
+    maximal.sort_by_key(|t| {
+        let admitted = returning.iter().filter(|f| is_subtype(**f, *t)).count();
+        (std::cmp::Reverse(admitted), *t)
+    });
+    let robust = maximal[0];
+
+    let safe = min_crashes == 0 && returning.iter().all(|f| is_subtype(*f, robust));
+    RobustType {
+        robust,
+        safe,
+        admitted_crashes: min_crashes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe;
+    use TypeExpr::*;
+
+    fn obs(f: TypeExpr, o: Outcome) -> Observation {
+        Observation::new(f, o)
+    }
+
+    /// The asctime scenario from Figure 2 / §4.3: NULL and readable
+    /// 44-byte blocks succeed; everything else crashes.
+    #[test]
+    fn asctime_selects_r_array_null_44() {
+        let u = universe::fixed_size_arrays(&[43, 44]);
+        let observations = vec![
+            obs(Null, Outcome::Success),
+            obs(RonlyFixed(44), Outcome::Success),
+            obs(RwFixed(44), Outcome::Success),
+            obs(RonlyFixed(43), Outcome::Crash),
+            obs(RwFixed(43), Outcome::Crash),
+            obs(WonlyFixed(44), Outcome::Crash),
+            obs(Invalid, Outcome::Crash),
+        ];
+        let r = robust_type(&u, &observations, SelectionCriterion::SuccessfulReturns);
+        assert_eq!(r.robust, RArrayNull(44));
+        assert!(r.safe);
+        assert_eq!(r.admitted_crashes, 0);
+        // The paper's boundary condition: every strict supertype of the
+        // robust type admits a crashing input.
+        for t in &u {
+            if is_strict_subtype(RArrayNull(44), *t) {
+                assert!(
+                    observations.iter().any(|o| o.outcome.is_failure()
+                        && is_subtype(o.fundamental, *t)),
+                    "supertype {t} admits no crash"
+                );
+            }
+        }
+    }
+
+    /// mktime: needs read *and* write access, no NULL.
+    #[test]
+    fn mktime_selects_rw_array() {
+        let u = universe::fixed_size_arrays(&[43, 44]);
+        let observations = vec![
+            obs(Null, Outcome::Crash),
+            obs(RwFixed(44), Outcome::Success),
+            obs(RonlyFixed(44), Outcome::Crash),
+            obs(WonlyFixed(44), Outcome::Crash),
+            obs(RwFixed(43), Outcome::Crash),
+            obs(Invalid, Outcome::Crash),
+        ];
+        let r = robust_type(&u, &observations, SelectionCriterion::SuccessfulReturns);
+        assert_eq!(r.robust, RwArray(44));
+        assert!(r.safe);
+    }
+
+    /// cfsetispeed's asymmetry: write-only access suffices.
+    #[test]
+    fn write_only_store_selects_w_array() {
+        let u = universe::fixed_size_arrays(&[56]);
+        let observations = vec![
+            obs(Null, Outcome::Crash),
+            obs(WonlyFixed(56), Outcome::Success),
+            obs(RwFixed(56), Outcome::Success),
+            obs(RonlyFixed(56), Outcome::Crash),
+            obs(Invalid, Outcome::Crash),
+        ];
+        let r = robust_type(&u, &observations, SelectionCriterion::SuccessfulReturns);
+        assert_eq!(r.robust, WArray(56));
+        assert!(r.safe);
+    }
+
+    /// A function that never crashes gets the weakest type (no check).
+    #[test]
+    fn never_crashing_function_is_unconstrained() {
+        let u = universe::fixed_size_arrays(&[8]);
+        let observations = vec![
+            obs(Null, Outcome::Success),
+            obs(Invalid, Outcome::ErrorReturn),
+            obs(RwFixed(8), Outcome::Success),
+        ];
+        let r = robust_type(&u, &observations, SelectionCriterion::SuccessfulReturns);
+        assert_eq!(r.robust, Unconstrained);
+        assert!(r.safe);
+    }
+
+    /// File pointers: only open FILEs succeed; readable garbage crashes.
+    /// OPEN_FILE is selected even though RW_ARRAY[148] is weaker,
+    /// because the latter admits the crashing garbage block.
+    #[test]
+    fn file_pointer_scenario() {
+        let mut u = universe::file_pointers();
+        u.extend(universe::fixed_size_arrays(&[148]));
+        let observations = vec![
+            obs(RonlyFile, Outcome::Success),
+            obs(RwFile, Outcome::Success),
+            obs(WonlyFile, Outcome::Success),
+            obs(RwFixed(148), Outcome::Crash), // garbage bytes, valid memory
+            obs(ClosedFile, Outcome::Crash),
+            obs(Null, Outcome::Crash),
+            obs(Invalid, Outcome::Crash),
+        ];
+        let r = robust_type(&u, &observations, SelectionCriterion::SuccessfulReturns);
+        assert_eq!(r.robust, OpenFile);
+        assert!(r.safe);
+    }
+
+    /// The closedir scenario: only a live DIR succeeds; stale DIRs and
+    /// plausible garbage abort. The robust type OPEN_DIR is selected —
+    /// a type the wrapper cannot check statelessly (§5.2).
+    #[test]
+    fn dir_pointer_scenario() {
+        let mut u = universe::dir_pointers();
+        u.extend(universe::fixed_size_arrays(&[32]));
+        let observations = vec![
+            obs(OpenDirF, Outcome::Success),
+            obs(StaleDir, Outcome::Abort),
+            obs(RwFixed(32), Outcome::Abort),
+            obs(Null, Outcome::Crash),
+            obs(Invalid, Outcome::Crash),
+        ];
+        let r = robust_type(&u, &observations, SelectionCriterion::SuccessfulReturns);
+        assert_eq!(r.robust, OpenDir);
+        assert!(r.safe);
+    }
+
+    /// Mixed outcomes inside one fundamental (INT_POS has both a valid
+    /// and an invalid member): no safe type exists, and the robust type
+    /// must still admit the fundamental.
+    #[test]
+    fn mixed_fundamental_prevents_safety() {
+        let u = universe::integers();
+        let observations = vec![
+            obs(IntZero, Outcome::Success),
+            obs(IntPos, Outcome::Success),
+            obs(IntPos, Outcome::Crash), // a *different* positive value
+            obs(IntNeg, Outcome::Crash),
+        ];
+        let r = robust_type(&u, &observations, SelectionCriterion::SuccessfulReturns);
+        assert_eq!(r.robust, IntNonNeg);
+        assert!(!r.safe);
+        assert_eq!(r.admitted_crashes, 1);
+    }
+
+    /// §4.2's motivating example: splitting non-negative/non-positive
+    /// into disjoint fundamentals lets the system conclude non-negative
+    /// is safe even though zero (a non-positive value) does not crash.
+    #[test]
+    fn disjoint_fundamentals_example() {
+        let u = universe::integers();
+        let observations = vec![
+            obs(IntPos, Outcome::Success),
+            obs(IntZero, Outcome::Success),
+            obs(IntNeg, Outcome::Crash),
+        ];
+        let r = robust_type(&u, &observations, SelectionCriterion::SuccessfulReturns);
+        assert_eq!(r.robust, IntNonNeg);
+        assert!(r.safe);
+    }
+
+    /// The conservative criterion admits error returns too: an input the
+    /// function rejects gracefully must not be rejected by the wrapper.
+    #[test]
+    fn any_return_criterion_is_weaker() {
+        let u = universe::mode_strings();
+        let observations = vec![
+            obs(ModeValid, Outcome::Success),
+            obs(ModeBogus, Outcome::ErrorReturn),
+            obs(NtsRw(40), Outcome::Crash), // long mode string overflows
+            obs(Null, Outcome::Crash),
+            obs(Invalid, Outcome::Crash),
+        ];
+        let strict = robust_type(&u, &observations, SelectionCriterion::SuccessfulReturns);
+        let lax = robust_type(&u, &observations, SelectionCriterion::AnyReturn);
+        assert!(is_subtype(strict.robust, lax.robust) || strict.robust == lax.robust);
+        assert!(is_subtype(ModeBogus, lax.robust));
+        // Both exclude the crashing long strings.
+        assert!(!is_subtype(NtsRw(40), strict.robust));
+        assert!(!is_subtype(NtsRw(40), lax.robust));
+    }
+
+    /// With zero observations the weakest type wins.
+    #[test]
+    fn no_observations_selects_weakest() {
+        let u = universe::fixed_size_arrays(&[4]);
+        let r = robust_type(&u, &[], SelectionCriterion::SuccessfulReturns);
+        assert_eq!(r.robust, Unconstrained);
+    }
+
+    /// fd hierarchy: reading needs a readable descriptor.
+    #[test]
+    fn fd_scenario() {
+        let u = universe::file_descriptors();
+        let observations = vec![
+            obs(FdRonly, Outcome::Success),
+            obs(FdRdwr, Outcome::Success),
+            obs(FdWonly, Outcome::ErrorReturn),
+            obs(FdClosed, Outcome::ErrorReturn),
+            obs(FdNegative, Outcome::ErrorReturn),
+        ];
+        let r = robust_type(&u, &observations, SelectionCriterion::SuccessfulReturns);
+        // Never crashes → weakest admissible. IntAny covers everything.
+        assert_eq!(r.robust, IntAny);
+        assert!(r.safe);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a fundamental")]
+    fn observation_rejects_unified_types() {
+        let _ = Observation::new(OpenFile, Outcome::Success);
+    }
+}

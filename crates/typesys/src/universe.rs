@@ -1,0 +1,187 @@
+//! Universe builders: the candidate type sets each test-case generator
+//! contributes (§4.2 — "each test case generator can define a set of
+//! types and their relationship to each other").
+//!
+//! The robust-type selection of §4.3 searches over a *finite* candidate
+//! universe. Size-parametric families (`R_ARRAY[s]`, …) are instantiated
+//! at the sizes the fault-injection campaign actually observed — in
+//! particular the adaptive threshold the array generator discovered.
+
+use crate::expr::TypeExpr;
+
+/// The Figure 3 hierarchy instantiated at the given sizes.
+pub fn fixed_size_arrays(sizes: &[u32]) -> Vec<TypeExpr> {
+    let mut u = vec![TypeExpr::Null, TypeExpr::Invalid, TypeExpr::Unconstrained];
+    for &s in sizes {
+        u.extend([
+            TypeExpr::RonlyFixed(s),
+            TypeExpr::RwFixed(s),
+            TypeExpr::WonlyFixed(s),
+            TypeExpr::RArray(s),
+            TypeExpr::WArray(s),
+            TypeExpr::RwArray(s),
+            TypeExpr::RArrayNull(s),
+            TypeExpr::WArrayNull(s),
+            TypeExpr::RwArrayNull(s),
+        ]);
+    }
+    dedup(u)
+}
+
+/// The Figure 4 file-pointer hierarchy (plus the array types an open
+/// FILE also belongs to).
+pub fn file_pointers() -> Vec<TypeExpr> {
+    vec![
+        TypeExpr::Null,
+        TypeExpr::Invalid,
+        TypeExpr::RonlyFile,
+        TypeExpr::RwFile,
+        TypeExpr::WonlyFile,
+        TypeExpr::ClosedFile,
+        TypeExpr::RFile,
+        TypeExpr::WFile,
+        TypeExpr::OpenFile,
+        TypeExpr::OpenFileNull,
+        TypeExpr::RwArray(crate::order::FILE_SIZE),
+        TypeExpr::RwArrayNull(crate::order::FILE_SIZE),
+        TypeExpr::Unconstrained,
+    ]
+}
+
+/// The directory-pointer hierarchy.
+pub fn dir_pointers() -> Vec<TypeExpr> {
+    vec![
+        TypeExpr::Null,
+        TypeExpr::Invalid,
+        TypeExpr::OpenDirF,
+        TypeExpr::StaleDir,
+        TypeExpr::OpenDir,
+        TypeExpr::OpenDirNull,
+        TypeExpr::RwArray(crate::order::DIR_SIZE),
+        TypeExpr::RwArrayNull(crate::order::DIR_SIZE),
+        TypeExpr::Unconstrained,
+    ]
+}
+
+/// The C-string hierarchy instantiated at the observed string lengths.
+pub fn strings(lens: &[u32]) -> Vec<TypeExpr> {
+    let mut u = vec![
+        TypeExpr::Null,
+        TypeExpr::Invalid,
+        TypeExpr::Nts,
+        TypeExpr::NtsWritable,
+        TypeExpr::NtsNull,
+        TypeExpr::Unconstrained,
+    ];
+    for &l in lens {
+        u.extend([
+            TypeExpr::NtsRo(l),
+            TypeExpr::NtsRw(l),
+            TypeExpr::NtsMax(l),
+        ]);
+    }
+    dedup(u)
+}
+
+/// The fopen-mode-string hierarchy.
+pub fn mode_strings() -> Vec<TypeExpr> {
+    vec![
+        TypeExpr::Null,
+        TypeExpr::Invalid,
+        TypeExpr::ModeValid,
+        TypeExpr::ModeBogus,
+        TypeExpr::ModeShort,
+        TypeExpr::NtsMax(crate::order::MODE_MAX_LEN),
+        TypeExpr::Nts,
+        TypeExpr::NtsNull,
+        TypeExpr::Unconstrained,
+    ]
+}
+
+/// The scalar-integer hierarchy.
+pub fn integers() -> Vec<TypeExpr> {
+    vec![
+        TypeExpr::IntNeg,
+        TypeExpr::IntZero,
+        TypeExpr::IntPos,
+        TypeExpr::IntNonNeg,
+        TypeExpr::IntNonPos,
+        TypeExpr::IntAny,
+    ]
+}
+
+/// The file-descriptor hierarchy (embedded in the integer hierarchy).
+pub fn file_descriptors() -> Vec<TypeExpr> {
+    vec![
+        TypeExpr::FdRonly,
+        TypeExpr::FdWonly,
+        TypeExpr::FdRdwr,
+        TypeExpr::FdClosed,
+        TypeExpr::FdNegative,
+        TypeExpr::FdReadable,
+        TypeExpr::FdWritable,
+        TypeExpr::FdOpen,
+        TypeExpr::IntNonNeg,
+        TypeExpr::IntNonPos,
+        TypeExpr::IntAny,
+    ]
+}
+
+/// The termios-speed hierarchy.
+pub fn speeds() -> Vec<TypeExpr> {
+    vec![
+        TypeExpr::SpeedValid,
+        TypeExpr::SpeedBogus,
+        TypeExpr::IntNonNeg,
+        TypeExpr::IntAny,
+    ]
+}
+
+/// Every type, instantiated at the given sizes — used by property tests
+/// and by documentation tooling.
+pub fn full_universe(sizes: &[u32]) -> Vec<TypeExpr> {
+    let mut u = fixed_size_arrays(sizes);
+    u.extend(file_pointers());
+    u.extend(dir_pointers());
+    u.extend(strings(sizes));
+    u.extend(mode_strings());
+    u.extend(integers());
+    u.extend(file_descriptors());
+    u.extend(speeds());
+    dedup(u)
+}
+
+fn dedup(mut v: Vec<TypeExpr>) -> Vec<TypeExpr> {
+    v.sort();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universes_contain_their_tops() {
+        assert!(fixed_size_arrays(&[44]).contains(&TypeExpr::Unconstrained));
+        assert!(file_pointers().contains(&TypeExpr::OpenFileNull));
+        assert!(integers().contains(&TypeExpr::IntAny));
+        assert!(file_descriptors().contains(&TypeExpr::IntAny));
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let u = full_universe(&[1, 44, 44, 148]);
+        let mut sorted = u.clone();
+        sorted.dedup();
+        assert_eq!(u.len(), sorted.len());
+    }
+
+    #[test]
+    fn array_universe_instantiates_all_sizes() {
+        let u = fixed_size_arrays(&[8, 16]);
+        assert!(u.contains(&TypeExpr::RArray(8)));
+        assert!(u.contains(&TypeExpr::RwArrayNull(16)));
+        assert!(u.contains(&TypeExpr::WonlyFixed(8)));
+    }
+}

@@ -1,0 +1,216 @@
+//! Type vectors for n-ary functions (§4.3, "Multiple Arguments").
+//!
+//! The partial order over types lifts componentwise to vectors; a test
+//! case vector's fundamental types form a fundamental type vector, and
+//! the robust type vector is computed per component once crashes have
+//! been attributed to a single argument (the adaptive injector's fault
+//! addresses make crashes "rectangular", which is what justifies the
+//! componentwise computation).
+
+use std::fmt;
+
+use crate::expr::TypeExpr;
+use crate::order::is_subtype;
+use crate::select::{robust_type, Observation, Outcome, RobustType, SelectionCriterion};
+
+/// An n-dimensional type vector; component `i` types argument `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeVector(pub Vec<TypeExpr>);
+
+impl TypeVector {
+    /// Number of arguments.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Componentwise subtype relation: `self ≤ other` iff every
+    /// component is a subtype. Vectors of different arity are
+    /// incomparable.
+    pub fn is_subtype_of(&self, other: &TypeVector) -> bool {
+        self.arity() == other.arity()
+            && self
+                .0
+                .iter()
+                .zip(&other.0)
+                .all(|(a, b)| is_subtype(*a, *b))
+    }
+
+    /// Whether every component is a fundamental type (the tag carried
+    /// by a concrete test case vector).
+    pub fn is_fundamental(&self) -> bool {
+        self.0.iter().all(|t| t.is_fundamental())
+    }
+}
+
+impl fmt::Display for TypeVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, t) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// One observed call of an n-ary function: the fundamental type vector
+/// of its arguments, the outcome, and — when the call failed — which
+/// argument the fault was attributed to (from the faulting address).
+#[derive(Debug, Clone)]
+pub struct VectorObservation {
+    /// Fundamental types of all arguments.
+    pub fundamentals: Vec<TypeExpr>,
+    /// What happened.
+    pub outcome: Outcome,
+    /// For failures: the argument the fault was attributed to, if the
+    /// injector could attribute it.
+    pub culprit: Option<usize>,
+}
+
+/// Compute the robust type vector componentwise from attributed
+/// observations.
+///
+/// For argument `i`, a failure counts against a fundamental only when
+/// it was attributed to argument `i` (or unattributed — conservatively
+/// counted against every argument). Successes count for every
+/// component.
+///
+/// # Panics
+///
+/// Panics if observations disagree on arity with `universes`.
+pub fn robust_vector(
+    universes: &[Vec<TypeExpr>],
+    observations: &[VectorObservation],
+    criterion: SelectionCriterion,
+) -> Vec<RobustType> {
+    let arity = universes.len();
+    (0..arity)
+        .map(|i| {
+            let per_arg: Vec<Observation> = observations
+                .iter()
+                .filter_map(|o| {
+                    assert_eq!(o.fundamentals.len(), arity, "arity mismatch");
+                    let outcome = if o.outcome.is_failure() {
+                        match o.culprit {
+                            Some(c) if c != i => return None, // someone else's fault
+                            _ => o.outcome,
+                        }
+                    } else {
+                        o.outcome
+                    };
+                    Some(Observation::new(o.fundamentals[i], outcome))
+                })
+                .collect();
+            robust_type(&universes[i], &per_arg, criterion)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe;
+    use TypeExpr::*;
+
+    #[test]
+    fn vector_order_is_componentwise() {
+        let a = TypeVector(vec![RwFixed(8), Null]);
+        let b = TypeVector(vec![RArray(8), RArrayNull(4)]);
+        assert!(a.is_subtype_of(&b));
+        assert!(!b.is_subtype_of(&a));
+        let c = TypeVector(vec![RArray(8)]);
+        assert!(!a.is_subtype_of(&c)); // arity mismatch
+        assert!(a.is_fundamental());
+        assert!(!b.is_fundamental());
+    }
+
+    #[test]
+    fn display_notation() {
+        let v = TypeVector(vec![RArrayNull(44), IntAny]);
+        assert_eq!(v.to_string(), "⟨R_ARRAY_NULL[44], INT_ANY⟩");
+    }
+
+    /// strcpy(dst, src): faults on dst are write faults in arg 0, faults
+    /// on src are read faults in arg 1. Attribution keeps each
+    /// argument's robust type independent.
+    #[test]
+    fn strcpy_like_two_argument_function() {
+        let dst_universe = universe::fixed_size_arrays(&[16]);
+        let src_universe = universe::strings(&[15]);
+        let observations = vec![
+            VectorObservation {
+                fundamentals: vec![RwFixed(16), NtsRw(15)],
+                outcome: Outcome::Success,
+                culprit: None,
+            },
+            VectorObservation {
+                fundamentals: vec![WonlyFixed(16), NtsRw(15)],
+                outcome: Outcome::Success,
+                culprit: None,
+            },
+            VectorObservation {
+                fundamentals: vec![Null, NtsRw(15)],
+                outcome: Outcome::Crash,
+                culprit: Some(0),
+            },
+            VectorObservation {
+                fundamentals: vec![RonlyFixed(16), NtsRw(15)],
+                outcome: Outcome::Crash,
+                culprit: Some(0),
+            },
+            VectorObservation {
+                fundamentals: vec![RwFixed(16), Null],
+                outcome: Outcome::Crash,
+                culprit: Some(1),
+            },
+            VectorObservation {
+                fundamentals: vec![RwFixed(16), Invalid],
+                outcome: Outcome::Crash,
+                culprit: Some(1),
+            },
+            VectorObservation {
+                fundamentals: vec![Invalid, NtsRw(15)],
+                outcome: Outcome::Crash,
+                culprit: Some(0),
+            },
+        ];
+        let r = robust_vector(
+            &[dst_universe, src_universe],
+            &observations,
+            SelectionCriterion::SuccessfulReturns,
+        );
+        assert_eq!(r[0].robust, WArray(16));
+        assert!(r[0].safe);
+        // src must be a terminated string — but read-only suffices (the
+        // source is never written), so the weakest string type wins. The
+        // crash attributed to arg 0 with src = NtsRw(15) must NOT count
+        // against arg 1.
+        assert_eq!(r[1].robust, Nts);
+        assert!(r[1].safe);
+    }
+
+    /// An unattributed failure conservatively counts against every
+    /// argument.
+    #[test]
+    fn unattributed_failures_count_everywhere() {
+        let u = universe::integers();
+        let observations = vec![
+            VectorObservation {
+                fundamentals: vec![IntPos, IntPos],
+                outcome: Outcome::Success,
+                culprit: None,
+            },
+            VectorObservation {
+                fundamentals: vec![IntNeg, IntNeg],
+                outcome: Outcome::Hang,
+                culprit: None,
+            },
+        ];
+        let r = robust_vector(&[u.clone(), u], &observations, SelectionCriterion::default());
+        for component in &r {
+            assert!(!is_subtype(IntNeg, component.robust));
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests for the robust-type selection algorithm (§4.3): for
+//! arbitrary observation sets, the selected type satisfies the paper's
+//! definition.
+
+use proptest::prelude::*;
+
+use healers_typesys::{
+    is_strict_subtype, is_subtype, robust_type, universe, Observation, Outcome,
+    SelectionCriterion, TypeExpr,
+};
+
+fn fundamentals(universe: &[TypeExpr]) -> Vec<TypeExpr> {
+    universe.iter().copied().filter(|t| t.is_fundamental()).collect()
+}
+
+fn arb_outcome() -> impl Strategy<Value = Outcome> {
+    prop::sample::select(vec![
+        Outcome::Success,
+        Outcome::ErrorReturn,
+        Outcome::Crash,
+        Outcome::Hang,
+        Outcome::Abort,
+    ])
+}
+
+fn arb_observations(universe: Vec<TypeExpr>) -> impl Strategy<Value = Vec<Observation>> {
+    let funds = fundamentals(&universe);
+    prop::collection::vec(
+        (prop::sample::select(funds), arb_outcome())
+            .prop_map(|(f, o)| Observation::new(f, o)),
+        0..16,
+    )
+}
+
+fn arb_universe() -> impl Strategy<Value = Vec<TypeExpr>> {
+    prop::sample::select(vec![
+        universe::fixed_size_arrays(&[8, 44]),
+        universe::file_pointers(),
+        universe::dir_pointers(),
+        universe::strings(&[0, 6]),
+        universe::mode_strings(),
+        universe::integers(),
+        universe::file_descriptors(),
+        // Note: full_universe() is deliberately absent — it merges the
+        // pointer and scalar worlds, which share no top, so mixed
+        // success sets have no common supertype. A real argument's
+        // universe always comes from one world.
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The robust type admits every must-admit (successful) fundamental.
+    #[test]
+    fn robust_type_is_admissible(
+        u in arb_universe(),
+        obs in arb_universe().prop_flat_map(arb_observations),
+    ) {
+        // Keep only observations whose fundamentals exist in u's world;
+        // mixed pairs can be inconsistent (arity of universes differs).
+        let funds = fundamentals(&u);
+        let obs: Vec<Observation> = obs
+            .into_iter()
+            .filter(|o| funds.contains(&o.fundamental))
+            .collect();
+        let r = robust_type(&u, &obs, SelectionCriterion::SuccessfulReturns);
+        for o in &obs {
+            if o.outcome == Outcome::Success {
+                prop_assert!(
+                    is_subtype(o.fundamental, r.robust),
+                    "{} not admitted by {}",
+                    o.fundamental,
+                    r.robust
+                );
+            }
+        }
+    }
+
+    /// If a crash-free admissible candidate exists, the selection is
+    /// crash-free; and `safe` is reported if and only if the paper's
+    /// safe-type definition holds.
+    #[test]
+    fn crash_minimality_and_safe_flag(u in arb_universe(), seed_obs in arb_universe().prop_flat_map(arb_observations)) {
+        let funds = fundamentals(&u);
+        let obs: Vec<Observation> = seed_obs
+            .into_iter()
+            .filter(|o| funds.contains(&o.fundamental))
+            .collect();
+        let r = robust_type(&u, &obs, SelectionCriterion::SuccessfulReturns);
+
+        let successes: Vec<TypeExpr> = obs
+            .iter()
+            .filter(|o| o.outcome == Outcome::Success)
+            .map(|o| o.fundamental)
+            .collect();
+        let mut crashes: Vec<TypeExpr> = obs
+            .iter()
+            .filter(|o| o.outcome.is_failure())
+            .map(|o| o.fundamental)
+            .collect();
+        crashes.sort();
+        crashes.dedup();
+        let crash_free_exists = u.iter().any(|t| {
+            successes.iter().all(|f| is_subtype(*f, *t))
+                && !crashes.iter().any(|f| is_subtype(*f, *t))
+        });
+        let selected_crashes = crashes.iter().filter(|f| is_subtype(**f, r.robust)).count();
+        if crash_free_exists {
+            prop_assert_eq!(selected_crashes, 0, "crash-free candidate existed");
+        }
+        prop_assert_eq!(selected_crashes, r.admitted_crashes);
+
+        // Safe ⇔ admits all returning observations and no crashing ones.
+        let returning: Vec<TypeExpr> = obs
+            .iter()
+            .filter(|o| o.outcome.returned())
+            .map(|o| o.fundamental)
+            .collect();
+        let safe_def = selected_crashes == 0
+            && returning.iter().all(|f| is_subtype(*f, r.robust));
+        prop_assert_eq!(r.safe, safe_def);
+    }
+
+    /// Weakest: no strictly weaker candidate in the universe is both
+    /// admissible and at most as crash-admitting.
+    #[test]
+    fn robust_type_is_maximal(u in arb_universe(), seed_obs in arb_universe().prop_flat_map(arb_observations)) {
+        let funds = fundamentals(&u);
+        let obs: Vec<Observation> = seed_obs
+            .into_iter()
+            .filter(|o| funds.contains(&o.fundamental))
+            .collect();
+        let r = robust_type(&u, &obs, SelectionCriterion::SuccessfulReturns);
+        let successes: Vec<TypeExpr> = obs
+            .iter()
+            .filter(|o| o.outcome == Outcome::Success)
+            .map(|o| o.fundamental)
+            .collect();
+        let mut crashes: Vec<TypeExpr> = obs
+            .iter()
+            .filter(|o| o.outcome.is_failure())
+            .map(|o| o.fundamental)
+            .collect();
+        crashes.sort();
+        crashes.dedup();
+        for t in &u {
+            if is_strict_subtype(r.robust, *t) {
+                let admissible = successes.iter().all(|f| is_subtype(*f, *t));
+                let t_crashes = crashes.iter().filter(|f| is_subtype(**f, *t)).count();
+                prop_assert!(
+                    !admissible || t_crashes > r.admitted_crashes,
+                    "{} is weaker than {} with {} crashes",
+                    t,
+                    r.robust,
+                    t_crashes
+                );
+            }
+        }
+    }
+
+    /// The conservative criterion never selects a strictly stronger type
+    /// than the default one.
+    #[test]
+    fn any_return_is_never_stronger(u in arb_universe(), seed_obs in arb_universe().prop_flat_map(arb_observations)) {
+        let funds = fundamentals(&u);
+        let obs: Vec<Observation> = seed_obs
+            .into_iter()
+            .filter(|o| funds.contains(&o.fundamental))
+            .collect();
+        let strict = robust_type(&u, &obs, SelectionCriterion::SuccessfulReturns);
+        let lax = robust_type(&u, &obs, SelectionCriterion::AnyReturn);
+        prop_assert!(
+            !is_strict_subtype(lax.robust, strict.robust),
+            "AnyReturn chose {} strictly below {}",
+            lax.robust,
+            strict.robust
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Buffer-overflow defense (§5.1): the wrapper's stateful heap table
+//! catches overflows that page-granular probing cannot see.
+//!
+//! ```sh
+//! cargo run --release --example overflow_defense
+//! ```
+//!
+//! A heap buffer overflow that stays *within one memory page* generates
+//! no fault — it silently corrupts the neighboring allocation, the
+//! classic heap-smashing attack. The wrapper intercepts `malloc`,
+//! remembers block bounds, and rejects the `strcpy` before any byte is
+//! written. The same demo shows the Libsafe-style stack protection and
+//! the `gets` interception.
+
+use healers::ballista::ballista_targets;
+use healers::core::{analyze, RobustnessWrapper, ViolationAction, WrapperConfig};
+use healers::libc::{Libc, World};
+use healers::simproc::SimValue;
+
+fn main() {
+    let libc = Libc::standard();
+    println!("analyzing the library…");
+    let decls = analyze(&libc, &ballista_targets());
+
+    // Production policy: log violations, keep the application running.
+    let config = WrapperConfig {
+        log_violations: true,
+        ..WrapperConfig::full_auto()
+    };
+    let mut wrapper = RobustnessWrapper::new(decls.clone(), config);
+    let mut world = World::new();
+
+    // --- heap smashing -------------------------------------------------------
+    // Two adjacent 16-byte allocations; the attack string overflows the
+    // first into the second *within the same page*.
+    let victim = wrapper
+        .call(&libc, &mut world, "malloc", &[SimValue::Int(16)])
+        .unwrap();
+    let target = wrapper
+        .call(&libc, &mut world, "malloc", &[SimValue::Int(16)])
+        .unwrap();
+    world.proc.write_cstr(target.as_ptr(), b"SECRET-COOKIE").unwrap();
+    let attack = world.alloc_cstr("AAAAAAAAAAAAAAAAAAAAAAAAAAAAAA"); // 30 bytes
+
+    println!("\n--- heap smashing through strcpy ---");
+    // Unwrapped: the copy succeeds silently and corrupts the neighbor.
+    let mut unprotected = world.clone();
+    libc.call(&mut unprotected, "strcpy", &[victim, SimValue::Ptr(attack)])
+        .unwrap();
+    let corrupted = unprotected.read_cstr_lossy(target.as_ptr()).unwrap();
+    println!("unwrapped: neighbor now contains {corrupted:?} (silently smashed!)");
+
+    // Wrapped: the stateful bounds check rejects the call outright.
+    let r = wrapper
+        .call(&libc, &mut world, "strcpy", &[victim, SimValue::Ptr(attack)])
+        .unwrap();
+    let intact = world.read_cstr_lossy(target.as_ptr()).unwrap();
+    println!("wrapped:   strcpy returned {r} (errno {}), neighbor still {intact:?}", world.proc.errno());
+
+    // --- stack smashing through gets -------------------------------------------
+    println!("\n--- stack smashing through gets ---");
+    world
+        .kernel
+        .type_input(0, &[b'A'; 300]);
+    world.kernel.type_input(0, b"\n");
+    let frame = world.proc.stack_alloc(64);
+    let mut unprotected = world.clone();
+    let crash = libc.call(&mut unprotected, "gets", &[SimValue::Ptr(frame)]);
+    println!("unwrapped: gets(stack buffer) -> {crash:?}");
+    let r = wrapper
+        .call(&libc, &mut world, "gets", &[SimValue::Ptr(frame)])
+        .unwrap();
+    println!("wrapped:   gets(stack buffer) -> {r} (rejected before any byte was written)");
+
+    // --- the violation log -------------------------------------------------------
+    println!("\n--- violation log (for failure diagnosis, §5) ---");
+    for v in wrapper.violations() {
+        println!("  {}(arg {}) failed {} with value {}", v.function, v.arg, v.check, v.value);
+    }
+
+    // --- debugging policy ----------------------------------------------------------
+    // During development the wrapper can abort instead, pinpointing the
+    // bad call site immediately.
+    let mut debug_wrapper = RobustnessWrapper::new(
+        decls,
+        WrapperConfig {
+            action: ViolationAction::Abort,
+            ..WrapperConfig::full_auto()
+        },
+    );
+    let aborted = debug_wrapper.call(&libc, &mut world, "strlen", &[SimValue::NULL]);
+    println!("\ndebug-mode wrapper on strlen(NULL): {aborted:?}");
+}

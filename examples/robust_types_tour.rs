@@ -1,0 +1,93 @@
+//! A tour of discovered robust argument types — the §6 findings.
+//!
+//! ```sh
+//! cargo run --release --example robust_types_tour
+//! ```
+//!
+//! Prints the robust argument type the fault injector computes for a
+//! selection of functions, including the paper's anecdotes: `asctime`'s
+//! 44-byte requirement, the `cfsetispeed`/`cfsetospeed` read/write
+//! asymmetry, and `fopen`'s tolerance of bad file names but not bad
+//! mode strings.
+
+use healers::inject::FaultInjector;
+use healers::libc::Libc;
+
+fn main() {
+    let libc = Libc::standard();
+    let interesting = [
+        "asctime",
+        "ctime",
+        "gmtime",
+        "mktime",
+        "strftime",
+        "cfgetispeed",
+        "cfsetispeed",
+        "cfsetospeed",
+        "tcgetattr",
+        "strcpy",
+        "strlen",
+        "strtok",
+        "fopen",
+        "fclose",
+        "fgets",
+        "fread",
+        "closedir",
+        "readdir",
+        "getcwd",
+        "stat",
+        "abs",
+        "close",
+    ];
+
+    println!(
+        "{:<14} {:<6} {:<9} robust argument types",
+        "function", "safe?", "calls"
+    );
+    println!("{}", "-".repeat(86));
+    for name in interesting {
+        let report = FaultInjector::new(&libc, name)
+            .unwrap_or_else(|| panic!("{name} missing"))
+            .run();
+        let types: Vec<String> = report
+            .args
+            .iter()
+            .map(|a| {
+                let mut t = a.robust.robust.notation();
+                if a.robust.safe {
+                    t.push_str(" (safe)");
+                }
+                t
+            })
+            .collect();
+        println!(
+            "{:<14} {:<6} {:<9} ⟨{}⟩",
+            name,
+            if report.safe { "yes" } else { "no" },
+            report.calls,
+            types.join(", ")
+        );
+    }
+
+    println!();
+    println!("§6 anecdotes, rediscovered:");
+    let ispeed = FaultInjector::new(&libc, "cfsetispeed").unwrap().run();
+    let ospeed = FaultInjector::new(&libc, "cfsetospeed").unwrap().run();
+    println!(
+        "  cfsetispeed termios arg: {}  (write access suffices — pure store)",
+        ispeed.args[0].robust.robust
+    );
+    println!(
+        "  cfsetospeed termios arg: {}  (read-modify-write of c_cflag)",
+        ospeed.args[0].robust.robust
+    );
+    let fopen = FaultInjector::new(&libc, "fopen").unwrap().run();
+    println!(
+        "  fopen: filename robust type {} — invalid *names* are tolerated;",
+        fopen.args[0].robust.robust
+    );
+    println!(
+        "         mode     robust type {} — overlong mode strings crash (8-byte internal buffer)",
+        fopen.args[1].robust.robust
+    );
+}

@@ -1,0 +1,24 @@
+//! HEALERS — automated robustness wrappers for C libraries.
+//!
+//! Facade crate re-exporting the full HEALERS pipeline. See the individual
+//! crates for detail:
+//!
+//! * [`healers_ctypes`] — C type model, prototype parser, target layout
+//! * [`healers_simproc`] — simulated process (memory, heap, faults, sandbox)
+//! * [`healers_os`] — simulated kernel (filesystem, fds, directories, ttys)
+//! * [`healers_libc`] — the simulated C library under test
+//! * [`healers_typesys`] — the extensible robust-argument type system
+//! * [`healers_corpus`] — header/man-page corpus and prototype recovery
+//! * [`healers_inject`] — adaptive fault injectors and test-case generators
+//! * [`healers_core`] — function declarations and wrapper generation
+//! * [`healers_ballista`] — Ballista-style robustness evaluation
+
+pub use healers_ballista as ballista;
+pub use healers_core as core;
+pub use healers_corpus as corpus;
+pub use healers_ctypes as ctypes;
+pub use healers_inject as inject;
+pub use healers_libc as libc;
+pub use healers_os as os;
+pub use healers_simproc as simproc;
+pub use healers_typesys as typesys;

@@ -1,0 +1,179 @@
+//! `healers` — the command-line front end to the HEALERS pipeline.
+//!
+//! ```text
+//! healers analyze <function>...        print generated declarations (Figure 2 XML)
+//! healers wrap [--out FILE]            emit the C wrapper library for all 86 targets
+//! healers ballista [--mode M] [--cap N]  run the Figure 6 evaluation (M: unwrapped|full|semi|all)
+//! healers extract                      run the §3 prototype-extraction statistics
+//! healers tour <function>...           show discovered robust argument types
+//! ```
+
+use std::process::ExitCode;
+
+use healers::ballista::{ballista_targets, Ballista, Mode};
+use healers::core::{analyze, decls_to_xml, emit_checks_header, emit_wrapper_source};
+use healers::corpus::{generate::CorpusConfig, pipeline::recover_all};
+use healers::inject::FaultInjector;
+use healers::libc::Libc;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  healers analyze <function>...\n  healers wrap [--out FILE]\n  \
+         healers ballista [--mode unwrapped|full|semi|all] [--cap N]\n  healers extract\n  \
+         healers tour <function>..."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    match command.as_str() {
+        "analyze" => cmd_analyze(&args[1..]),
+        "wrap" => cmd_wrap(&args[1..]),
+        "ballista" => cmd_ballista(&args[1..]),
+        "extract" => cmd_extract(),
+        "tour" => cmd_tour(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_analyze(functions: &[String]) -> ExitCode {
+    if functions.is_empty() {
+        eprintln!("analyze: name at least one function");
+        return ExitCode::from(2);
+    }
+    let libc = Libc::standard();
+    for f in functions {
+        if libc.get(f).is_none() {
+            eprintln!("analyze: {f} is not exported by the library");
+            return ExitCode::FAILURE;
+        }
+    }
+    let names: Vec<&str> = functions.iter().map(|s| s.as_str()).collect();
+    let decls = analyze(&libc, &names);
+    print!("{}", decls_to_xml(&decls));
+    ExitCode::SUCCESS
+}
+
+fn cmd_wrap(rest: &[String]) -> ExitCode {
+    let out = match rest {
+        [] => None,
+        [flag, path] if flag == "--out" => Some(path.clone()),
+        _ => return usage(),
+    };
+    let libc = Libc::standard();
+    eprintln!("analyzing {} functions…", ballista_targets().len());
+    let decls = analyze(&libc, &ballista_targets());
+    let source = emit_wrapper_source(&decls);
+    let header = emit_checks_header(&decls);
+    match out {
+        Some(path) => {
+            let header_path = format!("{path}.checks.h");
+            if let Err(e) = std::fs::write(&path, &source) {
+                eprintln!("wrap: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = std::fs::write(&header_path, &header) {
+                eprintln!("wrap: cannot write {header_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {} lines to {path} and {} lines to {header_path}",
+                source.lines().count(),
+                header.lines().count()
+            );
+        }
+        None => {
+            print!("{header}");
+            print!("{source}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_ballista(rest: &[String]) -> ExitCode {
+    let mut mode = "all".to_string();
+    let mut cap = 180usize;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--mode" => match it.next() {
+                Some(m) => mode = m.clone(),
+                None => return usage(),
+            },
+            "--cap" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(c) => cap = c,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let modes: Vec<Mode> = match mode.as_str() {
+        "unwrapped" => vec![Mode::Unwrapped],
+        "full" => vec![Mode::FullAuto],
+        "semi" => vec![Mode::SemiAuto],
+        "all" => vec![Mode::Unwrapped, Mode::FullAuto, Mode::SemiAuto],
+        other => {
+            eprintln!("ballista: unknown mode {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+    let ballista = Ballista::new().with_cap(cap);
+    let libc = Libc::standard();
+    eprintln!("analyzing 86 functions…");
+    let decls = ballista.analyze_targets(&libc);
+    for m in modes {
+        let report = ballista.run_with_decls(&libc, m, decls.clone());
+        println!("{}", report.render());
+        let failing = report.functions_with_failures();
+        if !failing.is_empty() {
+            println!("    still failing: {}", failing.join(", "));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_extract() -> ExitCode {
+    let corpus = CorpusConfig::default().generate();
+    let report = recover_all(&corpus);
+    println!(
+        "symbols {} | internal {:.1}% | man-page coverage {:.1}% | wrong headers {:.1}% | found {:.1}%",
+        corpus.symbols.symbols.len(),
+        100.0 * report.internal_fraction(),
+        100.0 * report.manpage_coverage(),
+        100.0 * report.manpage_wrong_headers_fraction(),
+        100.0 * report.found_fraction(),
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_tour(functions: &[String]) -> ExitCode {
+    let libc = Libc::standard();
+    let names: Vec<String> = if functions.is_empty() {
+        ballista_targets().iter().map(|s| s.to_string()).collect()
+    } else {
+        functions.to_vec()
+    };
+    for name in names {
+        let Some(injector) = FaultInjector::new(&libc, &name) else {
+            eprintln!("tour: {name} is not exported");
+            return ExitCode::FAILURE;
+        };
+        let report = injector.run();
+        let types: Vec<String> = report
+            .args
+            .iter()
+            .map(|a| a.robust.robust.notation())
+            .collect();
+        println!(
+            "{:<14} {:<7} ⟨{}⟩",
+            report.function,
+            if report.safe { "safe" } else { "unsafe" },
+            types.join(", ")
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,87 @@
+//! End-to-end reproduction of the paper's running example: the
+//! `asctime` pipeline from Figure 2 (declaration) through Figure 5
+//! (wrapper code) to crash prevention.
+
+use healers::core::{analyze, decls_from_xml, decls_to_xml, RobustnessWrapper, WrapperConfig};
+use healers::libc::{Libc, World};
+use healers::simproc::{SimValue, INVALID_PTR};
+use healers::typesys::TypeExpr;
+
+#[test]
+fn figure_2_declaration_is_discovered() {
+    let libc = Libc::standard();
+    let decls = analyze(&libc, &["asctime"]);
+    let d = &decls[0];
+    assert_eq!(d.robust_args, vec![Some(TypeExpr::RArrayNull(44))]);
+    assert_eq!(d.error_value, Some(SimValue::NULL));
+    assert_eq!(d.errno_value, 22); // EINVAL
+    assert!(d.is_unsafe());
+}
+
+#[test]
+fn declaration_survives_the_xml_roundtrip_and_still_generates_the_wrapper() {
+    let libc = Libc::standard();
+    let decls = analyze(&libc, &["asctime"]);
+    // Serialize to the Figure 2 format, parse back, and build the
+    // wrapper from the parsed declarations — the editing workflow.
+    let xml = decls_to_xml(&decls);
+    let parsed = decls_from_xml(&xml).expect("roundtrip");
+    let mut wrapper = RobustnessWrapper::new(parsed, WrapperConfig::full_auto());
+
+    let mut world = World::new();
+    let r = wrapper
+        .call(&libc, &mut world, "asctime", &[SimValue::Ptr(INVALID_PTR)])
+        .expect("wrapper must not crash");
+    assert_eq!(r, SimValue::NULL);
+    assert_eq!(world.proc.errno(), 22);
+}
+
+#[test]
+fn figure_5_wrapper_source_is_generated_verbatim() {
+    let libc = Libc::standard();
+    let decls = analyze(&libc, &["asctime"]);
+    let source = healers::core::emit::emit_function(&decls[0]).unwrap();
+    for line in [
+        "char* asctime (const struct tm* a1)",
+        "    if (in_flag) {",
+        "        return (*libc_asctime) (a1);",
+        "    in_flag = 1 ;",
+        "    if (!check_R_ARRAY_NULL(a1,44)) {",
+        "        errno = EINVAL ;",
+        "        ret = (char*) NULL;",
+        "        goto PostProcessing;",
+        "    ret = (*libc_asctime) (a1);",
+        "PostProcessing: ;",
+        "    in_flag = 0 ;",
+        "    return ret;",
+    ] {
+        assert!(source.contains(line), "missing line {line:?} in:\n{source}");
+    }
+}
+
+#[test]
+fn the_wrapped_function_still_works_for_valid_inputs() {
+    let libc = Libc::standard();
+    let decls = analyze(&libc, &["asctime", "gmtime", "time"]);
+    let mut wrapper = RobustnessWrapper::new(decls, WrapperConfig::full_auto());
+    let mut world = World::new();
+
+    // time() -> gmtime() -> asctime(): a correct program, wrapped.
+    let now = wrapper
+        .call(&libc, &mut world, "time", &[SimValue::NULL])
+        .unwrap();
+    assert!(now.as_int() > 0);
+    let t = world.alloc_buf(4);
+    world.proc.mem.write_i32(t, now.as_int() as i32).unwrap();
+    let tm = wrapper
+        .call(&libc, &mut world, "gmtime", &[SimValue::Ptr(t)])
+        .unwrap();
+    assert_ne!(tm, SimValue::NULL);
+    let text = wrapper
+        .call(&libc, &mut world, "asctime", &[tm])
+        .unwrap();
+    let s = world.read_cstr_lossy(text.as_ptr()).unwrap();
+    assert!(s.ends_with('\n'), "asctime output {s:?}");
+    assert!(s.len() >= 24);
+    assert_eq!(wrapper.stats.violations, 0);
+}

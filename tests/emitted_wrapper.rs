@@ -1,0 +1,56 @@
+//! Structural sanity of the emitted C wrapper library: for the full
+//! 86-function target set, the generated source is balanced, complete,
+//! and consistent with the checks header.
+
+use healers::ballista::ballista_targets;
+use healers::core::{analyze, emit_checks_header, emit_wrapper_source};
+use healers::libc::Libc;
+
+#[test]
+fn emitted_library_is_structurally_sound() {
+    let libc = Libc::standard();
+    let decls = analyze(&libc, &ballista_targets());
+    let source = emit_wrapper_source(&decls);
+    let header = emit_checks_header(&decls);
+
+    // Balanced braces and parentheses.
+    for (open, close) in [('{', '}'), ('(', ')')] {
+        let opens = source.matches(open).count();
+        let closes = source.matches(close).count();
+        assert_eq!(opens, closes, "unbalanced {open}{close} in emitted C");
+    }
+
+    // Every unsafe function has a definition, a function-pointer slot,
+    // and a resolver line; every safe one has none.
+    for d in &decls {
+        let def = format!(" {} (", d.name);
+        let slot = format!("(*libc_{})(", d.name);
+        let resolve = format!("dlsym(RTLD_NEXT, \"{}\")", d.name);
+        if d.is_unsafe() {
+            assert!(source.contains(&def), "{} has no definition", d.name);
+            assert!(source.contains(&slot), "{} has no pointer slot", d.name);
+            assert!(source.contains(&resolve), "{} is not resolved", d.name);
+        } else {
+            assert!(!source.contains(&resolve), "safe {} resolved", d.name);
+        }
+    }
+
+    // Every check function the wrappers call is declared in the header.
+    for line in source.lines() {
+        if let Some(pos) = line.find("check_") {
+            let call = &line[pos..];
+            let name: String = call
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            assert!(
+                header.contains(&format!("int {name}(")),
+                "{name} used but not declared"
+            );
+        }
+    }
+
+    // The PostProcessing discipline of Figure 5: one label per wrapper.
+    let wrappers = decls.iter().filter(|d| d.is_unsafe()).count();
+    assert_eq!(source.matches("PostProcessing: ;").count(), wrappers);
+}
