@@ -103,7 +103,11 @@ mod tests {
     #[test]
     fn flip_is_an_involution() {
         for bit in [0u32, 7, 31] {
-            for v in [SimValue::Ptr(0x1234_5678), SimValue::Int(-17), SimValue::Double(2.5)] {
+            for v in [
+                SimValue::Ptr(0x1234_5678),
+                SimValue::Int(-17),
+                SimValue::Double(2.5),
+            ] {
                 assert_eq!(flip(flip(v, bit), bit), v);
                 assert_ne!(flip(v, bit), v);
             }

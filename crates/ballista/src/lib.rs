@@ -34,5 +34,5 @@ pub mod targets;
 
 pub use bitflip::run_bitflip;
 pub use report::{BallistaReport, FunctionOutcomes, TestClass};
-pub use runner::{Ballista, Mode};
+pub use runner::{Ballista, Mode, PreparedMode};
 pub use targets::{ballista_targets, NEVER_CRASHING};

@@ -129,11 +129,7 @@ fn call(
 ///
 /// Panics if the prepared world cannot be set up — a harness bug, not a
 /// robustness finding.
-pub fn prepare(
-    libc: &Libc,
-    wrapper: &mut Option<RobustnessWrapper>,
-    world: &mut World,
-) -> Pools {
+pub fn prepare(libc: &Libc, wrapper: &mut Option<RobustnessWrapper>, world: &mut World) -> Pools {
     // Line waiting on stdin (for gets-style functions).
     world.kernel.type_input(0, b"healers stdin line\n");
     world
@@ -243,7 +239,14 @@ pub fn prepare(
     let ro_stream = mk_stream(libc, wrapper, world, b"/tmp/ballista_data", b"r");
     let rw_stream = mk_stream(libc, wrapper, world, b"/tmp/ballista_data", b"r+");
     let closed_stream = mk_stream(libc, wrapper, world, b"/tmp/ballista_data", b"r");
-    call(libc, wrapper, world, "fclose", &[SimValue::Ptr(closed_stream)]).expect("fclose");
+    call(
+        libc,
+        wrapper,
+        world,
+        "fclose",
+        &[SimValue::Ptr(closed_stream)],
+    )
+    .expect("fclose");
     // Corrupted stream: valid descriptor, scribbled buffer pointer —
     // "corrupted data structures in accessible memory" (§6), invisible
     // to the fileno+fstat check.
@@ -263,7 +266,11 @@ pub fn prepare(
     .expect("malloc")
     .as_ptr();
     for i in 0..file::FILE_SIZE {
-        world.proc.mem.write_u8(garbage_file + i, 0xCC).expect("pool write");
+        world
+            .proc
+            .mem
+            .write_u8(garbage_file + i, 0xCC)
+            .expect("pool write");
     }
     let files = vec![
         pv(SimValue::NULL, "NULL", false),
@@ -283,7 +290,14 @@ pub fn prepare(
     let closed_dir = call(libc, wrapper, world, "opendir", &[SimValue::Ptr(tmp)])
         .expect("opendir")
         .as_ptr();
-    call(libc, wrapper, world, "closedir", &[SimValue::Ptr(closed_dir)]).expect("closedir");
+    call(
+        libc,
+        wrapper,
+        world,
+        "closedir",
+        &[SimValue::Ptr(closed_dir)],
+    )
+    .expect("closedir");
     let corrupt_dir = call(libc, wrapper, world, "opendir", &[SimValue::Ptr(tmp)])
         .expect("opendir")
         .as_ptr();
@@ -302,7 +316,11 @@ pub fn prepare(
     .expect("malloc")
     .as_ptr();
     for i in 0..dirent::DIR_SIZE {
-        world.proc.mem.write_u8(garbage_dir + i, 0xCC).expect("pool write");
+        world
+            .proc
+            .mem
+            .write_u8(garbage_dir + i, 0xCC)
+            .expect("pool write");
     }
     let dirs = vec![
         pv(SimValue::NULL, "NULL", false),
@@ -316,11 +334,7 @@ pub fn prepare(
     // ---- descriptors -----------------------------------------------------------
     let file_fd = world
         .kernel
-        .open(
-            "/tmp/ballista_data",
-            healers_os::OpenFlags::read_write(),
-            0,
-        )
+        .open("/tmp/ballista_data", healers_os::OpenFlags::read_write(), 0)
         .expect("open");
     let fds = vec![
         pv(SimValue::Int(-1), "fd -1", false),
@@ -417,7 +431,10 @@ mod tests {
     #[test]
     fn wrapped_preparation_primes_the_tables() {
         let libc = Libc::standard();
-        let decls = healers_core::analyze(&libc, &["fopen", "fclose", "malloc", "free", "opendir", "closedir"]);
+        let decls = healers_core::analyze(
+            &libc,
+            &["fopen", "fclose", "malloc", "free", "opendir", "closedir"],
+        );
         let mut world = World::new();
         let mut wrapper = Some(RobustnessWrapper::new(
             decls,

@@ -98,6 +98,33 @@ impl Ballista {
         mode: Mode,
         decls: Vec<FunctionDecl>,
     ) -> BallistaReport {
+        let prepared = self.prepare_mode(libc, mode, decls);
+        let mut report = BallistaReport::new(mode.label());
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for name in &self.functions {
+            for class in self.run_function(libc, &prepared, name, &mut rng) {
+                report.record(name, class);
+            }
+        }
+        report
+    }
+
+    /// The functions under evaluation, in execution order.
+    pub fn functions(&self) -> &[String] {
+        &self.functions
+    }
+
+    /// The configured sampling seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Build the wrapper, prepared world, and test-value pools for one
+    /// configuration — the immutable evaluation context that
+    /// [`Ballista::run_function`] executes against. Splitting this from
+    /// the per-function loop lets orchestrators (the campaign crate) fan
+    /// functions out over worker threads against a shared context.
+    pub fn prepare_mode(&self, libc: &Libc, mode: Mode, decls: Vec<FunctionDecl>) -> PreparedMode {
         let mut wrapper = match mode {
             Mode::Unwrapped => None,
             Mode::FullAuto => Some(RobustnessWrapper::new(decls, WrapperConfig::full_auto())),
@@ -111,22 +138,50 @@ impl Ballista {
         let mut world = World::new();
         world.proc.set_fuel_budget(BALLISTA_FUEL);
         let pools = prepare(libc, &mut wrapper, &mut world);
-
-        let mut report = BallistaReport::new(mode.label());
-        let mut rng = StdRng::seed_from_u64(self.seed);
-
-        for name in &self.functions {
-            let func = libc
-                .get(name)
-                .unwrap_or_else(|| panic!("{name} not exported"));
-            let kinds: Vec<ParamKind> = func.proto.params.iter().map(param_kind).collect();
-            let vectors = generate_vectors(&pools, &kinds, self.cap_per_function, &mut rng);
-            for vector in vectors {
-                let class = execute(libc, &wrapper, &world, name, &vector);
-                report.record(name, class);
-            }
+        PreparedMode {
+            label: mode.label(),
+            wrapper,
+            world,
+            pools,
         }
-        report
+    }
+
+    /// Evaluate one function against a prepared configuration, drawing
+    /// sampling decisions from `rng`, and return the classified outcome
+    /// of every test vector in generation order.
+    pub fn run_function(
+        &self,
+        libc: &Libc,
+        prepared: &PreparedMode,
+        name: &str,
+        rng: &mut StdRng,
+    ) -> Vec<TestClass> {
+        let func = libc
+            .get(name)
+            .unwrap_or_else(|| panic!("{name} not exported"));
+        let kinds: Vec<ParamKind> = func.proto.params.iter().map(param_kind).collect();
+        let vectors = generate_vectors(&prepared.pools, &kinds, self.cap_per_function, rng);
+        vectors
+            .iter()
+            .map(|vector| execute(libc, &prepared.wrapper, &prepared.world, name, vector))
+            .collect()
+    }
+}
+
+/// The immutable per-mode evaluation context built by
+/// [`Ballista::prepare_mode`]: the (optional) wrapper, the world every
+/// test clones, and the typed test-value pools.
+pub struct PreparedMode {
+    label: &'static str,
+    wrapper: Option<RobustnessWrapper>,
+    world: World,
+    pools: Pools,
+}
+
+impl PreparedMode {
+    /// The human-readable configuration label (Figure 6 bar name).
+    pub fn label(&self) -> &'static str {
+        self.label
     }
 }
 
@@ -282,10 +337,7 @@ mod tests {
         let strs = pools.for_kind(ParamKind::CString);
         let valid_b = bufs.iter().filter(|v| v.valid).count();
         let valid_s = strs.iter().filter(|v| v.valid).count();
-        assert_eq!(
-            vectors.len(),
-            bufs.len() * strs.len() - valid_b * valid_s
-        );
+        assert_eq!(vectors.len(), bufs.len() * strs.len() - valid_b * valid_s);
     }
 
     #[test]

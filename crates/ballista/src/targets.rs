@@ -15,21 +15,88 @@ pub const NEVER_CRASHING: &[&str] = &[
 /// The 77 functions that crash for at least one test case.
 pub const CRASHING: &[&str] = &[
     // string.h (22)
-    "strcpy", "strncpy", "strcat", "strncat", "strcmp", "strncmp", "strlen", "strchr", "strrchr",
-    "strstr", "strpbrk", "strspn", "strcspn", "strtok", "strdup", "strcoll", "strxfrm", "memcpy",
-    "memmove", "memset", "memcmp", "memchr",
+    "strcpy",
+    "strncpy",
+    "strcat",
+    "strncat",
+    "strcmp",
+    "strncmp",
+    "strlen",
+    "strchr",
+    "strrchr",
+    "strstr",
+    "strpbrk",
+    "strspn",
+    "strcspn",
+    "strtok",
+    "strdup",
+    "strcoll",
+    "strxfrm",
+    "memcpy",
+    "memmove",
+    "memset",
+    "memcmp",
+    "memchr",
     // stdio.h (28)
-    "fopen", "freopen", "fdopen", "fclose", "fflush", "fread", "fwrite", "fgets", "fputs",
-    "fgetc", "fputc", "getc", "putc", "ungetc", "puts", "gets", "fseek", "ftell", "rewind",
-    "feof", "ferror", "clearerr", "fileno", "setbuf", "setvbuf", "tmpnam", "sprintf", "sscanf",
+    "fopen",
+    "freopen",
+    "fdopen",
+    "fclose",
+    "fflush",
+    "fread",
+    "fwrite",
+    "fgets",
+    "fputs",
+    "fgetc",
+    "fputc",
+    "getc",
+    "putc",
+    "ungetc",
+    "puts",
+    "gets",
+    "fseek",
+    "ftell",
+    "rewind",
+    "feof",
+    "ferror",
+    "clearerr",
+    "fileno",
+    "setbuf",
+    "setvbuf",
+    "tmpnam",
+    "sprintf",
+    "sscanf",
     // time.h (8)
-    "time", "stime", "asctime", "ctime", "gmtime", "localtime", "mktime", "strftime",
+    "time",
+    "stime",
+    "asctime",
+    "ctime",
+    "gmtime",
+    "localtime",
+    "mktime",
+    "strftime",
     // termios.h (6)
-    "cfgetispeed", "cfgetospeed", "cfsetispeed", "cfsetospeed", "tcgetattr", "tcsetattr",
+    "cfgetispeed",
+    "cfgetospeed",
+    "cfsetispeed",
+    "cfsetospeed",
+    "tcgetattr",
+    "tcsetattr",
     // dirent.h (6)
-    "opendir", "readdir", "closedir", "rewinddir", "seekdir", "telldir",
+    "opendir",
+    "readdir",
+    "closedir",
+    "rewinddir",
+    "seekdir",
+    "telldir",
     // stdlib.h (7)
-    "atoi", "atol", "atof", "strtol", "strtoul", "strtod", "getenv",
+    "atoi",
+    "atol",
+    "atof",
+    "strtol",
+    "strtoul",
+    "strtod",
+    "getenv",
 ];
 
 /// All 86 evaluation targets.

@@ -37,7 +37,15 @@ fn bench_checks(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("checks");
     group.bench_function("rw_array_stateful_hit", |b| {
-        b.iter(|| check_value(&world, &tables, &caps, SimValue::Ptr(tracked), TypeExpr::RwArray(4096)))
+        b.iter(|| {
+            check_value(
+                &world,
+                &tables,
+                &caps,
+                SimValue::Ptr(tracked),
+                TypeExpr::RwArray(4096),
+            )
+        })
     });
     group.bench_function("rw_array_stateless_probe", |b| {
         b.iter(|| {
@@ -51,13 +59,29 @@ fn bench_checks(c: &mut Criterion) {
         })
     });
     group.bench_function("open_file_fileno_fstat", |b| {
-        b.iter(|| check_value(&world, &tables, &caps, SimValue::Ptr(stream), TypeExpr::OpenFile))
+        b.iter(|| {
+            check_value(
+                &world,
+                &tables,
+                &caps,
+                SimValue::Ptr(stream),
+                TypeExpr::OpenFile,
+            )
+        })
     });
     group.bench_function("nts_scan", |b| {
         b.iter(|| check_value(&world, &tables, &caps, SimValue::Ptr(s), TypeExpr::Nts))
     });
     group.bench_function("scalar_nonneg", |b| {
-        b.iter(|| check_value(&world, &tables, &caps, SimValue::Int(42), TypeExpr::IntNonNeg))
+        b.iter(|| {
+            check_value(
+                &world,
+                &tables,
+                &caps,
+                SimValue::Int(42),
+                TypeExpr::IntNonNeg,
+            )
+        })
     });
     group.bench_function("rejecting_null", |b| {
         b.iter(|| check_value(&world, &tables, &caps, SimValue::NULL, TypeExpr::RArray(44)))

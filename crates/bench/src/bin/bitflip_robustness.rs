@@ -35,5 +35,8 @@ fn main() {
     );
     let mut residual: Vec<&str> = wrapped.functions_with_failures();
     residual.sort_unstable();
-    println!("functions still failing under bit flips: {}", residual.join(", "));
+    println!(
+        "functions still failing under bit flips: {}",
+        residual.join(", ")
+    );
 }

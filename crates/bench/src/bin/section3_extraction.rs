@@ -6,8 +6,8 @@
 //! have a manual page; 1.2 % of pages list no headers; 7.7 % list wrong
 //! headers; prototypes are found for 96.0 % of functions.
 
-use healers_corpus::{generate::CorpusConfig, pipeline::recover_all};
 use healers_corpus::pipeline::RecoverySource;
+use healers_corpus::{generate::CorpusConfig, pipeline::recover_all};
 
 fn main() {
     let corpus = CorpusConfig::default().generate();

@@ -6,31 +6,72 @@
 //! (43.0 %); the two inconsistent functions are `fdopen` and `freopen`,
 //! and `fflush` is the one function that should set `errno` but was not
 //! observed doing so.
+//!
+//! With `--jobs N` (optionally `--cache DIR`) the injection campaigns
+//! route through the campaign orchestrator and fan out over N workers;
+//! the per-function error-code classes are read off the generated
+//! declarations, which carry the same `ErrCodeClass` the serial path
+//! computes, so the table is identical either way.
 
 use std::collections::BTreeMap;
 
 use healers_ballista::ballista_targets;
+use healers_campaign::{Campaign, CampaignConfig};
 use healers_inject::{ErrCodeClass, FaultInjector};
 use healers_libc::Libc;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+    let cache_dir = args
+        .iter()
+        .position(|a| a == "--cache")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+
     let libc = Libc::standard();
-    let mut by_class: BTreeMap<&'static str, Vec<String>> = BTreeMap::new();
     let targets = ballista_targets();
-    for name in &targets {
-        let report = FaultInjector::new(&libc, name)
-            .unwrap_or_else(|| panic!("{name} missing"))
-            .run();
-        by_class
-            .entry(report.errcode.class.label())
-            .or_default()
-            .push(name.to_string());
+    let mut by_class: BTreeMap<&'static str, Vec<String>> = BTreeMap::new();
+
+    if jobs.is_some() || cache_dir.is_some() {
+        let campaign = Campaign::new(&CampaignConfig {
+            jobs: jobs.unwrap_or(1),
+            cache_dir,
+            journal_path: None,
+        })
+        .expect("campaign setup");
+        let (decls, metrics) = campaign.analyze(&libc, &targets).expect("campaign analyze");
+        eprintln!("{metrics}");
+        for decl in decls {
+            by_class
+                .entry(decl.errcode_class.label())
+                .or_default()
+                .push(decl.name);
+        }
+        campaign.finish().expect("campaign journal");
+    } else {
+        for name in &targets {
+            let report = FaultInjector::new(&libc, name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .run();
+            by_class
+                .entry(report.errcode.class.label())
+                .or_default()
+                .push(name.to_string());
+        }
     }
 
     let total = targets.len();
     println!("Table 1 — error return code determination ({total} functions)");
     println!("==============================================================");
-    println!("{:<34} {:>6} {:>11}   (paper)", "Return Code Class", "Number", "Percentage");
+    println!(
+        "{:<34} {:>6} {:>11}   (paper)",
+        "Return Code Class", "Number", "Percentage"
+    );
     let order = [
         (ErrCodeClass::NoReturnCode.label(), "8 / 9.3%"),
         (ErrCodeClass::Consistent.label(), "39 / 45.3%"),

@@ -195,11 +195,11 @@ fn tar_like(ctx: &mut CallCtx<'_>) {
         assert_ne!(member, SimValue::NULL);
         // Header block.
         let tag = ctx.cstr("src");
+        ctx.call("sprintf", &[header, name_fmt, tag, SimValue::Int(i)]);
         ctx.call(
-            "sprintf",
-            &[header, name_fmt, tag, SimValue::Int(i)],
+            "fwrite",
+            &[header, SimValue::Int(1), SimValue::Int(512), archive],
         );
-        ctx.call("fwrite", &[header, SimValue::Int(1), SimValue::Int(512), archive]);
         // Data blocks with application-side checksumming between reads.
         loop {
             let got = ctx.call(
@@ -210,10 +210,7 @@ fn tar_like(ctx: &mut CallCtx<'_>) {
                 break;
             }
             ctx.compute(1_500_000); // checksum + sparse-block detection
-            ctx.call(
-                "fwrite",
-                &[block, SimValue::Int(1), got, archive],
-            );
+            ctx.call("fwrite", &[block, SimValue::Int(1), got, archive]);
         }
         ctx.call("fclose", &[member]);
     }
@@ -228,7 +225,10 @@ fn gzip_like(ctx: &mut CallCtx<'_>) {
     let input = ctx.call("fopen", &[path, mode]);
     assert_ne!(input, SimValue::NULL);
     let buf = ctx.buf(2048);
-    ctx.call("fread", &[buf, SimValue::Int(1), SimValue::Int(2048), input]);
+    ctx.call(
+        "fread",
+        &[buf, SimValue::Int(1), SimValue::Int(2048), input],
+    );
     ctx.call("fclose", &[input]);
 
     let out_path = ctx.cstr("/tmp/src0.gz");
@@ -237,7 +237,10 @@ fn gzip_like(ctx: &mut CallCtx<'_>) {
     // Eight huge compression passes, each followed by one tiny write.
     for _ in 0..8 {
         ctx.compute(2_000_000); // LZ window matching + Huffman coding
-        ctx.call("fwrite", &[buf, SimValue::Int(1), SimValue::Int(256), output]);
+        ctx.call(
+            "fwrite",
+            &[buf, SimValue::Int(1), SimValue::Int(256), output],
+        );
     }
     ctx.call("fclose", &[output]);
 }
@@ -314,8 +317,8 @@ fn ps2pdf_like(ctx: &mut CallCtx<'_>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use healers_core::{analyze, WrapperConfig};
     use healers_ballista::ballista_targets;
+    use healers_core::{analyze, WrapperConfig};
 
     #[test]
     fn all_workloads_run_unwrapped() {

@@ -1,0 +1,192 @@
+//! The persistent, content-addressed declaration cache.
+//!
+//! Layout: one file per function under the cache directory,
+//! `<function>.<fingerprint>.xml`, holding that function's Figure-2
+//! declaration serialized with [`healers_core::xml`]. The fingerprint
+//! (see [`crate::fingerprint`]) covers everything the declaration
+//! depends on, so a lookup is a pure existence check: if the file named
+//! by the current fingerprint exists and round-trips, the whole
+//! injection campaign for that function is skipped. Storing a fresh
+//! entry removes any stale files for the same function.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use healers_core::{decls_from_xml, decls_to_xml, FunctionDecl};
+
+use crate::fingerprint::Fingerprint;
+
+/// Hit/miss counters (atomic: the cache is shared across workers).
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheCounters {
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// A declaration cache rooted at one directory.
+#[derive(Debug)]
+pub struct DeclCache {
+    dir: PathBuf,
+    counters: CacheCounters,
+}
+
+impl DeclCache {
+    /// Open (creating if needed) a cache under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failure to create the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(DeclCache {
+            dir,
+            counters: CacheCounters::default(),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Hit/miss counters.
+    pub fn counters(&self) -> &CacheCounters {
+        &self.counters
+    }
+
+    fn entry_path(&self, function: &str, fp: Fingerprint) -> PathBuf {
+        self.dir.join(format!("{function}.{fp}.xml"))
+    }
+
+    /// Look up the declaration for `function` under fingerprint `fp`.
+    ///
+    /// Counts a hit only for a well-formed entry that actually contains
+    /// `function`; corrupt or mismatched files count as misses (and are
+    /// overwritten by the next [`DeclCache::store`]).
+    pub fn lookup(&self, function: &str, fp: Fingerprint) -> Option<FunctionDecl> {
+        let found = fs::read_to_string(self.entry_path(function, fp))
+            .ok()
+            .and_then(|xml| decls_from_xml(&xml).ok())
+            .and_then(|mut decls| {
+                (decls.len() == 1 && decls[0].name == function).then(|| decls.remove(0))
+            });
+        let counter = if found.is_some() {
+            &self.counters.hits
+        } else {
+            &self.counters.misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        found
+    }
+
+    /// Store `decl` for `function` under fingerprint `fp`, removing any
+    /// stale entries for the same function first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn store(&self, function: &str, fp: Fingerprint, decl: &FunctionDecl) -> io::Result<()> {
+        let stale_prefix = format!("{function}.");
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.strip_prefix(&stale_prefix).is_some_and(|rest| {
+                rest.strip_suffix(".xml")
+                    .is_some_and(|fp_text| fp_text.len() == 16)
+            }) {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        // Write-then-rename so concurrent readers never observe a
+        // truncated entry.
+        let tmp = self.dir.join(format!("{function}.{fp}.xml.tmp"));
+        fs::write(&tmp, decls_to_xml(std::slice::from_ref(decl)))?;
+        fs::rename(&tmp, self.entry_path(function, fp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::fingerprint;
+    use healers_libc::Libc;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("healers-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn miss_store_hit_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let cache = DeclCache::open(&dir).unwrap();
+        let libc = Libc::standard();
+        let decl = healers_core::analyze(&libc, &["abs"]).remove(0);
+        let fp = fingerprint(&["abs-signature"]);
+
+        assert!(cache.lookup("abs", fp).is_none());
+        cache.store("abs", fp, &decl).unwrap();
+        let back = cache.lookup("abs", fp).unwrap();
+        assert_eq!(
+            decls_to_xml(std::slice::from_ref(&back)),
+            decls_to_xml(std::slice::from_ref(&decl)),
+            "cache round-trip must be byte-identical"
+        );
+        assert_eq!(cache.counters().hits(), 1);
+        assert_eq!(cache.counters().misses(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_fingerprint_misses_and_store_evicts() {
+        let dir = tmpdir("stale");
+        let cache = DeclCache::open(&dir).unwrap();
+        let libc = Libc::standard();
+        let decl = healers_core::analyze(&libc, &["abs"]).remove(0);
+        let old = fingerprint(&["old"]);
+        let new = fingerprint(&["new"]);
+
+        cache.store("abs", old, &decl).unwrap();
+        assert!(
+            cache.lookup("abs", new).is_none(),
+            "stale entry must not hit"
+        );
+        cache.store("abs", new, &decl).unwrap();
+        assert!(cache.lookup("abs", new).is_some());
+        assert!(
+            cache.lookup("abs", old).is_none(),
+            "storing under a new fingerprint evicts the old entry"
+        );
+        let entries = fs::read_dir(&dir).unwrap().count();
+        assert_eq!(entries, 1, "exactly one entry per function");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let dir = tmpdir("corrupt");
+        let cache = DeclCache::open(&dir).unwrap();
+        let fp = fingerprint(&["x"]);
+        fs::write(dir.join(format!("abs.{fp}.xml")), "<functions>garbage").unwrap();
+        assert!(cache.lookup("abs", fp).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

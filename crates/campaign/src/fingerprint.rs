@@ -1,0 +1,86 @@
+//! Content fingerprints keying the persistent declaration cache.
+//!
+//! A cache entry is valid only while everything the injection outcome
+//! depends on is unchanged: the function prototype, the selected
+//! generators and their candidate universes, the injector constants,
+//! and the campaign seed. All of that is rendered into a canonical text
+//! (see `FaultInjector::signature`) and hashed with FNV-1a 64; the hex
+//! digest becomes part of the cache file name, so any change produces a
+//! different file and the stale entry is simply never consulted again.
+
+use std::fmt;
+
+/// Version stamp mixed into every fingerprint; bump when the
+/// declaration XML format or injection semantics change incompatibly.
+pub const FORMAT_VERSION: &str = "healers-campaign-v1";
+
+/// A 64-bit content fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint(pub u64);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over `parts`, with a length prefix per part so that
+/// `["ab", "c"]` and `["a", "bc"]` hash differently.
+pub fn fingerprint(parts: &[&str]) -> Fingerprint {
+    let mut hash = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(FORMAT_VERSION.as_bytes());
+    for part in parts {
+        eat(&(part.len() as u64).to_le_bytes());
+        eat(part.as_bytes());
+    }
+    Fingerprint(hash)
+}
+
+/// Derive an independent per-function RNG seed from a campaign seed.
+///
+/// The parallel Ballista path gives every function its own generator so
+/// that results do not depend on worker scheduling; mixing the function
+/// name in via the fingerprint keeps streams decorrelated.
+pub fn derive_seed(seed: u64, function: &str) -> u64 {
+    let mut z = seed ^ fingerprint(&[function]).0;
+    // SplitMix64 finalizer: avalanche the combined bits.
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn part_boundaries_matter() {
+        assert_ne!(fingerprint(&["ab", "c"]), fingerprint(&["a", "bc"]));
+        assert_ne!(fingerprint(&["x"]), fingerprint(&["x", ""]));
+    }
+
+    #[test]
+    fn stable_across_calls() {
+        assert_eq!(fingerprint(&["strcpy", "1"]), fingerprint(&["strcpy", "1"]));
+    }
+
+    #[test]
+    fn derived_seeds_differ_by_function_and_seed() {
+        assert_ne!(derive_seed(1, "strcpy"), derive_seed(1, "strlen"));
+        assert_ne!(derive_seed(1, "strcpy"), derive_seed(2, "strcpy"));
+    }
+
+    #[test]
+    fn display_is_fixed_width_hex() {
+        assert_eq!(format!("{}", Fingerprint(0xab)).len(), 16);
+    }
+}

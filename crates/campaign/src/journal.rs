@@ -1,0 +1,277 @@
+//! The structured campaign event journal.
+//!
+//! Workers emit [`CampaignEvent`]s through a cloned channel sender; a
+//! dedicated drainer thread assigns sequence numbers and writes one
+//! JSON object per line (JSONL) to the configured sink. Keeping the
+//! file I/O on a single thread means workers never contend on the sink
+//! and lines are never interleaved.
+
+use std::io::Write;
+use std::sync::mpsc::{channel, Sender};
+use std::thread::JoinHandle;
+
+use crate::json::JsonObject;
+
+/// One structured event in a campaign's life.
+#[derive(Debug, Clone)]
+pub enum CampaignEvent {
+    /// A function's injection campaign began on some worker.
+    Started {
+        /// Function name.
+        function: String,
+    },
+    /// A function's declaration was served from the persistent cache —
+    /// zero injected calls were performed for it.
+    Cached {
+        /// Function name.
+        function: String,
+        /// The fingerprint the entry was found under (hex).
+        fingerprint: String,
+    },
+    /// Adaptive retries performed while injecting one function.
+    Retried {
+        /// Function name.
+        function: String,
+        /// Number of adaptive adjustments.
+        retries: u64,
+    },
+    /// Failure outcomes observed while injecting one function.
+    Faulted {
+        /// Function name.
+        function: String,
+        /// Calls that crashed, hung, or aborted.
+        failures: u64,
+    },
+    /// A function's injection campaign finished and was classified.
+    Classified {
+        /// Function name.
+        function: String,
+        /// §3.4 attribute: `true` iff no test case failed.
+        safe: bool,
+        /// Total sandboxed calls performed.
+        calls: u64,
+        /// Total adaptive retries performed.
+        retries: u64,
+        /// Total hang-detection fuel consumed.
+        fuel_used: u64,
+        /// Robust argument types, in the paper's notation.
+        robust: Vec<String>,
+    },
+    /// A function's Ballista evaluation batch finished in one mode.
+    Evaluated {
+        /// Function name.
+        function: String,
+        /// Configuration label (Figure 6 bar).
+        mode: String,
+        /// Tests executed.
+        tests: u64,
+        /// Tests that crashed, hung, or aborted.
+        failures: u64,
+    },
+}
+
+impl CampaignEvent {
+    /// The function this event concerns.
+    pub fn function(&self) -> &str {
+        match self {
+            CampaignEvent::Started { function }
+            | CampaignEvent::Cached { function, .. }
+            | CampaignEvent::Retried { function, .. }
+            | CampaignEvent::Faulted { function, .. }
+            | CampaignEvent::Classified { function, .. }
+            | CampaignEvent::Evaluated { function, .. } => function,
+        }
+    }
+
+    /// Render as a single JSON line with sequence number `seq`.
+    pub fn to_json(&self, seq: u64) -> String {
+        let base = JsonObject::new().u64("seq", seq);
+        match self {
+            CampaignEvent::Started { function } => {
+                base.str("event", "started").str("function", function)
+            }
+            CampaignEvent::Cached {
+                function,
+                fingerprint,
+            } => base
+                .str("event", "cached")
+                .str("function", function)
+                .str("fingerprint", fingerprint),
+            CampaignEvent::Retried { function, retries } => base
+                .str("event", "retried")
+                .str("function", function)
+                .u64("retries", *retries),
+            CampaignEvent::Faulted { function, failures } => base
+                .str("event", "faulted")
+                .str("function", function)
+                .u64("failures", *failures),
+            CampaignEvent::Classified {
+                function,
+                safe,
+                calls,
+                retries,
+                fuel_used,
+                robust,
+            } => base
+                .str("event", "classified")
+                .str("function", function)
+                .bool("safe", *safe)
+                .u64("calls", *calls)
+                .u64("retries", *retries)
+                .u64("fuel_used", *fuel_used)
+                .str_array("robust", robust),
+            CampaignEvent::Evaluated {
+                function,
+                mode,
+                tests,
+                failures,
+            } => base
+                .str("event", "evaluated")
+                .str("function", function)
+                .str("mode", mode)
+                .u64("tests", *tests)
+                .u64("failures", *failures),
+        }
+        .finish()
+    }
+}
+
+/// The sending half handed to workers (clone freely).
+#[derive(Debug, Clone)]
+pub struct JournalSender {
+    tx: Option<Sender<CampaignEvent>>,
+}
+
+impl JournalSender {
+    /// A sender that drops every event (journaling disabled).
+    pub fn disabled() -> Self {
+        JournalSender { tx: None }
+    }
+
+    /// Emit one event (no-op when journaling is disabled or the drainer
+    /// has already shut down).
+    pub fn emit(&self, event: CampaignEvent) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(event);
+        }
+    }
+}
+
+/// A running journal drainer.
+#[derive(Debug)]
+pub struct Journal {
+    sender: JournalSender,
+    drainer: Option<JoinHandle<std::io::Result<u64>>>,
+}
+
+impl Journal {
+    /// Start a drainer writing JSONL to `sink`.
+    pub fn start(mut sink: Box<dyn Write + Send>) -> Self {
+        let (tx, rx) = channel::<CampaignEvent>();
+        let drainer = std::thread::spawn(move || {
+            let mut seq = 0u64;
+            for event in rx {
+                writeln!(sink, "{}", event.to_json(seq))?;
+                seq += 1;
+            }
+            sink.flush()?;
+            Ok(seq)
+        });
+        Journal {
+            sender: JournalSender { tx: Some(tx) },
+            drainer: Some(drainer),
+        }
+    }
+
+    /// A journal that discards everything (no sink configured).
+    pub fn disabled() -> Self {
+        Journal {
+            sender: JournalSender::disabled(),
+            drainer: None,
+        }
+    }
+
+    /// The sending half for workers.
+    pub fn sender(&self) -> JournalSender {
+        self.sender.clone()
+    }
+
+    /// Drop the sender, wait for the drainer to flush, and return the
+    /// number of lines written (0 when disabled).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the drainer's I/O failure.
+    pub fn finish(mut self) -> std::io::Result<u64> {
+        self.sender = JournalSender::disabled();
+        match self.drainer.take() {
+            Some(handle) => handle
+                .join()
+                .unwrap_or_else(|panic| std::panic::resume_unwind(panic)),
+            None => Ok(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use std::sync::{Arc, Mutex};
+
+    /// A Vec-backed Write shared with the test.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn events_become_sequenced_parseable_jsonl() {
+        let buf = SharedBuf::default();
+        let journal = Journal::start(Box::new(buf.clone()));
+        let sender = journal.sender();
+        sender.emit(CampaignEvent::Started {
+            function: "strcpy".into(),
+        });
+        sender.emit(CampaignEvent::Classified {
+            function: "strcpy".into(),
+            safe: false,
+            calls: 31,
+            retries: 7,
+            fuel_used: 1234,
+            robust: vec!["NTS".into(), "R_ARRAY[44]".into()],
+        });
+        drop(sender);
+        let lines_written = journal.finish().unwrap();
+        assert_eq!(lines_written, 2);
+
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            validate(line).unwrap_or_else(|e| panic!("line {i} invalid: {e}\n{line}"));
+            assert!(line.contains(&format!("\"seq\":{i}")));
+        }
+        assert!(lines[0].contains("\"event\":\"started\""));
+        assert!(lines[1].contains("\"robust\":[\"NTS\",\"R_ARRAY[44]\"]"));
+    }
+
+    #[test]
+    fn disabled_journal_is_a_cheap_noop() {
+        let journal = Journal::disabled();
+        let sender = journal.sender();
+        sender.emit(CampaignEvent::Started {
+            function: "abs".into(),
+        });
+        assert_eq!(journal.finish().unwrap(), 0);
+    }
+}

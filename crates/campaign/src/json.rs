@@ -1,0 +1,297 @@
+//! Hand-rolled JSON emission and validation.
+//!
+//! The journal writes one JSON object per line (JSONL). The workspace
+//! builds offline with no serde, so this module provides the tiny
+//! subset needed: an object builder that escapes strings correctly, and
+//! a validating parser used by tests and by `healers campaign --check`
+//! style tooling to prove emitted lines are well-formed JSON.
+
+/// Escape `s` as the contents of a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental JSON object builder.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape(key));
+        self.buf.push_str("\":");
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&escape(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Add an array-of-strings field.
+    pub fn str_array(mut self, key: &str, values: &[String]) -> Self {
+        self.key(key);
+        self.buf.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push('"');
+            self.buf.push_str(&escape(v));
+            self.buf.push('"');
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Render the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Validate that `text` is one complete JSON value (object, array,
+/// string, number, boolean, or null), returning a description of the
+/// first syntax error. Used to prove journal lines are parseable.
+pub fn validate(text: &str) -> Result<(), String> {
+    let bytes: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    skip_ws(&bytes, &mut pos);
+    value(&bytes, &mut pos)?;
+    skip_ws(&bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at offset {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[char], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], ' ' | '\t' | '\n' | '\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[char], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some('{') => object(b, pos),
+        Some('[') => array(b, pos),
+        Some('"') => string(b, pos),
+        Some('t') => literal(b, pos, "true"),
+        Some('f') => literal(b, pos, "false"),
+        Some('n') => literal(b, pos, "null"),
+        Some(c) if *c == '-' || c.is_ascii_digit() => number(b, pos),
+        Some(c) => Err(format!("unexpected {c:?} at offset {pos}")),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn object(b: &[char], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&':') {
+            return Err(format!("expected ':' at offset {pos}"));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(',') => *pos += 1,
+            Some('}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+        }
+    }
+}
+
+fn array(b: &[char], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(',') => *pos += 1,
+            Some(']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+        }
+    }
+}
+
+fn string(b: &[char], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&'"') {
+        return Err(format!("expected string at offset {pos}"));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            '"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            '\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some('u') => {
+                        for _ in 0..4 {
+                            *pos += 1;
+                            if !b.get(*pos).is_some_and(|c| c.is_ascii_hexdigit()) {
+                                return Err(format!("bad \\u escape at offset {pos}"));
+                            }
+                        }
+                        *pos += 1;
+                    }
+                    Some('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') => *pos += 1,
+                    _ => return Err(format!("bad escape at offset {pos}")),
+                }
+            }
+            c if (c as u32) < 0x20 => {
+                return Err(format!("raw control character at offset {pos}"));
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn number(b: &[char], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&'-') {
+        *pos += 1;
+    }
+    let digits = |pos: &mut usize| {
+        let from = *pos;
+        while b.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        *pos > from
+    };
+    if !digits(pos) {
+        return Err(format!("bad number at offset {start}"));
+    }
+    if b.get(*pos) == Some(&'.') {
+        *pos += 1;
+        if !digits(pos) {
+            return Err(format!("bad fraction at offset {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some('e' | 'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some('+' | '-')) {
+            *pos += 1;
+        }
+        if !digits(pos) {
+            return Err(format!("bad exponent at offset {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn literal(b: &[char], pos: &mut usize, word: &str) -> Result<(), String> {
+    for expect in word.chars() {
+        if b.get(*pos) != Some(&expect) {
+            return Err(format!("bad literal at offset {pos}"));
+        }
+        *pos += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_output_validates() {
+        let line = JsonObject::new()
+            .str("event", "classified")
+            .str("function", "weird \"name\"\n")
+            .u64("calls", 123)
+            .bool("safe", false)
+            .str_array("robust", &["R_ARRAY[44]".to_string(), "NTS".to_string()])
+            .finish();
+        validate(&line).unwrap();
+        assert!(line.contains("\\\"name\\\"\\n"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "{",
+            "{\"a\":}",
+            "[1,",
+            "\"open",
+            "{\"a\":1,}",
+            "tru",
+            "1.2.3",
+        ] {
+            assert!(validate(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn accepts_plain_values() {
+        for good in ["{}", "[]", "0", "-1.5e9", "true", "null", "\"x\""] {
+            validate(good).unwrap_or_else(|e| panic!("{good:?}: {e}"));
+        }
+    }
+}

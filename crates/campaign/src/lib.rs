@@ -1,0 +1,53 @@
+//! Parallel campaign orchestration for whole-library analysis.
+//!
+//! The HEALERS pipeline is embarrassingly parallel at function
+//! granularity: each fault-injection campaign and each Ballista
+//! evaluation batch touches only its own sandboxed worlds. This crate
+//! adds the production harness around that fact:
+//!
+//! - [`scheduler`] — a work-stealing scheduler over `std::thread::scope`
+//!   whose merged output is bit-identical for any worker count;
+//! - [`cache`] — a persistent, content-addressed declaration cache
+//!   keyed by a [`fingerprint`] of everything the injection outcome
+//!   depends on, so re-runs over an unchanged library skip injection
+//!   entirely;
+//! - [`journal`] — a structured [`CampaignEvent`] stream drained to
+//!   JSONL by a dedicated thread;
+//! - [`campaign`] — the orchestrator tying the three together, with
+//!   aggregate [`CampaignMetrics`].
+//!
+//! No external dependencies; the whole crate is std + the sibling
+//! HEALERS crates.
+//!
+//! # Examples
+//!
+//! ```
+//! use healers_campaign::{Campaign, CampaignConfig};
+//! use healers_libc::Libc;
+//!
+//! let campaign = Campaign::new(&CampaignConfig {
+//!     jobs: 4,
+//!     ..CampaignConfig::default()
+//! })
+//! .unwrap();
+//! let libc = Libc::standard();
+//! let (decls, metrics) = campaign.analyze(&libc, &["strcpy", "abs"]).unwrap();
+//! assert_eq!(decls.len(), 2);
+//! assert_eq!(metrics.functions, 2);
+//! campaign.finish().unwrap();
+//! ```
+
+pub mod cache;
+pub mod campaign;
+pub mod fingerprint;
+pub mod journal;
+pub mod json;
+pub mod metrics;
+pub mod scheduler;
+
+pub use cache::{CacheCounters, DeclCache};
+pub use campaign::{Campaign, CampaignConfig};
+pub use fingerprint::{derive_seed, fingerprint, Fingerprint, FORMAT_VERSION};
+pub use journal::{CampaignEvent, Journal, JournalSender};
+pub use metrics::CampaignMetrics;
+pub use scheduler::run_indexed;

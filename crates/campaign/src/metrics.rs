@@ -1,0 +1,61 @@
+//! Aggregate campaign accounting.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Totals across one campaign run, printed at the end and asserted on
+/// by the warm-cache acceptance test (a warm run performs zero injected
+/// calls).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignMetrics {
+    /// Functions processed.
+    pub functions: u64,
+    /// Declarations served from the persistent cache.
+    pub cache_hits: u64,
+    /// Declarations that required a fresh injection campaign.
+    pub cache_misses: u64,
+    /// Sandboxed injected calls performed (0 on a fully warm cache).
+    pub injected_calls: u64,
+    /// Adaptive retries performed.
+    pub adaptive_retries: u64,
+    /// Hang-detection fuel consumed across all injected calls.
+    pub fuel_used: u64,
+    /// Ballista evaluation tests executed (0 in declarations-only mode).
+    pub evaluation_tests: u64,
+    /// Worker threads used.
+    pub jobs: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl CampaignMetrics {
+    /// Fold another function's per-campaign contribution in.
+    pub fn absorb(&mut self, other: &CampaignMetrics) {
+        self.functions += other.functions;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.injected_calls += other.injected_calls;
+        self.adaptive_retries += other.adaptive_retries;
+        self.fuel_used += other.fuel_used;
+        self.evaluation_tests += other.evaluation_tests;
+    }
+}
+
+impl fmt::Display for CampaignMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "campaign: {} functions | cache {} hit / {} miss | {} injected calls | \
+             {} adaptive retries | {} fuel | {} evaluation tests | {} jobs | {:.2}s",
+            self.functions,
+            self.cache_hits,
+            self.cache_misses,
+            self.injected_calls,
+            self.adaptive_retries,
+            self.fuel_used,
+            self.evaluation_tests,
+            self.jobs,
+            self.elapsed.as_secs_f64()
+        )
+    }
+}

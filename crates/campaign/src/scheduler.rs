@@ -1,0 +1,139 @@
+//! The work-stealing scheduler.
+//!
+//! Per-function campaigns are embarrassingly parallel but wildly uneven
+//! — `asctime`'s adaptive campaign runs thousands of calls while `abs`
+//! runs a handful — so static partitioning leaves workers idle. Items
+//! are dealt round-robin into one deque per worker; each worker pops
+//! from the front of its own deque and, when empty, steals from the
+//! *back* of the fullest other deque. Results land in their item's slot,
+//! so the merged output is in item order — bit-identical regardless of
+//! worker count or scheduling, which is what makes `--jobs N` safe for
+//! artifact generation.
+//!
+//! Built on `std::thread::scope` only; no external dependencies.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Run `work(index, &items[index])` for every item, on `jobs` workers,
+/// and return the results in item order.
+///
+/// # Panics
+///
+/// Propagates the first worker panic (remaining items are abandoned).
+pub fn run_indexed<T, R, F>(jobs: usize, items: &[T], work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
+        .map(|w| {
+            Mutex::new(
+                (0..items.len())
+                    .filter(|i| i % jobs == w)
+                    .collect::<VecDeque<usize>>(),
+            )
+        })
+        .collect();
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(jobs);
+        for me in 0..jobs {
+            let queues = &queues;
+            let slots = &slots;
+            let work = &work;
+            handles.push(scope.spawn(move || loop {
+                let Some(index) = next_item(queues, me) else {
+                    return;
+                };
+                let result = work(index, &items[index]);
+                *slots[index].lock().unwrap() = Some(result);
+            }));
+        }
+        for handle in handles {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every queued item produces a result")
+        })
+        .collect()
+}
+
+/// Pop from worker `me`'s own deque, or steal from the back of the
+/// fullest other deque.
+fn next_item(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(index) = queues[me].lock().unwrap().pop_front() {
+        return Some(index);
+    }
+    // Victim choice: the longest queue at scan time. Lengths must be
+    // snapshotted before sorting — other workers drain concurrently, and
+    // a comparator whose key changes mid-sort is an inconsistent total
+    // order (std's sort panics on those). The snapshot is approximate
+    // but enough to spread the tail.
+    let mut victims: Vec<(usize, usize)> = (0..queues.len())
+        .filter(|&w| w != me)
+        .map(|w| (w, queues[w].lock().unwrap().len()))
+        .collect();
+    victims.sort_by_key(|&(_, len)| std::cmp::Reverse(len));
+    for (victim, _) in victims {
+        if let Some(index) = queues[victim].lock().unwrap().pop_back() {
+            return Some(index);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_item_order_for_any_worker_count() {
+        let items: Vec<usize> = (0..100).collect();
+        let serial = run_indexed(1, &items, |i, &v| (i, v * v));
+        for jobs in [2, 3, 8, 64] {
+            let parallel = run_indexed(jobs, &items, |i, &v| (i, v * v));
+            assert_eq!(serial, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..257).collect();
+        run_indexed(7, &items, |_, &v| {
+            counters[v].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn uneven_items_complete_with_stealing() {
+        // Front-load one queue with the slow items; stealing must drain it.
+        let items: Vec<u64> = (0..32).map(|i| if i % 8 == 0 { 3 } else { 0 }).collect();
+        let out = run_indexed(8, &items, |_, &ms| {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            ms
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn empty_and_single_item_edge_cases() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(run_indexed(4, &empty, |_, &v| v).is_empty());
+        assert_eq!(run_indexed(4, &[9u8], |_, &v| v), vec![9]);
+    }
+}

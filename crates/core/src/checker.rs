@@ -338,8 +338,20 @@ mod tests {
         tables.heap_blocks.insert(a, 16);
 
         // 16 bytes at a: fine. 17 bytes: stateful check rejects…
-        assert!(check_value(&world, &tables, &caps(), SimValue::Ptr(a), TypeExpr::RwArray(16)));
-        assert!(!check_value(&world, &tables, &caps(), SimValue::Ptr(a), TypeExpr::RwArray(17)));
+        assert!(check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Ptr(a),
+            TypeExpr::RwArray(16)
+        ));
+        assert!(!check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Ptr(a),
+            TypeExpr::RwArray(17)
+        ));
 
         // …while the stateless configuration misses the overflow (the
         // page is accessible throughout) — the §8 comparison.
@@ -347,7 +359,13 @@ mod tests {
             stateful_heap: false,
             ..caps()
         };
-        assert!(check_value(&world, &tables, &stateless, SimValue::Ptr(a), TypeExpr::RwArray(17)));
+        assert!(check_value(
+            &world,
+            &tables,
+            &stateless,
+            SimValue::Ptr(a),
+            TypeExpr::RwArray(17)
+        ));
     }
 
     #[test]
@@ -361,9 +379,21 @@ mod tests {
             SimValue::Ptr(0xdead_0000),
             TypeExpr::RArray(4)
         ));
-        assert!(!check_value(&world, &tables, &caps(), SimValue::NULL, TypeExpr::RArray(4)));
+        assert!(!check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::NULL,
+            TypeExpr::RArray(4)
+        ));
         // NULL is fine for the _NULL variants.
-        assert!(check_value(&world, &tables, &caps(), SimValue::NULL, TypeExpr::RArrayNull(4)));
+        assert!(check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::NULL,
+            TypeExpr::RArrayNull(4)
+        ));
     }
 
     #[test]
@@ -378,8 +408,20 @@ mod tests {
             dir_tracking: false,
             file_tracking: false,
         };
-        assert!(check_value(&world, &tables, &stateless, SimValue::Ptr(p), TypeExpr::RwArray(8000)));
-        assert!(!check_value(&world, &tables, &stateless, SimValue::Ptr(p), TypeExpr::RwArray(8001)));
+        assert!(check_value(
+            &world,
+            &tables,
+            &stateless,
+            SimValue::Ptr(p),
+            TypeExpr::RwArray(8000)
+        ));
+        assert!(!check_value(
+            &world,
+            &tables,
+            &stateless,
+            SimValue::Ptr(p),
+            TypeExpr::RwArray(8001)
+        ));
     }
 
     #[test]
@@ -387,7 +429,13 @@ mod tests {
         let mut world = World::new();
         let p = world.proc.stack_alloc(64);
         let tables = Tables::default();
-        assert!(check_value(&world, &tables, &caps(), SimValue::Ptr(p), TypeExpr::WArray(64)));
+        assert!(check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Ptr(p),
+            TypeExpr::WArray(64)
+        ));
         // A size reaching past the stack top is rejected.
         assert!(!check_value(
             &world,
@@ -409,14 +457,42 @@ mod tests {
         file::init_file_object(&mut world.proc, stream, fd, file::F_READ).unwrap();
         let tables = Tables::default();
 
-        assert!(check_value(&world, &tables, &caps(), SimValue::Ptr(stream), TypeExpr::OpenFile));
-        assert!(check_value(&world, &tables, &caps(), SimValue::Ptr(stream), TypeExpr::RFile));
+        assert!(check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Ptr(stream),
+            TypeExpr::OpenFile
+        ));
+        assert!(check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Ptr(stream),
+            TypeExpr::RFile
+        ));
         // Read-only stream fails the writable-file check.
-        assert!(!check_value(&world, &tables, &caps(), SimValue::Ptr(stream), TypeExpr::WFile));
+        assert!(!check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Ptr(stream),
+            TypeExpr::WFile
+        ));
 
         // Garbage fd: rejected.
-        world.proc.mem.write_i32(stream + file::OFF_FILENO, -555).unwrap();
-        assert!(!check_value(&world, &tables, &caps(), SimValue::Ptr(stream), TypeExpr::OpenFile));
+        world
+            .proc
+            .mem
+            .write_i32(stream + file::OFF_FILENO, -555)
+            .unwrap();
+        assert!(!check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Ptr(stream),
+            TypeExpr::OpenFile
+        ));
     }
 
     #[test]
@@ -434,10 +510,22 @@ mod tests {
             ..caps()
         };
         // Valid-looking but untracked: rejected under tracking.
-        assert!(!check_value(&world, &tables, &tracking, SimValue::Ptr(stream), TypeExpr::OpenFile));
+        assert!(!check_value(
+            &world,
+            &tables,
+            &tracking,
+            SimValue::Ptr(stream),
+            TypeExpr::OpenFile
+        ));
         let mut tracked = tables.clone();
         tracked.open_files.insert(stream);
-        assert!(check_value(&world, &tracked, &tracking, SimValue::Ptr(stream), TypeExpr::OpenFile));
+        assert!(check_value(
+            &world,
+            &tracked,
+            &tracking,
+            SimValue::Ptr(stream),
+            TypeExpr::OpenFile
+        ));
     }
 
     #[test]
@@ -454,7 +542,10 @@ mod tests {
             checkable_supertype(TypeExpr::OpenDir, &caps()),
             TypeExpr::RwArray(32)
         );
-        assert_eq!(checkable_supertype(TypeExpr::OpenDir, &caps_with), TypeExpr::OpenDir);
+        assert_eq!(
+            checkable_supertype(TypeExpr::OpenDir, &caps_with),
+            TypeExpr::OpenDir
+        );
 
         // A structurally sound tracked DIR passes; an untracked one and
         // a tracked-but-corrupted one do not.
@@ -468,15 +559,33 @@ mod tests {
             .unwrap();
         let mut tables = Tables::default();
         tables.open_dirs.insert(dirp);
-        assert!(check_value(&world, &tables, &caps_with, SimValue::Ptr(dirp), TypeExpr::OpenDir));
-        assert!(!check_value(&world, &tables, &caps_with, SimValue::Ptr(dirp + 4), TypeExpr::OpenDir));
+        assert!(check_value(
+            &world,
+            &tables,
+            &caps_with,
+            SimValue::Ptr(dirp),
+            TypeExpr::OpenDir
+        ));
+        assert!(!check_value(
+            &world,
+            &tables,
+            &caps_with,
+            SimValue::Ptr(dirp + 4),
+            TypeExpr::OpenDir
+        ));
         // Corrupt the buffer pointer: the integrity probe rejects it.
         world
             .proc
             .mem
             .write_u32(dirp + healers_libc::dirent::OFF_BUF, 0xdead_0000)
             .unwrap();
-        assert!(!check_value(&world, &tables, &caps_with, SimValue::Ptr(dirp), TypeExpr::OpenDir));
+        assert!(!check_value(
+            &world,
+            &tables,
+            &caps_with,
+            SimValue::Ptr(dirp),
+            TypeExpr::OpenDir
+        ));
     }
 
     #[test]
@@ -484,33 +593,117 @@ mod tests {
         let mut world = World::new();
         let s = world.alloc_cstr("hello");
         let tables = Tables::default();
-        assert!(check_value(&world, &tables, &caps(), SimValue::Ptr(s), TypeExpr::Nts));
-        assert!(check_value(&world, &tables, &caps(), SimValue::Ptr(s), TypeExpr::NtsMax(5)));
-        assert!(!check_value(&world, &tables, &caps(), SimValue::Ptr(s), TypeExpr::NtsMax(4)));
-        assert!(!check_value(&world, &tables, &caps(), SimValue::NULL, TypeExpr::Nts));
-        assert!(check_value(&world, &tables, &caps(), SimValue::NULL, TypeExpr::NtsNull));
+        assert!(check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Ptr(s),
+            TypeExpr::Nts
+        ));
+        assert!(check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Ptr(s),
+            TypeExpr::NtsMax(5)
+        ));
+        assert!(!check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Ptr(s),
+            TypeExpr::NtsMax(4)
+        ));
+        assert!(!check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::NULL,
+            TypeExpr::Nts
+        ));
+        assert!(check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::NULL,
+            TypeExpr::NtsNull
+        ));
 
         let mode = world.alloc_cstr("r+");
-        assert!(check_value(&world, &tables, &caps(), SimValue::Ptr(mode), TypeExpr::ModeValid));
+        assert!(check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Ptr(mode),
+            TypeExpr::ModeValid
+        ));
         let bad = world.alloc_cstr("q");
-        assert!(!check_value(&world, &tables, &caps(), SimValue::Ptr(bad), TypeExpr::ModeValid));
-        assert!(check_value(&world, &tables, &caps(), SimValue::Ptr(bad), TypeExpr::ModeShort));
+        assert!(!check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Ptr(bad),
+            TypeExpr::ModeValid
+        ));
+        assert!(check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Ptr(bad),
+            TypeExpr::ModeShort
+        ));
     }
 
     #[test]
     fn scalar_and_fd_checks() {
         let mut world = World::new();
         let tables = Tables::default();
-        assert!(check_value(&world, &tables, &caps(), SimValue::Int(5), TypeExpr::IntNonNeg));
-        assert!(!check_value(&world, &tables, &caps(), SimValue::Int(-5), TypeExpr::IntNonNeg));
-        assert!(check_value(&world, &tables, &caps(), SimValue::Int(0), TypeExpr::FdOpen));
-        assert!(!check_value(&world, &tables, &caps(), SimValue::Int(99), TypeExpr::FdOpen));
+        assert!(check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Int(5),
+            TypeExpr::IntNonNeg
+        ));
+        assert!(!check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Int(-5),
+            TypeExpr::IntNonNeg
+        ));
+        assert!(check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Int(0),
+            TypeExpr::FdOpen
+        ));
+        assert!(!check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Int(99),
+            TypeExpr::FdOpen
+        ));
         let fd = world
             .kernel
             .open("/etc/passwd", OpenFlags::read_only(), 0)
             .unwrap();
-        assert!(check_value(&world, &tables, &caps(), SimValue::Int(i64::from(fd)), TypeExpr::FdReadable));
-        assert!(!check_value(&world, &tables, &caps(), SimValue::Int(i64::from(fd)), TypeExpr::FdWritable));
+        assert!(check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Int(i64::from(fd)),
+            TypeExpr::FdReadable
+        ));
+        assert!(!check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Int(i64::from(fd)),
+            TypeExpr::FdWritable
+        ));
         assert!(check_value(
             &world,
             &tables,
@@ -518,7 +711,13 @@ mod tests {
             SimValue::Int(i64::from(healers_os::B9600)),
             TypeExpr::SpeedValid
         ));
-        assert!(!check_value(&world, &tables, &caps(), SimValue::Int(31337), TypeExpr::SpeedValid));
+        assert!(!check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Int(31337),
+            TypeExpr::SpeedValid
+        ));
     }
 
     #[test]

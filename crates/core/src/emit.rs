@@ -72,7 +72,9 @@ pub fn emit_function(decl: &FunctionDecl) -> Option<String> {
         .enumerate()
         .map(|(i, p)| p.ty.display_with(&format!("a{}", i + 1)))
         .collect();
-    let args: Vec<String> = (1..=decl.proto.params.len()).map(|i| format!("a{i}")).collect();
+    let args: Vec<String> = (1..=decl.proto.params.len())
+        .map(|i| format!("a{i}"))
+        .collect();
     let params_text = if params.is_empty() {
         "void".to_string()
     } else {
@@ -87,9 +89,15 @@ pub fn emit_function(decl: &FunctionDecl) -> Option<String> {
     }
     out.push_str("    if (in_flag) {\n");
     if is_void {
-        out.push_str(&format!("        (*libc_{}) ({args_text});\n        return;\n", decl.name));
+        out.push_str(&format!(
+            "        (*libc_{}) ({args_text});\n        return;\n",
+            decl.name
+        ));
     } else {
-        out.push_str(&format!("        return (*libc_{}) ({args_text});\n", decl.name));
+        out.push_str(&format!(
+            "        return (*libc_{}) ({args_text});\n",
+            decl.name
+        ));
     }
     out.push_str("    }\n");
     out.push_str("    in_flag = 1 ;\n");
@@ -98,7 +106,10 @@ pub fn emit_function(decl: &FunctionDecl) -> Option<String> {
         let Some(t) = robust else { continue };
         let arg = format!("a{}", i + 1);
         out.push_str(&format!("    if (!{}) {{\n", check_call(*t, &arg)));
-        out.push_str(&format!("        errno = {} ;\n", errno_token(decl.errno_value)));
+        out.push_str(&format!(
+            "        errno = {} ;\n",
+            errno_token(decl.errno_value)
+        ));
         if let Some(v) = decl.error_value {
             let text = match v {
                 healers_simproc::SimValue::Ptr(0) => format!("({ret_type}) NULL"),
@@ -176,16 +187,18 @@ pub fn emit_wrapper_source(decls: &[FunctionDecl]) -> String {
 
     for d in decls.iter().filter(|d| d.is_unsafe()) {
         let ret = d.proto.ret.display_with("");
-        let params: Vec<String> = d.proto.params.iter().map(|p| p.ty.display_with("")).collect();
+        let params: Vec<String> = d
+            .proto
+            .params
+            .iter()
+            .map(|p| p.ty.display_with(""))
+            .collect();
         let params = if params.is_empty() {
             "void".to_string()
         } else {
             params.join(", ")
         };
-        out.push_str(&format!(
-            "static {ret} (*libc_{})({params});\n",
-            d.name
-        ));
+        out.push_str(&format!("static {ret} (*libc_{})({params});\n", d.name));
     }
     out.push_str("\nstatic void __attribute__((constructor)) healers_resolve(void)\n{\n");
     for d in decls.iter().filter(|d| d.is_unsafe()) {

@@ -80,7 +80,12 @@ pub fn builtin_assertions() -> Vec<SizeAssertion> {
 
     // String-copy family: the destination must hold the source (+ NUL).
     add("strcpy", 0, vec![StrlenArg(1), Const(1)], true);
-    add("strcat", 0, vec![StrlenArg(0), StrlenArg(1), Const(1)], true);
+    add(
+        "strcat",
+        0,
+        vec![StrlenArg(0), StrlenArg(1), Const(1)],
+        true,
+    );
     add("strncpy", 0, vec![Arg(2)], true);
     add("strncat", 0, vec![StrlenArg(0), Arg(2), Const(1)], true);
     add("strxfrm", 0, vec![Arg(2)], true);
@@ -156,13 +161,18 @@ mod tests {
     fn builtin_assertions_cover_the_copy_functions() {
         let a = builtin_assertions();
         let names: Vec<&str> = a.iter().map(|x| x.function.as_str()).collect();
-        for f in ["strcpy", "strcat", "fread", "fwrite", "memcpy", "gets", "read"] {
+        for f in [
+            "strcpy", "strcat", "fread", "fwrite", "memcpy", "gets", "read",
+        ] {
             assert!(names.contains(&f), "missing builtin assertion for {f}");
         }
         let strcpy = a.iter().find(|x| x.function == "strcpy").unwrap();
         assert!(strcpy.write);
         assert_eq!(strcpy.buf_arg, 0);
-        assert_eq!(strcpy.terms, vec![SizeTerm::StrlenArg(1), SizeTerm::Const(1)]);
+        assert_eq!(
+            strcpy.terms,
+            vec![SizeTerm::StrlenArg(1), SizeTerm::Const(1)]
+        );
     }
 
     #[test]

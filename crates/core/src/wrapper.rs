@@ -17,9 +17,7 @@ use healers_libc::{file, Libc, World};
 use healers_simproc::{SimFault, SimValue};
 use healers_typesys::TypeExpr;
 
-use crate::checker::{
-    check_value, checkable_supertype, CheckCapabilities, Tables,
-};
+use crate::checker::{check_value, checkable_supertype, CheckCapabilities, Tables};
 use crate::decl::FunctionDecl;
 use crate::overrides::{ManualOverride, SizeAssertion, SizeTerm};
 
@@ -90,9 +88,11 @@ impl WrapperConfig {
             file_tracking: true,
             ..WrapperConfig::full_auto()
         };
-        config
-            .assertions
-            .extend(overrides.values().flat_map(|o| o.assertions.iter().cloned()));
+        config.assertions.extend(
+            overrides
+                .values()
+                .flat_map(|o| o.assertions.iter().cloned()),
+        );
         config
     }
 
@@ -214,9 +214,8 @@ impl RobustnessWrapper {
                         if covered_by_assertion {
                             return None;
                         }
-                        r.map(|t| checkable_supertype(t, &caps)).filter(|t| {
-                            !matches!(t, TypeExpr::Unconstrained | TypeExpr::IntAny)
-                        })
+                        r.map(|t| checkable_supertype(t, &caps))
+                            .filter(|t| !matches!(t, TypeExpr::Unconstrained | TypeExpr::IntAny))
                     })
                     .collect();
                 plans.insert(decl.name.clone(), plan);
@@ -225,7 +224,10 @@ impl RobustnessWrapper {
         }
         let mut assertions: BTreeMap<String, Vec<SizeAssertion>> = BTreeMap::new();
         for a in &config.assertions {
-            assertions.entry(a.function.clone()).or_default().push(a.clone());
+            assertions
+                .entry(a.function.clone())
+                .or_default()
+                .push(a.clone());
         }
         RobustnessWrapper {
             decls: decl_map,
@@ -526,7 +528,12 @@ impl RobustnessWrapper {
                 // length + 1.
                 let mut len = 0u32;
                 while len < crate::checker::MAX_STRING_SCAN
-                    && world.proc.mem.read_u8(returned_ptr + len).map(|b| b != 0).unwrap_or(false)
+                    && world
+                        .proc
+                        .mem
+                        .read_u8(returned_ptr + len)
+                        .map(|b| b != 0)
+                        .unwrap_or(false)
                 {
                     len += 1;
                 }
@@ -537,7 +544,9 @@ impl RobustnessWrapper {
             }
             "fopen" | "fdopen" | "tmpfile" | "freopen" if returned_ptr != 0 => {
                 self.tables.open_files.insert(returned_ptr);
-                self.tables.heap_blocks.insert(returned_ptr, file::FILE_SIZE);
+                self.tables
+                    .heap_blocks
+                    .insert(returned_ptr, file::FILE_SIZE);
             }
             "fclose" => {
                 let p = args[0].as_ptr();
@@ -600,7 +609,9 @@ mod tests {
         assert_ne!(r, SimValue::NULL);
         // NULL is in the robust type: passes through (and the library
         // itself handles it).
-        let r = w.call(&libc, &mut world, "asctime", &[SimValue::NULL]).unwrap();
+        let r = w
+            .call(&libc, &mut world, "asctime", &[SimValue::NULL])
+            .unwrap();
         assert_eq!(r, SimValue::NULL);
         assert_eq!(w.stats.violations, 1);
     }
@@ -715,15 +726,18 @@ mod tests {
 
     #[test]
     fn fread_assertion_relates_buffer_and_counts() {
-        let (libc, mut w, mut world) = build(
-            &["fopen", "fread", "malloc"],
-            WrapperConfig::semi_auto(),
-        );
+        let (libc, mut w, mut world) =
+            build(&["fopen", "fread", "malloc"], WrapperConfig::semi_auto());
         world.kernel.write_file("/tmp/data", &[7u8; 256]).unwrap();
         let path = world.alloc_cstr("/tmp/data");
         let mode = world.alloc_cstr("r");
         let stream = w
-            .call(&libc, &mut world, "fopen", &[SimValue::Ptr(path), SimValue::Ptr(mode)])
+            .call(
+                &libc,
+                &mut world,
+                "fopen",
+                &[SimValue::Ptr(path), SimValue::Ptr(mode)],
+            )
             .unwrap();
         assert_ne!(stream, SimValue::NULL);
 
@@ -772,11 +786,18 @@ mod tests {
         };
         let (libc, mut w, mut world) = build(&["strcpy", "strlen"], config);
         // strlen is not wrapped: NULL crashes.
-        assert!(w.call(&libc, &mut world, "strlen", &[SimValue::NULL]).is_err());
+        assert!(w
+            .call(&libc, &mut world, "strlen", &[SimValue::NULL])
+            .is_err());
         // strcpy is wrapped: NULL dst is caught.
         let src = world.alloc_cstr("x");
         let r = w
-            .call(&libc, &mut world, "strcpy", &[SimValue::NULL, SimValue::Ptr(src)])
+            .call(
+                &libc,
+                &mut world,
+                "strcpy",
+                &[SimValue::NULL, SimValue::Ptr(src)],
+            )
             .unwrap();
         assert_eq!(r, SimValue::NULL);
     }
@@ -812,7 +833,11 @@ mod tests {
             let r = w.call(&libc, &mut world, "strlen", &[s]).unwrap();
             assert_eq!(r, SimValue::Int(6));
         }
-        assert!(w.stats.check_cache_hits >= 4, "hits {}", w.stats.check_cache_hits);
+        assert!(
+            w.stats.check_cache_hits >= 4,
+            "hits {}",
+            w.stats.check_cache_hits
+        );
         // A free invalidates the cache: the stale pointer is re-checked
         // and, since the block is gone from the table... the stateless
         // probe may still see accessible packed memory, so use the
@@ -836,7 +861,8 @@ mod tests {
         let (libc, mut w, mut world) = build(&["strlen"], config);
         let s = world.alloc_cstr("measure me");
         for _ in 0..100 {
-            w.call(&libc, &mut world, "strlen", &[SimValue::Ptr(s)]).unwrap();
+            w.call(&libc, &mut world, "strlen", &[SimValue::Ptr(s)])
+                .unwrap();
         }
         assert_eq!(w.stats.wrapped_calls, 100);
         assert!(w.stats.time_in_library > Duration::ZERO);

@@ -118,7 +118,7 @@ impl CorpusConfig {
         let mut symbols = Vec::new();
         let mut addr = 0x0001_0000u32;
         let mut next_addr = |rng: &mut StdRng| {
-            addr += rng.random_range(0x40..0x400) & !0xf;
+            addr += rng.random_range(0x40u32..0x400) & !0xf;
             addr
         };
 
@@ -206,7 +206,12 @@ impl CorpusConfig {
                         .unwrap();
                     ManPage::render(&name, &[wrong], &proto_text, "is an internal-ish helper")
                 } else {
-                    ManPage::render(&name, &[declared_in], &proto_text, "is an internal-ish helper")
+                    ManPage::render(
+                        &name,
+                        &[declared_in],
+                        &proto_text,
+                        "is an internal-ish helper",
+                    )
                 };
                 manpages.install(page);
             }
@@ -217,8 +222,8 @@ impl CorpusConfig {
         let internals_needed = (self.internal_fraction / (1.0 - self.internal_fraction)
             * externals as f64)
             .round() as usize;
-        for (i, base) in (0..internals_needed)
-            .zip(healers_libc::decls::INTERNAL_SYMBOLS.iter().cycle())
+        for (i, base) in
+            (0..internals_needed).zip(healers_libc::decls::INTERNAL_SYMBOLS.iter().cycle())
         {
             let name = if i < healers_libc::decls::INTERNAL_SYMBOLS.len() {
                 (*base).to_string()

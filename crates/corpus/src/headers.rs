@@ -50,10 +50,7 @@ impl HeaderCorpus {
         for line in text.lines() {
             let line = line.trim();
             if let Some(rest) = line.strip_prefix("#include") {
-                let name: String = rest
-                    .trim()
-                    .trim_matches(['<', '>', '"'])
-                    .to_string();
+                let name: String = rest.trim().trim_matches(['<', '>', '"']).to_string();
                 if self.files.contains_key(&name) {
                     self.collect(&name, protos, visited, depth + 1);
                 }

@@ -131,7 +131,12 @@ mod tests {
 
     #[test]
     fn synopsis_parsing_stops_at_next_section() {
-        let page = ManPage::render("x", &["a.h"], "int x(void);", "mentions #include <fake.h> in prose");
+        let page = ManPage::render(
+            "x",
+            &["a.h"],
+            "int x(void);",
+            "mentions #include <fake.h> in prose",
+        );
         // The DESCRIPTION mention must not be picked up.
         assert_eq!(page.synopsis_headers(), vec!["a.h"]);
     }
@@ -140,7 +145,12 @@ mod tests {
     fn corpus_lookup() {
         let mut c = ManCorpus::default();
         assert!(c.page("strcpy").is_none());
-        c.install(ManPage::render("strcpy", &["string.h"], "char *strcpy(char *, const char *);", "copies strings"));
+        c.install(ManPage::render(
+            "strcpy",
+            &["string.h"],
+            "char *strcpy(char *, const char *);",
+            "copies strings",
+        ));
         assert!(c.page("strcpy").is_some());
     }
 }

@@ -57,10 +57,7 @@ impl SymbolTable {
         for s in &self.symbols {
             out.push_str(&format!(
                 "{:08x} g    DF .text\t{:08x}  {}\t{}\n",
-                s.address,
-                64,
-                s.version,
-                s.name
+                s.address, 64, s.version, s.name
             ));
         }
         out
@@ -103,7 +100,9 @@ impl AppImports {
     pub fn render(&self) -> String {
         let mut out = String::from("DYNAMIC SYMBOL TABLE:\n");
         for name in &self.names {
-            out.push_str(&format!("00000000      DF *UND*\t00000000  GLIBC_2.2\t{name}\n"));
+            out.push_str(&format!(
+                "00000000      DF *UND*\t00000000  GLIBC_2.2\t{name}\n"
+            ));
         }
         out
     }
@@ -127,7 +126,7 @@ impl AppImports {
         library
             .symbols
             .iter()
-            .filter(|s| self.names.iter().any(|n| *n == s.name))
+            .filter(|s| self.names.contains(&s.name))
             .collect()
     }
 }
@@ -197,7 +196,11 @@ mod tests {
         };
         // Round-trip through the tool-output format.
         let app = AppImports::parse(&app.render());
-        let wrap: Vec<&str> = app.wrap_set(&library).iter().map(|s| s.name.as_str()).collect();
+        let wrap: Vec<&str> = app
+            .wrap_set(&library)
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
         // The wrap set covers the macro-aliased internal function the
         // underscore heuristic would have skipped…
         assert_eq!(wrap, vec!["strcpy", "_IO_fflush"]);

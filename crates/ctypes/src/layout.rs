@@ -38,7 +38,10 @@ pub struct StructLayout {
 impl StructLayout {
     /// Look up a field's byte offset by name.
     pub fn offset_of(&self, field: &str) -> Option<u32> {
-        self.fields.iter().find(|f| f.name == field).map(|f| f.offset)
+        self.fields
+            .iter()
+            .find(|f| f.name == field)
+            .map(|f| f.offset)
     }
 }
 

@@ -108,7 +108,8 @@ impl<'a> Lexer<'a> {
                 b'0'..=b'9' => {
                     let start = self.pos;
                     while self.pos < self.src.len()
-                        && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'x')
+                        && (self.src[self.pos].is_ascii_alphanumeric()
+                            || self.src[self.pos] == b'x')
                     {
                         self.pos += 1;
                     }
@@ -116,14 +117,17 @@ impl<'a> Lexer<'a> {
                     let value = if let Some(hex) = text.strip_prefix("0x") {
                         i64::from_str_radix(hex, 16).unwrap_or(0)
                     } else {
-                        text.trim_end_matches(['u', 'U', 'l', 'L']).parse().unwrap_or(0)
+                        text.trim_end_matches(['u', 'U', 'l', 'L'])
+                            .parse()
+                            .unwrap_or(0)
                     };
                     out.push((Tok::Number(value), start));
                 }
                 b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                     let start = self.pos;
                     while self.pos < self.src.len()
-                        && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+                        && (self.src[self.pos].is_ascii_alphanumeric()
+                            || self.src[self.pos] == b'_')
                     {
                         self.pos += 1;
                     }
@@ -175,8 +179,9 @@ fn resolve_typedef(name: &str) -> Option<CType> {
         "uint64_t" => CType::Primitive(Primitive::ULongLong),
         // Opaque library typedefs stay opaque (the injector keys
         // specialized generators off these names).
-        "FILE" | "DIR" | "va_list" | "fpos_t" | "div_t" | "ldiv_t" | "sigjmp_buf"
-        | "jmp_buf" => CType::Named(name.to_string()),
+        "FILE" | "DIR" | "va_list" | "fpos_t" | "div_t" | "ldiv_t" | "sigjmp_buf" | "jmp_buf" => {
+            CType::Named(name.to_string())
+        }
         _ => return None,
     };
     Some(t)
@@ -199,7 +204,10 @@ fn is_qualifier(word: &str) -> bool {
 }
 
 fn is_storage_class(word: &str) -> bool {
-    matches!(word, "extern" | "static" | "register" | "auto" | "__extension__")
+    matches!(
+        word,
+        "extern" | "static" | "register" | "auto" | "__extension__"
+    )
 }
 
 fn is_attribute_intro(word: &str) -> bool {
@@ -318,7 +326,9 @@ impl Parser {
 
         loop {
             self.skip_attributes();
-            let Some(tok) = self.peek().cloned() else { break };
+            let Some(tok) = self.peek().cloned() else {
+                break;
+            };
             match tok {
                 Tok::Ident(word) => {
                     if is_storage_class(&word) {
@@ -408,7 +418,11 @@ impl Parser {
     /// Parse a declarator: pointers, a name, function params, arrays.
     /// Returns (name, type). Supports one level of parenthesized
     /// function-pointer declarators.
-    fn parse_declarator(&mut self, base: CType, base_const: bool) -> Result<(Option<String>, CType), ParseError> {
+    fn parse_declarator(
+        &mut self,
+        base: CType,
+        base_const: bool,
+    ) -> Result<(Option<String>, CType), ParseError> {
         // Pointer levels. The first level consumes base_const into its
         // pointee constness.
         let mut ty = base;
@@ -575,7 +589,9 @@ fn primitive_from_words(words: &[String]) -> Option<CType> {
         (Some("char"), 0, false, false) => Primitive::Char,
         (Some("char"), 0, false, true) => Primitive::SChar,
         (Some("char"), 0, true, false) => Primitive::UChar,
-        (Some("short"), 0, u, _) | (Some("int"), 0, u, _) if base == Some("short") || words.iter().any(|w| w == "short") => {
+        (Some("short"), 0, u, _) | (Some("int"), 0, u, _)
+            if base == Some("short") || words.iter().any(|w| w == "short") =>
+        {
             if u {
                 Primitive::UShort
             } else {
@@ -705,8 +721,9 @@ mod tests {
 
     #[test]
     fn parses_typedefs() {
-        let p = parse_prototype("extern size_t fread(void *ptr, size_t size, size_t n, FILE *stream);")
-            .unwrap();
+        let p =
+            parse_prototype("extern size_t fread(void *ptr, size_t size, size_t n, FILE *stream);")
+                .unwrap();
         assert_eq!(p.name, "fread");
         assert_eq!(p.ret, CType::Primitive(Primitive::UInt));
         assert_eq!(p.params[3].ty, CType::ptr(CType::Named("FILE".into())));
@@ -714,7 +731,10 @@ mod tests {
 
     #[test]
     fn parses_variadic() {
-        let p = parse_prototype("extern int fprintf(FILE *__restrict __stream, const char *__restrict __format, ...);").unwrap();
+        let p = parse_prototype(
+            "extern int fprintf(FILE *__restrict __stream, const char *__restrict __format, ...);",
+        )
+        .unwrap();
         assert!(p.variadic);
         assert_eq!(p.params.len(), 2);
     }
@@ -800,7 +820,10 @@ mod tests {
 
     #[test]
     fn unsigned_long_long_combo() {
-        let p = parse_prototype("extern unsigned long long strtoull(const char *nptr, char **endptr, int base);").unwrap();
+        let p = parse_prototype(
+            "extern unsigned long long strtoull(const char *nptr, char **endptr, int base);",
+        )
+        .unwrap();
         assert_eq!(p.ret, CType::Primitive(Primitive::ULongLong));
     }
 
@@ -826,10 +849,8 @@ mod tests {
 
     #[test]
     fn double_pointer_param() {
-        let p = parse_prototype("extern long strtol(const char *nptr, char **endptr, int base);").unwrap();
-        assert_eq!(
-            p.params[1].ty,
-            CType::ptr(CType::ptr(CType::char_()))
-        );
+        let p = parse_prototype("extern long strtol(const char *nptr, char **endptr, int base);")
+            .unwrap();
+        assert_eq!(p.params[1].ty, CType::ptr(CType::ptr(CType::char_())));
     }
 }

@@ -80,13 +80,7 @@ impl fmt::Display for FunctionPrototype {
         } else {
             params.join(", ")
         };
-        write!(
-            f,
-            "{} {}({})",
-            self.ret.display_with(""),
-            self.name,
-            params
-        )
+        write!(f, "{} {}({})", self.ret.display_with(""), self.name, params)
     }
 }
 

@@ -54,7 +54,10 @@ pub struct CallRecord {
 /// Classify a sandboxed call result into the robustness outcome scale.
 /// The child's `errno` was zeroed before the call, so a non-zero value
 /// means the callee set it.
-pub fn classify_child_result(result: &ChildResult, child: &World) -> (Outcome, Option<SimValue>, i32) {
+pub fn classify_child_result(
+    result: &ChildResult,
+    child: &World,
+) -> (Outcome, Option<SimValue>, i32) {
     match result {
         ChildResult::Returned(v) => {
             let errno = child.proc.errno();
@@ -86,16 +89,14 @@ mod tests {
     #[test]
     fn classification() {
         let w = World::new();
-        let (o, v, e) =
-            classify_child_result(&ChildResult::Returned(SimValue::Int(0)), &w);
+        let (o, v, e) = classify_child_result(&ChildResult::Returned(SimValue::Int(0)), &w);
         assert_eq!(o, Outcome::Success);
         assert_eq!(v, Some(SimValue::Int(0)));
         assert_eq!(e, 0);
 
         let mut we = World::new();
         we.proc.set_errno(22);
-        let (o, _, e) =
-            classify_child_result(&ChildResult::Returned(SimValue::Int(-1)), &we);
+        let (o, _, e) = classify_child_result(&ChildResult::Returned(SimValue::Int(-1)), &we);
         assert_eq!(o, Outcome::ErrorReturn);
         assert_eq!(e, 22);
 
@@ -109,14 +110,11 @@ mod tests {
         assert_eq!(o, Outcome::Crash);
         assert_eq!(v, None);
 
-        let (o, _, _) =
-            classify_child_result(&ChildResult::Faulted(SimFault::FuelExhausted), &w);
+        let (o, _, _) = classify_child_result(&ChildResult::Faulted(SimFault::FuelExhausted), &w);
         assert_eq!(o, Outcome::Hang);
 
         let (o, _, _) = classify_child_result(
-            &ChildResult::Faulted(SimFault::Abort {
-                reason: "x".into(),
-            }),
+            &ChildResult::Faulted(SimFault::Abort { reason: "x".into() }),
             &w,
         );
         assert_eq!(o, Outcome::Abort);

@@ -189,12 +189,7 @@ impl TestCaseGenerator for ArrayGen {
         }
     }
 
-    fn adjust(
-        &mut self,
-        world: &mut World,
-        case: &TestCase,
-        fault_addr: Addr,
-    ) -> Option<TestCase> {
+    fn adjust(&mut self, world: &mut World, case: &TestCase, fault_addr: Addr) -> Option<TestCase> {
         if !self.adaptive_active {
             return None;
         }
@@ -366,7 +361,11 @@ impl TestCaseGenerator for FileGen {
                 "corrupted stream (scribbled buffer pointer)",
             ),
             TestCase::new(SimValue::NULL, TypeExpr::Null, "null stream"),
-            TestCase::new(SimValue::Ptr(INVALID_PTR), TypeExpr::Invalid, "invalid stream"),
+            TestCase::new(
+                SimValue::Ptr(INVALID_PTR),
+                TypeExpr::Invalid,
+                "invalid stream",
+            ),
         ]
     }
 
@@ -418,7 +417,11 @@ impl DirGen {
         let buf = world.proc.heap_alloc(dirent::DIRENT_SIZE).expect("heap");
         world.proc.mem.write_i32(dirp + dirent::OFF_FD, fd).unwrap();
         world.proc.mem.write_i32(dirp + dirent::OFF_LOC, 0).unwrap();
-        world.proc.mem.write_u32(dirp + dirent::OFF_BUF, buf).unwrap();
+        world
+            .proc
+            .mem
+            .write_u32(dirp + dirent::OFF_BUF, buf)
+            .unwrap();
         dirp
     }
 }
@@ -562,7 +565,11 @@ impl TestCaseGenerator for StringGen {
                 "unterminated buffer",
             ),
             TestCase::new(SimValue::NULL, TypeExpr::Null, "null string"),
-            TestCase::new(SimValue::Ptr(INVALID_PTR), TypeExpr::Invalid, "invalid string"),
+            TestCase::new(
+                SimValue::Ptr(INVALID_PTR),
+                TypeExpr::Invalid,
+                "invalid string",
+            ),
         ]
     }
 
@@ -620,7 +627,11 @@ impl TestCaseGenerator for ModeGen {
             TestCase::new(SimValue::Ptr(bogus), TypeExpr::ModeBogus, "mode \"q\""),
             TestCase::new(SimValue::Ptr(long), TypeExpr::NtsRw(40), "overlong mode"),
             TestCase::new(SimValue::NULL, TypeExpr::Null, "null mode"),
-            TestCase::new(SimValue::Ptr(INVALID_PTR), TypeExpr::Invalid, "invalid mode"),
+            TestCase::new(
+                SimValue::Ptr(INVALID_PTR),
+                TypeExpr::Invalid,
+                "invalid mode",
+            ),
         ]
     }
 
@@ -679,7 +690,11 @@ impl TestCaseGenerator for PathGen {
         }
         vec![
             TestCase::new(SimValue::Ptr(dir), TypeExpr::NtsRw(4), "existing directory"),
-            TestCase::new(SimValue::Ptr(file_path), TypeExpr::NtsRw(11), "existing file"),
+            TestCase::new(
+                SimValue::Ptr(file_path),
+                TypeExpr::NtsRw(11),
+                "existing file",
+            ),
             TestCase::new(SimValue::Ptr(missing), TypeExpr::NtsRw(12), "missing path"),
             TestCase::new(SimValue::Ptr(empty), TypeExpr::NtsRw(0), "empty path"),
             TestCase::new(
@@ -688,7 +703,11 @@ impl TestCaseGenerator for PathGen {
                 "unterminated path",
             ),
             TestCase::new(SimValue::NULL, TypeExpr::Null, "null path"),
-            TestCase::new(SimValue::Ptr(INVALID_PTR), TypeExpr::Invalid, "invalid path"),
+            TestCase::new(
+                SimValue::Ptr(INVALID_PTR),
+                TypeExpr::Invalid,
+                "invalid path",
+            ),
         ]
     }
 
@@ -829,9 +848,21 @@ impl TestCaseGenerator for FdGen {
     fn initial_cases(&mut self, world: &mut World) -> Vec<TestCase> {
         let (ro, wo, rw) = self.setup(world);
         vec![
-            TestCase::new(SimValue::Int(i64::from(ro)), TypeExpr::FdRonly, "read-only fd"),
-            TestCase::new(SimValue::Int(i64::from(wo)), TypeExpr::FdWonly, "write-only fd"),
-            TestCase::new(SimValue::Int(i64::from(rw)), TypeExpr::FdRdwr, "read-write fd"),
+            TestCase::new(
+                SimValue::Int(i64::from(ro)),
+                TypeExpr::FdRonly,
+                "read-only fd",
+            ),
+            TestCase::new(
+                SimValue::Int(i64::from(wo)),
+                TypeExpr::FdWonly,
+                "write-only fd",
+            ),
+            TestCase::new(
+                SimValue::Int(i64::from(rw)),
+                TypeExpr::FdRdwr,
+                "read-write fd",
+            ),
             TestCase::new(SimValue::Int(77), TypeExpr::FdClosed, "closed fd 77"),
             TestCase::new(SimValue::Int(-3), TypeExpr::FdNegative, "negative fd"),
         ]
@@ -981,11 +1012,7 @@ mod tests {
                 TypeExpr::NtsRo(l) => {
                     let s = world.proc.read_cstr(case.value.as_ptr()).unwrap();
                     assert_eq!(s.len() as u32, l);
-                    assert!(world
-                        .proc
-                        .mem
-                        .write_u8(case.value.as_ptr(), 1)
-                        .is_err());
+                    assert!(world.proc.mem.write_u8(case.value.as_ptr(), 1).is_err());
                 }
                 TypeExpr::NtsRw(l) => {
                     let s = world.proc.read_cstr(case.value.as_ptr()).unwrap();

@@ -51,6 +51,9 @@ pub struct InjectionReport {
     pub calls: usize,
     /// Total adaptive adjustments performed.
     pub adaptive_retries: usize,
+    /// Total fuel consumed across all sandboxed calls (hang-detection
+    /// budget units; see [`INJECTION_FUEL`]).
+    pub fuel_used: u64,
 }
 
 /// A fault injector specialized to one library function.
@@ -110,6 +113,7 @@ impl<'l> FaultInjector<'l> {
         let mut calls = 0usize;
         let mut adaptive_retries = 0usize;
 
+        let mut fuel_used = 0u64;
         let mut invoke = |world: &World, args: &[SimValue]| {
             calls += 1;
             let (result, child) = run_in_child(world, |w: &mut World| {
@@ -117,6 +121,7 @@ impl<'l> FaultInjector<'l> {
                 w.proc.reset_fuel();
                 func.invoke(w, args)
             });
+            fuel_used += child.proc.fuel_used();
             let (outcome, returned, errno) = classify_child_result(&result, &child);
             let fault_addr = result.fault().and_then(|f| f.segv_addr());
             (outcome, returned, errno, fault_addr)
@@ -151,8 +156,7 @@ impl<'l> FaultInjector<'l> {
                         if outcome.is_failure() {
                             if let Some(addr) = fault_addr {
                                 if retries < MAX_RETRIES_PER_CASE && gens[i].owns_fault(addr) {
-                                    if let Some(adjusted) =
-                                        gens[i].adjust(&mut world, &case, addr)
+                                    if let Some(adjusted) = gens[i].adjust(&mut world, &case, addr)
                                     {
                                         case = adjusted;
                                         retries += 1;
@@ -218,7 +222,31 @@ impl<'l> FaultInjector<'l> {
             records,
             calls,
             adaptive_retries,
+            fuel_used,
         }
+    }
+
+    /// A canonical text rendering of everything the injection outcome
+    /// depends on: the prototype, the selected generator and candidate
+    /// universe per argument, the selection criterion, and the injector
+    /// constants. Two functions with equal signatures produce equal
+    /// declarations, which makes this the natural key for persistent
+    /// declaration caches (the campaign orchestrator fingerprints it).
+    pub fn signature(&self) -> String {
+        use std::fmt::Write as _;
+        let mut sig = String::new();
+        let _ = writeln!(sig, "proto extern {};", self.proto);
+        for (i, p) in self.proto.params.iter().enumerate() {
+            let g = generator_for(&self.name, i, p);
+            let universe: Vec<String> = g.universe().iter().map(|t| t.notation()).collect();
+            let _ = writeln!(sig, "arg{i} {} [{}]", g.name(), universe.join(" "));
+        }
+        let _ = writeln!(
+            sig,
+            "criterion {:?} fuel {} retries {}",
+            self.criterion, self.fuel, MAX_RETRIES_PER_CASE
+        );
+        sig
     }
 }
 
@@ -287,20 +315,14 @@ mod tests {
         // but can cope with invalid file names."
         let r = report("fopen");
         // The overlong mode string crashed:
-        assert!(r
-            .records
-            .iter()
-            .any(|rec| rec.arg_index == Some(1)
-                && rec.fundamental == NtsRw(40)
-                && rec.outcome.is_failure()));
+        assert!(r.records.iter().any(|rec| rec.arg_index == Some(1)
+            && rec.fundamental == NtsRw(40)
+            && rec.outcome.is_failure()));
         // Invalid file *names* (content) did not crash; invalid file
         // name *pointers* did.
-        assert!(r
-            .records
-            .iter()
-            .any(|rec| rec.arg_index == Some(0)
-                && rec.fundamental == NtsRw(12)
-                && !rec.outcome.is_failure()));
+        assert!(r.records.iter().any(|rec| rec.arg_index == Some(0)
+            && rec.fundamental == NtsRw(12)
+            && !rec.outcome.is_failure()));
         // The robust mode type bounds the string length.
         assert_eq!(r.args[1].robust.robust, NtsMax(7));
     }
@@ -347,7 +369,9 @@ mod tests {
     #[test]
     fn the_robust_scalar_functions_are_safe() {
         let libc = Libc::standard();
-        for name in ["close", "dup", "dup2", "lseek", "isatty", "sleep", "umask", "abs", "labs"] {
+        for name in [
+            "close", "dup", "dup2", "lseek", "isatty", "sleep", "umask", "abs", "labs",
+        ] {
             let r = FaultInjector::new(&libc, name).unwrap().run();
             assert!(r.safe, "{name} should be safe");
         }

@@ -16,10 +16,10 @@ use healers_typesys::vector::{robust_vector, VectorObservation};
 use healers_typesys::{RobustType, SelectionCriterion, TypeExpr};
 
 use crate::case::{classify_child_result, TestCase};
-use healers_simproc::Addr;
 use crate::generators::TestCaseGenerator;
 use crate::injector::INJECTION_FUEL;
 use crate::select_gen::generator_for;
+use healers_simproc::Addr;
 
 /// Result of a cross-product campaign.
 #[derive(Debug, Clone)]
@@ -44,11 +44,7 @@ pub struct VectorReport {
 /// (§4.1); failing that, attribute by proximity — the fault lies at or
 /// shortly after the argument's pointer value (a null/invalid pointer
 /// dereference faults at the value itself plus a small offset).
-fn attribute(
-    gens: &[Box<dyn TestCaseGenerator>],
-    args: &[SimValue],
-    addr: Addr,
-) -> Option<usize> {
+fn attribute(gens: &[Box<dyn TestCaseGenerator>], args: &[SimValue], addr: Addr) -> Option<usize> {
     if let Some(owner) = gens.iter().position(|g| g.owns_fault(addr)) {
         return Some(owner);
     }
@@ -128,11 +124,7 @@ pub fn run_vector_campaign(libc: &Libc, name: &str, cap: usize) -> VectorReport 
         // owning the faulting address may adjust its test case.
         let mut retries = 0usize;
         loop {
-            let args: Vec<SimValue> = picks
-                .iter()
-                .zip(&cases)
-                .map(|(&p, c)| c[p].value)
-                .collect();
+            let args: Vec<SimValue> = picks.iter().zip(&cases).map(|(&p, c)| c[p].value).collect();
             let fundamentals: Vec<TypeExpr> = picks
                 .iter()
                 .zip(&cases)
@@ -268,7 +260,10 @@ mod tests {
         // dst robust type admits writable arrays…
         assert!(
             is_subtype(TypeExpr::RwFixed(4096), report.robust[0].robust)
-                || matches!(report.robust[0].robust, TypeExpr::WArray(_) | TypeExpr::RwArray(_)),
+                || matches!(
+                    report.robust[0].robust,
+                    TypeExpr::WArray(_) | TypeExpr::RwArray(_)
+                ),
             "dst: {}",
             report.robust[0].robust
         );

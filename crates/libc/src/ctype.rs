@@ -24,7 +24,9 @@ pub(crate) fn funcs() -> Vec<(&'static str, CFuncImpl)> {
     vec![
         ("isalpha", |w, a| classify(w, a, CT_UPPER | CT_LOWER)),
         ("isdigit", |w, a| classify(w, a, CT_DIGIT)),
-        ("isalnum", |w, a| classify(w, a, CT_UPPER | CT_LOWER | CT_DIGIT)),
+        ("isalnum", |w, a| {
+            classify(w, a, CT_UPPER | CT_LOWER | CT_DIGIT)
+        }),
         ("isspace", |w, a| classify(w, a, CT_SPACE)),
         ("isupper", |w, a| classify(w, a, CT_UPPER)),
         ("islower", |w, a| classify(w, a, CT_LOWER)),
@@ -71,7 +73,9 @@ fn table_base(w: &mut World) -> Addr {
                 .write_u8(TABLE_PAGE + off, bits)
                 .expect("ctype table init");
         }
-        w.proc.mem.protect(TABLE_PAGE, PAGE_SIZE, Protection::ReadOnly);
+        w.proc
+            .mem
+            .protect(TABLE_PAGE, PAGE_SIZE, Protection::ReadOnly);
     }
     TABLE_PAGE + TABLE_BIAS
 }
@@ -171,7 +175,9 @@ mod tests {
     fn wild_int_crashes_like_the_real_table() {
         let (libc, mut w) = setup();
         for c in [100_000i64, -100_000, i64::from(i32::MAX)] {
-            let err = libc.call(&mut w, "isalpha", &[SimValue::Int(c)]).unwrap_err();
+            let err = libc
+                .call(&mut w, "isalpha", &[SimValue::Int(c)])
+                .unwrap_err();
             assert!(err.segv_addr().is_some(), "isalpha({c}) should fault");
         }
     }

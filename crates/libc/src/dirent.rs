@@ -8,7 +8,6 @@
 //! pointer genuinely frees garbage and aborts, and `readdir` on a
 //! corrupted `DIR` chases a garbage buffer pointer.
 
-
 use healers_os::OpenFlags;
 use healers_simproc::{SimFault, SimValue};
 
@@ -54,8 +53,7 @@ fn opendir(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
         Ok(fd) => fd,
         Err(e) => return w.fail(e, SimValue::NULL),
     };
-    let (Ok(dirp), Ok(buf)) = (w.proc.heap_alloc(DIR_SIZE), w.proc.heap_alloc(DIRENT_SIZE))
-    else {
+    let (Ok(dirp), Ok(buf)) = (w.proc.heap_alloc(DIR_SIZE), w.proc.heap_alloc(DIRENT_SIZE)) else {
         let _ = w.kernel.close(fd);
         return w.fail(healers_os::errno::ENOMEM, SimValue::NULL);
     };
@@ -187,7 +185,8 @@ mod tests {
             libc.call(&mut w, "telldir", &[dirp]).unwrap(),
             SimValue::Int(0)
         );
-        libc.call(&mut w, "seekdir", &[dirp, SimValue::Int(1)]).unwrap();
+        libc.call(&mut w, "seekdir", &[dirp, SimValue::Int(1)])
+            .unwrap();
         let e = libc.call(&mut w, "readdir", &[dirp]).unwrap();
         assert_eq!(w.read_cstr_lossy(e.as_ptr() + 11).unwrap(), "f2");
     }

@@ -546,7 +546,9 @@ fn setvbuf(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
         return w.fail(EINVAL, SimValue::Int(-1));
     }
     w.proc.mem.write_u32(stream + file::OFF_BUFPTR, buf)?;
-    w.proc.mem.write_u32(stream + file::OFF_BUFMODE, mode as u32)?;
+    w.proc
+        .mem
+        .write_u32(stream + file::OFF_BUFMODE, mode as u32)?;
     Ok(SimValue::Int(0))
 }
 
@@ -844,7 +846,8 @@ fn sscanf(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
                     pos += 1;
                 }
                 while pos < input.len()
-                    && (input[pos].is_ascii_digit() || matches!(input[pos], b'.' | b'e' | b'E' | b'-' | b'+'))
+                    && (input[pos].is_ascii_digit()
+                        || matches!(input[pos], b'.' | b'e' | b'E' | b'-' | b'+'))
                 {
                     pos += 1;
                 }
@@ -1048,7 +1051,11 @@ mod tests {
         let src = w.alloc_buf(16);
         w.proc.mem.write_bytes(src, &[9u8; 16]).unwrap();
         let r = libc
-            .call(&mut w, "fwrite", &[p(src), SimValue::Int(4), SimValue::Int(4), p(f)])
+            .call(
+                &mut w,
+                "fwrite",
+                &[p(src), SimValue::Int(4), SimValue::Int(4), p(f)],
+            )
             .unwrap();
         assert_eq!(r, SimValue::Int(4));
         libc.call(&mut w, "fclose", &[p(f)]).unwrap();
@@ -1056,13 +1063,21 @@ mod tests {
         let f = open_stream(&libc, &mut w, "/tmp/bin", "r");
         let dst = w.alloc_buf(16);
         let r = libc
-            .call(&mut w, "fread", &[p(dst), SimValue::Int(4), SimValue::Int(4), p(f)])
+            .call(
+                &mut w,
+                "fread",
+                &[p(dst), SimValue::Int(4), SimValue::Int(4), p(f)],
+            )
             .unwrap();
         assert_eq!(r, SimValue::Int(4));
         assert_eq!(w.proc.mem.read_bytes(dst, 16).unwrap(), vec![9u8; 16]);
         // EOF now.
         let r = libc
-            .call(&mut w, "fread", &[p(dst), SimValue::Int(1), SimValue::Int(1), p(f)])
+            .call(
+                &mut w,
+                "fread",
+                &[p(dst), SimValue::Int(1), SimValue::Int(1), p(f)],
+            )
             .unwrap();
         assert_eq!(r, SimValue::Int(0));
         let r = libc.call(&mut w, "feof", &[p(f)]).unwrap();
@@ -1106,7 +1121,11 @@ mod tests {
         );
         // Invalid whence.
         let r = libc
-            .call(&mut w, "fseek", &[p(f), SimValue::Int(0), SimValue::Int(42)])
+            .call(
+                &mut w,
+                "fseek",
+                &[p(f), SimValue::Int(0), SimValue::Int(42)],
+            )
             .unwrap();
         assert_eq!(r, SimValue::Int(-1));
         assert_eq!(w.proc.errno(), EINVAL);
@@ -1209,7 +1228,9 @@ mod tests {
         let input = w.alloc_cstr("");
         let fmt = w.alloc_cstr("%d");
         let a = w.alloc_buf(4);
-        let r = libc.call(&mut w, "sscanf", &[p(input), p(fmt), p(a)]).unwrap();
+        let r = libc
+            .call(&mut w, "sscanf", &[p(input), p(fmt), p(a)])
+            .unwrap();
         assert_eq!(r, SimValue::Int(EOF));
     }
 
@@ -1230,7 +1251,10 @@ mod tests {
         // Interior pointer: not a block start → allocator consistency
         // abort, like glibc's free().
         let interior = block + 4;
-        w.proc.mem.write_i32(interior + file::OFF_FILENO, 1).unwrap();
+        w.proc
+            .mem
+            .write_i32(interior + file::OFF_FILENO, 1)
+            .unwrap();
         let err = libc.call(&mut w, "fclose", &[p(interior)]).unwrap_err();
         assert!(err.is_abort());
     }

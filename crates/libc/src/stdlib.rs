@@ -180,7 +180,11 @@ fn strtol(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
     }
     let clamped = v.clamp(i64::from(i32::MIN), i64::from(i32::MAX));
     if overflow || clamped != v {
-        let lim = if v < 0 { i64::from(i32::MIN) } else { i64::from(i32::MAX) };
+        let lim = if v < 0 {
+            i64::from(i32::MIN)
+        } else {
+            i64::from(i32::MAX)
+        };
         return w.fail(ERANGE, SimValue::Int(lim));
     }
     Ok(SimValue::Int(clamped))
@@ -358,7 +362,13 @@ mod tests {
     #[test]
     fn atoi_parses() {
         let (libc, mut w) = setup();
-        for (text, expect) in [("42", 42i64), ("  -17abc", -17), ("+9", 9), ("abc", 0), ("", 0)] {
+        for (text, expect) in [
+            ("42", 42i64),
+            ("  -17abc", -17),
+            ("+9", 9),
+            ("abc", 0),
+            ("", 0),
+        ] {
             let s = w.alloc_cstr(text);
             assert_eq!(
                 libc.call(&mut w, "atoi", &[p(s)]).unwrap(),
@@ -426,7 +436,11 @@ mod tests {
         let (libc, mut w) = setup();
         let s = w.alloc_cstr("4294967295");
         let r = libc
-            .call(&mut w, "strtoul", &[p(s), SimValue::NULL, SimValue::Int(10)])
+            .call(
+                &mut w,
+                "strtoul",
+                &[p(s), SimValue::NULL, SimValue::Int(10)],
+            )
             .unwrap();
         assert_eq!(r, SimValue::Int(i64::from(u32::MAX)));
     }

@@ -291,7 +291,11 @@ fn strtok(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
     let state = w.proc.named_static("strtok_save", 4);
     let s = ptr_arg(args, 0);
     let delim = read_set(w, ptr_arg(args, 1))?;
-    let mut cur = if s != 0 { s } else { w.proc.mem.read_u32(state)? };
+    let mut cur = if s != 0 {
+        s
+    } else {
+        w.proc.mem.read_u32(state)?
+    };
 
     // Skip leading delimiters.
     loop {
@@ -654,7 +658,9 @@ mod tests {
             .unwrap();
         assert_eq!(r, SimValue::NULL);
         // strchr(s, 0) finds the terminator.
-        let r = libc.call(&mut w, "strchr", &[p(s), SimValue::Int(0)]).unwrap();
+        let r = libc
+            .call(&mut w, "strchr", &[p(s), SimValue::Int(0)])
+            .unwrap();
         assert_eq!(r, p(s + 5));
     }
 
@@ -737,8 +743,12 @@ mod tests {
         let (libc, mut w) = setup();
         let a = w.alloc_buf(16);
         let b = w.alloc_buf(16);
-        libc.call(&mut w, "memset", &[p(a), SimValue::Int(0x41), SimValue::Int(16)])
-            .unwrap();
+        libc.call(
+            &mut w,
+            "memset",
+            &[p(a), SimValue::Int(0x41), SimValue::Int(16)],
+        )
+        .unwrap();
         libc.call(&mut w, "memcpy", &[p(b), p(a), SimValue::Int(16)])
             .unwrap();
         assert_eq!(
@@ -752,7 +762,11 @@ mod tests {
             .unwrap();
         assert!(r.as_int() < 0);
         let r = libc
-            .call(&mut w, "memchr", &[p(b), SimValue::Int(0x42), SimValue::Int(16)])
+            .call(
+                &mut w,
+                "memchr",
+                &[p(b), SimValue::Int(0x42), SimValue::Int(16)],
+            )
             .unwrap();
         assert_eq!(r, p(b + 7));
     }
@@ -763,12 +777,8 @@ mod tests {
         let buf = w.alloc_buf(16);
         w.proc.mem.write_bytes(buf, b"0123456789").unwrap();
         // Shift right by 2 with overlap.
-        libc.call(
-            &mut w,
-            "memmove",
-            &[p(buf + 2), p(buf), SimValue::Int(8)],
-        )
-        .unwrap();
+        libc.call(&mut w, "memmove", &[p(buf + 2), p(buf), SimValue::Int(8)])
+            .unwrap();
         assert_eq!(w.proc.mem.read_bytes(buf, 10).unwrap(), b"0101234567");
     }
 
@@ -859,7 +869,8 @@ mod tests {
 
         let buf = w.alloc_buf(8);
         w.proc.mem.write_bytes(buf, &[7; 8]).unwrap();
-        libc.call(&mut w, "bzero", &[p(buf), SimValue::Int(8)]).unwrap();
+        libc.call(&mut w, "bzero", &[p(buf), SimValue::Int(8)])
+            .unwrap();
         assert_eq!(w.proc.mem.read_bytes(buf, 8).unwrap(), vec![0; 8]);
 
         // bcopy's (src, dest) order.

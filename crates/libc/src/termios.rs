@@ -111,7 +111,9 @@ fn cfsetospeed(w: &mut World, args: &[SimValue]) -> Result<SimValue, SimFault> {
     }
     const CBAUD: u32 = 0o010017;
     let cflag = w.proc.mem.read_u32(t + OFF_CFLAG)?;
-    w.proc.mem.write_u32(t + OFF_CFLAG, (cflag & !CBAUD) | speed)?;
+    w.proc
+        .mem
+        .write_u32(t + OFF_CFLAG, (cflag & !CBAUD) | speed)?;
     w.proc.mem.write_u32(t + OFF_OSPEED, speed)?;
     Ok(SimValue::Int(0))
 }

@@ -328,7 +328,13 @@ mod tests {
 
     #[test]
     fn civil_roundtrip() {
-        for t in [0i64, 86399, 86400, 1_000_000_000, 951_782_400 /* 2000-02-29 */] {
+        for t in [
+            0i64,
+            86399,
+            86400,
+            1_000_000_000,
+            951_782_400, /* 2000-02-29 */
+        ] {
             let tm = civil_from_epoch(t);
             assert_eq!(epoch_from_civil(&tm), t, "roundtrip {t}");
         }
@@ -346,7 +352,10 @@ mod tests {
     fn leap_year_handling() {
         // 2000-02-29 12:00:00 UTC
         let tm = civil_from_epoch(951_825_600);
-        assert_eq!((tm.year + 1900, tm.mon, tm.mday, tm.hour), (2000, 1, 29, 12));
+        assert_eq!(
+            (tm.year + 1900, tm.mon, tm.mday, tm.hour),
+            (2000, 1, 29, 12)
+        );
     }
 
     #[test]
@@ -467,10 +476,7 @@ mod tests {
                 &[p(buf), SimValue::Int(64), p(fmt), p(tmb)],
             )
             .unwrap();
-        assert_eq!(
-            w.read_cstr_lossy(buf).unwrap(),
-            "1970-01-01 00:00:00 (Thu)"
-        );
+        assert_eq!(w.read_cstr_lossy(buf).unwrap(), "1970-01-01 00:00:00 (Thu)");
         assert_eq!(r.as_int() as usize, "1970-01-01 00:00:00 (Thu)".len());
         // Too-small max returns 0.
         let r = libc

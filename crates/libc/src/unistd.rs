@@ -318,7 +318,11 @@ mod tests {
             .call(
                 &mut w,
                 "open",
-                &[p(path), SimValue::Int(O_WRONLY | O_CREAT | O_TRUNC), SimValue::Int(0o644)],
+                &[
+                    p(path),
+                    SimValue::Int(O_WRONLY | O_CREAT | O_TRUNC),
+                    SimValue::Int(0o644),
+                ],
             )
             .unwrap();
         assert!(fd.as_int() >= 3);
@@ -330,7 +334,11 @@ mod tests {
         libc.call(&mut w, "close", &[fd]).unwrap();
 
         let fd = libc
-            .call(&mut w, "open", &[p(path), SimValue::Int(0), SimValue::Int(0)])
+            .call(
+                &mut w,
+                "open",
+                &[p(path), SimValue::Int(0), SimValue::Int(0)],
+            )
             .unwrap();
         let buf = w.alloc_buf(16);
         let n = libc
@@ -372,7 +380,11 @@ mod tests {
         let (libc, mut w) = setup();
         w.kernel.type_input(0, b"input!");
         let err = libc
-            .call(&mut w, "read", &[SimValue::Int(0), p(INVALID_PTR), SimValue::Int(6)])
+            .call(
+                &mut w,
+                "read",
+                &[SimValue::Int(0), p(INVALID_PTR), SimValue::Int(6)],
+            )
             .unwrap_err();
         assert_eq!(err.segv_addr(), Some(INVALID_PTR));
     }
@@ -381,7 +393,11 @@ mod tests {
     fn write_from_bad_buffer_crashes() {
         let (libc, mut w) = setup();
         let err = libc
-            .call(&mut w, "write", &[SimValue::Int(1), SimValue::NULL, SimValue::Int(4)])
+            .call(
+                &mut w,
+                "write",
+                &[SimValue::Int(1), SimValue::NULL, SimValue::Int(4)],
+            )
             .unwrap_err();
         assert_eq!(err.segv_addr(), Some(0));
     }
@@ -400,7 +416,9 @@ mod tests {
         let mut wg = World::new_guarded();
         let path = wg.alloc_cstr("/etc/passwd");
         let small = wg.alloc_buf(87);
-        let err = libc.call(&mut wg, "stat", &[p(path), p(small)]).unwrap_err();
+        let err = libc
+            .call(&mut wg, "stat", &[p(path), p(small)])
+            .unwrap_err();
         assert_eq!(err.segv_addr(), Some(small + 87));
     }
 
@@ -408,7 +426,8 @@ mod tests {
     fn fstat_distinguishes_tty() {
         let (libc, mut w) = setup();
         let buf = w.alloc_buf(88);
-        libc.call(&mut w, "fstat", &[SimValue::Int(0), p(buf)]).unwrap();
+        libc.call(&mut w, "fstat", &[SimValue::Int(0), p(buf)])
+            .unwrap();
         let mode = w.proc.mem.read_u32(buf + 8).unwrap();
         assert_ne!(mode & healers_os::fs::S_IFCHR, 0);
         let r = libc
@@ -457,18 +476,22 @@ mod tests {
         let (libc, mut w) = setup();
         let d = w.alloc_cstr("/tmp/newdir");
         assert_eq!(
-            libc.call(&mut w, "mkdir", &[p(d), SimValue::Int(0o755)]).unwrap(),
+            libc.call(&mut w, "mkdir", &[p(d), SimValue::Int(0o755)])
+                .unwrap(),
             SimValue::Int(0)
         );
         assert_eq!(
-            libc.call(&mut w, "access", &[p(d), SimValue::Int(0)]).unwrap(),
+            libc.call(&mut w, "access", &[p(d), SimValue::Int(0)])
+                .unwrap(),
             SimValue::Int(0)
         );
         assert_eq!(
             libc.call(&mut w, "rmdir", &[p(d)]).unwrap(),
             SimValue::Int(0)
         );
-        let r = libc.call(&mut w, "access", &[p(d), SimValue::Int(0)]).unwrap();
+        let r = libc
+            .call(&mut w, "access", &[p(d), SimValue::Int(0)])
+            .unwrap();
         assert_eq!(r, SimValue::Int(-1));
     }
 

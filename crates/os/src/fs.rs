@@ -371,7 +371,13 @@ impl Vfs {
     /// # Errors
     ///
     /// `EISDIR` for directories.
-    pub fn write_at(&mut self, id: NodeId, offset: u32, bytes: &[u8], now: i64) -> Result<u32, Errno> {
+    pub fn write_at(
+        &mut self,
+        id: NodeId,
+        offset: u32,
+        bytes: &[u8],
+        now: i64,
+    ) -> Result<u32, Errno> {
         match &mut self.node_mut(id).body {
             NodeBody::File { data } => {
                 let end = offset as usize + bytes.len();

@@ -133,11 +133,18 @@ impl Kernel {
         for d in ["/tmp", "/etc", "/home", "/dev", "/home/user"] {
             k.vfs.mkdir(d, 0o755, k.clock).unwrap();
         }
-        k.write_file("/etc/passwd", b"root:x:0:0:root:/root:/bin/sh\nuser:x:1000:1000::/home/user:/bin/sh\n")
+        k.write_file(
+            "/etc/passwd",
+            b"root:x:0:0:root:/root:/bin/sh\nuser:x:1000:1000::/home/user:/bin/sh\n",
+        )
+        .unwrap();
+        k.write_file("/etc/hosts", b"127.0.0.1 localhost\n")
             .unwrap();
-        k.write_file("/etc/hosts", b"127.0.0.1 localhost\n").unwrap();
-        k.write_file("/home/user/data.txt", b"The quick brown fox jumps over the lazy dog.\n")
-            .unwrap();
+        k.write_file(
+            "/home/user/data.txt",
+            b"The quick brown fox jumps over the lazy dog.\n",
+        )
+        .unwrap();
         for fd in 0..3 {
             k.fds[fd] = Some(OpenFile {
                 desc: Desc::Tty(0),
@@ -520,7 +527,7 @@ impl Kernel {
             ino: id.0,
             name: name.clone(),
             d_type: match kind {
-                NodeKind::File => 8,     // DT_REG
+                NodeKind::File => 8,      // DT_REG
                 NodeKind::Directory => 4, // DT_DIR
             },
         }))
@@ -681,7 +688,9 @@ mod tests {
         let mut k = Kernel::with_standard_layout();
         let old = k.umask(0o077);
         assert_eq!(old, 0o022);
-        let fd = k.open("/tmp/secret", OpenFlags::write_create(), 0o666).unwrap();
+        let fd = k
+            .open("/tmp/secret", OpenFlags::write_create(), 0o666)
+            .unwrap();
         k.close(fd).unwrap();
         assert_eq!(k.stat("/tmp/secret").unwrap().mode & 0o777, 0o600);
     }
@@ -720,7 +729,8 @@ mod tests {
     fn open_directory_for_write_is_eisdir() {
         let mut k = Kernel::with_standard_layout();
         assert_eq!(
-            k.open("/tmp", OpenFlags::write_create(), 0o644).unwrap_err(),
+            k.open("/tmp", OpenFlags::write_create(), 0o644)
+                .unwrap_err(),
             errno::EISDIR
         );
         // Read-only directory opens are fine (opendir needs them).

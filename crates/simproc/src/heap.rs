@@ -182,9 +182,7 @@ impl Heap {
     }
 
     fn take_pages(&mut self, pages: u32) -> Result<Addr, HeapError> {
-        let bytes = pages
-            .checked_mul(PAGE_SIZE)
-            .ok_or(HeapError::OutOfMemory)?;
+        let bytes = pages.checked_mul(PAGE_SIZE).ok_or(HeapError::OutOfMemory)?;
         let start = self.next_page;
         let end = start.checked_add(bytes).ok_or(HeapError::OutOfMemory)?;
         if end > self.limit {
@@ -300,7 +298,8 @@ impl Heap {
             mem.write_bytes(new_addr, &bytes)
                 .expect("realloc destination must be writable");
         }
-        self.free(mem, addr).expect("realloc source must be freeable");
+        self.free(mem, addr)
+            .expect("realloc source must be freeable");
         Ok(new_addr)
     }
 
@@ -380,7 +379,10 @@ mod tests {
         let (mut mem, mut heap) = setup(HeapMode::Guarded);
         let p = heap.malloc(&mut mem, 100).unwrap();
         heap.free(&mut mem, p).unwrap();
-        assert_eq!(heap.free(&mut mem, p), Err(HeapError::DoubleFree { addr: p }));
+        assert_eq!(
+            heap.free(&mut mem, p),
+            Err(HeapError::DoubleFree { addr: p })
+        );
         assert_eq!(
             heap.free(&mut mem, 0x123),
             Err(HeapError::InvalidPointer { addr: 0x123 })

@@ -161,7 +161,10 @@ impl AddressSpace {
     pub fn map(&mut self, addr: Addr, len: u32, prot: Protection) {
         assert!(len > 0, "cannot map an empty region");
         let first = page_of(addr);
-        let last = page_of(addr.checked_add(len - 1).expect("mapping wraps address space"));
+        let last = page_of(
+            addr.checked_add(len - 1)
+                .expect("mapping wraps address space"),
+        );
         assert!(first > 0, "cannot map the null page");
         for p in first..=last {
             self.pages.insert(p, Page::new(prot));

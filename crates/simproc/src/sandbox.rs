@@ -72,7 +72,10 @@ mod tests {
             Ok(SimValue::Void)
         });
 
-        assert!(matches!(result, ChildResult::Faulted(SimFault::Segv { addr: 0, .. })));
+        assert!(matches!(
+            result,
+            ChildResult::Faulted(SimFault::Segv { addr: 0, .. })
+        ));
         // Child saw the scribble; parent did not.
         assert_eq!(child.mem.read_u32(buf).unwrap(), 999);
         assert_eq!(parent.mem.read_u32(buf).unwrap(), 7);

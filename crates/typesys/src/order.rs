@@ -84,9 +84,10 @@ fn profile(t: TypeExpr) -> Profile {
         NtsNull => (true, false, caps(true, false, 1), true),
         ModeValid => (false, false, caps(true, true, 2), true),
         ModeBogus | ModeShort => (false, false, caps(true, true, 1), true),
-        IntNeg | IntZero | IntPos | IntNonNeg | IntNonPos | IntAny | FdRonly | FdWonly
-        | FdRdwr | FdClosed | FdNegative | FdReadable | FdWritable | FdOpen | SpeedValid
-        | SpeedBogus => (false, false, None, false),
+        IntNeg | IntZero | IntPos | IntNonNeg | IntNonPos | IntAny | FdRonly | FdWonly | FdRdwr
+        | FdClosed | FdNegative | FdReadable | FdWritable | FdOpen | SpeedValid | SpeedBogus => {
+            (false, false, None, false)
+        }
     };
     Profile {
         has_null,
@@ -121,16 +122,12 @@ fn family_accepts(b: TypeExpr, a: TypeExpr) -> Option<bool> {
         },
         Nts => matches!(
             a,
-            NtsRo(_)
-                | NtsRw(_)
-                | NtsMax(_)
-                | NtsWritable
-                | ModeValid
-                | ModeBogus
-                | ModeShort
-                | Nts
+            NtsRo(_) | NtsRw(_) | NtsMax(_) | NtsWritable | ModeValid | ModeBogus | ModeShort | Nts
         ),
-        NtsWritable => matches!(a, NtsRw(_) | NtsWritable | ModeValid | ModeBogus | ModeShort),
+        NtsWritable => matches!(
+            a,
+            NtsRw(_) | NtsWritable | ModeValid | ModeBogus | ModeShort
+        ),
         NtsNull => {
             matches!(
                 a,
@@ -420,7 +417,11 @@ mod tests {
     fn arb_type() -> impl Strategy<Value = TypeExpr> {
         let sizes = prop::sample::select(vec![1u32, 2, 8, 32, 44, 148, 256]);
         sizes.prop_flat_map(|s| {
-            prop::sample::select(universe::full_universe(&[s, s + 1, s.saturating_sub(1).max(1)]))
+            prop::sample::select(universe::full_universe(&[
+                s,
+                s + 1,
+                s.saturating_sub(1).max(1),
+            ]))
         })
     }
 

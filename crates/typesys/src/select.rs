@@ -220,8 +220,9 @@ mod tests {
         for t in &u {
             if is_strict_subtype(RArrayNull(44), *t) {
                 assert!(
-                    observations.iter().any(|o| o.outcome.is_failure()
-                        && is_subtype(o.fundamental, *t)),
+                    observations
+                        .iter()
+                        .any(|o| o.outcome.is_failure() && is_subtype(o.fundamental, *t)),
                     "supertype {t} admits no crash"
                 );
             }

@@ -74,11 +74,7 @@ pub fn strings(lens: &[u32]) -> Vec<TypeExpr> {
         TypeExpr::Unconstrained,
     ];
     for &l in lens {
-        u.extend([
-            TypeExpr::NtsRo(l),
-            TypeExpr::NtsRw(l),
-            TypeExpr::NtsMax(l),
-        ]);
+        u.extend([TypeExpr::NtsRo(l), TypeExpr::NtsRw(l), TypeExpr::NtsMax(l)]);
     }
     dedup(u)
 }

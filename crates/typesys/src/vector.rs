@@ -28,11 +28,7 @@ impl TypeVector {
     /// incomparable.
     pub fn is_subtype_of(&self, other: &TypeVector) -> bool {
         self.arity() == other.arity()
-            && self
-                .0
-                .iter()
-                .zip(&other.0)
-                .all(|(a, b)| is_subtype(*a, *b))
+            && self.0.iter().zip(&other.0).all(|(a, b)| is_subtype(*a, *b))
     }
 
     /// Whether every component is a fundamental type (the tag carried
@@ -208,7 +204,11 @@ mod tests {
                 culprit: None,
             },
         ];
-        let r = robust_vector(&[u.clone(), u], &observations, SelectionCriterion::default());
+        let r = robust_vector(
+            &[u.clone(), u],
+            &observations,
+            SelectionCriterion::default(),
+        );
         for component in &r {
             assert!(!is_subtype(IntNeg, component.robust));
         }

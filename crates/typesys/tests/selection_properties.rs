@@ -5,12 +5,16 @@
 use proptest::prelude::*;
 
 use healers_typesys::{
-    is_strict_subtype, is_subtype, robust_type, universe, Observation, Outcome,
-    SelectionCriterion, TypeExpr,
+    is_strict_subtype, is_subtype, robust_type, universe, Observation, Outcome, SelectionCriterion,
+    TypeExpr,
 };
 
 fn fundamentals(universe: &[TypeExpr]) -> Vec<TypeExpr> {
-    universe.iter().copied().filter(|t| t.is_fundamental()).collect()
+    universe
+        .iter()
+        .copied()
+        .filter(|t| t.is_fundamental())
+        .collect()
 }
 
 fn arb_outcome() -> impl Strategy<Value = Outcome> {
@@ -26,8 +30,7 @@ fn arb_outcome() -> impl Strategy<Value = Outcome> {
 fn arb_observations(universe: Vec<TypeExpr>) -> impl Strategy<Value = Vec<Observation>> {
     let funds = fundamentals(&universe);
     prop::collection::vec(
-        (prop::sample::select(funds), arb_outcome())
-            .prop_map(|(f, o)| Observation::new(f, o)),
+        (prop::sample::select(funds), arb_outcome()).prop_map(|(f, o)| Observation::new(f, o)),
         0..16,
     )
 }

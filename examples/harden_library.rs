@@ -60,7 +60,10 @@ fn main() {
                 .unwrap_or(false)
         })
         .count();
-    println!("evaluation targets with recovered prototypes: {recovered}/{}", targets.len());
+    println!(
+        "evaluation targets with recovered prototypes: {recovered}/{}",
+        targets.len()
+    );
 
     println!("running fault injectors (this is the slow part)…");
     let decls = analyze(&libc, &targets);

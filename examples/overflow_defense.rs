@@ -39,7 +39,10 @@ fn main() {
     let target = wrapper
         .call(&libc, &mut world, "malloc", &[SimValue::Int(16)])
         .unwrap();
-    world.proc.write_cstr(target.as_ptr(), b"SECRET-COOKIE").unwrap();
+    world
+        .proc
+        .write_cstr(target.as_ptr(), b"SECRET-COOKIE")
+        .unwrap();
     let attack = world.alloc_cstr("AAAAAAAAAAAAAAAAAAAAAAAAAAAAAA"); // 30 bytes
 
     println!("\n--- heap smashing through strcpy ---");
@@ -52,16 +55,22 @@ fn main() {
 
     // Wrapped: the stateful bounds check rejects the call outright.
     let r = wrapper
-        .call(&libc, &mut world, "strcpy", &[victim, SimValue::Ptr(attack)])
+        .call(
+            &libc,
+            &mut world,
+            "strcpy",
+            &[victim, SimValue::Ptr(attack)],
+        )
         .unwrap();
     let intact = world.read_cstr_lossy(target.as_ptr()).unwrap();
-    println!("wrapped:   strcpy returned {r} (errno {}), neighbor still {intact:?}", world.proc.errno());
+    println!(
+        "wrapped:   strcpy returned {r} (errno {}), neighbor still {intact:?}",
+        world.proc.errno()
+    );
 
     // --- stack smashing through gets -------------------------------------------
     println!("\n--- stack smashing through gets ---");
-    world
-        .kernel
-        .type_input(0, &[b'A'; 300]);
+    world.kernel.type_input(0, &[b'A'; 300]);
     world.kernel.type_input(0, b"\n");
     let frame = world.proc.stack_alloc(64);
     let mut unprotected = world.clone();
@@ -75,7 +84,10 @@ fn main() {
     // --- the violation log -------------------------------------------------------
     println!("\n--- violation log (for failure diagnosis, §5) ---");
     for v in wrapper.violations() {
-        println!("  {}(arg {}) failed {} with value {}", v.function, v.arg, v.check, v.value);
+        println!(
+            "  {}(arg {}) failed {} with value {}",
+            v.function, v.arg, v.check, v.value
+        );
     }
 
     // --- debugging policy ----------------------------------------------------------

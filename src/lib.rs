@@ -12,8 +12,10 @@
 //! * [`healers_inject`] — adaptive fault injectors and test-case generators
 //! * [`healers_core`] — function declarations and wrapper generation
 //! * [`healers_ballista`] — Ballista-style robustness evaluation
+//! * [`healers_campaign`] — parallel campaign orchestration, declaration cache, event journal
 
 pub use healers_ballista as ballista;
+pub use healers_campaign as campaign;
 pub use healers_core as core;
 pub use healers_corpus as corpus;
 pub use healers_ctypes as ctypes;

@@ -1,16 +1,21 @@
 //! `healers` — the command-line front end to the HEALERS pipeline.
 //!
 //! ```text
-//! healers analyze <function>...        print generated declarations (Figure 2 XML)
-//! healers wrap [--out FILE]            emit the C wrapper library for all 86 targets
-//! healers ballista [--mode M] [--cap N]  run the Figure 6 evaluation (M: unwrapped|full|semi|all)
-//! healers extract                      run the §3 prototype-extraction statistics
-//! healers tour <function>...           show discovered robust argument types
+//! healers [--seed N] analyze <function>...   print generated declarations (Figure 2 XML)
+//! healers [--seed N] wrap [--out FILE]       emit the C wrapper library for all 86 targets
+//! healers [--seed N] ballista [--mode M] [--cap N]  run the Figure 6 evaluation
+//! healers [--seed N] campaign [--jobs N] [--cache DIR] [--journal FILE]
+//!                             [--mode M] [--cap N] [--out FILE] [<function>...]
+//!                                            parallel orchestrated analysis/evaluation
+//! healers extract                            run the §3 prototype-extraction statistics
+//! healers tour <function>...                 show discovered robust argument types
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use healers::ballista::{ballista_targets, Ballista, Mode};
+use healers::campaign::{Campaign, CampaignConfig};
 use healers::core::{analyze, decls_to_xml, emit_checks_header, emit_wrapper_source};
 use healers::corpus::{generate::CorpusConfig, pipeline::recover_all};
 use healers::inject::FaultInjector;
@@ -18,22 +23,44 @@ use healers::libc::Libc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  healers analyze <function>...\n  healers wrap [--out FILE]\n  \
-         healers ballista [--mode unwrapped|full|semi|all] [--cap N]\n  healers extract\n  \
+        "usage:\n  healers [--seed N] analyze <function>...\n  \
+         healers [--seed N] wrap [--out FILE]\n  \
+         healers [--seed N] ballista [--mode unwrapped|full|semi|all] [--cap N]\n  \
+         healers [--seed N] campaign [--jobs N] [--cache DIR] [--journal FILE]\n  \
+         \x20                        [--mode decls|unwrapped|full|semi|all] [--cap N]\n  \
+         \x20                        [--out FILE] [<function>...]\n  \
+         healers extract\n  \
          healers tour <function>..."
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Global flags precede the subcommand.
+    let mut seed: Option<u64> = None;
+    while args.first().is_some_and(|a| a.starts_with("--")) {
+        match args[0].as_str() {
+            "--seed" => {
+                let Some(value) = args.get(1).and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                seed = Some(value);
+                args.drain(..2);
+            }
+            _ => return usage(),
+        }
+    }
+
     let Some(command) = args.first() else {
         return usage();
     };
     match command.as_str() {
         "analyze" => cmd_analyze(&args[1..]),
         "wrap" => cmd_wrap(&args[1..]),
-        "ballista" => cmd_ballista(&args[1..]),
+        "ballista" => cmd_ballista(&args[1..], seed),
+        "campaign" => cmd_campaign(&args[1..], seed),
         "extract" => cmd_extract(),
         "tour" => cmd_tour(&args[1..]),
         _ => usage(),
@@ -41,6 +68,9 @@ fn main() -> ExitCode {
 }
 
 fn cmd_analyze(functions: &[String]) -> ExitCode {
+    if functions.iter().any(|a| a.starts_with("--")) {
+        return usage();
+    }
     if functions.is_empty() {
         eprintln!("analyze: name at least one function");
         return ExitCode::from(2);
@@ -94,7 +124,7 @@ fn cmd_wrap(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_ballista(rest: &[String]) -> ExitCode {
+fn cmd_ballista(rest: &[String], seed: Option<u64>) -> ExitCode {
     let mut mode = "all".to_string();
     let mut cap = 180usize;
     let mut it = rest.iter();
@@ -121,7 +151,10 @@ fn cmd_ballista(rest: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let ballista = Ballista::new().with_cap(cap);
+    let mut ballista = Ballista::new().with_cap(cap);
+    if let Some(seed) = seed {
+        ballista = ballista.with_seed(seed);
+    }
     let libc = Libc::standard();
     eprintln!("analyzing 86 functions…");
     let decls = ballista.analyze_targets(&libc);
@@ -134,6 +167,137 @@ fn cmd_ballista(rest: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_campaign(rest: &[String], seed: Option<u64>) -> ExitCode {
+    let mut jobs = 1usize;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut journal_path: Option<PathBuf> = None;
+    let mut mode = "decls".to_string();
+    let mut cap = 180usize;
+    let mut out: Option<PathBuf> = None;
+    let mut functions: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(j) if j >= 1 => jobs = j,
+                _ => return usage(),
+            },
+            "--cache" => match it.next() {
+                Some(dir) => cache_dir = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--journal" => match it.next() {
+                Some(path) => journal_path = Some(PathBuf::from(path)),
+                None => return usage(),
+            },
+            "--mode" => match it.next() {
+                Some(m) => mode = m.clone(),
+                None => return usage(),
+            },
+            "--cap" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(c) => cap = c,
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(path) => out = Some(PathBuf::from(path)),
+                None => return usage(),
+            },
+            flag if flag.starts_with("--") => return usage(),
+            name => functions.push(name.to_string()),
+        }
+    }
+    let modes: Vec<Mode> = match mode.as_str() {
+        "decls" => Vec::new(),
+        "unwrapped" => vec![Mode::Unwrapped],
+        "full" => vec![Mode::FullAuto],
+        "semi" => vec![Mode::SemiAuto],
+        "all" => vec![Mode::Unwrapped, Mode::FullAuto, Mode::SemiAuto],
+        other => {
+            eprintln!("campaign: unknown mode {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let libc = Libc::standard();
+    let names: Vec<String> = if functions.is_empty() {
+        ballista_targets().iter().map(|s| s.to_string()).collect()
+    } else {
+        functions
+    };
+    for f in &names {
+        if libc.get(f).is_none() {
+            eprintln!("campaign: {f} is not exported by the library");
+            return ExitCode::FAILURE;
+        }
+    }
+    let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+
+    let journaling = journal_path.is_some();
+    let campaign = match Campaign::new(&CampaignConfig {
+        jobs,
+        cache_dir,
+        journal_path,
+    }) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The declarations feed both the XML output and the wrapped
+    // evaluation modes; a pure-unwrapped run skips injection entirely.
+    let needs_decls = mode == "decls" || modes.iter().any(|m| !matches!(m, Mode::Unwrapped));
+    let mut decls = Vec::new();
+    if needs_decls {
+        match campaign.analyze(&libc, &name_refs) {
+            Ok((d, metrics)) => {
+                eprintln!("{metrics}");
+                decls = d;
+            }
+            Err(e) => {
+                eprintln!("campaign: cache write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if mode == "decls" {
+        let xml = decls_to_xml(&decls);
+        match &out {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &xml) {
+                    eprintln!("campaign: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => print!("{xml}"),
+        }
+    }
+
+    let mut ballista = Ballista::new().with_functions(&name_refs).with_cap(cap);
+    if let Some(seed) = seed {
+        ballista = ballista.with_seed(seed);
+    }
+    for m in modes {
+        let (report, metrics) = campaign.evaluate(&libc, &ballista, m, decls.clone());
+        println!("{}", report.render());
+        eprintln!("{metrics}");
+    }
+
+    match campaign.finish() {
+        Ok(lines) => {
+            if journaling {
+                eprintln!("journal: {lines} events");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("campaign: journal write failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_extract() -> ExitCode {
@@ -151,6 +315,9 @@ fn cmd_extract() -> ExitCode {
 }
 
 fn cmd_tour(functions: &[String]) -> ExitCode {
+    if functions.iter().any(|a| a.starts_with("--")) {
+        return usage();
+    }
     let libc = Libc::standard();
     let names: Vec<String> = if functions.is_empty() {
         ballista_targets().iter().map(|s| s.to_string()).collect()

@@ -77,9 +77,7 @@ fn the_wrapped_function_still_works_for_valid_inputs() {
         .call(&libc, &mut world, "gmtime", &[SimValue::Ptr(t)])
         .unwrap();
     assert_ne!(tm, SimValue::NULL);
-    let text = wrapper
-        .call(&libc, &mut world, "asctime", &[tm])
-        .unwrap();
+    let text = wrapper.call(&libc, &mut world, "asctime", &[tm]).unwrap();
     let s = world.read_cstr_lossy(text.as_ptr()).unwrap();
     assert!(s.ends_with('\n'), "asctime output {s:?}");
     assert!(s.len() >= 24);

@@ -1,0 +1,135 @@
+//! End-to-end campaign orchestrator acceptance: worker-count
+//! invariance, persistent-cache round trips, and the event journal.
+
+use std::fs;
+use std::path::PathBuf;
+
+use healers::ballista::{Ballista, Mode};
+use healers::campaign::{json, Campaign, CampaignConfig};
+use healers::core::{analyze, decls_to_xml};
+use healers::libc::Libc;
+
+const FUNCS: &[&str] = &["asctime", "strcpy", "strlen", "abs", "fclose", "isatty"];
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("healers-campaign-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn campaign_output_is_byte_identical_to_the_serial_pipeline() {
+    let libc = Libc::standard();
+    let serial = decls_to_xml(&analyze(&libc, FUNCS));
+    for jobs in [1, 8] {
+        let campaign = Campaign::new(&CampaignConfig {
+            jobs,
+            ..CampaignConfig::default()
+        })
+        .unwrap();
+        let (decls, _) = campaign.analyze(&libc, FUNCS).unwrap();
+        assert_eq!(decls_to_xml(&decls), serial, "jobs={jobs}");
+        campaign.finish().unwrap();
+    }
+}
+
+#[test]
+fn evaluation_reports_are_worker_count_invariant() {
+    let libc = Libc::standard();
+    let ballista = Ballista::new()
+        .with_functions(&["strcpy", "strlen", "abs", "fgetc"])
+        .with_cap(60)
+        .with_seed(42);
+    let run = |jobs: usize| {
+        let campaign = Campaign::new(&CampaignConfig {
+            jobs,
+            ..CampaignConfig::default()
+        })
+        .unwrap();
+        let decls = ballista.analyze_targets(&libc);
+        let mut renders = Vec::new();
+        for mode in [Mode::Unwrapped, Mode::FullAuto, Mode::SemiAuto] {
+            let (report, _) = campaign.evaluate(&libc, &ballista, mode, decls.clone());
+            renders.push(report.render());
+        }
+        campaign.finish().unwrap();
+        renders
+    };
+    assert_eq!(run(1), run(8));
+}
+
+#[test]
+fn warm_cache_skips_injection_and_journals_it() {
+    let dir = scratch("warm");
+    let cache_dir = dir.join("cache");
+    let config = |journal: &str| CampaignConfig {
+        jobs: 4,
+        cache_dir: Some(cache_dir.clone()),
+        journal_path: Some(dir.join(journal)),
+    };
+    let libc = Libc::standard();
+
+    let cold = Campaign::new(&config("cold.jsonl")).unwrap();
+    let (cold_decls, cold_metrics) = cold.analyze(&libc, FUNCS).unwrap();
+    assert!(cold_metrics.injected_calls > 0);
+    assert_eq!(cold_metrics.cache_misses, FUNCS.len() as u64);
+    assert!(cold.finish().unwrap() > 0);
+
+    let warm = Campaign::new(&config("warm.jsonl")).unwrap();
+    let (warm_decls, warm_metrics) = warm.analyze(&libc, FUNCS).unwrap();
+    assert_eq!(warm_metrics.injected_calls, 0, "warm cache must not inject");
+    assert_eq!(warm_metrics.cache_hits, FUNCS.len() as u64);
+    assert_eq!(
+        decls_to_xml(&warm_decls),
+        decls_to_xml(&cold_decls),
+        "cache round-trip must be byte-identical"
+    );
+    warm.finish().unwrap();
+
+    // Every journal line is valid JSON; the warm journal records one
+    // cached event per function and no classifications.
+    for (name, expect_cached) in [("cold.jsonl", 0), ("warm.jsonl", FUNCS.len())] {
+        let text = fs::read_to_string(dir.join(name)).unwrap();
+        let mut cached = 0;
+        for (i, line) in text.lines().enumerate() {
+            json::validate(line).unwrap_or_else(|e| panic!("{name} line {i}: {e}\n{line}"));
+            assert!(line.contains(&format!("\"seq\":{i}")), "{name} line {i}");
+            if line.contains("\"event\":\"cached\"") {
+                cached += 1;
+            }
+        }
+        assert_eq!(cached, expect_cached, "{name}");
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_new_seed_invalidates_nothing_but_a_changed_signature_does() {
+    // The fingerprint covers the injector signature; the same functions
+    // re-analyzed with identical settings always hit.
+    let dir = scratch("stability");
+    let config = CampaignConfig {
+        jobs: 2,
+        cache_dir: Some(dir.clone()),
+        journal_path: None,
+    };
+    let libc = Libc::standard();
+    for expected_hits in [0, 2] {
+        let campaign = Campaign::new(&config).unwrap();
+        let (_, metrics) = campaign.analyze(&libc, &["abs", "strlen"]).unwrap();
+        assert_eq!(metrics.cache_hits, expected_hits);
+        campaign.finish().unwrap();
+    }
+    // Entries are named <function>.<fingerprint>.xml.
+    let mut names: Vec<String> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    assert_eq!(names.len(), 2);
+    assert!(names[0].starts_with("abs.") && names[0].ends_with(".xml"));
+    assert!(names[1].starts_with("strlen.") && names[1].ends_with(".xml"));
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -9,8 +9,16 @@ use healers::libc::Libc;
 /// stream, stdio open, time struct, termios, dirent, conversion, plus
 /// two of the never-crashing scalars.
 const SUBSET: &[&str] = &[
-    "strcpy", "strlen", "fgetc", "fopen", "asctime", "cfsetospeed", "closedir", "strtol",
-    "lseek", "abs",
+    "strcpy",
+    "strlen",
+    "fgetc",
+    "fopen",
+    "asctime",
+    "cfsetospeed",
+    "closedir",
+    "strtol",
+    "lseek",
+    "abs",
 ];
 
 #[test]
@@ -35,7 +43,11 @@ fn wrapper_configurations_are_strictly_ordered() {
     // failures, and the semi-automatic wrapper eliminates them.
     assert!(u.failures() > f.failures(), "full-auto must help");
     assert!(f.failures() >= s.failures(), "semi-auto must not be worse");
-    assert_eq!(s.failures(), 0, "semi-auto must eliminate all failures: {semi:?}");
+    assert_eq!(
+        s.failures(),
+        0,
+        "semi-auto must eliminate all failures: {semi:?}"
+    );
 
     // Prevented failures become errno returns, not silent successes.
     assert!(f.errno_set > u.errno_set);
@@ -44,7 +56,9 @@ fn wrapper_configurations_are_strictly_ordered() {
 
 #[test]
 fn never_crashing_functions_stay_clean_in_every_configuration() {
-    let ballista = Ballista::new().with_functions(&["lseek", "abs"]).with_cap(80);
+    let ballista = Ballista::new()
+        .with_functions(&["lseek", "abs"])
+        .with_cap(80);
     let libc = Libc::standard();
     let decls = ballista.analyze_targets(&libc);
     for mode in [Mode::Unwrapped, Mode::FullAuto, Mode::SemiAuto] {
@@ -55,7 +69,9 @@ fn never_crashing_functions_stay_clean_in_every_configuration() {
 
 #[test]
 fn results_are_deterministic() {
-    let ballista = Ballista::new().with_functions(&["strcpy", "fgetc"]).with_cap(60);
+    let ballista = Ballista::new()
+        .with_functions(&["strcpy", "fgetc"])
+        .with_cap(60);
     let libc = Libc::standard();
     let decls = ballista.analyze_targets(&libc);
     let a = ballista.run_with_decls(&libc, Mode::FullAuto, decls.clone());

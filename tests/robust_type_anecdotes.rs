@@ -110,7 +110,10 @@ fn closedir_robust_type_is_the_uncheckable_open_dir() {
         dir_tracking: true,
         ..caps
     };
-    assert!(healers::core::checker::checkable(TypeExpr::OpenDir, &caps_semi));
+    assert!(healers::core::checker::checkable(
+        TypeExpr::OpenDir,
+        &caps_semi
+    ));
 }
 
 /// The adaptive generator's headline: asctime needs exactly 44 bytes,

@@ -5,7 +5,7 @@
 //! be at least as protective as the weaker ones.
 
 use healers::ballista::pools::{param_kind, prepare, ParamKind};
-use healers::ballista::{Ballista, Mode};
+use healers::ballista::Ballista;
 use healers::core::{analyze, RobustnessWrapper, WrapperConfig};
 use healers::libc::{Libc, World};
 use healers::simproc::SimValue;
@@ -14,7 +14,7 @@ const SUBSET: &[&str] = &["strcpy", "strlen", "asctime", "fgetc", "mktime", "get
 
 fn failures_with(config: WrapperConfig) -> usize {
     let libc = Libc::standard();
-    let decls = analyze(&libc, &SUBSET.to_vec());
+    let decls = analyze(&libc, SUBSET);
     let mut wrapper = Some(RobustnessWrapper::new(decls, config));
     let mut world = World::new();
     world.proc.set_fuel_budget(300_000);
@@ -55,8 +55,14 @@ fn stronger_configurations_never_fail_more() {
     let minimal = failures_with(WrapperConfig::minimal());
     let full = failures_with(WrapperConfig::full_auto());
     let semi = failures_with(WrapperConfig::semi_auto());
-    assert!(full <= minimal, "full-auto ({full}) worse than minimal ({minimal})");
-    assert!(semi <= full, "semi-auto ({semi}) worse than full-auto ({full})");
+    assert!(
+        full <= minimal,
+        "full-auto ({full}) worse than minimal ({minimal})"
+    );
+    assert!(
+        semi <= full,
+        "semi-auto ({semi}) worse than full-auto ({full})"
+    );
     assert_eq!(semi, 0, "semi-auto must eliminate the probe-suite failures");
 }
 

@@ -41,9 +41,7 @@ fn file_pipeline_is_transparent() {
         let r_mode = SimValue::Ptr(world.alloc_cstr("r"));
         let stream = call(&mut world, "fopen", &[path, r_mode]);
         let buf = SimValue::Ptr(world.alloc_buf(32));
-        observed.push(
-            call(&mut world, "fgets", &[buf, SimValue::Int(32), stream]).as_ptr() as i64,
-        );
+        observed.push(call(&mut world, "fgets", &[buf, SimValue::Int(32), stream]).as_ptr() as i64);
         observed.push(call(&mut world, "ftell", &[stream]).as_int());
         observed.push(call(&mut world, "fclose", &[stream]).as_int());
 

@@ -1,0 +1,136 @@
+//! Offline vendored subset of the `criterion` crate API.
+//!
+//! Provides just enough — [`Criterion`], benchmark groups,
+//! [`criterion_group!`]/[`criterion_main!`], and [`black_box`] — for the
+//! workspace's benches to compile and produce simple wall-clock numbers
+//! where crates.io is unreachable. There is no statistical analysis,
+//! warm-up calibration, or report generation: each benchmark runs a
+//! fixed number of timed iterations and prints the mean time per
+//! iteration.
+
+use std::time::Instant;
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&name.into(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_bench(&format!("  {}", id.into()), samples, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench(label: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters: 0,
+        elapsed: 0.0,
+    };
+    for _ in 0..samples.max(1) {
+        f(&mut bencher);
+    }
+    let per_iter = if bencher.iters == 0 {
+        0.0
+    } else {
+        bencher.elapsed / bencher.iters as f64
+    };
+    println!(
+        "{label}: {:.1} ns/iter ({} iters)",
+        per_iter * 1e9,
+        bencher.iters
+    );
+}
+
+/// Passed to the closure under test; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: f64,
+}
+
+impl Bencher {
+    /// Time one execution of `routine` (criterion times batches; a
+    /// single timed call per sample keeps this stub trivial).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed().as_secs_f64();
+        self.iters += 1;
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,53 @@
+//! `prop::collection` — vector strategies.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Accepted length specifications for [`vec`].
+pub trait IntoLenRange {
+    /// Normalize to an inclusive `(min, max)` pair.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoLenRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoLenRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty length range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoLenRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty length range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// A strategy for `Vec`s of `element` with a length drawn from `len`.
+pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+    let (min, max) = len.bounds();
+    VecStrategy { element, min, max }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.usize_in(self.min, self.max + 1);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,111 @@
+//! Offline vendored subset of the `proptest` crate API.
+//!
+//! This workspace builds where crates.io is unreachable, so the slice of
+//! proptest it uses is reimplemented here: the [`proptest!`] macro, the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`/
+//! `prop_filter`, integer/float range strategies, a small
+//! character-class regex string strategy, `prop::collection::vec`,
+//! `prop::sample::select`, tuples, [`strategy::Just`], `any::<T>()`, and
+//! the assertion/assumption macros.
+//!
+//! Semantics are simplified relative to real proptest: cases are sampled
+//! from a fixed-seed deterministic generator, there is **no shrinking**,
+//! and rejected cases (via `prop_assume!` or `prop_filter`) are simply
+//! re-drawn. That is sufficient for the property suites in this
+//! repository, which only rely on deterministic random sampling.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod rng;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirrors real proptest's `prelude::prop` module path.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Define property tests. Each function body runs for the configured
+/// number of cases with its arguments drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run($config, |__rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+}
+
+/// Assert inside a property; on failure the current inputs are reported
+/// through the panic message (no shrinking in this vendored subset).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Discard the current case (it does not count toward the case budget)
+/// when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

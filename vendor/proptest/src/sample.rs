@@ -1,0 +1,22 @@
+//! `prop::sample` — choosing among explicit values.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Uniform choice among `items`; panics at sample time if empty.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    Select { items }
+}
+
+/// See [`select`].
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.items.is_empty(), "select over an empty collection");
+        self.items[rng.usize_in(0, self.items.len())].clone()
+    }
+}

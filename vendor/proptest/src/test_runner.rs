@@ -1,0 +1,59 @@
+//! The case loop driving [`crate::proptest!`] bodies.
+
+use crate::rng::TestRng;
+
+/// Per-suite configuration (the vendored subset only honors `cases`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Marker returned by `prop_assume!`/body early-exit for a discarded case.
+#[derive(Debug)]
+pub struct Rejected;
+
+/// Fixed base seed: property runs are reproducible across invocations.
+const BASE_SEED: u64 = 0x48EA_1E55_2002_0623;
+
+/// Run `body` until `config.cases` cases are accepted, drawing each
+/// case's inputs from an independently seeded deterministic generator.
+///
+/// # Panics
+///
+/// Panics (failing the test) if the body panics, or if too many cases
+/// in a row are rejected.
+pub fn run<F>(config: ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), Rejected>,
+{
+    let max_attempts = (config.cases as u64) * 20 + 1000;
+    let mut accepted = 0u32;
+    let mut attempt = 0u64;
+    while accepted < config.cases {
+        attempt += 1;
+        assert!(
+            attempt <= max_attempts,
+            "gave up after {attempt} attempts with only {accepted}/{} accepted cases",
+            config.cases
+        );
+        let mut rng = TestRng::new(BASE_SEED ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        match body(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(Rejected) => continue,
+        }
+    }
+}
