@@ -1,12 +1,20 @@
-//! Content fingerprints keying the persistent declaration cache.
+//! Content fingerprints and per-function RNG seed derivation.
 //!
-//! A cache entry is valid only while everything the injection outcome
-//! depends on is unchanged: the function prototype, the selected
-//! generators and their candidate universes, the injector constants,
-//! and the campaign seed. All of that is rendered into a canonical text
-//! (see `FaultInjector::signature`) and hashed with FNV-1a 64; the hex
-//! digest becomes part of the cache file name, so any change produces a
-//! different file and the stale entry is simply never consulted again.
+//! Two consumers share this module:
+//!
+//! * the evaluation runner ([`crate::runner`]) seeds every function's
+//!   sampling RNG via [`derive_seed`], so reports are independent of
+//!   execution order and worker count;
+//! * the campaign orchestrator's persistent declaration cache
+//!   (`healers-campaign`, which re-exports this module) keys entries by
+//!   a [`fingerprint`] of everything the injection outcome depends on:
+//!   the function prototype, the selected generators and their
+//!   candidate universes, the injector constants, and the campaign
+//!   seed. All of that is rendered into a canonical text (see
+//!   `FaultInjector::signature`) and hashed with FNV-1a 64; the hex
+//!   digest becomes part of the cache file name, so any change produces
+//!   a different file and the stale entry is simply never consulted
+//!   again.
 
 use std::fmt;
 
@@ -47,9 +55,11 @@ pub fn fingerprint(parts: &[&str]) -> Fingerprint {
 
 /// Derive an independent per-function RNG seed from a campaign seed.
 ///
-/// The parallel Ballista path gives every function its own generator so
-/// that results do not depend on worker scheduling; mixing the function
-/// name in via the fingerprint keeps streams decorrelated.
+/// Both the serial runner and the parallel campaign path give every
+/// function its own generator, so results do not depend on execution
+/// order or worker scheduling and `--jobs 1` reports exactly what
+/// `--jobs 8` does; mixing the function name in via the fingerprint
+/// keeps streams decorrelated.
 pub fn derive_seed(seed: u64, function: &str) -> u64 {
     let mut z = seed ^ fingerprint(&[function]).0;
     // SplitMix64 finalizer: avalanche the combined bits.

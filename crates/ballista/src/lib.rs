@@ -27,12 +27,14 @@
 //! ```
 
 pub mod bitflip;
+pub mod fingerprint;
 pub mod pools;
 pub mod report;
 pub mod runner;
 pub mod targets;
 
 pub use bitflip::run_bitflip;
+pub use fingerprint::derive_seed;
 pub use report::{BallistaReport, FunctionOutcomes, TestClass};
 pub use runner::{Ballista, Mode, PreparedMode};
 pub use targets::{ballista_targets, NEVER_CRASHING};

@@ -8,6 +8,7 @@ use healers_core::{analyze, FunctionDecl, RobustnessWrapper, WrapperConfig};
 use healers_libc::{Libc, World};
 use healers_simproc::{SimFault, SimValue};
 
+use crate::fingerprint::derive_seed;
 use crate::pools::{param_kind, prepare, ParamKind, Pools};
 use crate::report::{BallistaReport, TestClass};
 use crate::targets::ballista_targets;
@@ -92,6 +93,11 @@ impl Ballista {
     }
 
     /// Run one configuration with precomputed declarations.
+    ///
+    /// Every function samples from its own RNG seeded by
+    /// [`derive_seed`]`(self.seed, name)` — the same derivation the
+    /// campaign orchestrator uses — so this serial run is bit-identical
+    /// to a parallel campaign evaluation at any worker count.
     pub fn run_with_decls(
         &self,
         libc: &Libc,
@@ -100,8 +106,8 @@ impl Ballista {
     ) -> BallistaReport {
         let prepared = self.prepare_mode(libc, mode, decls);
         let mut report = BallistaReport::new(mode.label());
-        let mut rng = StdRng::seed_from_u64(self.seed);
         for name in &self.functions {
+            let mut rng = StdRng::seed_from_u64(derive_seed(self.seed, name));
             for class in self.run_function(libc, &prepared, name, &mut rng) {
                 report.record(name, class);
             }

@@ -92,11 +92,13 @@ fn bench_checking_modes(c: &mut Criterion) {
             run_workload(&libc, &gcc, Some(w))
         })
     });
-    group.bench_function("full_auto_with_check_cache", |b| {
-        // The §7-cited validity-caching optimization ([3]).
+    group.bench_function("full_auto_no_check_cache", |b| {
+        // Ablate the §7-cited validity-caching optimization ([3]),
+        // which full_auto now enables by default: every pointer is
+        // re-validated through the bulk kernels on every call.
         b.iter(|| {
             let config = WrapperConfig {
-                check_cache: true,
+                check_cache: false,
                 ..WrapperConfig::full_auto()
             };
             let w = RobustnessWrapper::new(decls.clone(), config);

@@ -1,12 +1,14 @@
 //! Micro-benchmarks of the individual checking functions (§5): the
-//! per-check costs that Table 2's "checking overhead" row aggregates.
+//! per-check costs that Table 2's "checking overhead" row aggregates —
+//! plus the underlying bulk kernels (`probe_range`/`find_nul`) they
+//! are built on, against byte-at-a-time reference loops.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use healers_core::checker::{check_value, CheckCapabilities, Tables};
 use healers_libc::{file, World};
 use healers_os::OpenFlags;
-use healers_simproc::SimValue;
+use healers_simproc::{AddressSpace, Protection, SimValue, PAGE_SIZE};
 use healers_typesys::TypeExpr;
 
 fn bench_checks(c: &mut Criterion) {
@@ -89,5 +91,47 @@ fn bench_checks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_checks);
+/// The bulk kernels vs. their byte-at-a-time predecessors: the speedup
+/// Table 2's halved checking overhead comes from.
+fn bench_kernels(c: &mut Criterion) {
+    let mut mem = AddressSpace::new();
+    let base = 0x10_000;
+    let span = 16 * PAGE_SIZE;
+    mem.map(base, span, Protection::ReadWrite);
+    for off in 0..span {
+        mem.write_u8(base + off, 0x41).unwrap();
+    }
+    // A NUL near the end of the fourth page (a long but bounded scan).
+    let nul_at = 4 * PAGE_SIZE - 7;
+    mem.write_u8(base + nul_at, 0).unwrap();
+
+    let probe_ref = |len: u32| {
+        for i in 0..len {
+            assert!(mem.probe_read(base + i) && mem.probe_write(base + i));
+        }
+    };
+    let nul_ref = || {
+        let mut i = 0;
+        while mem.read_u8(base + i).unwrap() != 0 {
+            i += 1;
+        }
+        assert_eq!(i, nul_at);
+    };
+
+    let mut group = c.benchmark_group("kernels");
+    group.bench_function("probe_range_64k", |b| {
+        b.iter(|| assert!(mem.probe_range(base, span, true, true)))
+    });
+    group.bench_function("probe_bytewise_64k", |b| b.iter(|| probe_ref(span)));
+    group.bench_function("find_nul_16k", |b| {
+        b.iter(|| assert_eq!(mem.find_nul(base, span, false), Some(nul_at)))
+    });
+    group.bench_function("find_nul_bytewise_16k", |b| b.iter(nul_ref));
+    group.bench_function("probe_range_single_page", |b| {
+        b.iter(|| assert!(mem.probe_range(base + 3, PAGE_SIZE - 3, true, false)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checks, bench_kernels);
 criterion_main!(benches);

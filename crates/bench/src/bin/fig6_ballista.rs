@@ -8,10 +8,10 @@
 //!
 //! With `--jobs N` (optionally `--cache DIR`) the run routes through
 //! the campaign orchestrator: analysis and evaluation fan out over N
-//! workers, and cached declarations skip injection entirely. The
-//! campaign path seeds every function's sampling RNG independently, so
-//! its test selection differs from the serial shared-stream path (but
-//! is itself identical for any N).
+//! workers, and cached declarations skip injection entirely. Both
+//! paths seed every function's sampling RNG independently
+//! (`derive_seed`), so the serial run and `--jobs N` print identical
+//! reports for any N.
 
 use healers_ballista::{Ballista, BallistaReport, Mode};
 use healers_campaign::{Campaign, CampaignConfig};

@@ -13,24 +13,33 @@
 //! Absolute values depend on the machine (here: a simulated one); the
 //! *ordering* — gcc worst, ps2pdf close behind, tar small, gzip
 //! negligible — is the reproducible shape.
+//!
+//! Flags:
+//!
+//! * `--fast` — 3 reps instead of 7 (CI perf smoke);
+//! * `--json PATH` — also emit the rows (plus the per-kernel check
+//!   decomposition) as `BENCH_checks.json`;
+//! * `--baseline PATH` — compare against a committed `BENCH_checks.json`
+//!   and exit non-zero if gcc's checking overhead regressed by more
+//!   than 20 % relative.
 
 use std::time::Duration;
 
 use healers_ballista::ballista_targets;
 use healers_bench::{run_workload, workloads, Workload};
+use healers_core::checker::CheckCounters;
 use healers_core::{analyze, FunctionDecl, RobustnessWrapper, WrapperConfig};
 use healers_libc::Libc;
-
-const REPS: usize = 7;
 
 fn best(
     libc: &Libc,
     workload: &Workload,
+    reps: usize,
     make_wrapper: impl Fn() -> Option<RobustnessWrapper>,
 ) -> (Duration, healers_bench::WorkloadStats) {
     let mut best_time = Duration::MAX;
     let mut best_stats = None;
-    for _ in 0..REPS {
+    for _ in 0..reps {
         let stats = run_workload(libc, workload, make_wrapper());
         if stats.total < best_time {
             best_time = stats.total;
@@ -46,20 +55,21 @@ struct Row {
     time_in_library: f64,
     checking_overhead: f64,
     execution_overhead: f64,
+    check_kinds: CheckCounters,
 }
 
-fn measure(libc: &Libc, decls: &[FunctionDecl], workload: &Workload) -> Row {
+fn measure(libc: &Libc, decls: &[FunctionDecl], workload: &Workload, reps: usize) -> Row {
     // Execution overhead: plain wrapper vs. unwrapped (no timers in the
     // hot path for either).
-    let (unwrapped, _) = best(libc, workload, || None);
-    let (wrapped, plain_stats) = best(libc, workload, || {
+    let (unwrapped, _) = best(libc, workload, reps, || None);
+    let (wrapped, plain_stats) = best(libc, workload, reps, || {
         Some(RobustnessWrapper::new(
             decls.to_vec(),
             WrapperConfig::full_auto(),
         ))
     });
     // Library/check shares: the measurement wrapper of §7.
-    let (_, measured) = best(libc, workload, || {
+    let (_, measured) = best(libc, workload, reps, || {
         Some(RobustnessWrapper::new(
             decls.to_vec(),
             WrapperConfig {
@@ -76,10 +86,61 @@ fn measure(libc: &Libc, decls: &[FunctionDecl], workload: &Workload) -> Row {
         checking_overhead: 100.0 * measured.time_checking.as_secs_f64() / total,
         execution_overhead: 100.0 * (wrapped.as_secs_f64() - unwrapped.as_secs_f64())
             / unwrapped.as_secs_f64(),
+        check_kinds: measured.check_kinds,
     }
 }
 
+fn json_for(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"calls_per_sec\": {:.0}, \
+             \"time_in_library_pct\": {:.4}, \"checking_overhead_pct\": {:.4}, \
+             \"execution_overhead_pct\": {:.4}, \"table_hits\": {}, \
+             \"run_probes\": {}, \"nul_scans\": {}, \"bytes_scanned\": {}}}{}\n",
+            r.name,
+            r.calls_per_sec,
+            r.time_in_library,
+            r.checking_overhead,
+            r.execution_overhead,
+            r.check_kinds.table_hits,
+            r.check_kinds.run_probes,
+            r.check_kinds.nul_scans,
+            r.check_kinds.bytes_scanned,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extract `"checking_overhead_pct": <number>` for the named workload
+/// from a `BENCH_checks.json` document (no JSON library available
+/// offline — the emitter above keeps each workload on one line).
+fn baseline_checking_overhead(doc: &str, name: &str) -> Option<f64> {
+    let line = doc
+        .lines()
+        .find(|l| l.contains(&format!("\"name\": \"{name}\"")))?;
+    let key = "\"checking_overhead_pct\": ";
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let path_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from)
+    };
+    let json_path = path_after("--json");
+    let baseline_path = path_after("--baseline");
+    let reps = if fast { 3 } else { 7 };
+
     let libc = Libc::standard();
     eprintln!("analyzing the 86 target functions…");
     let decls = analyze(&libc, &ballista_targets());
@@ -87,8 +148,8 @@ fn main() {
     let rows: Vec<Row> = workloads()
         .iter()
         .map(|w| {
-            eprintln!("measuring {} ({} reps × 3 configurations)…", w.name, REPS);
-            measure(&libc, &decls, w)
+            eprintln!("measuring {} ({reps} reps × 3 configurations)…", w.name);
+            measure(&libc, &decls, w, reps)
         })
         .collect();
 
@@ -119,4 +180,47 @@ fn main() {
         print!("{:>11.2}%", r.execution_overhead);
     }
     println!("   (paper: 3.14% / 1.12% / 16.1% / 5.67%)");
+    println!();
+    println!("Check-kernel decomposition (measurement run):");
+    print!("{:<22}", "table hits");
+    for r in &rows {
+        print!("{:>12}", r.check_kinds.table_hits);
+    }
+    println!();
+    print!("{:<22}", "bulk run probes");
+    for r in &rows {
+        print!("{:>12}", r.check_kinds.run_probes);
+    }
+    println!();
+    print!("{:<22}", "NUL scans");
+    for r in &rows {
+        print!("{:>12}", r.check_kinds.nul_scans);
+    }
+    println!();
+    print!("{:<22}", "bytes scanned");
+    for r in &rows {
+        print!("{:>12}", r.check_kinds.bytes_scanned);
+    }
+    println!();
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, json_for(&rows)).expect("write BENCH_checks.json");
+        eprintln!("wrote {}", path.display());
+    }
+
+    if let Some(path) = baseline_path {
+        let doc = std::fs::read_to_string(&path).expect("read baseline");
+        let base = baseline_checking_overhead(&doc, "gcc").expect("gcc row in baseline");
+        let now = rows
+            .iter()
+            .find(|r| r.name == "gcc")
+            .expect("gcc workload")
+            .checking_overhead;
+        eprintln!("gcc checking overhead: baseline {base:.3}% vs now {now:.3}%");
+        if now > base * 1.2 {
+            eprintln!("FAIL: gcc checking overhead regressed more than 20% vs baseline");
+            std::process::exit(1);
+        }
+        eprintln!("OK: within the 20% regression budget");
+    }
 }

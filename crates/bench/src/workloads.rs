@@ -20,6 +20,7 @@
 
 use std::time::{Duration, Instant};
 
+use healers_core::checker::CheckCounters;
 use healers_core::RobustnessWrapper;
 use healers_libc::{Libc, World};
 use healers_simproc::{SimFault, SimValue};
@@ -94,6 +95,9 @@ pub struct WorkloadStats {
     pub time_in_library: Duration,
     /// Wall-clock time spent in argument checking (measurement mode).
     pub time_checking: Duration,
+    /// Per-kernel decomposition of the checks: table hits, bulk run
+    /// probes, NUL scans, and bytes scanned.
+    pub check_kinds: CheckCounters,
 }
 
 /// Execute a workload against a fresh world, returning its stats. The
@@ -122,12 +126,14 @@ pub fn run_workload(
             wrapped_calls: w.stats.wrapped_calls,
             time_in_library: w.stats.time_in_library,
             time_checking: w.stats.time_checking,
+            check_kinds: w.stats.check_kinds,
         },
         None => WorkloadStats {
             total,
             wrapped_calls: 0,
             time_in_library: Duration::ZERO,
             time_checking: Duration::ZERO,
+            check_kinds: CheckCounters::default(),
         },
     }
 }

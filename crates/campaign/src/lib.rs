@@ -39,7 +39,6 @@
 
 pub mod cache;
 pub mod campaign;
-pub mod fingerprint;
 pub mod journal;
 pub mod json;
 pub mod metrics;
@@ -47,7 +46,11 @@ pub mod scheduler;
 
 pub use cache::{CacheCounters, DeclCache};
 pub use campaign::{Campaign, CampaignConfig};
-pub use fingerprint::{derive_seed, fingerprint, Fingerprint, FORMAT_VERSION};
+// The fingerprint module lives in `healers-ballista` so the serial
+// runner can derive the same per-function seeds; re-exported here
+// because the declaration cache keys are part of this crate's API.
+pub use healers_ballista::fingerprint;
+pub use healers_ballista::fingerprint::{derive_seed, fingerprint, Fingerprint, FORMAT_VERSION};
 pub use journal::{CampaignEvent, Journal, JournalSender};
 pub use metrics::CampaignMetrics;
 pub use scheduler::run_indexed;

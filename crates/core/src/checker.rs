@@ -11,7 +11,12 @@
 //! * **Stack bounds** — a buffer on the stack is checked against the
 //!   stack segment (the Libsafe-style frame check).
 //! * **Stateless probing** — for everything else, accessibility is
-//!   probed one byte per page (the signal-handler technique of ref. 2).
+//!   established per page (the signal-handler technique of ref. 2);
+//!   the simulation resolves it with one bulk page-run query
+//!   (`AddressSpace::probe_range`) per region and a word-wise bulk
+//!   terminator scan (`AddressSpace::find_nul`) per string —
+//!   semantically identical to probing each page, but paying one
+//!   page-table seek per contiguous run instead of per byte.
 //!
 //! Data structures get semantic checks: a `FILE*` is validated by
 //! extracting `fileno` and `fstat`-ing it (§5.2); a `DIR*` can only be
@@ -22,7 +27,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use healers_libc::{file, World};
 use healers_os::Termios;
-use healers_simproc::{Addr, SimValue, HEAP_BASE, PAGE_SIZE, STACK_BASE};
+use healers_simproc::{Addr, SimValue, HEAP_BASE, STACK_BASE};
 use healers_typesys::TypeExpr;
 
 /// Upper bound on string-validation scans (a terminated string longer
@@ -42,14 +47,53 @@ pub struct Tables {
 }
 
 impl Tables {
-    /// The tracked block containing `addr`, if any.
+    /// The tracked block containing `addr`, if any. A `malloc(0)` block
+    /// contains no addresses — not even its own base: the allocator
+    /// granted zero accessible bytes, so the table has no bounds to
+    /// check against and lookups fall through to the page probe.
     pub fn block_containing(&self, addr: Addr) -> Option<(Addr, u32)> {
         let (&base, &size) = self.heap_blocks.range(..=addr).next_back()?;
-        if addr >= base && addr - base < size.max(1) {
+        if addr >= base && addr - base < size {
             Some((base, size))
         } else {
             None
         }
+    }
+}
+
+/// Per-kind counters for the checking kernels — the decomposition the
+/// Table 2 "checking overhead" row aggregates. One counter per checking
+/// technique plus the byte volume the bulk kernels covered:
+///
+/// * a **table hit** resolves a pointer against the stateful heap
+///   table (§5.1) — no page walk at all;
+/// * a **run probe** is one bulk [`probe_range`] call — a single
+///   page-table range seek validating a whole region;
+/// * a **NUL scan** is one bulk [`find_nul`] call — a word-wise
+///   terminator search over resident page bytes;
+/// * **bytes scanned** sums the bytes those two kernels covered.
+///
+/// [`probe_range`]: healers_simproc::mem::AddressSpace::probe_range
+/// [`find_nul`]: healers_simproc::mem::AddressSpace::find_nul
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckCounters {
+    /// Stateful heap-table resolutions.
+    pub table_hits: u64,
+    /// Bulk page-run probes (`probe_range`).
+    pub run_probes: u64,
+    /// Bulk NUL terminator scans (`find_nul`).
+    pub nul_scans: u64,
+    /// Bytes covered by the bulk kernels.
+    pub bytes_scanned: u64,
+}
+
+impl CheckCounters {
+    /// Fold another counter set into this one.
+    pub fn absorb(&mut self, other: &CheckCounters) {
+        self.table_hits += other.table_hits;
+        self.run_probes += other.run_probes;
+        self.nul_scans += other.nul_scans;
+        self.bytes_scanned += other.bytes_scanned;
     }
 }
 
@@ -118,6 +162,7 @@ pub fn checkable_supertype(t: TypeExpr, caps: &CheckCapabilities) -> TypeExpr {
 /// Validate a memory region of `size` bytes at `ptr` with the required
 /// access, using stateful checking where possible and page probing
 /// otherwise.
+#[allow(clippy::too_many_arguments)]
 fn check_region(
     world: &World,
     tables: &Tables,
@@ -126,6 +171,7 @@ fn check_region(
     size: u32,
     need_read: bool,
     need_write: bool,
+    ctrs: &mut CheckCounters,
 ) -> bool {
     if ptr == 0 {
         return false;
@@ -135,6 +181,7 @@ fn check_region(
     // even a sub-page overflow is caught.
     if caps.stateful_heap && (HEAP_BASE..healers_simproc::proc::HEAP_LIMIT).contains(&ptr) {
         if let Some((base, block_size)) = tables.block_containing(ptr) {
+            ctrs.table_hits += 1;
             let remaining = base + block_size - ptr;
             if remaining < size {
                 return false;
@@ -150,44 +197,35 @@ fn check_region(
     if world.proc.in_stack(ptr) {
         return u64::from(ptr) + u64::from(size) <= u64::from(STACK_BASE);
     }
-    // Stateless: probe one byte per page across the region.
-    let mut a = ptr;
-    let end = match ptr.checked_add(size - 1) {
-        Some(e) => e,
-        None => return false,
-    };
-    loop {
-        let ok = (!need_read || world.proc.mem.probe_read(a))
-            && (!need_write || world.proc.mem.probe_write(a));
-        if !ok {
-            return false;
-        }
-        if a / PAGE_SIZE == end / PAGE_SIZE {
-            break;
-        }
-        a = (a / PAGE_SIZE + 1) * PAGE_SIZE;
-    }
-    (!need_read || world.proc.mem.probe_read(end))
-        && (!need_write || world.proc.mem.probe_write(end))
+    // Stateless: one bulk probe over the whole region — a single
+    // page-table range seek instead of one lookup per page.
+    ctrs.run_probes += 1;
+    ctrs.bytes_scanned += u64::from(size);
+    world.proc.mem.probe_range(ptr, size, need_read, need_write)
 }
 
-/// Scan for a NUL terminator within `limit` bytes of readable (and
-/// optionally writable) memory. Returns the string length if valid.
-fn scan_string(world: &World, ptr: Addr, limit: u32, need_write: bool) -> Option<u32> {
+/// Scan for a NUL terminator at index ≤ `limit` in readable (and
+/// optionally writable) memory; returns the string length — the NUL
+/// index — if valid. The boundary is **inclusive**, matching
+/// `NtsMax(l)` semantics: length `l` means the terminator lies at
+/// index ≤ `l`, so up to `l + 1` bytes are examined and a string of
+/// strlen exactly `l` is accepted.
+fn scan_string(
+    world: &World,
+    ptr: Addr,
+    limit: u32,
+    need_write: bool,
+    ctrs: &mut CheckCounters,
+) -> Option<u32> {
     if ptr == 0 {
         return None;
     }
-    for i in 0..=limit {
-        let a = ptr.checked_add(i)?;
-        if !world.proc.mem.probe_read(a) || (need_write && !world.proc.mem.probe_write(a)) {
-            return None;
-        }
-        // Probes established accessibility; a direct read cannot fault.
-        if world.proc.mem.read_u8(a).ok()? == 0 {
-            return Some(i);
-        }
+    ctrs.nul_scans += 1;
+    let len = world.proc.mem.find_nul(ptr, limit, need_write);
+    if let Some(l) = len {
+        ctrs.bytes_scanned += u64::from(l) + 1;
     }
-    None
+    len
 }
 
 /// Validate a `FILE*` (§5.2): the region must look like a stream object
@@ -201,12 +239,13 @@ fn check_file(
     ptr: Addr,
     need_read: bool,
     need_write: bool,
+    ctrs: &mut CheckCounters,
 ) -> bool {
     if caps.file_tracking {
         if !tables.open_files.contains(&ptr) {
             return false;
         }
-    } else if !check_region(world, tables, caps, ptr, file::FILE_SIZE, true, true) {
+    } else if !check_region(world, tables, caps, ptr, file::FILE_SIZE, true, true, ctrs) {
         return false;
     }
     // Extract the descriptor (the region is readable; reads cannot
@@ -229,7 +268,13 @@ fn check_file(
     if caps.file_tracking {
         match world.proc.mem.read_u32(ptr + file::OFF_BUFPTR) {
             Ok(0) => {}
-            Ok(buf) if world.proc.mem.probe_read(buf) => {}
+            Ok(buf) => {
+                ctrs.run_probes += 1;
+                ctrs.bytes_scanned += 1;
+                if !world.proc.mem.probe_range(buf, 1, true, false) {
+                    return false;
+                }
+            }
             _ => return false,
         }
     }
@@ -238,14 +283,18 @@ fn check_file(
 
 /// Validate a tracked `DIR*`'s structural integrity (semi-automatic):
 /// the embedded dirent-buffer pointer must be writable.
-fn check_dir_integrity(world: &World, ptr: Addr) -> bool {
+fn check_dir_integrity(world: &World, ptr: Addr, ctrs: &mut CheckCounters) -> bool {
     match world.proc.mem.read_u32(ptr + healers_libc::dirent::OFF_BUF) {
-        Ok(buf) => buf != 0 && world.proc.mem.probe_write(buf),
-        Err(_) => false,
+        Ok(buf) if buf != 0 => {
+            ctrs.run_probes += 1;
+            ctrs.bytes_scanned += 1;
+            world.proc.mem.probe_range(buf, 1, false, true)
+        }
+        _ => false,
     }
 }
 
-/// Check one value against one (checkable) type.
+/// Check one value against one (checkable) type, discarding counters.
 ///
 /// # Panics
 ///
@@ -259,31 +308,73 @@ pub fn check_value(
     value: SimValue,
     t: TypeExpr,
 ) -> bool {
+    check_value_counted(world, tables, caps, value, t, &mut CheckCounters::default())
+}
+
+/// Check one value against one (checkable) type, recording which
+/// checking kernels ran (and how many bytes they covered) in `ctrs` —
+/// the instrumented entry point the wrapper's stats are built on.
+///
+/// # Panics
+///
+/// Panics when asked to check a type for which no checking function
+/// exists under the given capabilities — callers must first degrade via
+/// [`checkable_supertype`].
+pub fn check_value_counted(
+    world: &World,
+    tables: &Tables,
+    caps: &CheckCapabilities,
+    value: SimValue,
+    t: TypeExpr,
+    ctrs: &mut CheckCounters,
+) -> bool {
     use TypeExpr::*;
     let ptr = value.as_ptr();
     match t {
         Unconstrained | IntAny => true,
         Null => value.is_null(),
-        RArray(s) => check_region(world, tables, caps, ptr, s, true, false),
-        WArray(s) => check_region(world, tables, caps, ptr, s, false, true),
-        RwArray(s) => check_region(world, tables, caps, ptr, s, true, true),
-        RArrayNull(s) => value.is_null() || check_region(world, tables, caps, ptr, s, true, false),
-        WArrayNull(s) => value.is_null() || check_region(world, tables, caps, ptr, s, false, true),
-        RwArrayNull(s) => value.is_null() || check_region(world, tables, caps, ptr, s, true, true),
-        OpenFile => check_file(world, tables, caps, ptr, false, false),
-        OpenFileNull => value.is_null() || check_file(world, tables, caps, ptr, false, false),
-        RFile => check_file(world, tables, caps, ptr, true, false),
-        WFile => check_file(world, tables, caps, ptr, false, true),
-        OpenDir => tables.open_dirs.contains(&ptr) && check_dir_integrity(world, ptr),
-        OpenDirNull => {
-            value.is_null() || (tables.open_dirs.contains(&ptr) && check_dir_integrity(world, ptr))
+        RArray(s) => check_region(world, tables, caps, ptr, s, true, false, ctrs),
+        WArray(s) => check_region(world, tables, caps, ptr, s, false, true, ctrs),
+        RwArray(s) => check_region(world, tables, caps, ptr, s, true, true, ctrs),
+        RArrayNull(s) => {
+            value.is_null() || check_region(world, tables, caps, ptr, s, true, false, ctrs)
         }
-        Nts => scan_string(world, ptr, MAX_STRING_SCAN, false).is_some(),
-        NtsWritable => scan_string(world, ptr, MAX_STRING_SCAN, true).is_some(),
-        NtsNull => value.is_null() || scan_string(world, ptr, MAX_STRING_SCAN, false).is_some(),
-        NtsMax(l) => scan_string(world, ptr, l, false).is_some(),
-        ModeShort => scan_string(world, ptr, healers_typesys::order::MODE_MAX_LEN, false).is_some(),
-        ModeValid => match scan_string(world, ptr, healers_typesys::order::MODE_MAX_LEN, false) {
+        WArrayNull(s) => {
+            value.is_null() || check_region(world, tables, caps, ptr, s, false, true, ctrs)
+        }
+        RwArrayNull(s) => {
+            value.is_null() || check_region(world, tables, caps, ptr, s, true, true, ctrs)
+        }
+        OpenFile => check_file(world, tables, caps, ptr, false, false, ctrs),
+        OpenFileNull => value.is_null() || check_file(world, tables, caps, ptr, false, false, ctrs),
+        RFile => check_file(world, tables, caps, ptr, true, false, ctrs),
+        WFile => check_file(world, tables, caps, ptr, false, true, ctrs),
+        OpenDir => tables.open_dirs.contains(&ptr) && check_dir_integrity(world, ptr, ctrs),
+        OpenDirNull => {
+            value.is_null()
+                || (tables.open_dirs.contains(&ptr) && check_dir_integrity(world, ptr, ctrs))
+        }
+        Nts => scan_string(world, ptr, MAX_STRING_SCAN, false, ctrs).is_some(),
+        NtsWritable => scan_string(world, ptr, MAX_STRING_SCAN, true, ctrs).is_some(),
+        NtsNull => {
+            value.is_null() || scan_string(world, ptr, MAX_STRING_SCAN, false, ctrs).is_some()
+        }
+        NtsMax(l) => scan_string(world, ptr, l, false, ctrs).is_some(),
+        ModeShort => scan_string(
+            world,
+            ptr,
+            healers_typesys::order::MODE_MAX_LEN,
+            false,
+            ctrs,
+        )
+        .is_some(),
+        ModeValid => match scan_string(
+            world,
+            ptr,
+            healers_typesys::order::MODE_MAX_LEN,
+            false,
+            ctrs,
+        ) {
             Some(len) if len > 0 => {
                 let first = world.proc.mem.read_u8(ptr).unwrap_or(0);
                 matches!(first, b'r' | b'w' | b'a')
@@ -365,6 +456,53 @@ mod tests {
             &stateless,
             SimValue::Ptr(a),
             TypeExpr::RwArray(17)
+        ));
+    }
+
+    #[test]
+    fn zero_size_blocks_fall_through_to_the_page_probe() {
+        // A tracked malloc(0) block must not act as a bounds record:
+        // the allocator granted zero bytes, so the table answers "not
+        // mine" and the stateless probe decides — exactly what happens
+        // for untracked memory.
+        let mut world = World::new();
+        let zero = world.alloc_buf(0);
+        let next = world.alloc_buf(16);
+        let mut tables = Tables::default();
+        tables.heap_blocks.insert(zero, 0);
+        tables.heap_blocks.insert(next, 16);
+
+        assert_eq!(tables.block_containing(zero), None);
+        // Packed heap: the byte at the zero-size block's base lives in
+        // an accessible page, so the page probe accepts it (the real
+        // machine would not fault either).
+        assert!(check_value(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Ptr(zero),
+            TypeExpr::RwArray(1)
+        ));
+        // The neighbouring real block keeps its exact bounds.
+        assert_eq!(tables.block_containing(next), Some((next, 16)));
+
+        // Guarded heap: malloc(0) returns a pointer at the guard page,
+        // and the fall-through probe rejects any access through it —
+        // the zero-size entry must not mask that either.
+        let mut guarded = World::new();
+        guarded
+            .proc
+            .heap
+            .set_mode(healers_simproc::HeapMode::Guarded);
+        let gz = guarded.alloc_buf(0);
+        let mut gtables = Tables::default();
+        gtables.heap_blocks.insert(gz, 0);
+        assert!(!check_value(
+            &guarded,
+            &gtables,
+            &caps(),
+            SimValue::Ptr(gz),
+            TypeExpr::RwArray(1)
         ));
     }
 
@@ -652,6 +790,101 @@ mod tests {
             SimValue::Ptr(bad),
             TypeExpr::ModeShort
         ));
+    }
+
+    #[test]
+    fn nts_max_limit_boundary_is_inclusive() {
+        // NtsMax(l) means "NUL at index ≤ l": a string of strlen
+        // exactly l is accepted, strlen l+1 is not — pinned at
+        // limit-1 / limit / limit+1 on both sides of the boundary.
+        let mut world = World::new();
+        let tables = Tables::default();
+        let s = world.alloc_cstr("12345"); // strlen 5
+        for (limit, ok) in [(4u32, false), (5, true), (6, true)] {
+            assert_eq!(
+                check_value(
+                    &world,
+                    &tables,
+                    &caps(),
+                    SimValue::Ptr(s),
+                    TypeExpr::NtsMax(limit)
+                ),
+                ok,
+                "strlen 5 vs NtsMax({limit})"
+            );
+        }
+
+        // Same boundary when the terminator is the last byte of a
+        // mapped page and the next page is a guard page: the scan must
+        // accept at exactly the limit without touching the guard.
+        let mut guarded = World::new();
+        guarded
+            .proc
+            .heap
+            .set_mode(healers_simproc::HeapMode::Guarded);
+        let buf = guarded.alloc_buf(6);
+        guarded.proc.write_cstr(buf, b"12345").unwrap(); // NUL at page end
+        for (limit, ok) in [(4u32, false), (5, true), (6, true)] {
+            assert_eq!(
+                check_value(
+                    &guarded,
+                    &tables,
+                    &caps(),
+                    SimValue::Ptr(buf),
+                    TypeExpr::NtsMax(limit)
+                ),
+                ok,
+                "page-end strlen 5 vs NtsMax({limit})"
+            );
+        }
+    }
+
+    #[test]
+    fn check_counters_classify_the_kernels() {
+        let mut world = World::new();
+        let mut tables = Tables::default();
+        let tracked = world.alloc_buf(64);
+        tables.heap_blocks.insert(tracked, 64);
+        let s = world.alloc_cstr("hello");
+
+        let mut ctrs = CheckCounters::default();
+        assert!(check_value_counted(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Ptr(tracked),
+            TypeExpr::RwArray(64),
+            &mut ctrs
+        ));
+        assert_eq!(ctrs.table_hits, 1);
+        assert_eq!(ctrs.run_probes, 0);
+
+        assert!(check_value_counted(
+            &world,
+            &tables,
+            &caps(),
+            SimValue::Ptr(s),
+            TypeExpr::Nts,
+            &mut ctrs
+        ));
+        assert_eq!(ctrs.nul_scans, 1);
+        assert_eq!(ctrs.bytes_scanned, 6, "strlen 5 + terminator");
+
+        // Stateless fall-through: one bulk run probe for the region.
+        let stateless = CheckCapabilities {
+            stateful_heap: false,
+            ..caps()
+        };
+        assert!(check_value_counted(
+            &world,
+            &tables,
+            &stateless,
+            SimValue::Ptr(tracked),
+            TypeExpr::RwArray(64),
+            &mut ctrs
+        ));
+        assert_eq!(ctrs.run_probes, 1);
+        assert_eq!(ctrs.bytes_scanned, 6 + 64);
     }
 
     #[test]

@@ -17,7 +17,9 @@ use healers_libc::{file, Libc, World};
 use healers_simproc::{SimFault, SimValue};
 use healers_typesys::TypeExpr;
 
-use crate::checker::{check_value, checkable_supertype, CheckCapabilities, Tables};
+use crate::checker::{
+    check_value_counted, checkable_supertype, CheckCapabilities, CheckCounters, Tables,
+};
 use crate::decl::FunctionDecl;
 use crate::overrides::{ManualOverride, SizeAssertion, SizeTerm};
 
@@ -74,7 +76,11 @@ impl WrapperConfig {
             assertions: crate::overrides::builtin_assertions(),
             log_violations: false,
             measure: false,
-            check_cache: false,
+            // The §7-cited validity-caching optimization ([3]): cached
+            // successful pointer checks are invalidated by the table
+            // generation, so enabling it never changes check outcomes —
+            // only skips re-probing unchanged pointers.
+            check_cache: true,
         }
     }
 
@@ -128,6 +134,9 @@ pub struct WrapperStats {
     pub violations: u64,
     /// Checks skipped thanks to the validity cache.
     pub check_cache_hits: u64,
+    /// Per-kernel decomposition of the checks above: tracking-table
+    /// hits, bulk page-run probes, NUL scans, and bytes scanned.
+    pub check_kinds: CheckCounters,
     /// Wall-clock time spent in argument checking (measurement mode).
     pub time_checking: Duration,
     /// Wall-clock time spent in the library itself (measurement mode).
@@ -307,7 +316,12 @@ impl RobustnessWrapper {
     /// Evaluate a size assertion's required byte count. `None` means
     /// the expression itself is invalid (e.g. unreadable string
     /// operand) — treated as a violation.
-    fn assertion_size(world: &World, args: &[SimValue], terms: &[SizeTerm]) -> Option<u64> {
+    fn assertion_size(
+        world: &World,
+        args: &[SimValue],
+        terms: &[SizeTerm],
+        ctrs: &mut CheckCounters,
+    ) -> Option<u64> {
         let mut total: u64 = 0;
         for term in terms {
             let v = match *term {
@@ -324,21 +338,14 @@ impl RobustnessWrapper {
                 }
                 SizeTerm::StrlenArg(i) => {
                     let ptr = args.get(i)?.as_ptr();
-                    let mut len = 0u64;
-                    loop {
-                        if len > u64::from(crate::checker::MAX_STRING_SCAN) {
-                            return None;
-                        }
-                        let a = ptr.checked_add(len as u32)?;
-                        if !world.proc.mem.probe_read(a) {
-                            return None;
-                        }
-                        if world.proc.mem.read_u8(a).ok()? == 0 {
-                            break;
-                        }
-                        len += 1;
-                    }
-                    len
+                    ctrs.nul_scans += 1;
+                    let len =
+                        world
+                            .proc
+                            .mem
+                            .find_nul(ptr, crate::checker::MAX_STRING_SCAN, false)?;
+                    ctrs.bytes_scanned += u64::from(len) + 1;
+                    u64::from(len)
                 }
                 SizeTerm::Const(c) => u64::from(c),
             };
@@ -377,9 +384,11 @@ impl RobustnessWrapper {
             return func.invoke(world, args);
         }
 
-        let has_plan = self.plans.contains_key(name);
-        let has_asserts = self.assertions.contains_key(name);
-        if !has_plan && !has_asserts {
+        // One dispatch lookup per table; the plan/assertion borrows stay
+        // live through the check loops so the hot path allocates nothing.
+        let plan = self.plans.get(name);
+        let asserts = self.assertions.get(name);
+        if plan.is_none() && asserts.is_none() {
             // Unwrapped (safe or disabled): call through, but keep the
             // tracking tables current — the cost §5.2 points out.
             world.proc.reset_fuel();
@@ -394,7 +403,7 @@ impl RobustnessWrapper {
         let caps = self.config.caps();
 
         // Prefix: robust-type checks.
-        if let Some(plan) = self.plans.get(name).cloned() {
+        if let Some(plan) = plan {
             for (i, check) in plan.iter().enumerate() {
                 let Some(t) = check else { continue };
                 self.stats.checks += 1;
@@ -408,7 +417,14 @@ impl RobustnessWrapper {
                     self.stats.check_cache_hits += 1;
                     continue;
                 }
-                if !check_value(world, &self.tables, &caps, value, *t) {
+                if !check_value_counted(
+                    world,
+                    &self.tables,
+                    &caps,
+                    value,
+                    *t,
+                    &mut self.stats.check_kinds,
+                ) {
                     if let Some(s) = check_started {
                         self.stats.time_checking += s.elapsed();
                     }
@@ -424,18 +440,31 @@ impl RobustnessWrapper {
         }
 
         // Prefix: executable assertions.
-        if let Some(asserts) = self.assertions.get(name).cloned() {
-            for a in &asserts {
+        if let Some(asserts) = asserts {
+            for a in asserts {
                 self.stats.checks += 1;
                 let value = args.get(a.buf_arg).copied().unwrap_or(SimValue::Void);
-                let ok = match Self::assertion_size(world, args, &a.terms) {
+                let ok = match Self::assertion_size(
+                    world,
+                    args,
+                    &a.terms,
+                    &mut self.stats.check_kinds,
+                ) {
                     Some(needed) if needed <= u64::from(u32::MAX) => {
                         let t = if a.write {
                             TypeExpr::WArray(needed as u32)
                         } else {
                             TypeExpr::RArray(needed as u32)
                         };
-                        needed == 0 || check_value(world, &self.tables, &caps, value, t)
+                        needed == 0
+                            || check_value_counted(
+                                world,
+                                &self.tables,
+                                &caps,
+                                value,
+                                t,
+                                &mut self.stats.check_kinds,
+                            )
                     }
                     _ => false,
                 };

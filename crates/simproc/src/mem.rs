@@ -226,6 +226,85 @@ impl AddressSpace {
         self.pages.get(&page_of(addr)).map(|p| p.prot)
     }
 
+    /// Bulk range probe: whether every byte of `[addr, addr+len)`
+    /// permits the required access. Equivalent to probing
+    /// [`AddressSpace::probe_read`]/[`AddressSpace::probe_write`] on
+    /// each byte, but resolved with a *single* page-table range seek
+    /// followed by a sequential walk over the resident pages — one
+    /// lookup per contiguous run instead of one (or two) per page.
+    ///
+    /// `len == 0` is trivially satisfied; a range that would wrap the
+    /// 32-bit address space is not satisfiable (the wrapped portion
+    /// would land on the never-mapped null page).
+    pub fn probe_range(&self, addr: Addr, len: u32, need_read: bool, need_write: bool) -> bool {
+        if len == 0 || (!need_read && !need_write) {
+            return true;
+        }
+        let Some(end) = addr.checked_add(len - 1) else {
+            return false;
+        };
+        let first = page_of(addr);
+        let last = page_of(end);
+        let mut expect = first;
+        for (&p, page) in self.pages.range(first..=last) {
+            if p != expect {
+                return false; // hole in the mapping
+            }
+            if (need_read && !page.prot.allows_read()) || (need_write && !page.prot.allows_write())
+            {
+                return false;
+            }
+            if p == last {
+                return true;
+            }
+            expect = p + 1;
+        }
+        false // the mapping ends before `last`
+    }
+
+    /// Bulk NUL scan: the index of the first zero byte at
+    /// `addr..=addr+max_index`, requiring every byte up to and
+    /// including the terminator to be readable (and writable when
+    /// `need_write`). Bytes past the terminator are never probed.
+    ///
+    /// Equivalent to the byte-at-a-time probe-then-read loop, but the
+    /// page table is walked once per contiguous accessible run and the
+    /// resident page bytes are scanned word-wise ([`find_nul_in`]).
+    /// Returns `None` when an inaccessible byte precedes the
+    /// terminator or no terminator lies within the index budget — a
+    /// scan running off the top of the address space fails like the
+    /// byte loop does, since the next byte would wrap to the null
+    /// page.
+    pub fn find_nul(&self, addr: Addr, max_index: u32, need_write: bool) -> Option<u32> {
+        // Last byte the budget allows us to examine; clamping (rather
+        // than failing) on overflow keeps byte-loop equivalence: the
+        // loop scans up to 0xffff_ffff and then fails at the wrap.
+        let budget_end = addr.saturating_add(max_index);
+        let first = page_of(addr);
+        let mut expect = first;
+        for (&p, page) in self.pages.range(first..=page_of(budget_end)) {
+            if p != expect {
+                return None;
+            }
+            if !page.prot.allows_read() || (need_write && !page.prot.allows_write()) {
+                return None;
+            }
+            let page_base = p * PAGE_SIZE;
+            let start = addr.max(page_base);
+            let end = budget_end.min(page_base + (PAGE_SIZE - 1));
+            let lo = (start - page_base) as usize;
+            let hi = (end - page_base) as usize;
+            if let Some(i) = find_nul_in(&page.data[lo..=hi]) {
+                return Some(start - addr + i as u32);
+            }
+            if end == budget_end {
+                return None; // budget exhausted without a terminator
+            }
+            expect = p + 1;
+        }
+        None
+    }
+
     /// Number of mapped pages (diagnostics).
     pub fn mapped_pages(&self) -> usize {
         self.pages.len()
@@ -378,6 +457,33 @@ impl AddressSpace {
     }
 }
 
+/// Word-wise NUL search over resident bytes: the classic zero-in-word
+/// trick (`(w - 0x0101…) & !w & 0x8080…`) examines eight bytes per
+/// iteration, falling back to a byte tail. Index of the first zero
+/// byte, if any.
+pub fn find_nul_in(haystack: &[u8]) -> Option<usize> {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    let mut chunks = haystack.chunks_exact(8);
+    let mut offset = 0;
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().unwrap());
+        let flags = word.wrapping_sub(LO) & !word & HI;
+        if flags != 0 {
+            // Borrow propagation can raise false flags, but only above
+            // a true zero byte; in little-endian order the lowest flag
+            // is therefore always the first zero.
+            return Some(offset + (flags.trailing_zeros() / 8) as usize);
+        }
+        offset += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == 0)
+        .map(|i| offset + i)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,6 +586,99 @@ mod tests {
     fn mapping_null_page_panics() {
         let mut m = AddressSpace::new();
         m.map(0, 4096, Protection::ReadWrite);
+    }
+
+    #[test]
+    fn probe_range_matches_per_byte_probes() {
+        let mut m = AddressSpace::new();
+        m.map(0x1000, 2 * 4096, Protection::ReadWrite);
+        m.map(0x3000, 4096, Protection::ReadOnly);
+        // 0x4000 unmapped, then a guard page and another RW page.
+        m.map(0x5000, 4096, Protection::None);
+        m.map(0x6000, 4096, Protection::ReadWrite);
+
+        // Within one mapping, across a permission boundary, across a
+        // hole, and across a guard page.
+        assert!(m.probe_range(0x1004, 8188, true, true)); // RW run to 0x3000
+        assert!(m.probe_range(0x1004, 12284, true, false)); // RW+RO read to 0x4000
+        assert!(!m.probe_range(0x1004, 12284, true, true)); // RO breaks write
+        assert!(!m.probe_range(0x1004, 12285, true, false)); // into the hole
+        assert!(!m.probe_range(0x3ffc, 8, true, false)); // runs into the hole
+        assert!(!m.probe_range(0x5ffc, 8, true, false)); // starts on the guard
+        assert!(!m.probe_range(0x4ffc, 8, false, true)); // unmapped start
+                                                         // Zero length is trivially fine, even at an unmapped address.
+        assert!(m.probe_range(0x4000, 0, true, true));
+        // Wrapping ranges are unsatisfiable.
+        assert!(!m.probe_range(0xffff_fff0, 32, true, false));
+        // Single byte at the very top of a mapping.
+        assert!(m.probe_range(0x2fff, 1, true, true));
+        assert!(!m.probe_range(0x2fff, 2, false, true));
+    }
+
+    #[test]
+    fn find_nul_scans_across_pages_and_respects_budget() {
+        let mut m = AddressSpace::new();
+        m.map(0x1000, 2 * 4096, Protection::ReadWrite);
+        for a in 0x1000..0x2010u32 {
+            m.write_u8(a, b'x').unwrap();
+        }
+        m.write_u8(0x2010, 0).unwrap(); // NUL 0x1010 bytes in
+
+        let len = 0x2010 - 0x1000;
+        assert_eq!(m.find_nul(0x1000, len, false), Some(len)); // exactly at budget
+        assert_eq!(m.find_nul(0x1000, len + 1, false), Some(len));
+        assert_eq!(m.find_nul(0x1000, len - 1, false), None); // one short
+        assert_eq!(m.find_nul(0x1004, len, true), Some(len - 4));
+
+        // A read-only page fails the writable scan but not the read one.
+        m.protect(0x2000, 4096, Protection::ReadOnly);
+        assert_eq!(m.find_nul(0x1000, len, false), Some(len));
+        assert_eq!(m.find_nul(0x1000, len, true), None);
+
+        // Unmapped byte before the terminator.
+        m.unmap(0x2000, 4096);
+        assert_eq!(m.find_nul(0x1000, 2 * 4096, false), None);
+        // NUL before the boundary is still found.
+        m.write_u8(0x1fff, 0).unwrap();
+        assert_eq!(m.find_nul(0x1000, 2 * 4096, false), Some(0xfff));
+        // Unmapped start address.
+        assert_eq!(m.find_nul(0x2000, 16, false), None);
+        assert_eq!(m.find_nul(0, 16, false), None);
+    }
+
+    #[test]
+    fn find_nul_at_the_address_space_top_fails_like_the_byte_loop() {
+        let mut m = AddressSpace::new();
+        let top = u32::MAX - (PAGE_SIZE - 1);
+        m.map(top, PAGE_SIZE, Protection::ReadWrite);
+        for a in top..=u32::MAX {
+            m.write_u8(a, b'x').unwrap();
+        }
+        // No terminator before the wrap: None, even with a huge budget.
+        assert_eq!(m.find_nul(u32::MAX - 8, u32::MAX, false), None);
+        // A terminator below the top is found despite the overflowing
+        // budget.
+        m.write_u8(u32::MAX, 0).unwrap();
+        assert_eq!(m.find_nul(u32::MAX - 8, u32::MAX, false), Some(8));
+    }
+
+    #[test]
+    fn find_nul_in_word_scan_matches_position() {
+        assert_eq!(find_nul_in(b""), None);
+        assert_eq!(find_nul_in(b"abc"), None);
+        assert_eq!(find_nul_in(b"\0"), Some(0));
+        assert_eq!(find_nul_in(b"abc\0def"), Some(3));
+        assert_eq!(find_nul_in(b"abcdefgh\0"), Some(8));
+        assert_eq!(find_nul_in(b"abcdefghijk\0mno\0"), Some(11));
+        // High-bit bytes must not read as zeros.
+        assert_eq!(find_nul_in(&[0x80u8; 16]), None);
+        assert_eq!(find_nul_in(&[0xff, 0xff, 0, 0xff]), Some(2));
+        // Exhaustive position check across word boundaries.
+        for n in 0..32 {
+            let mut v = vec![0xa5u8; 32];
+            v[n] = 0;
+            assert_eq!(find_nul_in(&v), Some(n), "position {n}");
+        }
     }
 
     #[test]

@@ -5,7 +5,163 @@ use proptest::prelude::*;
 
 use healers_simproc::{AddressSpace, Heap, HeapMode, Protection, SimProcess, PAGE_SIZE};
 
+/// Byte-at-a-time reference for [`AddressSpace::probe_range`]: the loop
+/// the bulk kernel replaced.
+fn probe_range_ref(mem: &AddressSpace, addr: u32, len: u32, read: bool, write: bool) -> bool {
+    for i in 0..len {
+        let Some(a) = addr.checked_add(i) else {
+            return false;
+        };
+        if (read && !mem.probe_read(a)) || (write && !mem.probe_write(a)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Byte-at-a-time reference for [`AddressSpace::find_nul`]: probe each
+/// byte for accessibility before reading it, stop at the first NUL,
+/// give up past `max_index`.
+fn find_nul_ref(mem: &AddressSpace, addr: u32, max_index: u32, write: bool) -> Option<u32> {
+    let mut i: u32 = 0;
+    loop {
+        let a = addr.checked_add(i)?;
+        if !mem.probe_read(a) || (write && !mem.probe_write(a)) {
+            return None;
+        }
+        if mem.read_u8(a).ok()? == 0 {
+            return Some(i);
+        }
+        if i == max_index {
+            return None;
+        }
+        i += 1;
+    }
+}
+
+/// A random run of pages: each either unmapped (a guard hole) or mapped
+/// with a random protection, filled with bytes drawn from a NUL-heavy
+/// alphabet so string scans terminate inside pages often enough.
+fn layout_strategy() -> impl Strategy<Value = (AddressSpace, u32, u32)> {
+    // Repetition stands in for weights (the vendored prop_oneof! is
+    // uniform): guard holes and RW pages dominate, but every protection
+    // appears.
+    let page = prop_oneof![
+        Just(None),
+        Just(None),
+        Just(Some(Protection::ReadWrite)),
+        Just(Some(Protection::ReadWrite)),
+        Just(Some(Protection::ReadWrite)),
+        Just(Some(Protection::ReadOnly)),
+        Just(Some(Protection::ReadOnly)),
+        Just(Some(Protection::WriteOnly)),
+        Just(Some(Protection::None)),
+    ];
+    let byte = prop_oneof![any::<u8>(), any::<u8>(), any::<u8>(), Just(0u8)];
+    (
+        prop::collection::vec(page, 1..8),
+        prop::collection::vec(byte, 64),
+        1u32..200,
+    )
+        .prop_map(|(pages, pattern, base_page)| {
+            let mut mem = AddressSpace::new();
+            let base = base_page * PAGE_SIZE;
+            let span = pages.len() as u32 * PAGE_SIZE;
+            for (i, prot) in pages.iter().enumerate() {
+                if let Some(p) = prot {
+                    let start = base + i as u32 * PAGE_SIZE;
+                    mem.map(start, PAGE_SIZE, Protection::ReadWrite);
+                    for off in 0..PAGE_SIZE {
+                        mem.write_u8(start + off, pattern[(off % 64) as usize])
+                            .unwrap();
+                    }
+                    mem.protect(start, PAGE_SIZE, *p);
+                }
+            }
+            (mem, base, span)
+        })
+}
+
 proptest! {
+    /// The bulk page-run probe agrees with probing every byte, across
+    /// guard holes, protection boundaries, and range edges.
+    #[test]
+    fn probe_range_matches_the_byte_loop(
+        layout in layout_strategy(),
+        start_off in 0u32..40_000,
+        len in 0u32..40_000,
+        read in any::<bool>(),
+        write in any::<bool>(),
+    ) {
+        let (mem, base, span) = layout;
+        // Bias the window to straddle the layout (including its edges).
+        let addr = (base - PAGE_SIZE.min(base)) + start_off % (span + 2 * PAGE_SIZE);
+        let expect = probe_range_ref(&mem, addr, len, read, write);
+        prop_assert_eq!(
+            mem.probe_range(addr, len, read, write),
+            expect,
+            "probe_range({:#x}, {}, {}, {}) disagrees with byte loop",
+            addr, len, read, write
+        );
+    }
+
+    /// The word-wise NUL scan finds exactly the byte the reference loop
+    /// finds — same index, same accessibility failures, same budget.
+    #[test]
+    fn find_nul_matches_the_byte_loop(
+        layout in layout_strategy(),
+        start_off in 0u32..40_000,
+        max_index in 0u32..20_000,
+        write in any::<bool>(),
+    ) {
+        let (mem, base, span) = layout;
+        let addr = (base - PAGE_SIZE.min(base)) + start_off % (span + 2 * PAGE_SIZE);
+        let expect = find_nul_ref(&mem, addr, max_index, write);
+        prop_assert_eq!(
+            mem.find_nul(addr, max_index, write),
+            expect,
+            "find_nul({:#x}, {}, {}) disagrees with byte loop",
+            addr, max_index, write
+        );
+    }
+
+    /// Kernels behave at the very top of the address space exactly like
+    /// the byte loops (the wrap-around edge).
+    #[test]
+    fn kernels_match_at_the_address_space_top(
+        map_top in any::<bool>(),
+        has_nul in any::<bool>(),
+        nul_back in 0u32..64,
+        back_off in 1u32..100,
+        len in 0u32..200,
+    ) {
+        let nul_off = has_nul.then_some(nul_back);
+        let mut mem = AddressSpace::new();
+        let top = u32::MAX - (PAGE_SIZE - 1);
+        if map_top {
+            mem.map(top, PAGE_SIZE, Protection::ReadWrite);
+            for off in 0..PAGE_SIZE {
+                mem.write_u8(top + off, 0x41).unwrap();
+            }
+            if let Some(o) = nul_off {
+                mem.write_u8(u32::MAX - o, 0).unwrap();
+            }
+        }
+        let addr = u32::MAX - back_off;
+        prop_assert_eq!(
+            mem.probe_range(addr, len, true, false),
+            probe_range_ref(&mem, addr, len, true, false)
+        );
+        prop_assert_eq!(
+            mem.find_nul(addr, u32::MAX, false),
+            find_nul_ref(&mem, addr, u32::MAX, false)
+        );
+        prop_assert_eq!(
+            mem.find_nul(addr, back_off, false),
+            find_nul_ref(&mem, addr, back_off, false)
+        );
+    }
+
     /// Live heap blocks never overlap, in either placement mode.
     #[test]
     fn live_blocks_never_overlap(

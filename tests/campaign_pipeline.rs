@@ -61,6 +61,33 @@ fn evaluation_reports_are_worker_count_invariant() {
 }
 
 #[test]
+fn serial_runner_matches_campaign_evaluation_exactly() {
+    // The serial Figure-6 path derives per-function seeds exactly like
+    // the orchestrator, so its reports are byte-identical to a campaign
+    // evaluation at any worker count — not merely a different
+    // deterministic sample.
+    let libc = Libc::standard();
+    let ballista = Ballista::new()
+        .with_functions(&["strcpy", "strlen", "abs", "fgetc", "closedir"])
+        .with_cap(60)
+        .with_seed(7);
+    let decls = ballista.analyze_targets(&libc);
+    for mode in [Mode::Unwrapped, Mode::FullAuto, Mode::SemiAuto] {
+        let serial = ballista.run_with_decls(&libc, mode, decls.clone()).render();
+        for jobs in [1, 8] {
+            let campaign = Campaign::new(&CampaignConfig {
+                jobs,
+                ..CampaignConfig::default()
+            })
+            .unwrap();
+            let (report, _) = campaign.evaluate(&libc, &ballista, mode, decls.clone());
+            assert_eq!(report.render(), serial, "mode={mode:?} jobs={jobs}");
+            campaign.finish().unwrap();
+        }
+    }
+}
+
+#[test]
 fn warm_cache_skips_injection_and_journals_it() {
     let dir = scratch("warm");
     let cache_dir = dir.join("cache");
