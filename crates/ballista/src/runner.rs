@@ -4,7 +4,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use healers_core::{analyze, FunctionDecl, RobustnessWrapper, WrapperConfig};
+use healers_core::{analyze, FunctionDecl, RobustnessWrapper, WrapperConfig, WrapperStats};
 use healers_libc::{Libc, World};
 use healers_simproc::{SimFault, SimValue};
 
@@ -162,15 +162,41 @@ impl Ballista {
         name: &str,
         rng: &mut StdRng,
     ) -> Vec<TestClass> {
+        self.run_function_stats(libc, prepared, name, rng).0
+    }
+
+    /// Like [`Ballista::run_function`], but additionally accumulates
+    /// the wrapper statistics of every per-test wrapper clone (each
+    /// test runs against a fresh clone, whose stats would otherwise be
+    /// discarded with it). The counter fields are deterministic; the
+    /// latency histograms inside are wall-clock and only populated
+    /// while the `healers-trace` gate is on. Unwrapped configurations
+    /// return default (all-zero) stats.
+    pub fn run_function_stats(
+        &self,
+        libc: &Libc,
+        prepared: &PreparedMode,
+        name: &str,
+        rng: &mut StdRng,
+    ) -> (Vec<TestClass>, WrapperStats) {
         let func = libc
             .get(name)
             .unwrap_or_else(|| panic!("{name} not exported"));
         let kinds: Vec<ParamKind> = func.proto.params.iter().map(param_kind).collect();
         let vectors = generate_vectors(&prepared.pools, &kinds, self.cap_per_function, rng);
-        vectors
+        let mut stats = WrapperStats::default();
+        let classes = vectors
             .iter()
-            .map(|vector| execute(libc, &prepared.wrapper, &prepared.world, name, vector))
-            .collect()
+            .map(|vector| {
+                let (class, test_stats) =
+                    execute(libc, &prepared.wrapper, &prepared.world, name, vector);
+                if let Some(test_stats) = test_stats {
+                    stats.absorb(&test_stats);
+                }
+                class
+            })
+            .collect();
+        (classes, stats)
     }
 }
 
@@ -242,24 +268,27 @@ fn generate_vectors(
 }
 
 /// Execute one test in a sandboxed clone of the prepared world (and
-/// wrapper), and classify the outcome.
+/// wrapper), classify the outcome, and surface the clone's wrapper
+/// stats (reset before the call, so they cover exactly this test).
 fn execute(
     libc: &Libc,
     wrapper: &Option<RobustnessWrapper>,
     world: &World,
     name: &str,
     args: &[SimValue],
-) -> TestClass {
+) -> (TestClass, Option<WrapperStats>) {
     let mut child = world.clone();
     child.proc.set_errno(0);
-    let result = match wrapper {
+    let (result, stats) = match wrapper {
         Some(w) => {
             let mut w = w.clone();
-            w.call(libc, &mut child, name, args)
+            w.reset_stats();
+            let result = w.call(libc, &mut child, name, args);
+            (result, Some(w.stats))
         }
-        None => libc.call(&mut child, name, args),
+        None => (libc.call(&mut child, name, args), None),
     };
-    match result {
+    let class = match result {
         Ok(_) => {
             if child.proc.errno() != 0 {
                 TestClass::ErrnoSet
@@ -270,7 +299,8 @@ fn execute(
         Err(SimFault::FuelExhausted) => TestClass::Hang,
         Err(SimFault::Abort { .. }) => TestClass::Abort,
         Err(_) => TestClass::Crash,
-    }
+    };
+    (class, stats)
 }
 
 #[cfg(test)]
@@ -327,6 +357,31 @@ mod tests {
         );
         let semi = b.run(Mode::SemiAuto);
         assert_eq!(semi.function("fgetc").unwrap().failures(), 0);
+    }
+
+    #[test]
+    fn run_function_stats_accumulates_per_test_wrapper_stats() {
+        let libc = Libc::standard();
+        let b = Ballista::new().with_functions(&["strcpy"]).with_cap(40);
+        let decls = b.analyze_targets(&libc);
+        let prepared = b.prepare_mode(&libc, Mode::FullAuto, decls);
+        let mut rng = StdRng::seed_from_u64(derive_seed(b.seed(), "strcpy"));
+        let (classes, stats) = b.run_function_stats(&libc, &prepared, "strcpy", &mut rng);
+        assert!(!classes.is_empty());
+        assert_eq!(stats.calls, classes.len() as u64);
+        assert!(stats.checks > 0);
+        assert!(stats.violations > 0, "strcpy tests include invalid args");
+        // The plain variant is the same run minus the stats.
+        let mut rng = StdRng::seed_from_u64(derive_seed(b.seed(), "strcpy"));
+        assert_eq!(
+            b.run_function(&libc, &prepared, "strcpy", &mut rng),
+            classes
+        );
+        // Unwrapped configurations have no wrapper stats to report.
+        let unwrapped = b.prepare_mode(&libc, Mode::Unwrapped, Vec::new());
+        let mut rng = StdRng::seed_from_u64(derive_seed(b.seed(), "strcpy"));
+        let (_, stats) = b.run_function_stats(&libc, &unwrapped, "strcpy", &mut rng);
+        assert_eq!(stats.calls, 0);
     }
 
     #[test]

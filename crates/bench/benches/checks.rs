@@ -133,5 +133,47 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_checks, bench_kernels);
+fn bench_gate(c: &mut Criterion) {
+    // The telemetry gate's whole-call cost: the same wrapped call with
+    // tracing off (one relaxed atomic load on top of the checks) and
+    // with it on (two `Instant::now` reads plus a histogram record).
+    // The off/on delta is the price of shipping the instrumentation;
+    // the "off" row should be indistinguishable from a build without
+    // healers-trace at all.
+    use healers_core::{analyze, RobustnessWrapper, WrapperConfig};
+    use healers_libc::Libc;
+
+    let libc = Libc::standard();
+    let decls = analyze(&libc, &["strlen"]);
+    let mut wrapper = RobustnessWrapper::new(decls, WrapperConfig::full_auto());
+    let mut world = World::new();
+    let s = world.alloc_cstr("telemetry gate cost probe string");
+
+    let mut group = c.benchmark_group("telemetry-gate");
+    healers_trace::set_enabled(false);
+    group.bench_function("wrapped_strlen_off", |b| {
+        b.iter(|| {
+            wrapper
+                .call(&libc, &mut world, "strlen", &[SimValue::Ptr(s)])
+                .unwrap()
+        })
+    });
+    healers_trace::set_enabled(true);
+    group.bench_function("wrapped_strlen_on", |b| {
+        b.iter(|| {
+            wrapper
+                .call(&libc, &mut world, "strlen", &[SimValue::Ptr(s)])
+                .unwrap()
+        })
+    });
+    healers_trace::set_enabled(false);
+    group.finish();
+
+    assert!(
+        wrapper.stats.per_function["strlen"].latency_ns.count() > 0,
+        "gate-on runs must have recorded latencies"
+    );
+}
+
+criterion_group!(benches, bench_checks, bench_kernels, bench_gate);
 criterion_main!(benches);

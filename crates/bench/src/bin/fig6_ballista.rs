@@ -62,6 +62,7 @@ fn main() {
             jobs: jobs.unwrap_or(1),
             cache_dir,
             journal_path: None,
+            trace_path: None,
         })
         .expect("campaign setup");
         let targets = healers_ballista::ballista_targets();

@@ -42,6 +42,7 @@ fn main() {
             jobs: jobs.unwrap_or(1),
             cache_dir,
             journal_path: None,
+            trace_path: None,
         })
         .expect("campaign setup");
         let (decls, metrics) = campaign.analyze(&libc, &targets).expect("campaign analyze");

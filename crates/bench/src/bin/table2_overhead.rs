@@ -56,6 +56,8 @@ struct Row {
     checking_overhead: f64,
     execution_overhead: f64,
     check_kinds: CheckCounters,
+    lat_p50_ns: u64,
+    lat_p99_ns: u64,
 }
 
 fn measure(libc: &Libc, decls: &[FunctionDecl], workload: &Workload, reps: usize) -> Row {
@@ -79,6 +81,20 @@ fn measure(libc: &Libc, decls: &[FunctionDecl], workload: &Workload, reps: usize
         ))
     });
     let total = measured.total.as_secs_f64();
+    // Wrapped-call latency percentiles: one extra run with the
+    // telemetry gate on. Kept out of all three timing comparisons
+    // above, which stay telemetry-off so the overhead columns (and the
+    // regression gate on them) measure the shipping configuration.
+    healers_trace::set_enabled(true);
+    let traced = run_workload(
+        libc,
+        workload,
+        Some(RobustnessWrapper::new(
+            decls.to_vec(),
+            WrapperConfig::full_auto(),
+        )),
+    );
+    healers_trace::set_enabled(false);
     Row {
         name: workload.name,
         calls_per_sec: plain_stats.wrapped_calls as f64 / wrapped.as_secs_f64(),
@@ -87,6 +103,8 @@ fn measure(libc: &Libc, decls: &[FunctionDecl], workload: &Workload, reps: usize
         execution_overhead: 100.0 * (wrapped.as_secs_f64() - unwrapped.as_secs_f64())
             / unwrapped.as_secs_f64(),
         check_kinds: measured.check_kinds,
+        lat_p50_ns: traced.latency_ns.percentile(50.0),
+        lat_p99_ns: traced.latency_ns.percentile(99.0),
     }
 }
 
@@ -97,7 +115,8 @@ fn json_for(rows: &[Row]) -> String {
             "    {{\"name\": \"{}\", \"calls_per_sec\": {:.0}, \
              \"time_in_library_pct\": {:.4}, \"checking_overhead_pct\": {:.4}, \
              \"execution_overhead_pct\": {:.4}, \"table_hits\": {}, \
-             \"run_probes\": {}, \"nul_scans\": {}, \"bytes_scanned\": {}}}{}\n",
+             \"run_probes\": {}, \"nul_scans\": {}, \"bytes_scanned\": {}, \
+             \"lat_p50_ns\": {}, \"lat_p99_ns\": {}}}{}\n",
             r.name,
             r.calls_per_sec,
             r.time_in_library,
@@ -107,6 +126,8 @@ fn json_for(rows: &[Row]) -> String {
             r.check_kinds.run_probes,
             r.check_kinds.nul_scans,
             r.check_kinds.bytes_scanned,
+            r.lat_p50_ns,
+            r.lat_p99_ns,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -148,7 +169,10 @@ fn main() {
     let rows: Vec<Row> = workloads()
         .iter()
         .map(|w| {
-            eprintln!("measuring {} ({reps} reps × 3 configurations)…", w.name);
+            eprintln!(
+                "measuring {} ({reps} reps × 3 configurations + 1 telemetry run)…",
+                w.name
+            );
             measure(&libc, &decls, w, reps)
         })
         .collect();
@@ -200,6 +224,18 @@ fn main() {
     print!("{:<22}", "bytes scanned");
     for r in &rows {
         print!("{:>12}", r.check_kinds.bytes_scanned);
+    }
+    println!();
+    println!();
+    println!("Wrapped-call latency (telemetry run, whole call incl. checks):");
+    print!("{:<22}", "p50");
+    for r in &rows {
+        print!("{:>10}ns", r.lat_p50_ns);
+    }
+    println!();
+    print!("{:<22}", "p99");
+    for r in &rows {
+        print!("{:>10}ns", r.lat_p99_ns);
     }
     println!();
 

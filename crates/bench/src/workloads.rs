@@ -24,6 +24,7 @@ use healers_core::checker::CheckCounters;
 use healers_core::RobustnessWrapper;
 use healers_libc::{Libc, World};
 use healers_simproc::{SimFault, SimValue};
+use healers_trace::Histogram;
 
 /// A calling context: either straight to the library or through a
 /// wrapper — the only difference between a workload's two measurements.
@@ -85,7 +86,7 @@ pub struct Workload {
 }
 
 /// Measured results for one workload under one configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct WorkloadStats {
     /// Total wall-clock execution time.
     pub total: Duration,
@@ -98,6 +99,10 @@ pub struct WorkloadStats {
     /// Per-kernel decomposition of the checks: table hits, bulk run
     /// probes, NUL scans, and bytes scanned.
     pub check_kinds: CheckCounters,
+    /// Whole-call latency histogram, merged across every wrapped
+    /// function the workload touched. Empty unless the telemetry gate
+    /// (`healers_trace::set_enabled`) was on during the run.
+    pub latency_ns: Histogram,
 }
 
 /// Execute a workload against a fresh world, returning its stats. The
@@ -121,19 +126,27 @@ pub fn run_workload(
     let total = started.elapsed();
     std::hint::black_box(ctx.sink);
     match wrapper {
-        Some(w) => WorkloadStats {
-            total,
-            wrapped_calls: w.stats.wrapped_calls,
-            time_in_library: w.stats.time_in_library,
-            time_checking: w.stats.time_checking,
-            check_kinds: w.stats.check_kinds,
-        },
+        Some(w) => {
+            let mut latency_ns = Histogram::new();
+            for telemetry in w.stats.per_function.values() {
+                latency_ns.merge(&telemetry.latency_ns);
+            }
+            WorkloadStats {
+                total,
+                wrapped_calls: w.stats.wrapped_calls,
+                time_in_library: w.stats.time_in_library,
+                time_checking: w.stats.time_checking,
+                check_kinds: w.stats.check_kinds,
+                latency_ns,
+            }
+        }
         None => WorkloadStats {
             total,
             wrapped_calls: 0,
             time_in_library: Duration::ZERO,
             time_checking: Duration::ZERO,
             check_kinds: CheckCounters::default(),
+            latency_ns: Histogram::new(),
         },
     }
 }

@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use healers_ballista::{Ballista, BallistaReport, Mode, TestClass};
-use healers_core::FunctionDecl;
+use healers_core::{FunctionDecl, WrapperStats};
 use healers_inject::FaultInjector;
 use healers_libc::Libc;
 
@@ -37,6 +37,10 @@ pub struct CampaignConfig {
     pub cache_dir: Option<PathBuf>,
     /// JSONL journal sink (`None` disables journaling).
     pub journal_path: Option<PathBuf>,
+    /// Chrome trace-event timeline sink (`None` disables the export).
+    /// Derived from the journal's sequence numbers, so it needs no
+    /// journal file to be configured — recording happens in memory.
+    pub trace_path: Option<PathBuf>,
 }
 
 impl Default for CampaignConfig {
@@ -45,6 +49,7 @@ impl Default for CampaignConfig {
             jobs: 1,
             cache_dir: None,
             journal_path: None,
+            trace_path: None,
         }
     }
 }
@@ -55,6 +60,7 @@ pub struct Campaign {
     jobs: usize,
     cache: Option<DeclCache>,
     journal: Journal,
+    trace_path: Option<PathBuf>,
 }
 
 impl Campaign {
@@ -68,20 +74,35 @@ impl Campaign {
             Some(dir) => Some(DeclCache::open(dir)?),
             None => None,
         };
-        let journal = match &config.journal_path {
-            Some(path) => Journal::start(Box::new(BufWriter::new(File::create(path)?))),
-            None => Journal::disabled(),
+        let sink: Option<Box<dyn io::Write + Send>> = match &config.journal_path {
+            Some(path) => Some(Box::new(BufWriter::new(File::create(path)?))),
+            None => None,
+        };
+        let journal = match (sink, config.trace_path.is_some()) {
+            // Trace export needs the sequenced event stream recorded.
+            (sink, true) => Journal::start_recording(sink),
+            (Some(sink), false) => Journal::start(sink),
+            (None, false) => Journal::disabled(),
         };
         Ok(Campaign {
             jobs: config.jobs.max(1),
             cache,
             journal,
+            trace_path: config.trace_path.clone(),
         })
     }
 
     /// The open declaration cache, if caching is enabled.
     pub fn cache(&self) -> Option<&DeclCache> {
         self.cache.as_ref()
+    }
+
+    /// A cloneable handle for emitting events into this campaign's
+    /// journal. Emissions after the campaign finishes (or is dropped)
+    /// are silent no-ops, so worker threads outliving the campaign
+    /// cannot panic it.
+    pub fn journal_sender(&self) -> JournalSender {
+        self.journal.sender()
     }
 
     /// Run the fault-injection analysis for `functions` in parallel and
@@ -141,13 +162,37 @@ impl Campaign {
         mode: Mode,
         decls: Vec<FunctionDecl>,
     ) -> (BallistaReport, CampaignMetrics) {
+        let (report, metrics, _) = self.evaluate_traced(libc, ballista, mode, decls);
+        (report, metrics)
+    }
+
+    /// [`Campaign::evaluate`], additionally merging the wrapper
+    /// statistics of every per-test wrapper clone — the input of
+    /// `healers report`. Each evaluation batch is bracketed by
+    /// `Evaluating`/`Evaluated` journal events, which is what the trace
+    /// export turns into per-function evaluation spans. The merged
+    /// stats' counter fields are worker-count invariant (per-function
+    /// stats merge in target-list order); the latency histograms inside
+    /// are wall-clock and only populated while the `healers-trace` gate
+    /// is on.
+    pub fn evaluate_traced(
+        &self,
+        libc: &Libc,
+        ballista: &Ballista,
+        mode: Mode,
+        decls: Vec<FunctionDecl>,
+    ) -> (BallistaReport, CampaignMetrics, WrapperStats) {
         let start = Instant::now();
         let prepared = ballista.prepare_mode(libc, mode, decls);
         let journal = self.journal.sender();
         let functions = ballista.functions();
         let results = run_indexed(self.jobs, functions, |_, name| {
+            journal.emit(CampaignEvent::Evaluating {
+                function: name.clone(),
+                mode: prepared.label().to_string(),
+            });
             let mut rng = StdRng::seed_from_u64(derive_seed(ballista.seed(), name));
-            let classes = ballista.run_function(libc, &prepared, name, &mut rng);
+            let (classes, stats) = ballista.run_function_stats(libc, &prepared, name, &mut rng);
             let failures = classes
                 .iter()
                 .filter(|c| matches!(c, TestClass::Crash | TestClass::Abort | TestClass::Hang))
@@ -158,7 +203,7 @@ impl Campaign {
                 tests: classes.len() as u64,
                 failures,
             });
-            classes
+            (classes, stats)
         });
 
         let mut report = BallistaReport::new(prepared.label());
@@ -166,25 +211,34 @@ impl Campaign {
             jobs: self.jobs as u64,
             ..CampaignMetrics::default()
         };
-        for (name, classes) in functions.iter().zip(results) {
+        let mut wrapper_stats = WrapperStats::default();
+        for (name, (classes, stats)) in functions.iter().zip(results) {
             metrics.functions += 1;
             metrics.evaluation_tests += classes.len() as u64;
+            wrapper_stats.absorb(&stats);
             for class in classes {
                 report.record(name, class);
             }
         }
         metrics.elapsed = start.elapsed();
-        (report, metrics)
+        (report, metrics, wrapper_stats)
     }
 
-    /// Flush and close the journal; returns the number of JSONL lines
-    /// written (0 when journaling is disabled).
+    /// Flush and close the journal, write the Chrome trace (when
+    /// configured), and return the number of JSONL lines written (0
+    /// when journaling is disabled).
     ///
     /// # Errors
     ///
-    /// Propagates the journal drainer's I/O failure.
-    pub fn finish(self) -> io::Result<u64> {
-        self.journal.finish()
+    /// Propagates the journal drainer's I/O failure or a trace-file
+    /// write failure.
+    pub fn finish(mut self) -> io::Result<u64> {
+        let tail = self.journal.shutdown()?;
+        if let Some(path) = &self.trace_path {
+            let trace = crate::chrome::chrome_trace(&tail.events);
+            std::fs::write(path, trace.render())?;
+        }
+        Ok(tail.lines)
     }
 }
 

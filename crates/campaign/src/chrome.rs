@@ -1,0 +1,288 @@
+//! Chrome trace-event export of a campaign timeline.
+//!
+//! The exported timeline is derived *entirely* from the journal's
+//! sequenced event stream — logical sequence numbers are the time
+//! axis, not wall clocks — so the trace is a pure function of the
+//! journal: re-exporting the same journal yields the same bytes, and
+//! no nondeterministic timing data leaks into the artifact. Load the
+//! output in `chrome://tracing` or Perfetto.
+//!
+//! Mapping:
+//!
+//! * `Started f` → `Classified f` becomes a complete span `inject:f`;
+//! * `Evaluating f (mode)` → `Evaluated f (mode)` becomes a complete
+//!   span `eval:<mode>:f`;
+//! * `Cached f` becomes an instant event (zero injected calls);
+//! * `Retried`/`Faulted` become instants on the owning span's lane;
+//! * two counter tracks sample scheduler state at every change:
+//!   `workers` (spans in flight — worker occupancy) and `pending`
+//!   (scheduled work items not yet begun — queue depth).
+//!
+//! Lanes (`tid`s) model worker occupancy: a span takes the lowest
+//! lane free at its begin event and releases it at its end, so the
+//! lane count at any instant equals the campaign's actual concurrency
+//! at that point in the journal.
+
+use std::collections::BTreeMap;
+
+use healers_trace::ChromeTrace;
+
+use crate::journal::CampaignEvent;
+
+/// Lane allocator: lowest-free-index, like the scheduler's workers.
+#[derive(Default)]
+struct Lanes {
+    busy: Vec<bool>,
+}
+
+impl Lanes {
+    fn grab(&mut self) -> u64 {
+        match self.busy.iter().position(|b| !b) {
+            Some(i) => {
+                self.busy[i] = true;
+                i as u64
+            }
+            None => {
+                self.busy.push(true);
+                (self.busy.len() - 1) as u64
+            }
+        }
+    }
+
+    fn release(&mut self, lane: u64) {
+        if let Some(slot) = self.busy.get_mut(lane as usize) {
+            *slot = false;
+        }
+    }
+}
+
+/// A span's identity while open: the phase label plus the function.
+type SpanKey = (String, String);
+
+fn span_key(event: &CampaignEvent) -> Option<(SpanKey, bool)> {
+    match event {
+        CampaignEvent::Started { function } => Some((("inject".into(), function.clone()), true)),
+        CampaignEvent::Classified { function, .. } => {
+            Some((("inject".into(), function.clone()), false))
+        }
+        CampaignEvent::Evaluating { function, mode } => {
+            Some(((format!("eval:{mode}"), function.clone()), true))
+        }
+        CampaignEvent::Evaluated { function, mode, .. } => {
+            Some(((format!("eval:{mode}"), function.clone()), false))
+        }
+        _ => None,
+    }
+}
+
+/// Build the trace-event document for a recorded journal stream
+/// (sequence-numbered, as produced by
+/// [`Journal::start_recording`](crate::journal::Journal::start_recording)).
+pub fn chrome_trace(events: &[(u64, CampaignEvent)]) -> ChromeTrace {
+    let mut trace = ChromeTrace::new();
+    let mut lanes = Lanes::default();
+    // Open spans: key → (lane, begin ts).
+    let mut open: BTreeMap<SpanKey, (u64, u64)> = BTreeMap::new();
+    // Queue depth: every span begin and every cache hit consumes one
+    // scheduled work item.
+    let mut pending = events
+        .iter()
+        .filter(|(_, e)| {
+            matches!(
+                e,
+                CampaignEvent::Started { .. }
+                    | CampaignEvent::Cached { .. }
+                    | CampaignEvent::Evaluating { .. }
+            )
+        })
+        .count() as u64;
+    trace.counter("pending", 0, pending);
+    trace.counter("workers", 0, 0);
+
+    let mut last_seq = 0u64;
+    for (seq, event) in events {
+        let ts = *seq;
+        last_seq = last_seq.max(ts);
+        match span_key(event) {
+            Some((key, true)) => {
+                let lane = lanes.grab();
+                open.insert(key, (lane, ts));
+                pending -= 1;
+                trace.counter("pending", ts, pending);
+                trace.counter("workers", ts, open.len() as u64);
+            }
+            Some((key, false)) => {
+                if let Some((lane, begin)) = open.remove(&key) {
+                    let (phase, function) = key;
+                    trace.complete(
+                        &format!("{phase}:{function}"),
+                        lane,
+                        begin,
+                        (ts - begin).max(1),
+                    );
+                    lanes.release(lane);
+                    trace.counter("workers", ts, open.len() as u64);
+                }
+            }
+            None => match event {
+                CampaignEvent::Cached { function, .. } => {
+                    // Zero-width work item: takes and releases a lane
+                    // at one instant.
+                    let lane = lanes.grab();
+                    trace.instant(&format!("cached:{function}"), lane, ts);
+                    lanes.release(lane);
+                    pending -= 1;
+                    trace.counter("pending", ts, pending);
+                }
+                CampaignEvent::Retried { function, .. }
+                | CampaignEvent::Faulted { function, .. } => {
+                    let lane = open
+                        .get(&("inject".to_string(), function.clone()))
+                        .map(|(lane, _)| *lane)
+                        .unwrap_or(0);
+                    let label = match event {
+                        CampaignEvent::Retried { .. } => "retried",
+                        _ => "faulted",
+                    };
+                    trace.instant(&format!("{label}:{function}"), lane, ts);
+                }
+                _ => {}
+            },
+        }
+    }
+    // A truncated journal (campaign aborted mid-function) leaves spans
+    // open; close them one tick past the end so the trace stays valid.
+    for ((phase, function), (lane, begin)) in open {
+        trace.complete(
+            &format!("{phase}:{function}"),
+            lane,
+            begin,
+            (last_seq + 1 - begin).max(1),
+        );
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn started(f: &str) -> CampaignEvent {
+        CampaignEvent::Started { function: f.into() }
+    }
+
+    fn classified(f: &str) -> CampaignEvent {
+        CampaignEvent::Classified {
+            function: f.into(),
+            safe: true,
+            calls: 1,
+            retries: 0,
+            fuel_used: 0,
+            robust: vec![],
+        }
+    }
+
+    #[test]
+    fn interleaved_spans_take_distinct_lanes_and_reuse_freed_ones() {
+        let events: Vec<(u64, CampaignEvent)> = vec![
+            (0, started("strcpy")),
+            (1, started("strlen")),
+            (2, classified("strcpy")),
+            (3, started("abs")),
+            (4, classified("strlen")),
+            (5, classified("abs")),
+        ];
+        let trace = chrome_trace(&events);
+        let doc = trace.render();
+        json::validate(doc.trim()).unwrap();
+        // strcpy lane 0, strlen lane 1; abs begins after strcpy ended →
+        // reuses lane 0.
+        assert!(doc.contains(
+            "\"name\":\"inject:strcpy\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0,\"dur\":2"
+        ));
+        assert!(doc.contains(
+            "\"name\":\"inject:strlen\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":1,\"dur\":3"
+        ));
+        assert!(doc.contains(
+            "\"name\":\"inject:abs\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":3,\"dur\":2"
+        ));
+        // Worker occupancy peaked at 2.
+        assert!(doc.contains(
+            "\"name\":\"workers\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":1,\"args\":{\"value\":2}"
+        ));
+    }
+
+    #[test]
+    fn cached_hits_and_eval_spans_are_represented() {
+        let events: Vec<(u64, CampaignEvent)> = vec![
+            (
+                0,
+                CampaignEvent::Cached {
+                    function: "abs".into(),
+                    fingerprint: "deadbeef".into(),
+                },
+            ),
+            (
+                1,
+                CampaignEvent::Evaluating {
+                    function: "strcpy".into(),
+                    mode: "Full-Auto Wrapped".into(),
+                },
+            ),
+            (
+                2,
+                CampaignEvent::Evaluated {
+                    function: "strcpy".into(),
+                    mode: "Full-Auto Wrapped".into(),
+                    tests: 40,
+                    failures: 0,
+                },
+            ),
+        ];
+        let trace = chrome_trace(&events);
+        let doc = trace.render();
+        json::validate(doc.trim()).unwrap();
+        assert!(doc.contains("\"name\":\"cached:abs\",\"ph\":\"i\""));
+        assert!(doc.contains("\"name\":\"eval:Full-Auto Wrapped:strcpy\",\"ph\":\"X\""));
+        // Queue drains 2 → 0 (the cached item and the eval item).
+        assert!(doc.contains(
+            "\"name\":\"pending\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":0,\"args\":{\"value\":1}"
+        ));
+        assert!(doc.contains("\"ts\":1,\"args\":{\"value\":0}"));
+    }
+
+    #[test]
+    fn truncated_journals_still_export_valid_spans() {
+        let events: Vec<(u64, CampaignEvent)> = vec![
+            (0, started("strcpy")),
+            (
+                1,
+                CampaignEvent::Retried {
+                    function: "strcpy".into(),
+                    retries: 3,
+                },
+            ),
+            // No Classified: the campaign died mid-function.
+        ];
+        let trace = chrome_trace(&events);
+        let doc = trace.render();
+        json::validate(doc.trim()).unwrap();
+        assert!(doc.contains("\"name\":\"retried:strcpy\",\"ph\":\"i\",\"pid\":1,\"tid\":0"));
+        assert!(doc.contains("\"name\":\"inject:strcpy\",\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn export_is_a_pure_function_of_the_journal() {
+        let events: Vec<(u64, CampaignEvent)> = vec![
+            (0, started("strcpy")),
+            (1, started("strlen")),
+            (2, classified("strlen")),
+            (3, classified("strcpy")),
+        ];
+        assert_eq!(
+            chrome_trace(&events).render(),
+            chrome_trace(&events).render()
+        );
+    }
+}

@@ -5,6 +5,16 @@
 //! JSON object per line (JSONL) to the configured sink. Keeping the
 //! file I/O on a single thread means workers never contend on the sink
 //! and lines are never interleaved.
+//!
+//! The drainer can additionally *record* the sequenced event stream in
+//! memory ([`Journal::start_recording`]); the campaign's Chrome
+//! trace-event export is derived from that record, which is why the
+//! exported timeline is a pure function of the journal sequence.
+//!
+//! Shutdown is hardened in both directions: dropping a [`Journal`]
+//! joins the drainer (so the sink is always flushed, even on early
+//! exit), and a worker emitting *after* shutdown is a silent no-op —
+//! a straggler can never panic the campaign through its telemetry.
 
 use std::io::Write;
 use std::sync::mpsc::{channel, Sender};
@@ -57,6 +67,13 @@ pub enum CampaignEvent {
         /// Robust argument types, in the paper's notation.
         robust: Vec<String>,
     },
+    /// A function's Ballista evaluation batch began in one mode.
+    Evaluating {
+        /// Function name.
+        function: String,
+        /// Configuration label (Figure 6 bar).
+        mode: String,
+    },
     /// A function's Ballista evaluation batch finished in one mode.
     Evaluated {
         /// Function name.
@@ -79,6 +96,7 @@ impl CampaignEvent {
             | CampaignEvent::Retried { function, .. }
             | CampaignEvent::Faulted { function, .. }
             | CampaignEvent::Classified { function, .. }
+            | CampaignEvent::Evaluating { function, .. }
             | CampaignEvent::Evaluated { function, .. } => function,
         }
     }
@@ -120,6 +138,10 @@ impl CampaignEvent {
                 .u64("retries", *retries)
                 .u64("fuel_used", *fuel_used)
                 .str_array("robust", robust),
+            CampaignEvent::Evaluating { function, mode } => base
+                .str("event", "evaluating")
+                .str("function", function)
+                .str("mode", mode),
             CampaignEvent::Evaluated {
                 function,
                 mode,
@@ -136,10 +158,21 @@ impl CampaignEvent {
     }
 }
 
+/// What flows through the drainer channel: events, or the shutdown
+/// sentinel. The sentinel (rather than waiting for every sender clone
+/// to drop) is what lets `shutdown`/`Drop` join the drainer even while
+/// workers still hold cloned senders — their later emits just land in
+/// a disconnected channel and are discarded.
+#[derive(Debug)]
+enum Msg {
+    Event(CampaignEvent),
+    Shutdown,
+}
+
 /// The sending half handed to workers (clone freely).
 #[derive(Debug, Clone)]
 pub struct JournalSender {
-    tx: Option<Sender<CampaignEvent>>,
+    tx: Option<Sender<Msg>>,
 }
 
 impl JournalSender {
@@ -152,30 +185,67 @@ impl JournalSender {
     /// has already shut down).
     pub fn emit(&self, event: CampaignEvent) {
         if let Some(tx) = &self.tx {
-            let _ = tx.send(event);
+            let _ = tx.send(Msg::Event(event));
         }
     }
+}
+
+/// What a drained journal produced: the line count written to the sink
+/// and (in recording mode) the full sequenced event stream.
+#[derive(Debug, Default)]
+pub struct JournalTail {
+    /// JSONL lines written to the sink.
+    pub lines: u64,
+    /// The sequenced events, when recording was on.
+    pub events: Vec<(u64, CampaignEvent)>,
 }
 
 /// A running journal drainer.
 #[derive(Debug)]
 pub struct Journal {
     sender: JournalSender,
-    drainer: Option<JoinHandle<std::io::Result<u64>>>,
+    drainer: Option<JoinHandle<std::io::Result<JournalTail>>>,
 }
 
 impl Journal {
     /// Start a drainer writing JSONL to `sink`.
-    pub fn start(mut sink: Box<dyn Write + Send>) -> Self {
-        let (tx, rx) = channel::<CampaignEvent>();
+    pub fn start(sink: Box<dyn Write + Send>) -> Self {
+        Journal::spawn(Some(sink), false)
+    }
+
+    /// Start a drainer that records the sequenced event stream in
+    /// memory — the input of the trace export — and writes JSONL to
+    /// `sink` when one is given.
+    pub fn start_recording(sink: Option<Box<dyn Write + Send>>) -> Self {
+        Journal::spawn(sink, true)
+    }
+
+    fn spawn(mut sink: Option<Box<dyn Write + Send>>, record: bool) -> Self {
+        let (tx, rx) = channel::<Msg>();
         let drainer = std::thread::spawn(move || {
+            let mut tail = JournalTail::default();
             let mut seq = 0u64;
-            for event in rx {
-                writeln!(sink, "{}", event.to_json(seq))?;
+            // Two exit paths: the shutdown sentinel, or every sender
+            // (including cloned ones) having dropped.
+            #[allow(clippy::explicit_counter_loop)]
+            for msg in rx {
+                let event = match msg {
+                    Msg::Event(event) => event,
+                    Msg::Shutdown => break,
+                };
+                if let Some(sink) = sink.as_mut() {
+                    writeln!(sink, "{}", event.to_json(seq))?;
+                    tail.lines += 1;
+                }
+                if record {
+                    tail.events.push((seq, event));
+                }
                 seq += 1;
             }
-            sink.flush()?;
-            Ok(seq)
+            if let Some(sink) = sink.as_mut() {
+                sink.flush()?;
+            }
+            Ok(tail)
         });
         Journal {
             sender: JournalSender { tx: Some(tx) },
@@ -196,19 +266,48 @@ impl Journal {
         self.sender.clone()
     }
 
-    /// Drop the sender, wait for the drainer to flush, and return the
-    /// number of lines written (0 when disabled).
+    /// Stop accepting events, wait for the drainer to flush the sink,
+    /// and return what it produced. Idempotent: a second call returns
+    /// an empty [`JournalTail`]. Senders cloned earlier keep working as
+    /// silent no-ops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the drainer's I/O failure.
+    pub fn shutdown(&mut self) -> std::io::Result<JournalTail> {
+        if let Some(tx) = self.sender.tx.take() {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        match self.drainer.take() {
+            Some(handle) => handle
+                .join()
+                .unwrap_or_else(|panic| std::panic::resume_unwind(panic)),
+            None => Ok(JournalTail::default()),
+        }
+    }
+
+    /// Shut down and return the number of lines written (0 when
+    /// disabled).
     ///
     /// # Errors
     ///
     /// Propagates the drainer's I/O failure.
     pub fn finish(mut self) -> std::io::Result<u64> {
-        self.sender = JournalSender::disabled();
-        match self.drainer.take() {
-            Some(handle) => handle
-                .join()
-                .unwrap_or_else(|panic| std::panic::resume_unwind(panic)),
-            None => Ok(0),
+        self.shutdown().map(|tail| tail.lines)
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        // Explicit shutdown on drop: joining the drainer guarantees the
+        // sink was flushed even when the campaign exits early. Errors
+        // and drainer panics cannot propagate out of a drop and are
+        // deliberately discarded; callers who care use `shutdown`.
+        if let Some(tx) = self.sender.tx.take() {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        if let Some(handle) = self.drainer.take() {
+            let _ = handle.join();
         }
     }
 }
@@ -273,5 +372,73 @@ mod tests {
             function: "abs".into(),
         });
         assert_eq!(journal.finish().unwrap(), 0);
+    }
+
+    #[test]
+    fn recording_mode_captures_the_sequenced_stream() {
+        let mut journal = Journal::start_recording(None);
+        let sender = journal.sender();
+        sender.emit(CampaignEvent::Evaluating {
+            function: "strlen".into(),
+            mode: "FullAuto".into(),
+        });
+        sender.emit(CampaignEvent::Evaluated {
+            function: "strlen".into(),
+            mode: "FullAuto".into(),
+            tests: 180,
+            failures: 0,
+        });
+        drop(sender);
+        let tail = journal.shutdown().unwrap();
+        assert_eq!(tail.lines, 0, "no sink was configured");
+        assert_eq!(tail.events.len(), 2);
+        assert_eq!(tail.events[0].0, 0);
+        assert_eq!(tail.events[1].0, 1);
+        assert!(matches!(
+            &tail.events[0].1,
+            CampaignEvent::Evaluating { function, .. } if function == "strlen"
+        ));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_late_sends_are_harmless() {
+        let buf = SharedBuf::default();
+        let mut journal = Journal::start(Box::new(buf.clone()));
+        let sender = journal.sender();
+        sender.emit(CampaignEvent::Started {
+            function: "strcpy".into(),
+        });
+        let tail = journal.shutdown().unwrap();
+        assert_eq!(tail.lines, 1);
+        // A straggler worker emitting after shutdown must not panic —
+        // through the old clone or one taken after shutdown.
+        sender.emit(CampaignEvent::Started {
+            function: "late".into(),
+        });
+        journal.sender().emit(CampaignEvent::Started {
+            function: "later".into(),
+        });
+        // Second shutdown: empty tail, no error, no double-join.
+        let tail = journal.shutdown().unwrap();
+        assert_eq!(tail.lines, 0);
+        assert!(tail.events.is_empty());
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1, "late events must not be written");
+    }
+
+    #[test]
+    fn drop_flushes_the_sink() {
+        let buf = SharedBuf::default();
+        {
+            let journal = Journal::start(Box::new(buf.clone()));
+            journal.sender().emit(CampaignEvent::Started {
+                function: "strcpy".into(),
+            });
+            // No finish(): the drop impl must join the drainer, so the
+            // line is on the sink by the time the scope ends.
+        }
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"event\":\"started\""));
     }
 }

@@ -13,7 +13,10 @@
 //!   entirely;
 //! - [`journal`] — a structured [`CampaignEvent`] stream drained to
 //!   JSONL by a dedicated thread;
-//! - [`campaign`] — the orchestrator tying the three together, with
+//! - [`chrome`] — a Chrome trace-event export of the journal's
+//!   sequenced stream (worker lanes, queue-depth counters), derived
+//!   purely from journal sequence numbers;
+//! - [`campaign`] — the orchestrator tying the pieces together, with
 //!   aggregate [`CampaignMetrics`].
 //!
 //! No external dependencies; the whole crate is std + the sibling
@@ -39,13 +42,19 @@
 
 pub mod cache;
 pub mod campaign;
+pub mod chrome;
 pub mod journal;
-pub mod json;
 pub mod metrics;
 pub mod scheduler;
 
+// JSON emission/validation moved down into healers-trace (every
+// exporter shares it now); re-exported so `healers_campaign::json`
+// call sites keep working.
+pub use healers_trace::json;
+
 pub use cache::{CacheCounters, DeclCache};
 pub use campaign::{Campaign, CampaignConfig};
+pub use chrome::chrome_trace;
 // The fingerprint module lives in `healers-ballista` so the serial
 // runner can derive the same per-function seeds; re-exported here
 // because the declaration cache keys are part of this crate's API.

@@ -30,14 +30,32 @@ pub struct CampaignMetrics {
 
 impl CampaignMetrics {
     /// Fold another function's per-campaign contribution in.
+    ///
+    /// The exhaustive destructure (no `..`) is deliberate: adding a
+    /// field to [`CampaignMetrics`] without deciding how it aggregates
+    /// must be a compile error here, not a silently dropped counter.
     pub fn absorb(&mut self, other: &CampaignMetrics) {
-        self.functions += other.functions;
-        self.cache_hits += other.cache_hits;
-        self.cache_misses += other.cache_misses;
-        self.injected_calls += other.injected_calls;
-        self.adaptive_retries += other.adaptive_retries;
-        self.fuel_used += other.fuel_used;
-        self.evaluation_tests += other.evaluation_tests;
+        let CampaignMetrics {
+            functions,
+            cache_hits,
+            cache_misses,
+            injected_calls,
+            adaptive_retries,
+            fuel_used,
+            evaluation_tests,
+            // Run-level properties, not per-function contributions: the
+            // worker count is fixed by the orchestrator and wall time is
+            // stamped once at the end of the run.
+            jobs: _,
+            elapsed: _,
+        } = other;
+        self.functions += functions;
+        self.cache_hits += cache_hits;
+        self.cache_misses += cache_misses;
+        self.injected_calls += injected_calls;
+        self.adaptive_retries += adaptive_retries;
+        self.fuel_used += fuel_used;
+        self.evaluation_tests += evaluation_tests;
     }
 }
 
@@ -57,5 +75,50 @@ impl fmt::Display for CampaignMetrics {
             self.jobs,
             self.elapsed.as_secs_f64()
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_folds_every_counter_and_skips_run_level_fields() {
+        // One distinct prime per counter so a cross-wired addition (or
+        // a counter absorbed twice) cannot cancel out.
+        let contribution = CampaignMetrics {
+            functions: 2,
+            cache_hits: 3,
+            cache_misses: 5,
+            injected_calls: 7,
+            adaptive_retries: 11,
+            fuel_used: 13,
+            evaluation_tests: 17,
+            jobs: 19,
+            elapsed: Duration::from_secs(23),
+        };
+        let mut total = CampaignMetrics {
+            jobs: 4,
+            elapsed: Duration::from_secs(1),
+            ..CampaignMetrics::default()
+        };
+        total.absorb(&contribution);
+        total.absorb(&contribution);
+        assert_eq!(
+            total,
+            CampaignMetrics {
+                functions: 4,
+                cache_hits: 6,
+                cache_misses: 10,
+                injected_calls: 14,
+                adaptive_retries: 22,
+                fuel_used: 26,
+                evaluation_tests: 34,
+                // Run-level fields belong to the accumulator, not the
+                // contributions.
+                jobs: 4,
+                elapsed: Duration::from_secs(1),
+            }
+        );
     }
 }

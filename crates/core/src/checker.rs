@@ -97,6 +97,117 @@ impl CheckCounters {
     }
 }
 
+/// Coarse classification of argument checks by the kind of object they
+/// validate — the axis of the wrapper's per-kind outcome tallies
+/// ([`CheckOutcomes`]). Where [`CheckCounters`] decomposes checks by
+/// *kernel* (how they were resolved), this decomposes them by *claim*
+/// (what property was asserted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CheckKind {
+    /// Memory-region accessibility/bounds (the array families).
+    Region,
+    /// NUL-terminated string scans (NTS family, mode strings).
+    String,
+    /// Stream (`FILE*`) validation.
+    Stream,
+    /// Directory handle (`DIR*`) validation.
+    Dir,
+    /// Scalar domain checks (ints, descriptors, speeds, NULL).
+    Scalar,
+    /// Executable size assertions (semi-automatic).
+    Assertion,
+}
+
+impl CheckKind {
+    /// Every kind, in tally/report order.
+    pub const ALL: [CheckKind; 6] = [
+        CheckKind::Region,
+        CheckKind::String,
+        CheckKind::Stream,
+        CheckKind::Dir,
+        CheckKind::Scalar,
+        CheckKind::Assertion,
+    ];
+
+    /// The kind of check [`check_value`] performs for `t`.
+    pub fn of(t: TypeExpr) -> CheckKind {
+        use TypeExpr::*;
+        match t {
+            RArray(_) | WArray(_) | RwArray(_) | RArrayNull(_) | WArrayNull(_) | RwArrayNull(_) => {
+                CheckKind::Region
+            }
+            Nts | NtsWritable | NtsNull | NtsMax(_) | ModeShort | ModeValid => CheckKind::String,
+            OpenFile | OpenFileNull | RFile | WFile => CheckKind::Stream,
+            OpenDir | OpenDirNull => CheckKind::Dir,
+            _ => CheckKind::Scalar,
+        }
+    }
+
+    /// Stable lower-case label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CheckKind::Region => "region",
+            CheckKind::String => "string",
+            CheckKind::Stream => "stream",
+            CheckKind::Dir => "dir",
+            CheckKind::Scalar => "scalar",
+            CheckKind::Assertion => "assertion",
+        }
+    }
+}
+
+/// Pass/fail tallies per [`CheckKind`] — plain array increments, cheap
+/// enough to stay unconditional on the hot path (unlike the gated
+/// latency histograms). Deterministic: a function of the checked values
+/// alone, so these appear in the stable `healers report` output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckOutcomes {
+    passed: [u64; CheckKind::ALL.len()],
+    failed: [u64; CheckKind::ALL.len()],
+}
+
+impl CheckOutcomes {
+    fn index(kind: CheckKind) -> usize {
+        CheckKind::ALL.iter().position(|k| *k == kind).unwrap()
+    }
+
+    /// Tally one check outcome.
+    pub fn record(&mut self, kind: CheckKind, ok: bool) {
+        let i = Self::index(kind);
+        if ok {
+            self.passed[i] += 1;
+        } else {
+            self.failed[i] += 1;
+        }
+    }
+
+    /// Checks of `kind` that passed.
+    pub fn passed(&self, kind: CheckKind) -> u64 {
+        self.passed[Self::index(kind)]
+    }
+
+    /// Checks of `kind` that failed.
+    pub fn failed(&self, kind: CheckKind) -> u64 {
+        self.failed[Self::index(kind)]
+    }
+
+    /// Fold another tally set into this one.
+    pub fn absorb(&mut self, other: &CheckOutcomes) {
+        for i in 0..CheckKind::ALL.len() {
+            self.passed[i] += other.passed[i];
+            self.failed[i] += other.failed[i];
+        }
+    }
+
+    /// `(kind, passed, failed)` triples in [`CheckKind::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (CheckKind, u64, u64)> + '_ {
+        CheckKind::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, self.passed[i], self.failed[i]))
+    }
+}
+
 /// Which checking techniques are switched on.
 #[derive(Debug, Clone, Copy)]
 pub struct CheckCapabilities {
@@ -951,6 +1062,29 @@ mod tests {
             SimValue::Int(31337),
             TypeExpr::SpeedValid
         ));
+    }
+
+    #[test]
+    fn check_kinds_classify_and_tally() {
+        assert_eq!(CheckKind::of(TypeExpr::RwArray(8)), CheckKind::Region);
+        assert_eq!(CheckKind::of(TypeExpr::NtsMax(7)), CheckKind::String);
+        assert_eq!(CheckKind::of(TypeExpr::RFile), CheckKind::Stream);
+        assert_eq!(CheckKind::of(TypeExpr::OpenDirNull), CheckKind::Dir);
+        assert_eq!(CheckKind::of(TypeExpr::FdReadable), CheckKind::Scalar);
+        assert_eq!(CheckKind::of(TypeExpr::Null), CheckKind::Scalar);
+
+        let mut one = CheckOutcomes::default();
+        one.record(CheckKind::Region, true);
+        one.record(CheckKind::Region, false);
+        one.record(CheckKind::String, false);
+        let mut total = CheckOutcomes::default();
+        total.absorb(&one);
+        total.absorb(&one);
+        assert_eq!(total.passed(CheckKind::Region), 2);
+        assert_eq!(total.failed(CheckKind::Region), 2);
+        assert_eq!(total.failed(CheckKind::String), 2);
+        assert_eq!(total.passed(CheckKind::Assertion), 0);
+        assert_eq!(total.iter().count(), CheckKind::ALL.len());
     }
 
     #[test]

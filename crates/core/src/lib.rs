@@ -56,8 +56,9 @@ pub mod overrides;
 pub mod wrapper;
 pub mod xml;
 
+pub use checker::{CheckCounters, CheckKind, CheckOutcomes};
 pub use decl::{analyze, FunctionAttribute, FunctionDecl};
 pub use emit::{emit_checks_header, emit_wrapper_source};
 pub use overrides::{semi_auto_overrides, ManualOverride, SizeAssertion};
-pub use wrapper::{RobustnessWrapper, ViolationAction, WrapperConfig, WrapperStats};
+pub use wrapper::{FnTelemetry, RobustnessWrapper, ViolationAction, WrapperConfig, WrapperStats};
 pub use xml::{decls_from_xml, decls_to_xml};

@@ -17,8 +17,11 @@ use healers_libc::{file, Libc, World};
 use healers_simproc::{SimFault, SimValue};
 use healers_typesys::TypeExpr;
 
+use healers_trace::Histogram;
+
 use crate::checker::{
-    check_value_counted, checkable_supertype, CheckCapabilities, CheckCounters, Tables,
+    check_value_counted, checkable_supertype, CheckCapabilities, CheckCounters, CheckKind,
+    CheckOutcomes, Tables,
 };
 use crate::decl::FunctionDecl;
 use crate::overrides::{ManualOverride, SizeAssertion, SizeTerm};
@@ -137,10 +140,63 @@ pub struct WrapperStats {
     /// Per-kernel decomposition of the checks above: tracking-table
     /// hits, bulk page-run probes, NUL scans, and bytes scanned.
     pub check_kinds: CheckCounters,
+    /// Pass/fail tallies per check kind (region, string, stream, …) —
+    /// unconditional plain increments, deterministic, part of the
+    /// stable `healers report` output.
+    pub check_outcomes: CheckOutcomes,
+    /// Per-function call counts and latency histograms, collected only
+    /// while the [`healers_trace`] gate is on (empty otherwise). Wall
+    /// times — excluded from byte-identical report output.
+    pub per_function: BTreeMap<String, FnTelemetry>,
     /// Wall-clock time spent in argument checking (measurement mode).
     pub time_checking: Duration,
     /// Wall-clock time spent in the library itself (measurement mode).
     pub time_in_library: Duration,
+}
+
+/// Per-function telemetry: a call count and a log2-bucket histogram of
+/// whole wrapped-call latencies (checks + library) in nanoseconds.
+#[derive(Debug, Clone, Default)]
+pub struct FnTelemetry {
+    /// Calls observed while telemetry was on.
+    pub calls: u64,
+    /// Latency distribution (nanoseconds per call).
+    pub latency_ns: Histogram,
+}
+
+impl WrapperStats {
+    /// Fold another stats set into this one — the merge the campaign
+    /// uses to aggregate per-worker wrapper stats. The exhaustive
+    /// destructure (no `..`) makes adding a field without deciding how
+    /// it merges a compile error.
+    pub fn absorb(&mut self, other: &WrapperStats) {
+        let WrapperStats {
+            calls,
+            wrapped_calls,
+            checks,
+            violations,
+            check_cache_hits,
+            check_kinds,
+            check_outcomes,
+            per_function,
+            time_checking,
+            time_in_library,
+        } = other;
+        self.calls += calls;
+        self.wrapped_calls += wrapped_calls;
+        self.checks += checks;
+        self.violations += violations;
+        self.check_cache_hits += check_cache_hits;
+        self.check_kinds.absorb(check_kinds);
+        self.check_outcomes.absorb(check_outcomes);
+        for (name, telemetry) in per_function {
+            let mine = self.per_function.entry(name.clone()).or_default();
+            mine.calls += telemetry.calls;
+            mine.latency_ns.merge(&telemetry.latency_ns);
+        }
+        self.time_checking += *time_checking;
+        self.time_in_library += *time_in_library;
+    }
 }
 
 /// One logged violation.
@@ -372,6 +428,28 @@ impl RobustnessWrapper {
         name: &str,
         args: &[SimValue],
     ) -> Result<SimValue, SimFault> {
+        // The telemetry gate: with tracing off this costs one relaxed
+        // atomic load; with it on, the whole call (checks + library) is
+        // timed into the per-function latency histogram.
+        if !healers_trace::enabled() {
+            return self.call_inner(libc, world, name, args);
+        }
+        let started = Instant::now();
+        let result = self.call_inner(libc, world, name, args);
+        let nanos = started.elapsed().as_nanos() as u64;
+        let telemetry = self.stats.per_function.entry(name.to_string()).or_default();
+        telemetry.calls += 1;
+        telemetry.latency_ns.record(nanos);
+        result
+    }
+
+    fn call_inner(
+        &mut self,
+        libc: &Libc,
+        world: &mut World,
+        name: &str,
+        args: &[SimValue],
+    ) -> Result<SimValue, SimFault> {
         self.stats.calls += 1;
         let func = libc
             .get(name)
@@ -415,16 +493,20 @@ impl RobustnessWrapper {
                     self.config.check_cache && matches!(value, SimValue::Ptr(p) if p != 0);
                 if cacheable && self.check_cache.get(&cache_key) == Some(&self.generation) {
                     self.stats.check_cache_hits += 1;
+                    // A cache hit is a check that (still) passes.
+                    self.stats.check_outcomes.record(CheckKind::of(*t), true);
                     continue;
                 }
-                if !check_value_counted(
+                let ok = check_value_counted(
                     world,
                     &self.tables,
                     &caps,
                     value,
                     *t,
                     &mut self.stats.check_kinds,
-                ) {
+                );
+                self.stats.check_outcomes.record(CheckKind::of(*t), ok);
+                if !ok {
                     if let Some(s) = check_started {
                         self.stats.time_checking += s.elapsed();
                     }
@@ -468,6 +550,7 @@ impl RobustnessWrapper {
                     }
                     _ => false,
                 };
+                self.stats.check_outcomes.record(CheckKind::Assertion, ok);
                 if !ok {
                     if let Some(s) = check_started {
                         self.stats.time_checking += s.elapsed();
@@ -879,6 +962,84 @@ mod tests {
             w.stats.check_cache_hits, before,
             "stale cache entry was used after free"
         );
+    }
+
+    #[test]
+    fn check_outcome_tallies_are_always_on() {
+        let (libc, mut w, mut world) = build(&["strlen"], WrapperConfig::full_auto());
+        let s = world.alloc_cstr("hi");
+        w.call(&libc, &mut world, "strlen", &[SimValue::Ptr(s)])
+            .unwrap();
+        let _ = w.call(&libc, &mut world, "strlen", &[SimValue::NULL]);
+        assert_eq!(w.stats.check_outcomes.passed(CheckKind::String), 1);
+        assert_eq!(w.stats.check_outcomes.failed(CheckKind::String), 1);
+        assert_eq!(w.stats.check_outcomes.passed(CheckKind::Region), 0);
+    }
+
+    #[test]
+    fn per_function_telemetry_obeys_the_gate() {
+        // The only test in this binary that touches the global gate, so
+        // the off-state assertions cannot race another test.
+        let (libc, mut w, mut world) = build(&["strlen"], WrapperConfig::full_auto());
+        let s = world.alloc_cstr("gated");
+        w.call(&libc, &mut world, "strlen", &[SimValue::Ptr(s)])
+            .unwrap();
+        assert!(
+            w.stats.per_function.is_empty(),
+            "telemetry collected with the gate off"
+        );
+        healers_trace::set_enabled(true);
+        w.call(&libc, &mut world, "strlen", &[SimValue::Ptr(s)])
+            .unwrap();
+        w.call(&libc, &mut world, "strlen", &[SimValue::Ptr(s)])
+            .unwrap();
+        healers_trace::set_enabled(false);
+        let telemetry = &w.stats.per_function["strlen"];
+        assert_eq!(telemetry.calls, 2);
+        assert_eq!(telemetry.latency_ns.count(), 2);
+        // Gate back off: no further collection.
+        w.call(&libc, &mut world, "strlen", &[SimValue::Ptr(s)])
+            .unwrap();
+        assert_eq!(w.stats.per_function["strlen"].calls, 2);
+        assert_eq!(w.stats.calls, 4, "the base counters never pause");
+    }
+
+    #[test]
+    fn stats_absorb_merges_every_field() {
+        let mut hist = Histogram::new();
+        hist.record(100);
+        let mut part = WrapperStats::default();
+        part.calls = 1;
+        part.wrapped_calls = 2;
+        part.checks = 3;
+        part.violations = 4;
+        part.check_cache_hits = 5;
+        part.check_kinds.table_hits = 6;
+        part.check_outcomes.record(CheckKind::String, true);
+        part.per_function.insert(
+            "strlen".into(),
+            FnTelemetry {
+                calls: 7,
+                latency_ns: hist.clone(),
+            },
+        );
+        part.time_checking = Duration::from_micros(8);
+        part.time_in_library = Duration::from_micros(9);
+
+        let mut total = WrapperStats::default();
+        total.absorb(&part);
+        total.absorb(&part);
+        assert_eq!(total.calls, 2);
+        assert_eq!(total.wrapped_calls, 4);
+        assert_eq!(total.checks, 6);
+        assert_eq!(total.violations, 8);
+        assert_eq!(total.check_cache_hits, 10);
+        assert_eq!(total.check_kinds.table_hits, 12);
+        assert_eq!(total.check_outcomes.passed(CheckKind::String), 2);
+        assert_eq!(total.per_function["strlen"].calls, 14);
+        assert_eq!(total.per_function["strlen"].latency_ns.count(), 2);
+        assert_eq!(total.time_checking, Duration::from_micros(16));
+        assert_eq!(total.time_in_library, Duration::from_micros(18));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Test cases and outcome classification.
 
 use healers_libc::World;
-use healers_simproc::{ChildResult, SimValue};
+use healers_simproc::{ChildResult, FaultSite, SimValue};
 use healers_typesys::{Outcome, TypeExpr};
 
 /// One concrete test value, tagged with the fundamental type its
@@ -49,6 +49,10 @@ pub struct CallRecord {
     pub errno: i32,
     /// Test case label.
     pub label: String,
+    /// Fault provenance — the faulting address attributed to its page
+    /// run and heap block in the child's memory image — when the call
+    /// segfaulted; `None` otherwise.
+    pub provenance: Option<FaultSite>,
 }
 
 /// Classify a sandboxed call result into the robustness outcome scale.

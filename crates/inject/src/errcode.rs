@@ -132,6 +132,7 @@ mod tests {
             },
             returned,
             errno,
+            provenance: None,
             label: "t".into(),
         }
     }

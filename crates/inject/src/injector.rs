@@ -2,7 +2,7 @@
 
 use healers_ctypes::FunctionPrototype;
 use healers_libc::{Libc, World};
-use healers_simproc::{run_in_child, SimValue};
+use healers_simproc::{run_in_child, FaultSite, SimValue};
 use healers_typesys::{robust_type, Observation, RobustType, SelectionCriterion, TypeExpr};
 
 use crate::case::{classify_child_result, CallRecord};
@@ -124,13 +124,19 @@ impl<'l> FaultInjector<'l> {
             fuel_used += child.proc.fuel_used();
             let (outcome, returned, errno) = classify_child_result(&result, &child);
             let fault_addr = result.fault().and_then(|f| f.segv_addr());
-            (outcome, returned, errno, fault_addr)
+            // Provenance must be resolved against the *child* image —
+            // the faulting page run and heap block exist in the clone
+            // the call mutated, not in the pristine parent.
+            let provenance = result
+                .fault()
+                .and_then(|f| FaultSite::resolve(f, &child.proc));
+            (outcome, returned, errno, fault_addr, provenance)
         };
 
         // Baseline call with all-benign arguments (also the only call
         // for zero-argument functions).
         {
-            let (outcome, returned, errno, _) = invoke(&world, &benign);
+            let (outcome, returned, errno, _, provenance) = invoke(&world, &benign);
             records.push(CallRecord {
                 arg_index: None,
                 fundamental: TypeExpr::IntZero, // placeholder, unused for baseline
@@ -138,6 +144,7 @@ impl<'l> FaultInjector<'l> {
                 returned,
                 errno,
                 label: "benign baseline".to_string(),
+                provenance,
             });
         }
 
@@ -152,7 +159,8 @@ impl<'l> FaultInjector<'l> {
                     loop {
                         let mut args = benign.clone();
                         args[i] = case.value;
-                        let (outcome, returned, errno, fault_addr) = invoke(&world, &args);
+                        let (outcome, returned, errno, fault_addr, provenance) =
+                            invoke(&world, &args);
                         if outcome.is_failure() {
                             if let Some(addr) = fault_addr {
                                 if retries < MAX_RETRIES_PER_CASE && gens[i].owns_fault(addr) {
@@ -174,6 +182,7 @@ impl<'l> FaultInjector<'l> {
                             returned,
                             errno,
                             label: case.label.clone(),
+                            provenance,
                         });
                         break;
                     }
@@ -390,6 +399,35 @@ mod tests {
             WArray(s) | RwArray(s) => assert_eq!(s, 88),
             other => panic!("stat buf robust type {other}"),
         }
+    }
+
+    #[test]
+    fn crashing_records_carry_fault_provenance() {
+        let r = report("strcpy");
+        // Every segfaulting record resolved a fault site; addressless
+        // failures (hangs, aborts) and returns carry none.
+        let crashes: Vec<_> = r
+            .records
+            .iter()
+            .filter(|rec| rec.outcome == healers_typesys::Outcome::Crash)
+            .collect();
+        assert!(!crashes.is_empty());
+        assert!(crashes.iter().any(|rec| rec.provenance.is_some()));
+        assert!(r
+            .records
+            .iter()
+            .filter(|rec| rec.outcome.returned())
+            .all(|rec| rec.provenance.is_none()));
+        // At least one fault is attributed to a concrete heap block —
+        // a protection fault inside a test array or a guard-page
+        // overrun past one.
+        assert!(
+            r.records
+                .iter()
+                .filter_map(|rec| rec.provenance.as_ref())
+                .any(|site| site.block.is_some()),
+            "no fault attributed to a heap block"
+        );
     }
 
     #[test]

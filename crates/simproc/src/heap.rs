@@ -320,6 +320,15 @@ impl Heap {
         self.blocks.get(&addr).copied()
     }
 
+    /// The block — live *or freed* — whose base is nearest at or below
+    /// `addr`. This is the attribution query behind fault provenance:
+    /// a faulting address just past a block's end, or inside a freed
+    /// block's revoked pages, names that block even though
+    /// [`Heap::block_containing`] (live blocks only) returns `None`.
+    pub fn nearest_block_at_or_below(&self, addr: Addr) -> Option<HeapBlock> {
+        self.blocks.range(..=addr).next_back().map(|(_, b)| *b)
+    }
+
     /// Whether `addr` falls inside the heap's managed range.
     pub fn contains_range(&self, addr: Addr) -> bool {
         addr >= self.base && addr < self.limit
@@ -400,6 +409,26 @@ mod tests {
         assert!(heap.block_containing(p + 32).is_none());
         heap.free(&mut mem, p).unwrap();
         assert!(heap.block_containing(p).is_none());
+    }
+
+    #[test]
+    fn nearest_block_at_or_below_attributes_overruns_and_freed_blocks() {
+        let (mut mem, mut heap) = setup(HeapMode::Guarded);
+        let a = heap.malloc(&mut mem, 32).unwrap();
+        let b = heap.malloc(&mut mem, 16).unwrap();
+        assert!(b > a);
+
+        // One past `a`'s end: no containing block, but attribution works.
+        assert!(heap.block_containing(a + 32).is_none());
+        assert_eq!(heap.nearest_block_at_or_below(a + 32).unwrap().base, a);
+        // Below every block: nothing to attribute.
+        assert!(heap.nearest_block_at_or_below(a - 1).is_none());
+
+        // Freed blocks stay attributable (use-after-free provenance).
+        heap.free(&mut mem, b).unwrap();
+        let hit = heap.nearest_block_at_or_below(b + 4).unwrap();
+        assert_eq!(hit.base, b);
+        assert!(hit.free);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   the wrapper's *stateful* checking) and an optional guard-page
 //!   ("electric fence") placement mode used by the fault injector to grow
 //!   arrays adaptively,
+//! * [`FaultSite`] — fault provenance: the page-run and heap-block
+//!   attribution of a faulting address (which page run was hit, which
+//!   block was overrun, whether a guard page caught it),
 //! * [`SimProcess`] — address space + heap + `errno` + a fuel budget that
 //!   deterministically models the paper's hang timeout,
 //! * [`run_in_child`] — fault containment: a call executes against a clone
@@ -38,12 +41,14 @@
 pub mod heap;
 pub mod mem;
 pub mod proc;
+pub mod provenance;
 pub mod sandbox;
 pub mod value;
 
 pub use heap::{Heap, HeapBlock, HeapError, HeapMode};
-pub use mem::{AccessKind, AddressSpace, Protection, SimFault, PAGE_SIZE};
+pub use mem::{AccessKind, AddressSpace, PageRun, Protection, SimFault, PAGE_SIZE};
 pub use proc::{SimProcess, HEAP_BASE, INVALID_PTR, STACK_BASE, STACK_SIZE, STATIC_BASE};
+pub use provenance::FaultSite;
 pub use sandbox::{run_in_child, ChildResult};
 pub use value::SimValue;
 

@@ -131,6 +131,57 @@ impl fmt::Debug for Page {
     }
 }
 
+/// A maximal run of contiguous pages sharing one protection — or one
+/// maximal unmapped hole — as reported by [`AddressSpace::page_run`].
+/// This is the page-table context of a faulting address: "the store
+/// landed in a 3-page read-only run" or "the load fell in the unmapped
+/// hole after the last heap mapping".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageRun {
+    /// First byte of the run (page aligned).
+    pub start: Addr,
+    /// Number of pages in the run (at least 1).
+    pub pages: u32,
+    /// The run's protection; `None` for an unmapped hole.
+    pub prot: Option<Protection>,
+}
+
+impl PageRun {
+    /// Last byte of the run, inclusive (the exclusive end of a run
+    /// touching the top of memory would not fit in 32 bits).
+    pub fn last(&self) -> Addr {
+        self.start + (self.pages * PAGE_SIZE - 1)
+    }
+
+    /// Whether `addr` falls inside the run.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.start && addr <= self.last()
+    }
+
+    /// A short human-readable description of the run's accessibility.
+    pub fn describe_prot(&self) -> &'static str {
+        match self.prot {
+            None => "unmapped",
+            Some(Protection::None) => "inaccessible",
+            Some(Protection::ReadOnly) => "read-only",
+            Some(Protection::ReadWrite) => "read-write",
+            Some(Protection::WriteOnly) => "write-only",
+        }
+    }
+}
+
+impl fmt::Display for PageRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} run {:#010x}+{}p",
+            self.describe_prot(),
+            self.start,
+            self.pages
+        )
+    }
+}
+
 /// A sparse, paged 32-bit address space.
 ///
 /// Page 0 is never mapped, so null-pointer dereferences fault exactly as on
@@ -308,6 +359,60 @@ impl AddressSpace {
     /// Number of mapped pages (diagnostics).
     pub fn mapped_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// The maximal run of contiguous pages around `addr` sharing its
+    /// page's protection — or, for an unmapped `addr`, the maximal
+    /// unmapped hole containing it. This is the page-table half of
+    /// fault provenance: it tells a report *what kind of memory* a
+    /// faulting access landed in and how far that region extends.
+    pub fn page_run(&self, addr: Addr) -> PageRun {
+        let p = page_of(addr);
+        match self.pages.get(&p) {
+            Some(page) => {
+                let prot = page.prot;
+                let mut first = p;
+                for (&q, pg) in self.pages.range(..p).rev() {
+                    if q + 1 == first && pg.prot == prot {
+                        first = q;
+                    } else {
+                        break;
+                    }
+                }
+                let mut last = p;
+                for (&q, pg) in self.pages.range(p + 1..) {
+                    if q == last + 1 && pg.prot == prot {
+                        last = q;
+                    } else {
+                        break;
+                    }
+                }
+                PageRun {
+                    start: first * PAGE_SIZE,
+                    pages: last - first + 1,
+                    prot: Some(prot),
+                }
+            }
+            None => {
+                let first = self
+                    .pages
+                    .range(..p)
+                    .next_back()
+                    .map(|(&q, _)| q + 1)
+                    .unwrap_or(0);
+                let last = self
+                    .pages
+                    .range(p + 1..)
+                    .next()
+                    .map(|(&q, _)| q - 1)
+                    .unwrap_or(page_of(Addr::MAX));
+                PageRun {
+                    start: first * PAGE_SIZE,
+                    pages: last - first + 1,
+                    prot: None,
+                }
+            }
+        }
     }
 
     fn check(&self, addr: Addr, access: AccessKind) -> Result<(), SimFault> {
@@ -679,6 +784,54 @@ mod tests {
             v[n] = 0;
             assert_eq!(find_nul_in(&v), Some(n), "position {n}");
         }
+    }
+
+    #[test]
+    fn page_run_merges_contiguous_same_protection_pages() {
+        let mut m = AddressSpace::new();
+        m.map(0x1000, 3 * 4096, Protection::ReadWrite);
+        m.map(0x4000, 4096, Protection::ReadOnly);
+        m.map(0x6000, 4096, Protection::ReadWrite);
+
+        // Middle of the RW run: the whole run, not just one page.
+        let run = m.page_run(0x2abc);
+        assert_eq!(run.start, 0x1000);
+        assert_eq!(run.pages, 3);
+        assert_eq!(run.prot, Some(Protection::ReadWrite));
+        assert_eq!(run.last(), 0x3fff);
+        assert!(run.contains(0x1000) && run.contains(0x3fff));
+        assert!(!run.contains(0x4000));
+
+        // A protection change breaks the run even without a hole.
+        let ro = m.page_run(0x4123);
+        assert_eq!(
+            (ro.start, ro.pages, ro.prot),
+            (0x4000, 1, Some(Protection::ReadOnly))
+        );
+
+        // The hole between 0x5000 and 0x6000 is a 1-page unmapped run.
+        let hole = m.page_run(0x5800);
+        assert_eq!((hole.start, hole.pages, hole.prot), (0x5000, 1, None));
+        assert_eq!(hole.describe_prot(), "unmapped");
+
+        // The hole below the first mapping starts at address 0.
+        let low = m.page_run(0x0123);
+        assert_eq!((low.start, low.prot), (0, None));
+        assert_eq!(low.pages, 1);
+
+        // The hole above the last mapping extends to the top of memory.
+        let high = m.page_run(0xdead_0000);
+        assert_eq!(high.start, 0x7000);
+        assert_eq!(high.last(), u32::MAX);
+        assert_eq!(high.prot, None);
+    }
+
+    #[test]
+    fn page_run_display_names_protection_and_extent() {
+        let mut m = AddressSpace::new();
+        m.map(0x7000, 2 * 4096, Protection::None);
+        let run = m.page_run(0x7004);
+        assert_eq!(run.to_string(), "inaccessible run 0x00007000+2p");
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Fault provenance: attributing a faulting address to its memory
+//! surroundings.
+//!
+//! A bare `SIGSEGV at 0x10002fd8` tells an operator very little. The
+//! simulated machine knows much more at the instant of the fault: the
+//! page-table context of the address ([`PageRun`]) and the heap block
+//! the access most plausibly belongs to. [`FaultSite`] bundles both
+//! into one record — "the write landed on the guard page two bytes
+//! past the 44-byte block at `0x10002fd4`" — which is what
+//! `healers explain` prints for every crashing test case.
+//!
+//! Attribution heuristics, in order:
+//!
+//! 1. a block (live or freed) *containing* the address — in-bounds
+//!    faults on protected pages, and use-after-free on revoked pages;
+//! 2. the nearest block ending at or below the address, provided the
+//!    fault is less than one page past its end — overrun attribution.
+//!    When that page is additionally inaccessible and the block is
+//!    live, the fault is flagged as a **guard-page overrun**: the
+//!    electric-fence placement did its job (§4.1).
+//!
+//! Addresses farther from any block (e.g. the canonical
+//! `0xdead_0000` invalid pointer) get no block attribution at all —
+//! naming a block megabytes away would mislead more than it informs.
+
+use std::fmt;
+
+use crate::heap::{Heap, HeapBlock};
+use crate::mem::{AccessKind, PageRun, Protection, SimFault, PAGE_SIZE};
+use crate::proc::SimProcess;
+use crate::Addr;
+
+/// Everything the simulator can say about one faulting access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSite {
+    /// The faulting address.
+    pub addr: Addr,
+    /// Whether the faulting access was a read or a write.
+    pub access: AccessKind,
+    /// Page-table context of the address.
+    pub run: PageRun,
+    /// The heap block the access is attributed to, if any.
+    pub block: Option<HeapBlock>,
+    /// Whether this is an overrun of a live block onto an
+    /// inaccessible page — the electric-fence signature.
+    pub guard_overrun: bool,
+}
+
+impl FaultSite {
+    /// Resolve provenance for a fault against the process image it
+    /// occurred in. `None` for faults that carry no address
+    /// (arithmetic exceptions, aborts, fuel exhaustion).
+    pub fn resolve(fault: &SimFault, proc: &SimProcess) -> Option<FaultSite> {
+        let SimFault::Segv { addr, access } = fault else {
+            return None;
+        };
+        Some(FaultSite::resolve_addr(*addr, *access, proc))
+    }
+
+    /// Resolve provenance for a known faulting address.
+    pub fn resolve_addr(addr: Addr, access: AccessKind, proc: &SimProcess) -> FaultSite {
+        let run = proc.mem.page_run(addr);
+        let block = attribute_block(&proc.heap, addr);
+        let inaccessible = matches!(run.prot, None | Some(Protection::None));
+        let guard_overrun =
+            inaccessible && block.is_some_and(|b| !b.free && addr >= b.base + b.size);
+        FaultSite {
+            addr,
+            access,
+            run,
+            block,
+            guard_overrun,
+        }
+    }
+}
+
+/// The block a faulting address belongs to: containing (live or
+/// freed), or overrun by less than a page.
+fn attribute_block(heap: &Heap, addr: Addr) -> Option<HeapBlock> {
+    let block = heap.nearest_block_at_or_below(addr)?;
+    let end = block.base + block.size;
+    let contains = addr - block.base < block.size.max(1);
+    let overruns = addr >= end && addr - end < PAGE_SIZE;
+    (contains || overruns).then_some(block)
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.access {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        };
+        write!(f, "{what} fault at {:#010x} in {}", self.addr, self.run)?;
+        let Some(block) = &self.block else {
+            return Ok(());
+        };
+        let end = block.base + block.size;
+        if self.guard_overrun {
+            write!(
+                f,
+                "; guard page after live block {:#010x}+{}B — overrun by {} byte(s)",
+                block.base,
+                block.size,
+                self.addr - end + 1
+            )
+        } else if self.addr < end || block.size == 0 && self.addr == block.base {
+            write!(
+                f,
+                "; inside {} block {:#010x}+{}B at offset {}",
+                if block.free { "freed" } else { "live" },
+                block.base,
+                block.size,
+                self.addr - block.base
+            )
+        } else {
+            write!(
+                f,
+                "; {} byte(s) past {} block {:#010x}+{}B",
+                self.addr - end + 1,
+                if block.free { "freed" } else { "live" },
+                block.base,
+                block.size
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::HeapMode;
+
+    fn guarded() -> SimProcess {
+        let mut p = SimProcess::new();
+        p.heap.set_mode(HeapMode::Guarded);
+        p
+    }
+
+    #[test]
+    fn guard_page_overrun_names_run_and_block() {
+        let mut proc = guarded();
+        let p = proc.heap_alloc(44).unwrap();
+        let fault = proc.mem.read_u8(p + 44).unwrap_err();
+        let site = FaultSite::resolve(&fault, &proc).unwrap();
+        assert_eq!(site.addr, p + 44);
+        assert_eq!(site.access, AccessKind::Read);
+        assert_eq!(site.run.prot, None);
+        assert_eq!(site.block.unwrap().base, p);
+        assert!(site.guard_overrun);
+        let line = site.to_string();
+        assert!(line.contains("unmapped run"), "{line}");
+        assert!(line.contains("guard page after live block"), "{line}");
+        assert!(line.contains("overrun by 1 byte(s)"), "{line}");
+    }
+
+    #[test]
+    fn protection_fault_inside_a_block_is_not_an_overrun() {
+        let mut proc = guarded();
+        let p = proc
+            .heap
+            .alloc_with_prot(&mut proc.mem, 64, Protection::ReadOnly)
+            .unwrap();
+        let fault = proc.mem.write_u8(p + 3, 1).unwrap_err();
+        let site = FaultSite::resolve(&fault, &proc).unwrap();
+        assert_eq!(site.run.prot, Some(Protection::ReadOnly));
+        assert!(!site.guard_overrun);
+        let line = site.to_string();
+        assert!(line.contains("write fault"), "{line}");
+        assert!(line.contains("read-only run"), "{line}");
+        assert!(line.contains("inside live block"), "{line}");
+        assert!(line.contains("offset 3"), "{line}");
+    }
+
+    #[test]
+    fn use_after_free_names_the_freed_block() {
+        let mut proc = guarded();
+        let p = proc.heap_alloc(100).unwrap();
+        proc.heap_free(p).unwrap();
+        let fault = proc.mem.read_u8(p + 10).unwrap_err();
+        let site = FaultSite::resolve(&fault, &proc).unwrap();
+        assert!(site.block.unwrap().free);
+        assert!(!site.guard_overrun, "freed blocks are not guard overruns");
+        assert!(site.to_string().contains("inside freed block"));
+    }
+
+    #[test]
+    fn far_away_addresses_get_no_block_attribution() {
+        let mut proc = guarded();
+        let _ = proc.heap_alloc(16).unwrap();
+        let fault = proc.mem.read_u8(crate::proc::INVALID_PTR).unwrap_err();
+        let site = FaultSite::resolve(&fault, &proc).unwrap();
+        assert_eq!(site.block, None);
+        assert_eq!(site.run.prot, None);
+        // Null-pointer faults likewise name no block.
+        let null = proc.mem.read_u8(0).unwrap_err();
+        let site = FaultSite::resolve(&null, &proc).unwrap();
+        assert_eq!(site.block, None);
+        assert_eq!(site.run.start, 0);
+    }
+
+    #[test]
+    fn addressless_faults_have_no_provenance() {
+        let proc = SimProcess::new();
+        assert_eq!(FaultSite::resolve(&SimFault::Fpe, &proc), None);
+        assert_eq!(FaultSite::resolve(&SimFault::FuelExhausted, &proc), None);
+        assert_eq!(
+            FaultSite::resolve(&SimFault::Abort { reason: "x".into() }, &proc),
+            None
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Chrome trace-event JSON emission.
+//!
+//! The [trace-event format] is the lingua franca of timeline viewers:
+//! `chrome://tracing`, Perfetto, and speedscope all load it. A
+//! [`ChromeTrace`] accumulates events and renders the object-form
+//! document `{"traceEvents":[...]}`. Only the three event kinds the
+//! campaign timeline needs are provided: complete spans (`"X"`),
+//! instants (`"i"`), and counters (`"C"`). Timestamps are
+//! caller-defined integers — the campaign uses journal sequence
+//! numbers, which is what makes its exported timeline deterministic
+//! across worker counts.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::json::JsonObject;
+
+/// An accumulating trace-event document builder.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        ChromeTrace::default()
+    }
+
+    /// Number of events added so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events have been added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn base(name: &str, phase: &str, tid: u64, ts: u64) -> JsonObject {
+        JsonObject::new()
+            .str("name", name)
+            .str("ph", phase)
+            .u64("pid", 1)
+            .u64("tid", tid)
+            .u64("ts", ts)
+    }
+
+    /// A complete span (`"X"`): `name` on lane `tid`, from `ts` for
+    /// `dur` timestamp units.
+    pub fn complete(&mut self, name: &str, tid: u64, ts: u64, dur: u64) {
+        self.events
+            .push(Self::base(name, "X", tid, ts).u64("dur", dur).finish());
+    }
+
+    /// An instant event (`"i"`), thread-scoped.
+    pub fn instant(&mut self, name: &str, tid: u64, ts: u64) {
+        self.events
+            .push(Self::base(name, "i", tid, ts).str("s", "t").finish());
+    }
+
+    /// A counter sample (`"C"`): the viewer draws `name` as a stacked
+    /// area chart over time.
+    pub fn counter(&mut self, name: &str, ts: u64, value: u64) {
+        self.events.push(
+            Self::base(name, "C", 0, ts)
+                .raw("args", &JsonObject::new().u64("value", value).finish())
+                .finish(),
+        );
+    }
+
+    /// Render the full `{"traceEvents":[...]}` document.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(e);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn rendered_document_is_valid_json() {
+        let mut t = ChromeTrace::new();
+        t.complete("inject:strcpy", 0, 10, 42);
+        t.instant("cache:asctime", 1, 11);
+        t.counter("workers", 12, 3);
+        let doc = t.render();
+        json::validate(doc.trim()).unwrap();
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("\"ph\":\"C\""));
+        assert!(doc.contains("\"args\":{\"value\":3}"));
+    }
+
+    #[test]
+    fn empty_trace_is_still_a_valid_document() {
+        let doc = ChromeTrace::new().render();
+        json::validate(doc.trim()).unwrap();
+    }
+
+    #[test]
+    fn event_names_are_escaped() {
+        let mut t = ChromeTrace::new();
+        t.complete("weird \"name\"\n", 0, 0, 1);
+        json::validate(t.render().trim()).unwrap();
+    }
+}

@@ -1,0 +1,274 @@
+//! Span and counter collection over a single-writer channel.
+//!
+//! The same shape as the campaign journal: any number of producer
+//! threads, one consumer. Producers buffer records locally in a
+//! [`ThreadBuffer`] (so a hot loop pays a `Vec::push`, not a channel
+//! send, per record) and ship full batches; one [`Collector`] thread
+//! drains the channel and owns the merged record stream. Senders
+//! outliving the collector are harmless: a send after shutdown is
+//! silently dropped, never a panic — the instrumented program must not
+//! be able to crash itself through its telemetry.
+//!
+//! Gating is the *call site's* job: hot paths consult
+//! [`crate::enabled`] before building records. The collector itself is
+//! explicit machinery — constructing one is already opting in.
+
+use std::sync::mpsc::{self, Sender};
+use std::thread::{self, JoinHandle};
+
+/// One telemetry record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceRecord {
+    /// A span opened at logical timestamp `ts`.
+    SpanBegin {
+        /// Span name.
+        name: String,
+        /// Logical timestamp (caller-defined unit, e.g. journal seq).
+        ts: u64,
+    },
+    /// The matching span close.
+    SpanEnd {
+        /// Span name.
+        name: String,
+        /// Logical timestamp.
+        ts: u64,
+    },
+    /// A sampled counter value.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Logical timestamp.
+        ts: u64,
+        /// The sampled value.
+        value: i64,
+    },
+    /// One latency sample (nanoseconds).
+    Latency {
+        /// Metric name.
+        name: String,
+        /// The sample.
+        nanos: u64,
+    },
+}
+
+/// Producer half: clone one per thread. Sends are infallible — after
+/// the collector shuts down they become no-ops.
+#[derive(Debug, Clone)]
+pub struct EventSender {
+    tx: Option<Sender<Vec<TraceRecord>>>,
+}
+
+/// Default batch size for [`ThreadBuffer`].
+const BATCH: usize = 256;
+
+impl EventSender {
+    /// A sender wired to nothing: every send is a no-op. Lets
+    /// instrumented code hold a sender unconditionally.
+    pub fn disabled() -> Self {
+        EventSender { tx: None }
+    }
+
+    /// A per-thread buffer feeding this sender.
+    pub fn buffer(&self) -> ThreadBuffer {
+        ThreadBuffer {
+            records: Vec::new(),
+            sender: self.clone(),
+        }
+    }
+
+    /// Ship one batch. Dropped silently if the collector is gone.
+    pub fn send(&self, batch: Vec<TraceRecord>) {
+        if batch.is_empty() {
+            return;
+        }
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(batch);
+        }
+    }
+}
+
+/// A thread-local record buffer: push cheaply, flush in batches.
+/// Flushes itself on drop, so records cannot be lost by forgetting the
+/// final flush.
+#[derive(Debug)]
+pub struct ThreadBuffer {
+    records: Vec<TraceRecord>,
+    sender: EventSender,
+}
+
+impl ThreadBuffer {
+    /// Append one record, shipping the batch when full.
+    pub fn record(&mut self, record: TraceRecord) {
+        self.records.push(record);
+        if self.records.len() >= BATCH {
+            self.flush();
+        }
+    }
+
+    /// Ship everything buffered so far.
+    pub fn flush(&mut self) {
+        self.sender.send(std::mem::take(&mut self.records));
+    }
+}
+
+impl Drop for ThreadBuffer {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Consumer half: one thread draining all producers into a record
+/// vector.
+#[derive(Debug)]
+pub struct Collector {
+    sender: EventSender,
+    drainer: Option<JoinHandle<Vec<TraceRecord>>>,
+}
+
+impl Collector {
+    /// Spawn the drainer thread.
+    pub fn start() -> Self {
+        let (tx, rx) = mpsc::channel::<Vec<TraceRecord>>();
+        let drainer = thread::Builder::new()
+            .name("trace-collector".into())
+            .spawn(move || {
+                let mut all = Vec::new();
+                // An empty batch is the shutdown sentinel (only
+                // `finish` produces one — `EventSender::send` never
+                // ships an empty batch); breaking on it lets `finish`
+                // join the drainer while producers still hold senders.
+                // Exhaustion of every sender also ends the loop.
+                for batch in rx {
+                    if batch.is_empty() {
+                        break;
+                    }
+                    all.extend(batch);
+                }
+                all
+            })
+            .expect("spawn trace collector");
+        Collector {
+            sender: EventSender { tx: Some(tx) },
+            drainer: Some(drainer),
+        }
+    }
+
+    /// A new producer handle.
+    pub fn sender(&self) -> EventSender {
+        self.sender.clone()
+    }
+
+    /// Shut down and return every record received, in arrival order.
+    /// Outstanding [`EventSender`] clones keep working as no-ops.
+    pub fn finish(mut self) -> Vec<TraceRecord> {
+        if let Some(tx) = self.sender.tx.take() {
+            let _ = tx.send(Vec::new());
+        }
+        match self.drainer.take() {
+            Some(handle) => match handle.join() {
+                Ok(records) => records,
+                Err(panic) => std::panic::resume_unwind(panic),
+            },
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latency(name: &str, nanos: u64) -> TraceRecord {
+        TraceRecord::Latency {
+            name: name.to_string(),
+            nanos,
+        }
+    }
+
+    #[test]
+    fn multi_thread_batches_all_arrive() {
+        let collector = Collector::start();
+        let workers = 4;
+        let per_worker = 1000usize;
+        thread::scope(|scope| {
+            for w in 0..workers {
+                let sender = collector.sender();
+                scope.spawn(move || {
+                    let mut buf = sender.buffer();
+                    for i in 0..per_worker {
+                        buf.record(latency(&format!("w{w}"), i as u64));
+                    }
+                    // No explicit flush: drop must ship the tail batch.
+                });
+            }
+        });
+        let records = collector.finish();
+        assert_eq!(records.len(), workers * per_worker);
+        for w in 0..workers {
+            let name = format!("w{w}");
+            let count = records
+                .iter()
+                .filter(|r| matches!(r, TraceRecord::Latency { name: n, .. } if *n == name))
+                .count();
+            assert_eq!(count, per_worker, "lost records from worker {w}");
+        }
+    }
+
+    #[test]
+    fn send_after_shutdown_is_a_silent_no_op() {
+        let collector = Collector::start();
+        let sender = collector.sender();
+        let mut buf = sender.buffer();
+        buf.record(latency("before", 1));
+        buf.flush();
+        let records = collector.finish();
+        assert_eq!(records.len(), 1);
+        // The collector is gone; these must not panic, on push, on
+        // flush, or on drop.
+        buf.record(latency("after", 2));
+        buf.flush();
+        sender.send(vec![latency("after", 3)]);
+        drop(buf);
+    }
+
+    #[test]
+    fn disabled_sender_accepts_everything() {
+        let sender = EventSender::disabled();
+        let mut buf = sender.buffer();
+        for i in 0..10_000 {
+            buf.record(latency("x", i));
+        }
+        buf.flush();
+        // Buffer must not grow without bound when wired to nothing.
+        assert!(buf.records.is_empty());
+    }
+
+    #[test]
+    fn spans_and_counters_round_trip() {
+        let collector = Collector::start();
+        let mut buf = collector.sender().buffer();
+        buf.record(TraceRecord::SpanBegin {
+            name: "inject:strcpy".into(),
+            ts: 1,
+        });
+        buf.record(TraceRecord::Counter {
+            name: "queue_depth".into(),
+            ts: 2,
+            value: 5,
+        });
+        buf.record(TraceRecord::SpanEnd {
+            name: "inject:strcpy".into(),
+            ts: 7,
+        });
+        buf.flush();
+        let records = collector.finish();
+        assert_eq!(records.len(), 3);
+        assert_eq!(
+            records[0],
+            TraceRecord::SpanBegin {
+                name: "inject:strcpy".into(),
+                ts: 1
+            }
+        );
+    }
+}

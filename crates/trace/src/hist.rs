@@ -1,0 +1,201 @@
+//! Fixed log2-bucket histograms.
+//!
+//! Latency distributions are heavy-tailed, so the usual trade applies:
+//! exact quantiles need unbounded memory, but quantiles with a
+//! factor-of-two error bound need only one counter per bit. A
+//! [`Histogram`] is 64 `u64` buckets — bucket *i* covers the values
+//! whose binary representation has *i* significant bits, i.e. the range
+//! `[2^(i-1), 2^i)` (bucket 0 holds exactly the value 0). Recording is
+//! a `leading_zeros` and an array increment; merging is element-wise
+//! addition, which makes per-thread histograms foldable in any order
+//! with a deterministic result.
+
+/// Number of buckets — one per possible bit length of a `u64`.
+pub const BUCKETS: usize = 64;
+
+/// A fixed-size log2-bucket histogram of `u64` samples.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Histogram(n={}", self.total)?;
+        if self.total > 0 {
+            write!(
+                f,
+                ", p50≤{}, p99≤{}",
+                self.percentile(50.0),
+                self.percentile(99.0)
+            )?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The bucket index for `value`: its bit length, capped at the last
+/// bucket.
+fn bucket_of(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// The largest value bucket `i` can hold (inclusive upper bound).
+fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ if i >= BUCKETS - 1 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.total += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Fold another histogram into this one. Element-wise addition:
+    /// commutative and associative, so per-thread histograms merge to
+    /// the same result in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
+    /// An upper bound on the `p`-th percentile (`0 < p ≤ 100`): the
+    /// inclusive upper edge of the bucket containing the sample of that
+    /// rank. Exact to within a factor of two by construction. Returns 0
+    /// for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// The non-empty buckets as `(upper_bound, count)` pairs, in
+    /// ascending value order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(255), 8);
+        assert_eq!(bucket_of(256), 9);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(8), 255);
+        assert_eq!(bucket_upper(63), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_bound_the_samples() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        // p50 of 1..=1000 is 500; the bucket bound must cover it and
+        // stay within a factor of two.
+        let p50 = h.percentile(50.0);
+        assert!((500..=1023).contains(&p50), "p50 bound {p50}");
+        let p99 = h.percentile(99.0);
+        assert!((990..=1023).contains(&p99), "p99 bound {p99}");
+        assert_eq!(h.percentile(100.0), 1023);
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.buckets().count(), 0);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let samples = [3u64, 17, 900, 0, 65_536, 1, 1, 42];
+        let mut serial = Histogram::new();
+        for &s in &samples {
+            serial.record(s);
+        }
+        let (left, right) = samples.split_at(3);
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &s in left {
+            a.record(s);
+        }
+        for &s in right {
+            b.record(s);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, serial);
+        assert_eq!(ba, serial);
+    }
+
+    #[test]
+    fn single_sample_percentile_is_its_bucket_bound() {
+        let mut h = Histogram::new();
+        h.record(100);
+        for p in [1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 127);
+        }
+    }
+}

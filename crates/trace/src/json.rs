@@ -1,10 +1,12 @@
 //! Hand-rolled JSON emission and validation.
 //!
-//! The journal writes one JSON object per line (JSONL). The workspace
-//! builds offline with no serde, so this module provides the tiny
-//! subset needed: an object builder that escapes strings correctly, and
-//! a validating parser used by tests and by `healers campaign --check`
-//! style tooling to prove emitted lines are well-formed JSON.
+//! The campaign journal writes one JSON object per line (JSONL), and
+//! the trace exporters write whole documents. The workspace builds
+//! offline with no serde, so this module provides the tiny subset
+//! needed: an object builder that escapes strings correctly, and a
+//! validating parser used by tests and tooling to prove emitted output
+//! is well-formed JSON. (It lives in healers-trace — the lowest layer
+//! that emits JSON — and healers-campaign re-exports it.)
 
 /// Escape `s` as the contents of a JSON string literal.
 pub fn escape(s: &str) -> String {
@@ -66,6 +68,15 @@ impl JsonObject {
     pub fn bool(mut self, key: &str, value: bool) -> Self {
         self.key(key);
         self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Add a field whose value is already-rendered JSON (e.g. a nested
+    /// object from another builder). The caller vouches for its
+    /// validity.
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(value);
         self
     }
 
@@ -271,6 +282,17 @@ mod tests {
             .finish();
         validate(&line).unwrap();
         assert!(line.contains("\\\"name\\\"\\n"));
+    }
+
+    #[test]
+    fn raw_nests_prerendered_objects() {
+        let inner = JsonObject::new().u64("value", 7).finish();
+        let line = JsonObject::new()
+            .str("name", "workers")
+            .raw("args", &inner)
+            .finish();
+        validate(&line).unwrap();
+        assert_eq!(line, "{\"name\":\"workers\",\"args\":{\"value\":7}}");
     }
 
     #[test]

@@ -54,5 +54,8 @@ pub mod vector;
 
 pub use expr::TypeExpr;
 pub use order::{is_strict_subtype, is_subtype};
-pub use select::{robust_type, Observation, Outcome, RobustType, SelectionCriterion};
+pub use select::{
+    robust_type, robust_type_traced, Observation, Outcome, RobustType, SelectionCriterion,
+    SelectionTrace,
+};
 pub use vector::TypeVector;

@@ -99,6 +99,36 @@ pub struct RobustType {
     pub admitted_crashes: usize,
 }
 
+/// Every intermediate step of one robust-type selection — the lattice
+/// walk behind a [`RobustType`], in the order the algorithm takes it.
+/// `healers explain` renders this so an operator can audit *why* a
+/// type was chosen, not just which.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectionTrace {
+    /// Fundamentals the selected type was required to admit (per the
+    /// criterion), deduplicated in observation order.
+    pub must_admit: Vec<TypeExpr>,
+    /// Fundamentals with at least one crash/hang/abort observation.
+    pub crashing: Vec<TypeExpr>,
+    /// Fundamentals that returned (successfully or with an error).
+    pub returning: Vec<TypeExpr>,
+    /// Candidates containing every must-admit fundamental, in universe
+    /// order.
+    pub admissible: Vec<TypeExpr>,
+    /// The minimum number of crashing fundamentals any admissible
+    /// candidate admits.
+    pub min_crashes: usize,
+    /// The maximal (weakest) candidates among the crash-minimal ones,
+    /// in tie-break order — the first is the selected type.
+    pub finalists: Vec<TypeExpr>,
+    /// The boundary justification: for every strict supertype of the
+    /// selected type in the universe, one crashing fundamental that
+    /// supertype admits beyond the selection's own count — the reason
+    /// the walk up the lattice stopped where it did. Empty when the
+    /// selected type is already the weakest in the universe.
+    pub boundary: Vec<(TypeExpr, TypeExpr)>,
+}
+
 /// Select the robust argument type for one argument.
 ///
 /// The algorithm works over the finite `universe` of candidate types:
@@ -123,6 +153,21 @@ pub fn robust_type(
     observations: &[Observation],
     criterion: SelectionCriterion,
 ) -> RobustType {
+    robust_type_traced(universe, observations, criterion).0
+}
+
+/// [`robust_type`], additionally returning the [`SelectionTrace`] of
+/// every intermediate step. Single implementation — `robust_type` is
+/// this with the trace discarded.
+///
+/// # Panics
+///
+/// Panics if `universe` is empty.
+pub fn robust_type_traced(
+    universe: &[TypeExpr],
+    observations: &[Observation],
+    criterion: SelectionCriterion,
+) -> (RobustType, SelectionTrace) {
     assert!(!universe.is_empty(), "empty candidate universe");
 
     // Aggregate outcomes per fundamental type: a fundamental may have
@@ -160,7 +205,8 @@ pub fn robust_type(
     let crashes_in = |t: TypeExpr| crashing.iter().filter(|f| is_subtype(**f, t)).count();
     let min_crashes = admissible.iter().map(|t| crashes_in(*t)).min().unwrap();
     let candidates: Vec<TypeExpr> = admissible
-        .into_iter()
+        .iter()
+        .copied()
         .filter(|t| crashes_in(*t) == min_crashes)
         .collect();
 
@@ -179,12 +225,37 @@ pub fn robust_type(
     });
     let robust = maximal[0];
 
+    // Boundary justification: every strict supertype of the selection
+    // admits a crashing fundamental the selection does not — the
+    // paper's stopping condition, made explicit per supertype.
+    let boundary: Vec<(TypeExpr, TypeExpr)> = universe
+        .iter()
+        .filter(|t| is_strict_subtype(robust, **t))
+        .filter_map(|t| {
+            crashing
+                .iter()
+                .find(|f| is_subtype(**f, *t) && !is_subtype(**f, robust))
+                .map(|f| (*t, *f))
+        })
+        .collect();
+
     let safe = min_crashes == 0 && returning.iter().all(|f| is_subtype(*f, robust));
-    RobustType {
-        robust,
-        safe,
-        admitted_crashes: min_crashes,
-    }
+    (
+        RobustType {
+            robust,
+            safe,
+            admitted_crashes: min_crashes,
+        },
+        SelectionTrace {
+            must_admit,
+            crashing,
+            returning,
+            admissible,
+            min_crashes,
+            finalists: maximal,
+            boundary,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -400,5 +471,63 @@ mod tests {
     #[should_panic(expected = "not a fundamental")]
     fn observation_rejects_unified_types() {
         let _ = Observation::new(OpenFile, Outcome::Success);
+    }
+
+    /// The trace records the full lattice walk, its first finalist is
+    /// the selection, and every boundary entry justifies itself: the
+    /// supertype admits the named crashing fundamental, the selection
+    /// does not.
+    #[test]
+    fn trace_reconstructs_the_walk_and_justifies_the_boundary() {
+        let u = universe::fixed_size_arrays(&[43, 44]);
+        let observations = vec![
+            obs(Null, Outcome::Success),
+            obs(RonlyFixed(44), Outcome::Success),
+            obs(RwFixed(44), Outcome::Success),
+            obs(RonlyFixed(43), Outcome::Crash),
+            obs(WonlyFixed(44), Outcome::Crash),
+            obs(Invalid, Outcome::Crash),
+        ];
+        let (r, t) = robust_type_traced(&u, &observations, SelectionCriterion::SuccessfulReturns);
+        assert_eq!(
+            robust_type(&u, &observations, SelectionCriterion::SuccessfulReturns),
+            r
+        );
+        assert_eq!(t.must_admit, vec![Null, RonlyFixed(44), RwFixed(44)]);
+        assert_eq!(t.crashing, vec![RonlyFixed(43), WonlyFixed(44), Invalid]);
+        assert_eq!(t.min_crashes, 0);
+        assert_eq!(t.finalists[0], r.robust);
+        assert!(t.admissible.contains(&r.robust));
+        // Every admissible type contains every must-admit fundamental.
+        for a in &t.admissible {
+            for f in &t.must_admit {
+                assert!(is_subtype(*f, *a), "{a} misses {f}");
+            }
+        }
+        // Every strict supertype in the universe appears in the
+        // boundary, with a crash the selection itself excludes.
+        let supertypes = u
+            .iter()
+            .filter(|s| is_strict_subtype(r.robust, **s))
+            .count();
+        assert_eq!(t.boundary.len(), supertypes);
+        assert!(supertypes > 0, "R_ARRAY_NULL[44] has supertypes here");
+        for (sup, crash) in &t.boundary {
+            assert!(is_strict_subtype(r.robust, *sup));
+            assert!(is_subtype(*crash, *sup));
+            assert!(!is_subtype(*crash, r.robust));
+        }
+    }
+
+    /// With nothing observed the walk is empty and the boundary is
+    /// vacuous (the weakest type has no strict supertypes).
+    #[test]
+    fn trace_of_no_observations_is_empty() {
+        let u = universe::fixed_size_arrays(&[4]);
+        let (r, t) = robust_type_traced(&u, &[], SelectionCriterion::SuccessfulReturns);
+        assert_eq!(r.robust, Unconstrained);
+        assert!(t.must_admit.is_empty() && t.crashing.is_empty() && t.returning.is_empty());
+        assert_eq!(t.admissible.len(), u.len());
+        assert!(t.boundary.is_empty());
     }
 }

@@ -13,6 +13,7 @@
 //! * [`healers_core`] — function declarations and wrapper generation
 //! * [`healers_ballista`] — Ballista-style robustness evaluation
 //! * [`healers_campaign`] — parallel campaign orchestration, declaration cache, event journal
+//! * [`healers_trace`] — telemetry core: latency histograms, span collection, Chrome trace export
 
 pub use healers_ballista as ballista;
 pub use healers_campaign as campaign;
@@ -23,4 +24,5 @@ pub use healers_inject as inject;
 pub use healers_libc as libc;
 pub use healers_os as os;
 pub use healers_simproc as simproc;
+pub use healers_trace as trace;
 pub use healers_typesys as typesys;

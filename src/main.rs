@@ -4,22 +4,29 @@
 //! healers [--seed N] analyze <function>...   print generated declarations (Figure 2 XML)
 //! healers [--seed N] wrap [--out FILE]       emit the C wrapper library for all 86 targets
 //! healers [--seed N] ballista [--mode M] [--cap N]  run the Figure 6 evaluation
-//! healers [--seed N] campaign [--jobs N] [--cache DIR] [--journal FILE]
+//! healers [--seed N] campaign [--jobs N] [--cache DIR] [--journal FILE] [--trace FILE]
 //!                             [--mode M] [--cap N] [--out FILE] [<function>...]
 //!                                            parallel orchestrated analysis/evaluation
+//! healers [--seed N] report [--mode M] [--cap N] [--jobs N] [--json] [--timings]
+//!                           [<function>...]  deterministic telemetry report of one evaluation
+//! healers explain <function>...              replay a declaration's lattice walk with
+//!                                            per-case fault provenance
 //! healers extract                            run the §3 prototype-extraction statistics
 //! healers tour <function>...                 show discovered robust argument types
+//! healers help                               this listing
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use healers::ballista::{ballista_targets, Ballista, Mode};
+use healers::campaign::json::JsonObject;
 use healers::campaign::{Campaign, CampaignConfig};
-use healers::core::{analyze, decls_to_xml, emit_checks_header, emit_wrapper_source};
+use healers::core::{analyze, decls_to_xml, emit_checks_header, emit_wrapper_source, WrapperStats};
 use healers::corpus::{generate::CorpusConfig, pipeline::recover_all};
 use healers::inject::FaultInjector;
 use healers::libc::Libc;
+use healers::typesys::{robust_type_traced, SelectionCriterion};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -27,10 +34,14 @@ fn usage() -> ExitCode {
          healers [--seed N] wrap [--out FILE]\n  \
          healers [--seed N] ballista [--mode unwrapped|full|semi|all] [--cap N]\n  \
          healers [--seed N] campaign [--jobs N] [--cache DIR] [--journal FILE]\n  \
-         \x20                        [--mode decls|unwrapped|full|semi|all] [--cap N]\n  \
-         \x20                        [--out FILE] [<function>...]\n  \
+         \x20                        [--trace FILE] [--mode decls|unwrapped|full|semi|all]\n  \
+         \x20                        [--cap N] [--out FILE] [<function>...]\n  \
+         healers [--seed N] report [--mode unwrapped|full|semi] [--cap N] [--jobs N]\n  \
+         \x20                      [--json] [--timings] [<function>...]\n  \
+         healers explain <function>...\n  \
          healers extract\n  \
-         healers tour <function>..."
+         healers tour <function>...\n  \
+         healers help"
     );
     ExitCode::from(2)
 }
@@ -61,9 +72,11 @@ fn main() -> ExitCode {
         "wrap" => cmd_wrap(&args[1..]),
         "ballista" => cmd_ballista(&args[1..], seed),
         "campaign" => cmd_campaign(&args[1..], seed),
+        "report" => cmd_report(&args[1..], seed),
+        "explain" => cmd_explain(&args[1..]),
         "extract" => cmd_extract(),
         "tour" => cmd_tour(&args[1..]),
-        _ => usage(),
+        _ => usage(), // includes `help`: print the listing, exit 2
     }
 }
 
@@ -173,6 +186,7 @@ fn cmd_campaign(rest: &[String], seed: Option<u64>) -> ExitCode {
     let mut jobs = 1usize;
     let mut cache_dir: Option<PathBuf> = None;
     let mut journal_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
     let mut mode = "decls".to_string();
     let mut cap = 180usize;
     let mut out: Option<PathBuf> = None;
@@ -190,6 +204,10 @@ fn cmd_campaign(rest: &[String], seed: Option<u64>) -> ExitCode {
             },
             "--journal" => match it.next() {
                 Some(path) => journal_path = Some(PathBuf::from(path)),
+                None => return usage(),
+            },
+            "--trace" => match it.next() {
+                Some(path) => trace_path = Some(PathBuf::from(path)),
                 None => return usage(),
             },
             "--mode" => match it.next() {
@@ -235,10 +253,12 @@ fn cmd_campaign(rest: &[String], seed: Option<u64>) -> ExitCode {
     let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
 
     let journaling = journal_path.is_some();
+    let tracing = trace_path.clone();
     let campaign = match Campaign::new(&CampaignConfig {
         jobs,
         cache_dir,
         journal_path,
+        trace_path,
     }) {
         Ok(c) => c,
         Err(e) => {
@@ -291,6 +311,9 @@ fn cmd_campaign(rest: &[String], seed: Option<u64>) -> ExitCode {
             if journaling {
                 eprintln!("journal: {lines} events");
             }
+            if let Some(path) = tracing {
+                eprintln!("trace: wrote {}", path.display());
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -298,6 +321,285 @@ fn cmd_campaign(rest: &[String], seed: Option<u64>) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `healers report` — one evaluation run rendered as a telemetry
+/// report. The default output is **deterministic**: identical seeds
+/// produce byte-identical output regardless of `--jobs`, because only
+/// logical counters are printed (test outcomes, check-kind tallies,
+/// wrapper counters) — never wall-clock data. `--timings` opts into
+/// the gated latency histograms (p50/p99 per function), which are
+/// explicitly excluded from that guarantee.
+fn cmd_report(rest: &[String], seed: Option<u64>) -> ExitCode {
+    let mut mode = "full".to_string();
+    let mut cap = 40usize;
+    let mut jobs = 1usize;
+    let mut json = false;
+    let mut timings = false;
+    let mut functions: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--mode" => match it.next() {
+                Some(m) => mode = m.clone(),
+                None => return usage(),
+            },
+            "--cap" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(c) => cap = c,
+                None => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(j) if j >= 1 => jobs = j,
+                _ => return usage(),
+            },
+            "--json" => json = true,
+            "--timings" => timings = true,
+            flag if flag.starts_with("--") => return usage(),
+            name => functions.push(name.to_string()),
+        }
+    }
+    let mode = match mode.as_str() {
+        "unwrapped" => Mode::Unwrapped,
+        "full" => Mode::FullAuto,
+        "semi" => Mode::SemiAuto,
+        other => {
+            eprintln!("report: unknown mode {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+    if timings {
+        healers::trace::set_enabled(true);
+    }
+
+    let libc = Libc::standard();
+    let names: Vec<String> = if functions.is_empty() {
+        ballista_targets().iter().map(|s| s.to_string()).collect()
+    } else {
+        functions
+    };
+    for f in &names {
+        if libc.get(f).is_none() {
+            eprintln!("report: {f} is not exported by the library");
+            return ExitCode::FAILURE;
+        }
+    }
+    let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+
+    let campaign = match Campaign::new(&CampaignConfig {
+        jobs,
+        ..CampaignConfig::default()
+    }) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let decls = if matches!(mode, Mode::Unwrapped) {
+        Vec::new()
+    } else {
+        analyze(&libc, &name_refs)
+    };
+    let mut ballista = Ballista::new().with_functions(&name_refs).with_cap(cap);
+    if let Some(seed) = seed {
+        ballista = ballista.with_seed(seed);
+    }
+    let report_seed = ballista.seed();
+    let (report, _metrics, stats) = campaign.evaluate_traced(&libc, &ballista, mode, decls);
+    if let Err(e) = campaign.finish() {
+        eprintln!("report: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if json {
+        print!(
+            "{}",
+            render_report_json(&report, &stats, report_seed, timings)
+        );
+    } else {
+        print!(
+            "{}",
+            render_report_text(&report, &stats, report_seed, timings)
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn render_report_text(
+    report: &healers::ballista::BallistaReport,
+    stats: &WrapperStats,
+    seed: u64,
+    timings: bool,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "healers report — {} (seed {seed})", report.label);
+    let _ = writeln!(out, "{}", report.render());
+    let failing = report.functions_with_failures();
+    if !failing.is_empty() {
+        let _ = writeln!(out, "  still failing: {}", failing.join(", "));
+    }
+    let _ = writeln!(
+        out,
+        "wrapper: calls={} wrapped={} checks={} violations={} cache-hits={}",
+        stats.calls, stats.wrapped_calls, stats.checks, stats.violations, stats.check_cache_hits
+    );
+    let _ = writeln!(out, "checks by claim kind:");
+    let _ = writeln!(out, "  {:<10} {:>8} {:>8}", "kind", "passed", "failed");
+    for (kind, passed, failed) in stats.check_outcomes.iter() {
+        let _ = writeln!(out, "  {:<10} {:>8} {:>8}", kind.label(), passed, failed);
+    }
+    if timings {
+        let _ = writeln!(
+            out,
+            "latency per function (wall clock; excluded from the determinism guarantee):"
+        );
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>8} {:>10} {:>10}",
+            "function", "calls", "p50(ns)", "p99(ns)"
+        );
+        for (name, t) in &stats.per_function {
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>8} {:>10} {:>10}",
+                name,
+                t.calls,
+                t.latency_ns.percentile(50.0),
+                t.latency_ns.percentile(99.0)
+            );
+        }
+    }
+    out
+}
+
+fn render_report_json(
+    report: &healers::ballista::BallistaReport,
+    stats: &WrapperStats,
+    seed: u64,
+    timings: bool,
+) -> String {
+    let totals = report.totals();
+    let wrapper = JsonObject::new()
+        .u64("calls", stats.calls)
+        .u64("wrapped_calls", stats.wrapped_calls)
+        .u64("checks", stats.checks)
+        .u64("violations", stats.violations)
+        .u64("cache_hits", stats.check_cache_hits)
+        .finish();
+    let mut checks = JsonObject::new();
+    for (kind, passed, failed) in stats.check_outcomes.iter() {
+        let entry = JsonObject::new()
+            .u64("passed", passed)
+            .u64("failed", failed)
+            .finish();
+        checks = checks.raw(kind.label(), &entry);
+    }
+    let mut doc = JsonObject::new()
+        .str("mode", &report.label)
+        .u64("seed", seed)
+        .u64("tests", totals.tests as u64)
+        .u64("crashes", totals.crashes as u64)
+        .u64("aborts", totals.aborts as u64)
+        .u64("hangs", totals.hangs as u64)
+        .u64("errno_set", totals.errno_set as u64)
+        .u64("silent", totals.silent as u64)
+        .raw("wrapper", &wrapper)
+        .raw("checks", &checks.finish());
+    if timings {
+        let mut latency = JsonObject::new();
+        for (name, t) in &stats.per_function {
+            let entry = JsonObject::new()
+                .u64("calls", t.calls)
+                .u64("p50_ns", t.latency_ns.percentile(50.0))
+                .u64("p99_ns", t.latency_ns.percentile(99.0))
+                .finish();
+            latency = latency.raw(name, &entry);
+        }
+        doc = doc.raw("latency", &latency.finish());
+    }
+    let mut text = doc.finish();
+    text.push('\n');
+    text
+}
+
+/// `healers explain` — replay the fault-injection campaign for each
+/// function and show *why* each argument got its robust type: the
+/// lattice walk (must-admit set, crashing set, admissible candidates,
+/// chosen type, and the boundary justification for every rejected
+/// supertype) plus fault provenance for the crashing test cases (the
+/// faulting page run and the heap block it is attributed to).
+fn cmd_explain(functions: &[String]) -> ExitCode {
+    if functions.iter().any(|a| a.starts_with("--")) {
+        return usage();
+    }
+    if functions.is_empty() {
+        eprintln!("explain: name at least one function");
+        return ExitCode::from(2);
+    }
+    let libc = Libc::standard();
+    for name in functions {
+        let Some(injector) = FaultInjector::new(&libc, name) else {
+            eprintln!("explain: {name} is not exported");
+            return ExitCode::FAILURE;
+        };
+        let report = injector.run();
+        println!(
+            "{} — {} ({} calls, {} adaptive retries)",
+            report.function,
+            if report.safe { "safe" } else { "unsafe" },
+            report.calls,
+            report.adaptive_retries
+        );
+        println!("  prototype: extern {};", report.proto);
+        for (i, arg) in report.args.iter().enumerate() {
+            let (robust, trace) = robust_type_traced(
+                &arg.universe,
+                &arg.observations,
+                SelectionCriterion::SuccessfulReturns,
+            );
+            println!("  arg {i} ({}):", arg.generator);
+            let notations = |ts: &[healers::typesys::TypeExpr]| {
+                ts.iter()
+                    .map(|t| t.notation())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            println!("    must admit: [{}]", notations(&trace.must_admit));
+            println!("    crashing:   [{}]", notations(&trace.crashing));
+            println!(
+                "    admissible: {} of {} candidates, best admits {} crashing type(s)",
+                trace.admissible.len(),
+                arg.universe.len(),
+                trace.min_crashes
+            );
+            println!(
+                "    robust type: {}{}",
+                robust.robust.notation(),
+                if robust.safe { " (safe)" } else { "" }
+            );
+            for (sup, crash) in &trace.boundary {
+                println!(
+                    "      ↳ {} rejected: would admit crashing {}",
+                    sup.notation(),
+                    crash.notation()
+                );
+            }
+            let faults: Vec<_> = report
+                .records
+                .iter()
+                .filter(|r| r.arg_index == Some(i))
+                .filter_map(|r| r.provenance.as_ref().map(|site| (r, site)))
+                .collect();
+            for (r, site) in faults.iter().take(4) {
+                println!("    fault [{}]: {site}", r.label);
+            }
+            if faults.len() > 4 {
+                println!("    … and {} more faulting case(s)", faults.len() - 4);
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_extract() -> ExitCode {

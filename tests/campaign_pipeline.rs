@@ -95,6 +95,7 @@ fn warm_cache_skips_injection_and_journals_it() {
         jobs: 4,
         cache_dir: Some(cache_dir.clone()),
         journal_path: Some(dir.join(journal)),
+        trace_path: None,
     };
     let libc = Libc::standard();
 
@@ -133,6 +134,118 @@ fn warm_cache_skips_injection_and_journals_it() {
 }
 
 #[test]
+fn trace_export_is_valid_chrome_json_covering_the_whole_run() {
+    let dir = scratch("trace");
+    let trace_path = dir.join("campaign.trace.json");
+    let libc = Libc::standard();
+    let ballista = Ballista::new()
+        .with_functions(&["strcpy", "strlen", "abs"])
+        .with_cap(20)
+        .with_seed(11);
+    let campaign = Campaign::new(&CampaignConfig {
+        jobs: 4,
+        trace_path: Some(trace_path.clone()),
+        ..CampaignConfig::default()
+    })
+    .unwrap();
+    let (decls, _) = campaign
+        .analyze(&libc, &["strcpy", "strlen", "abs"])
+        .unwrap();
+    let _ = campaign.evaluate(&libc, &ballista, Mode::FullAuto, decls);
+    campaign.finish().unwrap();
+
+    let text = fs::read_to_string(&trace_path).unwrap();
+    json::validate(text.trim()).unwrap();
+    assert!(text.starts_with("{\"traceEvents\":["));
+    // Injection spans from the analyze phase, evaluation spans from the
+    // evaluate phase, and the two scheduler counter tracks.
+    for needle in [
+        "\"name\":\"inject:strcpy\",\"ph\":\"X\"",
+        "\"name\":\"eval:Full-Auto Wrapped:strlen\",\"ph\":\"X\"",
+        "\"name\":\"workers\",\"ph\":\"C\"",
+        "\"name\":\"pending\",\"ph\":\"C\"",
+    ] {
+        assert!(text.contains(needle), "missing {needle}");
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn telemetry_counters_are_worker_count_invariant() {
+    // The deterministic half of WrapperStats — everything `healers
+    // report` prints by default — must not depend on `--jobs`. (The
+    // latency histograms are empty here: the telemetry gate is off.)
+    let libc = Libc::standard();
+    let ballista = Ballista::new()
+        .with_functions(&["strcpy", "strlen", "fclose"])
+        .with_cap(20)
+        .with_seed(42);
+    let decls = ballista.analyze_targets(&libc);
+    let run = |jobs: usize| {
+        let campaign = Campaign::new(&CampaignConfig {
+            jobs,
+            ..CampaignConfig::default()
+        })
+        .unwrap();
+        let (report, _, stats) =
+            campaign.evaluate_traced(&libc, &ballista, Mode::FullAuto, decls.clone());
+        campaign.finish().unwrap();
+        (report.render(), stats)
+    };
+    let (render1, stats1) = run(1);
+    let (render4, stats4) = run(4);
+    assert_eq!(render1, render4);
+    assert_eq!(stats1.calls, stats4.calls);
+    assert_eq!(stats1.wrapped_calls, stats4.wrapped_calls);
+    assert_eq!(stats1.checks, stats4.checks);
+    assert_eq!(stats1.violations, stats4.violations);
+    assert_eq!(stats1.check_cache_hits, stats4.check_cache_hits);
+    assert_eq!(stats1.check_outcomes, stats4.check_outcomes);
+    assert!(stats1.calls > 0);
+    assert!(
+        stats1.per_function.is_empty() && stats4.per_function.is_empty(),
+        "latency telemetry must stay off without the gate"
+    );
+}
+
+#[test]
+fn journal_drop_flushes_and_post_shutdown_sends_are_harmless() {
+    // Regression: a campaign that is dropped without finish() must not
+    // lose journal lines, and a worker still holding a sender after
+    // shutdown must not panic the process.
+    let dir = scratch("hardening");
+    let journal_path = dir.join("dropped.jsonl");
+    let libc = Libc::standard();
+    let late_sender;
+    {
+        let campaign = Campaign::new(&CampaignConfig {
+            jobs: 2,
+            journal_path: Some(journal_path.clone()),
+            ..CampaignConfig::default()
+        })
+        .unwrap();
+        let (_, metrics) = campaign.analyze(&libc, &["abs", "strlen"]).unwrap();
+        assert_eq!(metrics.functions, 2);
+        late_sender = campaign.journal_sender();
+        // No finish(): Drop must flush the sink and join the drainer.
+    }
+    let text = fs::read_to_string(&journal_path).unwrap();
+    for kind in ["\"event\":\"started\"", "\"event\":\"classified\""] {
+        let n = text.lines().filter(|l| l.contains(kind)).count();
+        assert_eq!(n, 2, "one {kind} per function:\n{text}");
+    }
+    for line in text.lines() {
+        json::validate(line).unwrap();
+    }
+    // The campaign (and its drainer) are gone; emitting is a no-op.
+    late_sender.emit(healers::campaign::CampaignEvent::Started {
+        function: "ghost".into(),
+    });
+    assert_eq!(fs::read_to_string(&journal_path).unwrap(), text);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn a_new_seed_invalidates_nothing_but_a_changed_signature_does() {
     // The fingerprint covers the injector signature; the same functions
     // re-analyzed with identical settings always hit.
@@ -141,6 +254,7 @@ fn a_new_seed_invalidates_nothing_but_a_changed_signature_does() {
         jobs: 2,
         cache_dir: Some(dir.clone()),
         journal_path: None,
+        trace_path: None,
     };
     let libc = Libc::standard();
     for expected_hits in [0, 2] {

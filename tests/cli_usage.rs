@@ -1,0 +1,77 @@
+//! CLI contract tests: the usage listing enumerates every subcommand,
+//! misuse exits with status 2, and `healers report` output is
+//! byte-identical across worker counts.
+
+use std::process::{Command, Output};
+
+fn healers(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_healers"))
+        .args(args)
+        .output()
+        .expect("spawn healers")
+}
+
+const SUBCOMMANDS: &[&str] = &[
+    "analyze", "wrap", "ballista", "campaign", "report", "explain", "extract", "tour", "help",
+];
+
+#[test]
+fn no_arguments_prints_the_full_listing_and_exits_2() {
+    let out = healers(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    for sub in SUBCOMMANDS {
+        assert!(stderr.contains(sub), "usage is missing `{sub}`:\n{stderr}");
+    }
+}
+
+#[test]
+fn unknown_subcommand_and_help_behave_identically() {
+    let help = healers(&["help"]);
+    let unknown = healers(&["frobnicate"]);
+    assert_eq!(help.status.code(), Some(2));
+    assert_eq!(unknown.status.code(), Some(2));
+    assert_eq!(help.stderr, unknown.stderr, "both print the same listing");
+    assert!(help.stdout.is_empty());
+}
+
+#[test]
+fn unknown_flags_exit_2() {
+    for args in [
+        &["--frob", "analyze", "strlen"][..],
+        &["report", "--frob"][..],
+        &["campaign", "--trace"][..], // missing the path operand
+    ] {
+        let out = healers(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+}
+
+#[test]
+fn report_output_is_byte_identical_across_worker_counts() {
+    let base = &["--seed", "7", "report", "--cap", "6", "strcpy", "strlen"];
+    let one = healers(&[base as &[&str], &["--jobs", "1"]].concat());
+    let four = healers(&[base as &[&str], &["--jobs", "4"]].concat());
+    assert!(one.status.success() && four.status.success());
+    assert!(!one.stdout.is_empty());
+    assert_eq!(one.stdout, four.stdout);
+
+    let text = String::from_utf8(one.stdout).unwrap();
+    assert!(text.contains("healers report — Full-Auto Wrapped (seed 7)"));
+    assert!(text.contains("checks by claim kind:"));
+    assert!(text.contains("wrapper: calls="));
+}
+
+#[test]
+fn explain_names_the_faulting_page_run_and_heap_block() {
+    let out = healers(&["explain", "strcpy"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("robust type:"), "{text}");
+    assert!(text.contains("rejected: would admit crashing"), "{text}");
+    // The provenance line: a fault attributed to a page run …
+    assert!(text.contains("fault at 0x"), "{text}");
+    assert!(text.contains(" run 0x"), "{text}");
+    // … and to the heap block whose guard page caught the overrun.
+    assert!(text.contains("guard page after live block 0x"), "{text}");
+}
