@@ -98,7 +98,7 @@ pub fn run_bitflip(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use healers_core::{analyze, WrapperConfig};
+    use healers_core::{analyze, WrapperBuilder, WrapperConfig};
 
     #[test]
     fn flip_is_an_involution() {
@@ -121,7 +121,10 @@ mod tests {
         let functions = ["strlen", "asctime", "mktime", "fgetc"];
         let unwrapped = run_bitflip(&libc, &functions, None, "unwrapped");
         let decls = analyze(&libc, &functions);
-        let wrapper = RobustnessWrapper::new(decls, WrapperConfig::full_auto());
+        let wrapper = WrapperBuilder::new()
+            .decls(decls)
+            .config(WrapperConfig::full_auto())
+            .build();
         let wrapped = run_bitflip(&libc, &functions, Some(wrapper), "wrapped");
 
         let u = unwrapped.totals();

@@ -36,5 +36,5 @@ pub mod targets;
 pub use bitflip::run_bitflip;
 pub use fingerprint::derive_seed;
 pub use report::{BallistaReport, FunctionOutcomes, TestClass};
-pub use runner::{Ballista, Mode, PreparedMode};
+pub use runner::{Ballista, FunctionRun, Mode, ParseModeError, PreparedMode};
 pub use targets::{ballista_targets, NEVER_CRASHING};

@@ -436,10 +436,12 @@ mod tests {
             &["fopen", "fclose", "malloc", "free", "opendir", "closedir"],
         );
         let mut world = World::new();
-        let mut wrapper = Some(RobustnessWrapper::new(
-            decls,
-            healers_core::WrapperConfig::semi_auto(),
-        ));
+        let mut wrapper = Some(
+            healers_core::WrapperBuilder::new()
+                .decls(decls)
+                .config(healers_core::WrapperConfig::semi_auto())
+                .build(),
+        );
         let pools = prepare(&libc, &mut wrapper, &mut world);
         let w = wrapper.unwrap();
         // Streams created during preparation are in the tracking table.

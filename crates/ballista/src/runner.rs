@@ -4,9 +4,11 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use healers_core::{analyze, FunctionDecl, RobustnessWrapper, WrapperConfig, WrapperStats};
+use healers_core::{
+    analyze, FunctionDecl, RobustnessWrapper, WrapperBuilder, WrapperConfig, WrapperStats,
+};
 use healers_libc::{Libc, World};
-use healers_simproc::{SimFault, SimValue};
+use healers_simproc::{rollback, Containment, CowStats, SimFault, SimValue, WorldSnapshot};
 
 use crate::fingerprint::derive_seed;
 use crate::pools::{param_kind, prepare, ParamKind, Pools};
@@ -29,12 +31,61 @@ pub enum Mode {
 }
 
 impl Mode {
-    fn label(self) -> &'static str {
+    /// Every mode, in Figure 6 bar order. `--mode all` iterates this.
+    pub const ALL: [Mode; 3] = [Mode::Unwrapped, Mode::FullAuto, Mode::SemiAuto];
+
+    /// The human-readable configuration label (Figure 6 bar name).
+    pub fn label(self) -> &'static str {
         match self {
             Mode::Unwrapped => "Unwrapped",
             Mode::FullAuto => "Full-Auto Wrapped",
             Mode::SemiAuto => "Semi-Auto Wrapped",
         }
+    }
+
+    /// The command-line token naming this mode (`unwrapped`/`full`/`semi`),
+    /// the inverse of [`FromStr`](std::str::FromStr) parsing.
+    pub fn token(self) -> &'static str {
+        match self {
+            Mode::Unwrapped => "unwrapped",
+            Mode::FullAuto => "full",
+            Mode::SemiAuto => "semi",
+        }
+    }
+}
+
+/// A mode token that no [`Mode`] answers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModeError(pub String);
+
+impl std::fmt::Display for ParseModeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown mode '{}' (expected unwrapped, full, or semi)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseModeError {}
+
+impl std::str::FromStr for Mode {
+    type Err = ParseModeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "unwrapped" => Ok(Mode::Unwrapped),
+            "full" => Ok(Mode::FullAuto),
+            "semi" => Ok(Mode::SemiAuto),
+            other => Err(ParseModeError(other.to_string())),
+        }
+    }
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
     }
 }
 
@@ -43,6 +94,7 @@ pub struct Ballista {
     functions: Vec<String>,
     cap_per_function: usize,
     seed: u64,
+    containment: Containment,
 }
 
 impl Ballista {
@@ -52,7 +104,22 @@ impl Ballista {
             functions: ballista_targets().iter().map(|s| s.to_string()).collect(),
             cap_per_function: 180,
             seed: 0x2002_0623,
+            containment: Containment::Cow,
         }
+    }
+
+    /// Choose how each test's throwaway child world is captured. The
+    /// default copy-on-write snapshots and the reference deep-clone
+    /// path produce byte-identical reports; deep cloning exists for
+    /// differential tests and the snapshot benchmark baseline.
+    pub fn with_containment(mut self, containment: Containment) -> Self {
+        self.containment = containment;
+        self
+    }
+
+    /// The configured containment mechanism.
+    pub fn containment(&self) -> Containment {
+        self.containment
     }
 
     /// Restrict to a subset of functions (tests, quick runs).
@@ -133,12 +200,19 @@ impl Ballista {
     pub fn prepare_mode(&self, libc: &Libc, mode: Mode, decls: Vec<FunctionDecl>) -> PreparedMode {
         let mut wrapper = match mode {
             Mode::Unwrapped => None,
-            Mode::FullAuto => Some(RobustnessWrapper::new(decls, WrapperConfig::full_auto())),
-            Mode::SemiAuto => Some(RobustnessWrapper::with_overrides(
-                decls,
-                &healers_core::semi_auto_overrides(),
-                WrapperConfig::semi_auto(),
-            )),
+            Mode::FullAuto => Some(
+                WrapperBuilder::new()
+                    .decls(decls)
+                    .config(WrapperConfig::full_auto())
+                    .build(),
+            ),
+            Mode::SemiAuto => Some(
+                WrapperBuilder::new()
+                    .decls(decls)
+                    .overrides(&healers_core::semi_auto_overrides())
+                    .config(WrapperConfig::semi_auto())
+                    .build(),
+            ),
         };
 
         let mut world = World::new();
@@ -149,6 +223,7 @@ impl Ballista {
             wrapper,
             world,
             pools,
+            containment: self.containment,
         }
     }
 
@@ -165,13 +240,9 @@ impl Ballista {
         self.run_function_stats(libc, prepared, name, rng).0
     }
 
-    /// Like [`Ballista::run_function`], but additionally accumulates
-    /// the wrapper statistics of every per-test wrapper clone (each
-    /// test runs against a fresh clone, whose stats would otherwise be
-    /// discarded with it). The counter fields are deterministic; the
-    /// latency histograms inside are wall-clock and only populated
-    /// while the `healers-trace` gate is on. Unwrapped configurations
-    /// return default (all-zero) stats.
+    /// Like [`Ballista::run_function`], but additionally returns the
+    /// wrapper statistics accumulated across the run. See
+    /// [`Ballista::run_function_full`] for the stats contract.
     pub fn run_function_stats(
         &self,
         libc: &Libc,
@@ -179,25 +250,74 @@ impl Ballista {
         name: &str,
         rng: &mut StdRng,
     ) -> (Vec<TestClass>, WrapperStats) {
+        let run = self.run_function_full(libc, prepared, name, rng);
+        (run.classes, run.stats)
+    }
+
+    /// Evaluate one function and return everything the run produced:
+    /// the classified outcomes, the wrapper statistics accumulated
+    /// across every per-test wrapper clone, and the copy-on-write cost
+    /// of containing the tests.
+    ///
+    /// Each test runs against a fresh snapshot whose wrapper stats and
+    /// CoW counters would otherwise be discarded with it; this hands
+    /// them back so orchestrators absorb the check work of crashed
+    /// calls too (a wrapper validates arguments even when the call
+    /// then dies). The counter fields are deterministic at any worker
+    /// count; the latency histograms inside `stats` are wall-clock and
+    /// only populated while the `healers-trace` gate is on. Unwrapped
+    /// configurations return default (all-zero) stats.
+    pub fn run_function_full(
+        &self,
+        libc: &Libc,
+        prepared: &PreparedMode,
+        name: &str,
+        rng: &mut StdRng,
+    ) -> FunctionRun {
         let func = libc
             .get(name)
             .unwrap_or_else(|| panic!("{name} not exported"));
         let kinds: Vec<ParamKind> = func.proto.params.iter().map(param_kind).collect();
         let vectors = generate_vectors(&prepared.pools, &kinds, self.cap_per_function, rng);
         let mut stats = WrapperStats::default();
+        let mut cow = CowStats::default();
         let classes = vectors
             .iter()
             .map(|vector| {
-                let (class, test_stats) =
-                    execute(libc, &prepared.wrapper, &prepared.world, name, vector);
-                if let Some(test_stats) = test_stats {
+                let outcome = execute(
+                    libc,
+                    &prepared.wrapper,
+                    &prepared.world,
+                    prepared.containment,
+                    name,
+                    vector,
+                );
+                if let Some(test_stats) = outcome.stats {
                     stats.absorb(&test_stats);
                 }
-                class
+                cow.absorb(&outcome.cow);
+                outcome.class
             })
             .collect();
-        (classes, stats)
+        FunctionRun {
+            classes,
+            stats,
+            cow,
+        }
     }
+}
+
+/// Everything one [`Ballista::run_function_full`] invocation produced.
+#[derive(Debug, Clone, Default)]
+pub struct FunctionRun {
+    /// The classified outcome of every test vector, in generation order.
+    pub classes: Vec<TestClass>,
+    /// Wrapper statistics summed over all per-test wrapper clones
+    /// (including tests whose call crashed — the checks still ran).
+    pub stats: WrapperStats,
+    /// Copy-on-write containment cost summed over all test snapshots.
+    /// Under [`Containment::DeepClone`] the `snapshots` field stays 0.
+    pub cow: CowStats,
 }
 
 /// The immutable per-mode evaluation context built by
@@ -208,6 +328,7 @@ pub struct PreparedMode {
     wrapper: Option<RobustnessWrapper>,
     world: World,
     pools: Pools,
+    containment: Containment,
 }
 
 impl PreparedMode {
@@ -267,17 +388,31 @@ fn generate_vectors(
     }
 }
 
-/// Execute one test in a sandboxed clone of the prepared world (and
-/// wrapper), classify the outcome, and surface the clone's wrapper
-/// stats (reset before the call, so they cover exactly this test).
+/// One executed test: its classification, the per-test wrapper stats,
+/// and the CoW cost of its containment snapshot.
+struct TestOutcome {
+    class: TestClass,
+    stats: Option<WrapperStats>,
+    cow: CowStats,
+}
+
+/// Execute one test in a sandboxed snapshot of the prepared world (and
+/// a clone of the wrapper), classify the outcome, and surface the
+/// snapshot's wrapper stats (reset before the call, so they cover
+/// exactly this test) plus the CoW pages it dirtied. Rolling back is
+/// dropping the snapshot — the parent world is never touched.
 fn execute(
     libc: &Libc,
     wrapper: &Option<RobustnessWrapper>,
     world: &World,
+    containment: Containment,
     name: &str,
     args: &[SimValue],
-) -> (TestClass, Option<WrapperStats>) {
-    let mut child = world.clone();
+) -> TestOutcome {
+    let mut child = match containment {
+        Containment::Cow => world.snapshot(),
+        Containment::DeepClone => world.deep_clone(),
+    };
     child.proc.set_errno(0);
     let (result, stats) = match wrapper {
         Some(w) => {
@@ -300,7 +435,8 @@ fn execute(
         Err(SimFault::Abort { .. }) => TestClass::Abort,
         Err(_) => TestClass::Crash,
     };
-    (class, stats)
+    let cow = rollback(world, child);
+    TestOutcome { class, stats, cow }
 }
 
 #[cfg(test)]
@@ -382,6 +518,62 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(derive_seed(b.seed(), "strcpy"));
         let (_, stats) = b.run_function_stats(&libc, &unwrapped, "strcpy", &mut rng);
         assert_eq!(stats.calls, 0);
+    }
+
+    #[test]
+    fn mode_tokens_round_trip_through_from_str() {
+        for mode in Mode::ALL {
+            assert_eq!(mode.token().parse::<Mode>().unwrap(), mode);
+            assert_eq!(format!("{mode}").parse::<Mode>().unwrap(), mode);
+        }
+        let err = "warped".parse::<Mode>().unwrap_err();
+        assert!(err.to_string().contains("warped"));
+    }
+
+    #[test]
+    fn cow_and_deep_clone_reports_are_identical() {
+        let b = Ballista::new()
+            .with_functions(&["strcpy", "closedir", "atoi"])
+            .with_cap(60);
+        let cow = b.run(Mode::SemiAuto);
+        let deep = b
+            .with_containment(Containment::DeepClone)
+            .run(Mode::SemiAuto);
+        assert_eq!(cow.render(), deep.render());
+    }
+
+    #[test]
+    fn run_function_full_reports_snapshot_telemetry() {
+        let libc = Libc::standard();
+        let b = Ballista::new().with_functions(&["strcpy"]).with_cap(40);
+        let decls = b.analyze_targets(&libc);
+
+        let prepared = b.prepare_mode(&libc, Mode::FullAuto, decls.clone());
+        let mut rng = StdRng::seed_from_u64(derive_seed(b.seed(), "strcpy"));
+        let run = b.run_function_full(&libc, &prepared, "strcpy", &mut rng);
+        assert_eq!(
+            run.cow.snapshots,
+            run.classes.len() as u64,
+            "every test must be contained by exactly one snapshot"
+        );
+        assert!(run.cow.pages_shared > 0);
+        assert!(
+            run.cow.pages_copied < run.cow.pages_shared,
+            "tests should dirty only a fraction of the shared image"
+        );
+
+        // The deep-clone reference takes no snapshots but classifies
+        // every test identically.
+        let deep = Ballista::new()
+            .with_functions(&["strcpy"])
+            .with_cap(40)
+            .with_containment(Containment::DeepClone);
+        let prepared = deep.prepare_mode(&libc, Mode::FullAuto, decls);
+        let mut rng = StdRng::seed_from_u64(derive_seed(deep.seed(), "strcpy"));
+        let deep_run = deep.run_function_full(&libc, &prepared, "strcpy", &mut rng);
+        assert_eq!(deep_run.cow.snapshots, 0);
+        assert_eq!(deep_run.classes, run.classes);
+        assert_eq!(deep_run.stats.checks, run.stats.checks);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use healers_ballista::ballista_targets;
 use healers_bench::{run_workload, workloads};
-use healers_core::{analyze, RobustnessWrapper, WrapperConfig};
+use healers_core::{analyze, WrapperBuilder, WrapperConfig};
 use healers_inject::FaultInjector;
 use healers_libc::{Libc, World};
 use healers_simproc::{run_in_child, Protection, SimValue};
@@ -72,23 +72,29 @@ fn bench_checking_modes(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("full_auto", |b| {
         b.iter(|| {
-            let w = RobustnessWrapper::new(decls.clone(), WrapperConfig::full_auto());
+            let w = WrapperBuilder::new()
+                .decls(decls.clone())
+                .config(WrapperConfig::full_auto())
+                .build();
             run_workload(&libc, &gcc, Some(w))
         })
     });
     group.bench_function("semi_auto", |b| {
         b.iter(|| {
-            let w = RobustnessWrapper::with_overrides(
-                decls.clone(),
-                &healers_core::semi_auto_overrides(),
-                WrapperConfig::semi_auto(),
-            );
+            let w = WrapperBuilder::new()
+                .decls(decls.clone())
+                .overrides(&healers_core::semi_auto_overrides())
+                .config(WrapperConfig::semi_auto())
+                .build();
             run_workload(&libc, &gcc, Some(w))
         })
     });
     group.bench_function("minimal_stateless", |b| {
         b.iter(|| {
-            let w = RobustnessWrapper::new(decls.clone(), WrapperConfig::minimal());
+            let w = WrapperBuilder::new()
+                .decls(decls.clone())
+                .config(WrapperConfig::minimal())
+                .build();
             run_workload(&libc, &gcc, Some(w))
         })
     });
@@ -101,7 +107,10 @@ fn bench_checking_modes(c: &mut Criterion) {
                 check_cache: false,
                 ..WrapperConfig::full_auto()
             };
-            let w = RobustnessWrapper::new(decls.clone(), config);
+            let w = WrapperBuilder::new()
+                .decls(decls.clone())
+                .config(config)
+                .build();
             run_workload(&libc, &gcc, Some(w))
         })
     });
@@ -115,7 +124,10 @@ fn bench_checking_modes(c: &mut Criterion) {
                 enabled: Some(enabled.clone()),
                 ..WrapperConfig::full_auto()
             };
-            let w = RobustnessWrapper::new(decls.clone(), config);
+            let w = WrapperBuilder::new()
+                .decls(decls.clone())
+                .config(config)
+                .build();
             run_workload(&libc, &gcc, Some(w))
         })
     });

@@ -140,12 +140,15 @@ fn bench_gate(c: &mut Criterion) {
     // The off/on delta is the price of shipping the instrumentation;
     // the "off" row should be indistinguishable from a build without
     // healers-trace at all.
-    use healers_core::{analyze, RobustnessWrapper, WrapperConfig};
+    use healers_core::{analyze, WrapperBuilder, WrapperConfig};
     use healers_libc::Libc;
 
     let libc = Libc::standard();
     let decls = analyze(&libc, &["strlen"]);
-    let mut wrapper = RobustnessWrapper::new(decls, WrapperConfig::full_auto());
+    let mut wrapper = WrapperBuilder::new()
+        .decls(decls)
+        .config(WrapperConfig::full_auto())
+        .build();
     let mut world = World::new();
     let s = world.alloc_cstr("telemetry gate cost probe string");
 

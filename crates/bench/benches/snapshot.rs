@@ -1,0 +1,51 @@
+//! Criterion benches of the copy-on-write containment engine (the
+//! `snapshot` group): capture cost (O(1) CoW vs O(resident set) deep
+//! clone) and the full contained-call cycle — snapshot, run, rollback —
+//! under both mechanisms.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use healers_libc::{Libc, World};
+use healers_simproc::{rollback, run_in_child_with, Containment, SimValue, WorldSnapshot};
+
+/// A world with a realistic resident set: a few hundred live C strings
+/// spread over many heap pages, so a deep clone has real work to do.
+fn prepared_world() -> (World, u32) {
+    let mut world = World::new();
+    let mut last = 0;
+    for i in 0..256 {
+        last = world.alloc_cstr(&format!("payload {i:04} {}", "x".repeat(120)));
+    }
+    (world, last)
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let libc = Libc::standard();
+    let (world, cstr) = prepared_world();
+
+    let mut group = c.benchmark_group("snapshot");
+    group.bench_function("cow_capture", |b| {
+        b.iter(|| black_box(&world).snapshot());
+    });
+    group.bench_function("deep_clone_capture", |b| {
+        b.iter(|| black_box(&world).deep_clone());
+    });
+    for (label, containment) in [
+        ("contained_call_cow", Containment::Cow),
+        ("contained_call_deep_clone", Containment::DeepClone),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let (result, child) = run_in_child_with(&world, containment, |w| {
+                    libc.call(w, "strlen", &[SimValue::Ptr(cstr)])
+                });
+                let delta = rollback(&world, child);
+                (result, delta)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot);
+criterion_main!(benches);

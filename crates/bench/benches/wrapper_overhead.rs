@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use healers_ballista::ballista_targets;
 use healers_bench::{run_workload, workloads};
-use healers_core::{analyze, RobustnessWrapper, WrapperConfig};
+use healers_core::{analyze, WrapperBuilder, WrapperConfig};
 use healers_libc::Libc;
 
 fn bench_workloads(c: &mut Criterion) {
@@ -20,7 +20,10 @@ fn bench_workloads(c: &mut Criterion) {
         });
         group.bench_function(format!("{}_wrapped", workload.name), |b| {
             b.iter(|| {
-                let wrapper = RobustnessWrapper::new(decls.clone(), WrapperConfig::full_auto());
+                let wrapper = WrapperBuilder::new()
+                    .decls(decls.clone())
+                    .config(WrapperConfig::full_auto())
+                    .build();
                 run_workload(&libc, &workload, Some(wrapper))
             });
         });

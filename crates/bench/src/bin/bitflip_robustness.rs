@@ -7,7 +7,7 @@
 //! is the extension the authors propose).
 
 use healers_ballista::{ballista_targets, run_bitflip};
-use healers_core::{analyze, RobustnessWrapper, WrapperConfig};
+use healers_core::{analyze, WrapperBuilder, WrapperConfig};
 use healers_libc::Libc;
 
 fn main() {
@@ -17,7 +17,10 @@ fn main() {
     let decls = analyze(&libc, &targets);
 
     let unwrapped = run_bitflip(&libc, &targets, None, "Unwrapped");
-    let wrapper = RobustnessWrapper::new(decls, WrapperConfig::full_auto());
+    let wrapper = WrapperBuilder::new()
+        .decls(decls)
+        .config(WrapperConfig::full_auto())
+        .build();
     let wrapped = run_bitflip(&libc, &targets, Some(wrapper), "Full-Auto Wrapped");
 
     println!("Bit-flip fault injection over {} functions", targets.len());

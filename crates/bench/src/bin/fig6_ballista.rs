@@ -69,7 +69,7 @@ fn main() {
         eprintln!("campaign analysis over {} functions…", targets.len());
         let (decls, metrics) = campaign.analyze(&libc, &targets).expect("campaign analyze");
         eprintln!("{metrics}");
-        for mode in [Mode::Unwrapped, Mode::FullAuto, Mode::SemiAuto] {
+        for mode in Mode::ALL {
             let (report, metrics) = campaign.evaluate(&libc, &ballista, mode, decls.clone());
             print_report(&report, detail);
             eprintln!("{metrics}");
@@ -83,7 +83,7 @@ fn main() {
             "analysis done: {unsafe_count} of {} functions unsafe",
             decls.len()
         );
-        for mode in [Mode::Unwrapped, Mode::FullAuto, Mode::SemiAuto] {
+        for mode in Mode::ALL {
             let report = ballista.run_with_decls(&libc, mode, decls.clone());
             print_report(&report, detail);
         }

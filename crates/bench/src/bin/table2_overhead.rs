@@ -28,7 +28,7 @@ use std::time::Duration;
 use healers_ballista::ballista_targets;
 use healers_bench::{run_workload, workloads, Workload};
 use healers_core::checker::CheckCounters;
-use healers_core::{analyze, FunctionDecl, RobustnessWrapper, WrapperConfig};
+use healers_core::{analyze, FunctionDecl, RobustnessWrapper, WrapperBuilder, WrapperConfig};
 use healers_libc::Libc;
 
 fn best(
@@ -65,20 +65,24 @@ fn measure(libc: &Libc, decls: &[FunctionDecl], workload: &Workload, reps: usize
     // hot path for either).
     let (unwrapped, _) = best(libc, workload, reps, || None);
     let (wrapped, plain_stats) = best(libc, workload, reps, || {
-        Some(RobustnessWrapper::new(
-            decls.to_vec(),
-            WrapperConfig::full_auto(),
-        ))
+        Some(
+            WrapperBuilder::new()
+                .decls(decls.to_vec())
+                .config(WrapperConfig::full_auto())
+                .build(),
+        )
     });
     // Library/check shares: the measurement wrapper of §7.
     let (_, measured) = best(libc, workload, reps, || {
-        Some(RobustnessWrapper::new(
-            decls.to_vec(),
-            WrapperConfig {
-                measure: true,
-                ..WrapperConfig::full_auto()
-            },
-        ))
+        Some(
+            WrapperBuilder::new()
+                .decls(decls.to_vec())
+                .config(WrapperConfig {
+                    measure: true,
+                    ..WrapperConfig::full_auto()
+                })
+                .build(),
+        )
     });
     let total = measured.total.as_secs_f64();
     // Wrapped-call latency percentiles: one extra run with the
@@ -89,10 +93,12 @@ fn measure(libc: &Libc, decls: &[FunctionDecl], workload: &Workload, reps: usize
     let traced = run_workload(
         libc,
         workload,
-        Some(RobustnessWrapper::new(
-            decls.to_vec(),
-            WrapperConfig::full_auto(),
-        )),
+        Some(
+            WrapperBuilder::new()
+                .decls(decls.to_vec())
+                .config(WrapperConfig::full_auto())
+                .build(),
+        ),
     );
     healers_trace::set_enabled(false);
     Row {

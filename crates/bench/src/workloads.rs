@@ -337,7 +337,7 @@ fn ps2pdf_like(ctx: &mut CallCtx<'_>) {
 mod tests {
     use super::*;
     use healers_ballista::ballista_targets;
-    use healers_core::{analyze, WrapperConfig};
+    use healers_core::{analyze, WrapperBuilder, WrapperConfig};
 
     #[test]
     fn all_workloads_run_unwrapped() {
@@ -355,7 +355,10 @@ mod tests {
         let libc = Libc::standard();
         let decls = analyze(&libc, &ballista_targets());
         for w in workloads() {
-            let wrapper = RobustnessWrapper::new(decls.clone(), WrapperConfig::full_auto());
+            let wrapper = WrapperBuilder::new()
+                .decls(decls.clone())
+                .config(WrapperConfig::full_auto())
+                .build();
             let mut wrapper = wrapper;
             wrapper.reset_stats();
             let stats = run_workload(&libc, &w, Some(wrapper));
@@ -372,7 +375,10 @@ mod tests {
         let decls = analyze(&libc, &ballista_targets());
         let mut calls = std::collections::BTreeMap::new();
         for w in workloads() {
-            let wrapper = RobustnessWrapper::new(decls.clone(), WrapperConfig::full_auto());
+            let wrapper = WrapperBuilder::new()
+                .decls(decls.clone())
+                .config(WrapperConfig::full_auto())
+                .build();
             let stats = run_workload(&libc, &w, Some(wrapper));
             calls.insert(w.name, stats.wrapped_calls);
         }

@@ -3,7 +3,7 @@
 //! Layout: one file per function under the cache directory,
 //! `<function>.<fingerprint>.xml`, holding that function's Figure-2
 //! declaration serialized with [`healers_core::xml`]. The fingerprint
-//! (see [`crate::fingerprint`]) covers everything the declaration
+//! (see [`mod@crate::fingerprint`]) covers everything the declaration
 //! depends on, so a lookup is a pure existence check: if the file named
 //! by the current fingerprint exists and round-trips, the whole
 //! injection campaign for that function is skipped. Storing a fresh

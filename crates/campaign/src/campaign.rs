@@ -192,18 +192,21 @@ impl Campaign {
                 mode: prepared.label().to_string(),
             });
             let mut rng = StdRng::seed_from_u64(derive_seed(ballista.seed(), name));
-            let (classes, stats) = ballista.run_function_stats(libc, &prepared, name, &mut rng);
-            let failures = classes
+            let run = ballista.run_function_full(libc, &prepared, name, &mut rng);
+            let failures = run
+                .classes
                 .iter()
                 .filter(|c| matches!(c, TestClass::Crash | TestClass::Abort | TestClass::Hang))
                 .count() as u64;
             journal.emit(CampaignEvent::Evaluated {
                 function: name.clone(),
                 mode: prepared.label().to_string(),
-                tests: classes.len() as u64,
+                tests: run.classes.len() as u64,
                 failures,
+                pages_shared: run.cow.pages_shared,
+                pages_copied: run.cow.pages_copied,
             });
-            (classes, stats)
+            run
         });
 
         let mut report = BallistaReport::new(prepared.label());
@@ -212,11 +215,12 @@ impl Campaign {
             ..CampaignMetrics::default()
         };
         let mut wrapper_stats = WrapperStats::default();
-        for (name, (classes, stats)) in functions.iter().zip(results) {
+        for (name, run) in functions.iter().zip(results) {
             metrics.functions += 1;
-            metrics.evaluation_tests += classes.len() as u64;
-            wrapper_stats.absorb(&stats);
-            for class in classes {
+            metrics.evaluation_tests += run.classes.len() as u64;
+            metrics.absorb_cow(&run.cow);
+            wrapper_stats.absorb(&run.stats);
+            for class in run.classes {
                 report.record(name, class);
             }
         }
@@ -295,6 +299,8 @@ fn analyze_one(
         calls: report.calls as u64,
         retries: report.adaptive_retries as u64,
         fuel_used: report.fuel_used,
+        pages_shared: report.cow.pages_shared,
+        pages_copied: report.cow.pages_copied,
         robust: report
             .args
             .iter()
@@ -304,6 +310,7 @@ fn analyze_one(
     per_fn.injected_calls = report.calls as u64;
     per_fn.adaptive_retries = report.adaptive_retries as u64;
     per_fn.fuel_used = report.fuel_used;
+    per_fn.absorb_cow(&report.cow);
 
     let decl = FunctionDecl::from_report(&report);
     if let Some(cache) = cache {
@@ -361,6 +368,79 @@ mod tests {
             campaign.finish().unwrap();
         }
         assert_eq!(renders[0], renders[1]);
+    }
+
+    #[test]
+    fn evaluation_snapshot_telemetry_is_worker_count_invariant() {
+        let libc = Libc::standard();
+        let ballista = Ballista::new()
+            .with_functions(&["strcpy", "abs", "strlen"])
+            .with_cap(30);
+        let mut seen = Vec::new();
+        for jobs in [1, 8] {
+            let campaign = Campaign::new(&CampaignConfig {
+                jobs,
+                ..CampaignConfig::default()
+            })
+            .unwrap();
+            let (_, metrics) = campaign.evaluate(&libc, &ballista, Mode::Unwrapped, Vec::new());
+            assert_eq!(
+                metrics.snapshots, metrics.evaluation_tests,
+                "one containment snapshot per evaluation test"
+            );
+            assert!(metrics.pages_shared > 0);
+            assert_eq!(metrics.pages_restored, metrics.pages_copied);
+            seen.push((
+                metrics.snapshots,
+                metrics.pages_shared,
+                metrics.pages_copied,
+            ));
+            campaign.finish().unwrap();
+        }
+        assert_eq!(seen[0], seen[1], "cow counters must not depend on --jobs");
+    }
+
+    #[test]
+    fn deep_clone_containment_reproduces_the_report_without_snapshots() {
+        let libc = Libc::standard();
+        let functions = ["strcpy", "abs"];
+        let cow_b = Ballista::new().with_functions(&functions).with_cap(30);
+        let deep_b = Ballista::new()
+            .with_functions(&functions)
+            .with_cap(30)
+            .with_containment(healers_simproc::Containment::DeepClone);
+        let campaign = Campaign::new(&CampaignConfig::default()).unwrap();
+        let (cow_report, cow_metrics) =
+            campaign.evaluate(&libc, &cow_b, Mode::Unwrapped, Vec::new());
+        let (deep_report, deep_metrics) =
+            campaign.evaluate(&libc, &deep_b, Mode::Unwrapped, Vec::new());
+        assert_eq!(cow_report.render(), deep_report.render());
+        assert!(cow_metrics.snapshots > 0);
+        assert_eq!(deep_metrics.snapshots, 0);
+        campaign.finish().unwrap();
+    }
+
+    #[test]
+    fn report_totals_include_check_work_of_crashed_calls() {
+        // Full-auto closedir: the wrapper cannot fully validate DIR
+        // pointers, so its checks run and some calls still crash. The
+        // crashed tests' wrapper stats must still reach the campaign
+        // totals — before the snapshot API they died with the child
+        // image that ran them.
+        let libc = Libc::standard();
+        let ballista = Ballista::new().with_functions(&["closedir"]).with_cap(50);
+        let decls = ballista.analyze_targets(&libc);
+        let campaign = Campaign::new(&CampaignConfig::default()).unwrap();
+        let (report, metrics, stats) =
+            campaign.evaluate_traced(&libc, &ballista, Mode::FullAuto, decls);
+        let outcome = report.function("closedir").unwrap();
+        assert!(outcome.failures() > 0, "full-auto closedir must still fail");
+        assert_eq!(
+            stats.calls, metrics.evaluation_tests,
+            "every test must contribute its wrapper call, crashed or not"
+        );
+        assert!(stats.checks > 0, "crashed calls still ran their checks");
+        campaign.finish().unwrap();
     }
 
     #[test]

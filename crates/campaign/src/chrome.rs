@@ -16,7 +16,13 @@
 //! * `Retried`/`Faulted` become instants on the owning span's lane;
 //! * two counter tracks sample scheduler state at every change:
 //!   `workers` (spans in flight — worker occupancy) and `pending`
-//!   (scheduled work items not yet begun — queue depth).
+//!   (scheduled work items not yet begun — queue depth);
+//! * three counter tracks accumulate the campaign's copy-on-write
+//!   containment cost at every span end: `cow_pages_shared` (pages
+//!   reference-shared instead of copied), `cow_pages_copied` (private
+//!   copies faulted in by contained calls), and `cow_pages_restored`
+//!   (pages discarded at rollback — equal to the copies, since every
+//!   contained call is run-and-discard).
 //!
 //! Lanes (`tid`s) model worker occupancy: a span takes the lowest
 //! lane free at its begin event and releases it at its end, so the
@@ -100,9 +106,28 @@ pub fn chrome_trace(events: &[(u64, CampaignEvent)]) -> ChromeTrace {
     trace.counter("workers", 0, 0);
 
     let mut last_seq = 0u64;
+    let mut cow_shared = 0u64;
+    let mut cow_copied = 0u64;
     for (seq, event) in events {
         let ts = *seq;
         last_seq = last_seq.max(ts);
+        if let CampaignEvent::Classified {
+            pages_shared,
+            pages_copied,
+            ..
+        }
+        | CampaignEvent::Evaluated {
+            pages_shared,
+            pages_copied,
+            ..
+        } = event
+        {
+            cow_shared += pages_shared;
+            cow_copied += pages_copied;
+            trace.counter("cow_pages_shared", ts, cow_shared);
+            trace.counter("cow_pages_copied", ts, cow_copied);
+            trace.counter("cow_pages_restored", ts, cow_copied);
+        }
         match span_key(event) {
             Some((key, true)) => {
                 let lane = lanes.grab();
@@ -179,6 +204,8 @@ mod tests {
             calls: 1,
             retries: 0,
             fuel_used: 0,
+            pages_shared: 50,
+            pages_copied: 3,
             robust: vec![],
         }
     }
@@ -237,6 +264,8 @@ mod tests {
                     mode: "Full-Auto Wrapped".into(),
                     tests: 40,
                     failures: 0,
+                    pages_shared: 4000,
+                    pages_copied: 120,
                 },
             ),
         ];
@@ -245,6 +274,16 @@ mod tests {
         json::validate(doc.trim()).unwrap();
         assert!(doc.contains("\"name\":\"cached:abs\",\"ph\":\"i\""));
         assert!(doc.contains("\"name\":\"eval:Full-Auto Wrapped:strcpy\",\"ph\":\"X\""));
+        // CoW containment cost tracks, sampled at the eval span's end.
+        assert!(doc.contains(
+            "\"name\":\"cow_pages_shared\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":2,\"args\":{\"value\":4000}"
+        ));
+        assert!(doc.contains(
+            "\"name\":\"cow_pages_copied\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":2,\"args\":{\"value\":120}"
+        ));
+        assert!(doc.contains(
+            "\"name\":\"cow_pages_restored\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":2,\"args\":{\"value\":120}"
+        ));
         // Queue drains 2 → 0 (the cached item and the eval item).
         assert!(doc.contains(
             "\"name\":\"pending\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":0,\"args\":{\"value\":1}"

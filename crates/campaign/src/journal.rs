@@ -64,6 +64,12 @@ pub enum CampaignEvent {
         retries: u64,
         /// Total hang-detection fuel consumed.
         fuel_used: u64,
+        /// Pages reference-shared by the injection's containment
+        /// snapshots instead of copied.
+        pages_shared: u64,
+        /// Private page copies the injected calls faulted in (equal to
+        /// the pages discarded when their snapshots were rolled back).
+        pages_copied: u64,
         /// Robust argument types, in the paper's notation.
         robust: Vec<String>,
     },
@@ -84,6 +90,10 @@ pub enum CampaignEvent {
         tests: u64,
         /// Tests that crashed, hung, or aborted.
         failures: u64,
+        /// Pages reference-shared by the batch's containment snapshots.
+        pages_shared: u64,
+        /// Private page copies the batch's tests faulted in.
+        pages_copied: u64,
     },
 }
 
@@ -129,6 +139,8 @@ impl CampaignEvent {
                 calls,
                 retries,
                 fuel_used,
+                pages_shared,
+                pages_copied,
                 robust,
             } => base
                 .str("event", "classified")
@@ -137,6 +149,8 @@ impl CampaignEvent {
                 .u64("calls", *calls)
                 .u64("retries", *retries)
                 .u64("fuel_used", *fuel_used)
+                .u64("pages_shared", *pages_shared)
+                .u64("pages_copied", *pages_copied)
                 .str_array("robust", robust),
             CampaignEvent::Evaluating { function, mode } => base
                 .str("event", "evaluating")
@@ -147,12 +161,16 @@ impl CampaignEvent {
                 mode,
                 tests,
                 failures,
+                pages_shared,
+                pages_copied,
             } => base
                 .str("event", "evaluated")
                 .str("function", function)
                 .str("mode", mode)
                 .u64("tests", *tests)
-                .u64("failures", *failures),
+                .u64("failures", *failures)
+                .u64("pages_shared", *pages_shared)
+                .u64("pages_copied", *pages_copied),
         }
         .finish()
     }
@@ -346,6 +364,8 @@ mod tests {
             calls: 31,
             retries: 7,
             fuel_used: 1234,
+            pages_shared: 500,
+            pages_copied: 42,
             robust: vec!["NTS".into(), "R_ARRAY[44]".into()],
         });
         drop(sender);
@@ -362,6 +382,8 @@ mod tests {
         }
         assert!(lines[0].contains("\"event\":\"started\""));
         assert!(lines[1].contains("\"robust\":[\"NTS\",\"R_ARRAY[44]\"]"));
+        assert!(lines[1].contains("\"pages_shared\":500"));
+        assert!(lines[1].contains("\"pages_copied\":42"));
     }
 
     #[test]
@@ -387,6 +409,8 @@ mod tests {
             mode: "FullAuto".into(),
             tests: 180,
             failures: 0,
+            pages_shared: 0,
+            pages_copied: 0,
         });
         drop(sender);
         let tail = journal.shutdown().unwrap();

@@ -8,7 +8,7 @@
 //! - [`scheduler`] — a work-stealing scheduler over `std::thread::scope`
 //!   whose merged output is bit-identical for any worker count;
 //! - [`cache`] — a persistent, content-addressed declaration cache
-//!   keyed by a [`fingerprint`] of everything the injection outcome
+//!   keyed by a [`mod@fingerprint`] of everything the injection outcome
 //!   depends on, so re-runs over an unchanged library skip injection
 //!   entirely;
 //! - [`journal`] — a structured [`CampaignEvent`] stream drained to

@@ -22,6 +22,18 @@ pub struct CampaignMetrics {
     pub fuel_used: u64,
     /// Ballista evaluation tests executed (0 in declarations-only mode).
     pub evaluation_tests: u64,
+    /// Copy-on-write world snapshots taken to contain sandboxed calls
+    /// (0 when the deep-clone reference containment is selected).
+    pub snapshots: u64,
+    /// Pages reference-shared across those snapshots instead of copied.
+    pub pages_shared: u64,
+    /// Private page copies faulted in by contained calls (their dirty
+    /// footprint).
+    pub pages_copied: u64,
+    /// Pages discarded when child images were rolled back. Every
+    /// contained call here is run-and-discard, so this equals the dirty
+    /// footprint — the restore cost is O(dirty pages), never O(world).
+    pub pages_restored: u64,
     /// Worker threads used.
     pub jobs: u64,
     /// Wall-clock duration of the run.
@@ -43,6 +55,10 @@ impl CampaignMetrics {
             adaptive_retries,
             fuel_used,
             evaluation_tests,
+            snapshots,
+            pages_shared,
+            pages_copied,
+            pages_restored,
             // Run-level properties, not per-function contributions: the
             // worker count is fixed by the orchestrator and wall time is
             // stamped once at the end of the run.
@@ -56,6 +72,21 @@ impl CampaignMetrics {
         self.adaptive_retries += adaptive_retries;
         self.fuel_used += fuel_used;
         self.evaluation_tests += evaluation_tests;
+        self.snapshots += snapshots;
+        self.pages_shared += pages_shared;
+        self.pages_copied += pages_copied;
+        self.pages_restored += pages_restored;
+    }
+
+    /// Fold one sandbox containment delta in (injection or evaluation).
+    pub fn absorb_cow(&mut self, cow: &healers_simproc::CowStats) {
+        self.snapshots += cow.snapshots;
+        self.pages_shared += cow.pages_shared;
+        self.pages_copied += cow.pages_copied;
+        // Every sandboxed call in a campaign discards its child image,
+        // so the pages restored (freed at rollback) are exactly the
+        // private copies the child faulted in.
+        self.pages_restored += cow.pages_copied;
     }
 }
 
@@ -64,7 +95,8 @@ impl fmt::Display for CampaignMetrics {
         write!(
             f,
             "campaign: {} functions | cache {} hit / {} miss | {} injected calls | \
-             {} adaptive retries | {} fuel | {} evaluation tests | {} jobs | {:.2}s",
+             {} adaptive retries | {} fuel | {} evaluation tests | \
+             cow {} snapshots / {} shared / {} copied / {} restored | {} jobs | {:.2}s",
             self.functions,
             self.cache_hits,
             self.cache_misses,
@@ -72,6 +104,10 @@ impl fmt::Display for CampaignMetrics {
             self.adaptive_retries,
             self.fuel_used,
             self.evaluation_tests,
+            self.snapshots,
+            self.pages_shared,
+            self.pages_copied,
+            self.pages_restored,
             self.jobs,
             self.elapsed.as_secs_f64()
         )
@@ -94,8 +130,12 @@ mod tests {
             adaptive_retries: 11,
             fuel_used: 13,
             evaluation_tests: 17,
-            jobs: 19,
-            elapsed: Duration::from_secs(23),
+            snapshots: 19,
+            pages_shared: 23,
+            pages_copied: 29,
+            pages_restored: 31,
+            jobs: 37,
+            elapsed: Duration::from_secs(41),
         };
         let mut total = CampaignMetrics {
             jobs: 4,
@@ -114,11 +154,30 @@ mod tests {
                 adaptive_retries: 22,
                 fuel_used: 26,
                 evaluation_tests: 34,
+                snapshots: 38,
+                pages_shared: 46,
+                pages_copied: 58,
+                pages_restored: 62,
                 // Run-level fields belong to the accumulator, not the
                 // contributions.
                 jobs: 4,
                 elapsed: Duration::from_secs(1),
             }
         );
+    }
+
+    #[test]
+    fn absorb_cow_equates_restored_with_copied() {
+        let mut m = CampaignMetrics::default();
+        m.absorb_cow(&healers_simproc::CowStats {
+            snapshots: 2,
+            pages_shared: 100,
+            pages_copied: 7,
+            table_clones: 3,
+        });
+        assert_eq!(m.snapshots, 2);
+        assert_eq!(m.pages_shared, 100);
+        assert_eq!(m.pages_copied, 7);
+        assert_eq!(m.pages_restored, 7);
     }
 }

@@ -24,13 +24,16 @@
 //! # Examples
 //!
 //! ```
-//! use healers_core::{analyze, RobustnessWrapper, WrapperConfig};
+//! use healers_core::{analyze, WrapperBuilder, WrapperConfig};
 //! use healers_libc::{Libc, World};
 //! use healers_simproc::SimValue;
 //!
 //! let libc = Libc::standard();
 //! let decls = analyze(&libc, &["strlen"]);
-//! let mut wrapper = RobustnessWrapper::new(decls, WrapperConfig::full_auto());
+//! let mut wrapper = WrapperBuilder::new()
+//!     .decls(decls)
+//!     .config(WrapperConfig::full_auto())
+//!     .build();
 //! let mut world = World::new();
 //!
 //! // An invalid pointer that would crash strlen is caught and turned
@@ -60,5 +63,7 @@ pub use checker::{CheckCounters, CheckKind, CheckOutcomes};
 pub use decl::{analyze, FunctionAttribute, FunctionDecl};
 pub use emit::{emit_checks_header, emit_wrapper_source};
 pub use overrides::{semi_auto_overrides, ManualOverride, SizeAssertion};
-pub use wrapper::{FnTelemetry, RobustnessWrapper, ViolationAction, WrapperConfig, WrapperStats};
+pub use wrapper::{
+    FnTelemetry, RobustnessWrapper, ViolationAction, WrapperBuilder, WrapperConfig, WrapperStats,
+};
 pub use xml::{decls_from_xml, decls_to_xml};

@@ -61,7 +61,7 @@ pub struct WrapperConfig {
     /// mutation — the validity-caching optimization §7 points to
     /// ("further improvements can be achieved using the caching
     /// techniques to check the validity of pointer as described in
-    /// [3]").
+    /// \[3\]").
     pub check_cache: bool,
 }
 
@@ -212,31 +212,82 @@ pub struct Violation {
     pub value: SimValue,
 }
 
-/// The generated robustness wrapper: a drop-in layer over [`Libc`].
+/// Builder-style construction of a [`RobustnessWrapper`] — the public
+/// entry point of phase two (Figure 1): declarations in, wrapper out.
+///
+/// The stages mirror the pipeline: [`decls`](WrapperBuilder::decls)
+/// supplies the analysis output, [`config`](WrapperBuilder::config)
+/// picks the robustness/efficiency trade-off (defaults to
+/// [`WrapperConfig::full_auto`]), [`overrides`](WrapperBuilder::overrides)
+/// applies the semi-automatic manual edits, and
+/// [`build`](WrapperBuilder::build) precomputes the check plans.
+///
+/// ```
+/// use healers_core::{WrapperBuilder, WrapperConfig};
+///
+/// let wrapper = WrapperBuilder::new()
+///     .decls(Vec::new())
+///     .config(WrapperConfig::full_auto())
+///     .build();
+/// assert!(wrapper.violations().is_empty());
+/// ```
 #[derive(Debug, Clone)]
-pub struct RobustnessWrapper {
-    decls: BTreeMap<String, FunctionDecl>,
-    /// Precomputed per-function check plans: the checkable supertype of
-    /// each argument's robust type (`None` = no check).
-    plans: BTreeMap<String, Vec<Option<TypeExpr>>>,
-    assertions: BTreeMap<String, Vec<SizeAssertion>>,
+pub struct WrapperBuilder {
+    decls: Vec<FunctionDecl>,
     config: WrapperConfig,
-    tables: Tables,
-    /// Cached successful pointer checks: (pointer, type) → the table
-    /// generation it was validated under.
-    check_cache: BTreeMap<(healers_simproc::Addr, TypeExpr), u64>,
-    /// Bumped on every tracking-table mutation; outdated cache entries
-    /// are ignored (and lazily discarded).
-    generation: u64,
-    in_flag: bool,
-    /// Counters and timings.
-    pub stats: WrapperStats,
-    log: Vec<Violation>,
+    overrides: Option<BTreeMap<String, ManualOverride>>,
 }
 
-impl RobustnessWrapper {
-    /// Generate the wrapper from declarations (phase two of Figure 1).
-    pub fn new(decls: Vec<FunctionDecl>, config: WrapperConfig) -> Self {
+impl Default for WrapperBuilder {
+    fn default() -> Self {
+        WrapperBuilder::new()
+    }
+}
+
+impl WrapperBuilder {
+    /// A builder with no declarations and the fully automatic
+    /// configuration.
+    pub fn new() -> Self {
+        WrapperBuilder {
+            decls: Vec::new(),
+            config: WrapperConfig::full_auto(),
+            overrides: None,
+        }
+    }
+
+    /// The function declarations to wrap (phase-one analysis output).
+    pub fn decls(mut self, decls: Vec<FunctionDecl>) -> Self {
+        self.decls = decls;
+        self
+    }
+
+    /// The wrapper configuration (defaults to
+    /// [`WrapperConfig::full_auto`]).
+    pub fn config(mut self, config: WrapperConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Manual declaration overrides to apply before planning — the
+    /// semi-automatic pipeline's edited declarations (§5.2).
+    pub fn overrides(mut self, overrides: &BTreeMap<String, ManualOverride>) -> Self {
+        self.overrides = Some(overrides.clone());
+        self
+    }
+
+    /// Apply any overrides and generate the wrapper: resolve each
+    /// unsafe declaration's arguments to their checkable supertypes and
+    /// index the executable assertions.
+    pub fn build(self) -> RobustnessWrapper {
+        let WrapperBuilder {
+            decls,
+            config,
+            overrides,
+        } = self;
+        let decls = match &overrides {
+            Some(overrides) => crate::overrides::apply_overrides(decls, overrides),
+            None => decls,
+        };
         let caps = config.caps();
         let mut plans = BTreeMap::new();
         let mut decl_map = BTreeMap::new();
@@ -307,16 +358,56 @@ impl RobustnessWrapper {
             log: Vec::new(),
         }
     }
+}
+
+/// The generated robustness wrapper: a drop-in layer over [`Libc`].
+#[derive(Debug, Clone)]
+pub struct RobustnessWrapper {
+    decls: BTreeMap<String, FunctionDecl>,
+    /// Precomputed per-function check plans: the checkable supertype of
+    /// each argument's robust type (`None` = no check).
+    plans: BTreeMap<String, Vec<Option<TypeExpr>>>,
+    assertions: BTreeMap<String, Vec<SizeAssertion>>,
+    config: WrapperConfig,
+    tables: Tables,
+    /// Cached successful pointer checks: (pointer, type) → the table
+    /// generation it was validated under.
+    check_cache: BTreeMap<(healers_simproc::Addr, TypeExpr), u64>,
+    /// Bumped on every tracking-table mutation; outdated cache entries
+    /// are ignored (and lazily discarded).
+    generation: u64,
+    in_flag: bool,
+    /// Counters and timings.
+    pub stats: WrapperStats,
+    log: Vec<Violation>,
+}
+
+impl RobustnessWrapper {
+    /// Generate the wrapper from declarations (phase two of Figure 1).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use WrapperBuilder::new().decls(decls).config(config).build()"
+    )]
+    pub fn new(decls: Vec<FunctionDecl>, config: WrapperConfig) -> Self {
+        WrapperBuilder::new().decls(decls).config(config).build()
+    }
 
     /// Apply manual overrides *and* rebuild the plans — convenience for
     /// the semi-automatic pipeline.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use WrapperBuilder::new().decls(decls).overrides(overrides).config(config).build()"
+    )]
     pub fn with_overrides(
         decls: Vec<FunctionDecl>,
         overrides: &BTreeMap<String, ManualOverride>,
         config: WrapperConfig,
     ) -> Self {
-        let decls = crate::overrides::apply_overrides(decls, overrides);
-        RobustnessWrapper::new(decls, config)
+        WrapperBuilder::new()
+            .decls(decls)
+            .overrides(overrides)
+            .config(config)
+            .build()
     }
 
     /// The declaration for `name`, if the wrapper knows it.
@@ -691,8 +782,36 @@ mod tests {
     fn build(functions: &[&str], config: WrapperConfig) -> (Libc, RobustnessWrapper, World) {
         let libc = Libc::standard();
         let decls = analyze(&libc, functions);
-        let wrapper = RobustnessWrapper::new(decls, config);
+        let wrapper = WrapperBuilder::new().decls(decls).config(config).build();
         (libc, wrapper, World::new())
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_the_builder() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["strcpy", "closedir"]);
+        let via_new = RobustnessWrapper::new(decls.clone(), WrapperConfig::full_auto());
+        let via_builder = WrapperBuilder::new().decls(decls.clone()).build();
+        assert_eq!(
+            format!("{:?}", via_new.plan("strcpy")),
+            format!("{:?}", via_builder.plan("strcpy"))
+        );
+        let overrides = crate::overrides::semi_auto_overrides();
+        let via_old = RobustnessWrapper::with_overrides(
+            decls.clone(),
+            &overrides,
+            WrapperConfig::semi_auto(),
+        );
+        let via_builder = WrapperBuilder::new()
+            .decls(decls)
+            .overrides(&overrides)
+            .config(WrapperConfig::semi_auto())
+            .build();
+        assert_eq!(
+            format!("{:?}", via_old.plan("closedir")),
+            format!("{:?}", via_builder.plan("closedir"))
+        );
     }
 
     #[test]

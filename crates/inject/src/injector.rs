@@ -2,7 +2,7 @@
 
 use healers_ctypes::FunctionPrototype;
 use healers_libc::{Libc, World};
-use healers_simproc::{run_in_child, FaultSite, SimValue};
+use healers_simproc::{run_in_child, CowStats, FaultSite, SimValue, WorldSnapshot};
 use healers_typesys::{robust_type, Observation, RobustType, SelectionCriterion, TypeExpr};
 
 use crate::case::{classify_child_result, CallRecord};
@@ -54,6 +54,10 @@ pub struct InjectionReport {
     /// Total fuel consumed across all sandboxed calls (hang-detection
     /// budget units; see [`INJECTION_FUEL`]).
     pub fuel_used: u64,
+    /// Copy-on-write containment cost summed over all sandboxed calls:
+    /// one snapshot per call, pages shared at each split, private pages
+    /// the calls dirtied (equal to the pages discarded on rollback).
+    pub cow: CowStats,
 }
 
 /// A fault injector specialized to one library function.
@@ -114,6 +118,7 @@ impl<'l> FaultInjector<'l> {
         let mut adaptive_retries = 0usize;
 
         let mut fuel_used = 0u64;
+        let mut cow = CowStats::default();
         let mut invoke = |world: &World, args: &[SimValue]| {
             calls += 1;
             let (result, child) = run_in_child(world, |w: &mut World| {
@@ -125,11 +130,12 @@ impl<'l> FaultInjector<'l> {
             let (outcome, returned, errno) = classify_child_result(&result, &child);
             let fault_addr = result.fault().and_then(|f| f.segv_addr());
             // Provenance must be resolved against the *child* image —
-            // the faulting page run and heap block exist in the clone
+            // the faulting page run and heap block exist in the snapshot
             // the call mutated, not in the pristine parent.
             let provenance = result
                 .fault()
                 .and_then(|f| FaultSite::resolve(f, &child.proc));
+            cow.absorb(&child.cow_stats().delta_since(&world.cow_stats()));
             (outcome, returned, errno, fault_addr, provenance)
         };
 
@@ -232,6 +238,7 @@ impl<'l> FaultInjector<'l> {
             calls,
             adaptive_retries,
             fuel_used,
+            cow,
         }
     }
 
@@ -442,5 +449,16 @@ mod tests {
         assert!(r.safe);
         assert_eq!(r.calls, 1);
         assert!(r.args.is_empty());
+    }
+
+    #[test]
+    fn every_injected_call_is_contained_by_one_snapshot() {
+        let r = report("asctime");
+        assert_eq!(r.cow.snapshots, r.calls as u64);
+        assert!(r.cow.pages_shared > 0);
+        assert!(
+            r.cow.pages_copied > 0,
+            "asctime writes its static buffer, so pages must fault in"
+        );
     }
 }

@@ -11,7 +11,7 @@
 //! behind the per-argument computation actually holds for the function.
 
 use healers_libc::{Libc, World};
-use healers_simproc::{run_in_child, SimValue};
+use healers_simproc::{run_in_child, CowStats, SimValue, WorldSnapshot};
 use healers_typesys::vector::{robust_vector, VectorObservation};
 use healers_typesys::{RobustType, SelectionCriterion, TypeExpr};
 
@@ -37,6 +37,8 @@ pub struct VectorReport {
     /// argument's generator ("at most one generator will own it" —
     /// zero for well-behaved generators, conservative otherwise).
     pub unattributed_failures: usize,
+    /// Copy-on-write containment cost summed over all sandboxed calls.
+    pub cow: CowStats,
 }
 
 /// Attribute a faulting address to one argument: first ask the
@@ -102,6 +104,7 @@ pub fn run_vector_campaign(libc: &Libc, name: &str, cap: usize) -> VectorReport 
 
     let mut observations = Vec::new();
     let mut calls = 0usize;
+    let mut cow = CowStats::default();
     let mut unattributed = 0usize;
     let mut index = 0usize;
     while index < total {
@@ -136,6 +139,7 @@ pub fn run_vector_campaign(libc: &Libc, name: &str, cap: usize) -> VectorReport 
                 func.invoke(w, &args)
             });
             calls += 1;
+            cow.absorb(&child.cow_stats().delta_since(&world.cow_stats()));
             let (outcome, _, _) = classify_child_result(&result, &child);
             let fault_addr = result.fault().and_then(|f| f.segv_addr());
             if outcome.is_failure() && retries < crate::injector::MAX_RETRIES_PER_CASE {
@@ -196,6 +200,7 @@ pub fn run_vector_campaign(libc: &Libc, name: &str, cap: usize) -> VectorReport 
         observations,
         calls,
         unattributed_failures: unattributed,
+        cow,
     }
 }
 

@@ -4,13 +4,16 @@
 use std::collections::BTreeMap;
 
 use healers_os::Kernel;
-use healers_simproc::{Addr, SimFault, SimProcess, SimValue};
+use healers_simproc::{Addr, CowStats, SimFault, SimProcess, SimValue, WorldSnapshot};
 
 use crate::file;
 
 /// The complete state a simulated program runs against. Cloning a `World`
 /// snapshots everything — process memory, heap metadata, kernel state —
-/// which is how calls are sandboxed for fault containment.
+/// which is how calls are sandboxed for fault containment. The copy is
+/// copy-on-write throughout ([`WorldSnapshot`]): page frames, the page
+/// table, the heap block table, and filesystem contents are all
+/// reference-shared until one image writes.
 #[derive(Debug, Clone)]
 pub struct World {
     /// The process image (memory, heap, errno, fuel).
@@ -126,6 +129,25 @@ impl World {
 impl Default for World {
     fn default() -> Self {
         World::new()
+    }
+}
+
+impl WorldSnapshot for World {
+    fn snapshot(&self) -> Self {
+        let mut child = self.clone();
+        child.proc = self.proc.snapshot();
+        child
+    }
+
+    fn deep_clone(&self) -> Self {
+        let mut child = self.clone();
+        child.proc = self.proc.deep_clone();
+        child.kernel = self.kernel.deep_clone();
+        child
+    }
+
+    fn cow_stats(&self) -> CowStats {
+        self.proc.cow_stats()
     }
 }
 

@@ -1,6 +1,12 @@
 //! An inode-based in-memory filesystem.
+//!
+//! The inode table and every file's contents are `Arc`-shared, so
+//! cloning a [`Vfs`] (world snapshots for fault containment) is O(1);
+//! mutations unshare lazily via [`Arc::make_mut`] — the table on the
+//! first namespace change, each file's bytes on the first write to it.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::errno::{self, Errno};
 
@@ -19,7 +25,9 @@ pub enum NodeKind {
 
 #[derive(Debug, Clone)]
 enum NodeBody {
-    File { data: Vec<u8> },
+    // File contents are a shared frame: snapshots alias the bytes and a
+    // write faults in a private copy of that file only.
+    File { data: Arc<Vec<u8>> },
     Directory { entries: BTreeMap<String, NodeId> },
 }
 
@@ -55,9 +63,11 @@ pub const S_IFDIR: u32 = 0o040000;
 pub const S_IFCHR: u32 = 0o020000;
 
 /// An inode-based in-memory filesystem with a working directory.
+///
+/// `Clone` is O(1): the inode table is `Arc`-shared and copy-on-write.
 #[derive(Debug, Clone)]
 pub struct Vfs {
-    nodes: BTreeMap<u32, Node>,
+    nodes: Arc<BTreeMap<u32, Node>>,
     next_ino: u32,
     root: NodeId,
     cwd: NodeId,
@@ -84,10 +94,32 @@ impl Vfs {
             },
         );
         Vfs {
-            nodes,
+            nodes: Arc::new(nodes),
             next_ino: 2,
             root: NodeId(1),
             cwd: NodeId(1),
+        }
+    }
+
+    /// A copy sharing no storage with `self` — the reference deep-copy
+    /// path for world snapshots (plain `clone()` is copy-on-write).
+    pub fn deep_clone(&self) -> Vfs {
+        let nodes: BTreeMap<u32, Node> = self
+            .nodes
+            .iter()
+            .map(|(&ino, node)| {
+                let mut node = node.clone();
+                if let NodeBody::File { data } = &mut node.body {
+                    *data = Arc::new((**data).clone());
+                }
+                (ino, node)
+            })
+            .collect();
+        Vfs {
+            nodes: Arc::new(nodes),
+            next_ino: self.next_ino,
+            root: self.root,
+            cwd: self.cwd,
         }
     }
 
@@ -106,7 +138,9 @@ impl Vfs {
     }
 
     fn node_mut(&mut self, id: NodeId) -> &mut Node {
-        self.nodes.get_mut(&id.0).expect("dangling NodeId")
+        Arc::make_mut(&mut self.nodes)
+            .get_mut(&id.0)
+            .expect("dangling NodeId")
     }
 
     /// The kind of a node.
@@ -159,7 +193,7 @@ impl Vfs {
     }
 
     fn parent_of(&self, child: NodeId) -> Option<NodeId> {
-        for (ino, node) in &self.nodes {
+        for (ino, node) in self.nodes.iter() {
             if let NodeBody::Directory { entries } = &node.body {
                 if entries.values().any(|&v| v == child) {
                     return Some(NodeId(*ino));
@@ -200,7 +234,7 @@ impl Vfs {
         if let Ok(existing) = self.resolve(path) {
             return match &mut self.node_mut(existing).body {
                 NodeBody::File { data } => {
-                    data.clear();
+                    Arc::make_mut(data).clear();
                     Ok(existing)
                 }
                 NodeBody::Directory { .. } => Err(errno::EISDIR),
@@ -212,10 +246,12 @@ impl Vfs {
         }
         let ino = self.next_ino;
         self.next_ino += 1;
-        self.nodes.insert(
+        Arc::make_mut(&mut self.nodes).insert(
             ino,
             Node {
-                body: NodeBody::File { data: Vec::new() },
+                body: NodeBody::File {
+                    data: Arc::new(Vec::new()),
+                },
                 mode: S_IFREG | (mode & 0o777),
                 nlink: 1,
                 mtime: now,
@@ -240,7 +276,7 @@ impl Vfs {
         let (parent, name) = self.resolve_parent(path)?;
         let ino = self.next_ino;
         self.next_ino += 1;
-        self.nodes.insert(
+        Arc::make_mut(&mut self.nodes).insert(
             ino,
             Node {
                 body: NodeBody::Directory {
@@ -272,7 +308,7 @@ impl Vfs {
         if let NodeBody::Directory { entries } = &mut self.node_mut(parent).body {
             entries.remove(&name);
         }
-        self.nodes.remove(&id.0);
+        Arc::make_mut(&mut self.nodes).remove(&id.0);
         Ok(())
     }
 
@@ -295,7 +331,7 @@ impl Vfs {
         if let NodeBody::Directory { entries } = &mut self.node_mut(parent).body {
             entries.remove(&name);
         }
-        self.nodes.remove(&id.0);
+        Arc::make_mut(&mut self.nodes).remove(&id.0);
         Ok(())
     }
 
@@ -380,6 +416,7 @@ impl Vfs {
     ) -> Result<u32, Errno> {
         match &mut self.node_mut(id).body {
             NodeBody::File { data } => {
+                let data = Arc::make_mut(data);
                 let end = offset as usize + bytes.len();
                 if data.len() < end {
                     data.resize(end, 0);
@@ -400,7 +437,7 @@ impl Vfs {
     pub fn truncate(&mut self, id: NodeId, len: u32) -> Result<(), Errno> {
         match &mut self.node_mut(id).body {
             NodeBody::File { data } => {
-                data.resize(len as usize, 0);
+                Arc::make_mut(data).resize(len as usize, 0);
                 Ok(())
             }
             NodeBody::Directory { .. } => Err(errno::EISDIR),

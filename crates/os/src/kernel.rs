@@ -155,6 +155,16 @@ impl Kernel {
         k
     }
 
+    /// A copy sharing no storage with `self` — the reference deep-copy
+    /// path for world snapshots. Plain `clone()` shares the filesystem
+    /// copy-on-write; the descriptor table, terminals, and pipes are
+    /// small and always copied eagerly.
+    pub fn deep_clone(&self) -> Kernel {
+        let mut k = self.clone();
+        k.vfs = self.vfs.deep_clone();
+        k
+    }
+
     /// The simulated wall clock (seconds).
     pub fn now(&self) -> i64 {
         self.clock

@@ -20,6 +20,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::mem::{AddressSpace, Protection, PAGE_SIZE};
 use crate::Addr;
@@ -80,6 +81,10 @@ impl fmt::Display for HeapError {
 impl std::error::Error for HeapError {}
 
 /// The heap allocator.
+///
+/// `Clone` is cheap: the block table is `Arc`-shared (copy-on-write via
+/// [`Arc::make_mut`]) and every other field is a few words, so a world
+/// snapshot shares the table until the child allocates or frees.
 #[derive(Debug, Clone)]
 pub struct Heap {
     base: Addr,
@@ -89,7 +94,7 @@ pub struct Heap {
     /// Cursor inside the current packed page range.
     packed_cursor: Option<(Addr, u32)>, // (region start, bytes used)
     mode: HeapMode,
-    blocks: BTreeMap<Addr, HeapBlock>,
+    blocks: Arc<BTreeMap<Addr, HeapBlock>>,
     /// Total bytes handed out and not yet freed.
     live_bytes: u64,
 }
@@ -112,9 +117,17 @@ impl Heap {
             next_page: base,
             packed_cursor: None,
             mode,
-            blocks: BTreeMap::new(),
+            blocks: Arc::new(BTreeMap::new()),
             live_bytes: 0,
         }
+    }
+
+    /// A copy sharing no block-table storage with `self` (the reference
+    /// deep-copy containment path; plain `clone()` is copy-on-write).
+    pub fn deep_clone(&self) -> Heap {
+        let mut h = self.clone();
+        h.blocks = Arc::new((*self.blocks).clone());
+        h
     }
 
     /// The placement mode.
@@ -169,7 +182,7 @@ impl Heap {
                 }
             }
         };
-        self.blocks.insert(
+        Arc::make_mut(&mut self.blocks).insert(
             addr,
             HeapBlock {
                 base: addr,
@@ -246,13 +259,15 @@ impl Heap {
     /// (the simulated `free`) convert these into aborts, like glibc's
     /// consistency checks.
     pub fn free(&mut self, mem: &mut AddressSpace, addr: Addr) -> Result<(), HeapError> {
+        // Check before unsharing so a failed free never clones the table.
         let block = self
             .blocks
-            .get_mut(&addr)
+            .get(&addr)
             .ok_or(HeapError::InvalidPointer { addr })?;
         if block.free {
             return Err(HeapError::DoubleFree { addr });
         }
+        let block = Arc::make_mut(&mut self.blocks).get_mut(&addr).unwrap();
         block.free = true;
         let size = block.size;
         self.live_bytes -= u64::from(size);

@@ -19,9 +19,11 @@
 //!   block was overrun, whether a guard page caught it),
 //! * [`SimProcess`] — address space + heap + `errno` + a fuel budget that
 //!   deterministically models the paper's hang timeout,
-//! * [`run_in_child`] — fault containment: a call executes against a clone
-//!   of the process image, so a crashing call can never corrupt the
-//!   caller's state, exactly like the paper's child processes.
+//! * [`run_in_child`] — fault containment: a call executes against a
+//!   copy-on-write snapshot of the process image ([`WorldSnapshot`]), so
+//!   a crashing call can never corrupt the caller's state, exactly like
+//!   the paper's `fork()`ed child processes — and at the same
+//!   share-until-written price.
 //!
 //! # Examples
 //!
@@ -46,10 +48,12 @@ pub mod sandbox;
 pub mod value;
 
 pub use heap::{Heap, HeapBlock, HeapError, HeapMode};
-pub use mem::{AccessKind, AddressSpace, PageRun, Protection, SimFault, PAGE_SIZE};
+pub use mem::{AccessKind, AddressSpace, CowStats, PageRun, Protection, SimFault, PAGE_SIZE};
 pub use proc::{SimProcess, HEAP_BASE, INVALID_PTR, STACK_BASE, STACK_SIZE, STATIC_BASE};
 pub use provenance::FaultSite;
-pub use sandbox::{run_in_child, ChildResult};
+pub use sandbox::{
+    rollback, run_in_child, run_in_child_with, ChildResult, Containment, WorldSnapshot,
+};
 pub use value::SimValue;
 
 /// A simulated 32-bit address.

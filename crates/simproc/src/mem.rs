@@ -1,7 +1,14 @@
 //! Sparse paged address space with per-page protection.
+//!
+//! Page frames are copy-on-write: [`AddressSpace::snapshot`] is O(1) (it
+//! bumps reference counts on a persistent page table), writes fault
+//! private page copies in on demand, and discarding a snapshot costs
+//! O(dirty pages) — the same economics as the `fork()` the paper's fault
+//! injectors rely on for cheap containment.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use crate::Addr;
 
@@ -110,17 +117,28 @@ impl fmt::Display for SimFault {
 
 impl std::error::Error for SimFault {}
 
+/// The all-zero page frame shared by every fresh mapping, like the
+/// kernel's shared zero page: `map` never allocates or memsets a frame,
+/// and the first write to such a page faults in a private copy.
+fn zero_frame() -> Arc<[u8; PAGE_SIZE as usize]> {
+    static ZERO: OnceLock<Arc<[u8; PAGE_SIZE as usize]>> = OnceLock::new();
+    ZERO.get_or_init(|| Arc::new([0u8; PAGE_SIZE as usize]))
+        .clone()
+}
+
 #[derive(Clone)]
 struct Page {
+    // Protection lives beside the frame (not inside it) so `protect`
+    // never copies page contents.
     prot: Protection,
-    data: Box<[u8; PAGE_SIZE as usize]>,
+    data: Arc<[u8; PAGE_SIZE as usize]>,
 }
 
 impl Page {
     fn new(prot: Protection) -> Self {
         Page {
             prot,
-            data: Box::new([0u8; PAGE_SIZE as usize]),
+            data: zero_frame(),
         }
     }
 }
@@ -128,6 +146,54 @@ impl Page {
 impl fmt::Debug for Page {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Page {{ prot: {:?} }}", self.prot)
+    }
+}
+
+/// Copy-on-write activity counters, carried by every [`AddressSpace`].
+///
+/// Counters only ever grow, and a snapshot inherits its parent's values,
+/// so the work attributable to one snapshot's lifetime is the child
+/// counter minus the parent counter at snapshot time
+/// ([`CowStats::delta_since`]). All counts are deterministic for a given
+/// operation sequence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CowStats {
+    /// Snapshots taken via [`AddressSpace::snapshot`].
+    pub snapshots: u64,
+    /// Pages shared (reference-counted, not copied) across all snapshots.
+    pub pages_shared: u64,
+    /// Private page frames faulted in by writes to shared frames —
+    /// including first writes to the shared zero frame.
+    pub pages_copied: u64,
+    /// Page-table structure unsharings (one per diverging mapping
+    /// operation after a snapshot; entries are pointer-sized).
+    pub table_clones: u64,
+}
+
+impl CowStats {
+    /// The activity since `base` was captured (field-wise saturating
+    /// subtraction; a child's counters never trail its parent's).
+    pub fn delta_since(&self, base: &CowStats) -> CowStats {
+        CowStats {
+            snapshots: self.snapshots.saturating_sub(base.snapshots),
+            pages_shared: self.pages_shared.saturating_sub(base.pages_shared),
+            pages_copied: self.pages_copied.saturating_sub(base.pages_copied),
+            table_clones: self.table_clones.saturating_sub(base.table_clones),
+        }
+    }
+
+    /// Accumulate another delta into this one.
+    pub fn absorb(&mut self, other: &CowStats) {
+        let CowStats {
+            snapshots,
+            pages_shared,
+            pages_copied,
+            table_clones,
+        } = other;
+        self.snapshots += snapshots;
+        self.pages_shared += pages_shared;
+        self.pages_copied += pages_copied;
+        self.table_clones += table_clones;
     }
 }
 
@@ -182,13 +248,20 @@ impl fmt::Display for PageRun {
     }
 }
 
-/// A sparse, paged 32-bit address space.
+/// A sparse, paged 32-bit address space with copy-on-write snapshots.
 ///
 /// Page 0 is never mapped, so null-pointer dereferences fault exactly as on
 /// a real Unix machine.
+///
+/// `Clone` is O(1): the page table and every frame are `Arc`-shared, and
+/// mutation unshares lazily ([`Arc::make_mut`]) — the table structure on
+/// the first mapping change, each 4 KiB frame on the first write to it.
+/// Use [`AddressSpace::snapshot`] rather than `clone()` when the copy
+/// models fault containment, so the [`CowStats`] telemetry records it.
 #[derive(Debug, Clone, Default)]
 pub struct AddressSpace {
-    pages: BTreeMap<u32, Page>,
+    pages: Arc<BTreeMap<u32, Page>>,
+    cow: CowStats,
 }
 
 fn page_of(addr: Addr) -> u32 {
@@ -199,6 +272,55 @@ impl AddressSpace {
     /// An empty address space.
     pub fn new() -> Self {
         AddressSpace::default()
+    }
+
+    /// An O(1) copy-on-write snapshot: both images share every page frame
+    /// and the page table itself until one of them writes or remaps.
+    /// The snapshot inherits the parent's [`CowStats`] plus a record of
+    /// its own creation, so the total cost of its divergence is
+    /// `child.cow_stats().delta_since(&parent.cow_stats())`.
+    pub fn snapshot(&self) -> AddressSpace {
+        let mut child = self.clone();
+        child.cow.snapshots += 1;
+        child.cow.pages_shared += self.pages.len() as u64;
+        child
+    }
+
+    /// A full deep copy sharing no frames with `self` — the pre-CoW
+    /// containment behaviour, kept as the reference implementation for
+    /// differential tests and benchmarks.
+    pub fn deep_clone(&self) -> AddressSpace {
+        let pages: BTreeMap<u32, Page> = self
+            .pages
+            .iter()
+            .map(|(&n, page)| {
+                (
+                    n,
+                    Page {
+                        prot: page.prot,
+                        data: Arc::new(*page.data),
+                    },
+                )
+            })
+            .collect();
+        AddressSpace {
+            pages: Arc::new(pages),
+            cow: self.cow,
+        }
+    }
+
+    /// The copy-on-write activity counters accumulated so far.
+    pub fn cow_stats(&self) -> CowStats {
+        self.cow
+    }
+
+    /// The page table, unshared for mutation (counted as a table clone
+    /// when a structure copy actually happens).
+    fn pages_mut(&mut self) -> &mut BTreeMap<u32, Page> {
+        if Arc::strong_count(&self.pages) > 1 {
+            self.cow.table_clones += 1;
+        }
+        Arc::make_mut(&mut self.pages)
     }
 
     /// Map `len` bytes starting at `addr` (rounded out to page boundaries)
@@ -217,8 +339,9 @@ impl AddressSpace {
                 .expect("mapping wraps address space"),
         );
         assert!(first > 0, "cannot map the null page");
+        let pages = self.pages_mut();
         for p in first..=last {
-            self.pages.insert(p, Page::new(prot));
+            pages.insert(p, Page::new(prot));
         }
     }
 
@@ -229,21 +352,24 @@ impl AddressSpace {
         }
         let first = page_of(addr);
         let last = page_of(addr + (len - 1));
+        let pages = self.pages_mut();
         for p in first..=last {
-            self.pages.remove(&p);
+            pages.remove(&p);
         }
     }
 
     /// Change the protection of all pages overlapping `[addr, addr+len)`.
-    /// Pages that are not mapped are ignored.
+    /// Pages that are not mapped are ignored. Protection lives in the
+    /// page-table entry, not the frame, so this never copies page data.
     pub fn protect(&mut self, addr: Addr, len: u32, prot: Protection) {
         if len == 0 {
             return;
         }
         let first = page_of(addr);
         let last = page_of(addr + (len - 1));
+        let pages = self.pages_mut();
         for p in first..=last {
-            if let Some(page) = self.pages.get_mut(&p) {
+            if let Some(page) = pages.get_mut(&p) {
                 page.prot = prot;
             }
         }
@@ -438,15 +564,28 @@ impl AddressSpace {
         Ok(page.data[(addr % PAGE_SIZE) as usize])
     }
 
-    /// Write one byte.
+    /// Write one byte. Writing a frame shared with a snapshot (or the
+    /// zero frame) first faults in a private 4 KiB copy.
     ///
     /// # Errors
     ///
     /// Faults with [`SimFault::Segv`] if the byte is not writable.
     pub fn write_u8(&mut self, addr: Addr, value: u8) -> Result<(), SimFault> {
         self.check(addr, AccessKind::Write)?;
-        let page = self.pages.get_mut(&page_of(addr)).unwrap();
-        page.data[(addr % PAGE_SIZE) as usize] = value;
+        let table_shared = Arc::strong_count(&self.pages) > 1;
+        let frame_copied = {
+            let pages = Arc::make_mut(&mut self.pages);
+            let page = pages.get_mut(&page_of(addr)).unwrap();
+            let shared = Arc::strong_count(&page.data) > 1;
+            Arc::make_mut(&mut page.data)[(addr % PAGE_SIZE) as usize] = value;
+            shared
+        };
+        if table_shared {
+            self.cow.table_clones += 1;
+        }
+        if frame_copied {
+            self.cow.pages_copied += 1;
+        }
         Ok(())
     }
 
@@ -832,6 +971,122 @@ mod tests {
         m.map(0x7000, 2 * 4096, Protection::None);
         let run = m.page_run(0x7004);
         assert_eq!(run.to_string(), "inaccessible run 0x00007000+2p");
+    }
+
+    #[test]
+    fn snapshot_shares_frames_until_written() {
+        let mut m = AddressSpace::new();
+        m.map(0x1000, 4 * 4096, Protection::ReadWrite);
+        m.write_u32(0x1000, 0xdeadbeef).unwrap();
+        let base = m.cow_stats();
+
+        let mut child = m.snapshot();
+        let at_split = child.cow_stats().delta_since(&base);
+        assert_eq!(at_split.snapshots, 1);
+        assert_eq!(at_split.pages_shared, 4);
+        assert_eq!(at_split.pages_copied, 0);
+
+        // Child reads see parent data without any copying.
+        assert_eq!(child.read_u32(0x1000).unwrap(), 0xdeadbeef);
+        assert_eq!(child.cow_stats().delta_since(&base).pages_copied, 0);
+
+        // First write to a shared frame faults in exactly one private
+        // copy; further writes to the same page are free.
+        child.write_u32(0x1000, 0xcafe).unwrap();
+        child.write_u32(0x1100, 0x1234).unwrap();
+        let after = child.cow_stats().delta_since(&base);
+        assert_eq!(after.pages_copied, 1);
+        assert_eq!(after.table_clones, 1);
+
+        // Divergence is invisible to the parent, and vice versa.
+        assert_eq!(m.read_u32(0x1000).unwrap(), 0xdeadbeef);
+        m.write_u32(0x2000, 7).unwrap();
+        assert!(child.read_u32(0x2000).unwrap() != 7 || child.read_u32(0x2000).unwrap() == 0);
+        assert_eq!(child.read_u32(0x2000).unwrap(), 0);
+    }
+
+    #[test]
+    fn protect_and_unmap_never_copy_frames() {
+        let mut m = AddressSpace::new();
+        m.map(0x1000, 4 * 4096, Protection::ReadWrite);
+        let base = m.cow_stats();
+        let mut child = m.snapshot();
+        child.protect(0x1000, 4096, Protection::ReadOnly);
+        child.unmap(0x2000, 4096);
+        child.map(0x9000, 4096, Protection::ReadWrite);
+        let delta = child.cow_stats().delta_since(&base);
+        assert_eq!(delta.pages_copied, 0, "mapping ops must not copy data");
+        assert!(delta.table_clones >= 1);
+        // Parent mappings are untouched.
+        assert!(m.probe_write(0x1000));
+        assert!(m.probe_read(0x2000));
+        assert!(!m.is_mapped(0x9000));
+    }
+
+    #[test]
+    fn fresh_pages_share_the_zero_frame() {
+        let mut m = AddressSpace::new();
+        m.map(0x1000, 16 * 4096, Protection::ReadWrite);
+        // Mapping allocated no frames; the first write to each page
+        // faults in a private copy of the shared zero frame.
+        let base = m.cow_stats();
+        m.write_u8(0x1000, 1).unwrap();
+        m.write_u8(0x2000, 2).unwrap();
+        m.write_u8(0x2001, 3).unwrap();
+        assert_eq!(m.cow_stats().delta_since(&base).pages_copied, 2);
+    }
+
+    #[test]
+    fn deep_clone_shares_nothing() {
+        let mut m = AddressSpace::new();
+        m.map(0x1000, 4096, Protection::ReadWrite);
+        m.write_u8(0x1000, 0xaa).unwrap();
+        let base = m.cow_stats();
+        let mut copy = m.deep_clone();
+        // Writes to the copy are private and cost no CoW page faults —
+        // everything was already copied up front.
+        copy.write_u8(0x1000, 0xbb).unwrap();
+        assert_eq!(copy.cow_stats().delta_since(&base).pages_copied, 0);
+        assert_eq!(m.read_u8(0x1000).unwrap(), 0xaa);
+        assert_eq!(copy.read_u8(0x1000).unwrap(), 0xbb);
+    }
+
+    #[test]
+    fn snapshot_of_snapshot_composes() {
+        let mut gen0 = AddressSpace::new();
+        gen0.map(0x1000, 4096, Protection::ReadWrite);
+        gen0.write_u8(0x1000, 1).unwrap();
+        let gen1 = gen0.snapshot();
+        let mut gen2 = gen1.snapshot();
+        gen2.write_u8(0x1000, 3).unwrap();
+        assert_eq!(gen0.read_u8(0x1000).unwrap(), 1);
+        assert_eq!(gen1.read_u8(0x1000).unwrap(), 1);
+        assert_eq!(gen2.read_u8(0x1000).unwrap(), 3);
+        let delta = gen2.cow_stats().delta_since(&gen0.cow_stats());
+        assert_eq!(delta.snapshots, 2);
+    }
+
+    #[test]
+    fn cow_stats_absorb_is_exhaustive() {
+        let mut total = CowStats::default();
+        let delta = CowStats {
+            snapshots: 1,
+            pages_shared: 2,
+            pages_copied: 3,
+            table_clones: 4,
+        };
+        total.absorb(&delta);
+        total.absorb(&delta);
+        assert_eq!(
+            total,
+            CowStats {
+                snapshots: 2,
+                pages_shared: 4,
+                pages_copied: 6,
+                table_clones: 8,
+            }
+        );
+        assert_eq!(delta.delta_since(&delta), CowStats::default());
     }
 
     #[test]

@@ -33,8 +33,10 @@ pub const DEFAULT_FUEL: u64 = 2_000_000;
 
 /// A simulated process image.
 ///
-/// Cloning a `SimProcess` clones the entire image — this is how the fault
-/// injector "spawns a child process" for each test case (§4.1).
+/// Cloning a `SimProcess` is copy-on-write: the page table, page frames,
+/// and heap block table are reference-shared until written. This is how
+/// the fault injector "spawns a child process" for each test case (§4.1)
+/// — at `fork()`'s share-until-written price, not a full copy.
 #[derive(Debug, Clone)]
 pub struct SimProcess {
     /// The paged address space.

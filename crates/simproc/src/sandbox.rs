@@ -1,14 +1,24 @@
-//! Fault containment: run a call against a cloned process image.
+//! Fault containment: run a call against a snapshot of the process image.
 //!
 //! The paper's fault injector "spawns a child process … the child sets a
 //! signal handler for segmentation faults and then calls the function"
 //! (§4.1), because some faults cannot be intercepted in-process and a
 //! crashing call must never corrupt the injector. The simulation gets the
-//! same guarantee by cloning the world before the call: whatever the call
-//! does — partial writes, allocator corruption, a fault — happens to the
-//! clone only.
+//! same guarantee by snapshotting the world before the call: whatever the
+//! call does — partial writes, allocator corruption, a fault — happens to
+//! the snapshot only.
+//!
+//! Real HEALERS paid `fork()`'s copy-on-write price rather than a full
+//! copy; so does this module. [`WorldSnapshot::snapshot`] is O(1) —
+//! page frames and tables are reference-shared and private copies fault
+//! in on first write — and discarding the child ("restore") costs only
+//! the dirty pages it actually touched. The pre-CoW behaviour survives
+//! as [`Containment::DeepClone`] / [`WorldSnapshot::deep_clone`], kept
+//! as the reference implementation for differential tests and the
+//! snapshot benchmark baseline.
 
-use crate::mem::SimFault;
+use crate::mem::{CowStats, SimFault};
+use crate::proc::SimProcess;
 use crate::value::SimValue;
 
 /// The raw result of a sandboxed call, before robustness classification.
@@ -38,20 +48,95 @@ impl ChildResult {
     }
 }
 
-/// Run `call` against a clone of `world`, returning the outcome together
-/// with the child image (so the caller can inspect `errno`, output
-/// buffers, or the fault site). The parent `world` is untouched.
+/// A world that supports cheap copy-on-write snapshots for fault
+/// containment, alongside the reference deep-copy path.
+///
+/// Implemented by [`SimProcess`] and by `healers-libc`'s `World`; any
+/// wrapper type that contains one of those can forward to it.
+pub trait WorldSnapshot: Clone {
+    /// An O(1) copy-on-write snapshot of the world. Writes to either
+    /// image after the split fault in private page copies; neither image
+    /// can observe the other's mutations.
+    fn snapshot(&self) -> Self;
+
+    /// A full deep copy sharing no storage with `self` — the pre-CoW
+    /// containment behaviour, kept for differential testing and as the
+    /// benchmark baseline.
+    fn deep_clone(&self) -> Self;
+
+    /// The cumulative copy-on-write counters of this image. A child's
+    /// divergence cost is `child.cow_stats().delta_since(&parent.cow_stats())`.
+    fn cow_stats(&self) -> CowStats;
+}
+
+impl WorldSnapshot for SimProcess {
+    fn snapshot(&self) -> Self {
+        let mut child = self.clone();
+        child.mem = self.mem.snapshot();
+        child
+    }
+
+    fn deep_clone(&self) -> Self {
+        let mut child = self.clone();
+        child.mem = self.mem.deep_clone();
+        child.heap = self.heap.deep_clone();
+        child
+    }
+
+    fn cow_stats(&self) -> CowStats {
+        self.mem.cow_stats()
+    }
+}
+
+/// How [`run_in_child_with`] captures the parent image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Containment {
+    /// Copy-on-write snapshot: O(1) capture, O(dirty pages) divergence.
+    #[default]
+    Cow,
+    /// Full deep clone of the world per call — the pre-snapshot
+    /// behaviour, kept for differential testing and benchmarking.
+    DeepClone,
+}
+
+/// Run `call` against a copy-on-write snapshot of `world`, returning the
+/// outcome together with the child image (so the caller can inspect
+/// `errno`, output buffers, the fault site, or the CoW counters). The
+/// parent `world` is untouched: keeping it *is* the restore, and costs
+/// only the dirty pages the child faulted in.
 pub fn run_in_child<W, F>(world: &W, call: F) -> (ChildResult, W)
 where
-    W: Clone,
+    W: WorldSnapshot,
     F: FnOnce(&mut W) -> Result<SimValue, SimFault>,
 {
-    let mut child = world.clone();
+    run_in_child_with(world, Containment::Cow, call)
+}
+
+/// [`run_in_child`] with an explicit containment mechanism.
+pub fn run_in_child_with<W, F>(world: &W, containment: Containment, call: F) -> (ChildResult, W)
+where
+    W: WorldSnapshot,
+    F: FnOnce(&mut W) -> Result<SimValue, SimFault>,
+{
+    let mut child = match containment {
+        Containment::Cow => world.snapshot(),
+        Containment::DeepClone => world.deep_clone(),
+    };
     let result = match call(&mut child) {
         Ok(v) => ChildResult::Returned(v),
         Err(f) => ChildResult::Faulted(f),
     };
     (result, child)
+}
+
+/// Discard a child image, returning the copy-on-write activity that was
+/// attributable to it (snapshot taken, pages shared at the split, private
+/// pages faulted in, table unsharings). Dropping the child frees exactly
+/// its private copies — the O(dirty pages) restore.
+pub fn rollback<W: WorldSnapshot>(parent: &W, child: W) -> CowStats {
+    let delta = child.cow_stats().delta_since(&parent.cow_stats());
+    drop(child);
+    delta
 }
 
 #[cfg(test)]
@@ -79,6 +164,48 @@ mod tests {
         // Child saw the scribble; parent did not.
         assert_eq!(child.mem.read_u32(buf).unwrap(), 999);
         assert_eq!(parent.mem.read_u32(buf).unwrap(), 7);
+    }
+
+    #[test]
+    fn cow_and_deep_clone_containment_agree() {
+        let mut parent = SimProcess::new();
+        let buf = parent.heap_alloc(16).unwrap();
+        parent.mem.write_bytes(buf, b"0123456789abcdef").unwrap();
+
+        let run = |containment| {
+            let (result, child) = run_in_child_with(&parent, containment, |p: &mut SimProcess| {
+                p.mem.write_bytes(buf, b"XY")?;
+                p.mem.read_u8(0xdead_0000)?;
+                Ok(SimValue::Void)
+            });
+            (result, child.mem.read_bytes(buf, 16).unwrap())
+        };
+        let (cow_result, cow_bytes) = run(Containment::Cow);
+        let (deep_result, deep_bytes) = run(Containment::DeepClone);
+        assert_eq!(cow_result, deep_result);
+        assert_eq!(cow_bytes, deep_bytes);
+        // Parent untouched either way.
+        assert_eq!(parent.mem.read_bytes(buf, 16).unwrap(), b"0123456789abcdef");
+    }
+
+    #[test]
+    fn rollback_reports_dirty_page_cost() {
+        let mut parent = SimProcess::new();
+        let buf = parent.heap_alloc(4).unwrap();
+        parent.mem.write_u32(buf, 7).unwrap();
+
+        let (_, child) = run_in_child(&parent, |p: &mut SimProcess| {
+            p.mem.write_u32(buf, 999)?; // dirties exactly one page
+            Ok(SimValue::Void)
+        });
+        let cost = rollback(&parent, child);
+        assert_eq!(cost.snapshots, 1);
+        assert_eq!(cost.pages_copied, 1);
+        assert!(cost.pages_shared as usize >= parent.mem.mapped_pages());
+
+        // An untouched child rolls back with zero copied pages.
+        let (_, child) = run_in_child(&parent, |_| Ok(SimValue::Void));
+        assert_eq!(rollback(&parent, child).pages_copied, 0);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! 5. Demonstrate the wrapper catching a real violation.
 
 use healers::ballista::ballista_targets;
-use healers::core::{analyze, emit_wrapper_source, RobustnessWrapper, WrapperConfig};
+use healers::core::{analyze, emit_wrapper_source, WrapperBuilder, WrapperConfig};
 use healers::corpus::{generate::CorpusConfig, pipeline::recover_all};
 use healers::libc::{Libc, World};
 use healers::simproc::SimValue;
@@ -86,7 +86,10 @@ fn main() {
         unsafe_fns.len()
     );
 
-    let mut wrapper = RobustnessWrapper::new(decls, WrapperConfig::full_auto());
+    let mut wrapper = WrapperBuilder::new()
+        .decls(decls)
+        .config(WrapperConfig::full_auto())
+        .build();
     let mut world = World::new();
 
     // --- a taste of the protection ------------------------------------------------

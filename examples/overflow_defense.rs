@@ -13,7 +13,7 @@
 //! the `gets` interception.
 
 use healers::ballista::ballista_targets;
-use healers::core::{analyze, RobustnessWrapper, ViolationAction, WrapperConfig};
+use healers::core::{analyze, ViolationAction, WrapperBuilder, WrapperConfig};
 use healers::libc::{Libc, World};
 use healers::simproc::SimValue;
 
@@ -27,7 +27,10 @@ fn main() {
         log_violations: true,
         ..WrapperConfig::full_auto()
     };
-    let mut wrapper = RobustnessWrapper::new(decls.clone(), config);
+    let mut wrapper = WrapperBuilder::new()
+        .decls(decls.clone())
+        .config(config)
+        .build();
     let mut world = World::new();
 
     // --- heap smashing -------------------------------------------------------
@@ -93,13 +96,13 @@ fn main() {
     // --- debugging policy ----------------------------------------------------------
     // During development the wrapper can abort instead, pinpointing the
     // bad call site immediately.
-    let mut debug_wrapper = RobustnessWrapper::new(
-        decls,
-        WrapperConfig {
+    let mut debug_wrapper = WrapperBuilder::new()
+        .decls(decls)
+        .config(WrapperConfig {
             action: ViolationAction::Abort,
             ..WrapperConfig::full_auto()
-        },
-    );
+        })
+        .build();
     let aborted = debug_wrapper.call(&libc, &mut world, "strlen", &[SimValue::NULL]);
     println!("\ndebug-mode wrapper on strlen(NULL): {aborted:?}");
 }

@@ -10,7 +10,7 @@
 //! generated wrapper turns a guaranteed crash into a clean error
 //! return.
 
-use healers::core::{analyze, decls_to_xml, RobustnessWrapper, WrapperConfig};
+use healers::core::{analyze, decls_to_xml, WrapperBuilder, WrapperConfig};
 use healers::libc::{Libc, World};
 use healers::simproc::SimValue;
 
@@ -29,7 +29,10 @@ fn main() {
     // Phase 2: generate the robustness wrapper.
     println!("\n--- generated wrapper (Figure 5) ---");
     print!("{}", healers::core::emit::emit_function(&decls[0]).unwrap());
-    let mut wrapper = RobustnessWrapper::new(decls, WrapperConfig::full_auto());
+    let mut wrapper = WrapperBuilder::new()
+        .decls(decls)
+        .config(WrapperConfig::full_auto())
+        .build();
 
     // A world to run in.
     let mut world = World::new();

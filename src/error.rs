@@ -1,0 +1,143 @@
+//! The unified error type of the `healers` front end.
+//!
+//! Every subcommand returns `Result<(), Error>`; `main` turns the
+//! error into its user-facing report and process exit code in exactly
+//! one place. The variants encode the CLI's two failure classes:
+//!
+//! * **usage errors** (exit 2) — the invocation itself is malformed:
+//!   an unknown flag, a missing flag value, an unparseable `--mode`;
+//! * **runtime errors** (exit 1) — the invocation was well-formed but
+//!   the work failed: a function the library does not export, or an
+//!   I/O failure writing an artifact.
+
+use std::fmt;
+
+use healers_ballista::ParseModeError;
+
+/// Everything that can go wrong in the `healers` CLI.
+#[derive(Debug)]
+pub enum Error {
+    /// The invocation is malformed in a way best answered by the
+    /// usage listing (unknown subcommand, unknown flag, missing flag
+    /// value). Exit 2.
+    Usage,
+    /// A flag value failed to parse; the message names the flag and
+    /// value. Exit 2.
+    BadArgument(String),
+    /// A named function is not exported by the simulated library.
+    /// Exit 1.
+    NotExported {
+        /// The subcommand that rejected the name (for the `cmd: …`
+        /// message prefix).
+        command: &'static str,
+        /// The offending function name.
+        function: String,
+    },
+    /// An artifact could not be read or written. Exit 1.
+    Io {
+        /// What was being attempted, e.g. `cannot write figure6.xml`.
+        context: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// Any other runtime failure, already formatted. Exit 1.
+    Msg(String),
+}
+
+impl Error {
+    /// Shorthand for an [`Error::Io`] with a formatted context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        Error::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// The process exit code this error maps to: 2 for usage errors,
+    /// 1 for runtime failures — mirroring the original CLI behaviour.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            Error::Usage | Error::BadArgument(_) => 2,
+            Error::NotExported { .. } | Error::Io { .. } | Error::Msg(_) => 1,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Usage => write!(f, "invalid usage"),
+            Error::BadArgument(msg) => write!(f, "{msg}"),
+            Error::NotExported { command, function } => {
+                write!(f, "{command}: {function} is not exported by the library")
+            }
+            Error::Io { context, source } => write!(f, "{context}: {source}"),
+            Error::Msg(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseModeError> for Error {
+    fn from(e: ParseModeError) -> Self {
+        Error::BadArgument(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_split_usage_from_runtime_failures() {
+        assert_eq!(Error::Usage.exit_code(), 2);
+        assert_eq!(Error::BadArgument("bad".into()).exit_code(), 2);
+        assert_eq!(
+            Error::NotExported {
+                command: "analyze",
+                function: "nope".into()
+            }
+            .exit_code(),
+            1
+        );
+        assert_eq!(
+            Error::io(
+                "cannot write x",
+                std::io::Error::new(std::io::ErrorKind::Other, "disk")
+            )
+            .exit_code(),
+            1
+        );
+        assert_eq!(Error::Msg("boom".into()).exit_code(), 1);
+    }
+
+    #[test]
+    fn parse_mode_errors_become_usage_class_errors() {
+        let err: Error = "sideways"
+            .parse::<healers_ballista::Mode>()
+            .unwrap_err()
+            .into();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("sideways"));
+    }
+
+    #[test]
+    fn not_exported_messages_match_the_historic_cli_format() {
+        let err = Error::NotExported {
+            command: "report",
+            function: "frobnicate".into(),
+        };
+        assert_eq!(
+            err.to_string(),
+            "report: frobnicate is not exported by the library"
+        );
+    }
+}

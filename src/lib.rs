@@ -15,6 +15,11 @@
 //! * [`healers_campaign`] — parallel campaign orchestration, declaration cache, event journal
 //! * [`healers_trace`] — telemetry core: latency histograms, span collection, Chrome trace export
 
+pub mod error;
+pub mod prelude;
+
+pub use error::Error;
+
 pub use healers_ballista as ballista;
 pub use healers_campaign as campaign;
 pub use healers_core as core;

@@ -15,6 +15,12 @@
 //! healers tour <function>...                 show discovered robust argument types
 //! healers help                               this listing
 //! ```
+//!
+//! Every subcommand returns `Result<(), healers::Error>`; [`main`] is
+//! the single place errors become process exit codes (usage errors
+//! exit 2, runtime failures exit 1). Mode strings are parsed once,
+//! through [`Mode`]'s `FromStr` — the same tokens the bench binaries
+//! accept.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,6 +33,7 @@ use healers::corpus::{generate::CorpusConfig, pipeline::recover_all};
 use healers::inject::FaultInjector;
 use healers::libc::Libc;
 use healers::typesys::{robust_type_traced, SelectionCriterion};
+use healers::Error;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -47,6 +54,17 @@ fn usage() -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(Error::Usage) => usage(),
+        Err(err) => {
+            eprintln!("{err}");
+            ExitCode::from(err.exit_code())
+        }
+    }
+}
+
+fn run() -> Result<(), Error> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
     // Global flags precede the subcommand.
@@ -54,19 +72,18 @@ fn main() -> ExitCode {
     while args.first().is_some_and(|a| a.starts_with("--")) {
         match args[0].as_str() {
             "--seed" => {
-                let Some(value) = args.get(1).and_then(|v| v.parse().ok()) else {
-                    return usage();
-                };
+                let value = args
+                    .get(1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(Error::Usage)?;
                 seed = Some(value);
                 args.drain(..2);
             }
-            _ => return usage(),
+            _ => return Err(Error::Usage),
         }
     }
 
-    let Some(command) = args.first() else {
-        return usage();
-    };
+    let command = args.first().ok_or(Error::Usage)?;
     match command.as_str() {
         "analyze" => cmd_analyze(&args[1..]),
         "wrap" => cmd_wrap(&args[1..]),
@@ -76,36 +93,59 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(&args[1..]),
         "extract" => cmd_extract(),
         "tour" => cmd_tour(&args[1..]),
-        _ => usage(), // includes `help`: print the listing, exit 2
+        _ => Err(Error::Usage), // includes `help`: print the listing, exit 2
     }
 }
 
-fn cmd_analyze(functions: &[String]) -> ExitCode {
-    if functions.iter().any(|a| a.starts_with("--")) {
-        return usage();
+/// Parse a `--mode` token into the list of modes to run: `all`
+/// expands to every mode in Figure 6 order, anything else must be a
+/// single [`Mode`] token.
+fn parse_modes(command: &'static str, token: &str) -> Result<Vec<Mode>, Error> {
+    if token == "all" {
+        return Ok(Mode::ALL.to_vec());
     }
-    if functions.is_empty() {
-        eprintln!("analyze: name at least one function");
-        return ExitCode::from(2);
-    }
-    let libc = Libc::standard();
-    for f in functions {
+    token
+        .parse::<Mode>()
+        .map(|m| vec![m])
+        .map_err(|e| Error::BadArgument(format!("{command}: {e}")))
+}
+
+/// Reject any function name the library does not export, with the
+/// historic `cmd: name is not exported by the library` message.
+fn require_exported(command: &'static str, libc: &Libc, names: &[String]) -> Result<(), Error> {
+    for f in names {
         if libc.get(f).is_none() {
-            eprintln!("analyze: {f} is not exported by the library");
-            return ExitCode::FAILURE;
+            return Err(Error::NotExported {
+                command,
+                function: f.clone(),
+            });
         }
     }
+    Ok(())
+}
+
+fn cmd_analyze(functions: &[String]) -> Result<(), Error> {
+    if functions.iter().any(|a| a.starts_with("--")) {
+        return Err(Error::Usage);
+    }
+    if functions.is_empty() {
+        return Err(Error::BadArgument(
+            "analyze: name at least one function".into(),
+        ));
+    }
+    let libc = Libc::standard();
+    require_exported("analyze", &libc, functions)?;
     let names: Vec<&str> = functions.iter().map(|s| s.as_str()).collect();
     let decls = analyze(&libc, &names);
     print!("{}", decls_to_xml(&decls));
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn cmd_wrap(rest: &[String]) -> ExitCode {
+fn cmd_wrap(rest: &[String]) -> Result<(), Error> {
     let out = match rest {
         [] => None,
         [flag, path] if flag == "--out" => Some(path.clone()),
-        _ => return usage(),
+        _ => return Err(Error::Usage),
     };
     let libc = Libc::standard();
     eprintln!("analyzing {} functions…", ballista_targets().len());
@@ -115,14 +155,10 @@ fn cmd_wrap(rest: &[String]) -> ExitCode {
     match out {
         Some(path) => {
             let header_path = format!("{path}.checks.h");
-            if let Err(e) = std::fs::write(&path, &source) {
-                eprintln!("wrap: cannot write {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-            if let Err(e) = std::fs::write(&header_path, &header) {
-                eprintln!("wrap: cannot write {header_path}: {e}");
-                return ExitCode::FAILURE;
-            }
+            std::fs::write(&path, &source)
+                .map_err(|e| Error::io(format!("wrap: cannot write {path}"), e))?;
+            std::fs::write(&header_path, &header)
+                .map_err(|e| Error::io(format!("wrap: cannot write {header_path}"), e))?;
             eprintln!(
                 "wrote {} lines to {path} and {} lines to {header_path}",
                 source.lines().count(),
@@ -134,36 +170,23 @@ fn cmd_wrap(rest: &[String]) -> ExitCode {
             print!("{source}");
         }
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn cmd_ballista(rest: &[String], seed: Option<u64>) -> ExitCode {
+fn cmd_ballista(rest: &[String], seed: Option<u64>) -> Result<(), Error> {
     let mut mode = "all".to_string();
     let mut cap = 180usize;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--mode" => match it.next() {
-                Some(m) => mode = m.clone(),
-                None => return usage(),
-            },
-            "--cap" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(c) => cap = c,
-                None => return usage(),
-            },
-            _ => return usage(),
+            "--mode" => mode = it.next().ok_or(Error::Usage)?.clone(),
+            "--cap" => {
+                cap = it.next().and_then(|v| v.parse().ok()).ok_or(Error::Usage)?;
+            }
+            _ => return Err(Error::Usage),
         }
     }
-    let modes: Vec<Mode> = match mode.as_str() {
-        "unwrapped" => vec![Mode::Unwrapped],
-        "full" => vec![Mode::FullAuto],
-        "semi" => vec![Mode::SemiAuto],
-        "all" => vec![Mode::Unwrapped, Mode::FullAuto, Mode::SemiAuto],
-        other => {
-            eprintln!("ballista: unknown mode {other:?}");
-            return ExitCode::from(2);
-        }
-    };
+    let modes = parse_modes("ballista", &mode)?;
     let mut ballista = Ballista::new().with_cap(cap);
     if let Some(seed) = seed {
         ballista = ballista.with_seed(seed);
@@ -179,10 +202,10 @@ fn cmd_ballista(rest: &[String], seed: Option<u64>) -> ExitCode {
             println!("    still failing: {}", failing.join(", "));
         }
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn cmd_campaign(rest: &[String], seed: Option<u64>) -> ExitCode {
+fn cmd_campaign(rest: &[String], seed: Option<u64>) -> Result<(), Error> {
     let mut jobs = 1usize;
     let mut cache_dir: Option<PathBuf> = None;
     let mut journal_path: Option<PathBuf> = None;
@@ -196,46 +219,26 @@ fn cmd_campaign(rest: &[String], seed: Option<u64>) -> ExitCode {
         match arg.as_str() {
             "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(j) if j >= 1 => jobs = j,
-                _ => return usage(),
+                _ => return Err(Error::Usage),
             },
-            "--cache" => match it.next() {
-                Some(dir) => cache_dir = Some(PathBuf::from(dir)),
-                None => return usage(),
-            },
-            "--journal" => match it.next() {
-                Some(path) => journal_path = Some(PathBuf::from(path)),
-                None => return usage(),
-            },
-            "--trace" => match it.next() {
-                Some(path) => trace_path = Some(PathBuf::from(path)),
-                None => return usage(),
-            },
-            "--mode" => match it.next() {
-                Some(m) => mode = m.clone(),
-                None => return usage(),
-            },
-            "--cap" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(c) => cap = c,
-                None => return usage(),
-            },
-            "--out" => match it.next() {
-                Some(path) => out = Some(PathBuf::from(path)),
-                None => return usage(),
-            },
-            flag if flag.starts_with("--") => return usage(),
+            "--cache" => cache_dir = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            "--journal" => journal_path = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            "--trace" => trace_path = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            "--mode" => mode = it.next().ok_or(Error::Usage)?.clone(),
+            "--cap" => {
+                cap = it.next().and_then(|v| v.parse().ok()).ok_or(Error::Usage)?;
+            }
+            "--out" => out = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            flag if flag.starts_with("--") => return Err(Error::Usage),
             name => functions.push(name.to_string()),
         }
     }
-    let modes: Vec<Mode> = match mode.as_str() {
-        "decls" => Vec::new(),
-        "unwrapped" => vec![Mode::Unwrapped],
-        "full" => vec![Mode::FullAuto],
-        "semi" => vec![Mode::SemiAuto],
-        "all" => vec![Mode::Unwrapped, Mode::FullAuto, Mode::SemiAuto],
-        other => {
-            eprintln!("campaign: unknown mode {other:?}");
-            return ExitCode::from(2);
-        }
+    // `decls` (analysis only, XML out) is a campaign-specific pseudo
+    // mode on top of the shared Mode tokens.
+    let modes: Vec<Mode> = if mode == "decls" {
+        Vec::new()
+    } else {
+        parse_modes("campaign", &mode)?
     };
 
     let libc = Libc::standard();
@@ -244,53 +247,37 @@ fn cmd_campaign(rest: &[String], seed: Option<u64>) -> ExitCode {
     } else {
         functions
     };
-    for f in &names {
-        if libc.get(f).is_none() {
-            eprintln!("campaign: {f} is not exported by the library");
-            return ExitCode::FAILURE;
-        }
-    }
+    require_exported("campaign", &libc, &names)?;
     let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
 
     let journaling = journal_path.is_some();
     let tracing = trace_path.clone();
-    let campaign = match Campaign::new(&CampaignConfig {
+    let campaign = Campaign::new(&CampaignConfig {
         jobs,
         cache_dir,
         journal_path,
         trace_path,
-    }) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("campaign: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    })
+    .map_err(|e| Error::io("campaign", e))?;
 
     // The declarations feed both the XML output and the wrapped
     // evaluation modes; a pure-unwrapped run skips injection entirely.
     let needs_decls = mode == "decls" || modes.iter().any(|m| !matches!(m, Mode::Unwrapped));
     let mut decls = Vec::new();
     if needs_decls {
-        match campaign.analyze(&libc, &name_refs) {
-            Ok((d, metrics)) => {
-                eprintln!("{metrics}");
-                decls = d;
-            }
-            Err(e) => {
-                eprintln!("campaign: cache write failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+        let (d, metrics) = campaign
+            .analyze(&libc, &name_refs)
+            .map_err(|e| Error::io("campaign: cache write failed", e))?;
+        eprintln!("{metrics}");
+        decls = d;
     }
     if mode == "decls" {
         let xml = decls_to_xml(&decls);
         match &out {
             Some(path) => {
-                if let Err(e) = std::fs::write(path, &xml) {
-                    eprintln!("campaign: cannot write {}: {e}", path.display());
-                    return ExitCode::FAILURE;
-                }
+                std::fs::write(path, &xml).map_err(|e| {
+                    Error::io(format!("campaign: cannot write {}", path.display()), e)
+                })?;
             }
             None => print!("{xml}"),
         }
@@ -306,21 +293,16 @@ fn cmd_campaign(rest: &[String], seed: Option<u64>) -> ExitCode {
         eprintln!("{metrics}");
     }
 
-    match campaign.finish() {
-        Ok(lines) => {
-            if journaling {
-                eprintln!("journal: {lines} events");
-            }
-            if let Some(path) = tracing {
-                eprintln!("trace: wrote {}", path.display());
-            }
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("campaign: journal write failed: {e}");
-            ExitCode::FAILURE
-        }
+    let lines = campaign
+        .finish()
+        .map_err(|e| Error::io("campaign: journal write failed", e))?;
+    if journaling {
+        eprintln!("journal: {lines} events");
     }
+    if let Some(path) = tracing {
+        eprintln!("trace: wrote {}", path.display());
+    }
+    Ok(())
 }
 
 /// `healers report` — one evaluation run rendered as a telemetry
@@ -330,7 +312,7 @@ fn cmd_campaign(rest: &[String], seed: Option<u64>) -> ExitCode {
 /// wrapper counters) — never wall-clock data. `--timings` opts into
 /// the gated latency histograms (p50/p99 per function), which are
 /// explicitly excluded from that guarantee.
-fn cmd_report(rest: &[String], seed: Option<u64>) -> ExitCode {
+fn cmd_report(rest: &[String], seed: Option<u64>) -> Result<(), Error> {
     let mut mode = "full".to_string();
     let mut cap = 40usize;
     let mut jobs = 1usize;
@@ -340,33 +322,23 @@ fn cmd_report(rest: &[String], seed: Option<u64>) -> ExitCode {
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--mode" => match it.next() {
-                Some(m) => mode = m.clone(),
-                None => return usage(),
-            },
-            "--cap" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(c) => cap = c,
-                None => return usage(),
-            },
+            "--mode" => mode = it.next().ok_or(Error::Usage)?.clone(),
+            "--cap" => {
+                cap = it.next().and_then(|v| v.parse().ok()).ok_or(Error::Usage)?;
+            }
             "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(j) if j >= 1 => jobs = j,
-                _ => return usage(),
+                _ => return Err(Error::Usage),
             },
             "--json" => json = true,
             "--timings" => timings = true,
-            flag if flag.starts_with("--") => return usage(),
+            flag if flag.starts_with("--") => return Err(Error::Usage),
             name => functions.push(name.to_string()),
         }
     }
-    let mode = match mode.as_str() {
-        "unwrapped" => Mode::Unwrapped,
-        "full" => Mode::FullAuto,
-        "semi" => Mode::SemiAuto,
-        other => {
-            eprintln!("report: unknown mode {other:?}");
-            return ExitCode::from(2);
-        }
-    };
+    let mode: Mode = mode
+        .parse()
+        .map_err(|e| Error::BadArgument(format!("report: {e}")))?;
     if timings {
         healers::trace::set_enabled(true);
     }
@@ -377,24 +349,14 @@ fn cmd_report(rest: &[String], seed: Option<u64>) -> ExitCode {
     } else {
         functions
     };
-    for f in &names {
-        if libc.get(f).is_none() {
-            eprintln!("report: {f} is not exported by the library");
-            return ExitCode::FAILURE;
-        }
-    }
+    require_exported("report", &libc, &names)?;
     let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
 
-    let campaign = match Campaign::new(&CampaignConfig {
+    let campaign = Campaign::new(&CampaignConfig {
         jobs,
         ..CampaignConfig::default()
-    }) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("report: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    })
+    .map_err(|e| Error::io("report", e))?;
     let decls = if matches!(mode, Mode::Unwrapped) {
         Vec::new()
     } else {
@@ -406,10 +368,7 @@ fn cmd_report(rest: &[String], seed: Option<u64>) -> ExitCode {
     }
     let report_seed = ballista.seed();
     let (report, _metrics, stats) = campaign.evaluate_traced(&libc, &ballista, mode, decls);
-    if let Err(e) = campaign.finish() {
-        eprintln!("report: {e}");
-        return ExitCode::FAILURE;
-    }
+    campaign.finish().map_err(|e| Error::io("report", e))?;
 
     if json {
         print!(
@@ -422,7 +381,7 @@ fn cmd_report(rest: &[String], seed: Option<u64>) -> ExitCode {
             render_report_text(&report, &stats, report_seed, timings)
         );
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
 fn render_report_text(
@@ -529,20 +488,21 @@ fn render_report_json(
 /// chosen type, and the boundary justification for every rejected
 /// supertype) plus fault provenance for the crashing test cases (the
 /// faulting page run and the heap block it is attributed to).
-fn cmd_explain(functions: &[String]) -> ExitCode {
+fn cmd_explain(functions: &[String]) -> Result<(), Error> {
     if functions.iter().any(|a| a.starts_with("--")) {
-        return usage();
+        return Err(Error::Usage);
     }
     if functions.is_empty() {
-        eprintln!("explain: name at least one function");
-        return ExitCode::from(2);
+        return Err(Error::BadArgument(
+            "explain: name at least one function".into(),
+        ));
     }
     let libc = Libc::standard();
     for name in functions {
-        let Some(injector) = FaultInjector::new(&libc, name) else {
-            eprintln!("explain: {name} is not exported");
-            return ExitCode::FAILURE;
-        };
+        let injector = FaultInjector::new(&libc, name).ok_or_else(|| Error::NotExported {
+            command: "explain",
+            function: name.clone(),
+        })?;
         let report = injector.run();
         println!(
             "{} — {} ({} calls, {} adaptive retries)",
@@ -599,10 +559,10 @@ fn cmd_explain(functions: &[String]) -> ExitCode {
             }
         }
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn cmd_extract() -> ExitCode {
+fn cmd_extract() -> Result<(), Error> {
     let corpus = CorpusConfig::default().generate();
     let report = recover_all(&corpus);
     println!(
@@ -613,12 +573,12 @@ fn cmd_extract() -> ExitCode {
         100.0 * report.manpage_wrong_headers_fraction(),
         100.0 * report.found_fraction(),
     );
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn cmd_tour(functions: &[String]) -> ExitCode {
+fn cmd_tour(functions: &[String]) -> Result<(), Error> {
     if functions.iter().any(|a| a.starts_with("--")) {
-        return usage();
+        return Err(Error::Usage);
     }
     let libc = Libc::standard();
     let names: Vec<String> = if functions.is_empty() {
@@ -627,10 +587,10 @@ fn cmd_tour(functions: &[String]) -> ExitCode {
         functions.to_vec()
     };
     for name in names {
-        let Some(injector) = FaultInjector::new(&libc, &name) else {
-            eprintln!("tour: {name} is not exported");
-            return ExitCode::FAILURE;
-        };
+        let injector = FaultInjector::new(&libc, &name).ok_or_else(|| Error::NotExported {
+            command: "tour",
+            function: name.clone(),
+        })?;
         let report = injector.run();
         let types: Vec<String> = report
             .args
@@ -644,5 +604,5 @@ fn cmd_tour(functions: &[String]) -> ExitCode {
             types.join(", ")
         );
     }
-    ExitCode::SUCCESS
+    Ok(())
 }

@@ -2,7 +2,7 @@
 //! `asctime` pipeline from Figure 2 (declaration) through Figure 5
 //! (wrapper code) to crash prevention.
 
-use healers::core::{analyze, decls_from_xml, decls_to_xml, RobustnessWrapper, WrapperConfig};
+use healers::core::{analyze, decls_from_xml, decls_to_xml, WrapperBuilder, WrapperConfig};
 use healers::libc::{Libc, World};
 use healers::simproc::{SimValue, INVALID_PTR};
 use healers::typesys::TypeExpr;
@@ -26,7 +26,10 @@ fn declaration_survives_the_xml_roundtrip_and_still_generates_the_wrapper() {
     // wrapper from the parsed declarations — the editing workflow.
     let xml = decls_to_xml(&decls);
     let parsed = decls_from_xml(&xml).expect("roundtrip");
-    let mut wrapper = RobustnessWrapper::new(parsed, WrapperConfig::full_auto());
+    let mut wrapper = WrapperBuilder::new()
+        .decls(parsed)
+        .config(WrapperConfig::full_auto())
+        .build();
 
     let mut world = World::new();
     let r = wrapper
@@ -63,7 +66,10 @@ fn figure_5_wrapper_source_is_generated_verbatim() {
 fn the_wrapped_function_still_works_for_valid_inputs() {
     let libc = Libc::standard();
     let decls = analyze(&libc, &["asctime", "gmtime", "time"]);
-    let mut wrapper = RobustnessWrapper::new(decls, WrapperConfig::full_auto());
+    let mut wrapper = WrapperBuilder::new()
+        .decls(decls)
+        .config(WrapperConfig::full_auto())
+        .build();
     let mut world = World::new();
 
     // time() -> gmtime() -> asctime(): a correct program, wrapped.

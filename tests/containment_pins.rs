@@ -1,0 +1,111 @@
+//! Pins the user-visible artifacts against the containment mechanism:
+//! switching the fault-containment engine between copy-on-write
+//! snapshots (the default) and the deep-clone reference must never
+//! change a byte of the Figure 6 rows, the Table 1 declarations, or
+//! the `healers report` body — at any worker count. The CoW engine is
+//! a pure cost optimization; these tests are the contract that it
+//! stays invisible.
+
+use healers::prelude::*;
+
+/// A small, fast subset that still exercises crashes (strcpy),
+/// stateful handle checks (closedir), and static-buffer writers
+/// (asctime).
+const SUBSET: [&str; 3] = ["strcpy", "asctime", "closedir"];
+const CAP: usize = 40;
+
+fn ballista_with(containment: Containment) -> Ballista {
+    Ballista::new()
+        .with_functions(&SUBSET)
+        .with_cap(CAP)
+        .with_containment(containment)
+}
+
+/// The deterministic body of `healers report`: the Figure 6 render
+/// plus the wrapper/check counter lines, exactly as `cmd_report`
+/// prints them (minus the seed header, which is containment-free by
+/// construction).
+fn report_body(report: &BallistaReport, stats: &WrapperStats) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", report.render());
+    let failing = report.functions_with_failures();
+    if !failing.is_empty() {
+        let _ = writeln!(out, "  still failing: {}", failing.join(", "));
+    }
+    let _ = writeln!(
+        out,
+        "wrapper: calls={} wrapped={} checks={} violations={} cache-hits={}",
+        stats.calls, stats.wrapped_calls, stats.checks, stats.violations, stats.check_cache_hits
+    );
+    for (kind, passed, failed) in stats.check_outcomes.iter() {
+        let _ = writeln!(out, "  {:<10} {:>8} {:>8}", kind.label(), passed, failed);
+    }
+    out
+}
+
+#[test]
+fn figure6_rows_are_byte_identical_with_cow_on_and_off() {
+    let libc = Libc::standard();
+    let decls = analyze(&libc, &SUBSET);
+    for mode in Mode::ALL {
+        let cow = ballista_with(Containment::Cow).run_with_decls(&libc, mode, decls.clone());
+        let deep = ballista_with(Containment::DeepClone).run_with_decls(&libc, mode, decls.clone());
+        assert_eq!(
+            cow.render(),
+            deep.render(),
+            "{} row changed with containment mechanism",
+            mode.label()
+        );
+    }
+}
+
+#[test]
+fn table1_declarations_are_byte_identical_across_jobs() {
+    let libc = Libc::standard();
+    // Table 1 is read off the declarations; the serial injector path
+    // and the campaign orchestrator (any --jobs) must emit the same
+    // XML bytes under the CoW engine.
+    let serial = decls_to_xml(&analyze(&libc, &SUBSET));
+    for jobs in [1, 4] {
+        let campaign = Campaign::new(&CampaignConfig {
+            jobs,
+            ..CampaignConfig::default()
+        })
+        .unwrap();
+        let (decls, _metrics) = campaign.analyze(&libc, &SUBSET).unwrap();
+        assert_eq!(
+            serial,
+            decls_to_xml(&decls),
+            "declaration XML changed at --jobs {jobs}"
+        );
+    }
+}
+
+#[test]
+fn report_body_is_byte_identical_with_cow_on_and_off_at_any_jobs() {
+    let libc = Libc::standard();
+    let decls = analyze(&libc, &SUBSET);
+    let mut bodies = Vec::new();
+    for jobs in [1, 3] {
+        for containment in [Containment::Cow, Containment::DeepClone] {
+            let campaign = Campaign::new(&CampaignConfig {
+                jobs,
+                ..CampaignConfig::default()
+            })
+            .unwrap();
+            let ballista = ballista_with(containment);
+            let (report, _metrics, stats) =
+                campaign.evaluate_traced(&libc, &ballista, Mode::FullAuto, decls.clone());
+            campaign.finish().unwrap();
+            bodies.push((jobs, containment, report_body(&report, &stats)));
+        }
+    }
+    let (_, _, reference) = &bodies[0];
+    for (jobs, containment, body) in &bodies {
+        assert_eq!(
+            body, reference,
+            "report body changed at jobs={jobs} containment={containment:?}"
+        );
+    }
+}

@@ -6,7 +6,7 @@
 
 use healers::ballista::pools::{param_kind, prepare, ParamKind};
 use healers::ballista::Ballista;
-use healers::core::{analyze, RobustnessWrapper, WrapperConfig};
+use healers::core::{analyze, WrapperBuilder, WrapperConfig};
 use healers::libc::{Libc, World};
 use healers::simproc::SimValue;
 
@@ -15,7 +15,7 @@ const SUBSET: &[&str] = &["strcpy", "strlen", "asctime", "fgetc", "mktime", "get
 fn failures_with(config: WrapperConfig) -> usize {
     let libc = Libc::standard();
     let decls = analyze(&libc, SUBSET);
-    let mut wrapper = Some(RobustnessWrapper::new(decls, config));
+    let mut wrapper = Some(WrapperBuilder::new().decls(decls).config(config).build());
     let mut world = World::new();
     world.proc.set_fuel_budget(300_000);
     let pools = prepare(&libc, &mut wrapper, &mut world);
@@ -81,7 +81,10 @@ fn per_function_wrapping_only_protects_the_chosen_functions() {
         enabled: Some(["strcpy".to_string()].into_iter().collect()),
         ..WrapperConfig::full_auto()
     };
-    let wrapper = RobustnessWrapper::new(decls.clone(), config);
+    let wrapper = WrapperBuilder::new()
+        .decls(decls.clone())
+        .config(config)
+        .build();
     // Hand-run the Ballista subset through the partial wrapper.
     let mut world = World::new();
     let mut opt = Some(wrapper);

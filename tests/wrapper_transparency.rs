@@ -4,7 +4,7 @@
 //! over generated ones.
 
 use healers::ballista::ballista_targets;
-use healers::core::{analyze, FunctionDecl, RobustnessWrapper, WrapperConfig};
+use healers::core::{analyze, FunctionDecl, WrapperBuilder, WrapperConfig};
 use healers::libc::{Libc, World};
 use healers::simproc::SimValue;
 use proptest::prelude::*;
@@ -21,8 +21,12 @@ fn file_pipeline_is_transparent() {
 
     let run = |wrapped: bool| -> (Vec<i64>, Vec<u8>, u64) {
         let mut world = World::new();
-        let mut wrapper =
-            wrapped.then(|| RobustnessWrapper::new(decls.clone(), WrapperConfig::semi_auto()));
+        let mut wrapper = wrapped.then(|| {
+            WrapperBuilder::new()
+                .decls(decls.clone())
+                .config(WrapperConfig::semi_auto())
+                .build()
+        });
         let mut call = |world: &mut World, name: &str, args: &[SimValue]| -> SimValue {
             match wrapper.as_mut() {
                 Some(w) => w.call(&libc, world, name, args).expect("wrapped"),
@@ -70,7 +74,7 @@ proptest! {
     fn strcpy_transparency(text in "[a-zA-Z0-9 ]{0,40}") {
         let libc = Libc::standard();
         let decls = analyze(&libc, &["strcpy", "strlen", "malloc"]);
-        let mut wrapper = RobustnessWrapper::new(decls, WrapperConfig::semi_auto());
+        let mut wrapper = WrapperBuilder::new().decls(decls).config(WrapperConfig::semi_auto()).build();
         let mut world = World::new();
         let dst = wrapper
             .call(&libc, &mut world, "malloc", &[SimValue::Int(64)])
@@ -93,7 +97,7 @@ proptest! {
     fn strcpy_overflow_is_always_refused(extra in 1usize..64) {
         let libc = Libc::standard();
         let decls = analyze(&libc, &["strcpy", "malloc"]);
-        let mut wrapper = RobustnessWrapper::new(decls, WrapperConfig::full_auto());
+        let mut wrapper = WrapperBuilder::new().decls(decls).config(WrapperConfig::full_auto()).build();
         let mut world = World::new();
         let dst = wrapper
             .call(&libc, &mut world, "malloc", &[SimValue::Int(16)])

@@ -5,7 +5,7 @@ use std::ops::{Range, RangeInclusive};
 use crate::rng::TestRng;
 use crate::strategy::Strategy;
 
-/// Accepted length specifications for [`vec`].
+/// Accepted length specifications for [`fn@vec`].
 pub trait IntoLenRange {
     /// Normalize to an inclusive `(min, max)` pair.
     fn bounds(&self) -> (usize, usize);
@@ -37,7 +37,7 @@ pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
     VecStrategy { element, min, max }
 }
 
-/// See [`vec`].
+/// See [`fn@vec`].
 pub struct VecStrategy<S> {
     element: S,
     min: usize,
