@@ -22,6 +22,22 @@ use std::thread::JoinHandle;
 
 use crate::json::JsonObject;
 
+/// Anything a [`Journal`] can drain: an owned event that knows how to
+/// render itself as one JSON line under a sequence number. The
+/// campaign's [`CampaignEvent`] and the fuzzer's event type both
+/// implement this, which is how campaigns and fuzz runs share one
+/// journal/trace pipeline.
+pub trait JournalEvent: Send + 'static {
+    /// Render as a single JSON line with sequence number `seq`.
+    fn to_json(&self, seq: u64) -> String;
+}
+
+impl JournalEvent for CampaignEvent {
+    fn to_json(&self, seq: u64) -> String {
+        CampaignEvent::to_json(self, seq)
+    }
+}
+
 /// One structured event in a campaign's life.
 #[derive(Debug, Clone)]
 pub enum CampaignEvent {
@@ -182,18 +198,27 @@ impl CampaignEvent {
 /// workers still hold cloned senders — their later emits just land in
 /// a disconnected channel and are discarded.
 #[derive(Debug)]
-enum Msg {
-    Event(CampaignEvent),
+enum Msg<E> {
+    Event(E),
     Shutdown,
 }
 
 /// The sending half handed to workers (clone freely).
-#[derive(Debug, Clone)]
-pub struct JournalSender {
-    tx: Option<Sender<Msg>>,
+#[derive(Debug)]
+pub struct JournalSender<E = CampaignEvent> {
+    tx: Option<Sender<Msg<E>>>,
 }
 
-impl JournalSender {
+// Manual impl: a derived Clone would needlessly require `E: Clone`.
+impl<E> Clone for JournalSender<E> {
+    fn clone(&self) -> Self {
+        JournalSender {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl<E> JournalSender<E> {
     /// A sender that drops every event (journaling disabled).
     pub fn disabled() -> Self {
         JournalSender { tx: None }
@@ -201,7 +226,7 @@ impl JournalSender {
 
     /// Emit one event (no-op when journaling is disabled or the drainer
     /// has already shut down).
-    pub fn emit(&self, event: CampaignEvent) {
+    pub fn emit(&self, event: E) {
         if let Some(tx) = &self.tx {
             let _ = tx.send(Msg::Event(event));
         }
@@ -210,22 +235,32 @@ impl JournalSender {
 
 /// What a drained journal produced: the line count written to the sink
 /// and (in recording mode) the full sequenced event stream.
-#[derive(Debug, Default)]
-pub struct JournalTail {
+#[derive(Debug)]
+pub struct JournalTail<E = CampaignEvent> {
     /// JSONL lines written to the sink.
     pub lines: u64,
     /// The sequenced events, when recording was on.
-    pub events: Vec<(u64, CampaignEvent)>,
+    pub events: Vec<(u64, E)>,
+}
+
+// Manual impl: a derived Default would needlessly require `E: Default`.
+impl<E> Default for JournalTail<E> {
+    fn default() -> Self {
+        JournalTail {
+            lines: 0,
+            events: Vec::new(),
+        }
+    }
 }
 
 /// A running journal drainer.
 #[derive(Debug)]
-pub struct Journal {
-    sender: JournalSender,
-    drainer: Option<JoinHandle<std::io::Result<JournalTail>>>,
+pub struct Journal<E: JournalEvent = CampaignEvent> {
+    sender: JournalSender<E>,
+    drainer: Option<JoinHandle<std::io::Result<JournalTail<E>>>>,
 }
 
-impl Journal {
+impl<E: JournalEvent> Journal<E> {
     /// Start a drainer writing JSONL to `sink`.
     pub fn start(sink: Box<dyn Write + Send>) -> Self {
         Journal::spawn(Some(sink), false)
@@ -239,7 +274,7 @@ impl Journal {
     }
 
     fn spawn(mut sink: Option<Box<dyn Write + Send>>, record: bool) -> Self {
-        let (tx, rx) = channel::<Msg>();
+        let (tx, rx) = channel::<Msg<E>>();
         let drainer = std::thread::spawn(move || {
             let mut tail = JournalTail::default();
             let mut seq = 0u64;
@@ -280,7 +315,7 @@ impl Journal {
     }
 
     /// The sending half for workers.
-    pub fn sender(&self) -> JournalSender {
+    pub fn sender(&self) -> JournalSender<E> {
         self.sender.clone()
     }
 
@@ -292,7 +327,7 @@ impl Journal {
     /// # Errors
     ///
     /// Propagates the drainer's I/O failure.
-    pub fn shutdown(&mut self) -> std::io::Result<JournalTail> {
+    pub fn shutdown(&mut self) -> std::io::Result<JournalTail<E>> {
         if let Some(tx) = self.sender.tx.take() {
             let _ = tx.send(Msg::Shutdown);
         }
@@ -315,7 +350,7 @@ impl Journal {
     }
 }
 
-impl Drop for Journal {
+impl<E: JournalEvent> Drop for Journal<E> {
     fn drop(&mut self) {
         // Explicit shutdown on drop: joining the drainer guarantees the
         // sink was flushed even when the campaign exits early. Errors

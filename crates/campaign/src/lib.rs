@@ -60,6 +60,6 @@ pub use chrome::chrome_trace;
 // because the declaration cache keys are part of this crate's API.
 pub use healers_ballista::fingerprint;
 pub use healers_ballista::fingerprint::{derive_seed, fingerprint, Fingerprint, FORMAT_VERSION};
-pub use journal::{CampaignEvent, Journal, JournalSender};
+pub use journal::{CampaignEvent, Journal, JournalEvent, JournalSender, JournalTail};
 pub use metrics::CampaignMetrics;
 pub use scheduler::run_indexed;

@@ -1,0 +1,268 @@
+//! Address-free coverage for sequence fuzzing.
+//!
+//! The coverage signal is deliberately *semantic*, not positional:
+//! instead of program counters (which the simulated libc does not
+//! have) the map keys on
+//!
+//! 1. **call edges** — `(function, outcome)`: which robustness
+//!    classification each API function has been driven to,
+//! 2. **fault sites** — `(function, CoverageSite)`: the address-free
+//!    provenance of a segfault (`read:unmapped:guard-overrun`, …),
+//!    stable across heap layouts and CoW rollbacks, and
+//! 3. **check edges** — `(function, CheckKind, pass|fail)`: which of
+//!    the wrapper's checks each function has exercised, in both
+//!    directions.
+//!
+//! A sequence that lights up any key not yet in the map is *novel* and
+//! enters the mutation corpus. Everything is ordered (`BTreeSet`) so
+//! rendering the map is deterministic and jobs-invariant.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use healers_simproc::CoverageSite;
+
+/// One coverage key. Ordering is derived so the rendered map is
+/// stable.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CoverageKey {
+    /// `(function, outcome-label)` — the call returned/crashed/….
+    Call {
+        function: String,
+        outcome: &'static str,
+    },
+    /// `(function, site)` — the call segfaulted with this provenance.
+    Fault {
+        function: String,
+        site: CoverageSite,
+    },
+    /// `(function, check-kind-label, ok)` — a wrapper check passed or
+    /// failed during this call.
+    Check {
+        function: String,
+        kind: &'static str,
+        ok: bool,
+    },
+}
+
+impl fmt::Display for CoverageKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverageKey::Call { function, outcome } => write!(f, "call {function} {outcome}"),
+            CoverageKey::Fault { function, site } => write!(f, "fault {function} {site}"),
+            CoverageKey::Check { function, kind, ok } => {
+                write!(
+                    f,
+                    "check {function} {kind} {}",
+                    if *ok { "pass" } else { "fail" }
+                )
+            }
+        }
+    }
+}
+
+/// The global coverage map.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageMap {
+    keys: BTreeSet<CoverageKey>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a key; returns `true` if it was new.
+    pub fn insert(&mut self, key: CoverageKey) -> bool {
+        self.keys.insert(key)
+    }
+
+    /// Merge `keys`, returning how many were new.
+    pub fn merge<I: IntoIterator<Item = CoverageKey>>(&mut self, keys: I) -> usize {
+        keys.into_iter()
+            .filter(|k| self.keys.insert(k.clone()))
+            .count()
+    }
+
+    /// Whether the map already contains `key`.
+    pub fn contains(&self, key: &CoverageKey) -> bool {
+        self.keys.contains(key)
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterate keys in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &CoverageKey> {
+        self.keys.iter()
+    }
+
+    /// Render the whole map, one key per line, sorted — byte-identical
+    /// for identical key sets regardless of insertion order or job
+    /// count.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for key in &self.keys {
+            out.push_str(&key.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Extract the coverage keys one executed step contributes.
+pub fn step_keys(record: &crate::exec::StepRecord) -> Vec<CoverageKey> {
+    let mut keys = Vec::new();
+    keys.push(CoverageKey::Call {
+        function: record.function.clone(),
+        outcome: crate::exec::outcome_label(record.outcome),
+    });
+    if let Some(site) = record.site {
+        keys.push(CoverageKey::Fault {
+            function: record.function.clone(),
+            site,
+        });
+    }
+    for &(kind, passed, failed) in &record.checks {
+        if passed > 0 {
+            keys.push(CoverageKey::Check {
+                function: record.function.clone(),
+                kind: kind.label(),
+                ok: true,
+            });
+        }
+        if failed > 0 {
+            keys.push(CoverageKey::Check {
+                function: record.function.clone(),
+                kind: kind.label(),
+                ok: false,
+            });
+        }
+    }
+    keys
+}
+
+/// All coverage keys of an execution result.
+pub fn result_keys(result: &crate::exec::ExecResult) -> Vec<CoverageKey> {
+    result.steps.iter().flat_map(step_keys).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use healers_simproc::{AccessKind, BlockAttribution, Protection};
+
+    fn site() -> CoverageSite {
+        CoverageSite {
+            access: AccessKind::Read,
+            prot: None,
+            attribution: BlockAttribution::GuardOverrun,
+        }
+    }
+
+    #[test]
+    fn render_is_sorted_and_insertion_order_free() {
+        let mut a = CoverageMap::new();
+        let mut b = CoverageMap::new();
+        let keys = vec![
+            CoverageKey::Call {
+                function: "strcpy".into(),
+                outcome: "crash",
+            },
+            CoverageKey::Fault {
+                function: "strcpy".into(),
+                site: site(),
+            },
+            CoverageKey::Check {
+                function: "strcpy".into(),
+                kind: "region",
+                ok: false,
+            },
+            CoverageKey::Call {
+                function: "malloc".into(),
+                outcome: "success",
+            },
+        ];
+        a.merge(keys.clone());
+        b.merge(keys.into_iter().rev());
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.len(), 4);
+        // Order is the derived key order: all call edges, then fault
+        // sites, then check edges — and alphabetical within each group.
+        let rendered = a.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(
+            lines,
+            [
+                "call malloc success",
+                "call strcpy crash",
+                "fault strcpy read:unmapped:guard-overrun",
+                "check strcpy region fail",
+            ]
+        );
+    }
+
+    #[test]
+    fn insert_reports_novelty_once() {
+        let mut map = CoverageMap::new();
+        let key = CoverageKey::Fault {
+            function: "free".into(),
+            site: site(),
+        };
+        assert!(map.insert(key.clone()));
+        assert!(!map.insert(key.clone()));
+        assert!(map.contains(&key));
+    }
+
+    #[test]
+    fn display_is_the_journal_format() {
+        assert_eq!(
+            CoverageKey::Fault {
+                function: "strcpy".into(),
+                site: site()
+            }
+            .to_string(),
+            "fault strcpy read:unmapped:guard-overrun"
+        );
+        assert_eq!(
+            CoverageKey::Check {
+                function: "fgets".into(),
+                kind: "stream",
+                ok: true
+            }
+            .to_string(),
+            "check fgets stream pass"
+        );
+    }
+
+    #[test]
+    fn prot_is_part_of_the_site_key() {
+        let mapped = CoverageSite {
+            access: AccessKind::Write,
+            prot: Some(Protection::ReadOnly),
+            attribution: BlockAttribution::None,
+        };
+        let unmapped = CoverageSite {
+            access: AccessKind::Write,
+            prot: None,
+            attribution: BlockAttribution::None,
+        };
+        let mut map = CoverageMap::new();
+        map.insert(CoverageKey::Fault {
+            function: "memset".into(),
+            site: mapped,
+        });
+        assert!(map.insert(CoverageKey::Fault {
+            function: "memset".into(),
+            site: unmapped
+        }));
+    }
+}

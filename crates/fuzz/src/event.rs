@@ -1,0 +1,269 @@
+//! The fuzzer's journal events and Chrome-trace export.
+//!
+//! The fuzzer reuses the campaign's journal pipeline (one drainer
+//! thread, JSONL sink, optional in-memory recording) by implementing
+//! [`JournalEvent`] for its own event type. The event stream is part
+//! of the determinism contract: for a fixed `--seed` and budget it is
+//! **byte-identical for any `--jobs` value**, because events are only
+//! emitted from the sequential merge loop, never from workers.
+//!
+//! As with campaigns, the Chrome trace is derived purely from the
+//! sequenced event stream — journal sequence numbers are the time
+//! axis — so the exported timeline is a pure function of the journal.
+
+use healers_campaign::json::JsonObject;
+use healers_campaign::JournalEvent;
+use healers_trace::ChromeTrace;
+
+/// One structured event in a fuzz run's life.
+#[derive(Debug, Clone)]
+pub enum FuzzEvent {
+    /// The declaration corpus was built.
+    Analyzed {
+        /// Functions in the fuzz pool.
+        functions: u64,
+    },
+    /// One sequence was executed (wrapped + unwrapped pair).
+    Exec {
+        /// Global sequence counter (execution order).
+        id: u64,
+        /// `"generate"` or `"mutate"`.
+        origin: &'static str,
+        /// Steps in the sequence.
+        len: u64,
+        /// Coverage keys this execution added to the map.
+        new_coverage: u64,
+    },
+    /// A coverage key entered the map.
+    Coverage {
+        /// The rendered key (`call strcpy crash`, …).
+        key: String,
+    },
+    /// A batch round was merged.
+    Round {
+        /// Round number, from 0.
+        round: u64,
+        /// Sequences executed so far.
+        executed: u64,
+        /// Corpus size after the merge.
+        corpus: u64,
+        /// Coverage-map size after the merge.
+        coverage: u64,
+    },
+    /// A new finding was detected.
+    Finding {
+        /// The finding key.
+        key: String,
+        /// Length of the exhibiting sequence.
+        len: u64,
+    },
+    /// A finding's sequence finished shrinking.
+    Shrunk {
+        /// The finding key.
+        key: String,
+        /// Steps before shrinking.
+        from_len: u64,
+        /// Steps after shrinking.
+        to_len: u64,
+        /// Candidate executions probed.
+        probes: u64,
+    },
+    /// A shrunk finding was written as a pinned regression test.
+    Pinned {
+        /// The finding key.
+        key: String,
+        /// Pin file name.
+        file: String,
+    },
+    /// The run finished.
+    Done {
+        /// Total sequences executed.
+        executed: u64,
+        /// Final coverage-map size.
+        coverage: u64,
+        /// Distinct findings.
+        findings: u64,
+    },
+}
+
+impl JournalEvent for FuzzEvent {
+    fn to_json(&self, seq: u64) -> String {
+        let base = JsonObject::new().u64("seq", seq);
+        match self {
+            FuzzEvent::Analyzed { functions } => {
+                base.str("event", "analyzed").u64("functions", *functions)
+            }
+            FuzzEvent::Exec {
+                id,
+                origin,
+                len,
+                new_coverage,
+            } => base
+                .str("event", "exec")
+                .u64("id", *id)
+                .str("origin", origin)
+                .u64("len", *len)
+                .u64("new_coverage", *new_coverage),
+            FuzzEvent::Coverage { key } => base.str("event", "coverage").str("key", key),
+            FuzzEvent::Round {
+                round,
+                executed,
+                corpus,
+                coverage,
+            } => base
+                .str("event", "round")
+                .u64("round", *round)
+                .u64("executed", *executed)
+                .u64("corpus", *corpus)
+                .u64("coverage", *coverage),
+            FuzzEvent::Finding { key, len } => base
+                .str("event", "finding")
+                .str("key", key)
+                .u64("len", *len),
+            FuzzEvent::Shrunk {
+                key,
+                from_len,
+                to_len,
+                probes,
+            } => base
+                .str("event", "shrunk")
+                .str("key", key)
+                .u64("from_len", *from_len)
+                .u64("to_len", *to_len)
+                .u64("probes", *probes),
+            FuzzEvent::Pinned { key, file } => base
+                .str("event", "pinned")
+                .str("key", key)
+                .str("file", file),
+            FuzzEvent::Done {
+                executed,
+                coverage,
+                findings,
+            } => base
+                .str("event", "done")
+                .u64("executed", *executed)
+                .u64("coverage", *coverage)
+                .u64("findings", *findings),
+        }
+        .finish()
+    }
+}
+
+/// Build the Chrome trace-event document for a recorded fuzz journal.
+///
+/// Mapping: each `Round` becomes a complete span on lane 0 covering
+/// the sequence numbers it merged; `Finding`/`Shrunk`/`Pinned` become
+/// instants on lane 1; `coverage` and `corpus` counter tracks sample
+/// the map and corpus growth at every round.
+pub fn chrome_trace(events: &[(u64, FuzzEvent)]) -> ChromeTrace {
+    let mut trace = ChromeTrace::new();
+    let mut round_begin = 0u64;
+    trace.counter("coverage", 0, 0);
+    trace.counter("corpus", 0, 0);
+    for (seq, event) in events {
+        let ts = *seq;
+        match event {
+            FuzzEvent::Round {
+                round,
+                corpus,
+                coverage,
+                ..
+            } => {
+                trace.complete(
+                    &format!("round:{round}"),
+                    0,
+                    round_begin,
+                    (ts - round_begin).max(1),
+                );
+                trace.counter("coverage", ts, *coverage);
+                trace.counter("corpus", ts, *corpus);
+                round_begin = ts;
+            }
+            FuzzEvent::Finding { key, .. } => trace.instant(&format!("finding:{key}"), 1, ts),
+            FuzzEvent::Shrunk { key, .. } => trace.instant(&format!("shrunk:{key}"), 1, ts),
+            FuzzEvent::Pinned { key, .. } => trace.instant(&format!("pinned:{key}"), 1, ts),
+            _ => {}
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use healers_campaign::json;
+
+    #[test]
+    fn events_render_as_valid_json_lines() {
+        let events: Vec<FuzzEvent> = vec![
+            FuzzEvent::Analyzed { functions: 86 },
+            FuzzEvent::Exec {
+                id: 0,
+                origin: "generate",
+                len: 5,
+                new_coverage: 7,
+            },
+            FuzzEvent::Coverage {
+                key: "fault strcpy write:unmapped:guard-overrun".into(),
+            },
+            FuzzEvent::Round {
+                round: 0,
+                executed: 32,
+                corpus: 4,
+                coverage: 21,
+            },
+            FuzzEvent::Finding {
+                key: "check-region-strcpy".into(),
+                len: 6,
+            },
+            FuzzEvent::Shrunk {
+                key: "check-region-strcpy".into(),
+                from_len: 6,
+                to_len: 2,
+                probes: 19,
+            },
+            FuzzEvent::Pinned {
+                key: "check-region-strcpy".into(),
+                file: "check-region-strcpy.pin".into(),
+            },
+            FuzzEvent::Done {
+                executed: 2000,
+                coverage: 131,
+                findings: 12,
+            },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            let line = e.to_json(i as u64);
+            json::validate(&line).unwrap_or_else(|err| panic!("{line}: {err}"));
+            assert!(line.contains(&format!("\"seq\":{i}")));
+        }
+    }
+
+    #[test]
+    fn chrome_export_is_a_pure_function_of_the_stream() {
+        let events: Vec<(u64, FuzzEvent)> = vec![
+            (
+                0,
+                FuzzEvent::Finding {
+                    key: "divergence-fopen".into(),
+                    len: 3,
+                },
+            ),
+            (
+                1,
+                FuzzEvent::Round {
+                    round: 0,
+                    executed: 32,
+                    corpus: 2,
+                    coverage: 9,
+                },
+            ),
+        ];
+        let a = chrome_trace(&events).render();
+        let b = chrome_trace(&events).render();
+        assert_eq!(a, b);
+        json::validate(a.trim()).unwrap();
+        assert!(a.contains("\"name\":\"finding:divergence-fopen\",\"ph\":\"i\""));
+        assert!(a.contains("\"name\":\"round:0\",\"ph\":\"X\""));
+    }
+}

@@ -1,0 +1,415 @@
+//! Contained sequence execution.
+//!
+//! A whole sequence runs inside **one** copy-on-write child
+//! ([`Containment::Cow`]) of a pristine guarded world: state flows
+//! between the steps (that is the point of sequence fuzzing), but
+//! nothing a sequence does — partial writes, allocator corruption, a
+//! fault at step 3 — can leak into the fuzzer or the next sequence.
+//! The same sequence can be executed *unwrapped* (calls go straight to
+//! the library; crashes are the coverage signal) or *wrapped* (calls
+//! route through a [`RobustnessWrapper`]; check outcomes are the
+//! coverage signal and a crash is a finding).
+
+use healers_core::checker::CheckKind;
+use healers_core::wrapper::{RobustnessWrapper, WrapperBuilder, WrapperConfig};
+use healers_core::{CheckOutcomes, FunctionDecl};
+use healers_inject::benign_arg;
+use healers_libc::{Libc, World};
+use healers_simproc::{
+    run_in_child_with, ChildResult, Containment, CoverageSite, FaultSite, PageRun, Protection,
+    SimValue,
+};
+use healers_typesys::Outcome;
+
+use crate::sequence::{ArgSpec, Sequence};
+
+/// Stable lowercase token for an [`Outcome`].
+pub fn outcome_label(outcome: Outcome) -> &'static str {
+    match outcome {
+        Outcome::Success => "success",
+        Outcome::ErrorReturn => "error",
+        Outcome::Crash => "crash",
+        Outcome::Hang => "hang",
+        Outcome::Abort => "abort",
+    }
+}
+
+/// Parse an outcome token back (pin replay).
+pub fn outcome_from_label(label: &str) -> Option<Outcome> {
+    Some(match label {
+        "success" => Outcome::Success,
+        "error" => Outcome::ErrorReturn,
+        "crash" => Outcome::Crash,
+        "hang" => Outcome::Hang,
+        "abort" => Outcome::Abort,
+        _ => return None,
+    })
+}
+
+/// What one executed step did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepRecord {
+    /// The function called.
+    pub function: String,
+    /// Robustness classification of the call.
+    pub outcome: Outcome,
+    /// The returned value, if the call returned.
+    pub returned: Option<SimValue>,
+    /// `errno` after the call (zeroed before each step).
+    pub errno: i32,
+    /// Address-free fault provenance, when the step segfaulted.
+    pub site: Option<CoverageSite>,
+    /// Check-outcome deltas this step contributed (wrapped mode only):
+    /// `(kind, passed, failed)` for kinds with activity.
+    pub checks: Vec<(CheckKind, u64, u64)>,
+}
+
+/// The result of executing one sequence in one mode.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// Per-step records; shorter than the sequence if a step faulted.
+    pub steps: Vec<StepRecord>,
+    /// Whether every step ran without a fault.
+    pub completed: bool,
+    /// Violations the wrapper absorbed (0 in unwrapped mode).
+    pub violations: u64,
+    /// Total wrapped check outcomes (empty in unwrapped mode).
+    pub check_outcomes: CheckOutcomes,
+    /// FNV-1a digest of the final world image (page-run layout +
+    /// readable page contents + `errno`); 0 when the run faulted.
+    pub digest: u64,
+}
+
+/// How to execute a sequence.
+pub enum ExecMode<'d> {
+    /// Straight to the library.
+    Unwrapped,
+    /// Through a robustness wrapper built from these declarations.
+    Wrapped {
+        /// The declaration corpus for the wrapper.
+        decls: &'d [FunctionDecl],
+        /// Wrapper configuration (full-auto for `mode full`, semi-auto
+        /// with overrides for `mode semi`).
+        config: WrapperConfig,
+    },
+}
+
+/// Materialize one argument spec into a concrete [`SimValue`],
+/// allocating strings/buffers in the child world as needed.
+fn materialize(
+    world: &mut World,
+    libc: &Libc,
+    function: &str,
+    index: usize,
+    spec: &ArgSpec,
+    results: &[Option<SimValue>],
+) -> SimValue {
+    match spec {
+        ArgSpec::Int(v) => SimValue::Int(*v),
+        ArgSpec::Dbl(v) => SimValue::Double(*v),
+        ArgSpec::Null => SimValue::NULL,
+        ArgSpec::Wild(a) => SimValue::Ptr(*a),
+        ArgSpec::Str(s) => SimValue::Ptr(world.alloc_cstr(s)),
+        ArgSpec::Buf(n) => SimValue::Ptr(world.alloc_buf(*n)),
+        ArgSpec::Out(i) => match results.get(*i).copied().flatten() {
+            Some(SimValue::Void) | None => SimValue::Int(0),
+            Some(v) => v,
+        },
+        ArgSpec::Benign => {
+            let proto = &libc
+                .get(function)
+                .unwrap_or_else(|| panic!("undefined symbol: {function}"))
+                .proto;
+            benign_arg(proto, index, world)
+        }
+    }
+}
+
+/// Execute `seq` in `mode` against a fresh guarded world. The whole
+/// run happens inside a single CoW child; the parent world never
+/// changes.
+pub fn execute(libc: &Libc, seq: &Sequence, mode: ExecMode<'_>) -> ExecResult {
+    let parent = World::new_guarded();
+    let mut wrapper: Option<RobustnessWrapper> = match mode {
+        ExecMode::Unwrapped => None,
+        ExecMode::Wrapped { decls, config } => Some(
+            WrapperBuilder::new()
+                .decls(decls.to_vec())
+                .config(config)
+                .build(),
+        ),
+    };
+
+    let mut records: Vec<StepRecord> = Vec::with_capacity(seq.len());
+    let (result, child) = run_in_child_with(&parent, Containment::Cow, |w: &mut World| {
+        let mut results: Vec<Option<SimValue>> = Vec::with_capacity(seq.len());
+        for step in &seq.steps {
+            let proto_len = libc
+                .get(&step.function)
+                .unwrap_or_else(|| panic!("undefined symbol: {}", step.function))
+                .proto
+                .params
+                .len();
+            // Materialize exactly the declared arity: missing specs
+            // fall back to benign, extras are dropped.
+            let args: Vec<SimValue> = (0..proto_len)
+                .map(|i| {
+                    let spec = step.args.get(i).unwrap_or(&ArgSpec::Benign);
+                    materialize(w, libc, &step.function, i, spec, &results)
+                })
+                .collect();
+            w.proc.set_errno(0);
+            let before = wrapper
+                .as_ref()
+                .map(|wr| wr.stats.check_outcomes)
+                .unwrap_or_default();
+            let call_result = match wrapper.as_mut() {
+                Some(wr) => wr.call(libc, w, &step.function, &args),
+                None => libc.call(w, &step.function, &args),
+            };
+            let checks = wrapper
+                .as_ref()
+                .map(|wr| {
+                    CheckKind::ALL
+                        .iter()
+                        .map(|&k| {
+                            (
+                                k,
+                                wr.stats.check_outcomes.passed(k) - before.passed(k),
+                                wr.stats.check_outcomes.failed(k) - before.failed(k),
+                            )
+                        })
+                        .filter(|(_, p, f)| *p + *f > 0)
+                        .collect()
+                })
+                .unwrap_or_default();
+            match call_result {
+                Ok(v) => {
+                    let child_result = ChildResult::Returned(v);
+                    let (outcome, returned, errno) =
+                        healers_inject::classify_child_result(&child_result, w);
+                    records.push(StepRecord {
+                        function: step.function.clone(),
+                        outcome,
+                        returned,
+                        errno,
+                        site: None,
+                        checks,
+                    });
+                    results.push(Some(v));
+                }
+                Err(fault) => {
+                    let child_result = ChildResult::Faulted(fault.clone());
+                    let (outcome, returned, errno) =
+                        healers_inject::classify_child_result(&child_result, w);
+                    records.push(StepRecord {
+                        function: step.function.clone(),
+                        outcome,
+                        returned,
+                        errno,
+                        site: FaultSite::resolve(&fault, &w.proc).map(|s| s.coverage_site()),
+                        checks,
+                    });
+                    return Err(fault);
+                }
+            }
+        }
+        Ok(SimValue::Void)
+    });
+
+    let completed = matches!(result, ChildResult::Returned(_));
+    let digest = if completed { world_digest(&child) } else { 0 };
+    let (violations, check_outcomes) = match &wrapper {
+        Some(wr) => (wr.stats.violations, wr.stats.check_outcomes),
+        None => (0, CheckOutcomes::default()),
+    };
+    // The parent is the rollback: dropping the child discards exactly
+    // the pages the sequence dirtied.
+    drop(child);
+    drop(parent);
+    ExecResult {
+        steps: records,
+        completed,
+        violations,
+        check_outcomes,
+        digest,
+    }
+}
+
+/// FNV-1a over the final world image: every page run's layout, the
+/// contents of readable runs, and `errno`. Two worlds with the same
+/// digest went through the same observable history — this is the
+/// transparency oracle for wrapped-vs-unwrapped differential runs.
+pub fn world_digest(world: &World) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    let mut addr: u32 = 0;
+    loop {
+        let run: PageRun = world.proc.mem.page_run(addr);
+        let prot_tag: u8 = match run.prot {
+            None => 0,
+            Some(Protection::None) => 1,
+            Some(Protection::ReadOnly) => 2,
+            Some(Protection::ReadWrite) => 3,
+            Some(Protection::WriteOnly) => 4,
+        };
+        eat(&run.start.to_le_bytes());
+        eat(&run.pages.to_le_bytes());
+        eat(&[prot_tag]);
+        if run.prot.is_some_and(|p| p.allows_read()) {
+            let len = (u64::from(run.last()) - u64::from(run.start) + 1) as u32;
+            let bytes = world
+                .proc
+                .mem
+                .read_bytes(run.start, len)
+                .expect("readable run must read");
+            eat(&bytes);
+        }
+        if run.last() == u32::MAX {
+            break;
+        }
+        addr = run.last() + 1;
+    }
+    eat(&world.proc.errno().to_le_bytes());
+    hash
+}
+
+/// Convenience: execute wrapped with the full-auto configuration.
+pub fn execute_wrapped(libc: &Libc, seq: &Sequence, decls: &[FunctionDecl]) -> ExecResult {
+    execute(
+        libc,
+        seq,
+        ExecMode::Wrapped {
+            decls,
+            config: WrapperConfig::full_auto(),
+        },
+    )
+}
+
+/// Convenience: execute straight against the library.
+pub fn execute_unwrapped(libc: &Libc, seq: &Sequence) -> ExecResult {
+    execute(libc, seq, ExecMode::Unwrapped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::CallStep;
+    use healers_core::analyze;
+
+    fn seq(steps: Vec<CallStep>) -> Sequence {
+        Sequence { steps }
+    }
+
+    fn step(function: &str, args: Vec<ArgSpec>) -> CallStep {
+        CallStep {
+            function: function.into(),
+            args,
+        }
+    }
+
+    #[test]
+    fn outputs_flow_into_later_steps() {
+        let libc = Libc::standard();
+        let s = seq(vec![
+            step("malloc", vec![ArgSpec::Int(24)]),
+            step(
+                "strcpy",
+                vec![ArgSpec::Out(0), ArgSpec::Str("hello".into())],
+            ),
+            step("strlen", vec![ArgSpec::Out(0)]),
+            step("free", vec![ArgSpec::Out(0)]),
+        ]);
+        let r = execute_unwrapped(&libc, &s);
+        assert!(r.completed, "{:?}", r.steps);
+        assert_eq!(r.steps.len(), 4);
+        assert_eq!(r.steps[2].returned, Some(SimValue::Int(5)));
+        assert!(r.digest != 0);
+    }
+
+    #[test]
+    fn faulting_step_stops_the_sequence_and_yields_a_site() {
+        let libc = Libc::standard();
+        let s = seq(vec![
+            step("malloc", vec![ArgSpec::Int(8)]),
+            step(
+                "strcpy",
+                vec![ArgSpec::Out(0), ArgSpec::Str("way too long for 8".into())],
+            ),
+            step("free", vec![ArgSpec::Out(0)]),
+        ]);
+        let r = execute_unwrapped(&libc, &s);
+        assert!(!r.completed);
+        assert_eq!(r.steps.len(), 2, "sequence stops at the faulting step");
+        assert_eq!(r.steps[1].outcome, Outcome::Crash);
+        let site = r.steps[1].site.expect("segv has provenance");
+        assert_eq!(site.to_string(), "write:unmapped:guard-overrun");
+    }
+
+    #[test]
+    fn use_after_free_is_its_own_coverage_site() {
+        let libc = Libc::standard();
+        let s = seq(vec![
+            step("malloc", vec![ArgSpec::Int(24)]),
+            step("free", vec![ArgSpec::Out(0)]),
+            step("strlen", vec![ArgSpec::Out(0)]),
+        ]);
+        let r = execute_unwrapped(&libc, &s);
+        assert!(!r.completed);
+        let site = r.steps[2].site.expect("uaf faults");
+        assert!(site.to_string().contains("freed-block"), "{site}");
+    }
+
+    #[test]
+    fn wrapper_absorbs_the_overrun_and_reports_check_outcomes() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["malloc", "strcpy", "free"]);
+        let s = seq(vec![
+            step("malloc", vec![ArgSpec::Int(8)]),
+            step(
+                "strcpy",
+                vec![ArgSpec::Out(0), ArgSpec::Str("way too long for 8".into())],
+            ),
+            step("free", vec![ArgSpec::Out(0)]),
+        ]);
+        let r = execute_wrapped(&libc, &s, &decls);
+        assert!(
+            r.completed,
+            "wrapper must absorb the overrun: {:?}",
+            r.steps
+        );
+        assert!(r.violations >= 1);
+        assert_eq!(r.steps[1].outcome, Outcome::ErrorReturn);
+        // The strcpy step performed region/string checks.
+        assert!(!r.steps[1].checks.is_empty());
+        let failed: u64 = r.steps[1].checks.iter().map(|(_, _, f)| f).sum();
+        assert!(failed >= 1, "{:?}", r.steps[1].checks);
+    }
+
+    #[test]
+    fn digests_are_deterministic_and_transparent_when_benign() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["malloc", "strcpy", "free"]);
+        let s = seq(vec![
+            step("malloc", vec![ArgSpec::Int(64)]),
+            step("strcpy", vec![ArgSpec::Out(0), ArgSpec::Str("ok".into())]),
+            step("free", vec![ArgSpec::Out(0)]),
+        ]);
+        let unwrapped = execute_unwrapped(&libc, &s);
+        let unwrapped2 = execute_unwrapped(&libc, &s);
+        let wrapped = execute_wrapped(&libc, &s, &decls);
+        assert_eq!(unwrapped.digest, unwrapped2.digest);
+        assert_eq!(wrapped.violations, 0);
+        assert_eq!(
+            unwrapped.digest, wrapped.digest,
+            "no check fired — images must be identical"
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Finding detection: what makes a sequence worth shrinking and
+//! pinning.
+//!
+//! Three kinds of event qualify:
+//!
+//! - **check violation** — the wrapper absorbed a robustness violation
+//!   (some check kind failed at some function). These are the bread
+//!   and butter: each `(kind, function)` pair is pinned once so the
+//!   checker's behaviour on that shape of abuse is regression-locked.
+//! - **wrapped crash** — the *wrapped* execution still segfaulted.
+//!   The wrapper's whole contract is to absorb; a crash that gets
+//!   through is a wrapper bug (or an uncheckable hole worth recording).
+//! - **divergence** — no check fired (`violations == 0`) yet the
+//!   wrapped and unwrapped executions produced different observable
+//!   histories (completion, per-step outcome/return/errno, or final
+//!   world-image digest). That breaks the transparency contract of
+//!   DSN 2002 §4: a wrapper that changes benign behaviour is not a
+//!   wrapper.
+
+use healers_core::checker::CheckKind;
+use healers_simproc::CoverageSite;
+
+use crate::exec::ExecResult;
+
+/// What kind of finding a sequence exhibits.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FindingKind {
+    /// The wrapper absorbed a failed check of this kind at this call.
+    CheckViolation { kind: CheckKind, function: String },
+    /// The wrapped execution segfaulted at this call with this site.
+    WrappedCrash {
+        function: String,
+        site: Option<CoverageSite>,
+    },
+    /// Benign transparency broke: first differing function, if any.
+    Divergence { function: String },
+}
+
+/// A finding with its stable dedup key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub kind: FindingKind,
+}
+
+impl Finding {
+    /// Stable slug used for dedup, journal lines and pin file names.
+    /// Lowercase, `[a-z0-9-]` only.
+    pub fn key(&self) -> String {
+        match &self.kind {
+            FindingKind::CheckViolation { kind, function } => {
+                format!("check-{}-{}", kind.label(), slug(function))
+            }
+            FindingKind::WrappedCrash { function, site } => match site {
+                Some(s) => format!("wrapped-crash-{}-{}", slug(function), slug(&s.to_string())),
+                None => format!("wrapped-crash-{}", slug(function)),
+            },
+            FindingKind::Divergence { function } => format!("divergence-{}", slug(function)),
+        }
+    }
+}
+
+fn slug(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// Compare two executions step-by-step; the function name of the first
+/// observable difference, or `None` if the histories match.
+fn first_divergence(wrapped: &ExecResult, unwrapped: &ExecResult) -> Option<String> {
+    for (w, u) in wrapped.steps.iter().zip(&unwrapped.steps) {
+        debug_assert_eq!(w.function, u.function);
+        if w.outcome != u.outcome || w.returned != u.returned || w.errno != u.errno {
+            return Some(w.function.clone());
+        }
+    }
+    if wrapped.steps.len() != unwrapped.steps.len() || wrapped.completed != unwrapped.completed {
+        let longer = if wrapped.steps.len() >= unwrapped.steps.len() {
+            &wrapped.steps
+        } else {
+            &unwrapped.steps
+        };
+        return longer
+            .get(wrapped.steps.len().min(unwrapped.steps.len()))
+            .map(|s| s.function.clone());
+    }
+    if wrapped.completed && wrapped.digest != unwrapped.digest {
+        return wrapped.steps.last().map(|s| s.function.clone());
+    }
+    None
+}
+
+/// Extract every finding a (wrapped, unwrapped) execution pair
+/// exhibits. Deterministic: findings come out in step order, then
+/// check-kind order.
+pub fn detect(wrapped: &ExecResult, unwrapped: &ExecResult) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for step in &wrapped.steps {
+        for &(kind, _, failed) in &step.checks {
+            if failed > 0 {
+                findings.push(Finding {
+                    kind: FindingKind::CheckViolation {
+                        kind,
+                        function: step.function.clone(),
+                    },
+                });
+            }
+        }
+    }
+    if !wrapped.completed {
+        if let Some(last) = wrapped.steps.last() {
+            findings.push(Finding {
+                kind: FindingKind::WrappedCrash {
+                    function: last.function.clone(),
+                    site: last.site,
+                },
+            });
+        }
+    }
+    if wrapped.violations == 0 {
+        if let Some(function) = first_divergence(wrapped, unwrapped) {
+            findings.push(Finding {
+                kind: FindingKind::Divergence { function },
+            });
+        }
+    }
+    findings
+}
+
+/// Whether `finding` still reproduces on a fresh execution pair.
+/// This is the shrink oracle: a reduction is kept only if the same
+/// finding *key* survives.
+pub fn reproduces(finding: &Finding, wrapped: &ExecResult, unwrapped: &ExecResult) -> bool {
+    let key = finding.key();
+    detect(wrapped, unwrapped).iter().any(|f| f.key() == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use healers_simproc::{AccessKind, BlockAttribution};
+
+    #[test]
+    fn keys_are_stable_slugs() {
+        let f = Finding {
+            kind: FindingKind::CheckViolation {
+                kind: CheckKind::Region,
+                function: "strcpy".into(),
+            },
+        };
+        assert_eq!(f.key(), "check-region-strcpy");
+        let c = Finding {
+            kind: FindingKind::WrappedCrash {
+                function: "memcpy".into(),
+                site: Some(CoverageSite {
+                    access: AccessKind::Write,
+                    prot: None,
+                    attribution: BlockAttribution::GuardOverrun,
+                }),
+            },
+        };
+        assert_eq!(c.key(), "wrapped-crash-memcpy-write-unmapped-guard-overrun");
+        let d = Finding {
+            kind: FindingKind::Divergence {
+                function: "fopen".into(),
+            },
+        };
+        assert_eq!(d.key(), "divergence-fopen");
+    }
+}

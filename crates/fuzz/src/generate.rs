@@ -1,0 +1,494 @@
+//! Dependency-graph sequence generation and mutation.
+//!
+//! The generator walks the declaration corpus's *resource graph* (the
+//! RULF idea applied to libc): every prototype is classified by what
+//! typed resources it produces (heap blocks, `FILE *` streams, `DIR *`
+//! handles, file descriptors) and what its parameters consume. A
+//! sequence is grown left to right; whenever a parameter wants a
+//! resource an earlier step produced, the generator wires an
+//! [`ArgSpec::Out`] edge with high probability — that is what makes
+//! `malloc → strcpy → free` or `fopen → fread → fclose` chains (and
+//! their buggy permutations: use-after-free, read-after-close) come
+//! out of random bytes.
+//!
+//! Everything here is a pure function of the supplied [`rand::rngs::StdRng`]
+//! — no ambient randomness — which is half of the fuzzer's determinism
+//! contract (the other half is the batched merge loop in `fuzzer.rs`).
+
+use healers_ctypes::{CType, FunctionPrototype, Param};
+use healers_libc::Libc;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::sequence::{ArgSpec, CallStep, Sequence};
+
+/// The typed resources flowing through a sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resource {
+    /// A heap block (freeable pointer).
+    Heap,
+    /// A `FILE *` stream.
+    File,
+    /// A `DIR *` handle.
+    Dir,
+    /// A file descriptor.
+    Fd,
+    /// Some other non-null pointer (interior, static, …).
+    Ptr,
+}
+
+/// What one parameter wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Want {
+    File,
+    Dir,
+    Fd,
+    CharPtr,
+    OtherPtr,
+    Integer,
+    Floating,
+}
+
+fn param_want(param: &Param) -> Want {
+    let named = |p: &Param, needles: &[&str]| -> bool {
+        match &p.name {
+            Some(n) => {
+                let lower = n.to_lowercase();
+                needles.iter().any(|needle| lower.contains(needle))
+            }
+            None => false,
+        }
+    };
+    match &param.ty {
+        CType::Pointer { pointee, .. } => match pointee.as_ref() {
+            CType::Named(n) if n == "FILE" => Want::File,
+            CType::Named(n) if n == "DIR" => Want::Dir,
+            CType::Primitive(healers_ctypes::Primitive::Char) => Want::CharPtr,
+            _ => Want::OtherPtr,
+        },
+        ty if ty.is_arithmetic() => {
+            if named(param, &["fd", "fildes"]) {
+                Want::Fd
+            } else if matches!(
+                ty,
+                CType::Primitive(p) if p.is_float()
+            ) {
+                Want::Floating
+            } else {
+                Want::Integer
+            }
+        }
+        _ => Want::OtherPtr,
+    }
+}
+
+/// What a function's return value provides to later steps.
+pub fn provides(proto: &FunctionPrototype) -> Option<Resource> {
+    match &proto.ret {
+        CType::Pointer { pointee, .. } => Some(match pointee.as_ref() {
+            CType::Named(n) if n == "FILE" => Resource::File,
+            CType::Named(n) if n == "DIR" => Resource::Dir,
+            _ => match proto.name.as_str() {
+                // Fresh, freeable heap blocks only; interior/static
+                // pointers (strchr, strerror, …) are plain pointers.
+                "malloc" | "calloc" | "realloc" | "strdup" | "getcwd" | "tmpnam" | "gets"
+                | "fgets" => {
+                    if matches!(
+                        proto.name.as_str(),
+                        "malloc" | "calloc" | "realloc" | "strdup"
+                    ) {
+                        Resource::Heap
+                    } else {
+                        Resource::Ptr
+                    }
+                }
+                _ => Resource::Ptr,
+            },
+        }),
+        ret if ret.is_arithmetic() => match proto.name.as_str() {
+            "open" | "creat" | "dup" | "dup2" | "fileno" => Some(Resource::Fd),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// The argument index whose resource this call revokes (free/close
+/// family), if any. Used to mark resources dead so later uses become
+/// deliberate use-after-free / read-after-close probes.
+pub fn kills(function: &str) -> Option<usize> {
+    match function {
+        "free" | "realloc" => Some(0),
+        "fclose" => Some(0),
+        "closedir" => Some(0),
+        "close" => Some(0),
+        "freopen" => Some(2),
+        _ => None,
+    }
+}
+
+/// The function pool a fuzz run draws from: name-sorted prototypes
+/// (sorted so pool construction is independent of caller order).
+#[derive(Debug, Clone)]
+pub struct Pool {
+    protos: Vec<FunctionPrototype>,
+}
+
+impl Pool {
+    /// Build a pool from exported function names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is not exported by `libc` — callers validate
+    /// names at the CLI boundary.
+    pub fn new(libc: &Libc, functions: &[&str]) -> Pool {
+        let mut names: Vec<&str> = functions.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        let protos = names
+            .iter()
+            .map(|n| {
+                libc.get(n)
+                    .unwrap_or_else(|| panic!("undefined symbol: {n}"))
+                    .proto
+                    .clone()
+            })
+            .collect();
+        Pool { protos }
+    }
+
+    /// The prototypes, in name order.
+    pub fn protos(&self) -> &[FunctionPrototype] {
+        &self.protos
+    }
+
+    fn pick<'p>(&'p self, rng: &mut StdRng) -> &'p FunctionPrototype {
+        let i = rng.random_range(0..self.protos.len() as u64) as usize;
+        &self.protos[i]
+    }
+}
+
+/// A resource produced by an earlier step, with liveness tracking.
+#[derive(Debug, Clone, Copy)]
+struct Avail {
+    step: usize,
+    kind: Resource,
+    alive: bool,
+}
+
+/// Choose the spec for one parameter given the resources available so
+/// far. `adversarial` scales how often hostile values (null, wild,
+/// dead resources, tiny buffers) are chosen.
+fn choose_arg(rng: &mut StdRng, want: Want, avail: &[Avail]) -> ArgSpec {
+    let matching =
+        |kind: Resource| -> Vec<&Avail> { avail.iter().filter(|a| a.kind == kind).collect() };
+    let pick_from = |rng: &mut StdRng, set: &[&Avail]| -> ArgSpec {
+        let i = rng.random_range(0..set.len() as u64) as usize;
+        ArgSpec::Out(set[i].step)
+    };
+    // A small chance of hostile values applies to every pointer-like
+    // parameter.
+    let hostile = |rng: &mut StdRng| -> Option<ArgSpec> {
+        if rng.random_bool(0.04) {
+            Some(ArgSpec::Null)
+        } else if rng.random_bool(0.04) {
+            Some(ArgSpec::Wild(0xdead_0000))
+        } else {
+            None
+        }
+    };
+    match want {
+        Want::File | Want::Dir | Want::Fd => {
+            let kind = match want {
+                Want::File => Resource::File,
+                Want::Dir => Resource::Dir,
+                _ => Resource::Fd,
+            };
+            if let Some(spec) = hostile(rng) {
+                return spec;
+            }
+            let set = matching(kind);
+            if !set.is_empty() && rng.random_bool(0.8) {
+                // Mostly wire live resources; occasionally pick a dead
+                // one — that's the use-after-close probe happening
+                // organically.
+                let live: Vec<&Avail> = set.iter().filter(|a| a.alive).copied().collect();
+                if !live.is_empty() && rng.random_bool(0.85) {
+                    return pick_from(rng, &live);
+                }
+                return pick_from(rng, &set);
+            }
+            if want == Want::Fd && rng.random_bool(0.3) {
+                return ArgSpec::Int(*pick_slice(rng, &[-1, 0, 1, 2, 63, 999]));
+            }
+            ArgSpec::Benign
+        }
+        Want::CharPtr => {
+            if let Some(spec) = hostile(rng) {
+                return spec;
+            }
+            let heap = matching(Resource::Heap);
+            let ptr = matching(Resource::Ptr);
+            let roll = rng.random_range(0..10u64);
+            match roll {
+                0..=2 => ArgSpec::Str(random_string(rng)),
+                3..=4 => ArgSpec::Buf(random_buf_len(rng)),
+                5..=6 if !heap.is_empty() => pick_from(rng, &heap),
+                7 if !ptr.is_empty() => pick_from(rng, &ptr),
+                _ => ArgSpec::Benign,
+            }
+        }
+        Want::OtherPtr => {
+            if let Some(spec) = hostile(rng) {
+                return spec;
+            }
+            let heap = matching(Resource::Heap);
+            let roll = rng.random_range(0..10u64);
+            match roll {
+                0..=3 => ArgSpec::Buf(random_buf_len(rng)),
+                4..=5 if !heap.is_empty() => pick_from(rng, &heap),
+                _ => ArgSpec::Benign,
+            }
+        }
+        Want::Integer => {
+            if rng.random_bool(0.55) {
+                ArgSpec::Benign
+            } else {
+                ArgSpec::Int(*pick_slice(
+                    rng,
+                    &[-1, 0, 1, 2, 7, 16, 64, 255, 4096, 65536, i32::MAX as i64],
+                ))
+            }
+        }
+        Want::Floating => {
+            if rng.random_bool(0.6) {
+                ArgSpec::Benign
+            } else {
+                ArgSpec::Dbl(*pick_slice(rng, &[0.0, 1.5, -3.25, 1e9]))
+            }
+        }
+    }
+}
+
+fn pick_slice<'v, T>(rng: &mut StdRng, values: &'v [T]) -> &'v T {
+    &values[rng.random_range(0..values.len() as u64) as usize]
+}
+
+fn random_string(rng: &mut StdRng) -> String {
+    const ALPHABET: &[u8] = b"abcxyz019 /.%-";
+    let len = rng.random_range(0..24u64) as usize;
+    (0..len)
+        .map(|_| *pick_slice(rng, ALPHABET) as char)
+        .collect()
+}
+
+fn random_buf_len(rng: &mut StdRng) -> u32 {
+    // Small buffers dominate: overruns at the 0/1/word boundaries are
+    // where the robust-type lattice has its edges.
+    *pick_slice(rng, &[0, 1, 2, 4, 8, 15, 16, 64, 256, 4096])
+}
+
+/// Generate one step calling `proto`, wiring arguments against the
+/// available resources.
+fn generate_step(rng: &mut StdRng, proto: &FunctionPrototype, avail: &[Avail]) -> CallStep {
+    let args = proto
+        .params
+        .iter()
+        .map(|p| choose_arg(rng, param_want(p), avail))
+        .collect();
+    CallStep {
+        function: proto.name.clone(),
+        args,
+    }
+}
+
+/// Recompute the resource table for a prefix of `seq` (used when
+/// mutating mid-sequence) — exactly the bookkeeping `generate` does
+/// while growing a fresh sequence.
+fn avail_after(pool: &Pool, seq: &Sequence, upto: usize) -> Vec<Avail> {
+    let mut avail: Vec<Avail> = Vec::new();
+    for (i, step) in seq.steps.iter().take(upto).enumerate() {
+        if let Some(kill_index) = kills(&step.function) {
+            if let Some(ArgSpec::Out(r)) = step.args.get(kill_index) {
+                let r = *r;
+                for a in &mut avail {
+                    if a.step == r {
+                        a.alive = false;
+                    }
+                }
+            }
+        }
+        if let Some(proto) = pool.protos.iter().find(|p| p.name == step.function) {
+            if let Some(kind) = provides(proto) {
+                avail.push(Avail {
+                    step: i,
+                    kind,
+                    alive: true,
+                });
+            }
+        }
+    }
+    avail
+}
+
+/// Generate a fresh random sequence of up to `max_len` calls.
+pub fn generate(rng: &mut StdRng, pool: &Pool, max_len: usize) -> Sequence {
+    let len = rng.random_range(2..=(max_len.max(2)) as u64) as usize;
+    let mut seq = Sequence::default();
+    for i in 0..len {
+        let avail = avail_after(pool, &seq, i);
+        let proto = pool.pick(rng);
+        seq.steps.push(generate_step(rng, proto, &avail));
+    }
+    seq
+}
+
+/// Mutate `parent` into a new sequence: 1–3 random edits drawn from
+/// {drop step, insert step, replace argument, retarget output edge,
+/// append step}.
+pub fn mutate(rng: &mut StdRng, pool: &Pool, parent: &Sequence, max_len: usize) -> Sequence {
+    let mut seq = parent.clone();
+    let edits = rng.random_range(1..=3u64);
+    for _ in 0..edits {
+        let op = rng.random_range(0..5u64);
+        match op {
+            0 if seq.len() > 1 => {
+                let i = rng.random_range(0..seq.len() as u64) as usize;
+                seq = seq.remove_step(i);
+            }
+            1 if seq.len() < max_len => {
+                let at = rng.random_range(0..=seq.len() as u64) as usize;
+                let avail = avail_after(pool, &seq, at);
+                let proto = pool.pick(rng);
+                let step = generate_step(rng, proto, &avail);
+                seq = seq.insert_step(at, step);
+            }
+            2 => {
+                let i = rng.random_range(0..seq.len() as u64) as usize;
+                if !seq.steps[i].args.is_empty() {
+                    let a = rng.random_range(0..seq.steps[i].args.len() as u64) as usize;
+                    let avail = avail_after(pool, &seq, i);
+                    let function = seq.steps[i].function.clone();
+                    if let Some(proto) = pool.protos.iter().find(|p| p.name == function) {
+                        seq.steps[i].args[a] =
+                            choose_arg(rng, param_want(&proto.params[a]), &avail);
+                    }
+                }
+            }
+            3 => {
+                // Retarget one Out edge at any earlier producer —
+                // including dead ones (use-after-free probing).
+                let i = rng.random_range(0..seq.len() as u64) as usize;
+                let avail = avail_after(pool, &seq, i);
+                if !avail.is_empty() {
+                    if let Some(slot) = seq.steps[i]
+                        .args
+                        .iter_mut()
+                        .find(|a| matches!(a, ArgSpec::Out(_)))
+                    {
+                        let pick = avail[rng.random_range(0..avail.len() as u64) as usize];
+                        *slot = ArgSpec::Out(pick.step);
+                    }
+                }
+            }
+            _ if seq.len() < max_len => {
+                let avail = avail_after(pool, &seq, seq.len());
+                let proto = pool.pick(rng);
+                let step = generate_step(rng, proto, &avail);
+                let at = seq.len();
+                seq = seq.insert_step(at, step);
+            }
+            _ => {}
+        }
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn pool() -> (Libc, Pool) {
+        let libc = Libc::standard();
+        let names = [
+            "malloc", "free", "strcpy", "strlen", "fopen", "fread", "fclose", "open", "read",
+            "close", "opendir", "readdir", "closedir", "abs",
+        ];
+        let pool = Pool::new(&libc, &names);
+        (libc, pool)
+    }
+
+    #[test]
+    fn classification_of_providers_and_killers() {
+        let (libc, _) = pool();
+        let proto = |n: &str| libc.get(n).unwrap().proto.clone();
+        assert_eq!(provides(&proto("malloc")), Some(Resource::Heap));
+        assert_eq!(provides(&proto("fopen")), Some(Resource::File));
+        assert_eq!(provides(&proto("opendir")), Some(Resource::Dir));
+        assert_eq!(provides(&proto("open")), Some(Resource::Fd));
+        assert_eq!(provides(&proto("strchr")), Some(Resource::Ptr));
+        assert_eq!(provides(&proto("abs")), None);
+        assert_eq!(kills("free"), Some(0));
+        assert_eq!(kills("freopen"), Some(2));
+        assert_eq!(kills("strlen"), None);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_well_formed() {
+        let (_, pool) = pool();
+        for seed in 0..50u64 {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            let sa = generate(&mut a, &pool, 8);
+            let sb = generate(&mut b, &pool, 8);
+            assert_eq!(sa, sb);
+            assert!(sa.len() >= 2 && sa.len() <= 8);
+            for (i, step) in sa.steps.iter().enumerate() {
+                for arg in &step.args {
+                    if let ArgSpec::Out(r) = arg {
+                        assert!(*r < i, "forward reference in {sa:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_preserves_well_formedness() {
+        let (_, pool) = pool();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seq = generate(&mut rng, &pool, 8);
+        for _ in 0..200 {
+            seq = mutate(&mut rng, &pool, &seq, 8);
+            assert!(!seq.is_empty());
+            assert!(seq.len() <= 8 + 1, "len {}", seq.len());
+            for (i, step) in seq.steps.iter().enumerate() {
+                for arg in &step.args {
+                    if let ArgSpec::Out(r) = arg {
+                        assert!(*r < i, "forward reference after mutation: {seq:?}");
+                    }
+                }
+            }
+            // Round-trips through the seed format too.
+            assert_eq!(Sequence::parse(&seq.render()).unwrap(), seq);
+        }
+    }
+
+    #[test]
+    fn sequences_wire_dependency_edges() {
+        let (_, pool) = pool();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut edges = 0usize;
+        for _ in 0..100 {
+            let seq = generate(&mut rng, &pool, 8);
+            edges += seq
+                .steps
+                .iter()
+                .flat_map(|s| &s.args)
+                .filter(|a| matches!(a, ArgSpec::Out(_)))
+                .count();
+        }
+        assert!(edges > 20, "dependency edges should be common, got {edges}");
+    }
+}

@@ -1,0 +1,356 @@
+//! Crash-to-regression-test pinning.
+//!
+//! A *pin* is a shrunk sequence plus the exact observable behaviour it
+//! had when it was found: per-step outcome and `errno`, the wrapper's
+//! violation count, and the per-kind check tallies. Pins are committed
+//! under `tests/fuzz_pins/` and replayed by `cargo test` — the fuzzer
+//! turning its own findings into permanent regression tests is the
+//! whole point of this crate.
+//!
+//! The format extends the seed format with `finding`, `mode` and
+//! `expect` directives:
+//!
+//! ```text
+//! # healers-fuzz pin v1
+//! finding check-region-strcpy
+//! mode full
+//! call malloc int:8
+//! call strcpy out:0 str:"aaaaaaaaaaaaaaaaa"
+//! expect completed true
+//! expect violations 1
+//! expect step 0 success errno 0
+//! expect step 1 error errno 22
+//! expect check region pass 1 fail 1
+//! ```
+
+use healers_core::checker::CheckKind;
+use healers_core::wrapper::WrapperConfig;
+use healers_core::FunctionDecl;
+use healers_libc::Libc;
+
+use crate::exec::{execute, outcome_from_label, outcome_label, ExecMode, ExecResult};
+use crate::sequence::Sequence;
+
+/// Which wrapper configuration a pin replays under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinMode {
+    /// `WrapperConfig::full_auto()`.
+    Full,
+    /// `WrapperConfig::semi_auto()` (stream/dir tracking, assertions).
+    Semi,
+}
+
+impl PinMode {
+    fn label(self) -> &'static str {
+        match self {
+            PinMode::Full => "full",
+            PinMode::Semi => "semi",
+        }
+    }
+
+    /// The wrapper configuration this mode denotes.
+    pub fn config(self) -> WrapperConfig {
+        match self {
+            PinMode::Full => WrapperConfig::full_auto(),
+            PinMode::Semi => WrapperConfig::semi_auto(),
+        }
+    }
+}
+
+/// The recorded expectation of one pin.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Expectation {
+    /// Whether the wrapped run completed without a fault.
+    pub completed: bool,
+    /// Wrapper violation count.
+    pub violations: u64,
+    /// Per executed step: `(outcome-label, errno)`.
+    pub steps: Vec<(String, i32)>,
+    /// Per check kind with activity: `(kind-label, passed, failed)`,
+    /// in `CheckKind::ALL` order.
+    pub checks: Vec<(String, u64, u64)>,
+}
+
+impl Expectation {
+    /// Record what a wrapped execution actually did.
+    pub fn from_result(result: &ExecResult) -> Expectation {
+        Expectation {
+            completed: result.completed,
+            violations: result.violations,
+            steps: result
+                .steps
+                .iter()
+                .map(|s| (outcome_label(s.outcome).to_string(), s.errno))
+                .collect(),
+            checks: CheckKind::ALL
+                .iter()
+                .map(|&k| {
+                    (
+                        k.label().to_string(),
+                        result.check_outcomes.passed(k),
+                        result.check_outcomes.failed(k),
+                    )
+                })
+                .filter(|(_, p, f)| p + f > 0)
+                .collect(),
+        }
+    }
+}
+
+/// A pinned regression test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pin {
+    /// The finding key this pin locks in.
+    pub finding: String,
+    /// Wrapper configuration for replay.
+    pub mode: PinMode,
+    /// The shrunk sequence.
+    pub seq: Sequence,
+    /// Recorded behaviour.
+    pub expect: Expectation,
+}
+
+impl Pin {
+    /// The canonical file name for this pin: `<finding>.pin`.
+    pub fn file_name(&self) -> String {
+        format!("{}.pin", self.finding)
+    }
+
+    /// Render to the pin-file text.
+    pub fn render(&self) -> String {
+        let mut out = String::from("# healers-fuzz pin v1\n");
+        out.push_str(&format!("finding {}\n", self.finding));
+        out.push_str(&format!("mode {}\n", self.mode.label()));
+        for step in &self.seq.steps {
+            out.push_str(&step.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!("expect completed {}\n", self.expect.completed));
+        out.push_str(&format!("expect violations {}\n", self.expect.violations));
+        for (i, (outcome, errno)) in self.expect.steps.iter().enumerate() {
+            out.push_str(&format!("expect step {i} {outcome} errno {errno}\n"));
+        }
+        for (kind, passed, failed) in &self.expect.checks {
+            out.push_str(&format!(
+                "expect check {kind} pass {passed} fail {failed}\n"
+            ));
+        }
+        out
+    }
+
+    /// Parse a pin file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line.
+    pub fn parse(text: &str) -> Result<Pin, String> {
+        let mut finding: Option<String> = None;
+        let mut mode: Option<PinMode> = None;
+        let mut calls = String::new();
+        let mut expect = Expectation::default();
+        let mut saw_completed = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let err = |msg: &str| format!("line {}: {msg}", lineno + 1);
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("finding ") {
+                finding = Some(rest.trim().to_string());
+            } else if let Some(rest) = line.strip_prefix("mode ") {
+                mode = Some(match rest.trim() {
+                    "full" => PinMode::Full,
+                    "semi" => PinMode::Semi,
+                    other => return Err(err(&format!("unknown mode {other:?}"))),
+                });
+            } else if line.starts_with("call ") {
+                calls.push_str(line);
+                calls.push('\n');
+            } else if let Some(rest) = line.strip_prefix("expect ") {
+                let words: Vec<&str> = rest.split_whitespace().collect();
+                match words.as_slice() {
+                    ["completed", v] => {
+                        expect.completed = v
+                            .parse::<bool>()
+                            .map_err(|e| err(&format!("bad bool {v:?}: {e}")))?;
+                        saw_completed = true;
+                    }
+                    ["violations", v] => {
+                        expect.violations = v
+                            .parse::<u64>()
+                            .map_err(|e| err(&format!("bad count {v:?}: {e}")))?;
+                    }
+                    ["step", i, outcome, "errno", errno] => {
+                        let i: usize = i.parse().map_err(|_| err("bad step index"))?;
+                        if i != expect.steps.len() {
+                            return Err(err("step expectations out of order"));
+                        }
+                        outcome_from_label(outcome)
+                            .ok_or_else(|| err(&format!("unknown outcome {outcome:?}")))?;
+                        let errno: i32 = errno.parse().map_err(|_| err("bad errno"))?;
+                        expect.steps.push((outcome.to_string(), errno));
+                    }
+                    ["check", kind, "pass", p, "fail", f] => {
+                        if !CheckKind::ALL.iter().any(|k| k.label() == *kind) {
+                            return Err(err(&format!("unknown check kind {kind:?}")));
+                        }
+                        let p: u64 = p.parse().map_err(|_| err("bad pass count"))?;
+                        let f: u64 = f.parse().map_err(|_| err("bad fail count"))?;
+                        expect.checks.push(((*kind).to_string(), p, f));
+                    }
+                    _ => return Err(err(&format!("bad expect line {rest:?}"))),
+                }
+            } else {
+                return Err(err(&format!("unknown directive {line:?}")));
+            }
+        }
+        let seq = Sequence::parse(&calls)?;
+        if seq.is_empty() {
+            return Err("pin has no call lines".into());
+        }
+        if !saw_completed {
+            return Err("pin has no `expect completed` line".into());
+        }
+        Ok(Pin {
+            finding: finding.ok_or("pin has no `finding` line")?,
+            mode: mode.ok_or("pin has no `mode` line")?,
+            seq,
+            expect,
+        })
+    }
+
+    /// Replay this pin and compare against the recorded expectation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable diff of every divergence.
+    pub fn replay(&self, libc: &Libc, decls: &[FunctionDecl]) -> Result<(), String> {
+        let result = execute(
+            libc,
+            &self.seq,
+            ExecMode::Wrapped {
+                decls,
+                config: self.mode.config(),
+            },
+        );
+        let got = Expectation::from_result(&result);
+        if got == self.expect {
+            return Ok(());
+        }
+        let mut diffs = Vec::new();
+        if got.completed != self.expect.completed {
+            diffs.push(format!(
+                "completed: expected {}, got {}",
+                self.expect.completed, got.completed
+            ));
+        }
+        if got.violations != self.expect.violations {
+            diffs.push(format!(
+                "violations: expected {}, got {}",
+                self.expect.violations, got.violations
+            ));
+        }
+        if got.steps != self.expect.steps {
+            diffs.push(format!(
+                "steps: expected {:?}, got {:?}",
+                self.expect.steps, got.steps
+            ));
+        }
+        if got.checks != self.expect.checks {
+            diffs.push(format!(
+                "checks: expected {:?}, got {:?}",
+                self.expect.checks, got.checks
+            ));
+        }
+        Err(format!(
+            "pin {} diverged:\n  {}",
+            self.finding,
+            diffs.join("\n  ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::{ArgSpec, CallStep};
+    use healers_core::analyze;
+
+    fn overflow_seq() -> Sequence {
+        Sequence {
+            steps: vec![
+                CallStep {
+                    function: "malloc".into(),
+                    args: vec![ArgSpec::Int(8)],
+                },
+                CallStep {
+                    function: "strcpy".into(),
+                    args: vec![ArgSpec::Out(0), ArgSpec::Str("aaaaaaaaaaaaaaaa".into())],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn pin_round_trips_and_replays() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["malloc", "strcpy"]);
+        let seq = overflow_seq();
+        let result = execute(
+            &libc,
+            &seq,
+            ExecMode::Wrapped {
+                decls: &decls,
+                config: WrapperConfig::full_auto(),
+            },
+        );
+        let pin = Pin {
+            finding: "check-region-strcpy".into(),
+            mode: PinMode::Full,
+            seq,
+            expect: Expectation::from_result(&result),
+        };
+        let text = pin.render();
+        let parsed = Pin::parse(&text).unwrap();
+        assert_eq!(parsed, pin);
+        parsed.replay(&libc, &decls).unwrap();
+    }
+
+    #[test]
+    fn replay_reports_divergence() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["malloc", "strcpy"]);
+        let seq = overflow_seq();
+        let result = execute(
+            &libc,
+            &seq,
+            ExecMode::Wrapped {
+                decls: &decls,
+                config: WrapperConfig::full_auto(),
+            },
+        );
+        let mut expect = Expectation::from_result(&result);
+        expect.violations += 1;
+        let pin = Pin {
+            finding: "check-region-strcpy".into(),
+            mode: PinMode::Full,
+            seq,
+            expect,
+        };
+        let err = pin.replay(&libc, &decls).unwrap_err();
+        assert!(err.contains("violations"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_pins() {
+        assert!(Pin::parse("mode full\ncall free null\nexpect completed true").is_err());
+        assert!(Pin::parse("finding x\ncall free null\nexpect completed true").is_err());
+        assert!(Pin::parse("finding x\nmode full\nexpect completed true").is_err());
+        assert!(Pin::parse("finding x\nmode full\ncall free null").is_err());
+        assert!(Pin::parse("finding x\nmode odd\ncall free null\nexpect completed true").is_err());
+        assert!(Pin::parse(
+            "finding x\nmode full\ncall free null\nexpect completed true\nexpect check bogus pass 1 fail 0"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,411 @@
+//! Typed call sequences and their textual seed format.
+//!
+//! A [`Sequence`] is the fuzzer's unit of work: an ordered list of
+//! libc calls whose arguments are *specs*, not raw values. A spec can
+//! be a literal, a fresh allocation, the injector's benign value for
+//! that parameter, or — the dependency-graph edge — the **result of an
+//! earlier step** ([`ArgSpec::Out`]), which is how an fd returned by
+//! `open` flows into `read`, or a block returned by `malloc` flows
+//! into `strcpy` and later `free`.
+//!
+//! Sequences round-trip through a line-oriented text format (one
+//! `call` line per step) so every finding can be committed as a
+//! replayable seed file:
+//!
+//! ```text
+//! # healers-fuzz seed v1
+//! call malloc int:24
+//! call strcpy out:0 str:"hello"
+//! call free out:0
+//! ```
+
+use std::fmt;
+
+/// One argument of one call, as a symbolic spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgSpec {
+    /// A literal integer.
+    Int(i64),
+    /// A literal double (serialized as exact IEEE bits).
+    Dbl(f64),
+    /// The null pointer.
+    Null,
+    /// A raw pointer literal that no allocation backs (wild pointer).
+    Wild(u32),
+    /// A fresh NUL-terminated heap string with these contents.
+    Str(String),
+    /// A fresh writable heap buffer of this many bytes.
+    Buf(u32),
+    /// The value returned by step `i` of the same sequence.
+    Out(usize),
+    /// The injector's benign value for this parameter (see
+    /// `healers_inject::benign_arg`).
+    Benign,
+}
+
+impl fmt::Display for ArgSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgSpec::Int(v) => write!(f, "int:{v}"),
+            ArgSpec::Dbl(v) => write!(f, "dbl:{:#018x}", v.to_bits()),
+            ArgSpec::Null => write!(f, "null"),
+            ArgSpec::Wild(a) => write!(f, "wild:{a:#010x}"),
+            ArgSpec::Str(s) => write!(f, "str:\"{}\"", escape(s)),
+            ArgSpec::Buf(n) => write!(f, "buf:{n}"),
+            ArgSpec::Out(i) => write!(f, "out:{i}"),
+            ArgSpec::Benign => write!(f, "benign"),
+        }
+    }
+}
+
+/// One call in a sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallStep {
+    /// The libc function to call.
+    pub function: String,
+    /// One spec per declared parameter.
+    pub args: Vec<ArgSpec>,
+}
+
+impl fmt::Display for CallStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "call {}", self.function)?;
+        for a in &self.args {
+            write!(f, " {a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered list of calls — the fuzzer's genome.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Sequence {
+    /// The calls, executed in order inside one contained child.
+    pub steps: Vec<CallStep>,
+}
+
+impl Sequence {
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the sequence has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Remove step `index`, keeping the dependency graph well-formed:
+    /// references *to* the removed step fall back to [`ArgSpec::Benign`]
+    /// and references past it are renumbered. This is the shrinker's
+    /// deletion operator.
+    pub fn remove_step(&self, index: usize) -> Sequence {
+        let mut steps = Vec::with_capacity(self.steps.len() - 1);
+        for (i, step) in self.steps.iter().enumerate() {
+            if i == index {
+                continue;
+            }
+            let mut step = step.clone();
+            for arg in &mut step.args {
+                if let ArgSpec::Out(r) = arg {
+                    match (*r).cmp(&index) {
+                        std::cmp::Ordering::Equal => *arg = ArgSpec::Benign,
+                        std::cmp::Ordering::Greater => *arg = ArgSpec::Out(*r - 1),
+                        std::cmp::Ordering::Less => {}
+                    }
+                }
+            }
+            steps.push(step);
+        }
+        Sequence { steps }
+    }
+
+    /// Insert `step` before position `at` (which may equal `len` to
+    /// append), renumbering references so existing dependency edges are
+    /// preserved. `step`'s own `Out` references must already point at
+    /// steps before `at`.
+    pub fn insert_step(&self, at: usize, step: CallStep) -> Sequence {
+        let mut steps = Vec::with_capacity(self.steps.len() + 1);
+        for (i, existing) in self.steps.iter().enumerate() {
+            if i == at {
+                steps.push(step.clone());
+            }
+            let mut existing = existing.clone();
+            for arg in &mut existing.args {
+                if let ArgSpec::Out(r) = arg {
+                    if *r >= at {
+                        *arg = ArgSpec::Out(*r + 1);
+                    }
+                }
+            }
+            steps.push(existing);
+        }
+        if at >= self.steps.len() {
+            steps.push(step);
+        }
+        Sequence { steps }
+    }
+
+    /// Render as the seed-file text (header comment + one `call` line
+    /// per step, trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::from("# healers-fuzz seed v1\n");
+        for step in &self.steps {
+            out.push_str(&step.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the seed-file text. Comment lines (`#`) and blank lines
+    /// are ignored; unknown directives are errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line.
+    pub fn parse(text: &str) -> Result<Sequence, String> {
+        let mut steps = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let rest = line
+                .strip_prefix("call ")
+                .ok_or_else(|| format!("line {}: expected `call`, got {line:?}", lineno + 1))?;
+            let step = parse_step(rest).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            if let Some(bad) = step.args.iter().find_map(|a| match a {
+                ArgSpec::Out(r) if *r >= steps.len() => Some(*r),
+                _ => None,
+            }) {
+                return Err(format!(
+                    "line {}: out:{bad} refers to a later or missing step",
+                    lineno + 1
+                ));
+            }
+            steps.push(step);
+        }
+        Ok(Sequence { steps })
+    }
+}
+
+fn parse_step(rest: &str) -> Result<CallStep, String> {
+    let mut tokens = tokenize(rest)?;
+    if tokens.is_empty() {
+        return Err("missing function name".into());
+    }
+    let function = tokens.remove(0);
+    let args = tokens
+        .iter()
+        .map(|t| parse_arg(t))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(CallStep { function, args })
+}
+
+/// Split on whitespace, except inside `str:"…"` quoting.
+fn tokenize(text: &str) -> Result<Vec<String>, String> {
+    let mut tokens = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+            continue;
+        }
+        let mut token = String::new();
+        let mut quoted = false;
+        while let Some(&c) = chars.peek() {
+            if quoted {
+                token.push(c);
+                chars.next();
+                if c == '\\' {
+                    // Keep the escaped char verbatim; unescape later.
+                    if let Some(&e) = chars.peek() {
+                        token.push(e);
+                        chars.next();
+                    }
+                } else if c == '"' {
+                    quoted = false;
+                }
+            } else if c == '"' {
+                quoted = true;
+                token.push(c);
+                chars.next();
+            } else if c.is_whitespace() {
+                break;
+            } else {
+                token.push(c);
+                chars.next();
+            }
+        }
+        if quoted {
+            return Err(format!("unterminated string in {token:?}"));
+        }
+        tokens.push(token);
+    }
+    Ok(tokens)
+}
+
+fn parse_arg(token: &str) -> Result<ArgSpec, String> {
+    if token == "null" {
+        return Ok(ArgSpec::Null);
+    }
+    if token == "benign" {
+        return Ok(ArgSpec::Benign);
+    }
+    let (tag, value) = token
+        .split_once(':')
+        .ok_or_else(|| format!("bad argument token {token:?}"))?;
+    let parse_u = |v: &str| -> Result<u64, String> {
+        let (digits, radix) = match v.strip_prefix("0x") {
+            Some(hex) => (hex, 16),
+            None => (v, 10),
+        };
+        u64::from_str_radix(digits, radix).map_err(|e| format!("bad number {v:?}: {e}"))
+    };
+    match tag {
+        "int" => value
+            .parse::<i64>()
+            .map(ArgSpec::Int)
+            .map_err(|e| format!("bad int {value:?}: {e}")),
+        "dbl" => Ok(ArgSpec::Dbl(f64::from_bits(parse_u(value)?))),
+        "wild" => Ok(ArgSpec::Wild(parse_u(value)? as u32)),
+        "buf" => Ok(ArgSpec::Buf(parse_u(value)? as u32)),
+        "out" => Ok(ArgSpec::Out(parse_u(value)? as usize)),
+        "str" => {
+            let inner = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| format!("unquoted string {value:?}"))?;
+            unescape(inner).map(ArgSpec::Str)
+        }
+        _ => Err(format!("unknown argument tag {tag:?}")),
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\x{:02x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('x') => {
+                let hi = chars.next().ok_or("truncated \\x escape")?;
+                let lo = chars.next().ok_or("truncated \\x escape")?;
+                let byte = u32::from_str_radix(&format!("{hi}{lo}"), 16)
+                    .map_err(|e| format!("bad \\x escape: {e}"))?;
+                out.push(char::from_u32(byte).ok_or("bad \\x escape")?);
+            }
+            other => return Err(format!("bad escape \\{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Sequence {
+        Sequence {
+            steps: vec![
+                CallStep {
+                    function: "malloc".into(),
+                    args: vec![ArgSpec::Int(24)],
+                },
+                CallStep {
+                    function: "strcpy".into(),
+                    args: vec![ArgSpec::Out(0), ArgSpec::Str("he\"l\\lo\n".into())],
+                },
+                CallStep {
+                    function: "free".into(),
+                    args: vec![ArgSpec::Out(0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let seq = sample();
+        let text = seq.render();
+        assert_eq!(Sequence::parse(&text).unwrap(), seq);
+        // Every spec kind round-trips.
+        let all = Sequence {
+            steps: vec![CallStep {
+                function: "f".into(),
+                args: vec![
+                    ArgSpec::Int(-5),
+                    ArgSpec::Dbl(1.5),
+                    ArgSpec::Null,
+                    ArgSpec::Wild(0xdead_0000),
+                    ArgSpec::Str("a b\tc\x01".into()),
+                    ArgSpec::Buf(0),
+                    ArgSpec::Benign,
+                ],
+            }],
+        };
+        assert_eq!(Sequence::parse(&all.render()).unwrap(), all);
+    }
+
+    #[test]
+    fn forward_references_are_rejected() {
+        let err = Sequence::parse("call free out:0").unwrap_err();
+        assert!(err.contains("later or missing"), "{err}");
+        assert!(Sequence::parse("call free out:junk").is_err());
+        assert!(Sequence::parse("callfree null").is_err());
+        assert!(Sequence::parse("call f str:\"unterminated").is_err());
+    }
+
+    #[test]
+    fn remove_step_renumbers_and_defuses_references() {
+        let seq = sample();
+        let without_malloc = seq.remove_step(0);
+        assert_eq!(without_malloc.len(), 2);
+        assert_eq!(without_malloc.steps[0].args[0], ArgSpec::Benign);
+        assert_eq!(without_malloc.steps[1].args[0], ArgSpec::Benign);
+        let without_strcpy = seq.remove_step(1);
+        assert_eq!(without_strcpy.steps[1].args[0], ArgSpec::Out(0));
+    }
+
+    #[test]
+    fn insert_step_shifts_references() {
+        let seq = sample();
+        let new = CallStep {
+            function: "getpid".into(),
+            args: vec![],
+        };
+        let inserted = seq.insert_step(1, new.clone());
+        assert_eq!(inserted.len(), 4);
+        assert_eq!(inserted.steps[1], new);
+        // strcpy's out:0 still names malloc; free's too.
+        assert_eq!(inserted.steps[2].args[0], ArgSpec::Out(0));
+        assert_eq!(inserted.steps[3].args[0], ArgSpec::Out(0));
+        // Appending keeps everything untouched.
+        let appended = seq.insert_step(3, new);
+        assert_eq!(appended.steps[3].function, "getpid");
+    }
+}

@@ -1,0 +1,249 @@
+//! Automatic shrinking: delta-debugging over the call list, then a
+//! per-argument lattice walk toward the robust-type boundary.
+//!
+//! Phase 1 removes whole calls greedily to a fixpoint: a step is
+//! dropped iff the finding key still reproduces without it (dangling
+//! `out:` references degrade to benign arguments, which is exactly the
+//! "does this step matter" question).
+//!
+//! Phase 2 walks each surviving argument down its lattice:
+//! strings shrink by halving the kept prefix, buffers binary-search
+//! the smallest length, integers collapse toward 0 by halving, and
+//! wild pointers try to become null. Every candidate is accepted only
+//! if the finding key survives re-execution, so the result is the
+//! smallest sequence (under this schedule) that still exhibits the
+//! finding — the shape committed as a pinned regression test.
+//!
+//! Shrinking is completely deterministic: no RNG, fixed visit order,
+//! and every probe is a fresh CoW-contained execution pair.
+
+use crate::finding::Finding;
+use crate::sequence::{ArgSpec, Sequence};
+
+/// Re-executes a candidate and reports whether the finding survives.
+/// Implemented by the fuzzer with a (wrapped, unwrapped) execution
+/// pair; abstracted so shrinking is testable without a world.
+pub trait ShrinkOracle {
+    /// Whether `finding` reproduces when `seq` is executed.
+    fn holds(&self, seq: &Sequence, finding: &Finding) -> bool;
+}
+
+impl<F: Fn(&Sequence, &Finding) -> bool> ShrinkOracle for F {
+    fn holds(&self, seq: &Sequence, finding: &Finding) -> bool {
+        self(seq, finding)
+    }
+}
+
+/// Statistics of one shrink run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Steps removed by phase 1.
+    pub steps_removed: usize,
+    /// Arguments simplified by phase 2.
+    pub args_simplified: usize,
+    /// Total candidate executions probed.
+    pub probes: usize,
+}
+
+/// Shrink `seq` while preserving `finding`. Returns the reduced
+/// sequence and the work done. `seq` must already exhibit the finding.
+pub fn shrink<O: ShrinkOracle>(
+    seq: &Sequence,
+    finding: &Finding,
+    oracle: &O,
+) -> (Sequence, ShrinkStats) {
+    let mut stats = ShrinkStats::default();
+    let mut current = seq.clone();
+    debug_assert!(
+        oracle.holds(&current, finding),
+        "finding must hold before shrinking"
+    );
+
+    // Phase 1: greedy step removal to fixpoint.
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < current.len() {
+            if current.len() == 1 {
+                break;
+            }
+            let candidate = current.remove_step(i);
+            stats.probes += 1;
+            if oracle.holds(&candidate, finding) {
+                current = candidate;
+                stats.steps_removed += 1;
+                removed_any = true;
+                // Same index now names the next step; do not advance.
+            } else {
+                i += 1;
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+
+    // Phase 2: per-argument lattice walk, in (step, arg) order.
+    for step_idx in 0..current.len() {
+        for arg_idx in 0..current.steps[step_idx].args.len() {
+            let spec = current.steps[step_idx].args[arg_idx].clone();
+            for candidate_spec in lattice_candidates(&spec) {
+                let mut candidate = current.clone();
+                candidate.steps[step_idx].args[arg_idx] = candidate_spec.clone();
+                stats.probes += 1;
+                if oracle.holds(&candidate, finding) {
+                    current = candidate;
+                    stats.args_simplified += 1;
+                    break;
+                }
+            }
+            // For sized specs, walk further down from whatever stuck.
+            loop {
+                let now = current.steps[step_idx].args[arg_idx].clone();
+                let next = step_down(&now);
+                let Some(next) = next else { break };
+                let mut candidate = current.clone();
+                candidate.steps[step_idx].args[arg_idx] = next;
+                stats.probes += 1;
+                if oracle.holds(&candidate, finding) {
+                    current = candidate;
+                    stats.args_simplified += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    debug_assert!(oracle.holds(&current, finding));
+    (current, stats)
+}
+
+/// First-rung simplifications, most aggressive first.
+fn lattice_candidates(spec: &ArgSpec) -> Vec<ArgSpec> {
+    match spec {
+        ArgSpec::Wild(_) => vec![ArgSpec::Null],
+        ArgSpec::Str(s) if !s.is_empty() => {
+            let mut v = vec![ArgSpec::Str(String::new())];
+            if s.len() > 1 {
+                v.push(ArgSpec::Str(s[..s.len() / 2].to_string()));
+            }
+            v
+        }
+        ArgSpec::Buf(n) if *n > 1 => vec![ArgSpec::Buf(1), ArgSpec::Buf(*n / 2)],
+        ArgSpec::Int(v) if *v != 0 => {
+            let mut c = vec![ArgSpec::Int(0)];
+            if v.abs() > 1 {
+                c.push(ArgSpec::Int(v / 2));
+            }
+            c
+        }
+        ArgSpec::Dbl(v) if *v != 0.0 => vec![ArgSpec::Dbl(0.0)],
+        _ => Vec::new(),
+    }
+}
+
+/// One monotone step further down the lattice, for iterative descent.
+fn step_down(spec: &ArgSpec) -> Option<ArgSpec> {
+    match spec {
+        ArgSpec::Str(s) if s.len() > 1 => Some(ArgSpec::Str(s[..s.len() / 2].to_string())),
+        ArgSpec::Buf(n) if *n > 1 => Some(ArgSpec::Buf(n / 2)),
+        ArgSpec::Int(v) if v.abs() > 1 => Some(ArgSpec::Int(v / 2)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finding::FindingKind;
+    use crate::sequence::CallStep;
+    use healers_core::checker::CheckKind;
+
+    fn step(function: &str, args: Vec<ArgSpec>) -> CallStep {
+        CallStep {
+            function: function.into(),
+            args,
+        }
+    }
+
+    fn finding() -> Finding {
+        Finding {
+            kind: FindingKind::CheckViolation {
+                kind: CheckKind::Region,
+                function: "strcpy".into(),
+            },
+        }
+    }
+
+    /// Oracle: the finding "holds" iff the sequence still contains a
+    /// strcpy whose string argument is at least 9 bytes.
+    fn oracle(seq: &Sequence, _f: &Finding) -> bool {
+        seq.steps.iter().any(|s| {
+            s.function == "strcpy"
+                && s.args
+                    .iter()
+                    .any(|a| matches!(a, ArgSpec::Str(x) if x.len() >= 9))
+        })
+    }
+
+    #[test]
+    fn removes_irrelevant_steps_and_minimizes_the_string() {
+        let seq = Sequence {
+            steps: vec![
+                step("malloc", vec![ArgSpec::Int(64)]),
+                step("getpid", vec![]),
+                step("strlen", vec![ArgSpec::Str("noise".into())]),
+                step(
+                    "strcpy",
+                    vec![
+                        ArgSpec::Out(0),
+                        ArgSpec::Str("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa".into()),
+                    ],
+                ),
+                step("free", vec![ArgSpec::Out(0)]),
+            ],
+        };
+        let (small, stats) = shrink(&seq, &finding(), &oracle);
+        assert_eq!(small.len(), 1, "{}", small.render());
+        assert_eq!(small.steps[0].function, "strcpy");
+        // 32 bytes halves: 32 -> 16 -> cannot reach 8 (oracle needs 9).
+        match &small.steps[0].args[1] {
+            ArgSpec::Str(s) => assert_eq!(s.len(), 16),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(stats.steps_removed >= 4);
+        assert!(stats.probes > 0);
+    }
+
+    #[test]
+    fn wild_pointer_becomes_null_when_irrelevant() {
+        let ora = |seq: &Sequence, _f: &Finding| seq.steps.iter().any(|s| s.function == "strcpy");
+        let seq = Sequence {
+            steps: vec![step(
+                "strcpy",
+                vec![ArgSpec::Wild(0xdead_0000), ArgSpec::Str("x".into())],
+            )],
+        };
+        let (small, _) = shrink(&seq, &finding(), &ora);
+        assert_eq!(small.steps[0].args[0], ArgSpec::Null);
+        assert_eq!(small.steps[0].args[1], ArgSpec::Str(String::new()));
+    }
+
+    #[test]
+    fn integers_collapse_toward_zero() {
+        let ora = |seq: &Sequence, _f: &Finding| {
+            seq.steps.iter().any(|s| {
+                s.args
+                    .iter()
+                    .any(|a| matches!(a, ArgSpec::Int(v) if *v >= 3))
+            })
+        };
+        let seq = Sequence {
+            steps: vec![step("malloc", vec![ArgSpec::Int(4096)])],
+        };
+        let (small, _) = shrink(&seq, &finding(), &ora);
+        // 4096 -> 2048 -> ... -> 4 (3 would fail: 4/2 == 2 < 3).
+        assert_eq!(small.steps[0].args[0], ArgSpec::Int(4));
+    }
+}

@@ -1,0 +1,73 @@
+//! Differential transparency: when no wrapper check fires, the wrapped
+//! and unwrapped libc must be observationally identical.
+//!
+//! This extends the CoW differential harness in
+//! `crates/simproc/tests/proptests.rs` one level up the stack: instead
+//! of comparing two containment mechanisms under raw memory ops, it
+//! compares the *wrapped* and *unwrapped* libc under fuzzer-generated
+//! call sequences. The paper's wrapper contract is that checks are
+//! pure guards — a call whose arguments pass every check must reach
+//! the real function unmodified. So for any generated sequence where
+//! the wrapper reported zero violations, both runs must agree on every
+//! per-step outcome, return value, and `errno`, and — when the
+//! sequence runs to completion — on the FNV digest of the entire final
+//! world image (every page run's protection and bytes, plus `errno`).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use healers_core::analyze;
+use healers_fuzz::{execute_unwrapped, execute_wrapped, generate, Pool};
+use healers_libc::Libc;
+
+/// A mixed pool: heap traffic, string ops that chase pointers, and a
+/// pure scalar function. Hostile arguments (null/wild, ~8% per slot)
+/// still appear — sequences where a check fires are simply outside the
+/// property's guard and skipped.
+const FUNCTIONS: &[&str] = &["malloc", "free", "strcpy", "strncpy", "strlen", "memcmp"];
+
+proptest! {
+    // Each case runs two full CoW-contained executions; keep the count
+    // moderate so the suite stays fast.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn wrapper_is_transparent_when_no_check_fires(
+        seed in any::<u64>(),
+        max_len in 2usize..8,
+    ) {
+        let libc = Libc::standard();
+        let pool = Pool::new(&libc, FUNCTIONS);
+        let decls = analyze(&libc, FUNCTIONS);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seq = generate(&mut rng, &pool, max_len);
+
+        let wrapped = execute_wrapped(&libc, &seq, &decls);
+        if wrapped.violations != 0 {
+            return Ok(()); // a check fired: transparency is not claimed
+        }
+        let unwrapped = execute_unwrapped(&libc, &seq);
+
+        prop_assert_eq!(
+            wrapped.steps.len(), unwrapped.steps.len(),
+            "runs executed different step counts for {}", seq.render()
+        );
+        for (i, (w, u)) in wrapped.steps.iter().zip(&unwrapped.steps).enumerate() {
+            prop_assert_eq!(w.outcome, u.outcome, "step {} outcome for {}", i, seq.render());
+            prop_assert_eq!(
+                &w.returned, &u.returned,
+                "step {} return value for {}", i, seq.render()
+            );
+            prop_assert_eq!(w.errno, u.errno, "step {} errno for {}", i, seq.render());
+            prop_assert_eq!(w.site, u.site, "step {} fault site for {}", i, seq.render());
+        }
+        prop_assert_eq!(wrapped.completed, unwrapped.completed);
+        if wrapped.completed {
+            prop_assert_eq!(
+                wrapped.digest, unwrapped.digest,
+                "final world images diverged with zero violations for {}", seq.render()
+            );
+        }
+    }
+}

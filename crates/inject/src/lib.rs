@@ -41,5 +41,5 @@ pub use case::{classify_child_result, CallRecord, TestCase};
 pub use errcode::{ErrCodeClass, ErrCodeReport};
 pub use generators::TestCaseGenerator;
 pub use injector::{ArgReport, FaultInjector, InjectionReport};
-pub use select_gen::generator_for;
+pub use select_gen::{benign_arg, benign_args, generator_for};
 pub use vector_campaign::{run_vector_campaign, VectorReport};

@@ -7,7 +7,9 @@
 //! parameter-name heuristics for `const char *` (mode strings, paths)
 //! and integer parameters (descriptors, baud rates).
 
-use healers_ctypes::{CType, Param};
+use healers_ctypes::{CType, FunctionPrototype, Param};
+use healers_libc::World;
+use healers_simproc::SimValue;
 
 use crate::generators::{
     ArrayGen, DirGen, FdGen, FileGen, IntGen, ModeGen, PathGen, SpeedGen, StringGen,
@@ -66,6 +68,24 @@ pub fn generator_for(function: &str, index: usize, param: &Param) -> Box<dyn Tes
         // treat as generic memory.
         _ => Box::new(ArrayGen::new()),
     }
+}
+
+/// The injector's benign value for one parameter: whatever the
+/// selected generator would pass in the campaign's baseline call,
+/// materialized (allocated) in `world`. Deterministic for a given
+/// world state — generators carry no randomness.
+pub fn benign_arg(proto: &FunctionPrototype, index: usize, world: &mut World) -> SimValue {
+    generator_for(&proto.name, index, &proto.params[index]).benign(world)
+}
+
+/// The injector's full benign argument vector for a prototype — the
+/// exact baseline call an injection campaign would start from. Shared
+/// with the sequence fuzzer so "a benign call to f" means the same
+/// thing in both tools.
+pub fn benign_args(proto: &FunctionPrototype, world: &mut World) -> Vec<SimValue> {
+    (0..proto.params.len())
+        .map(|i| benign_arg(proto, i, world))
+        .collect()
 }
 
 #[cfg(test)]
@@ -133,6 +153,19 @@ mod tests {
             generator_for("abs", 0, &param_of(&libc, "abs", 0)).name(),
             "integer"
         );
+    }
+
+    #[test]
+    fn benign_args_make_a_successful_call() {
+        let libc = Libc::standard();
+        let mut world = healers_libc::World::new_guarded();
+        for func in ["strcpy", "fread", "tcsetattr", "snprintf"] {
+            let proto = libc.get(func).unwrap().proto.clone();
+            let args = benign_args(&proto, &mut world);
+            assert_eq!(args.len(), proto.params.len());
+            let result = libc.call(&mut world, func, &args);
+            assert!(result.is_ok(), "benign {func} faulted: {result:?}");
+        }
     }
 
     #[test]

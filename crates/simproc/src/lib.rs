@@ -50,7 +50,7 @@ pub mod value;
 pub use heap::{Heap, HeapBlock, HeapError, HeapMode};
 pub use mem::{AccessKind, AddressSpace, CowStats, PageRun, Protection, SimFault, PAGE_SIZE};
 pub use proc::{SimProcess, HEAP_BASE, INVALID_PTR, STACK_BASE, STACK_SIZE, STATIC_BASE};
-pub use provenance::FaultSite;
+pub use provenance::{BlockAttribution, CoverageSite, FaultSite};
 pub use sandbox::{
     rollback, run_in_child, run_in_child_with, ChildResult, Containment, WorldSnapshot,
 };

@@ -19,7 +19,7 @@ pub const PAGE_SIZE: u32 = 4096;
 /// exist on the simulated machine because the paper's type hierarchy
 /// distinguishes `WONLY_FIXED[s]` regions (real hardware rarely supports
 /// them, but the abstraction is exactly what the fault injector probes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Protection {
     /// Mapped but inaccessible (like `PROT_NONE`); used for guard pages.
     None,
@@ -44,7 +44,7 @@ impl Protection {
 }
 
 /// The kind of memory access that faulted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AccessKind {
     /// A load.
     Read,

@@ -57,6 +57,25 @@ impl FaultSite {
         Some(FaultSite::resolve_addr(*addr, *access, proc))
     }
 
+    /// Abstract this fault into its address-free [`CoverageSite`] — the
+    /// coverage-map key used by the sequence fuzzer. Two faults with
+    /// the same site are "the same kind of crash" regardless of where
+    /// the allocator happened to place the blocks involved.
+    pub fn coverage_site(&self) -> CoverageSite {
+        CoverageSite {
+            access: self.access,
+            prot: self.run.prot,
+            attribution: match &self.block {
+                _ if self.guard_overrun => BlockAttribution::GuardOverrun,
+                Some(b) if b.free => BlockAttribution::Freed,
+                Some(b) if self.addr >= b.base + b.size => BlockAttribution::PastLive,
+                Some(_) => BlockAttribution::Live,
+                None if self.addr < PAGE_SIZE => BlockAttribution::NullPage,
+                None => BlockAttribution::None,
+            },
+        }
+    }
+
     /// Resolve provenance for a known faulting address.
     pub fn resolve_addr(addr: Addr, access: AccessKind, proc: &SimProcess) -> FaultSite {
         let run = proc.mem.page_run(addr);
@@ -71,6 +90,73 @@ impl FaultSite {
             block,
             guard_overrun,
         }
+    }
+}
+
+/// How a [`CoverageSite`] attributes the faulting address to the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BlockAttribution {
+    /// No nearby block: a wild or otherwise unattributable address.
+    None,
+    /// No nearby block and the address is on the zero page: the
+    /// canonical null-pointer dereference.
+    NullPage,
+    /// Inside a live block (a protection fault, not an overrun).
+    Live,
+    /// Past the end of a live block, but the landing page is
+    /// accessible enough that it is not a guard-page catch.
+    PastLive,
+    /// Inside (or just past) a freed block: use-after-free.
+    Freed,
+    /// Overrun of a live block onto an inaccessible page — the
+    /// electric-fence signature.
+    GuardOverrun,
+}
+
+impl BlockAttribution {
+    /// Stable lowercase token, used in coverage-map renderings.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockAttribution::None => "wild",
+            BlockAttribution::NullPage => "null",
+            BlockAttribution::Live => "live-block",
+            BlockAttribution::PastLive => "past-live",
+            BlockAttribution::Freed => "freed-block",
+            BlockAttribution::GuardOverrun => "guard-overrun",
+        }
+    }
+}
+
+/// An address-free abstraction of a [`FaultSite`]: what kind of access
+/// hit what kind of page, attributed to what kind of block. This is
+/// the fuzzer's coverage signal — it is **stable across heap layouts**
+/// (it contains no addresses or sizes), so re-running a sequence after
+/// a snapshot rollback, or under a different allocation order, yields
+/// the identical site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoverageSite {
+    /// Whether the faulting access was a read or a write.
+    pub access: AccessKind,
+    /// Protection of the landing page run (`None` = unmapped hole).
+    pub prot: Option<Protection>,
+    /// Heap attribution class.
+    pub attribution: BlockAttribution,
+}
+
+impl fmt::Display for CoverageSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let access = match self.access {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        };
+        let prot = match self.prot {
+            None => "unmapped",
+            Some(Protection::None) => "inaccessible",
+            Some(Protection::ReadOnly) => "read-only",
+            Some(Protection::ReadWrite) => "read-write",
+            Some(Protection::WriteOnly) => "write-only",
+        };
+        write!(f, "{access}:{prot}:{}", self.attribution.label())
     }
 }
 
@@ -196,6 +282,38 @@ mod tests {
         let site = FaultSite::resolve(&null, &proc).unwrap();
         assert_eq!(site.block, None);
         assert_eq!(site.run.start, 0);
+    }
+
+    #[test]
+    fn coverage_sites_abstract_away_addresses() {
+        let mut proc = guarded();
+        let a = proc.heap_alloc(44).unwrap();
+        let b = proc.heap_alloc(44).unwrap();
+        assert_ne!(a, b);
+        // Two overruns of different blocks at different addresses are
+        // the same coverage site.
+        let fa = proc.mem.read_u8(a + 44).unwrap_err();
+        let fb = proc.mem.read_u8(b + 44).unwrap_err();
+        let sa = FaultSite::resolve(&fa, &proc).unwrap().coverage_site();
+        let sb = FaultSite::resolve(&fb, &proc).unwrap().coverage_site();
+        assert_eq!(sa, sb);
+        assert_eq!(sa.attribution, BlockAttribution::GuardOverrun);
+        assert_eq!(sa.to_string(), "read:unmapped:guard-overrun");
+        // A null write is its own site.
+        let null = proc.mem.write_u8(0, 1).unwrap_err();
+        let site = FaultSite::resolve(&null, &proc).unwrap().coverage_site();
+        assert_eq!(site.attribution, BlockAttribution::NullPage);
+        assert_eq!(site.to_string(), "write:unmapped:null");
+        // Use-after-free names the freed-block class.
+        proc.heap_free(a).unwrap();
+        let uaf = proc.mem.read_u8(a + 3).unwrap_err();
+        let site = FaultSite::resolve(&uaf, &proc).unwrap().coverage_site();
+        assert_eq!(site.attribution, BlockAttribution::Freed);
+        // Wild pointers get no block attribution.
+        let wild = proc.mem.read_u8(crate::proc::INVALID_PTR).unwrap_err();
+        let site = FaultSite::resolve(&wild, &proc).unwrap().coverage_site();
+        assert_eq!(site.attribution, BlockAttribution::None);
+        assert_eq!(site.to_string(), "read:unmapped:wild");
     }
 
     #[test]

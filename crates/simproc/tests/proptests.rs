@@ -404,6 +404,154 @@ fn diff_run(ops: &[(u8, u32, u32)], deep: bool) -> (String, String, String) {
     (obs, child_dump, parent_dump)
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot-boundary properties the sequence fuzzer's coverage signal
+// rests on: fault provenance must be a property of the *world image*,
+// not of the snapshot generation it is resolved in, and the stateful
+// queries the wrapper uses (`block_containing`, `probe_range`) must
+// answer identically on both sides of a snapshot → fault → rollback
+// cycle.
+
+/// Hostile probe addresses biased around the edges of real blocks:
+/// in-bounds, one-past-end (guard page in guarded mode), far overruns,
+/// and underruns.
+fn hostile_addrs(blocks: &[u32], offsets: &[u32]) -> Vec<u32> {
+    offsets
+        .iter()
+        .enumerate()
+        .map(|(i, off)| {
+            blocks[i % blocks.len()]
+                .wrapping_add(*off)
+                .wrapping_sub(PAGE_SIZE)
+        })
+        .collect()
+}
+
+proptest! {
+    /// Coverage sites survive snapshot → fault → rollback: a hostile
+    /// access resolved inside a CoW child yields the same address-free
+    /// [`CoverageSite`] as resolving the same address against the
+    /// parent, on every round, and the parent's own resolution is
+    /// unchanged after each child is rolled away. This is what makes
+    /// the fuzzer's coverage map meaningful: a site recorded in one
+    /// containment child deduplicates against the same crash found in
+    /// any other.
+    #[test]
+    fn coverage_sites_survive_snapshot_fault_rollback(
+        sizes in prop::collection::vec(1u32..512, 1..8),
+        free_mask in any::<u8>(),
+        offsets in prop::collection::vec(0u32..(2 * PAGE_SIZE), 1..16),
+        write in any::<bool>(),
+        rounds in 1usize..4,
+    ) {
+        use healers_simproc::{AccessKind, FaultSite, WorldSnapshot};
+        let mut parent = SimProcess::new_guarded();
+        let blocks: Vec<u32> =
+            sizes.iter().map(|s| parent.heap_alloc(*s).unwrap()).collect();
+        for (i, &b) in blocks.iter().enumerate() {
+            if free_mask & (1 << (i % 8)) != 0 {
+                parent.heap_free(b).unwrap();
+            }
+        }
+        let access = if write { AccessKind::Write } else { AccessKind::Read };
+        let addrs = hostile_addrs(&blocks, &offsets);
+        let baseline: Vec<_> = addrs
+            .iter()
+            .map(|&a| FaultSite::resolve_addr(a, access, &parent).coverage_site())
+            .collect();
+        for round in 0..rounds {
+            let child = parent.snapshot();
+            for (&a, expect) in addrs.iter().zip(&baseline) {
+                // The real fault path where the access actually traps,
+                // and the direct resolution path, must agree with the
+                // parent baseline.
+                let attempted = if write {
+                    let mut probe = child.snapshot();
+                    probe.mem.write_u8(a, 0xEE).err()
+                } else {
+                    child.mem.read_u8(a).err()
+                };
+                if let Some(site) =
+                    attempted.as_ref().and_then(|f| FaultSite::resolve(f, &child))
+                {
+                    prop_assert_eq!(
+                        site.coverage_site(), *expect,
+                        "trapped site diverged in round {} at {:#x}", round, a
+                    );
+                }
+                prop_assert_eq!(
+                    FaultSite::resolve_addr(a, access, &child).coverage_site(),
+                    *expect,
+                    "child resolution diverged in round {} at {:#x}", round, a
+                );
+            }
+            drop(child); // rollback
+            for (&a, expect) in addrs.iter().zip(&baseline) {
+                prop_assert_eq!(
+                    FaultSite::resolve_addr(a, access, &parent).coverage_site(),
+                    *expect,
+                    "rollback changed the parent's site for {:#x}", a
+                );
+            }
+        }
+    }
+
+    /// `block_containing` and `probe_range` at the snapshot boundary:
+    /// a fresh child answers exactly like its parent, and arbitrary
+    /// child heap traffic (allocs, frees, double frees) leaves the
+    /// parent's answers bit-identical once the child is rolled away.
+    #[test]
+    fn heap_and_probe_queries_agree_across_snapshot_boundaries(
+        sizes in prop::collection::vec(1u32..2048, 1..10),
+        child_ops in prop::collection::vec((any::<bool>(), 0u32..4096), 0..16),
+        offsets in prop::collection::vec(0u32..(2 * PAGE_SIZE), 1..16),
+        lens in prop::collection::vec(1u32..256, 1..16),
+    ) {
+        use healers_simproc::WorldSnapshot;
+        let mut parent = SimProcess::new_guarded();
+        let blocks: Vec<u32> =
+            sizes.iter().map(|s| parent.heap_alloc(*s).unwrap()).collect();
+        let addrs = hostile_addrs(&blocks, &offsets);
+        let query = |p: &SimProcess| -> Vec<String> {
+            addrs
+                .iter()
+                .zip(lens.iter().cycle())
+                .map(|(&a, &len)| {
+                    format!(
+                        "{:#x}: {:?} r={} rw={}",
+                        a,
+                        p.heap.block_containing(a),
+                        p.mem.probe_range(a, len, true, false),
+                        p.mem.probe_range(a, len, true, true),
+                    )
+                })
+                .collect()
+        };
+        let before = query(&parent);
+        let mut child = parent.snapshot();
+        prop_assert_eq!(
+            query(&child), before.clone(),
+            "a fresh snapshot answers differently from its parent"
+        );
+        let mut child_blocks = blocks.clone();
+        for &(do_alloc, v) in &child_ops {
+            if do_alloc {
+                if let Ok(b) = child.heap_alloc(v) {
+                    child_blocks.push(b);
+                }
+            } else if !child_blocks.is_empty() {
+                let target = child_blocks[v as usize % child_blocks.len()];
+                let _ = child.heap_free(target); // double frees included
+            }
+        }
+        drop(child); // rollback
+        prop_assert_eq!(
+            query(&parent), before,
+            "child heap traffic leaked across the rollback boundary"
+        );
+    }
+}
+
 proptest! {
     /// Differential: for any op sequence, CoW snapshots and deep clones
     /// yield the same per-op outcomes, a bit-identical final memory

@@ -13,6 +13,7 @@
 //! * [`healers_core`] — function declarations and wrapper generation
 //! * [`healers_ballista`] — Ballista-style robustness evaluation
 //! * [`healers_campaign`] — parallel campaign orchestration, declaration cache, event journal
+//! * [`healers_fuzz`] — coverage-guided API-sequence fuzzer with shrinking and pinning
 //! * [`healers_trace`] — telemetry core: latency histograms, span collection, Chrome trace export
 
 pub mod error;
@@ -25,6 +26,7 @@ pub use healers_campaign as campaign;
 pub use healers_core as core;
 pub use healers_corpus as corpus;
 pub use healers_ctypes as ctypes;
+pub use healers_fuzz as fuzz;
 pub use healers_inject as inject;
 pub use healers_libc as libc;
 pub use healers_os as os;

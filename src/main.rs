@@ -9,6 +9,11 @@
 //!                                            parallel orchestrated analysis/evaluation
 //! healers [--seed N] report [--mode M] [--cap N] [--jobs N] [--json] [--timings]
 //!                           [<function>...]  deterministic telemetry report of one evaluation
+//! healers [--seed N] fuzz run [--budget N] [--jobs N] [--max-len N] [--mode full|semi]
+//!                             [--journal FILE] [--trace FILE] [--pins DIR] [<function>...]
+//!                                            coverage-guided API-sequence fuzzing
+//! healers fuzz replay <file>...              replay pinned regression tests
+//! healers fuzz shrink <file> [--out FILE]    shrink a seed file's first finding
 //! healers explain <function>...              replay a declaration's lattice walk with
 //!                                            per-case fault provenance
 //! healers extract                            run the §3 prototype-extraction statistics
@@ -27,9 +32,10 @@ use std::process::ExitCode;
 
 use healers::ballista::{ballista_targets, Ballista, Mode};
 use healers::campaign::json::JsonObject;
-use healers::campaign::{Campaign, CampaignConfig};
+use healers::campaign::{Campaign, CampaignConfig, Journal};
 use healers::core::{analyze, decls_to_xml, emit_checks_header, emit_wrapper_source, WrapperStats};
 use healers::corpus::{generate::CorpusConfig, pipeline::recover_all};
+use healers::fuzz::{FuzzConfig, FuzzEvent, Pin, PinMode};
 use healers::inject::FaultInjector;
 use healers::libc::Libc;
 use healers::typesys::{robust_type_traced, SelectionCriterion};
@@ -45,6 +51,11 @@ fn usage() -> ExitCode {
          \x20                        [--cap N] [--out FILE] [<function>...]\n  \
          healers [--seed N] report [--mode unwrapped|full|semi] [--cap N] [--jobs N]\n  \
          \x20                      [--json] [--timings] [<function>...]\n  \
+         healers [--seed N] fuzz run [--budget N] [--jobs N] [--max-len N]\n  \
+         \x20                        [--mode full|semi] [--journal FILE] [--trace FILE]\n  \
+         \x20                        [--pins DIR] [<function>...]\n  \
+         healers fuzz replay <file>...\n  \
+         healers fuzz shrink <file> [--out FILE]\n  \
          healers explain <function>...\n  \
          healers extract\n  \
          healers tour <function>...\n  \
@@ -90,6 +101,7 @@ fn run() -> Result<(), Error> {
         "ballista" => cmd_ballista(&args[1..], seed),
         "campaign" => cmd_campaign(&args[1..], seed),
         "report" => cmd_report(&args[1..], seed),
+        "fuzz" => cmd_fuzz(&args[1..], seed),
         "explain" => cmd_explain(&args[1..]),
         "extract" => cmd_extract(),
         "tour" => cmd_tour(&args[1..]),
@@ -480,6 +492,265 @@ fn render_report_json(
     let mut text = doc.finish();
     text.push('\n');
     text
+}
+
+/// `healers fuzz` — coverage-guided API-sequence fuzzing with
+/// automatic shrinking and crash-to-regression-test pinning. The
+/// default subcommand is `run`; `replay` re-executes committed pins
+/// and `shrink` minimizes a seed file's first finding.
+fn cmd_fuzz(rest: &[String], seed: Option<u64>) -> Result<(), Error> {
+    match rest.first().map(String::as_str) {
+        Some("replay") => cmd_fuzz_replay(&rest[1..]),
+        Some("shrink") => cmd_fuzz_shrink(&rest[1..]),
+        Some("run") => cmd_fuzz_run(&rest[1..], seed),
+        _ => cmd_fuzz_run(rest, seed),
+    }
+}
+
+/// Parse a `--mode full|semi` token for the fuzzer's wrapper
+/// configuration.
+fn parse_pin_mode(token: &str) -> Result<PinMode, Error> {
+    match token {
+        "full" => Ok(PinMode::Full),
+        "semi" => Ok(PinMode::Semi),
+        other => Err(Error::BadArgument(format!(
+            "fuzz: unknown mode {other:?} (expected full or semi)"
+        ))),
+    }
+}
+
+fn cmd_fuzz_run(rest: &[String], seed: Option<u64>) -> Result<(), Error> {
+    let mut config = FuzzConfig::default();
+    if let Some(seed) = seed {
+        config.seed = seed;
+    }
+    let mut journal_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut pins_dir: Option<PathBuf> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            // `--seed` is accepted here too (not just globally) so a
+            // fuzz invocation is self-contained in scripts and CI.
+            "--seed" => {
+                config.seed = it.next().and_then(|v| v.parse().ok()).ok_or(Error::Usage)?;
+            }
+            "--budget" => {
+                config.budget = it.next().and_then(|v| v.parse().ok()).ok_or(Error::Usage)?;
+            }
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(j) if j >= 1 => config.jobs = j,
+                _ => return Err(Error::Usage),
+            },
+            "--max-len" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => config.max_len = n,
+                _ => return Err(Error::Usage),
+            },
+            "--mode" => config.mode = parse_pin_mode(it.next().ok_or(Error::Usage)?)?,
+            "--journal" => journal_path = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            "--trace" => trace_path = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            "--pins" => pins_dir = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            flag if flag.starts_with("--") => return Err(Error::Usage),
+            name => config.functions.push(name.to_string()),
+        }
+    }
+    let libc = Libc::standard();
+    require_exported("fuzz", &libc, &config.functions)?;
+    let pool_size = if config.functions.is_empty() {
+        ballista_targets().len()
+    } else {
+        config.functions.len()
+    };
+
+    let sink: Option<Box<dyn std::io::Write + Send>> = match &journal_path {
+        Some(path) => Some(Box::new(std::fs::File::create(path).map_err(|e| {
+            Error::io(format!("fuzz: cannot write {}", path.display()), e)
+        })?)),
+        None => None,
+    };
+    let mut journal: Journal<FuzzEvent> = match (sink, trace_path.is_some()) {
+        (None, false) => Journal::disabled(),
+        (sink, true) => Journal::start_recording(sink),
+        (Some(sink), false) => Journal::start(sink),
+    };
+
+    let outcome = healers::fuzz::run(&libc, &config, &journal.sender());
+    let tail = journal
+        .shutdown()
+        .map_err(|e| Error::io("fuzz: journal write failed", e))?;
+    if journal_path.is_some() {
+        eprintln!("journal: {} events", tail.lines);
+    }
+    if let Some(path) = &trace_path {
+        let doc = healers::fuzz::chrome_trace(&tail.events).render();
+        std::fs::write(path, doc)
+            .map_err(|e| Error::io(format!("fuzz: cannot write {}", path.display()), e))?;
+        eprintln!("trace: wrote {}", path.display());
+    }
+
+    // The summary is part of the determinism guarantee: only logical
+    // counters, in BTree order — byte-identical for any --jobs value.
+    println!(
+        "healers fuzz — seed {} budget {} mode {} pool {pool_size}",
+        config.seed,
+        config.budget,
+        match config.mode {
+            PinMode::Full => "full",
+            PinMode::Semi => "semi",
+        }
+    );
+    println!("coverage: {} keys", outcome.coverage.len());
+    println!("corpus: {} sequences", outcome.corpus_len);
+    println!("findings: {}", outcome.findings.len());
+    for report in &outcome.findings {
+        println!(
+            "  {}: {} -> {} steps ({} probes)",
+            report.key,
+            report.original.len(),
+            report.shrunk.len(),
+            report.stats.probes
+        );
+    }
+    if let Some(dir) = &pins_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| Error::io(format!("fuzz: cannot create {}", dir.display()), e))?;
+        for report in &outcome.findings {
+            let pin_path = dir.join(report.pin.file_name());
+            std::fs::write(&pin_path, report.pin.render())
+                .map_err(|e| Error::io(format!("fuzz: cannot write {}", pin_path.display()), e))?;
+            let seed_path = dir.join(format!("{}.seed", report.key));
+            std::fs::write(&seed_path, report.shrunk.render())
+                .map_err(|e| Error::io(format!("fuzz: cannot write {}", seed_path.display()), e))?;
+        }
+        eprintln!(
+            "pins: wrote {} file(s) to {}",
+            2 * outcome.findings.len(),
+            dir.display()
+        );
+    }
+    Ok(())
+}
+
+/// The functions a sequence calls, sorted and deduplicated, each
+/// checked against the library's export list.
+fn fuzz_decls_for(
+    command: &'static str,
+    libc: &Libc,
+    seq: &healers::fuzz::Sequence,
+) -> Result<Vec<healers::core::FunctionDecl>, Error> {
+    let mut functions: Vec<String> = seq.steps.iter().map(|s| s.function.clone()).collect();
+    functions.sort_unstable();
+    functions.dedup();
+    require_exported(command, libc, &functions)?;
+    let refs: Vec<&str> = functions.iter().map(String::as_str).collect();
+    Ok(analyze(libc, &refs))
+}
+
+fn cmd_fuzz_replay(files: &[String]) -> Result<(), Error> {
+    if files.iter().any(|f| f.starts_with("--")) {
+        return Err(Error::Usage);
+    }
+    if files.is_empty() {
+        return Err(Error::BadArgument(
+            "fuzz replay: name at least one pin file".into(),
+        ));
+    }
+    let libc = Libc::standard();
+    let mut failures = 0usize;
+    for file in files {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| Error::io(format!("fuzz replay: cannot read {file}"), e))?;
+        let pin = Pin::parse(&text)
+            .map_err(|e| Error::BadArgument(format!("fuzz replay: {file}: {e}")))?;
+        let decls = fuzz_decls_for("fuzz replay", &libc, &pin.seq)?;
+        match pin.replay(&libc, &decls) {
+            Ok(()) => println!("replay {file}: ok ({})", pin.finding),
+            Err(e) => {
+                failures += 1;
+                println!("replay {file}: FAILED\n{e}");
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(Error::Msg(format!(
+            "fuzz replay: {failures} pin(s) diverged"
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_fuzz_shrink(rest: &[String]) -> Result<(), Error> {
+    let mut file: Option<&String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut mode = PinMode::Full;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            "--mode" => mode = parse_pin_mode(it.next().ok_or(Error::Usage)?)?,
+            flag if flag.starts_with("--") => return Err(Error::Usage),
+            _ if file.is_none() => file = Some(arg),
+            _ => return Err(Error::Usage),
+        }
+    }
+    let file = file.ok_or(Error::BadArgument("fuzz shrink: name a seed file".into()))?;
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| Error::io(format!("fuzz shrink: cannot read {file}"), e))?;
+    let seq = healers::fuzz::Sequence::parse(&text)
+        .map_err(|e| Error::BadArgument(format!("fuzz shrink: {file}: {e}")))?;
+    let libc = Libc::standard();
+    let decls = fuzz_decls_for("fuzz shrink", &libc, &seq)?;
+
+    let execute_pair = |s: &healers::fuzz::Sequence| {
+        let wrapped = healers::fuzz::execute(
+            &libc,
+            s,
+            healers::fuzz::ExecMode::Wrapped {
+                decls: &decls,
+                config: mode.config(),
+            },
+        );
+        let unwrapped = healers::fuzz::execute_unwrapped(&libc, s);
+        (wrapped, unwrapped)
+    };
+    let (wrapped, unwrapped) = execute_pair(&seq);
+    let findings = healers::fuzz::detect(&wrapped, &unwrapped);
+    let Some(finding) = findings.first() else {
+        return Err(Error::Msg(
+            "fuzz shrink: the sequence exhibits no finding (no check violation, \
+             wrapped crash, or divergence)"
+                .into(),
+        ));
+    };
+    let oracle = |s: &healers::fuzz::Sequence, f: &healers::fuzz::Finding| {
+        let (w, u) = execute_pair(s);
+        healers::fuzz::finding::reproduces(f, &w, &u)
+    };
+    let (shrunk, stats) = healers::fuzz::shrink(&seq, finding, &oracle);
+    eprintln!(
+        "shrink: {} — {} -> {} steps ({} probes)",
+        finding.key(),
+        seq.len(),
+        shrunk.len(),
+        stats.probes
+    );
+    let (wrapped, _) = execute_pair(&shrunk);
+    let pin = Pin {
+        finding: finding.key(),
+        mode,
+        seq: shrunk,
+        expect: healers::fuzz::Expectation::from_result(&wrapped),
+    };
+    match &out {
+        Some(path) => {
+            std::fs::write(path, pin.render()).map_err(|e| {
+                Error::io(format!("fuzz shrink: cannot write {}", path.display()), e)
+            })?;
+            eprintln!("shrink: wrote {}", path.display());
+        }
+        None => print!("{}", pin.render()),
+    }
+    Ok(())
 }
 
 /// `healers explain` — replay the fault-injection campaign for each

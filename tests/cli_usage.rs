@@ -2,6 +2,7 @@
 //! misuse exits with status 2, and `healers report` output is
 //! byte-identical across worker counts.
 
+use std::collections::BTreeSet;
 use std::process::{Command, Output};
 
 fn healers(args: &[&str]) -> Output {
@@ -11,17 +12,62 @@ fn healers(args: &[&str]) -> Output {
         .expect("spawn healers")
 }
 
+/// Every subcommand the binary dispatches. Adding a subcommand without
+/// listing it here (and in `usage()`) fails the exact-set comparison
+/// below, so the listing and this test cannot silently drift apart.
 const SUBCOMMANDS: &[&str] = &[
-    "analyze", "wrap", "ballista", "campaign", "report", "explain", "extract", "tour", "help",
+    "analyze", "wrap", "ballista", "campaign", "report", "explain", "extract", "fuzz", "tour",
+    "help",
 ];
 
+/// Parse the subcommand names out of the usage listing: on each
+/// `healers …` line the subcommand is the first token after `healers`
+/// that is not a bracketed global flag like `[--seed N]`.
+fn listed_subcommands(stderr: &str) -> BTreeSet<String> {
+    let mut subs = BTreeSet::new();
+    for line in stderr.lines() {
+        let mut tokens = line.split_whitespace();
+        if tokens.next() != Some("healers") {
+            continue;
+        }
+        // Bracketed flags like `[--seed N]` may span several tokens.
+        let mut depth = 0i32;
+        for token in tokens {
+            if depth == 0 && !token.starts_with('[') {
+                subs.insert(token.to_string());
+                break;
+            }
+            depth += token.matches('[').count() as i32;
+            depth -= token.matches(']').count() as i32;
+        }
+    }
+    subs
+}
+
 #[test]
-fn no_arguments_prints_the_full_listing_and_exits_2() {
+fn usage_lists_exactly_the_dispatched_subcommands() {
     let out = healers(&[]);
     assert_eq!(out.status.code(), Some(2));
     let stderr = String::from_utf8(out.stderr).unwrap();
-    for sub in SUBCOMMANDS {
-        assert!(stderr.contains(sub), "usage is missing `{sub}`:\n{stderr}");
+    let listed = listed_subcommands(&stderr);
+    let expected: BTreeSet<String> = SUBCOMMANDS.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        listed, expected,
+        "usage() and the SUBCOMMANDS list disagree:\n{stderr}"
+    );
+}
+
+#[test]
+fn fuzz_subcommand_forms_are_all_listed() {
+    // `fuzz` is the one subcommand with sub-subcommands; the listing
+    // must name each form so `healers fuzz <form>` stays discoverable.
+    let out = healers(&[]);
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    for form in ["fuzz run", "fuzz replay", "fuzz shrink"] {
+        assert!(
+            stderr.contains(form),
+            "usage is missing `{form}`:\n{stderr}"
+        );
     }
 }
 

@@ -1,0 +1,90 @@
+//! Replay of the committed fuzzer pins.
+//!
+//! Every `.pin` under `tests/fuzz_pins/` is a shrunk sequence the
+//! fuzzer found, together with the exact behaviour it recorded —
+//! per-step outcome and `errno`, wrapper violations, and per-kind
+//! check tallies. This test replays each pin and fails on any
+//! divergence, which turns the fuzzer's historical findings into
+//! permanent regression tests: a checker, wrapper, or libc change
+//! that alters any pinned behaviour must update the pin (by re-running
+//! `healers fuzz shrink` on its sequence) and justify the diff.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use healers::core::analyze;
+use healers::fuzz::Pin;
+use healers::libc::Libc;
+
+fn pins_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fuzz_pins")
+}
+
+fn load_pins() -> Vec<(String, Pin)> {
+    let mut names: Vec<PathBuf> = std::fs::read_dir(pins_dir())
+        .expect("tests/fuzz_pins must exist")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "pin"))
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "no committed pins found");
+    names
+        .into_iter()
+        .map(|path| {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).unwrap();
+            let pin = Pin::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            (name, pin)
+        })
+        .collect()
+}
+
+#[test]
+fn every_committed_pin_replays_to_its_recorded_outcome() {
+    let libc = Libc::standard();
+    let mut failures = Vec::new();
+    for (name, pin) in load_pins() {
+        assert_eq!(
+            format!("{}.pin", pin.finding),
+            name,
+            "pin file name must match its finding key"
+        );
+        let mut functions: Vec<&str> = pin.seq.steps.iter().map(|s| s.function.as_str()).collect();
+        functions.sort_unstable();
+        functions.dedup();
+        let decls = analyze(&libc, &functions);
+        if let Err(e) = pin.replay(&libc, &decls) {
+            failures.push(format!("{name}: {e}"));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn committed_pins_cover_every_check_kind_and_a_wrapped_crash() {
+    // The committed set is required to span the whole checker: every
+    // claim kind in `checker.rs` must appear in at least one pin's
+    // failed-check expectations, and at least one pin must lock in a
+    // crash that got through the wrapper.
+    let pins = load_pins();
+    let mut failed_kinds: BTreeSet<String> = BTreeSet::new();
+    let mut wrapped_crashes = 0usize;
+    for (_, pin) in &pins {
+        for (kind, _, failed) in &pin.expect.checks {
+            if *failed > 0 {
+                failed_kinds.insert(kind.clone());
+            }
+        }
+        if !pin.expect.completed {
+            wrapped_crashes += 1;
+        }
+    }
+    for kind in ["region", "string", "stream", "dir", "scalar", "assertion"] {
+        assert!(
+            failed_kinds.contains(kind),
+            "no committed pin exercises a failed {kind} check (have: {failed_kinds:?})"
+        );
+    }
+    assert!(wrapped_crashes >= 1, "no committed wrapped-crash pin");
+    assert!(pins.len() >= 10, "the committed set must stay at 10+ pins");
+}
