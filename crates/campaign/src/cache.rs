@@ -8,7 +8,33 @@
 //! by the current fingerprint exists and round-trips, the whole
 //! injection campaign for that function is skipped. Storing a fresh
 //! entry removes any stale files for the same function.
+//!
+//! # On-disk format
+//!
+//! Every entry begins with a one-line header (an XML comment, so the
+//! payload stays a valid XML document to outside tooling):
+//!
+//! ```text
+//! <!-- healers-decl-cache v2 sum:<16 hex> -->
+//! <functions>...</functions>
+//! ```
+//!
+//! The header carries the magic, the cache **format version**
+//! ([`CACHE_FORMAT_VERSION`], distinct from the fingerprint's format
+//! version), and an FNV checksum of the payload bytes. Damage —
+//! truncation, bit rot, a partial copy, an entry written by a future
+//! format — is detected and reported as a structured [`CacheError`],
+//! never a panic. The two readers take different postures:
+//!
+//! * [`DeclCache::load_checked`] is **strict**: damage is an error.
+//!   `healers serve` uses it at startup, where silently re-deriving a
+//!   declaration would break the warm-start zero-injected-calls
+//!   guarantee without anyone noticing.
+//! * [`DeclCache::lookup`] is **lenient**: damage is a miss, and the
+//!   next [`DeclCache::store`] overwrites it. Campaigns use it, where
+//!   re-deriving is the correct self-healing response.
 
+use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -16,7 +42,72 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use healers_core::{decls_from_xml, decls_to_xml, FunctionDecl};
 
-use crate::fingerprint::Fingerprint;
+use crate::fingerprint::{fingerprint, Fingerprint};
+
+/// The on-disk cache format version this build reads and writes.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
+
+const HEADER_MAGIC: &str = "<!-- healers-decl-cache ";
+
+/// What, specifically, is wrong with a cache entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheErrorKind {
+    /// The file does not start with the cache header magic.
+    BadMagic,
+    /// The header names a format version this build does not speak.
+    UnsupportedVersion(String),
+    /// The header is present but not parseable.
+    BadHeader,
+    /// The payload does not match the header's checksum (truncation,
+    /// bit rot, partial write).
+    ChecksumMismatch,
+    /// The payload is not a valid declaration document.
+    Malformed(String),
+    /// The entry holds a different function than its filename claims.
+    WrongFunction,
+    /// The file exists but could not be read.
+    Io(io::ErrorKind),
+}
+
+/// A corrupt, truncated, or version-mismatched cache entry, with the
+/// file it lives in.
+#[derive(Debug)]
+pub struct CacheError {
+    /// The offending entry.
+    pub path: PathBuf,
+    /// What is wrong with it.
+    pub kind: CacheErrorKind,
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let path = self.path.display();
+        match &self.kind {
+            CacheErrorKind::BadMagic => {
+                write!(f, "cache entry {path}: missing healers-decl-cache header")
+            }
+            CacheErrorKind::UnsupportedVersion(v) => write!(
+                f,
+                "cache entry {path}: unsupported format version {v} (this build speaks v{CACHE_FORMAT_VERSION})"
+            ),
+            CacheErrorKind::BadHeader => write!(f, "cache entry {path}: unparseable header"),
+            CacheErrorKind::ChecksumMismatch => write!(
+                f,
+                "cache entry {path}: payload does not match its checksum (truncated or corrupt)"
+            ),
+            CacheErrorKind::Malformed(why) => {
+                write!(f, "cache entry {path}: malformed declaration: {why}")
+            }
+            CacheErrorKind::WrongFunction => write!(
+                f,
+                "cache entry {path}: holds a different function than its filename claims"
+            ),
+            CacheErrorKind::Io(kind) => write!(f, "cache entry {path}: unreadable ({kind})"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
 
 /// Hit/miss counters (atomic: the cache is shared across workers).
 #[derive(Debug, Default)]
@@ -73,18 +164,80 @@ impl DeclCache {
         self.dir.join(format!("{function}.{fp}.xml"))
     }
 
+    /// Strictly load the entry for `function` under fingerprint `fp`:
+    /// `Ok(None)` when no entry exists, the declaration when one exists
+    /// and verifies end-to-end.
+    ///
+    /// Does not touch the hit/miss counters — this is the verification
+    /// read, not the campaign's cache probe.
+    ///
+    /// # Errors
+    ///
+    /// A [`CacheError`] naming the file and the damage: bad magic,
+    /// unsupported format version, checksum mismatch, malformed
+    /// payload, or a function-name mismatch.
+    pub fn load_checked(
+        &self,
+        function: &str,
+        fp: Fingerprint,
+    ) -> Result<Option<FunctionDecl>, CacheError> {
+        let path = self.entry_path(function, fp);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(CacheError {
+                    path,
+                    kind: CacheErrorKind::Io(e.kind()),
+                })
+            }
+        };
+        let err = |kind| CacheError {
+            path: path.clone(),
+            kind,
+        };
+
+        let (header, payload) = text
+            .split_once('\n')
+            .ok_or_else(|| err(CacheErrorKind::BadMagic))?;
+        let fields = header
+            .strip_prefix(HEADER_MAGIC)
+            .ok_or_else(|| err(CacheErrorKind::BadMagic))?
+            .strip_suffix(" -->")
+            .ok_or_else(|| err(CacheErrorKind::BadHeader))?;
+        let mut words = fields.split_whitespace();
+        let version = words.next().ok_or_else(|| err(CacheErrorKind::BadHeader))?;
+        if version != format!("v{CACHE_FORMAT_VERSION}") {
+            return Err(err(CacheErrorKind::UnsupportedVersion(version.to_string())));
+        }
+        let sum = words
+            .next()
+            .and_then(|w| w.strip_prefix("sum:"))
+            .ok_or_else(|| err(CacheErrorKind::BadHeader))?;
+        if words.next().is_some() {
+            return Err(err(CacheErrorKind::BadHeader));
+        }
+        if sum != fingerprint(&[payload]).to_string() {
+            return Err(err(CacheErrorKind::ChecksumMismatch));
+        }
+
+        let mut decls =
+            decls_from_xml(payload).map_err(|why| err(CacheErrorKind::Malformed(why)))?;
+        if decls.len() != 1 || decls[0].name != function {
+            return Err(err(CacheErrorKind::WrongFunction));
+        }
+        Ok(Some(decls.remove(0)))
+    }
+
     /// Look up the declaration for `function` under fingerprint `fp`.
     ///
-    /// Counts a hit only for a well-formed entry that actually contains
-    /// `function`; corrupt or mismatched files count as misses (and are
-    /// overwritten by the next [`DeclCache::store`]).
+    /// The lenient reader: counts a hit only for an entry that passes
+    /// every [`DeclCache::load_checked`] verification; a damaged entry
+    /// counts as a miss and is overwritten by the next
+    /// [`DeclCache::store`] — re-derivation is the campaign's
+    /// self-healing response to cache damage.
     pub fn lookup(&self, function: &str, fp: Fingerprint) -> Option<FunctionDecl> {
-        let found = fs::read_to_string(self.entry_path(function, fp))
-            .ok()
-            .and_then(|xml| decls_from_xml(&xml).ok())
-            .and_then(|mut decls| {
-                (decls.len() == 1 && decls[0].name == function).then(|| decls.remove(0))
-            });
+        let found = self.load_checked(function, fp).ok().flatten();
         let counter = if found.is_some() {
             &self.counters.hits
         } else {
@@ -95,7 +248,8 @@ impl DeclCache {
     }
 
     /// Store `decl` for `function` under fingerprint `fp`, removing any
-    /// stale entries for the same function first.
+    /// stale entries for the same function first. Entries are written
+    /// in the versioned, checksummed v2 format.
     ///
     /// # Errors
     ///
@@ -114,9 +268,15 @@ impl DeclCache {
             }
         }
         // Write-then-rename so concurrent readers never observe a
-        // truncated entry.
+        // truncated entry; the checksum catches any torn copy made
+        // outside this code path.
+        let payload = decls_to_xml(std::slice::from_ref(decl));
+        let entry = format!(
+            "{HEADER_MAGIC}v{CACHE_FORMAT_VERSION} sum:{} -->\n{payload}",
+            fingerprint(&[&payload])
+        );
         let tmp = self.dir.join(format!("{function}.{fp}.xml.tmp"));
-        fs::write(&tmp, decls_to_xml(std::slice::from_ref(decl)))?;
+        fs::write(&tmp, entry)?;
         fs::rename(&tmp, self.entry_path(function, fp))
     }
 }
@@ -187,6 +347,99 @@ mod tests {
         let fp = fingerprint(&["x"]);
         fs::write(dir.join(format!("abs.{fp}.xml")), "<functions>garbage").unwrap();
         assert!(cache.lookup("abs", fp).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Write a valid entry, then mangle it and assert `load_checked`
+    /// classifies the damage (and `lookup` degrades it to a miss).
+    #[test]
+    fn mangled_entries_are_classified_not_panicked_on() {
+        let dir = tmpdir("mangled");
+        let cache = DeclCache::open(&dir).unwrap();
+        let libc = Libc::standard();
+        let decl = healers_core::analyze(&libc, &["abs"]).remove(0);
+        let fp = fingerprint(&["abs-signature"]);
+        cache.store("abs", fp, &decl).unwrap();
+        let path = dir.join(format!("abs.{fp}.xml"));
+        let pristine = fs::read_to_string(&path).unwrap();
+        assert!(pristine.starts_with(HEADER_MAGIC), "v2 header present");
+        assert!(cache.load_checked("abs", fp).unwrap().is_some());
+
+        let cases: &[(&str, String, CacheErrorKind)] = &[
+            ("empty file", String::new(), CacheErrorKind::BadMagic),
+            (
+                "pre-header legacy entry",
+                decls_to_xml(std::slice::from_ref(&decl)),
+                CacheErrorKind::BadMagic,
+            ),
+            (
+                "future format version",
+                pristine.replacen("v2", "v9", 1),
+                CacheErrorKind::UnsupportedVersion("v9".to_string()),
+            ),
+            (
+                "truncated payload",
+                pristine[..pristine.len() - 10].to_string(),
+                CacheErrorKind::ChecksumMismatch,
+            ),
+            (
+                "flipped payload byte",
+                pristine.replacen("abs", "abz", 1),
+                CacheErrorKind::ChecksumMismatch,
+            ),
+            (
+                "header without checksum",
+                pristine.replacen(" sum:", " mus:", 1),
+                CacheErrorKind::BadHeader,
+            ),
+        ];
+        for (what, bytes, want) in cases {
+            fs::write(&path, bytes).unwrap();
+            let err = cache.load_checked("abs", fp).unwrap_err();
+            assert_eq!(&err.kind, want, "{what}: {err}");
+            assert_eq!(err.path, path, "{what} names the file");
+            assert!(
+                cache.lookup("abs", fp).is_none(),
+                "{what} is a lenient miss"
+            );
+        }
+
+        // A checksum-valid entry whose payload names another function.
+        let wrong_payload = pristine
+            .lines()
+            .skip(1)
+            .collect::<Vec<_>>()
+            .join("\n")
+            .replace("abs", "labs")
+            + "\n";
+        let forged = format!(
+            "{HEADER_MAGIC}v{CACHE_FORMAT_VERSION} sum:{} -->\n{wrong_payload}",
+            fingerprint(&[&wrong_payload])
+        );
+        fs::write(&path, forged).unwrap();
+        let err = cache.load_checked("abs", fp).unwrap_err();
+        assert!(
+            matches!(
+                err.kind,
+                CacheErrorKind::WrongFunction | CacheErrorKind::Malformed(_)
+            ),
+            "forged function name: {err}"
+        );
+
+        // Restoring the pristine bytes restores the entry.
+        fs::write(&path, &pristine).unwrap();
+        assert!(cache.load_checked("abs", fp).unwrap().is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_entry_is_ok_none_not_an_error() {
+        let dir = tmpdir("absent");
+        let cache = DeclCache::open(&dir).unwrap();
+        assert!(cache
+            .load_checked("abs", fingerprint(&["x"]))
+            .unwrap()
+            .is_none());
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -52,7 +52,7 @@ pub mod scheduler;
 // call sites keep working.
 pub use healers_trace::json;
 
-pub use cache::{CacheCounters, DeclCache};
+pub use cache::{CacheCounters, CacheError, CacheErrorKind, DeclCache, CACHE_FORMAT_VERSION};
 pub use campaign::{Campaign, CampaignConfig};
 pub use chrome::chrome_trace;
 // The fingerprint module lives in `healers-ballista` so the serial

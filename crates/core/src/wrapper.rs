@@ -1127,12 +1127,14 @@ mod tests {
     fn stats_absorb_merges_every_field() {
         let mut hist = Histogram::new();
         hist.record(100);
-        let mut part = WrapperStats::default();
-        part.calls = 1;
-        part.wrapped_calls = 2;
-        part.checks = 3;
-        part.violations = 4;
-        part.check_cache_hits = 5;
+        let mut part = WrapperStats {
+            calls: 1,
+            wrapped_calls: 2,
+            checks: 3,
+            violations: 4,
+            check_cache_hits: 5,
+            ..Default::default()
+        };
         part.check_kinds.table_hits = 6;
         part.check_outcomes.record(CheckKind::String, true);
         part.per_function.insert(

@@ -110,7 +110,10 @@ pub fn decls_to_xml(decls: &[FunctionDecl]) -> String {
         out.push_str(&format!("<name>{}</name>\n", d.name));
         out.push_str(&format!("<version>{}</version>\n", d.version));
         for (param, robust) in d.proto.params.iter().zip(&d.robust_args) {
-            out.push_str(&format!("<argument>{}\n", param.ty));
+            match &param.name {
+                Some(n) => out.push_str(&format!("<argument>{} {n}\n", param.ty)),
+                None => out.push_str(&format!("<argument>{}\n", param.ty)),
+            }
             match robust {
                 Some(t) => out.push_str(&format!("<robust_type>{}</robust_type>\n", t.notation())),
                 None => out.push_str("<robust_type>UNCONSTRAINED</robust_type>\n"),
@@ -151,8 +154,11 @@ fn inner<'a>(line: &'a str, tag: &str) -> Option<&'a str> {
 
 /// Parse declarations back from the Figure 2 format.
 ///
-/// Parameter names are not part of the format, so the reconstructed
-/// prototypes carry anonymous parameters.
+/// `<argument>` carries the parameter's full declarator (type and, if
+/// the original prototype named one, the parameter name), so a
+/// round-trip reconstructs the prototype exactly — the declaration
+/// cache relies on this to make warm starts indistinguishable from
+/// cold ones.
 ///
 /// # Errors
 ///
@@ -270,6 +276,9 @@ mod tests {
         assert_eq!(back.len(), decls.len());
         for (a, b) in decls.iter().zip(&back) {
             assert_eq!(a.name, b.name);
+            // Prototypes round-trip exactly, parameter names included:
+            // warm-cache explain output must match a cold start's.
+            assert_eq!(a.proto, b.proto, "{}", a.name);
             assert_eq!(a.robust_args, b.robust_args, "{}", a.name);
             assert_eq!(a.error_value, b.error_value, "{}", a.name);
             assert_eq!(a.errno_value, b.errno_value, "{}", a.name);

@@ -1,0 +1,352 @@
+//! The in-process load generator behind `healers bench serve`.
+//!
+//! N client threads hammer an in-process daemon over bounded duplex
+//! pipes — no sockets, no syscalls — so the number measured is the
+//! protocol + checking cost, not kernel scheduling noise. Each client
+//! pre-encodes one validate-heavy request frame and replays it,
+//! recording per-frame round-trip latency in a log2-bucket
+//! [`Histogram`]; the report aggregates throughput and p50/p99 across
+//! all clients.
+//!
+//! The committed `BENCH_serve.json` baseline plus [`BenchReport::gate`]
+//! turn the number into a regression tripwire: CI fails if aggregate
+//! validate throughput drops below the hard floor or more than 20 %
+//! below the baseline.
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use healers_simproc::SimValue;
+use healers_trace::Histogram;
+
+use crate::daemon::{Daemon, DaemonConfig, PipeListener};
+use crate::frame::{encode_frame, read_frame, Limits, DIR_REQUEST, DIR_RESPONSE};
+use crate::pipe::duplex;
+use crate::plans::ServePlans;
+use crate::proto::{Request, Response, ValidateVerdict};
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Client threads (each owns one connection).
+    pub clients: usize,
+    /// Daemon session workers.
+    pub workers: usize,
+    /// Frames each client replays.
+    pub frames: u64,
+    /// Validate requests per frame.
+    pub batch: usize,
+    /// Duplex pipe capacity per direction (bytes).
+    pub pipe_capacity: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            clients: 4,
+            workers: 4,
+            frames: 200,
+            batch: 1024,
+            pipe_capacity: 256 * 1024,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// The CI-sized run: same shape, a fraction of the volume.
+    pub fn fast() -> Self {
+        BenchConfig {
+            frames: 40,
+            ..BenchConfig::default()
+        }
+    }
+}
+
+/// One bench run's results.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Client threads used.
+    pub clients: usize,
+    /// Daemon workers used.
+    pub workers: usize,
+    /// Frames per client.
+    pub frames: u64,
+    /// Requests per frame.
+    pub batch: usize,
+    /// Total requests served.
+    pub requests: u64,
+    /// Wall-clock time for the whole run.
+    pub elapsed: Duration,
+    /// Aggregate requests per second.
+    pub requests_per_sec: f64,
+    /// Median frame round-trip (nanoseconds).
+    pub p50_frame_ns: u64,
+    /// 99th-percentile frame round-trip (nanoseconds).
+    pub p99_frame_ns: u64,
+}
+
+/// The request mix every client replays: validate-heavy, covering an
+/// admitted string check, an admitted two-pointer copy, a rejected
+/// null, and an unchecked pass-through.
+fn bench_frame(plans: &ServePlans, batch: usize) -> Vec<u8> {
+    let cases = [
+        Request::Validate {
+            function: "strlen".into(),
+            args: vec![SimValue::Ptr(plans.scratch_str())],
+        },
+        Request::Validate {
+            function: "strcpy".into(),
+            args: vec![
+                SimValue::Ptr(plans.scratch_buf()),
+                SimValue::Ptr(plans.scratch_str()),
+            ],
+        },
+        Request::Validate {
+            function: "strlen".into(),
+            args: vec![SimValue::NULL],
+        },
+        Request::Validate {
+            function: "abs".into(),
+            args: vec![SimValue::Int(-5)],
+        },
+    ];
+    let mut messages = Vec::with_capacity(batch);
+    for i in 0..batch {
+        let mut buf = Vec::new();
+        cases[i % cases.len()].encode(&mut buf);
+        messages.push(buf);
+    }
+    encode_frame(DIR_REQUEST, &messages)
+}
+
+/// The functions the bench frame exercises — what the CLI builds plans
+/// for before calling [`run`].
+pub const BENCH_FUNCTIONS: &[&str] = &["strlen", "strcpy", "abs"];
+
+/// Run the load generator against an in-process daemon.
+///
+/// # Panics
+///
+/// Panics on any protocol violation — this is a measurement tool; a
+/// malformed reply is a bug, not a condition to recover from.
+pub fn run(plans: Arc<ServePlans>, config: &BenchConfig) -> BenchReport {
+    let limits = Limits {
+        max_frame_len: 16 << 20,
+        max_batch: u16::MAX,
+    };
+    let (dial, listener) = PipeListener::new();
+    let daemon = Daemon::spawn(
+        Box::new(listener),
+        Arc::clone(&plans),
+        DaemonConfig {
+            workers: config.workers.max(1),
+            queue_depth: config.clients + config.workers,
+            limits,
+        },
+    );
+
+    let frame_bytes = Arc::new(bench_frame(&plans, config.batch));
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(config.clients.max(1));
+    for _ in 0..config.clients.max(1) {
+        let (local, remote) = duplex(config.pipe_capacity);
+        dial.send(remote).expect("daemon accept loop alive");
+        let frame_bytes = Arc::clone(&frame_bytes);
+        let frames = config.frames;
+        let batch = config.batch;
+        handles.push(std::thread::spawn(move || {
+            let mut conn = local;
+            let mut hist = Histogram::new();
+            for i in 0..frames {
+                let t0 = Instant::now();
+                conn.write_all(&frame_bytes).expect("write frame");
+                let reply = read_frame(&mut conn, &limits).expect("read reply frame");
+                hist.record(t0.elapsed().as_nanos() as u64);
+                assert_eq!(reply.direction, DIR_RESPONSE, "reply direction");
+                assert_eq!(reply.messages.len(), batch, "reply batch size");
+                if i == 0 {
+                    // Decode the first reply in full: the mix must
+                    // produce the verdicts it was built to produce.
+                    for (j, msg) in reply.messages.iter().enumerate() {
+                        let rsp = Response::decode(msg).expect("decodable reply");
+                        let Response::Validated(v) = rsp else {
+                            panic!("expected a verdict, got {rsp:?}");
+                        };
+                        match j % 4 {
+                            0 | 1 => assert_eq!(v, ValidateVerdict::Admit),
+                            2 => assert!(matches!(v, ValidateVerdict::Reject { .. })),
+                            _ => assert_eq!(v, ValidateVerdict::AdmitUnchecked),
+                        }
+                    }
+                }
+            }
+            hist
+        }));
+    }
+    drop(dial); // accept loop exits once the queue drains
+
+    let mut hist = Histogram::new();
+    for handle in handles {
+        hist.merge(&handle.join().expect("client thread"));
+    }
+    let elapsed = started.elapsed();
+    daemon.trigger_shutdown();
+    daemon.join().expect("daemon join");
+
+    let requests = config.clients.max(1) as u64 * config.frames * config.batch as u64;
+    BenchReport {
+        clients: config.clients.max(1),
+        workers: config.workers.max(1),
+        frames: config.frames,
+        batch: config.batch,
+        requests,
+        elapsed,
+        requests_per_sec: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_frame_ns: hist.percentile(50.0),
+        p99_frame_ns: hist.percentile(99.0),
+    }
+}
+
+impl BenchReport {
+    /// The `BENCH_serve.json` document for this run.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"serve\",\n  \"clients\": {},\n  \"workers\": {},\n  \
+             \"frames_per_client\": {},\n  \"batch\": {},\n  \"requests\": {},\n  \
+             \"elapsed_s\": {:.6},\n  \"requests_per_sec\": {:.0},\n  \
+             \"p50_frame_ns\": {},\n  \"p99_frame_ns\": {}\n}}\n",
+            self.clients,
+            self.workers,
+            self.frames,
+            self.batch,
+            self.requests,
+            self.elapsed.as_secs_f64(),
+            self.requests_per_sec,
+            self.p50_frame_ns,
+            self.p99_frame_ns,
+        )
+    }
+
+    /// Human-readable summary lines.
+    pub fn render(&self) -> String {
+        format!(
+            "serve bench: {} clients x {} frames x {} requests/frame against {} workers\n\
+             requests     {}\n\
+             elapsed      {:.3} s\n\
+             throughput   {:.0} requests/s\n\
+             frame p50    {} ns\n\
+             frame p99    {} ns\n",
+            self.clients,
+            self.frames,
+            self.batch,
+            self.workers,
+            self.requests,
+            self.elapsed.as_secs_f64(),
+            self.requests_per_sec,
+            self.p50_frame_ns,
+            self.p99_frame_ns,
+        )
+    }
+
+    /// Gate this run: aggregate throughput must clear `floor`
+    /// requests/s and stay within 20 % of the committed baseline's
+    /// `requests_per_sec` (when one is given).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable failure reason.
+    pub fn gate(&self, floor: f64, baseline_json: Option<&str>) -> Result<String, String> {
+        let mut lines = Vec::new();
+        if self.requests_per_sec < floor {
+            return Err(format!(
+                "throughput {:.0} requests/s is below the {floor:.0} floor",
+                self.requests_per_sec
+            ));
+        }
+        lines.push(format!(
+            "throughput {:.0} requests/s clears the {floor:.0} floor",
+            self.requests_per_sec
+        ));
+        if let Some(doc) = baseline_json {
+            let base = json_number(doc, "requests_per_sec")
+                .ok_or_else(|| "baseline is missing requests_per_sec".to_string())?;
+            let ratio = self.requests_per_sec / base.max(1e-9);
+            if ratio < 0.8 {
+                return Err(format!(
+                    "throughput {:.0} requests/s regressed more than 20 % vs baseline {base:.0}",
+                    self.requests_per_sec
+                ));
+            }
+            lines.push(format!(
+                "within 20 % of baseline {base:.0} ({:+.1} %)",
+                (ratio - 1.0) * 100.0
+            ));
+        }
+        Ok(lines.join("\n"))
+    }
+}
+
+/// Extract `"key": <number>` from a flat JSON document — enough for the
+/// documents this repo commits, no JSON library required.
+pub fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = doc.find(&pat)? + pat.len();
+    let rest = doc[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_number_extracts_fields() {
+        let doc = "{\n  \"requests_per_sec\": 1234567,\n  \"p50_frame_ns\": 42\n}\n";
+        assert_eq!(json_number(doc, "requests_per_sec"), Some(1_234_567.0));
+        assert_eq!(json_number(doc, "p50_frame_ns"), Some(42.0));
+        assert_eq!(json_number(doc, "missing"), None);
+    }
+
+    #[test]
+    fn gate_enforces_floor_and_baseline() {
+        let report = BenchReport {
+            clients: 4,
+            workers: 4,
+            frames: 10,
+            batch: 10,
+            requests: 400,
+            elapsed: Duration::from_millis(1),
+            requests_per_sec: 2_000_000.0,
+            p50_frame_ns: 100,
+            p99_frame_ns: 200,
+        };
+        assert!(report.gate(1_000_000.0, None).is_ok());
+        assert!(report.gate(3_000_000.0, None).is_err());
+        let baseline = report.to_json();
+        assert!(report.gate(1_000_000.0, Some(&baseline)).is_ok());
+        let fast_baseline = baseline.replace("2000000", "9000000");
+        assert!(report.gate(1_000_000.0, Some(&fast_baseline)).is_err());
+    }
+
+    #[test]
+    fn report_json_round_trips_through_the_gate_parser() {
+        let report = BenchReport {
+            clients: 2,
+            workers: 2,
+            frames: 5,
+            batch: 8,
+            requests: 80,
+            elapsed: Duration::from_micros(10),
+            requests_per_sec: 8_000_000.0,
+            p50_frame_ns: 1000,
+            p99_frame_ns: 3000,
+        };
+        let doc = report.to_json();
+        assert_eq!(json_number(&doc, "requests_per_sec"), Some(8_000_000.0));
+        assert_eq!(json_number(&doc, "batch"), Some(8.0));
+    }
+}

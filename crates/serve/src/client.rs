@@ -1,0 +1,204 @@
+//! Drive a request script over a connection and collect the replies.
+//!
+//! The client is transport-agnostic — anything `Read + Write` works:
+//! a Unix socket (`healers serve send`), an in-process duplex pipe
+//! (`healers serve exec`, tests, bench). It enforces the protocol's
+//! one-response-per-request batching invariant and hands back both the
+//! decoded responses and the **exact reply bytes**, which is what the
+//! CI determinism job diffs across `--workers` values.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use crate::frame::{encode_frame, read_frame, write_frame, FrameError, Limits, DIR_RESPONSE};
+use crate::proto::{Response, ValidateVerdict, WireError};
+use crate::script::Script;
+
+/// A failed script replay.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Frame-level failure (transport, framing, hostile header).
+    Frame(FrameError),
+    /// A response message that does not decode.
+    Wire(WireError),
+    /// A structurally valid reply that breaks the batching contract.
+    BadReply(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "client: {e}"),
+            ClientError::Wire(e) => write!(f, "client: {e}"),
+            ClientError::BadReply(m) => write!(f, "client: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Frame(FrameError::Io(e))
+    }
+}
+
+/// Everything a script replay produced.
+#[derive(Debug)]
+pub struct ScriptReplies {
+    /// The exact reply-stream bytes, frame after frame — the unit the
+    /// determinism contract is stated (and diffed) in.
+    pub raw: Vec<u8>,
+    /// The decoded responses, one inner vec per request frame.
+    pub frames: Vec<Vec<Response>>,
+}
+
+/// Replay `script` over `conn`: write each request frame, read its
+/// response frame, stop after the frame that answers a `Shutdown`.
+///
+/// # Errors
+///
+/// Transport failures, undecodable replies, or contract violations
+/// (wrong direction, wrong batch size).
+pub fn run_script(
+    conn: &mut (impl Read + Write),
+    script: &Script,
+    limits: &Limits,
+) -> Result<ScriptReplies, ClientError> {
+    let mut raw = Vec::new();
+    let mut frames = Vec::new();
+    for requests in &script.frames {
+        let mut messages = Vec::with_capacity(requests.len());
+        for req in requests {
+            let mut buf = Vec::new();
+            req.encode(&mut buf);
+            messages.push(buf);
+        }
+        write_frame(conn, crate::frame::DIR_REQUEST, &messages)?;
+
+        let reply = read_frame(conn, limits)?;
+        if reply.direction != DIR_RESPONSE {
+            return Err(ClientError::BadReply("expected a response frame".into()));
+        }
+        if reply.messages.len() != requests.len() {
+            return Err(ClientError::BadReply(format!(
+                "sent {} request(s), got {} response(s)",
+                requests.len(),
+                reply.messages.len()
+            )));
+        }
+        // The codec has a unique encoding, so re-encoding the parsed
+        // frame reproduces the bytes that came off the wire.
+        raw.extend_from_slice(&encode_frame(reply.direction, &reply.messages));
+        let mut decoded = Vec::with_capacity(reply.messages.len());
+        for msg in &reply.messages {
+            decoded.push(Response::decode(msg)?);
+        }
+        let saw_shutdown = decoded.iter().any(|r| matches!(r, Response::Bye));
+        frames.push(decoded);
+        if saw_shutdown {
+            break;
+        }
+    }
+    Ok(ScriptReplies { raw, frames })
+}
+
+/// Render decoded responses as stable, line-oriented text — the output
+/// of `healers serve exec` and `healers serve send`.
+pub fn render(frames: &[Vec<Response>]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, frame) in frames.iter().enumerate() {
+        let _ = writeln!(out, "frame {i}:");
+        for rsp in frame {
+            match rsp {
+                Response::Pong => out.push_str("  pong\n"),
+                Response::Validated(v) => match v {
+                    ValidateVerdict::Admit => out.push_str("  validated: admit\n"),
+                    ValidateVerdict::AdmitUnchecked => {
+                        out.push_str("  validated: admit (unchecked)\n");
+                    }
+                    ValidateVerdict::Reject { arg, check } => {
+                        let _ = writeln!(out, "  validated: reject arg {arg} check {check}");
+                    }
+                    ValidateVerdict::UnknownFunction => {
+                        out.push_str("  validated: unknown function\n");
+                    }
+                },
+                Response::Explained { info: None } => out.push_str("  explained: unknown\n"),
+                Response::Explained {
+                    info: Some((proto, args)),
+                } => {
+                    let _ = writeln!(out, "  explained: {proto}");
+                    for (j, a) in args.iter().enumerate() {
+                        let _ = writeln!(out, "    arg {j}: robust {} check {}", a.robust, a.check);
+                    }
+                }
+                Response::Reported { counters } => {
+                    out.push_str("  reported:\n");
+                    for (name, value) in counters {
+                        let _ = writeln!(out, "    {name} {value}");
+                    }
+                }
+                Response::Bye => out.push_str("  bye\n"),
+                Response::Error { message } => {
+                    let _ = writeln!(out, "  error: {message}");
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ExplainArg;
+
+    #[test]
+    fn render_is_stable_text() {
+        let frames = vec![
+            vec![
+                Response::Pong,
+                Response::Validated(ValidateVerdict::Reject {
+                    arg: 1,
+                    check: "RNTS".into(),
+                }),
+            ],
+            vec![
+                Response::Explained {
+                    info: Some((
+                        "extern int abs(int j);".into(),
+                        vec![ExplainArg {
+                            robust: "-".into(),
+                            check: "-".into(),
+                        }],
+                    )),
+                },
+                Response::Reported {
+                    counters: vec![("requests".into(), 4)],
+                },
+                Response::Bye,
+            ],
+        ];
+        let text = render(&frames);
+        assert_eq!(
+            text,
+            "frame 0:\n  pong\n  validated: reject arg 1 check RNTS\n\
+             frame 1:\n  explained: extern int abs(int j);\n    arg 0: robust - check -\n\
+             \x20 reported:\n    requests 4\n  bye\n"
+        );
+    }
+}

@@ -1,0 +1,565 @@
+//! The service shell: accept loop, bounded connection queue with
+//! shedding, and the per-connection session worker pool.
+//!
+//! The concurrency model is deliberately coarse: **one worker owns one
+//! connection from accept to close**. Requests on a connection are
+//! answered strictly in arrival order, one frame at a time — the reply
+//! frame for a batch is fully written before the next request frame is
+//! read — so a connection's reply bytes are a pure function of its
+//! request bytes, regardless of `--workers`. Parallelism exists only
+//! *across* connections.
+//!
+//! Backpressure, layer by layer:
+//!
+//! * **connections** — a bounded queue between the accept loop and the
+//!   workers; when it is full, new connections are *shed* with a
+//!   single `busy` error frame and closed, never buffered without
+//!   bound;
+//! * **frames** — [`Limits`] caps payload length and batch size before
+//!   allocation, so a hostile length prefix costs nothing;
+//! * **replies** — responses are written with blocking I/O straight to
+//!   the connection; a slow reader blocks its worker (throttling that
+//!   one connection) instead of growing a daemon-side buffer. Daemon
+//!   memory per connection is O(max frame length).
+
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use healers_core::checker::CheckCounters;
+use healers_trace::Histogram;
+
+use crate::frame::{
+    encode_frame, read_frame, write_frame, FrameError, Limits, DIR_REQUEST, DIR_RESPONSE,
+};
+use crate::plans::ServePlans;
+use crate::proto::{Request, Response, ValidateVerdict};
+
+/// A serveable connection: blocking byte stream, movable to a worker.
+pub trait Conn: Read + Write + Send {}
+
+impl<T: Read + Write + Send> Conn for T {}
+
+/// A source of connections the daemon accepts from.
+pub trait Listener: Send {
+    /// Wait up to `timeout` for one connection; `Ok(None)` on timeout
+    /// (the daemon uses timeouts to poll its shutdown flag).
+    ///
+    /// # Errors
+    ///
+    /// A fatal accept failure stops the daemon.
+    fn accept(&mut self, timeout: Duration) -> io::Result<Option<Box<dyn Conn>>>;
+}
+
+/// In-process listener over a channel of [`crate::pipe::DuplexStream`]
+/// ends — the test and bench transport.
+pub struct PipeListener {
+    rx: Receiver<crate::pipe::DuplexStream>,
+}
+
+impl PipeListener {
+    /// A listener plus the sender used to "dial" it.
+    pub fn new() -> (
+        std::sync::mpsc::Sender<crate::pipe::DuplexStream>,
+        PipeListener,
+    ) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (tx, PipeListener { rx })
+    }
+}
+
+impl Listener for PipeListener {
+    fn accept(&mut self, timeout: Duration) -> io::Result<Option<Box<dyn Conn>>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(conn) => Ok(Some(Box::new(conn))),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            // All dialers gone: no more connections will ever arrive.
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "all dialers disconnected",
+            )),
+        }
+    }
+}
+
+/// Unix-domain-socket listener — the production transport.
+#[cfg(unix)]
+pub struct UnixSocketListener {
+    inner: std::os::unix::net::UnixListener,
+}
+
+#[cfg(unix)]
+impl UnixSocketListener {
+    /// Bind `path`, removing a stale socket file first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(path: &std::path::Path) -> io::Result<UnixSocketListener> {
+        let _ = std::fs::remove_file(path);
+        let inner = std::os::unix::net::UnixListener::bind(path)?;
+        inner.set_nonblocking(true)?;
+        Ok(UnixSocketListener { inner })
+    }
+}
+
+#[cfg(unix)]
+impl Listener for UnixSocketListener {
+    fn accept(&mut self, timeout: Duration) -> io::Result<Option<Box<dyn Conn>>> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match self.inner.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    return Ok(Some(Box::new(stream)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if std::time::Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Session worker threads (= concurrently served connections).
+    pub workers: usize,
+    /// Connections queued beyond the busy workers before shedding.
+    pub queue_depth: usize,
+    /// Hostile-input frame limits.
+    pub limits: Limits,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            workers: 4,
+            queue_depth: 16,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Daemon-global counters — telemetry, deliberately **not** part of
+/// the protocol (replies must stay a pure function of one
+/// connection's requests; see the crate-level determinism contract).
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    /// Connections accepted and queued.
+    pub connections: AtomicU64,
+    /// Connections shed with a busy frame because the queue was full.
+    pub shed: AtomicU64,
+    /// Request frames served.
+    pub frames: AtomicU64,
+    /// Requests served (all kinds).
+    pub requests: AtomicU64,
+    /// Validate requests.
+    pub validates: AtomicU64,
+    /// Validate verdicts that admitted the call (checked or not).
+    pub admits: AtomicU64,
+    /// Validate verdicts that rejected the call.
+    pub rejects: AtomicU64,
+    /// Malformed frames or messages answered with an error.
+    pub protocol_errors: AtomicU64,
+}
+
+impl ServeCounters {
+    /// A deterministic-order snapshot for rendering.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("connections", self.connections.load(Ordering::Relaxed)),
+            ("shed", self.shed.load(Ordering::Relaxed)),
+            ("frames", self.frames.load(Ordering::Relaxed)),
+            ("requests", self.requests.load(Ordering::Relaxed)),
+            ("validates", self.validates.load(Ordering::Relaxed)),
+            ("admits", self.admits.load(Ordering::Relaxed)),
+            ("rejects", self.rejects.load(Ordering::Relaxed)),
+            (
+                "protocol_errors",
+                self.protocol_errors.load(Ordering::Relaxed),
+            ),
+        ]
+    }
+}
+
+/// Gated per-request latency telemetry: one log2-bucket histogram per
+/// request kind, recorded only while the [`healers_trace`] gate is on.
+#[derive(Debug, Default)]
+pub struct ServeTelemetry {
+    hists: Mutex<std::collections::BTreeMap<&'static str, Histogram>>,
+}
+
+impl ServeTelemetry {
+    fn record(&self, kind: &'static str, nanos: u64) {
+        let mut hists = self.hists.lock().unwrap();
+        hists.entry(kind).or_default().record(nanos);
+    }
+
+    /// Render `kind calls p50(ns) p99(ns)` lines (empty when the gate
+    /// stayed off).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let hists = self.hists.lock().unwrap();
+        let mut out = String::new();
+        for (kind, h) in hists.iter() {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>10} {:>10} {:>10}",
+                kind,
+                h.count(),
+                h.percentile(50.0),
+                h.percentile(99.0)
+            );
+        }
+        out
+    }
+}
+
+/// Per-session (per-connection) counters: the payload of a `Report`
+/// response. Purely session-local, so replies stay deterministic.
+#[derive(Debug, Default, Clone)]
+pub struct SessionStats {
+    /// Request frames served.
+    pub frames: u64,
+    /// Requests served, the `Report` that reads this included.
+    pub requests: u64,
+    /// Ping requests.
+    pub pings: u64,
+    /// Validate requests.
+    pub validates: u64,
+    /// Validates admitted with all checks passing.
+    pub admitted: u64,
+    /// Validates admitted because the function carries no checks.
+    pub admitted_unchecked: u64,
+    /// Validates rejected by a failing check.
+    pub rejected: u64,
+    /// Validates naming a function the daemon has no plan for.
+    pub unknown_functions: u64,
+    /// Explain requests.
+    pub explains: u64,
+    /// Report requests (this one included).
+    pub reports: u64,
+    /// Individual argument checks executed.
+    pub checks: u64,
+    /// Bulk page-run probes executed.
+    pub run_probes: u64,
+    /// Bulk NUL scans executed.
+    pub nul_scans: u64,
+    /// Bytes covered by the bulk kernels.
+    pub bytes_scanned: u64,
+    /// Malformed messages answered with an error response.
+    pub errors: u64,
+}
+
+impl SessionStats {
+    /// The fixed-order counter list a `Report` response carries. The
+    /// order is part of the wire contract: changing it changes reply
+    /// bytes.
+    pub fn as_counters(&self) -> Vec<(String, u64)> {
+        [
+            ("frames", self.frames),
+            ("requests", self.requests),
+            ("pings", self.pings),
+            ("validates", self.validates),
+            ("admitted", self.admitted),
+            ("admitted_unchecked", self.admitted_unchecked),
+            ("rejected", self.rejected),
+            ("unknown_functions", self.unknown_functions),
+            ("explains", self.explains),
+            ("reports", self.reports),
+            ("checks", self.checks),
+            ("run_probes", self.run_probes),
+            ("nul_scans", self.nul_scans),
+            ("bytes_scanned", self.bytes_scanned),
+            ("errors", self.errors),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+    }
+}
+
+/// What a finished session reports back to its worker.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// The session saw (and acknowledged) a `Shutdown` request.
+    pub shutdown: bool,
+    /// The session's counters.
+    pub stats: SessionStats,
+}
+
+fn handle_request(
+    req: Request,
+    plans: &ServePlans,
+    stats: &mut SessionStats,
+    counters: &ServeCounters,
+) -> (Response, bool) {
+    stats.requests += 1;
+    counters.requests.fetch_add(1, Ordering::Relaxed);
+    match req {
+        Request::Ping => {
+            stats.pings += 1;
+            (Response::Pong, false)
+        }
+        Request::Validate { function, args } => {
+            stats.validates += 1;
+            counters.validates.fetch_add(1, Ordering::Relaxed);
+            let mut ctrs = CheckCounters::default();
+            let verdict = plans.validate(&function, &args, &mut ctrs);
+            stats.checks += ctrs.table_hits + ctrs.run_probes + ctrs.nul_scans;
+            stats.run_probes += ctrs.run_probes;
+            stats.nul_scans += ctrs.nul_scans;
+            stats.bytes_scanned += ctrs.bytes_scanned;
+            match &verdict {
+                ValidateVerdict::Admit => {
+                    stats.admitted += 1;
+                    counters.admits.fetch_add(1, Ordering::Relaxed);
+                }
+                ValidateVerdict::AdmitUnchecked => {
+                    stats.admitted_unchecked += 1;
+                    counters.admits.fetch_add(1, Ordering::Relaxed);
+                }
+                ValidateVerdict::Reject { .. } => {
+                    stats.rejected += 1;
+                    counters.rejects.fetch_add(1, Ordering::Relaxed);
+                }
+                ValidateVerdict::UnknownFunction => stats.unknown_functions += 1,
+            }
+            (Response::Validated(verdict), false)
+        }
+        Request::Explain { function } => {
+            stats.explains += 1;
+            (
+                Response::Explained {
+                    info: plans.explain(&function),
+                },
+                false,
+            )
+        }
+        Request::Report => {
+            stats.reports += 1;
+            (
+                Response::Reported {
+                    counters: stats.as_counters(),
+                },
+                false,
+            )
+        }
+        Request::Shutdown => (Response::Bye, true),
+    }
+}
+
+fn request_kind(req: &Request) -> &'static str {
+    match req {
+        Request::Ping => "ping",
+        Request::Validate { .. } => "validate",
+        Request::Explain { .. } => "explain",
+        Request::Report => "report",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+/// Serve one connection to completion: frames strictly in order, one
+/// response message per request message, replies flushed before the
+/// next frame is read.
+pub fn serve_session(
+    conn: &mut dyn Conn,
+    plans: &ServePlans,
+    limits: &Limits,
+    counters: &ServeCounters,
+    telemetry: &ServeTelemetry,
+) -> SessionOutcome {
+    let mut stats = SessionStats::default();
+    let mut shutdown = false;
+    'frames: loop {
+        let frame = match read_frame(conn, limits) {
+            Ok(f) => f,
+            Err(FrameError::Eof) => break,
+            Err(e) => {
+                // Malformed framing: answer with one error frame and
+                // close — resynchronizing an unframed byte stream is
+                // guesswork this protocol refuses to do.
+                stats.errors += 1;
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let mut msg = Vec::new();
+                Response::Error {
+                    message: format!("protocol error: {e}"),
+                }
+                .encode(&mut msg);
+                let _ = write_frame(conn, DIR_RESPONSE, &[msg]);
+                break;
+            }
+        };
+        if frame.direction != DIR_REQUEST {
+            stats.errors += 1;
+            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let mut msg = Vec::new();
+            Response::Error {
+                message: "protocol error: expected a request frame".to_string(),
+            }
+            .encode(&mut msg);
+            let _ = write_frame(conn, DIR_RESPONSE, &[msg]);
+            break;
+        }
+
+        stats.frames += 1;
+        counters.frames.fetch_add(1, Ordering::Relaxed);
+        let traced = healers_trace::enabled();
+        let mut replies: Vec<Vec<u8>> = Vec::with_capacity(frame.messages.len());
+        for raw in &frame.messages {
+            let response = match Request::decode(raw) {
+                Ok(req) => {
+                    let started = traced.then(std::time::Instant::now);
+                    let kind = request_kind(&req);
+                    let (response, stop) = handle_request(req, plans, &mut stats, counters);
+                    if let Some(s) = started {
+                        telemetry.record(kind, s.elapsed().as_nanos() as u64);
+                    }
+                    shutdown |= stop;
+                    response
+                }
+                Err(e) => {
+                    stats.errors += 1;
+                    counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    Response::Error {
+                        message: format!("bad request: {e}"),
+                    }
+                }
+            };
+            let mut buf = Vec::new();
+            response.encode(&mut buf);
+            replies.push(buf);
+        }
+        if write_frame(conn, DIR_RESPONSE, &replies).is_err() {
+            break 'frames; // peer gone mid-reply
+        }
+        if shutdown {
+            break;
+        }
+    }
+    SessionOutcome { shutdown, stats }
+}
+
+/// A running daemon: accept thread plus session workers.
+pub struct Daemon {
+    accept_handle: JoinHandle<io::Result<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<ServeCounters>,
+    telemetry: Arc<ServeTelemetry>,
+}
+
+impl Daemon {
+    /// Start the accept loop and `config.workers` session workers over
+    /// `listener`, serving `plans`.
+    pub fn spawn(
+        mut listener: Box<dyn Listener>,
+        plans: Arc<ServePlans>,
+        config: DaemonConfig,
+    ) -> Daemon {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ServeCounters::default());
+        let telemetry = Arc::new(ServeTelemetry::default());
+        let limits = config.limits;
+        let (queue_tx, queue_rx) = sync_channel::<Box<dyn Conn>>(config.queue_depth.max(1));
+        let queue_rx = Arc::new(Mutex::new(queue_rx));
+
+        let mut worker_handles = Vec::with_capacity(config.workers.max(1));
+        for _ in 0..config.workers.max(1) {
+            let queue_rx = Arc::clone(&queue_rx);
+            let plans = Arc::clone(&plans);
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            let telemetry = Arc::clone(&telemetry);
+            worker_handles.push(std::thread::spawn(move || loop {
+                // Hold the lock only to dequeue: sessions run unlocked.
+                let conn = { queue_rx.lock().unwrap().recv() };
+                let Ok(mut conn) = conn else { return };
+                let outcome = serve_session(conn.as_mut(), &plans, &limits, &counters, &telemetry);
+                if outcome.shutdown {
+                    shutdown.store(true, Ordering::SeqCst);
+                }
+            }));
+        }
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_counters = Arc::clone(&counters);
+        let accept_handle = std::thread::spawn(move || -> io::Result<()> {
+            while !accept_shutdown.load(Ordering::SeqCst) {
+                let conn = match listener.accept(Duration::from_millis(10)) {
+                    Ok(Some(conn)) => conn,
+                    Ok(None) => continue,
+                    Err(e) if e.kind() == io::ErrorKind::BrokenPipe => break,
+                    Err(e) => return Err(e),
+                };
+                accept_counters.connections.fetch_add(1, Ordering::Relaxed);
+                match queue_tx.try_send(conn) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(mut conn)) => {
+                        // Shed: bounded queue, never unbounded buffering.
+                        accept_counters.shed.fetch_add(1, Ordering::Relaxed);
+                        let mut msg = Vec::new();
+                        Response::Error {
+                            message: "busy: connection queue full".to_string(),
+                        }
+                        .encode(&mut msg);
+                        let _ = conn.write_all(&encode_frame(DIR_RESPONSE, &[msg]));
+                        let _ = conn.flush();
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Ok(())
+            // queue_tx drops here: workers drain the queue, then exit.
+        });
+
+        Daemon {
+            accept_handle,
+            worker_handles,
+            shutdown,
+            counters,
+            telemetry,
+        }
+    }
+
+    /// Daemon-global counters.
+    pub fn counters(&self) -> Arc<ServeCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Gated per-request latency telemetry.
+    pub fn telemetry(&self) -> Arc<ServeTelemetry> {
+        Arc::clone(&self.telemetry)
+    }
+
+    /// Ask the accept loop to stop (without a `Shutdown` request).
+    pub fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for the accept loop and every worker to finish.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a fatal accept-loop failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a daemon thread panicked.
+    pub fn join(self) -> io::Result<()> {
+        let result = self.accept_handle.join().expect("accept thread panicked");
+        for handle in self.worker_handles {
+            handle.join().expect("worker thread panicked");
+        }
+        result
+    }
+}

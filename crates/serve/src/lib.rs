@@ -1,0 +1,61 @@
+//! healers-serve — hardening-as-a-service.
+//!
+//! The paper compiles its robustness wrappers into the protected
+//! process; every client re-derives every check plan. This crate turns
+//! the checking core into a long-lived facility (the ROADMAP's
+//! millions-of-users story): a daemon builds the wrapper plans **once**
+//! — from the persistent declaration cache, so a warm start performs
+//! zero injected calls — freezes them behind an
+//! [`Arc`](std::sync::Arc), and answers
+//! validate/explain/report requests over a framed, length-prefixed
+//! binary protocol.
+//!
+//! The crate split mirrors the harness/membrane separation of the
+//! reference repos: the *service shell* ([`daemon`], [`frame`],
+//! [`pipe`]) knows nothing about robustness checking, and the *checking
+//! core* ([`plans`]) knows nothing about sockets. Everything is
+//! dependency-free std: threads and blocking I/O — no async runtime.
+//!
+//! * [`proto`] — request/response message model and byte codec;
+//! * [`frame`] — the versioned, length-prefixed batch frame around
+//!   messages, with hostile-input limits;
+//! * [`pipe`] — a bounded in-process duplex byte transport (the test
+//!   and bench transport; Unix sockets are the production one);
+//! * [`plans`] — [`ServePlans`]: the `Arc`-shared read-only checking
+//!   core built from the declaration cache;
+//! * [`daemon`] — the accept loop, bounded connection queue with
+//!   shedding, and the per-connection session worker pool;
+//! * [`script`] — the request-script DSL used by `healers serve exec`,
+//!   `healers serve send`, and the CI determinism diff;
+//! * [`client`] — drive a request script over any connection and
+//!   collect the raw reply stream;
+//! * [`mod@bench`] — the in-process load generator behind
+//!   `healers bench serve` and the `BENCH_serve.json` gate.
+//!
+//! # Determinism contract
+//!
+//! A connection's reply bytes are a pure function of that connection's
+//! request bytes and the daemon's plan set. Sessions share no mutable
+//! state — [`proto::Request::Report`] aggregates the *session's own*
+//! counters, never daemon globals — and one worker owns a connection
+//! from accept to close, answering frames strictly in order. Reply
+//! streams are therefore byte-identical for any `--workers` value; the
+//! CI serve-smoke job diffs them.
+
+pub mod bench;
+pub mod client;
+pub mod daemon;
+pub mod frame;
+pub mod pipe;
+pub mod plans;
+pub mod proto;
+pub mod script;
+
+pub use bench::{BenchConfig, BenchReport};
+pub use client::run_script;
+pub use daemon::{Daemon, DaemonConfig, ServeCounters};
+pub use frame::{FrameError, Limits, MAGIC, PROTOCOL_VERSION};
+pub use pipe::{duplex, DuplexStream};
+pub use plans::{PlanConfig, ServePlans};
+pub use proto::{Request, Response, ValidateVerdict, WireError};
+pub use script::Script;

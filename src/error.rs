@@ -92,6 +92,24 @@ impl From<ParseModeError> for Error {
     }
 }
 
+impl From<healers_campaign::CacheError> for Error {
+    fn from(e: healers_campaign::CacheError) -> Self {
+        Error::Msg(e.to_string())
+    }
+}
+
+impl From<healers_serve::plans::BuildError> for Error {
+    fn from(e: healers_serve::plans::BuildError) -> Self {
+        match e {
+            healers_serve::plans::BuildError::NotExported(function) => Error::NotExported {
+                command: "serve",
+                function,
+            },
+            other => Error::Msg(other.to_string()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,11 +127,7 @@ mod tests {
             1
         );
         assert_eq!(
-            Error::io(
-                "cannot write x",
-                std::io::Error::new(std::io::ErrorKind::Other, "disk")
-            )
-            .exit_code(),
+            Error::io("cannot write x", std::io::Error::other("disk")).exit_code(),
             1
         );
         assert_eq!(Error::Msg("boom".into()).exit_code(), 1);

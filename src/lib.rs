@@ -14,6 +14,7 @@
 //! * [`healers_ballista`] — Ballista-style robustness evaluation
 //! * [`healers_campaign`] — parallel campaign orchestration, declaration cache, event journal
 //! * [`healers_fuzz`] — coverage-guided API-sequence fuzzer with shrinking and pinning
+//! * [`healers_serve`] — hardening-as-a-service daemon: framed binary protocol over Arc-shared wrapper plans
 //! * [`healers_trace`] — telemetry core: latency histograms, span collection, Chrome trace export
 
 pub mod error;
@@ -30,6 +31,7 @@ pub use healers_fuzz as fuzz;
 pub use healers_inject as inject;
 pub use healers_libc as libc;
 pub use healers_os as os;
+pub use healers_serve as serve;
 pub use healers_simproc as simproc;
 pub use healers_trace as trace;
 pub use healers_typesys as typesys;

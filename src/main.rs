@@ -16,6 +16,15 @@
 //! healers fuzz shrink <file> [--out FILE]    shrink a seed file's first finding
 //! healers explain <function>...              replay a declaration's lattice walk with
 //!                                            per-case fault provenance
+//! healers serve daemon --socket PATH [--workers N] [--queue N] [--cache DIR] [<function>...]
+//!                                            long-lived hardening-as-a-service daemon
+//! healers serve exec --script FILE [--workers N] [--raw-out FILE] [--cache DIR] [<function>...]
+//!                                            replay a request script against an in-process daemon
+//! healers serve send --socket PATH --script FILE [--raw-out FILE]
+//!                                            replay a request script against a running daemon
+//! healers bench serve [--fast] [--clients N] [--workers N] [--frames N] [--batch N]
+//!                     [--json FILE] [--baseline FILE]
+//!                                            serve-daemon load bench with regression gate
 //! healers extract                            run the §3 prototype-extraction statistics
 //! healers tour <function>...                 show discovered robust argument types
 //! healers help                               this listing
@@ -57,6 +66,11 @@ fn usage() -> ExitCode {
          healers fuzz replay <file>...\n  \
          healers fuzz shrink <file> [--out FILE]\n  \
          healers explain <function>...\n  \
+         healers serve daemon --socket PATH [--workers N] [--queue N] [--cache DIR] [<function>...]\n  \
+         healers serve exec --script FILE [--workers N] [--raw-out FILE] [--cache DIR] [<function>...]\n  \
+         healers serve send --socket PATH --script FILE [--raw-out FILE]\n  \
+         healers bench serve [--fast] [--clients N] [--workers N] [--frames N] [--batch N]\n  \
+         \x20                  [--json FILE] [--baseline FILE]\n  \
          healers extract\n  \
          healers tour <function>...\n  \
          healers help"
@@ -103,6 +117,8 @@ fn run() -> Result<(), Error> {
         "report" => cmd_report(&args[1..], seed),
         "fuzz" => cmd_fuzz(&args[1..], seed),
         "explain" => cmd_explain(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         "extract" => cmd_extract(),
         "tour" => cmd_tour(&args[1..]),
         _ => Err(Error::Usage), // includes `help`: print the listing, exit 2
@@ -831,6 +847,269 @@ fn cmd_explain(functions: &[String]) -> Result<(), Error> {
         }
     }
     Ok(())
+}
+
+/// `healers serve` — hardening-as-a-service. `daemon` binds a Unix
+/// socket and serves until a `shutdown` request; `exec` replays a
+/// request script against an in-process daemon (no socket, CI's
+/// determinism workhorse); `send` replays a script against a running
+/// daemon. All three build the wrapper plans once, up front — with
+/// `--cache` pointing at a warm declaration cache the startup performs
+/// zero injected calls.
+fn cmd_serve(rest: &[String]) -> Result<(), Error> {
+    match rest.first().map(String::as_str) {
+        Some("daemon") => cmd_serve_daemon(&rest[1..]),
+        Some("exec") => cmd_serve_exec(&rest[1..]),
+        Some("send") => cmd_serve_send(&rest[1..]),
+        _ => Err(Error::Usage),
+    }
+}
+
+/// Build the Arc-shared plan set for a serve invocation, reporting the
+/// campaign metrics (cache hits, injected calls) on stderr.
+fn build_serve_plans(
+    functions: Vec<String>,
+    cache_dir: Option<PathBuf>,
+    jobs: usize,
+) -> Result<std::sync::Arc<healers::serve::ServePlans>, Error> {
+    let libc = Libc::standard();
+    let config = healers::serve::PlanConfig {
+        functions,
+        cache_dir,
+        jobs,
+    };
+    let (plans, metrics) = healers::serve::ServePlans::build(&libc, &config)?;
+    eprintln!("{metrics}");
+    Ok(std::sync::Arc::new(plans))
+}
+
+fn cmd_serve_daemon(rest: &[String]) -> Result<(), Error> {
+    let mut socket: Option<PathBuf> = None;
+    let mut workers = 4usize;
+    let mut queue = 16usize;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut functions: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => socket = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => workers = n,
+                _ => return Err(Error::Usage),
+            },
+            "--queue" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => queue = n,
+                _ => return Err(Error::Usage),
+            },
+            "--cache" => cache_dir = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            flag if flag.starts_with("--") => return Err(Error::Usage),
+            name => functions.push(name.to_string()),
+        }
+    }
+    let socket = socket
+        .ok_or_else(|| Error::BadArgument("serve daemon: --socket PATH is required".into()))?;
+
+    let plans = build_serve_plans(functions, cache_dir, workers)?;
+    let listener = healers::serve::daemon::UnixSocketListener::bind(&socket)
+        .map_err(|e| Error::io(format!("serve daemon: cannot bind {}", socket.display()), e))?;
+    eprintln!(
+        "serving {} function plan(s) on {} ({workers} worker(s), queue {queue})",
+        plans.functions().len(),
+        socket.display()
+    );
+    let daemon = healers::serve::Daemon::spawn(
+        Box::new(listener),
+        plans,
+        healers::serve::DaemonConfig {
+            workers,
+            queue_depth: queue,
+            limits: healers::serve::Limits::default(),
+        },
+    );
+    let counters = daemon.counters();
+    let result = daemon.join();
+    let _ = std::fs::remove_file(&socket);
+    result.map_err(|e| Error::io("serve daemon: accept loop failed", e))?;
+    for (name, value) in counters.snapshot() {
+        eprintln!("  {name:<16} {value}");
+    }
+    Ok(())
+}
+
+/// Replay `script` over `conn`, print the rendered replies, and
+/// optionally dump the exact reply bytes (the determinism artifact).
+fn replay_script(
+    conn: &mut (impl std::io::Read + std::io::Write),
+    script: &healers::serve::Script,
+    raw_out: Option<&PathBuf>,
+) -> Result<(), Error> {
+    let replies = healers::serve::run_script(conn, script, &healers::serve::Limits::default())
+        .map_err(|e| Error::Msg(e.to_string()))?;
+    if let Some(path) = raw_out {
+        std::fs::write(path, &replies.raw)
+            .map_err(|e| Error::io(format!("serve: cannot write {}", path.display()), e))?;
+        eprintln!(
+            "raw replies: wrote {} byte(s) to {}",
+            replies.raw.len(),
+            path.display()
+        );
+    }
+    print!("{}", healers::serve::client::render(&replies.frames));
+    Ok(())
+}
+
+fn cmd_serve_exec(rest: &[String]) -> Result<(), Error> {
+    let mut script_path: Option<PathBuf> = None;
+    let mut workers = 4usize;
+    let mut raw_out: Option<PathBuf> = None;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut functions: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--script" => script_path = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => workers = n,
+                _ => return Err(Error::Usage),
+            },
+            "--raw-out" => raw_out = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            "--cache" => cache_dir = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            flag if flag.starts_with("--") => return Err(Error::Usage),
+            name => functions.push(name.to_string()),
+        }
+    }
+    let script_path = script_path
+        .ok_or_else(|| Error::BadArgument("serve exec: --script FILE is required".into()))?;
+    let text = std::fs::read_to_string(&script_path).map_err(|e| {
+        Error::io(
+            format!("serve exec: cannot read {}", script_path.display()),
+            e,
+        )
+    })?;
+    let script = healers::serve::Script::parse(&text)
+        .map_err(|e| Error::BadArgument(format!("serve exec: {e}")))?;
+
+    let plans = build_serve_plans(functions, cache_dir, workers)?;
+    let (dial, listener) = healers::serve::daemon::PipeListener::new();
+    let daemon = healers::serve::Daemon::spawn(
+        Box::new(listener),
+        plans,
+        healers::serve::DaemonConfig {
+            workers,
+            queue_depth: workers + 1,
+            limits: healers::serve::Limits::default(),
+        },
+    );
+    let (mut local, remote) = healers::serve::duplex(64 * 1024);
+    dial.send(remote)
+        .map_err(|_| Error::Msg("serve exec: daemon accept loop died".into()))?;
+    let result = replay_script(&mut local, &script, raw_out.as_ref());
+    drop(local); // EOF ends the session even without a shutdown request
+    drop(dial);
+    daemon.trigger_shutdown();
+    daemon
+        .join()
+        .map_err(|e| Error::io("serve exec: daemon failed", e))?;
+    result
+}
+
+fn cmd_serve_send(rest: &[String]) -> Result<(), Error> {
+    let mut socket: Option<PathBuf> = None;
+    let mut script_path: Option<PathBuf> = None;
+    let mut raw_out: Option<PathBuf> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => socket = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            "--script" => script_path = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            "--raw-out" => raw_out = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            _ => return Err(Error::Usage),
+        }
+    }
+    let socket =
+        socket.ok_or_else(|| Error::BadArgument("serve send: --socket PATH is required".into()))?;
+    let script_path = script_path
+        .ok_or_else(|| Error::BadArgument("serve send: --script FILE is required".into()))?;
+    let text = std::fs::read_to_string(&script_path).map_err(|e| {
+        Error::io(
+            format!("serve send: cannot read {}", script_path.display()),
+            e,
+        )
+    })?;
+    let script = healers::serve::Script::parse(&text)
+        .map_err(|e| Error::BadArgument(format!("serve send: {e}")))?;
+    let mut stream = std::os::unix::net::UnixStream::connect(&socket).map_err(|e| {
+        Error::io(
+            format!("serve send: cannot connect to {}", socket.display()),
+            e,
+        )
+    })?;
+    replay_script(&mut stream, &script, raw_out.as_ref())
+}
+
+/// `healers bench serve` — the in-process load generator plus the
+/// `BENCH_serve.json` regression gate: aggregate validate throughput
+/// must clear the 1M requests/s floor and stay within 20 % of the
+/// committed baseline.
+fn cmd_bench(rest: &[String]) -> Result<(), Error> {
+    if rest.first().map(String::as_str) != Some("serve") {
+        return Err(Error::Usage);
+    }
+    let mut config = healers::serve::BenchConfig::default();
+    let mut json_out: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut it = rest[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fast" => config = healers::serve::BenchConfig::fast(),
+            "--clients" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => config.clients = n,
+                _ => return Err(Error::Usage),
+            },
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => config.workers = n,
+                _ => return Err(Error::Usage),
+            },
+            "--frames" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => config.frames = n,
+                _ => return Err(Error::Usage),
+            },
+            "--batch" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => config.batch = n,
+                _ => return Err(Error::Usage),
+            },
+            "--json" => json_out = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            "--baseline" => baseline = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            _ => return Err(Error::Usage),
+        }
+    }
+
+    let functions = healers::serve::bench::BENCH_FUNCTIONS
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let plans = build_serve_plans(functions, None, 1)?;
+    let report = healers::serve::bench::run(plans, &config);
+    print!("{}", report.render());
+    if let Some(path) = &json_out {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| Error::io(format!("bench serve: cannot write {}", path.display()), e))?;
+        eprintln!("json: wrote {}", path.display());
+    }
+    let baseline_doc =
+        match &baseline {
+            Some(path) => Some(std::fs::read_to_string(path).map_err(|e| {
+                Error::io(format!("bench serve: cannot read {}", path.display()), e)
+            })?),
+            None => None,
+        };
+    match report.gate(1_000_000.0, baseline_doc.as_deref()) {
+        Ok(summary) => {
+            println!("OK: {}", summary.replace('\n', "; "));
+            Ok(())
+        }
+        Err(why) => Err(Error::Msg(format!("bench serve: FAIL: {why}"))),
+    }
 }
 
 fn cmd_extract() -> Result<(), Error> {

@@ -16,8 +16,8 @@ fn healers(args: &[&str]) -> Output {
 /// listing it here (and in `usage()`) fails the exact-set comparison
 /// below, so the listing and this test cannot silently drift apart.
 const SUBCOMMANDS: &[&str] = &[
-    "analyze", "wrap", "ballista", "campaign", "report", "explain", "extract", "fuzz", "tour",
-    "help",
+    "analyze", "wrap", "ballista", "campaign", "report", "explain", "extract", "fuzz", "serve",
+    "bench", "tour", "help",
 ];
 
 /// Parse the subcommand names out of the usage listing: on each
@@ -64,6 +64,18 @@ fn fuzz_subcommand_forms_are_all_listed() {
     let out = healers(&[]);
     let stderr = String::from_utf8(out.stderr).unwrap();
     for form in ["fuzz run", "fuzz replay", "fuzz shrink"] {
+        assert!(
+            stderr.contains(form),
+            "usage is missing `{form}`:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn serve_and_bench_subcommand_forms_are_all_listed() {
+    let out = healers(&[]);
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    for form in ["serve daemon", "serve exec", "serve send", "bench serve"] {
         assert!(
             stderr.contains(form),
             "usage is missing `{form}`:\n{stderr}"

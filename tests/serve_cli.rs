@@ -1,0 +1,176 @@
+//! CLI contract tests for `healers serve` and `healers bench serve`:
+//! `serve exec` replays a script deterministically (byte-identical raw
+//! reply streams across `--workers`), warm cache startups report zero
+//! injected calls, and misuse exits with status 2.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn healers(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_healers"))
+        .args(args)
+        .output()
+        .expect("spawn healers")
+}
+
+fn smoke_script() -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/serve_scripts/smoke.txt")
+        .display()
+        .to_string()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("healers-serve-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn serve_exec_reply_bytes_are_identical_across_worker_counts() {
+    let script = smoke_script();
+    let dir = temp_dir("det");
+    std::fs::create_dir_all(&dir).unwrap();
+    let raw1 = dir.join("w1.bin");
+    let raw4 = dir.join("w4.bin");
+
+    let mut outputs = Vec::new();
+    for (workers, raw) in [("1", &raw1), ("4", &raw4)] {
+        let out = healers(&[
+            "serve",
+            "exec",
+            "--script",
+            &script,
+            "--workers",
+            workers,
+            "--raw-out",
+            &raw.display().to_string(),
+            "strlen",
+            "strcpy",
+            "abs",
+            "memset",
+        ]);
+        assert!(
+            out.status.success(),
+            "serve exec --workers {workers} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        outputs.push(out.stdout);
+    }
+    assert_eq!(outputs[0], outputs[1], "rendered replies diverge");
+
+    let bytes1 = std::fs::read(&raw1).unwrap();
+    let bytes4 = std::fs::read(&raw4).unwrap();
+    assert!(!bytes1.is_empty());
+    assert_eq!(bytes1, bytes4, "raw reply streams diverge across workers");
+
+    // The rendered transcript names the interesting verdicts.
+    let text = String::from_utf8(outputs[0].clone()).unwrap();
+    assert!(text.contains("pong"), "{text}");
+    assert!(text.contains("validated: admit"), "{text}");
+    assert!(text.contains("validated: reject arg 0"), "{text}");
+    assert!(text.contains("unknown function"), "{text}");
+    assert!(text.contains("reported:"), "{text}");
+    assert!(text.contains("bye"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn serve_exec_warm_cache_reports_zero_injected_calls() {
+    let script = smoke_script();
+    let cache = temp_dir("warm");
+    let run = |label: &str| {
+        let out = healers(&[
+            "serve",
+            "exec",
+            "--script",
+            &script,
+            "--cache",
+            &cache.display().to_string(),
+            "strlen",
+            "strcpy",
+            "abs",
+            "memset",
+        ]);
+        assert!(
+            out.status.success(),
+            "{label} run failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (out.stdout, String::from_utf8(out.stderr).unwrap())
+    };
+
+    let (cold_stdout, cold_stderr) = run("cold");
+    let (warm_stdout, warm_stderr) = run("warm");
+
+    // The startup summary on stderr carries the campaign trace
+    // counters: a warm start must hit the cache for every function and
+    // perform zero injected calls.
+    assert!(
+        cold_stderr.contains("cache 0 hit / 4 miss"),
+        "{cold_stderr}"
+    );
+    assert!(
+        warm_stderr.contains("cache 4 hit / 0 miss"),
+        "{warm_stderr}"
+    );
+    assert!(
+        warm_stderr.contains("0 injected calls"),
+        "warm start must not inject: {warm_stderr}"
+    );
+    // And warm vs cold plans answer identically.
+    assert_eq!(cold_stdout, warm_stdout);
+    std::fs::remove_dir_all(&cache).unwrap();
+}
+
+#[test]
+fn serve_misuse_exits_2() {
+    for args in [
+        &["serve"][..],
+        &["serve", "frobnicate"][..],
+        &["serve", "exec"][..],             // missing --script
+        &["serve", "daemon"][..],           // missing --socket
+        &["serve", "exec", "--script"][..], // missing the value
+        &["bench"][..],
+        &["bench", "frobnicate"][..],
+    ] {
+        let out = healers(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+}
+
+#[test]
+fn serve_exec_rejects_unknown_functions_at_startup() {
+    let script = smoke_script();
+    let out = healers(&["serve", "exec", "--script", &script, "frobnicate"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("frobnicate"), "{stderr}");
+}
+
+#[test]
+fn bench_serve_fast_reports_throughput_and_percentiles() {
+    let out = healers(&[
+        "bench",
+        "serve",
+        "--fast",
+        "--clients",
+        "2",
+        "--workers",
+        "2",
+    ]);
+    // The 1M requests/sec floor is a release-build CI gate; an
+    // unoptimized test build may legitimately fail it (exit 1). Either
+    // way the report itself must have been produced — only usage
+    // errors (exit 2) or a missing report fail this test.
+    assert!(
+        matches!(out.status.code(), Some(0) | Some(1)),
+        "bench serve --fast: {:?}\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("throughput"), "{text}");
+    assert!(text.contains("frame p50"), "{text}");
+    assert!(text.contains("frame p99"), "{text}");
+}
