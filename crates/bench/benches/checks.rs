@@ -130,6 +130,57 @@ fn bench_kernels(c: &mut Criterion) {
     group.bench_function("probe_range_single_page", |b| {
         b.iter(|| assert!(mem.probe_range(base + 3, PAGE_SIZE - 3, true, false)))
     });
+    // The 32-byte-chunk scan paths: a misaligned long scan and a short
+    // scan whose NUL lands in the word/byte tail after the wide chunks.
+    group.bench_function("find_nul_misaligned_16k", |b| {
+        b.iter(|| assert_eq!(mem.find_nul(base + 3, span, false), Some(nul_at - 3)))
+    });
+    group.bench_function("find_nul_tail_40b", |b| {
+        b.iter(|| assert_eq!(mem.find_nul(base + nul_at - 39, 64, false), Some(39)))
+    });
+    group.finish();
+}
+
+/// Compiled check plans vs. the interpreted claim walk: the same
+/// wrapped call and the same bare `precheck` through both check
+/// programs — the per-op speedup Table 2's hot-path row comes from.
+fn bench_plan_modes(c: &mut Criterion) {
+    use healers_core::{analyze, PlanMode, WrapperBuilder, WrapperConfig};
+    use healers_libc::Libc;
+
+    let libc = Libc::standard();
+    let decls = analyze(&libc, &["strlen", "strcpy"]);
+    let make = |mode| {
+        WrapperBuilder::new()
+            .decls(decls.clone())
+            .config(WrapperConfig {
+                plan_mode: Some(mode),
+                ..WrapperConfig::full_auto()
+            })
+            .build()
+    };
+    let mut world = World::new();
+    let s = world.alloc_cstr("compiled plan hot path probe");
+
+    let mut group = c.benchmark_group("plan-modes");
+    for (label, mode) in [
+        ("compiled", PlanMode::Compiled),
+        ("interpreted", PlanMode::Interpreted),
+    ] {
+        let mut wrapper = make(mode);
+        group.bench_function(format!("wrapped_strlen_{label}"), |b| {
+            b.iter(|| {
+                wrapper
+                    .call(&libc, &mut world, "strlen", &[SimValue::Ptr(s)])
+                    .unwrap()
+            })
+        });
+        let mut wrapper = make(mode);
+        let id = wrapper.resolve("strlen").unwrap();
+        group.bench_function(format!("precheck_strlen_{label}"), |b| {
+            b.iter(|| assert!(wrapper.precheck(&world, id, &[SimValue::Ptr(s)])))
+        });
+    }
     group.finish();
 }
 
@@ -178,5 +229,11 @@ fn bench_gate(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_checks, bench_kernels, bench_gate);
+criterion_group!(
+    benches,
+    bench_checks,
+    bench_kernels,
+    bench_plan_modes,
+    bench_gate
+);
 criterion_main!(benches);

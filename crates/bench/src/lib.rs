@@ -14,4 +14,6 @@
 
 pub mod workloads;
 
-pub use workloads::{run_workload, workloads, CallCtx, Workload, WorkloadStats};
+pub use workloads::{
+    run_workload, run_workload_traced, workloads, CallCtx, TraceCall, Workload, WorkloadStats,
+};

@@ -26,6 +26,10 @@ use healers_libc::{Libc, World};
 use healers_simproc::{SimFault, SimValue};
 use healers_trace::Histogram;
 
+/// One recorded library-boundary crossing: function name plus the
+/// argument values it was called with.
+pub type TraceCall = (String, Vec<SimValue>);
+
 /// A calling context: either straight to the library or through a
 /// wrapper — the only difference between a workload's two measurements.
 pub struct CallCtx<'a> {
@@ -38,6 +42,10 @@ pub struct CallCtx<'a> {
     /// Checksum accumulator (keeps the "application computation" from
     /// being optimized away).
     pub sink: u64,
+    /// When set, every library call crossing is recorded here (name +
+    /// args) for later replay. Timed runs leave this `None` so the
+    /// recording cost never lands in an overhead measurement.
+    pub trace: Option<&'a mut Vec<TraceCall>>,
 }
 
 impl CallCtx<'_> {
@@ -48,6 +56,9 @@ impl CallCtx<'_> {
     /// Panics if the library faults — the workloads are correct
     /// programs; a fault is a harness bug.
     pub fn call(&mut self, name: &str, args: &[SimValue]) -> SimValue {
+        if let Some(trace) = self.trace.as_deref_mut() {
+            trace.push((name.to_string(), args.to_vec()));
+        }
         let result: Result<SimValue, SimFault> = match self.wrapper.as_deref_mut() {
             Some(w) => w.call(self.libc, self.world, name, args),
             None => self.libc.call(self.world, name, args),
@@ -111,8 +122,37 @@ pub struct WorkloadStats {
 pub fn run_workload(
     libc: &Libc,
     workload: &Workload,
-    mut wrapper: Option<RobustnessWrapper>,
+    wrapper: Option<RobustnessWrapper>,
 ) -> WorkloadStats {
+    run_workload_inner(libc, workload, wrapper, None).0
+}
+
+/// Like [`run_workload`], but records every library-boundary crossing
+/// and hands back the end-of-run world and wrapper alongside the
+/// stats, so the caller can replay the checked-call trace against the
+/// final tracking tables — the hot-path throughput measurement of
+/// Table 2.
+pub fn run_workload_traced(
+    libc: &Libc,
+    workload: &Workload,
+    wrapper: Option<RobustnessWrapper>,
+) -> (
+    WorkloadStats,
+    Vec<TraceCall>,
+    World,
+    Option<RobustnessWrapper>,
+) {
+    let mut trace = Vec::new();
+    let (stats, world, wrapper) = run_workload_inner(libc, workload, wrapper, Some(&mut trace));
+    (stats, trace, world, wrapper)
+}
+
+fn run_workload_inner(
+    libc: &Libc,
+    workload: &Workload,
+    mut wrapper: Option<RobustnessWrapper>,
+    trace: Option<&mut Vec<TraceCall>>,
+) -> (WorkloadStats, World, Option<RobustnessWrapper>) {
     let mut world = World::new();
     setup_files(&mut world);
     let started = Instant::now();
@@ -121,11 +161,12 @@ pub fn run_workload(
         world: &mut world,
         wrapper: wrapper.as_mut(),
         sink: 0x9e3779b97f4a7c15,
+        trace,
     };
     (workload.run)(&mut ctx);
     let total = started.elapsed();
     std::hint::black_box(ctx.sink);
-    match wrapper {
+    let stats = match &wrapper {
         Some(w) => {
             let mut latency_ns = Histogram::new();
             for telemetry in w.stats.per_function.values() {
@@ -148,7 +189,8 @@ pub fn run_workload(
             check_kinds: CheckCounters::default(),
             latency_ns: Histogram::new(),
         },
-    }
+    };
+    (stats, world, wrapper)
 }
 
 fn setup_files(world: &mut World) {

@@ -168,7 +168,10 @@ pub struct CheckOutcomes {
 
 impl CheckOutcomes {
     fn index(kind: CheckKind) -> usize {
-        CheckKind::ALL.iter().position(|k| *k == kind).unwrap()
+        // `CheckKind` is declared in `ALL` order, so the discriminant
+        // *is* the tally index (pinned by `all_order_matches_discriminants`)
+        // — no linear search on the hot path.
+        kind as usize
     }
 
     /// Tally one check outcome.
@@ -274,7 +277,7 @@ pub fn checkable_supertype(t: TypeExpr, caps: &CheckCapabilities) -> TypeExpr {
 /// access, using stateful checking where possible and page probing
 /// otherwise.
 #[allow(clippy::too_many_arguments)]
-fn check_region(
+pub(crate) fn check_region(
     world: &World,
     tables: &Tables,
     caps: &CheckCapabilities,
@@ -321,7 +324,7 @@ fn check_region(
 /// `NtsMax(l)` semantics: length `l` means the terminator lies at
 /// index ≤ `l`, so up to `l + 1` bytes are examined and a string of
 /// strlen exactly `l` is accepted.
-fn scan_string(
+pub(crate) fn scan_string(
     world: &World,
     ptr: Addr,
     limit: u32,
@@ -343,7 +346,7 @@ fn scan_string(
 /// and its descriptor must satisfy `fstat`. With stream tracking on,
 /// membership in the wrapper's table is required instead — the stronger
 /// semi-automatic check.
-fn check_file(
+pub(crate) fn check_file(
     world: &World,
     tables: &Tables,
     caps: &CheckCapabilities,
@@ -394,7 +397,7 @@ fn check_file(
 
 /// Validate a tracked `DIR*`'s structural integrity (semi-automatic):
 /// the embedded dirent-buffer pointer must be writable.
-fn check_dir_integrity(world: &World, ptr: Addr, ctrs: &mut CheckCounters) -> bool {
+pub(crate) fn check_dir_integrity(world: &World, ptr: Addr, ctrs: &mut CheckCounters) -> bool {
     match world.proc.mem.read_u32(ptr + healers_libc::dirent::OFF_BUF) {
         Ok(buf) if buf != 0 => {
             ctrs.run_probes += 1;
@@ -526,6 +529,16 @@ mod tests {
             stateful_heap: true,
             dir_tracking: false,
             file_tracking: false,
+        }
+    }
+
+    #[test]
+    fn all_order_matches_discriminants() {
+        // `CheckOutcomes::index` uses the discriminant as the tally
+        // slot, which is only sound while `ALL` lists the variants in
+        // declaration order.
+        for (i, k) in CheckKind::ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i, "{k:?} out of declaration order");
         }
     }
 

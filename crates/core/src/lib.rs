@@ -56,6 +56,7 @@ pub mod checker;
 pub mod decl;
 pub mod emit;
 pub mod overrides;
+pub mod plan;
 pub mod wrapper;
 pub mod xml;
 
@@ -63,7 +64,9 @@ pub use checker::{CheckCounters, CheckKind, CheckOutcomes};
 pub use decl::{analyze, FunctionAttribute, FunctionDecl};
 pub use emit::{emit_checks_header, emit_wrapper_source};
 pub use overrides::{semi_auto_overrides, ManualOverride, SizeAssertion};
+pub use plan::{eval_op, CheckOp, CompiledPlan, OpAction, PlanMode};
 pub use wrapper::{
-    FnTelemetry, RobustnessWrapper, ViolationAction, WrapperBuilder, WrapperConfig, WrapperStats,
+    FnId, FnTelemetry, RobustnessWrapper, ViolationAction, WrapperBuilder, WrapperConfig,
+    WrapperStats,
 };
 pub use xml::{decls_from_xml, decls_to_xml};

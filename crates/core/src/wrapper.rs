@@ -24,7 +24,10 @@ use crate::checker::{
     CheckOutcomes, Tables,
 };
 use crate::decl::FunctionDecl;
-use crate::overrides::{ManualOverride, SizeAssertion, SizeTerm};
+use crate::overrides::{ManualOverride, SizeAssertion};
+use crate::plan::{
+    assertion_size, eval_op, plan_mode_from_env, CheckOp, CompiledPlan, PlanMode, ValidityCache,
+};
 
 /// What the wrapper does when an argument check fails.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,6 +66,12 @@ pub struct WrapperConfig {
     /// techniques to check the validity of pointer as described in
     /// \[3\]").
     pub check_cache: bool,
+    /// Which check program the hot path executes. `None` (the default)
+    /// consults the `HEALERS_PLAN_MODE` environment variable at build
+    /// time ([`crate::plan::plan_mode_from_env`]), so any binary can be
+    /// flipped to the interpreted reference without CLI plumbing; set
+    /// it explicitly to pin a mode (the ablation benches do).
+    pub plan_mode: Option<PlanMode>,
 }
 
 impl WrapperConfig {
@@ -84,6 +93,7 @@ impl WrapperConfig {
             // generation, so enabling it never changes check outcomes —
             // only skips re-probing unchanged pointers.
             check_cache: true,
+            plan_mode: None,
         }
     }
 
@@ -345,13 +355,46 @@ impl WrapperBuilder {
                 .or_default()
                 .push(a.clone());
         }
+
+        // Hoisted dispatch + compiled plans: one index entry per
+        // function the call path must recognize — every declaration
+        // (so a single lookup also answers "known but safe"), every
+        // assertion target, and every tracked allocator/handle
+        // function. Each entry fuses its claim list and assertions
+        // into one flat CheckOp program at build time.
+        let mut names: BTreeSet<String> = decl_map.keys().cloned().collect();
+        names.extend(assertions.keys().cloned());
+        names.extend(TRACKED.iter().map(|s| s.to_string()));
+        let mut index = BTreeMap::new();
+        let mut entries = Vec::with_capacity(names.len());
+        for name in names {
+            let plan = plans.get(&name).map(|p| p.as_slice());
+            let asserts = assertions.get(&name).map(|a| a.as_slice());
+            let decl = decl_map.get(&name);
+            entries.push(FnEntry {
+                wrapped: plan.is_some() || asserts.is_some(),
+                has_plan: plan.is_some(),
+                has_decl: decl.is_some(),
+                track: track_for(&name),
+                on_error: decl.map(|d| (d.errno_value, d.error_value)),
+                plan: CompiledPlan::compile(plan, asserts, config.check_cache),
+                name: name.clone(),
+            });
+            index.insert(name, entries.len() - 1);
+        }
+
+        let mode = config.plan_mode.unwrap_or_else(plan_mode_from_env);
         RobustnessWrapper {
             decls: decl_map,
             plans,
             assertions,
+            index,
+            entries,
+            caps,
+            mode,
             config,
             tables: Tables::default(),
-            check_cache: BTreeMap::new(),
+            check_cache: ValidityCache::default(),
             generation: 0,
             in_flag: false,
             stats: WrapperStats::default(),
@@ -360,21 +403,105 @@ impl WrapperBuilder {
     }
 }
 
+/// The allocator/handle functions whose postfix effects keep the
+/// tracking tables current (§5.1–5.2) — each bumps the cache
+/// generation, so `TRACKED` membership and generation bumps are the
+/// same set by construction.
+const TRACKED: [&str; 13] = [
+    "malloc", "calloc", "realloc", "free", "strdup", "getcwd", "fopen", "fdopen", "tmpfile",
+    "freopen", "fclose", "opendir", "closedir",
+];
+
+/// Postfix tracking role, resolved once at build time so the call path
+/// never string-matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Track {
+    None,
+    Malloc,
+    Calloc,
+    Realloc,
+    Free,
+    Strdup,
+    Getcwd,
+    FopenLike,
+    Fclose,
+    Opendir,
+    Closedir,
+}
+
+fn track_for(name: &str) -> Track {
+    match name {
+        "malloc" => Track::Malloc,
+        "calloc" => Track::Calloc,
+        "realloc" => Track::Realloc,
+        "free" => Track::Free,
+        "strdup" => Track::Strdup,
+        "getcwd" => Track::Getcwd,
+        "fopen" | "fdopen" | "tmpfile" | "freopen" => Track::FopenLike,
+        "fclose" => Track::Fclose,
+        "opendir" => Track::Opendir,
+        "closedir" => Track::Closedir,
+        _ => Track::None,
+    }
+}
+
+/// One hoisted-dispatch entry: everything the call path needs about a
+/// function, resolved once at [`WrapperBuilder::build`] time.
+#[derive(Debug, Clone)]
+struct FnEntry {
+    /// Function name (interpreted-mode fallback and diagnostics).
+    name: String,
+    /// Whether calls are checked (a claim plan or assertions exist).
+    wrapped: bool,
+    /// Whether a claim plan exists — distinguishes "declared safe"
+    /// (admit unchecked) from "unknown" for the serve daemon.
+    has_plan: bool,
+    /// Whether a declaration exists.
+    has_decl: bool,
+    /// Postfix tracking role.
+    track: Track,
+    /// `ReturnError` data from the declaration: (errno, error value).
+    /// `None` (assertion target without a declaration) preserves the
+    /// historical panic on the error-return path.
+    on_error: Option<(i32, Option<SimValue>)>,
+    /// The compiled check program.
+    plan: CompiledPlan,
+}
+
+/// Stable hot-path handle for a function, resolved once via
+/// [`RobustnessWrapper::resolve`] and then driven through
+/// [`RobustnessWrapper::precheck`] with zero name lookups per call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnId(u32);
+
 /// The generated robustness wrapper: a drop-in layer over [`Libc`].
 #[derive(Debug, Clone)]
 pub struct RobustnessWrapper {
     decls: BTreeMap<String, FunctionDecl>,
-    /// Precomputed per-function check plans: the checkable supertype of
-    /// each argument's robust type (`None` = no check).
+    /// Interpreted per-function check plans: the checkable supertype of
+    /// each argument's robust type (`None` = no check). The reference
+    /// program [`PlanMode::Interpreted`] executes; also feeds
+    /// diagnostics ([`RobustnessWrapper::plan`]) and wrapper emission.
     plans: BTreeMap<String, Vec<Option<TypeExpr>>>,
     assertions: BTreeMap<String, Vec<SizeAssertion>>,
+    /// Hoisted dispatch: name → [`FnEntry`] slot. One lookup per call
+    /// answers wrapped/safe/tracked/unknown at once.
+    index: BTreeMap<String, usize>,
+    /// Per-function compiled programs and call-path metadata.
+    entries: Vec<FnEntry>,
     config: WrapperConfig,
+    /// Capability snapshot of the config (plan-build capabilities ==
+    /// check-evaluation capabilities).
+    caps: CheckCapabilities,
+    /// Which check program the hot path executes.
+    mode: PlanMode,
     tables: Tables,
     /// Cached successful pointer checks: (pointer, type) → the table
     /// generation it was validated under.
-    check_cache: BTreeMap<(healers_simproc::Addr, TypeExpr), u64>,
-    /// Bumped on every tracking-table mutation; outdated cache entries
-    /// are ignored (and lazily discarded).
+    check_cache: ValidityCache,
+    /// Bumped on every tracking-table mutation, which also evicts the
+    /// now-stale cache entries — a long-lived wrapper (the serve
+    /// daemon) stays bounded by live pointers, not call history.
     generation: u64,
     in_flag: bool,
     /// Counters and timings.
@@ -420,6 +547,49 @@ impl RobustnessWrapper {
         self.plans.get(name).map(|p| p.as_slice())
     }
 
+    /// Resolve a function name to its hot-path [`FnId`] — the one-time
+    /// dispatch lookup. `None` means the wrapper knows nothing about
+    /// the name (no declaration, no assertions, no tracking role).
+    pub fn resolve(&self, name: &str) -> Option<FnId> {
+        self.index.get(name).map(|&i| FnId(i as u32))
+    }
+
+    /// Whether the resolved function's calls are checked (a claim plan
+    /// or executable assertions exist).
+    pub fn is_checked(&self, id: FnId) -> bool {
+        self.entries[id.0 as usize].wrapped
+    }
+
+    /// Whether the resolved function carries a declaration (as opposed
+    /// to being known only through assertions or its tracking role).
+    pub fn has_decl(&self, id: FnId) -> bool {
+        self.entries[id.0 as usize].has_decl
+    }
+
+    /// The resolved function's compiled typed-claim ops, or `None` if
+    /// it has no claim plan (declared safe or disabled). Assertion ops
+    /// are excluded — they relate multiple arguments of a concrete
+    /// call, which a stateless validator cannot judge.
+    pub fn claim_ops(&self, id: FnId) -> Option<&[CheckOp]> {
+        let e = &self.entries[id.0 as usize];
+        e.has_plan.then(|| e.plan.claim_ops())
+    }
+
+    /// The full compiled program for `name` (diagnostics and benches).
+    pub fn compiled_plan(&self, name: &str) -> Option<&CompiledPlan> {
+        self.index.get(name).map(|&i| &self.entries[i].plan)
+    }
+
+    /// The check program the hot path executes.
+    pub fn plan_mode(&self) -> PlanMode {
+        self.mode
+    }
+
+    /// Live validity-cache entries (diagnostics; bounded-growth tests).
+    pub fn check_cache_len(&self) -> usize {
+        self.check_cache.len()
+    }
+
     /// Violations logged so far.
     pub fn violations(&self) -> &[Violation] {
         &self.log
@@ -437,6 +607,7 @@ impl RobustnessWrapper {
         arg: usize,
         check: String,
         value: SimValue,
+        on_error: Option<(i32, Option<SimValue>)>,
     ) -> Result<SimValue, SimFault> {
         self.stats.violations += 1;
         if self.config.log_violations {
@@ -453,52 +624,12 @@ impl RobustnessWrapper {
                 reason: format!("healers: {name} argument {arg} failed {check}"),
             }),
             ViolationAction::ReturnError => {
-                let decl = &self.decls[name];
-                world.proc.set_errno(decl.errno_value);
-                Ok(decl.error_value.unwrap_or(SimValue::Void))
+                let (errno, error_value) =
+                    on_error.unwrap_or_else(|| panic!("no declaration for {name}"));
+                world.proc.set_errno(errno);
+                Ok(error_value.unwrap_or(SimValue::Void))
             }
         }
-    }
-
-    /// Evaluate a size assertion's required byte count. `None` means
-    /// the expression itself is invalid (e.g. unreadable string
-    /// operand) — treated as a violation.
-    fn assertion_size(
-        world: &World,
-        args: &[SimValue],
-        terms: &[SizeTerm],
-        ctrs: &mut CheckCounters,
-    ) -> Option<u64> {
-        let mut total: u64 = 0;
-        for term in terms {
-            let v = match *term {
-                // Counts are reinterpreted exactly as the callee's
-                // size_t sees them: a negative int becomes a huge
-                // unsigned count (which the buffer then cannot satisfy).
-                SizeTerm::Arg(i) => u64::from(args.get(i)?.as_int() as u32),
-                SizeTerm::ArgProduct(i, j) => {
-                    // Mirror the callee's 32-bit wrap-around so the
-                    // check constrains the bytes actually processed.
-                    let a = args.get(i)?.as_int() as u32;
-                    let b = args.get(j)?.as_int() as u32;
-                    u64::from(a.wrapping_mul(b))
-                }
-                SizeTerm::StrlenArg(i) => {
-                    let ptr = args.get(i)?.as_ptr();
-                    ctrs.nul_scans += 1;
-                    let len =
-                        world
-                            .proc
-                            .mem
-                            .find_nul(ptr, crate::checker::MAX_STRING_SCAN, false)?;
-                    ctrs.bytes_scanned += u64::from(len) + 1;
-                    u64::from(len)
-                }
-                SizeTerm::Const(c) => u64::from(c),
-            };
-            total = total.saturating_add(v);
-        }
-        Some(total)
     }
 
     /// The interposed call: Figure 5 as a runtime.
@@ -553,38 +684,172 @@ impl RobustnessWrapper {
             return func.invoke(world, args);
         }
 
-        // One dispatch lookup per table; the plan/assertion borrows stay
-        // live through the check loops so the hot path allocates nothing.
-        let plan = self.plans.get(name);
-        let asserts = self.assertions.get(name);
-        if plan.is_none() && asserts.is_none() {
+        // The single hoisted dispatch lookup: wrapped, safe, tracked,
+        // and error-return data resolve in one probe. A miss means the
+        // wrapper knows nothing about the function — straight through
+        // (tracked functions are always in the index).
+        let Some(&idx) = self.index.get(name) else {
+            world.proc.reset_fuel();
+            return func.invoke(world, args);
+        };
+        let entry = &self.entries[idx];
+        let wrapped = entry.wrapped;
+        let track = entry.track;
+        let on_error = entry.on_error;
+        if !wrapped {
             // Unwrapped (safe or disabled): call through, but keep the
             // tracking tables current — the cost §5.2 points out.
             world.proc.reset_fuel();
             let result = func.invoke(world, args);
-            self.post_track(world, name, args, &result);
+            self.post_track(world, track, args, &result);
             return result;
         }
 
         self.stats.wrapped_calls += 1;
         self.in_flag = true;
         let check_started = self.config.measure.then(Instant::now);
-        let caps = self.config.caps();
+
+        // Prefix: the compiled program (or the interpreted reference).
+        let verdict = match self.mode {
+            PlanMode::Compiled => self.run_compiled(world, idx, args),
+            PlanMode::Interpreted => self.run_interpreted(world, idx, args),
+        };
+        if let Some(s) = check_started {
+            self.stats.time_checking += s.elapsed();
+        }
+        if let Err((arg, check, value)) = verdict {
+            return self.violation(world, name, arg, check, value, on_error);
+        }
+
+        // The call itself.
+        world.proc.reset_fuel();
+        let lib_started = self.config.measure.then(Instant::now);
+        let result = func.invoke(world, args);
+        if let Some(s) = lib_started {
+            self.stats.time_in_library += s.elapsed();
+        }
+
+        // Postfix.
+        self.in_flag = false;
+        self.post_track(world, track, args, &result);
+        result
+    }
+
+    /// Run the prefix checks for entry `idx` without invoking the
+    /// library — the wrapper's validate/replay hot path. Stats, cache
+    /// traffic, outcome tallies, and the violation counter behave
+    /// exactly as [`RobustnessWrapper::call`]'s prefix does; `world`
+    /// stays read-only (no errno, no logging, no telemetry gate), so a
+    /// pre-resolved [`FnId`] can be driven through a shared world with
+    /// zero name lookups and zero allocations per call. Returns whether
+    /// the call would have been admitted.
+    pub fn precheck(&mut self, world: &World, id: FnId, args: &[SimValue]) -> bool {
+        let idx = id.0 as usize;
+        self.stats.calls += 1;
+        if !self.entries[idx].wrapped {
+            return true;
+        }
+        self.stats.wrapped_calls += 1;
+        let verdict = match self.mode {
+            PlanMode::Compiled => self.run_compiled(world, idx, args),
+            PlanMode::Interpreted => self.run_interpreted(world, idx, args),
+        };
+        match verdict {
+            Ok(()) => true,
+            Err(_) => {
+                self.stats.violations += 1;
+                false
+            }
+        }
+    }
+
+    /// Execute entry `idx`'s compiled program. `Err` carries the first
+    /// violation as (argument index, check description, value).
+    fn run_compiled(
+        &mut self,
+        world: &World,
+        idx: usize,
+        args: &[SimValue],
+    ) -> Result<(), (usize, String, SimValue)> {
+        // Field-disjoint borrows: `ops` pins `self.entries` while the
+        // loop mutates `self.stats`/`self.check_cache` and reads
+        // `self.tables`/`self.caps`.
+        let ops: &[CheckOp] = self.entries[idx].plan.ops();
+        for op in ops {
+            self.stats.checks += 1;
+            let value = args.get(op.arg as usize).copied().unwrap_or(SimValue::Void);
+            // Validity caching ([3]): a pointer validated under the
+            // current table generation needs no re-probing. Compiled
+            // claim ops carry the config switch; assertions never cache.
+            let cacheable = op.cacheable && matches!(value, SimValue::Ptr(p) if p != 0);
+            if cacheable {
+                let key = (value.as_ptr(), op.ty.expect("cacheable ops carry a claim"));
+                if self.check_cache.get(&key) == Some(&self.generation) {
+                    self.stats.check_cache_hits += 1;
+                    // A cache hit is a check that (still) passes.
+                    self.stats.check_outcomes.record(op.kind, true);
+                    continue;
+                }
+                let ok = eval_op(
+                    world,
+                    &self.tables,
+                    &self.caps,
+                    args,
+                    op,
+                    &mut self.stats.check_kinds,
+                );
+                self.stats.check_outcomes.record(op.kind, ok);
+                if !ok {
+                    return Err((op.arg as usize, op.describe(), value));
+                }
+                if self.check_cache.len() >= 4096 {
+                    self.check_cache.clear();
+                }
+                self.check_cache.insert(key, self.generation);
+            } else {
+                let ok = eval_op(
+                    world,
+                    &self.tables,
+                    &self.caps,
+                    args,
+                    op,
+                    &mut self.stats.check_kinds,
+                );
+                self.stats.check_outcomes.record(op.kind, ok);
+                if !ok {
+                    return Err((op.arg as usize, op.describe(), value));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute entry `idx`'s checks by interpreting the per-argument
+    /// plan and assertion lists — the original wrapper loop, kept as
+    /// the reference [`PlanMode::Interpreted`] program. Stats and cache
+    /// behaviour are identical to [`RobustnessWrapper::run_compiled`]
+    /// by construction (both derive from the same build products), and
+    /// CI byte-diffs the two modes end to end.
+    fn run_interpreted(
+        &mut self,
+        world: &World,
+        idx: usize,
+        args: &[SimValue],
+    ) -> Result<(), (usize, String, SimValue)> {
+        let name: &str = &self.entries[idx].name;
+        let caps = self.caps;
 
         // Prefix: robust-type checks.
-        if let Some(plan) = plan {
+        if let Some(plan) = self.plans.get(name) {
             for (i, check) in plan.iter().enumerate() {
                 let Some(t) = check else { continue };
                 self.stats.checks += 1;
                 let value = args.get(i).copied().unwrap_or(SimValue::Void);
-                // Validity caching ([3]): a pointer validated under the
-                // current table generation needs no re-probing.
                 let cache_key = (value.as_ptr(), *t);
                 let cacheable =
                     self.config.check_cache && matches!(value, SimValue::Ptr(p) if p != 0);
                 if cacheable && self.check_cache.get(&cache_key) == Some(&self.generation) {
                     self.stats.check_cache_hits += 1;
-                    // A cache hit is a check that (still) passes.
                     self.stats.check_outcomes.record(CheckKind::of(*t), true);
                     continue;
                 }
@@ -598,10 +863,7 @@ impl RobustnessWrapper {
                 );
                 self.stats.check_outcomes.record(CheckKind::of(*t), ok);
                 if !ok {
-                    if let Some(s) = check_started {
-                        self.stats.time_checking += s.elapsed();
-                    }
-                    return self.violation(world, name, i, t.notation(), value);
+                    return Err((i, t.notation(), value));
                 }
                 if cacheable {
                     if self.check_cache.len() >= 4096 {
@@ -613,16 +875,11 @@ impl RobustnessWrapper {
         }
 
         // Prefix: executable assertions.
-        if let Some(asserts) = asserts {
+        if let Some(asserts) = self.assertions.get(name) {
             for a in asserts {
                 self.stats.checks += 1;
                 let value = args.get(a.buf_arg).copied().unwrap_or(SimValue::Void);
-                let ok = match Self::assertion_size(
-                    world,
-                    args,
-                    &a.terms,
-                    &mut self.stats.check_kinds,
-                ) {
+                let ok = match assertion_size(world, args, &a.terms, &mut self.stats.check_kinds) {
                     Some(needed) if needed <= u64::from(u32::MAX) => {
                         let t = if a.write {
                             TypeExpr::WArray(needed as u32)
@@ -643,132 +900,117 @@ impl RobustnessWrapper {
                 };
                 self.stats.check_outcomes.record(CheckKind::Assertion, ok);
                 if !ok {
-                    if let Some(s) = check_started {
-                        self.stats.time_checking += s.elapsed();
-                    }
-                    return self.violation(
-                        world,
-                        name,
+                    return Err((
                         a.buf_arg,
                         format!("size assertion over {:?}", a.terms),
                         value,
-                    );
+                    ));
                 }
             }
         }
-        if let Some(s) = check_started {
-            self.stats.time_checking += s.elapsed();
-        }
-
-        // The call itself.
-        world.proc.reset_fuel();
-        let lib_started = self.config.measure.then(Instant::now);
-        let result = func.invoke(world, args);
-        if let Some(s) = lib_started {
-            self.stats.time_in_library += s.elapsed();
-        }
-
-        // Postfix.
-        self.in_flag = false;
-        self.post_track(world, name, args, &result);
-        result
+        Ok(())
     }
 
     /// Postfix bookkeeping: keep the heap/stream/directory tables
     /// current by observing the calls that create and destroy the
     /// objects (§5.1–5.2 — "the wrapper intercepts the call and records
-    /// the address and size of the allocated block").
+    /// the address and size of the allocated block"). The role is
+    /// resolved at build time ([`Track`]), so the hot path never
+    /// string-matches.
     fn post_track(
         &mut self,
         world: &mut World,
-        name: &str,
+        track: Track,
         args: &[SimValue],
         result: &Result<SimValue, SimFault>,
     ) {
+        if track == Track::None {
+            return;
+        }
         let Ok(value) = result else { return };
         let returned_ptr = value.as_ptr();
         // Any table mutation invalidates cached pointer validations:
-        // freed blocks and closed handles must be re-checked.
-        if matches!(
-            name,
-            "malloc"
-                | "calloc"
-                | "realloc"
-                | "free"
-                | "strdup"
-                | "getcwd"
-                | "fopen"
-                | "fdopen"
-                | "tmpfile"
-                | "freopen"
-                | "fclose"
-                | "opendir"
-                | "closedir"
-        ) {
-            self.generation += 1;
-        }
-        match name {
-            "malloc" if returned_ptr != 0 => {
-                self.tables
-                    .heap_blocks
-                    .insert(returned_ptr, args[0].as_int().max(0) as u32);
-            }
-            "calloc" if returned_ptr != 0 => {
-                let size = (args[0].as_int() as u32).wrapping_mul(args[1].as_int() as u32);
-                self.tables.heap_blocks.insert(returned_ptr, size);
-            }
-            "realloc" if returned_ptr != 0 => {
-                self.tables.heap_blocks.remove(&args[0].as_ptr());
-                self.tables
-                    .heap_blocks
-                    .insert(returned_ptr, args[1].as_int().max(0) as u32);
-            }
-            "free" => {
-                self.tables.heap_blocks.remove(&args[0].as_ptr());
-            }
-            "strdup" | "getcwd" if returned_ptr != 0 => {
-                // Track the returned allocation; its size is the string
-                // length + 1.
-                let mut len = 0u32;
-                while len < crate::checker::MAX_STRING_SCAN
-                    && world
-                        .proc
-                        .mem
-                        .read_u8(returned_ptr + len)
-                        .map(|b| b != 0)
-                        .unwrap_or(false)
-                {
-                    len += 1;
-                }
-                // getcwd with a caller buffer is not an allocation.
-                if name == "strdup" || args.first().map(|a| a.is_null()).unwrap_or(false) {
-                    self.tables.heap_blocks.insert(returned_ptr, len + 1);
+        // freed blocks and closed handles must be re-checked. Evicting
+        // eagerly (rather than leaving stale generations to be lazily
+        // ignored) keeps a long-lived wrapper's cache bounded by the
+        // pointers live in the current generation.
+        self.generation += 1;
+        self.check_cache.clear();
+        match track {
+            Track::None => unreachable!(),
+            Track::Malloc => {
+                if returned_ptr != 0 {
+                    self.tables
+                        .heap_blocks
+                        .insert(returned_ptr, args[0].as_int().max(0) as u32);
                 }
             }
-            "fopen" | "fdopen" | "tmpfile" | "freopen" if returned_ptr != 0 => {
-                self.tables.open_files.insert(returned_ptr);
-                self.tables
-                    .heap_blocks
-                    .insert(returned_ptr, file::FILE_SIZE);
+            Track::Calloc => {
+                if returned_ptr != 0 {
+                    let size = (args[0].as_int() as u32).wrapping_mul(args[1].as_int() as u32);
+                    self.tables.heap_blocks.insert(returned_ptr, size);
+                }
             }
-            "fclose" => {
+            Track::Realloc => {
+                if returned_ptr != 0 {
+                    self.tables.heap_blocks.remove(&args[0].as_ptr());
+                    self.tables
+                        .heap_blocks
+                        .insert(returned_ptr, args[1].as_int().max(0) as u32);
+                }
+            }
+            Track::Free => {
+                self.tables.heap_blocks.remove(&args[0].as_ptr());
+            }
+            Track::Strdup | Track::Getcwd => {
+                if returned_ptr != 0 {
+                    // Track the returned allocation; its size is the
+                    // string length + 1.
+                    let mut len = 0u32;
+                    while len < crate::checker::MAX_STRING_SCAN
+                        && world
+                            .proc
+                            .mem
+                            .read_u8(returned_ptr + len)
+                            .map(|b| b != 0)
+                            .unwrap_or(false)
+                    {
+                        len += 1;
+                    }
+                    // getcwd with a caller buffer is not an allocation.
+                    if track == Track::Strdup || args.first().map(|a| a.is_null()).unwrap_or(false)
+                    {
+                        self.tables.heap_blocks.insert(returned_ptr, len + 1);
+                    }
+                }
+            }
+            Track::FopenLike => {
+                if returned_ptr != 0 {
+                    self.tables.open_files.insert(returned_ptr);
+                    self.tables
+                        .heap_blocks
+                        .insert(returned_ptr, file::FILE_SIZE);
+                }
+            }
+            Track::Fclose => {
                 let p = args[0].as_ptr();
                 self.tables.open_files.remove(&p);
                 self.tables.heap_blocks.remove(&p);
             }
-            "opendir" if returned_ptr != 0 => {
-                self.tables.open_dirs.insert(returned_ptr);
-                self.tables
-                    .heap_blocks
-                    .insert(returned_ptr, healers_libc::dirent::DIR_SIZE);
+            Track::Opendir => {
+                if returned_ptr != 0 {
+                    self.tables.open_dirs.insert(returned_ptr);
+                    self.tables
+                        .heap_blocks
+                        .insert(returned_ptr, healers_libc::dirent::DIR_SIZE);
+                }
             }
-            "closedir" => {
+            Track::Closedir => {
                 // The handle is dead whether or not closedir succeeded.
                 let p = args[0].as_ptr();
                 self.tables.open_dirs.remove(&p);
                 self.tables.heap_blocks.remove(&p);
             }
-            _ => {}
         }
     }
 }
@@ -1161,6 +1403,176 @@ mod tests {
         assert_eq!(total.per_function["strlen"].latency_ns.count(), 2);
         assert_eq!(total.time_checking, Duration::from_micros(16));
         assert_eq!(total.time_in_library, Duration::from_micros(18));
+    }
+
+    #[test]
+    fn validity_cache_is_evicted_on_table_mutations() {
+        // Regression: the cache used to keep entries from dead
+        // generations forever — unbounded growth in a long-lived
+        // wrapper. Hammer one wrapper through many tracking-table
+        // mutations with a *distinct* pointer per generation and
+        // assert the cache stays bounded by live entries, with check
+        // outcomes identical to a cache-off wrapper.
+        let functions = ["strlen", "malloc"];
+        let (libc, mut w, mut world) = build(&functions, WrapperConfig::full_auto());
+        let (_, mut w_off, mut world_off) = build(
+            &functions,
+            WrapperConfig {
+                check_cache: false,
+                ..WrapperConfig::full_auto()
+            },
+        );
+        for round in 0..600u32 {
+            // malloc mutates the heap table: generation bump + evict.
+            let p = w
+                .call(&libc, &mut world, "malloc", &[SimValue::Int(16)])
+                .unwrap();
+            let p_off = w_off
+                .call(&libc, &mut world_off, "malloc", &[SimValue::Int(16)])
+                .unwrap();
+            assert_eq!(p, p_off, "worlds diverged");
+            world.proc.write_cstr(p.as_ptr(), b"bounded").unwrap();
+            world_off.proc.write_cstr(p.as_ptr(), b"bounded").unwrap();
+            for _ in 0..3 {
+                w.call(&libc, &mut world, "strlen", &[p]).unwrap();
+                w_off.call(&libc, &mut world_off, "strlen", &[p]).unwrap();
+            }
+            assert!(
+                w.check_cache_len() <= 1,
+                "cache grew beyond the live generation at round {round}: {}",
+                w.check_cache_len()
+            );
+        }
+        // Within each generation the repeats still hit.
+        assert_eq!(w.stats.check_cache_hits, 600 * 2);
+        assert_eq!(w_off.stats.check_cache_hits, 0);
+        // Eviction is an optimization, not a semantic change.
+        assert_eq!(w.stats.check_outcomes, w_off.stats.check_outcomes);
+        assert_eq!(w.stats.violations, w_off.stats.violations);
+        assert_eq!(w.stats.checks, w_off.stats.checks);
+    }
+
+    #[test]
+    fn compiled_and_interpreted_modes_agree() {
+        // The same benign + hostile call sequence through both check
+        // programs: identical results, errno, stats, and violation log.
+        let functions = [
+            "strcpy", "strlen", "malloc", "free", "fopen", "fread", "fclose", "closedir", "asctime",
+        ];
+        let mut runs = Vec::new();
+        for mode in [PlanMode::Compiled, PlanMode::Interpreted] {
+            let config = WrapperConfig {
+                plan_mode: Some(mode),
+                log_violations: true,
+                ..WrapperConfig::semi_auto()
+            };
+            let (libc, mut w, mut world) = build(&functions, config);
+            assert_eq!(w.plan_mode(), mode);
+            let mut outcomes = Vec::new();
+            let block = w
+                .call(&libc, &mut world, "malloc", &[SimValue::Int(8)])
+                .unwrap();
+            outcomes.push(block);
+            let long = world.alloc_cstr("definitely longer than eight bytes");
+            // Overflow into the tracked block: violation.
+            outcomes.push(
+                w.call(&libc, &mut world, "strcpy", &[block, SimValue::Ptr(long)])
+                    .unwrap(),
+            );
+            outcomes.push(SimValue::Int(i64::from(world.proc.errno())));
+            // Valid strlen twice: second is a cache hit in both modes.
+            for _ in 0..2 {
+                outcomes.push(
+                    w.call(&libc, &mut world, "strlen", &[SimValue::Ptr(long)])
+                        .unwrap(),
+                );
+            }
+            // Wild pointer, NULL, and a garbage DIR handle.
+            outcomes.push(
+                w.call(&libc, &mut world, "strlen", &[SimValue::Ptr(INVALID_PTR)])
+                    .unwrap(),
+            );
+            outcomes.push(
+                w.call(&libc, &mut world, "asctime", &[SimValue::NULL])
+                    .unwrap(),
+            );
+            let garbage = world.alloc_buf(32);
+            outcomes.push(
+                w.call(&libc, &mut world, "closedir", &[SimValue::Ptr(garbage)])
+                    .unwrap(),
+            );
+            // fread assertion violation (64 bytes into an 8-byte block).
+            world.kernel.write_file("/tmp/modes", &[1u8; 128]).unwrap();
+            let path = world.alloc_cstr("/tmp/modes");
+            let m = world.alloc_cstr("r");
+            let stream = w
+                .call(
+                    &libc,
+                    &mut world,
+                    "fopen",
+                    &[SimValue::Ptr(path), SimValue::Ptr(m)],
+                )
+                .unwrap();
+            outcomes.push(
+                w.call(
+                    &libc,
+                    &mut world,
+                    "fread",
+                    &[block, SimValue::Int(8), SimValue::Int(8), stream],
+                )
+                .unwrap(),
+            );
+            w.call(&libc, &mut world, "fclose", &[stream]).unwrap();
+            w.call(&libc, &mut world, "free", &[block]).unwrap();
+            runs.push((
+                format!("{outcomes:?}"),
+                format!(
+                    "{:?}",
+                    (
+                        w.stats.calls,
+                        w.stats.wrapped_calls,
+                        w.stats.checks,
+                        w.stats.violations,
+                        w.stats.check_cache_hits,
+                        w.stats.check_kinds,
+                        w.stats.check_outcomes,
+                    )
+                ),
+                format!("{:?}", w.violations()),
+            ));
+        }
+        assert_eq!(runs[0], runs[1], "compiled and interpreted modes diverged");
+    }
+
+    #[test]
+    fn precheck_replays_the_call_prefix() {
+        let (libc, mut w, mut world) = build(&["strlen", "abs"], WrapperConfig::full_auto());
+        let s = world.alloc_cstr("replay");
+        let id = w.resolve("strlen").unwrap();
+        assert!(w.is_checked(id));
+        assert!(w.has_decl(id));
+        assert!(!w.claim_ops(id).unwrap().is_empty());
+        assert!(w.precheck(&world, id, &[SimValue::Ptr(s)]));
+        assert!(!w.precheck(&world, id, &[SimValue::NULL]));
+        assert_eq!(w.stats.violations, 1);
+        assert_eq!(w.stats.wrapped_calls, 2);
+        assert_eq!(w.stats.check_cache_hits, 0);
+        // The validity cache works across prechecks too.
+        assert!(w.precheck(&world, id, &[SimValue::Ptr(s)]));
+        assert_eq!(w.stats.check_cache_hits, 1);
+        // Safe functions resolve but admit unchecked, with no claim ops.
+        let abs_id = w.resolve("abs").unwrap();
+        assert!(!w.is_checked(abs_id));
+        assert!(w.claim_ops(abs_id).is_none());
+        assert!(w.precheck(&world, abs_id, &[SimValue::Int(-1)]));
+        // Unknown names don't resolve at all.
+        assert!(w.resolve("no_such_function").is_none());
+        // The calls driven through precheck still behave through call():
+        // same world, same wrapper, real invocation afterwards.
+        let r = w
+            .call(&libc, &mut world, "strlen", &[SimValue::Ptr(s)])
+            .unwrap();
+        assert_eq!(r, SimValue::Int(6));
     }
 
     #[test]

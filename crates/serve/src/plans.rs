@@ -10,10 +10,13 @@
 //! supertypes of [`healers_core::WrapperBuilder`], a canonical
 //! simulated [`World`] to probe against, and empty tracking tables.
 //!
-//! Everything here is `&self`: [`check_value_counted`] probes the
-//! world read-only, so one `Arc<ServePlans>` serves every worker
-//! thread without locks, clones, or per-request allocation beyond the
-//! reply buffer.
+//! Everything here is `&self`: validation walks the wrapper's
+//! build-time [`healers_core::CompiledPlan`] claim ops through
+//! [`healers_core::eval_op`], which probes the world read-only, so one
+//! `Arc<ServePlans>` serves every worker thread without locks, clones,
+//! or per-request allocation beyond the reply buffer. The name →
+//! function dispatch can be hoisted out of a request loop with
+//! [`ServePlans::resolve`] + [`ServePlans::validate_resolved`].
 //!
 //! # The canonical world
 //!
@@ -34,8 +37,8 @@ use std::path::PathBuf;
 use healers_ballista::ballista_targets;
 use healers_campaign::cache::CacheError;
 use healers_campaign::{fingerprint::fingerprint, Campaign, CampaignConfig, CampaignMetrics};
-use healers_core::checker::{check_value_counted, CheckCapabilities, CheckCounters, Tables};
-use healers_core::{WrapperBuilder, WrapperConfig};
+use healers_core::checker::{CheckCapabilities, CheckCounters, Tables};
+use healers_core::{eval_op, FnId, WrapperBuilder, WrapperConfig};
 use healers_inject::FaultInjector;
 use healers_libc::{Libc, World};
 use healers_simproc::{Addr, SimValue};
@@ -232,28 +235,50 @@ impl ServePlans {
         self.scratch_buf
     }
 
-    /// Validate `args` against `function`'s wrapper plan. Pure read:
-    /// probes the canonical world, mutates nothing but the caller's
-    /// check counters.
+    /// Resolve a function name to its hot-path handle once; reuse it
+    /// across many [`ServePlans::validate_resolved`] calls to keep the
+    /// dispatch lookup out of a request loop. `None` means the daemon
+    /// has no declaration for the name ([`ValidateVerdict::UnknownFunction`]).
+    pub fn resolve(&self, function: &str) -> Option<FnId> {
+        self.wrapper
+            .resolve(function)
+            .filter(|&id| self.wrapper.has_decl(id))
+    }
+
+    /// Validate `args` against `function`'s compiled wrapper plan.
+    /// Pure read: probes the canonical world, mutates nothing but the
+    /// caller's check counters.
     pub fn validate(
         &self,
         function: &str,
         args: &[SimValue],
         ctrs: &mut CheckCounters,
     ) -> ValidateVerdict {
-        if self.wrapper.decl(function).is_none() {
-            return ValidateVerdict::UnknownFunction;
+        match self.resolve(function) {
+            Some(id) => self.validate_resolved(id, args, ctrs),
+            None => ValidateVerdict::UnknownFunction,
         }
-        let Some(plan) = self.wrapper.plan(function) else {
+    }
+
+    /// [`ServePlans::validate`] with the name lookup already hoisted:
+    /// walks the claim prefix of the function's [`CompiledPlan`]
+    /// straight off the flat op array.
+    ///
+    /// [`CompiledPlan`]: healers_core::CompiledPlan
+    pub fn validate_resolved(
+        &self,
+        id: FnId,
+        args: &[SimValue],
+        ctrs: &mut CheckCounters,
+    ) -> ValidateVerdict {
+        let Some(ops) = self.wrapper.claim_ops(id) else {
             return ValidateVerdict::AdmitUnchecked;
         };
-        for (i, check) in plan.iter().enumerate() {
-            let Some(t) = check else { continue };
-            let value = args.get(i).copied().unwrap_or(SimValue::Void);
-            if !check_value_counted(&self.world, &self.tables, &self.caps, value, *t, ctrs) {
+        for op in ops {
+            if !eval_op(&self.world, &self.tables, &self.caps, args, op, ctrs) {
                 return ValidateVerdict::Reject {
-                    arg: i as u16,
-                    check: t.notation(),
+                    arg: op.arg as u16,
+                    check: op.ty.expect("claim ops carry a claim").notation(),
                 };
             }
         }
@@ -350,6 +375,34 @@ mod tests {
             ValidateVerdict::Admit
         );
         assert!(ctrs.run_probes > 0 || ctrs.nul_scans > 0);
+    }
+
+    #[test]
+    fn resolved_validation_matches_name_based_validation() {
+        let plans = plans_for(&["strlen", "abs", "strcpy"]);
+        let id = plans.resolve("strlen").unwrap();
+        let cases: Vec<Vec<SimValue>> = vec![
+            vec![SimValue::Ptr(plans.scratch_str())],
+            vec![SimValue::NULL],
+            vec![SimValue::Ptr(0xdead_0000)],
+            vec![SimValue::Int(7)],
+            vec![],
+        ];
+        for args in &cases {
+            let mut a = CheckCounters::default();
+            let mut b = CheckCounters::default();
+            let by_name = plans.validate("strlen", args, &mut a);
+            let by_id = plans.validate_resolved(id, args, &mut b);
+            assert_eq!(by_name, by_id, "verdicts diverged for {args:?}");
+            assert_eq!(a, b, "counters diverged for {args:?}");
+        }
+        assert!(plans.resolve("frobnicate").is_none());
+        let abs = plans.resolve("abs").unwrap();
+        let mut ctrs = CheckCounters::default();
+        assert_eq!(
+            plans.validate_resolved(abs, &[SimValue::Int(1)], &mut ctrs),
+            ValidateVerdict::AdmitUnchecked
+        );
     }
 
     #[test]

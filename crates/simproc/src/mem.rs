@@ -410,9 +410,19 @@ impl AddressSpace {
     /// followed by a sequential walk over the resident pages — one
     /// lookup per contiguous run instead of one (or two) per page.
     ///
-    /// `len == 0` is trivially satisfied; a range that would wrap the
-    /// 32-bit address space is not satisfiable (the wrapped portion
-    /// would land on the never-mapped null page).
+    /// Zero-length contract (pinned): a probe for zero bytes — or for
+    /// no access at all (`!need_read && !need_write`) — asserts
+    /// nothing about memory and is satisfied at *any* address: mapped,
+    /// unmapped, or guard page alike. This is exactly what the
+    /// byte-at-a-time reference loop decides, since it iterates zero
+    /// times. A range that would wrap the 32-bit address space is not
+    /// satisfiable (the wrapped portion would land on the never-mapped
+    /// null page).
+    ///
+    /// Unlike [`find_nul`](AddressSpace::find_nul), this kernel never
+    /// scans resident bytes — access rights are a per-page property, so
+    /// the walk costs one page-table entry per page regardless of
+    /// `len`.
     pub fn probe_range(&self, addr: Addr, len: u32, need_read: bool, need_write: bool) -> bool {
         if len == 0 || (!need_read && !need_write) {
             return true;
@@ -701,22 +711,51 @@ impl AddressSpace {
     }
 }
 
-/// Word-wise NUL search over resident bytes: the classic zero-in-word
-/// trick (`(w - 0x0101…) & !w & 0x8080…`) examines eight bytes per
-/// iteration, falling back to a byte tail. Index of the first zero
-/// byte, if any.
+/// Superword NUL search over resident bytes. 32-byte chunks are
+/// examined as four 64-bit words with the classic zero-in-word trick
+/// (`(w - 0x0101…) & !w & 0x8080…`); the OR of the four flag words
+/// decides in a single branch whether the whole chunk is zero-free,
+/// which lets the compiler keep the loads flowing without a
+/// per-word branch. The 8-byte word loop handles the chunk tail and
+/// the byte loop the final sub-word remainder, so every width agrees
+/// with the byte-at-a-time reference by construction. Index of the
+/// first zero byte, if any.
 pub fn find_nul_in(haystack: &[u8]) -> Option<usize> {
     const LO: u64 = 0x0101_0101_0101_0101;
     const HI: u64 = 0x8080_8080_8080_8080;
-    let mut chunks = haystack.chunks_exact(8);
-    let mut offset = 0;
-    for chunk in &mut chunks {
+    #[inline(always)]
+    fn zero_flags(chunk: &[u8]) -> u64 {
         let word = u64::from_le_bytes(chunk.try_into().unwrap());
-        let flags = word.wrapping_sub(LO) & !word & HI;
-        if flags != 0 {
+        word.wrapping_sub(LO) & !word & HI
+    }
+    let mut wide = haystack.chunks_exact(32);
+    let mut offset = 0;
+    for chunk in &mut wide {
+        let f0 = zero_flags(&chunk[0..8]);
+        let f1 = zero_flags(&chunk[8..16]);
+        let f2 = zero_flags(&chunk[16..24]);
+        let f3 = zero_flags(&chunk[24..32]);
+        if (f0 | f1 | f2 | f3) != 0 {
             // Borrow propagation can raise false flags, but only above
             // a true zero byte; in little-endian order the lowest flag
-            // is therefore always the first zero.
+            // of the first flagged word is therefore the first zero.
+            let (word_off, flags) = if f0 != 0 {
+                (0, f0)
+            } else if f1 != 0 {
+                (8, f1)
+            } else if f2 != 0 {
+                (16, f2)
+            } else {
+                (24, f3)
+            };
+            return Some(offset + word_off + (flags.trailing_zeros() / 8) as usize);
+        }
+        offset += 32;
+    }
+    let mut chunks = wide.remainder().chunks_exact(8);
+    for chunk in &mut chunks {
+        let flags = zero_flags(chunk);
+        if flags != 0 {
             return Some(offset + (flags.trailing_zeros() / 8) as usize);
         }
         offset += 8;
@@ -854,6 +893,19 @@ mod tests {
         assert!(m.probe_range(0x4000, 0, true, true));
         // Wrapping ranges are unsatisfiable.
         assert!(!m.probe_range(0xffff_fff0, 32, true, false));
+        // The pinned zero-length contract: satisfied everywhere the
+        // byte loop would iterate zero times — a mapped RW page, a
+        // read-only page even for writes, an unmapped hole, a guard
+        // page, and the very top of the address space.
+        assert!(m.probe_range(0x1004, 0, true, true)); // mapped
+        assert!(m.probe_range(0x3000, 0, true, true)); // RO, write asked
+        assert!(m.probe_range(0x4800, 0, true, false)); // unmapped
+        assert!(m.probe_range(0x5000, 0, true, true)); // guard page
+        assert!(m.probe_range(u32::MAX, 0, true, true)); // address top
+        assert!(m.probe_range(0, 0, true, true)); // null page
+                                                  // No-access probes are vacuous the same way, at any length.
+        assert!(m.probe_range(0x4800, 123, false, false));
+        assert!(m.probe_range(0x5000, 4096, false, false));
         // Single byte at the very top of a mapping.
         assert!(m.probe_range(0x2fff, 1, true, true));
         assert!(!m.probe_range(0x2fff, 2, false, true));
@@ -917,11 +969,23 @@ mod tests {
         // High-bit bytes must not read as zeros.
         assert_eq!(find_nul_in(&[0x80u8; 16]), None);
         assert_eq!(find_nul_in(&[0xff, 0xff, 0, 0xff]), Some(2));
-        // Exhaustive position check across word boundaries.
-        for n in 0..32 {
-            let mut v = vec![0xa5u8; 32];
-            v[n] = 0;
-            assert_eq!(find_nul_in(&v), Some(n), "position {n}");
+        // Exhaustive position check across the 32-byte superword, the
+        // 8-byte word tail, and the byte tail: every NUL position in
+        // every haystack length around the chunk boundaries.
+        for len in 0..=100 {
+            for n in 0..len {
+                let mut v = vec![0xa5u8; len];
+                v[n] = 0;
+                assert_eq!(find_nul_in(&v), Some(n), "len {len} position {n}");
+            }
+            assert_eq!(find_nul_in(&vec![0xa5u8; len]), None, "len {len}");
+        }
+        // The first of several NULs wins, whichever words they land in.
+        for (a, b) in [(0, 31), (7, 8), (15, 16), (30, 31), (5, 70)] {
+            let mut v = vec![0xa5u8; 96];
+            v[b] = 0;
+            v[a] = 0;
+            assert_eq!(find_nul_in(&v), Some(a), "first of {a},{b}");
         }
     }
 

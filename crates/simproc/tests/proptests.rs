@@ -6,8 +6,15 @@ use proptest::prelude::*;
 use healers_simproc::{AddressSpace, Heap, HeapMode, Protection, SimProcess, PAGE_SIZE};
 
 /// Byte-at-a-time reference for [`AddressSpace::probe_range`]: the loop
-/// the bulk kernel replaced.
+/// the bulk kernel replaced. Per the pinned contract, a probe that
+/// requests no access at all asserts nothing — the loop below would
+/// visit each byte without checking anything, so it is skipped outright
+/// (this also sidesteps the address computation for ranges past the
+/// top of the address space, which no byte would ever need).
 fn probe_range_ref(mem: &AddressSpace, addr: u32, len: u32, read: bool, write: bool) -> bool {
+    if !read && !write {
+        return true;
+    }
     for i in 0..len {
         let Some(a) = addr.checked_add(i) else {
             return false;
@@ -159,6 +166,66 @@ proptest! {
         prop_assert_eq!(
             mem.find_nul(addr, back_off, false),
             find_nul_ref(&mem, addr, back_off, false)
+        );
+    }
+
+    /// The 32-byte-chunk NUL scan with its chunk machinery deliberately
+    /// stressed: starts at every misalignment within a chunk, the NUL
+    /// placed anywhere from the first wide chunk through the 8-byte
+    /// word tail into the byte tail, and budgets landing on every
+    /// offset within a chunk. The byte loop is the oracle throughout.
+    #[test]
+    fn wide_nul_scan_matches_at_every_chunk_offset(
+        misalign in 0u32..32,
+        has_nul in any::<bool>(),
+        nul_pos in 0u32..96,
+        budget_in_chunk in 0u32..64,
+        budget_chunks in 0u32..3,
+        write in any::<bool>(),
+    ) {
+        let mut mem = AddressSpace::new();
+        let base = 0x20_000;
+        mem.map(base, 2 * PAGE_SIZE, Protection::ReadWrite);
+        for off in 0..(2 * PAGE_SIZE) {
+            mem.write_u8(base + off, 0x41).unwrap();
+        }
+        let start = base + misalign;
+        let nul_at = has_nul.then_some(nul_pos);
+        if let Some(n) = nul_at {
+            mem.write_u8(start + n, 0).unwrap();
+        }
+        let budget = budget_chunks * 32 + budget_in_chunk;
+        prop_assert_eq!(
+            mem.find_nul(start, budget, write),
+            find_nul_ref(&mem, start, budget, write),
+            "find_nul(+{}, {}, {}) with NUL at {:?} disagrees with byte loop",
+            misalign, budget, write, nul_at
+        );
+    }
+
+    /// The pinned zero-length / no-access `probe_range` contract:
+    /// vacuously true at any address — mapped, unmapped, guard page,
+    /// or the very top of the address space — because a probe that
+    /// examines no byte asserts nothing.
+    #[test]
+    fn zero_length_probes_hold_anywhere(
+        layout in layout_strategy(),
+        start_off in 0u32..40_000,
+        read in any::<bool>(),
+        write in any::<bool>(),
+        len in 0u32..40_000,
+    ) {
+        let (mem, base, span) = layout;
+        let addr = (base - PAGE_SIZE.min(base)) + start_off % (span + 2 * PAGE_SIZE);
+        prop_assert!(mem.probe_range(addr, 0, read, write));
+        prop_assert!(mem.probe_range(u32::MAX, 0, read, write));
+        // No access requested: true for any length, even one whose
+        // range would run past the top of the address space.
+        prop_assert!(mem.probe_range(addr, len, false, false));
+        prop_assert!(mem.probe_range(u32::MAX, len, false, false));
+        prop_assert_eq!(
+            mem.probe_range(addr, len, false, false),
+            probe_range_ref(&mem, addr, len, false, false)
         );
     }
 
