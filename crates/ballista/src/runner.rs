@@ -279,6 +279,11 @@ impl Ballista {
             .unwrap_or_else(|| panic!("{name} not exported"));
         let kinds: Vec<ParamKind> = func.proto.params.iter().map(param_kind).collect();
         let vectors = generate_vectors(&prepared.pools, &kinds, self.cap_per_function, rng);
+        // Live-progress counter for the observability plane: one
+        // relaxed add per function run, never per test vector.
+        healers_trace::metrics::global()
+            .counter("ballista_tests_total")
+            .add(vectors.len() as u64);
         let mut stats = WrapperStats::default();
         let mut cow = CowStats::default();
         let classes = vectors

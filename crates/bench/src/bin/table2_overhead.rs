@@ -26,7 +26,11 @@
 //!   cache, no application compute, no library execution) — the
 //!   number the regression baseline gates. The same replay through
 //!   the interpreted check path (`calls_per_sec_interpreted`) is the
-//!   compiled-vs-interpreted ablation.
+//!   compiled-vs-interpreted ablation, and the same compiled replay
+//!   with the telemetry gate enabled (`calls_per_sec_metrics_on`) is
+//!   the observability ablation: every precheck then pays the latency
+//!   clock read and histogram record on top of the always-on registry
+//!   counters.
 //!
 //! Flags:
 //!
@@ -35,7 +39,9 @@
 //!   decomposition) as `BENCH_checks.json`;
 //! * `--baseline PATH` — compare against a committed `BENCH_checks.json`
 //!   and exit non-zero if gcc's checking overhead regressed by more
-//!   than 10 % relative.
+//!   than 10 % relative, or if gcc's compiled trace-replay throughput
+//!   (measured with the metrics registry compiled in, as it always is)
+//!   fell more than 10 % below the baseline.
 
 use std::time::{Duration, Instant};
 
@@ -70,6 +76,7 @@ struct Row {
     name: &'static str,
     calls_per_sec: f64,
     calls_per_sec_interpreted: f64,
+    calls_per_sec_metrics_on: f64,
     workload_calls_per_sec: f64,
     time_in_library: f64,
     checking_overhead: f64,
@@ -191,6 +198,14 @@ fn measure(libc: &Libc, decls: &[FunctionDecl], workload: &Workload, reps: usize
         ),
     );
     healers_trace::set_enabled(false);
+    // Observability ablation: the identical compiled-plan replay with
+    // the telemetry gate on, so each precheck also reads the clock and
+    // records into the `wrapper_precheck_ns` histogram. The registry
+    // counters themselves are unconditional and thus part of every
+    // throughput number in this table.
+    healers_trace::set_enabled(true);
+    let metrics_on = replay_calls_per_sec(libc, decls, workload, PlanMode::Compiled, reps);
+    healers_trace::set_enabled(false);
     Row {
         name: workload.name,
         calls_per_sec: replay_calls_per_sec(libc, decls, workload, PlanMode::Compiled, reps),
@@ -201,6 +216,7 @@ fn measure(libc: &Libc, decls: &[FunctionDecl], workload: &Workload, reps: usize
             PlanMode::Interpreted,
             reps,
         ),
+        calls_per_sec_metrics_on: metrics_on,
         workload_calls_per_sec: plain_stats.wrapped_calls as f64 / wrapped.as_secs_f64(),
         time_in_library: 100.0 * measured.time_in_library.as_secs_f64() / total,
         checking_overhead: 100.0 * measured.time_checking.as_secs_f64() / total,
@@ -218,6 +234,7 @@ fn json_for(rows: &[Row]) -> String {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"calls_per_sec\": {:.0}, \
              \"calls_per_sec_interpreted\": {:.0}, \
+             \"calls_per_sec_metrics_on\": {:.0}, \
              \"workload_calls_per_sec\": {:.0}, \
              \"time_in_library_pct\": {:.4}, \"checking_overhead_pct\": {:.4}, \
              \"execution_overhead_pct\": {:.4}, \"table_hits\": {}, \
@@ -226,6 +243,7 @@ fn json_for(rows: &[Row]) -> String {
             r.name,
             r.calls_per_sec,
             r.calls_per_sec_interpreted,
+            r.calls_per_sec_metrics_on,
             r.workload_calls_per_sec,
             r.time_in_library,
             r.checking_overhead,
@@ -243,15 +261,15 @@ fn json_for(rows: &[Row]) -> String {
     out
 }
 
-/// Extract `"checking_overhead_pct": <number>` for the named workload
-/// from a `BENCH_checks.json` document (no JSON library available
-/// offline — the emitter above keeps each workload on one line).
-fn baseline_checking_overhead(doc: &str, name: &str) -> Option<f64> {
+/// Extract `"<field>": <number>` for the named workload from a
+/// `BENCH_checks.json` document (no JSON library available offline —
+/// the emitter above keeps each workload on one line).
+fn baseline_field(doc: &str, name: &str, field: &str) -> Option<f64> {
     let line = doc
         .lines()
         .find(|l| l.contains(&format!("\"name\": \"{name}\"")))?;
-    let key = "\"checking_overhead_pct\": ";
-    let start = line.find(key)? + key.len();
+    let key = format!("\"{field}\": ");
+    let start = line.find(&key)? + key.len();
     let rest = &line[start..];
     let end = rest.find([',', '}'])?;
     rest[..end].trim().parse().ok()
@@ -278,7 +296,7 @@ fn main() {
         .iter()
         .map(|w| {
             eprintln!(
-                "measuring {} ({reps} reps × 3 configurations + 1 telemetry run + 2 trace replays)…",
+                "measuring {} ({reps} reps × 3 configurations + 1 telemetry run + 3 trace replays)…",
                 w.name
             );
             measure(&libc, &decls, w, reps)
@@ -307,6 +325,11 @@ fn main() {
         print!("{:>12.0}", r.calls_per_sec_interpreted);
     }
     println!("   (same replay, interpreted checks)");
+    print!("{:<22}", "  metrics-on");
+    for r in &rows {
+        print!("{:>12.0}", r.calls_per_sec_metrics_on);
+    }
+    println!("   (same replay, telemetry gate on)");
     print!("{:<22}", "  compiled speedup");
     for r in &rows {
         print!(
@@ -372,15 +395,25 @@ fn main() {
 
     if let Some(path) = baseline_path {
         let doc = std::fs::read_to_string(&path).expect("read baseline");
-        let base = baseline_checking_overhead(&doc, "gcc").expect("gcc row in baseline");
-        let now = rows
-            .iter()
-            .find(|r| r.name == "gcc")
-            .expect("gcc workload")
-            .checking_overhead;
+        let gcc = rows.iter().find(|r| r.name == "gcc").expect("gcc workload");
+        let base =
+            baseline_field(&doc, "gcc", "checking_overhead_pct").expect("gcc row in baseline");
+        let now = gcc.checking_overhead;
         eprintln!("gcc checking overhead: baseline {base:.3}% vs now {now:.3}%");
         if now > base * 1.1 {
             eprintln!("FAIL: gcc checking overhead regressed more than 10% vs baseline");
+            std::process::exit(1);
+        }
+        // The hot-path throughput gate holds the always-compiled-in
+        // metrics registry to its one-relaxed-add budget: if the
+        // observability plane ever grows per-call work beyond that,
+        // this trips before any profile does.
+        let base_tp =
+            baseline_field(&doc, "gcc", "calls_per_sec").expect("gcc calls_per_sec in baseline");
+        let now_tp = gcc.calls_per_sec;
+        eprintln!("gcc trace-replay throughput: baseline {base_tp:.0}/s vs now {now_tp:.0}/s");
+        if now_tp < base_tp * 0.9 {
+            eprintln!("FAIL: gcc trace-replay throughput regressed more than 10% vs baseline");
             std::process::exit(1);
         }
         eprintln!("OK: within the 10% regression budget");

@@ -206,6 +206,11 @@ impl Campaign {
                 pages_shared: run.cow.pages_shared,
                 pages_copied: run.cow.pages_copied,
             });
+            // Live-progress counters: the `--progress` heartbeat reads
+            // these from the process-global registry while workers run.
+            let registry = healers_trace::metrics::global();
+            registry.counter("campaign_evaluated_total").inc();
+            registry.counter("campaign_faults_total").add(failures);
             run
         });
 
@@ -256,6 +261,9 @@ fn analyze_one(
     journal.emit(CampaignEvent::Started {
         function: name.to_string(),
     });
+    // Completion and fault tallies land in the process-global registry
+    // so `--progress` can report them without touching the journal.
+    let registry = healers_trace::metrics::global();
     let injector = FaultInjector::new(libc, name).expect("validated before dispatch");
     let fp = fingerprint(&[&injector.signature()]);
 
@@ -270,6 +278,7 @@ fn analyze_one(
                 fingerprint: fp.to_string(),
             });
             per_fn.cache_hits = 1;
+            registry.counter("campaign_analyzed_total").inc();
             return Ok((decl, per_fn));
         }
         per_fn.cache_misses = 1;
@@ -311,6 +320,8 @@ fn analyze_one(
     per_fn.adaptive_retries = report.adaptive_retries as u64;
     per_fn.fuel_used = report.fuel_used;
     per_fn.absorb_cow(&report.cow);
+    registry.counter("campaign_analyzed_total").inc();
+    registry.counter("campaign_faults_total").add(failures);
 
     let decl = FunctionDecl::from_report(&report);
     if let Some(cache) = cache {

@@ -11,12 +11,15 @@
 //! (production: return an error and log; debugging: abort).
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use healers_libc::{file, Libc, World};
 use healers_simproc::{SimFault, SimValue};
 use healers_typesys::TypeExpr;
 
+use healers_trace::metrics::{self, Counter};
+use healers_trace::recorder::flight;
 use healers_trace::Histogram;
 
 use crate::checker::{
@@ -399,6 +402,8 @@ impl WrapperBuilder {
             in_flag: false,
             stats: WrapperStats::default(),
             log: Vec::new(),
+            m_calls: metrics::global().counter("wrapper_calls_total"),
+            m_violations: metrics::global().counter("wrapper_violations_total"),
         }
     }
 }
@@ -507,6 +512,11 @@ pub struct RobustnessWrapper {
     /// Counters and timings.
     pub stats: WrapperStats,
     log: Vec<Violation>,
+    /// Process-global metric handles, resolved once at build time so
+    /// the per-call cost on the hot path is one relaxed `fetch_add`
+    /// each — the registry lock is never taken per call.
+    m_calls: Arc<Counter>,
+    m_violations: Arc<Counter>,
 }
 
 impl RobustnessWrapper {
@@ -610,6 +620,15 @@ impl RobustnessWrapper {
         on_error: Option<(i32, Option<SimValue>)>,
     ) -> Result<SimValue, SimFault> {
         self.stats.violations += 1;
+        self.m_violations.inc();
+        // Violations are rare by construction (the hot path is the
+        // admit side), so the flight recorder can afford a formatted
+        // detail string here.
+        flight().record(
+            "check-failure",
+            name,
+            &format!("argument {arg} failed {check}"),
+        );
         if self.config.log_violations {
             self.log.push(Violation {
                 function: name.to_string(),
@@ -673,6 +692,7 @@ impl RobustnessWrapper {
         args: &[SimValue],
     ) -> Result<SimValue, SimFault> {
         self.stats.calls += 1;
+        self.m_calls.inc();
         let func = libc
             .get(name)
             .unwrap_or_else(|| panic!("undefined symbol: {name}"));
@@ -739,28 +759,39 @@ impl RobustnessWrapper {
     /// library — the wrapper's validate/replay hot path. Stats, cache
     /// traffic, outcome tallies, and the violation counter behave
     /// exactly as [`RobustnessWrapper::call`]'s prefix does; `world`
-    /// stays read-only (no errno, no logging, no telemetry gate), so a
-    /// pre-resolved [`FnId`] can be driven through a shared world with
-    /// zero name lookups and zero allocations per call. Returns whether
-    /// the call would have been admitted.
+    /// stays read-only (no errno, no logging, no per-call flight
+    /// events), so a pre-resolved [`FnId`] can be driven through a
+    /// shared world with zero name lookups and zero allocations per
+    /// call. The process-global registry counters are unconditional
+    /// relaxed adds; the only gated work is the latency clock read,
+    /// behind the same [`healers_trace::enabled`] gate as every other
+    /// wall-clock source. Returns whether the call would have been
+    /// admitted.
     pub fn precheck(&mut self, world: &World, id: FnId, args: &[SimValue]) -> bool {
         let idx = id.0 as usize;
         self.stats.calls += 1;
+        self.m_calls.inc();
         if !self.entries[idx].wrapped {
             return true;
         }
         self.stats.wrapped_calls += 1;
+        let started = healers_trace::enabled().then(Instant::now);
         let verdict = match self.mode {
             PlanMode::Compiled => self.run_compiled(world, idx, args),
             PlanMode::Interpreted => self.run_interpreted(world, idx, args),
         };
-        match verdict {
+        let admitted = match verdict {
             Ok(()) => true,
             Err(_) => {
                 self.stats.violations += 1;
+                self.m_violations.inc();
                 false
             }
+        };
+        if let Some(s) = started {
+            metrics::global().record_timing("wrapper_precheck_ns", s.elapsed().as_nanos() as u64);
         }
+        admitted
     }
 
     /// Execute entry `idx`'s compiled program. `Err` carries the first

@@ -19,6 +19,7 @@ use healers_simproc::{
     run_in_child_with, ChildResult, Containment, CoverageSite, FaultSite, PageRun, Protection,
     SimValue,
 };
+use healers_trace::recorder::flight;
 use healers_typesys::Outcome;
 
 use crate::sequence::{ArgSpec, Sequence};
@@ -202,12 +203,25 @@ pub fn execute(libc: &Libc, seq: &Sequence, mode: ExecMode<'_>) -> ExecResult {
                     let child_result = ChildResult::Faulted(fault.clone());
                     let (outcome, returned, errno) =
                         healers_inject::classify_child_result(&child_result, w);
+                    let site = FaultSite::resolve(&fault, &w.proc);
+                    // The crash that ends a sequence is exactly what the
+                    // flight recorder exists to explain: the faulting
+                    // call with its resolved site joins the event ring
+                    // the `--flight-dump` artifact snapshots.
+                    flight().record(
+                        "crash",
+                        &step.function,
+                        &site
+                            .as_ref()
+                            .map(|s| s.to_string())
+                            .unwrap_or_else(|| format!("{fault:?}")),
+                    );
                     records.push(StepRecord {
                         function: step.function.clone(),
                         outcome,
                         returned,
                         errno,
-                        site: FaultSite::resolve(&fault, &w.proc).map(|s| s.coverage_site()),
+                        site: site.map(|s| s.coverage_site()),
                         checks,
                     });
                     return Err(fault);

@@ -3,6 +3,7 @@
 use healers_ctypes::FunctionPrototype;
 use healers_libc::{Libc, World};
 use healers_simproc::{run_in_child, CowStats, FaultSite, SimValue, WorldSnapshot};
+use healers_trace::recorder::flight;
 use healers_typesys::{robust_type, Observation, RobustType, SelectionCriterion, TypeExpr};
 
 use crate::case::{classify_child_result, CallRecord};
@@ -116,6 +117,8 @@ impl<'l> FaultInjector<'l> {
         let mut records: Vec<CallRecord> = Vec::new();
         let mut calls = 0usize;
         let mut adaptive_retries = 0usize;
+        // Resolved once per campaign; each fault is then one relaxed add.
+        let m_faults = healers_trace::metrics::global().counter("inject_faults_total");
 
         let mut fuel_used = 0u64;
         let mut cow = CowStats::default();
@@ -143,6 +146,14 @@ impl<'l> FaultInjector<'l> {
         // for zero-argument functions).
         {
             let (outcome, returned, errno, _, provenance) = invoke(&world, &benign);
+            if let Some(site) = &provenance {
+                m_faults.inc();
+                flight().record(
+                    "fault-injected",
+                    &self.name,
+                    &format!("benign baseline — {site}"),
+                );
+            }
             records.push(CallRecord {
                 arg_index: None,
                 fundamental: TypeExpr::IntZero, // placeholder, unused for baseline
@@ -181,6 +192,17 @@ impl<'l> FaultInjector<'l> {
                             }
                         }
                         gens[i].observe(&case, outcome);
+                        // Only resolved faults enter the flight
+                        // recorder — the benign majority of injected
+                        // calls would otherwise drown the ring.
+                        if let Some(site) = &provenance {
+                            m_faults.inc();
+                            flight().record(
+                                "fault-injected",
+                                &self.name,
+                                &format!("arg {i} {} — {site}", case.label),
+                            );
+                        }
                         records.push(CallRecord {
                             arg_index: Some(i),
                             fundamental: case.fundamental,

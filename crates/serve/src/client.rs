@@ -11,7 +11,7 @@ use std::fmt;
 use std::io::{Read, Write};
 
 use crate::frame::{encode_frame, read_frame, write_frame, FrameError, Limits, DIR_RESPONSE};
-use crate::proto::{Response, ValidateVerdict, WireError};
+use crate::proto::{Response, StatsReply, ValidateVerdict, WireError};
 use crate::script::Script;
 
 /// A failed script replay.
@@ -156,8 +156,153 @@ pub fn render(frames: &[Vec<Response>]) -> String {
                 Response::Error { message } => {
                     let _ = writeln!(out, "  error: {message}");
                 }
+                // Script transcripts are byte-diffed across worker
+                // counts, so render only the deterministic subset of a
+                // stats reply; `healers serve stats` shows the rest.
+                Response::Stats(s) => {
+                    out.push_str("  stats:\n");
+                    for (name, value) in &s.totals {
+                        let _ = writeln!(out, "    {name} {value}");
+                    }
+                    for f in &s.functions {
+                        let _ = writeln!(
+                            out,
+                            "    fn {} admitted {} rejected {} unchecked {}",
+                            f.function, f.admitted, f.rejected, f.unchecked
+                        );
+                    }
+                }
             }
         }
+    }
+    out
+}
+
+/// Render a full stats reply — the default view of `healers serve
+/// stats`. Unlike script transcripts this includes the live,
+/// scheduling-dependent sections (per-worker counters, queue
+/// high-water, shed, timings), which is why it is a separate view.
+pub fn render_stats(s: &StatsReply) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("totals:\n");
+    for (name, value) in &s.totals {
+        let _ = writeln!(out, "  {name} {value}");
+    }
+    out.push_str("functions:\n");
+    for f in &s.functions {
+        let _ = writeln!(
+            out,
+            "  {} admitted {} rejected {} unchecked {}",
+            f.function, f.admitted, f.rejected, f.unchecked
+        );
+    }
+    out.push_str("workers:\n");
+    for w in &s.workers {
+        let _ = writeln!(
+            out,
+            "  worker {}: frames {} requests {}",
+            w.worker, w.frames, w.requests
+        );
+    }
+    let _ = writeln!(out, "queue highwater: {}", s.queue_highwater);
+    let _ = writeln!(out, "shed: {}", s.shed);
+    if !s.timings.is_empty() {
+        out.push_str("timings:\n");
+        for t in &s.timings {
+            let _ = writeln!(
+                out,
+                "  {} count {} p50 {}ns p99 {}ns",
+                t.name, t.count, t.p50, t.p99
+            );
+        }
+    }
+    out
+}
+
+/// Render only the deterministic subset of a stats reply — byte-stable
+/// for any `--workers` value given the same sequential client traffic.
+/// The CI stats-smoke job diffs this view across worker counts.
+pub fn render_stats_deterministic(s: &StatsReply) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, value) in &s.totals {
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for f in &s.functions {
+        let _ = writeln!(
+            out,
+            "fn {} admitted {} rejected {} unchecked {}",
+            f.function, f.admitted, f.rejected, f.unchecked
+        );
+    }
+    out
+}
+
+/// Render a stats reply in the Prometheus text exposition format —
+/// `healers serve stats --prom`. Totals and per-function outcomes
+/// become labelled counters, queue high-water a gauge, and timings
+/// (when present) summary quantiles, mirroring
+/// [`healers_trace::metrics::MetricsRegistry::render_prometheus`] for
+/// wire-carried data.
+pub fn render_stats_prometheus(s: &StatsReply) -> String {
+    use healers_trace::metrics::prom_name;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, value) in &s.totals {
+        let name = prom_name(&format!("healers_serve_{name}"));
+        let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+    }
+    if !s.functions.is_empty() {
+        out.push_str("# TYPE healers_serve_validate_outcomes_total counter\n");
+        for f in &s.functions {
+            for (outcome, value) in [
+                ("admitted", f.admitted),
+                ("rejected", f.rejected),
+                ("unchecked", f.unchecked),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "healers_serve_validate_outcomes_total{{function=\"{}\",outcome=\"{outcome}\"}} {value}",
+                    f.function
+                );
+            }
+        }
+    }
+    if !s.workers.is_empty() {
+        out.push_str("# TYPE healers_serve_worker_frames_total counter\n");
+        for w in &s.workers {
+            let _ = writeln!(
+                out,
+                "healers_serve_worker_frames_total{{worker=\"{}\"}} {}",
+                w.worker, w.frames
+            );
+        }
+        out.push_str("# TYPE healers_serve_worker_requests_total counter\n");
+        for w in &s.workers {
+            let _ = writeln!(
+                out,
+                "healers_serve_worker_requests_total{{worker=\"{}\"}} {}",
+                w.worker, w.requests
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "# TYPE healers_serve_queue_highwater gauge\nhealers_serve_queue_highwater {}",
+        s.queue_highwater
+    );
+    let _ = writeln!(
+        out,
+        "# TYPE healers_serve_shed_total counter\nhealers_serve_shed_total {}",
+        s.shed
+    );
+    for t in &s.timings {
+        let name = prom_name(&format!("healers_serve_{}", t.name));
+        let _ = writeln!(out, "# TYPE {name} summary");
+        let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", t.p50);
+        let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", t.p99);
+        let _ = writeln!(out, "{name}_count {}", t.count);
     }
     out
 }
@@ -166,6 +311,99 @@ pub fn render(frames: &[Vec<Response>]) -> String {
 mod tests {
     use super::*;
     use crate::proto::ExplainArg;
+
+    #[test]
+    fn stats_render_omits_the_nondeterministic_sections() {
+        use crate::proto::{FnOutcome, StatsReply, WorkerStat};
+        let frames = vec![vec![Response::Stats(StatsReply {
+            totals: vec![("frames".into(), 2)],
+            functions: vec![FnOutcome {
+                function: "strlen".into(),
+                admitted: 1,
+                rejected: 0,
+                unchecked: 0,
+            }],
+            workers: vec![WorkerStat {
+                worker: 0,
+                frames: 2,
+                requests: 3,
+            }],
+            queue_highwater: 5,
+            shed: 1,
+            timings: Vec::new(),
+        })]];
+        let text = render(&frames);
+        assert_eq!(
+            text,
+            "frame 0:\n  stats:\n    frames 2\n\
+             \x20   fn strlen admitted 1 rejected 0 unchecked 0\n"
+        );
+    }
+
+    fn sample_reply() -> StatsReply {
+        use crate::proto::{FnOutcome, TimingStat, WorkerStat};
+        StatsReply {
+            totals: vec![("requests".into(), 3), ("validates".into(), 2)],
+            functions: vec![FnOutcome {
+                function: "strlen".into(),
+                admitted: 1,
+                rejected: 1,
+                unchecked: 0,
+            }],
+            workers: vec![WorkerStat {
+                worker: 0,
+                frames: 2,
+                requests: 3,
+            }],
+            queue_highwater: 4,
+            shed: 1,
+            timings: vec![TimingStat {
+                name: "validate".into(),
+                count: 2,
+                p50: 512,
+                p99: 1024,
+            }],
+        }
+    }
+
+    #[test]
+    fn full_stats_view_includes_the_live_sections() {
+        let text = render_stats(&sample_reply());
+        assert!(text.contains("totals:\n  requests 3\n  validates 2\n"));
+        assert!(text.contains("  strlen admitted 1 rejected 1 unchecked 0\n"));
+        assert!(text.contains("  worker 0: frames 2 requests 3\n"));
+        assert!(text.contains("queue highwater: 4\nshed: 1\n"));
+        assert!(text.contains("  validate count 2 p50 512ns p99 1024ns\n"));
+    }
+
+    #[test]
+    fn deterministic_stats_view_is_totals_and_functions_only() {
+        let text = render_stats_deterministic(&sample_reply());
+        assert_eq!(
+            text,
+            "requests 3\nvalidates 2\nfn strlen admitted 1 rejected 1 unchecked 0\n"
+        );
+    }
+
+    #[test]
+    fn prometheus_stats_view_is_well_formed_exposition_text() {
+        let text = render_stats_prometheus(&sample_reply());
+        assert!(text.contains("# TYPE healers_serve_requests counter\nhealers_serve_requests 3\n"));
+        assert!(text.contains(
+            "healers_serve_validate_outcomes_total{function=\"strlen\",outcome=\"rejected\"} 1\n"
+        ));
+        assert!(text.contains("healers_serve_worker_frames_total{worker=\"0\"} 2\n"));
+        assert!(text.contains("# TYPE healers_serve_queue_highwater gauge\n"));
+        assert!(text.contains("healers_serve_validate{quantile=\"0.99\"} 1024\n"));
+        assert!(text.contains("healers_serve_validate_count 2\n"));
+        // Every non-comment line is `name{labels}? value` — the shape a
+        // Prometheus scraper accepts.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (metric, value) = line.rsplit_once(' ').expect("metric and value");
+            assert!(!metric.is_empty(), "{line}");
+            assert!(value.parse::<u64>().is_ok(), "{line}");
+        }
+    }
 
     #[test]
     fn render_is_stable_text() {

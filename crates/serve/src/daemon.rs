@@ -32,11 +32,15 @@ use std::time::Duration;
 use healers_core::checker::CheckCounters;
 use healers_trace::Histogram;
 
+use healers_trace::recorder::flight;
+
 use crate::frame::{
     encode_frame, read_frame, write_frame, FrameError, Limits, DIR_REQUEST, DIR_RESPONSE,
 };
 use crate::plans::ServePlans;
-use crate::proto::{Request, Response, ValidateVerdict};
+use crate::proto::{
+    FnOutcome, Request, Response, StatsReply, TimingStat, ValidateVerdict, WorkerStat,
+};
 
 /// A serveable connection: blocking byte stream, movable to a worker.
 pub trait Conn: Read + Write + Send {}
@@ -149,9 +153,12 @@ impl Default for DaemonConfig {
     }
 }
 
-/// Daemon-global counters — telemetry, deliberately **not** part of
-/// the protocol (replies must stay a pure function of one
-/// connection's requests; see the crate-level determinism contract).
+/// Daemon-global counters. Exposed over the wire only through
+/// [`Request::Stats`], whose reply is explicitly daemon-scoped — every
+/// *other* reply stays a pure function of one connection's requests
+/// (see the crate-level determinism contract). The deterministic
+/// subset ([`ServeCounters::deterministic_totals`]) counts logical
+/// events, so it is still byte-identical for any `--workers`.
 #[derive(Debug, Default)]
 pub struct ServeCounters {
     /// Connections accepted and queued.
@@ -189,6 +196,148 @@ impl ServeCounters {
             ),
         ]
     }
+
+    /// The **deterministic subset** carried in a `Stats` reply: every
+    /// counter that counts logical events of the request history, in a
+    /// fixed order. `shed` is excluded — whether a connection sheds
+    /// depends on worker scheduling, not on the request bytes.
+    pub fn deterministic_totals(&self) -> Vec<(String, u64)> {
+        [
+            ("connections", self.connections.load(Ordering::Relaxed)),
+            ("frames", self.frames.load(Ordering::Relaxed)),
+            ("requests", self.requests.load(Ordering::Relaxed)),
+            ("validates", self.validates.load(Ordering::Relaxed)),
+            ("admits", self.admits.load(Ordering::Relaxed)),
+            ("rejects", self.rejects.load(Ordering::Relaxed)),
+            (
+                "protocol_errors",
+                self.protocol_errors.load(Ordering::Relaxed),
+            ),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+    }
+}
+
+/// Per-worker live counters.
+#[derive(Debug, Default)]
+struct WorkerCells {
+    frames: AtomicU64,
+    requests: AtomicU64,
+}
+
+/// The daemon-wide live statistics hub backing [`Request::Stats`]:
+/// per-function validate outcomes (deterministic, plan order),
+/// per-worker frame/request counters, and the connection-queue
+/// high-water mark (both live scheduling state, outside the
+/// determinism contract).
+#[derive(Debug)]
+pub struct StatsHub {
+    fn_names: Vec<String>,
+    fn_index: std::collections::BTreeMap<String, usize>,
+    /// `[admitted, rejected, unchecked]` per function, plan order.
+    fn_outcomes: Vec<[AtomicU64; 3]>,
+    workers: Vec<WorkerCells>,
+    queued: AtomicU64,
+    queue_highwater: AtomicU64,
+}
+
+impl StatsHub {
+    /// A hub for `workers` session workers over `functions` (the
+    /// daemon's plan order).
+    pub fn new(functions: &[String], workers: usize) -> StatsHub {
+        StatsHub {
+            fn_names: functions.to_vec(),
+            fn_index: functions
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.clone(), i))
+                .collect(),
+            fn_outcomes: functions.iter().map(|_| Default::default()).collect(),
+            workers: (0..workers.max(1))
+                .map(|_| WorkerCells::default())
+                .collect(),
+            queued: AtomicU64::new(0),
+            queue_highwater: AtomicU64::new(0),
+        }
+    }
+
+    fn record_outcome(&self, function: &str, verdict: &ValidateVerdict) {
+        let Some(&i) = self.fn_index.get(function) else {
+            return;
+        };
+        let cell = match verdict {
+            ValidateVerdict::Admit => 0,
+            ValidateVerdict::Reject { .. } => 1,
+            ValidateVerdict::AdmitUnchecked => 2,
+            ValidateVerdict::UnknownFunction => return,
+        };
+        self.fn_outcomes[i][cell].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn enqueue(&self) {
+        let depth = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_highwater.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn dequeue(&self) {
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Per-function validate outcomes, plan order — the deterministic
+    /// half of the hub.
+    pub fn fn_outcomes(&self) -> Vec<FnOutcome> {
+        self.fn_names
+            .iter()
+            .zip(self.fn_outcomes.iter())
+            .map(|(name, cells)| FnOutcome {
+                function: name.clone(),
+                admitted: cells[0].load(Ordering::Relaxed),
+                rejected: cells[1].load(Ordering::Relaxed),
+                unchecked: cells[2].load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Highest connection-queue depth observed so far.
+    pub fn queue_highwater(&self) -> u64 {
+        self.queue_highwater.load(Ordering::Relaxed)
+    }
+
+    fn worker_stats(&self) -> Vec<WorkerStat> {
+        self.workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| WorkerStat {
+                worker: i as u16,
+                frames: w.frames.load(Ordering::Relaxed),
+                requests: w.requests.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Assemble a full [`StatsReply`] from the hub plus the global
+    /// counters and (when `timings`) the gated latency telemetry.
+    pub fn stats_reply(
+        &self,
+        counters: &ServeCounters,
+        telemetry: &ServeTelemetry,
+        timings: bool,
+    ) -> StatsReply {
+        StatsReply {
+            totals: counters.deterministic_totals(),
+            functions: self.fn_outcomes(),
+            workers: self.worker_stats(),
+            queue_highwater: self.queue_highwater(),
+            shed: counters.shed.load(Ordering::Relaxed),
+            timings: if timings {
+                telemetry.timing_stats()
+            } else {
+                Vec::new()
+            },
+        }
+    }
 }
 
 /// Gated per-request latency telemetry: one log2-bucket histogram per
@@ -202,6 +351,20 @@ impl ServeTelemetry {
     fn record(&self, kind: &'static str, nanos: u64) {
         let mut hists = self.hists.lock().unwrap();
         hists.entry(kind).or_default().record(nanos);
+    }
+
+    /// The histograms as wire-ready [`TimingStat`]s, name order.
+    pub fn timing_stats(&self) -> Vec<TimingStat> {
+        let hists = self.hists.lock().unwrap();
+        hists
+            .iter()
+            .map(|(name, h)| TimingStat {
+                name: (*name).to_string(),
+                count: h.count(),
+                p50: h.percentile(50.0),
+                p99: h.percentile(99.0),
+            })
+            .collect()
     }
 
     /// Render `kind calls p50(ns) p99(ns)` lines (empty when the gate
@@ -302,6 +465,8 @@ fn handle_request(
     plans: &ServePlans,
     stats: &mut SessionStats,
     counters: &ServeCounters,
+    hub: &StatsHub,
+    telemetry: &ServeTelemetry,
 ) -> (Response, bool) {
     stats.requests += 1;
     counters.requests.fetch_add(1, Ordering::Relaxed);
@@ -319,6 +484,7 @@ fn handle_request(
             stats.run_probes += ctrs.run_probes;
             stats.nul_scans += ctrs.nul_scans;
             stats.bytes_scanned += ctrs.bytes_scanned;
+            hub.record_outcome(&function, &verdict);
             match &verdict {
                 ValidateVerdict::Admit => {
                     stats.admitted += 1;
@@ -355,6 +521,10 @@ fn handle_request(
             )
         }
         Request::Shutdown => (Response::Bye, true),
+        Request::Stats { timings } => (
+            Response::Stats(hub.stats_reply(counters, telemetry, timings)),
+            false,
+        ),
     }
 }
 
@@ -365,21 +535,26 @@ fn request_kind(req: &Request) -> &'static str {
         Request::Explain { .. } => "explain",
         Request::Report => "report",
         Request::Shutdown => "shutdown",
+        Request::Stats { .. } => "stats",
     }
 }
 
 /// Serve one connection to completion: frames strictly in order, one
 /// response message per request message, replies flushed before the
-/// next frame is read.
+/// next frame is read. `worker` indexes the hub's per-worker counters
+/// (pass 0 outside a worker pool).
 pub fn serve_session(
     conn: &mut dyn Conn,
     plans: &ServePlans,
     limits: &Limits,
     counters: &ServeCounters,
     telemetry: &ServeTelemetry,
+    hub: &StatsHub,
+    worker: usize,
 ) -> SessionOutcome {
     let mut stats = SessionStats::default();
     let mut shutdown = false;
+    let cells = &hub.workers[worker.min(hub.workers.len() - 1)];
     'frames: loop {
         let frame = match read_frame(conn, limits) {
             Ok(f) => f,
@@ -390,6 +565,7 @@ pub fn serve_session(
                 // guesswork this protocol refuses to do.
                 stats.errors += 1;
                 counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                flight().record("frame-error", "", &format!("{e}"));
                 let mut msg = Vec::new();
                 Response::Error {
                     message: format!("protocol error: {e}"),
@@ -402,6 +578,7 @@ pub fn serve_session(
         if frame.direction != DIR_REQUEST {
             stats.errors += 1;
             counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            flight().record("frame-error", "", "expected a request frame");
             let mut msg = Vec::new();
             Response::Error {
                 message: "protocol error: expected a request frame".to_string(),
@@ -413,6 +590,7 @@ pub fn serve_session(
 
         stats.frames += 1;
         counters.frames.fetch_add(1, Ordering::Relaxed);
+        cells.frames.fetch_add(1, Ordering::Relaxed);
         let traced = healers_trace::enabled();
         let mut replies: Vec<Vec<u8>> = Vec::with_capacity(frame.messages.len());
         for raw in &frame.messages {
@@ -420,7 +598,9 @@ pub fn serve_session(
                 Ok(req) => {
                     let started = traced.then(std::time::Instant::now);
                     let kind = request_kind(&req);
-                    let (response, stop) = handle_request(req, plans, &mut stats, counters);
+                    let (response, stop) =
+                        handle_request(req, plans, &mut stats, counters, hub, telemetry);
+                    cells.requests.fetch_add(1, Ordering::Relaxed);
                     if let Some(s) = started {
                         telemetry.record(kind, s.elapsed().as_nanos() as u64);
                     }
@@ -430,6 +610,7 @@ pub fn serve_session(
                 Err(e) => {
                     stats.errors += 1;
                     counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    flight().record("frame-error", "", &format!("bad request: {e}"));
                     Response::Error {
                         message: format!("bad request: {e}"),
                     }
@@ -456,6 +637,7 @@ pub struct Daemon {
     shutdown: Arc<AtomicBool>,
     counters: Arc<ServeCounters>,
     telemetry: Arc<ServeTelemetry>,
+    hub: Arc<StatsHub>,
 }
 
 impl Daemon {
@@ -469,22 +651,33 @@ impl Daemon {
         let shutdown = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(ServeCounters::default());
         let telemetry = Arc::new(ServeTelemetry::default());
+        let hub = Arc::new(StatsHub::new(plans.functions(), config.workers.max(1)));
         let limits = config.limits;
         let (queue_tx, queue_rx) = sync_channel::<Box<dyn Conn>>(config.queue_depth.max(1));
         let queue_rx = Arc::new(Mutex::new(queue_rx));
 
         let mut worker_handles = Vec::with_capacity(config.workers.max(1));
-        for _ in 0..config.workers.max(1) {
+        for worker in 0..config.workers.max(1) {
             let queue_rx = Arc::clone(&queue_rx);
             let plans = Arc::clone(&plans);
             let shutdown = Arc::clone(&shutdown);
             let counters = Arc::clone(&counters);
             let telemetry = Arc::clone(&telemetry);
+            let hub = Arc::clone(&hub);
             worker_handles.push(std::thread::spawn(move || loop {
                 // Hold the lock only to dequeue: sessions run unlocked.
                 let conn = { queue_rx.lock().unwrap().recv() };
                 let Ok(mut conn) = conn else { return };
-                let outcome = serve_session(conn.as_mut(), &plans, &limits, &counters, &telemetry);
+                hub.dequeue();
+                let outcome = serve_session(
+                    conn.as_mut(),
+                    &plans,
+                    &limits,
+                    &counters,
+                    &telemetry,
+                    &hub,
+                    worker,
+                );
                 if outcome.shutdown {
                     shutdown.store(true, Ordering::SeqCst);
                 }
@@ -493,6 +686,7 @@ impl Daemon {
 
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_counters = Arc::clone(&counters);
+        let accept_hub = Arc::clone(&hub);
         let accept_handle = std::thread::spawn(move || -> io::Result<()> {
             while !accept_shutdown.load(Ordering::SeqCst) {
                 let conn = match listener.accept(Duration::from_millis(10)) {
@@ -502,11 +696,14 @@ impl Daemon {
                     Err(e) => return Err(e),
                 };
                 accept_counters.connections.fetch_add(1, Ordering::Relaxed);
+                accept_hub.enqueue();
                 match queue_tx.try_send(conn) {
                     Ok(()) => {}
                     Err(TrySendError::Full(mut conn)) => {
                         // Shed: bounded queue, never unbounded buffering.
+                        accept_hub.dequeue();
                         accept_counters.shed.fetch_add(1, Ordering::Relaxed);
+                        flight().record("queue-shed", "", "connection queue full");
                         let mut msg = Vec::new();
                         Response::Error {
                             message: "busy: connection queue full".to_string(),
@@ -528,6 +725,7 @@ impl Daemon {
             shutdown,
             counters,
             telemetry,
+            hub,
         }
     }
 
@@ -539,6 +737,11 @@ impl Daemon {
     /// Gated per-request latency telemetry.
     pub fn telemetry(&self) -> Arc<ServeTelemetry> {
         Arc::clone(&self.telemetry)
+    }
+
+    /// The live statistics hub backing `Request::Stats`.
+    pub fn stats_hub(&self) -> Arc<StatsHub> {
+        Arc::clone(&self.hub)
     }
 
     /// Ask the accept loop to stop (without a `Shutdown` request).

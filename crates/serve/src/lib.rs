@@ -41,6 +41,17 @@
 //! from accept to close, answering frames strictly in order. Reply
 //! streams are therefore byte-identical for any `--workers` value; the
 //! CI serve-smoke job diffs them.
+//!
+//! [`proto::Request::Stats`] is the one deliberate, explicitly scoped
+//! exception: its reply reports *daemon-wide* live state. The carve-out
+//! is itself contractual — the reply's **deterministic subset**
+//! (global totals and per-function validate outcomes) counts logical
+//! events of the request history and stays byte-identical for any
+//! `--workers` given the same sequential client traffic (the CI
+//! stats-smoke job diffs it), while per-worker counters, the queue
+//! high-water mark, shed counts, and opt-in `--timings` percentiles
+//! are live scheduling state outside the contract. Script transcripts
+//! render only the deterministic subset.
 
 pub mod bench;
 pub mod client;
@@ -53,9 +64,11 @@ pub mod script;
 
 pub use bench::{BenchConfig, BenchReport};
 pub use client::run_script;
-pub use daemon::{Daemon, DaemonConfig, ServeCounters};
+pub use daemon::{Daemon, DaemonConfig, ServeCounters, StatsHub};
 pub use frame::{FrameError, Limits, MAGIC, PROTOCOL_VERSION};
 pub use pipe::{duplex, DuplexStream};
 pub use plans::{PlanConfig, ServePlans};
-pub use proto::{Request, Response, ValidateVerdict, WireError};
+pub use proto::{
+    FnOutcome, Request, Response, StatsReply, TimingStat, ValidateVerdict, WireError, WorkerStat,
+};
 pub use script::Script;

@@ -16,12 +16,18 @@
 //! | \[2\] `Explain` | function name |
 //! | \[3\] `Report` | — |
 //! | \[4\] `Shutdown` | — |
+//! | \[5\] `Stats` | flags (bit 0 = include timings) |
 //!
 //! Response kinds mirror them: `Pong`, `Validated` (admit / reject
 //! with the failing argument and check notation / unknown function),
 //! `Explained` (prototype plus the per-argument robust type and active
 //! check), `Reported` (the session's counters, fixed order), `Bye`,
-//! and `Error` for a request the daemon could parse but not serve.
+//! `Error` for a request the daemon could parse but not serve, and
+//! `Stats` (\[6\]) — the daemon-wide live [`StatsReply`]: a
+//! deterministic section (global totals and per-function validate
+//! outcomes, byte-identical for any `--workers`) plus a live section
+//! (per-worker counters, queue high-water, shed count) and opt-in
+//! latency percentiles.
 
 use std::fmt;
 
@@ -83,6 +89,12 @@ pub enum Request {
     Report,
     /// Stop the daemon (after acknowledging).
     Shutdown,
+    /// The daemon-wide live statistics snapshot.
+    Stats {
+        /// Include wall-clock latency percentiles (nondeterministic;
+        /// only populated while the telemetry gate is on).
+        timings: bool,
+    },
 }
 
 /// The verdict of one `Validate` request.
@@ -114,6 +126,71 @@ pub struct ExplainArg {
     pub check: String,
 }
 
+/// Per-function validate outcome totals in a [`StatsReply`] —
+/// deterministic (logical-event counts, worker-count invariant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnOutcome {
+    /// Function name, in the daemon's plan order.
+    pub function: String,
+    /// Validates admitted with all checks passing.
+    pub admitted: u64,
+    /// Validates rejected by a failing check.
+    pub rejected: u64,
+    /// Validates admitted because the function carries no checks.
+    pub unchecked: u64,
+}
+
+/// One worker's live counters in a [`StatsReply`] — nondeterministic
+/// (which worker serves which connection is a scheduling accident).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStat {
+    /// Worker index (0-based).
+    pub worker: u16,
+    /// Request frames this worker served.
+    pub frames: u64,
+    /// Requests this worker served.
+    pub requests: u64,
+}
+
+/// One latency histogram summary in a [`StatsReply`] — opt-in, only
+/// populated while the telemetry gate is on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingStat {
+    /// Metric name (request kind).
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// p50 upper bound (nanoseconds).
+    pub p50: u64,
+    /// p99 upper bound (nanoseconds).
+    pub p99: u64,
+}
+
+/// The payload of a `Stats` response: the daemon's live observability
+/// snapshot.
+///
+/// The **deterministic subset** — [`totals`](StatsReply::totals) and
+/// [`functions`](StatsReply::functions) — counts logical events, so
+/// for the same sequential request history it is byte-identical for
+/// any `--workers` value (the CI stats-smoke job diffs it). Everything
+/// else is live scheduling state and excluded from that contract.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsReply {
+    /// Global `(name, value)` totals, fixed order — deterministic.
+    pub totals: Vec<(String, u64)>,
+    /// Per-function validate outcomes, plan order — deterministic.
+    pub functions: Vec<FnOutcome>,
+    /// Per-worker live counters — nondeterministic.
+    pub workers: Vec<WorkerStat>,
+    /// Highest connection-queue depth observed — nondeterministic.
+    pub queue_highwater: u64,
+    /// Connections shed with a busy frame — nondeterministic.
+    pub shed: u64,
+    /// Latency summaries (empty unless requested and the telemetry
+    /// gate is on) — nondeterministic.
+    pub timings: Vec<TimingStat>,
+}
+
 /// One response from the daemon. Mirrors [`Request`] one-to-one; a
 /// request frame of *n* messages is answered by a response frame of
 /// *n* messages in the same order.
@@ -141,6 +218,8 @@ pub enum Response {
         /// Human-readable reason.
         message: String,
     },
+    /// Answer to [`Request::Stats`].
+    Stats(StatsReply),
 }
 
 // ---- primitive readers/writers -------------------------------------
@@ -252,6 +331,10 @@ const REQ_VALIDATE: u8 = 1;
 const REQ_EXPLAIN: u8 = 2;
 const REQ_REPORT: u8 = 3;
 const REQ_SHUTDOWN: u8 = 4;
+const REQ_STATS: u8 = 5;
+
+/// `Stats` request flag: include latency percentiles.
+const STATS_FLAG_TIMINGS: u8 = 1;
 
 impl Request {
     /// Append the wire form of this request to `out`.
@@ -272,6 +355,10 @@ impl Request {
             }
             Request::Report => out.push(REQ_REPORT),
             Request::Shutdown => out.push(REQ_SHUTDOWN),
+            Request::Stats { timings } => {
+                out.push(REQ_STATS);
+                out.push(if *timings { STATS_FLAG_TIMINGS } else { 0 });
+            }
         }
     }
 
@@ -307,6 +394,9 @@ impl Request {
             }),
             REQ_REPORT => Ok(Request::Report),
             REQ_SHUTDOWN => Ok(Request::Shutdown),
+            REQ_STATS => Ok(Request::Stats {
+                timings: c.u8()? & STATS_FLAG_TIMINGS != 0,
+            }),
             t => Err(WireError::UnknownTag(t)),
         }
     }
@@ -320,6 +410,7 @@ const RSP_EXPLAINED: u8 = 2;
 const RSP_REPORTED: u8 = 3;
 const RSP_BYE: u8 = 4;
 const RSP_ERROR: u8 = 5;
+const RSP_STATS: u8 = 6;
 
 const VERDICT_ADMIT: u8 = 0;
 const VERDICT_ADMIT_UNCHECKED: u8 = 1;
@@ -371,6 +462,36 @@ impl Response {
             Response::Error { message } => {
                 out.push(RSP_ERROR);
                 put_string(out, message);
+            }
+            Response::Stats(s) => {
+                out.push(RSP_STATS);
+                put_u16(out, s.totals.len().min(u16::MAX as usize) as u16);
+                for (name, value) in s.totals.iter().take(u16::MAX as usize) {
+                    put_string(out, name);
+                    put_u64(out, *value);
+                }
+                put_u16(out, s.functions.len().min(u16::MAX as usize) as u16);
+                for f in s.functions.iter().take(u16::MAX as usize) {
+                    put_string(out, &f.function);
+                    put_u64(out, f.admitted);
+                    put_u64(out, f.rejected);
+                    put_u64(out, f.unchecked);
+                }
+                put_u16(out, s.workers.len().min(u16::MAX as usize) as u16);
+                for w in s.workers.iter().take(u16::MAX as usize) {
+                    put_u16(out, w.worker);
+                    put_u64(out, w.frames);
+                    put_u64(out, w.requests);
+                }
+                put_u64(out, s.queue_highwater);
+                put_u64(out, s.shed);
+                put_u16(out, s.timings.len().min(u16::MAX as usize) as u16);
+                for t in s.timings.iter().take(u16::MAX as usize) {
+                    put_string(out, &t.name);
+                    put_u64(out, t.count);
+                    put_u64(out, t.p50);
+                    put_u64(out, t.p99);
+                }
             }
         }
     }
@@ -439,6 +560,54 @@ impl Response {
             RSP_ERROR => Ok(Response::Error {
                 message: c.string()?,
             }),
+            RSP_STATS => {
+                let n = c.u16()? as usize;
+                let mut totals = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let name = c.string()?;
+                    let value = c.u64()?;
+                    totals.push((name, value));
+                }
+                let n = c.u16()? as usize;
+                let mut functions = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    functions.push(FnOutcome {
+                        function: c.string()?,
+                        admitted: c.u64()?,
+                        rejected: c.u64()?,
+                        unchecked: c.u64()?,
+                    });
+                }
+                let n = c.u16()? as usize;
+                let mut workers = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    workers.push(WorkerStat {
+                        worker: c.u16()?,
+                        frames: c.u64()?,
+                        requests: c.u64()?,
+                    });
+                }
+                let queue_highwater = c.u64()?;
+                let shed = c.u64()?;
+                let n = c.u16()? as usize;
+                let mut timings = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    timings.push(TimingStat {
+                        name: c.string()?,
+                        count: c.u64()?,
+                        p50: c.u64()?,
+                        p99: c.u64()?,
+                    });
+                }
+                Ok(Response::Stats(StatsReply {
+                    totals,
+                    functions,
+                    workers,
+                    queue_highwater,
+                    shed,
+                    timings,
+                }))
+            }
             t => Err(WireError::UnknownTag(t)),
         }
     }
@@ -478,6 +647,8 @@ mod tests {
         });
         roundtrip_req(Request::Report);
         roundtrip_req(Request::Shutdown);
+        roundtrip_req(Request::Stats { timings: false });
+        roundtrip_req(Request::Stats { timings: true });
 
         roundtrip_rsp(Response::Pong);
         roundtrip_rsp(Response::Validated(ValidateVerdict::Admit));
@@ -510,6 +681,48 @@ mod tests {
         roundtrip_rsp(Response::Error {
             message: "nope".into(),
         });
+        roundtrip_rsp(Response::Stats(StatsReply::default()));
+        roundtrip_rsp(Response::Stats(full_stats_reply()));
+    }
+
+    fn full_stats_reply() -> StatsReply {
+        StatsReply {
+            totals: vec![("frames".into(), 10), ("requests".into(), 25)],
+            functions: vec![
+                FnOutcome {
+                    function: "strlen".into(),
+                    admitted: 5,
+                    rejected: 2,
+                    unchecked: 0,
+                },
+                FnOutcome {
+                    function: "abs".into(),
+                    admitted: 0,
+                    rejected: 0,
+                    unchecked: 3,
+                },
+            ],
+            workers: vec![
+                WorkerStat {
+                    worker: 0,
+                    frames: 7,
+                    requests: 20,
+                },
+                WorkerStat {
+                    worker: 1,
+                    frames: 3,
+                    requests: 5,
+                },
+            ],
+            queue_highwater: 4,
+            shed: 1,
+            timings: vec![TimingStat {
+                name: "validate".into(),
+                count: 7,
+                p50: 1023,
+                p99: 4095,
+            }],
+        }
     }
 
     #[test]
@@ -532,6 +745,24 @@ mod tests {
             Err(WireError::TrailingBytes(1)),
             "a trailing byte must be rejected"
         );
+    }
+
+    #[test]
+    fn stats_truncation_and_trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        Response::Stats(full_stats_reply()).encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(
+                Response::decode(&buf[..cut]).is_err(),
+                "stats prefix of {cut} bytes must not decode"
+            );
+        }
+        buf.push(0);
+        assert_eq!(Response::decode(&buf), Err(WireError::TrailingBytes(1)));
+
+        let mut buf = Vec::new();
+        Request::Stats { timings: true }.encode(&mut buf);
+        assert!(Request::decode(&buf[..1]).is_err(), "flag byte is required");
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   * `validate <function> [<value>...]`
 //!   * `explain <function>`
 //!   * `report`
+//!   * `stats` / `stats timings` — the daemon-wide live snapshot
+//!     (transcripts render only its deterministic subset)
 //!   * `shutdown`
 //! * values:
 //!   * `int:<n>` — a signed 64-bit integer;
@@ -90,6 +92,16 @@ impl Script {
                 "ping" => Request::Ping,
                 "report" => Request::Report,
                 "shutdown" => Request::Shutdown,
+                "stats" => {
+                    let timings = match words.next() {
+                        None => false,
+                        Some("timings") => true,
+                        Some(other) => {
+                            return Err(err(lineno, format!("unknown stats option `{other}`")))
+                        }
+                    };
+                    Request::Stats { timings }
+                }
                 "explain" => {
                     let function = words
                         .next()
@@ -228,6 +240,18 @@ mod tests {
     }
 
     #[test]
+    fn stats_verb_parses_with_and_without_timings() {
+        let script = Script::parse("stats\nstats timings\n").unwrap();
+        assert_eq!(
+            script.frames[0],
+            vec![
+                Request::Stats { timings: false },
+                Request::Stats { timings: true },
+            ]
+        );
+    }
+
+    #[test]
     fn malformed_lines_name_their_line() {
         for (text, line) in [
             ("frobnicate\n", 1),
@@ -237,6 +261,8 @@ mod tests {
             ("validate f ptr:buf-1\n", 1),
             ("explain\n", 1),
             ("ping extra\n", 1),
+            ("stats nope\n", 1),
+            ("stats timings extra\n", 1),
         ] {
             let e = Script::parse(text).unwrap_err();
             assert_eq!(e.line, line, "{text:?} -> {e}");

@@ -346,6 +346,55 @@ fn bad_messages_are_answered_in_position() {
     finish(daemon);
 }
 
+/// A `Stats` request reports daemon-wide live counters, and its
+/// deterministic subset (global totals, per-function outcomes) is
+/// identical for any worker count after the same sequential traffic.
+#[test]
+fn stats_deterministic_subset_is_worker_count_invariant() {
+    let plans = test_plans();
+    let traffic =
+        Script::parse("validate strlen ptr:str\nvalidate strlen ptr:null\nvalidate abs int:-7\n")
+            .unwrap();
+    let stats_script = Script::parse("stats\n").unwrap();
+    let mut snapshots = Vec::new();
+    for workers in [1usize, 4] {
+        let (tx, daemon) = spawn_daemon(&plans, workers, 8);
+        let mut conn = dial(&tx);
+        run_script(&mut conn, &traffic, &Limits::default()).unwrap();
+        drop(conn);
+        // Sequential: the traffic connection is closed before stats.
+        let mut conn = dial(&tx);
+        let replies = run_script(&mut conn, &stats_script, &Limits::default()).unwrap();
+        drop((conn, tx));
+        finish(daemon);
+        let Response::Stats(s) = &replies.frames[0][0] else {
+            panic!("expected Stats, got {:?}", replies.frames[0][0]);
+        };
+        // Live sections are present and plausible.
+        assert_eq!(s.workers.len(), workers);
+        assert!(s.queue_highwater >= 1);
+        assert!(s.timings.is_empty(), "timings are opt-in");
+        snapshots.push((s.totals.clone(), s.functions.clone()));
+    }
+    assert_eq!(
+        snapshots[0], snapshots[1],
+        "deterministic stats subset diverged between workers 1 and 4"
+    );
+    let (totals, functions) = &snapshots[0];
+    let get = |k: &str| totals.iter().find(|(n, _)| n == k).unwrap().1;
+    assert_eq!(get("connections"), 2);
+    assert_eq!(get("validates"), 3);
+    assert_eq!(get("admits"), 2, "strlen ptr:str + abs unchecked");
+    assert_eq!(get("rejects"), 1);
+    let strlen = functions.iter().find(|f| f.function == "strlen").unwrap();
+    assert_eq!(
+        (strlen.admitted, strlen.rejected, strlen.unchecked),
+        (1, 1, 0)
+    );
+    let abs = functions.iter().find(|f| f.function == "abs").unwrap();
+    assert_eq!((abs.admitted, abs.rejected, abs.unchecked), (0, 0, 1));
+}
+
 /// A `Shutdown` request is acknowledged with `Bye` and stops the
 /// daemon: the accept loop exits and every worker drains.
 #[test]

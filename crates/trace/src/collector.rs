@@ -244,6 +244,45 @@ mod tests {
     }
 
     #[test]
+    fn thread_exit_flush_survives_an_active_flight_recorder() {
+        // Regression guard in the spirit of the PR 3 drainer-sentinel
+        // fix: the drainer treats an *empty* batch as the shutdown
+        // sentinel, so nothing a worker thread does on its way out —
+        // including logging events into the flight recorder between
+        // records — may cause a ThreadBuffer to ship an empty or
+        // truncated tail batch and silently end the drain early.
+        let recorder = crate::recorder::FlightRecorder::new(8);
+        let collector = Collector::start();
+        let per_worker = 100usize;
+        thread::scope(|scope| {
+            for w in 0..3 {
+                let sender = collector.sender();
+                let recorder = &recorder;
+                scope.spawn(move || {
+                    let mut buf = sender.buffer();
+                    for i in 0..per_worker {
+                        buf.record(latency(&format!("w{w}"), i as u64));
+                        if i % 10 == 0 {
+                            recorder.record("check-failure", "strcpy", "mid-batch event");
+                        }
+                    }
+                    // Last act before thread exit: a recorder event,
+                    // then the implicit drop-flush of the tail batch.
+                    recorder.record("fault-injected", "gets", "thread exiting");
+                });
+            }
+        });
+        let records = collector.finish();
+        assert_eq!(
+            records.len(),
+            3 * per_worker,
+            "drop-flush lost records while the recorder was live"
+        );
+        assert!(recorder.recorded() > 0);
+        assert_eq!(recorder.len(), 8);
+    }
+
+    #[test]
     fn spans_and_counters_round_trip() {
         let collector = Collector::start();
         let mut buf = collector.sender().buffer();

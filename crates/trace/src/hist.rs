@@ -191,6 +191,61 @@ mod tests {
     }
 
     #[test]
+    fn empty_percentile_is_zero_at_every_p() {
+        // Edge contract: percentile of an empty histogram is 0 for any
+        // p, including the extremes — never a bucket bound, never a
+        // panic.
+        let h = Histogram::new();
+        for p in [0.0, 1.0, 50.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), 0, "empty percentile at p={p}");
+        }
+    }
+
+    #[test]
+    fn top_bucket_saturates_at_u64_max() {
+        // Edge contract: every value with 64 significant bits lands in
+        // the last bucket, whose inclusive upper bound is u64::MAX —
+        // the one bucket where the factor-of-two error bound widens to
+        // "somewhere above 2^62".
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1u64 << 63);
+        assert_eq!(h.count(), 3);
+        for p in [1.0, 50.0, 100.0] {
+            assert_eq!(h.percentile(p), u64::MAX);
+        }
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        assert_eq!(buckets, vec![(u64::MAX, 3)], "all three share bucket 63");
+    }
+
+    #[test]
+    fn merge_of_differently_populated_histograms() {
+        // Edge contract: merging histograms with disjoint bucket
+        // occupancy (including one empty side) is plain element-wise
+        // addition — totals add, every source bucket survives, and
+        // merging an empty histogram is the identity.
+        let mut small = Histogram::new();
+        for _ in 0..1000 {
+            small.record(2);
+        }
+        let mut large = Histogram::new();
+        large.record(1 << 40);
+        let mut merged = small.clone();
+        merged.merge(&large);
+        assert_eq!(merged.count(), 1001);
+        // The lone huge sample is past p99 but is the p100 bound.
+        assert_eq!(merged.percentile(99.0), small.percentile(99.0));
+        assert_eq!(merged.percentile(100.0), large.percentile(100.0));
+        let mut identity = small.clone();
+        identity.merge(&Histogram::new());
+        assert_eq!(identity, small);
+        let mut from_empty = Histogram::new();
+        from_empty.merge(&small);
+        assert_eq!(from_empty, small);
+    }
+
+    #[test]
     fn single_sample_percentile_is_its_bucket_bound() {
         let mut h = Histogram::new();
         h.record(100);

@@ -15,7 +15,15 @@
 //!   loadable in `chrome://tracing` / Perfetto;
 //! * [`json`] — the workspace's hand-rolled JSON emitter and
 //!   validating parser (moved here from healers-campaign so every
-//!   exporter shares one implementation).
+//!   exporter shares one implementation);
+//! * [`metrics`] — the live observability plane: a process-global
+//!   [`MetricsRegistry`] of named counters/gauges/histograms with
+//!   Prometheus-text and JSON exposition (`healers serve stats`,
+//!   campaign `--progress`);
+//! * [`recorder`] — the fault [`FlightRecorder`]: a fixed-capacity
+//!   ring buffer of recent structured events (check failures, injected
+//!   faults, frame errors, queue sheds), snapshotted on crashes and
+//!   attached to `healers explain`.
 //!
 //! # The gate
 //!
@@ -31,12 +39,16 @@ pub mod chrome;
 pub mod collector;
 pub mod hist;
 pub mod json;
+pub mod metrics;
+pub mod recorder;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 pub use chrome::ChromeTrace;
 pub use collector::{Collector, EventSender, ThreadBuffer, TraceRecord};
 pub use hist::Histogram;
+pub use metrics::{Counter, Gauge, MetricsRegistry};
+pub use recorder::{FlightEvent, FlightRecorder};
 
 /// The process-global telemetry gate. Off by default.
 static ENABLED: AtomicBool = AtomicBool::new(false);

@@ -1,0 +1,233 @@
+//! The fault flight recorder: a fixed-capacity ring buffer of recent
+//! structured events.
+//!
+//! Post-hoc artifacts (the campaign journal, `Report`) tell you *what*
+//! went wrong; the flight recorder tells you *what happened just
+//! before*. Rare-but-interesting events — check failures, injected
+//! faults, frame decode errors, queue sheds — are appended with
+//! [`FlightRecorder::record`]; when a wrapped call crashes or a
+//! violation fires, the last N events are snapshotted, attached to
+//! `healers explain` provenance, and dumpable as JSONL.
+//!
+//! # Concurrency
+//!
+//! Writers claim a slot with one atomic `fetch_add` ticket (lock-free
+//! ordering decision), then take that slot's own mutex to store the
+//! event — so concurrent writers never serialise against each other
+//! unless they collide on the same slot a full lap apart, in which
+//! case the *newer* event wins (a flight recorder keeps the recent
+//! past, not the complete history). Recording is only performed on
+//! rare paths (violations, faults, protocol errors), never on the
+//! per-call hot path, so the per-event cost is irrelevant to
+//! throughput gates.
+//!
+//! # Determinism
+//!
+//! Event sequence numbers order the snapshot. Under parallel writers
+//! the interleaving is scheduling-dependent, which is why recorder
+//! output is attached to *diagnostic* artifacts (explain, crash dumps)
+//! and never to the byte-diffed deterministic ones.
+
+use crate::json::JsonObject;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Capacity of the process-global [`flight`] recorder.
+pub const FLIGHT_CAPACITY: usize = 64;
+
+/// One recorded event: a ticket, a static kind tag, the function
+/// involved (empty when not applicable), and a free-form detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Global sequence number: the ticket claimed at record time.
+    pub seq: u64,
+    /// Event class, e.g. `"check-failure"`, `"fault-injected"`,
+    /// `"frame-error"`, `"queue-shed"`.
+    pub kind: &'static str,
+    /// The library function involved, when the event has one.
+    pub function: String,
+    /// Human-readable specifics (fault site, error text, …).
+    pub detail: String,
+}
+
+impl FlightEvent {
+    /// Render the event as one JSON object (one JSONL line).
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .u64("seq", self.seq)
+            .str("kind", self.kind)
+            .str("function", &self.function)
+            .str("detail", &self.detail)
+            .finish()
+    }
+}
+
+/// A fixed-capacity ring buffer of [`FlightEvent`]s. See the module
+/// docs for the concurrency model.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Vec<Mutex<Option<FlightEvent>>>,
+    next: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding the most recent `capacity` events
+    /// (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Append one event, overwriting the oldest if full.
+    pub fn record(&self, kind: &'static str, function: &str, detail: &str) {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        let mut guard = slot.lock().unwrap();
+        // A writer a full lap ahead may already have stored a newer
+        // event in this slot; recent beats old.
+        if guard.as_ref().is_none_or(|e| e.seq < seq) {
+            *guard = Some(FlightEvent {
+                seq,
+                kind,
+                function: function.to_string(),
+                detail: detail.to_string(),
+            });
+        }
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Events currently held: `min(recorded, capacity)`.
+    pub fn len(&self) -> usize {
+        (self.recorded() as usize).min(self.slots.len())
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.recorded() == 0
+    }
+
+    /// The held events in sequence order, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        let mut events: Vec<FlightEvent> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().unwrap().clone())
+            .collect();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// The snapshot as JSONL: one event object per line, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.snapshot() {
+            out.push_str(&event.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Drop every held event and reset the ticket counter. Test and
+    /// run-boundary hygiene.
+    pub fn clear(&self) {
+        for slot in &self.slots {
+            *slot.lock().unwrap() = None;
+        }
+        self.next.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-global flight recorder ([`FLIGHT_CAPACITY`] events).
+pub fn flight() -> &'static FlightRecorder {
+    static FLIGHT: OnceLock<FlightRecorder> = OnceLock::new();
+    FLIGHT.get_or_init(|| FlightRecorder::new(FLIGHT_CAPACITY))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn records_in_order_and_wraps() {
+        let rec = FlightRecorder::new(4);
+        assert!(rec.is_empty());
+        for i in 0..6u64 {
+            rec.record("check-failure", "strcpy", &format!("event {i}"));
+        }
+        assert_eq!(rec.recorded(), 6);
+        assert_eq!(rec.len(), 4);
+        let snap = rec.snapshot();
+        // Oldest two (seq 0, 1) were overwritten.
+        assert_eq!(
+            snap.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+        assert_eq!(snap[3].detail, "event 5");
+    }
+
+    #[test]
+    fn jsonl_lines_validate() {
+        let rec = FlightRecorder::new(8);
+        rec.record("fault-injected", "asctime", "fault at 0x7000 \"wild\"");
+        rec.record("queue-shed", "", "queue full at depth 16");
+        let dump = rec.to_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            json::validate(line).unwrap();
+        }
+        assert!(lines[0].contains("\"kind\":\"fault-injected\""));
+        assert!(lines[1].contains("\"function\":\"\""));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let rec = FlightRecorder::new(2);
+        rec.record("frame-error", "", "bad magic");
+        rec.clear();
+        assert!(rec.is_empty());
+        assert_eq!(rec.snapshot().len(), 0);
+        rec.record("frame-error", "", "again");
+        assert_eq!(rec.snapshot()[0].seq, 0);
+    }
+
+    #[test]
+    fn concurrent_writers_keep_the_recent_past() {
+        let rec = std::sync::Arc::new(FlightRecorder::new(16));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let rec = std::sync::Arc::clone(&rec);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        rec.record("check-failure", "memset", &format!("t{t} i{i}"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(rec.recorded(), 400);
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 16);
+        // The survivors are the highest-numbered tickets, in order.
+        let seqs: Vec<u64> = snap.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        assert!(seqs.iter().all(|&s| s >= 400 - 16));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let rec = FlightRecorder::new(0);
+        rec.record("check-failure", "x", "y");
+        assert_eq!(rec.len(), 1);
+    }
+}

@@ -5,14 +5,15 @@
 //! healers [--seed N] wrap [--out FILE]       emit the C wrapper library for all 86 targets
 //! healers [--seed N] ballista [--mode M] [--cap N]  run the Figure 6 evaluation
 //! healers [--seed N] campaign [--jobs N] [--cache DIR] [--journal FILE] [--trace FILE]
-//!                             [--mode M] [--cap N] [--out FILE] [<function>...]
+//!                             [--mode M] [--cap N] [--out FILE] [--progress] [<function>...]
 //!                                            parallel orchestrated analysis/evaluation
 //! healers [--seed N] report [--mode M] [--cap N] [--jobs N] [--json] [--timings]
 //!                           [<function>...]  deterministic telemetry report of one evaluation
 //! healers [--seed N] fuzz run [--budget N] [--jobs N] [--max-len N] [--mode full|semi]
 //!                             [--journal FILE] [--trace FILE] [--pins DIR] [<function>...]
 //!                                            coverage-guided API-sequence fuzzing
-//! healers fuzz replay <file>...              replay pinned regression tests
+//! healers fuzz replay [--flight-dump FILE] <file>...
+//!                                            replay pinned regression tests
 //! healers fuzz shrink <file> [--out FILE]    shrink a seed file's first finding
 //! healers explain <function>...              replay a declaration's lattice walk with
 //!                                            per-case fault provenance
@@ -22,6 +23,8 @@
 //!                                            replay a request script against an in-process daemon
 //! healers serve send --socket PATH --script FILE [--raw-out FILE]
 //!                                            replay a request script against a running daemon
+//! healers serve stats --socket PATH [--prom | --deterministic] [--timings] [--watch]
+//!                                            scrape a running daemon's live stats
 //! healers bench serve [--fast] [--clients N] [--workers N] [--frames N] [--batch N]
 //!                     [--json FILE] [--baseline FILE]
 //!                                            serve-daemon load bench with regression gate
@@ -57,18 +60,19 @@ fn usage() -> ExitCode {
          healers [--seed N] ballista [--mode unwrapped|full|semi|all] [--cap N]\n  \
          healers [--seed N] campaign [--jobs N] [--cache DIR] [--journal FILE]\n  \
          \x20                        [--trace FILE] [--mode decls|unwrapped|full|semi|all]\n  \
-         \x20                        [--cap N] [--out FILE] [<function>...]\n  \
+         \x20                        [--cap N] [--out FILE] [--progress] [<function>...]\n  \
          healers [--seed N] report [--mode unwrapped|full|semi] [--cap N] [--jobs N]\n  \
          \x20                      [--json] [--timings] [<function>...]\n  \
          healers [--seed N] fuzz run [--budget N] [--jobs N] [--max-len N]\n  \
          \x20                        [--mode full|semi] [--journal FILE] [--trace FILE]\n  \
          \x20                        [--pins DIR] [<function>...]\n  \
-         healers fuzz replay <file>...\n  \
+         healers fuzz replay [--flight-dump FILE] <file>...\n  \
          healers fuzz shrink <file> [--out FILE]\n  \
          healers explain <function>...\n  \
          healers serve daemon --socket PATH [--workers N] [--queue N] [--cache DIR] [<function>...]\n  \
          healers serve exec --script FILE [--workers N] [--raw-out FILE] [--cache DIR] [<function>...]\n  \
          healers serve send --socket PATH --script FILE [--raw-out FILE]\n  \
+         healers serve stats --socket PATH [--prom | --deterministic] [--timings] [--watch]\n  \
          healers bench serve [--fast] [--clients N] [--workers N] [--frames N] [--batch N]\n  \
          \x20                  [--json FILE] [--baseline FILE]\n  \
          healers extract\n  \
@@ -241,6 +245,7 @@ fn cmd_campaign(rest: &[String], seed: Option<u64>) -> Result<(), Error> {
     let mut mode = "decls".to_string();
     let mut cap = 180usize;
     let mut out: Option<PathBuf> = None;
+    let mut progress = false;
     let mut functions: Vec<String> = Vec::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -257,6 +262,7 @@ fn cmd_campaign(rest: &[String], seed: Option<u64>) -> Result<(), Error> {
                 cap = it.next().and_then(|v| v.parse().ok()).ok_or(Error::Usage)?;
             }
             "--out" => out = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            "--progress" => progress = true,
             flag if flag.starts_with("--") => return Err(Error::Usage),
             name => functions.push(name.to_string()),
         }
@@ -277,6 +283,34 @@ fn cmd_campaign(rest: &[String], seed: Option<u64>) -> Result<(), Error> {
     };
     require_exported("campaign", &libc, &names)?;
     let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+
+    // The `--progress` heartbeat: a monitor thread samples the
+    // process-global metrics registry and the flight recorder every
+    // 500 ms and reports on stderr — workers never synchronize with
+    // it, so the campaign output stays byte-identical with it on.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let monitor = progress.then(|| {
+        let stop = std::sync::Arc::clone(&stop);
+        let total = names.len() as u64;
+        std::thread::spawn(move || {
+            use std::sync::atomic::Ordering;
+            let registry = healers::trace::metrics::global();
+            let heartbeat = |label: &str| {
+                eprintln!(
+                    "{label}: analyzed {}/{total} | evaluated {} | faults {} | flight {}",
+                    registry.counter("campaign_analyzed_total").get(),
+                    registry.counter("campaign_evaluated_total").get(),
+                    registry.counter("campaign_faults_total").get(),
+                    healers::trace::recorder::flight().len(),
+                );
+            };
+            while !stop.load(Ordering::Relaxed) {
+                heartbeat("progress");
+                std::thread::sleep(std::time::Duration::from_millis(500));
+            }
+            heartbeat("progress final");
+        })
+    });
 
     let journaling = journal_path.is_some();
     let tracing = trace_path.clone();
@@ -319,6 +353,11 @@ fn cmd_campaign(rest: &[String], seed: Option<u64>) -> Result<(), Error> {
         let (report, metrics) = campaign.evaluate(&libc, &ballista, m, decls.clone());
         println!("{}", report.render());
         eprintln!("{metrics}");
+    }
+
+    if let Some(handle) = monitor {
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = handle.join();
     }
 
     let lines = campaign
@@ -662,9 +701,16 @@ fn fuzz_decls_for(
     Ok(analyze(libc, &refs))
 }
 
-fn cmd_fuzz_replay(files: &[String]) -> Result<(), Error> {
-    if files.iter().any(|f| f.starts_with("--")) {
-        return Err(Error::Usage);
+fn cmd_fuzz_replay(rest: &[String]) -> Result<(), Error> {
+    let mut flight_dump: Option<PathBuf> = None;
+    let mut files: Vec<&String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--flight-dump" => flight_dump = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            flag if flag.starts_with("--") => return Err(Error::Usage),
+            _ => files.push(arg),
+        }
     }
     if files.is_empty() {
         return Err(Error::BadArgument(
@@ -686,6 +732,18 @@ fn cmd_fuzz_replay(files: &[String]) -> Result<(), Error> {
                 println!("replay {file}: FAILED\n{e}");
             }
         }
+    }
+    // Dump before the divergence check: the flight recorder is most
+    // valuable exactly when a replay crashed or diverged.
+    if let Some(path) = &flight_dump {
+        let flight = healers::trace::recorder::flight();
+        std::fs::write(path, flight.to_jsonl())
+            .map_err(|e| Error::io(format!("fuzz replay: cannot write {}", path.display()), e))?;
+        eprintln!(
+            "flight recorder: wrote {} event(s) to {}",
+            flight.len(),
+            path.display()
+        );
     }
     if failures > 0 {
         return Err(Error::Msg(format!(
@@ -846,6 +904,21 @@ fn cmd_explain(functions: &[String]) -> Result<(), Error> {
             }
         }
     }
+    // The flight recorder saw every resolved fault of the campaigns
+    // above; its tail is the cross-function event timeline, printed
+    // after the per-argument provenance so existing output stays a
+    // prefix of the new output.
+    let flight = healers::trace::recorder::flight();
+    if !flight.is_empty() {
+        println!(
+            "flight recorder ({} of {} event(s) retained):",
+            flight.len(),
+            flight.recorded()
+        );
+        for e in flight.snapshot() {
+            println!("  [{}] {} {} — {}", e.seq, e.kind, e.function, e.detail);
+        }
+    }
     Ok(())
 }
 
@@ -861,6 +934,7 @@ fn cmd_serve(rest: &[String]) -> Result<(), Error> {
         Some("daemon") => cmd_serve_daemon(&rest[1..]),
         Some("exec") => cmd_serve_exec(&rest[1..]),
         Some("send") => cmd_serve_send(&rest[1..]),
+        Some("stats") => cmd_serve_stats(&rest[1..]),
         _ => Err(Error::Usage),
     }
 }
@@ -1045,6 +1119,74 @@ fn cmd_serve_send(rest: &[String]) -> Result<(), Error> {
         )
     })?;
     replay_script(&mut stream, &script, raw_out.as_ref())
+}
+
+/// `healers serve stats` — scrape a running daemon's live stats over
+/// its socket. The default view shows everything, including the
+/// scheduling-dependent sections; `--deterministic` restricts the
+/// output to the worker-count-invariant subset (what the CI stats-smoke
+/// job byte-diffs) and `--prom` renders the Prometheus text exposition
+/// format. `--timings` asks the daemon for its gated latency
+/// percentiles; `--watch` re-polls every second on the same connection
+/// until the daemon goes away.
+fn cmd_serve_stats(rest: &[String]) -> Result<(), Error> {
+    let mut socket: Option<PathBuf> = None;
+    let mut prom = false;
+    let mut deterministic = false;
+    let mut timings = false;
+    let mut watch = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => socket = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            "--prom" => prom = true,
+            "--deterministic" => deterministic = true,
+            "--timings" => timings = true,
+            "--watch" => watch = true,
+            _ => return Err(Error::Usage),
+        }
+    }
+    if prom && deterministic {
+        return Err(Error::BadArgument(
+            "serve stats: --prom and --deterministic are mutually exclusive".into(),
+        ));
+    }
+    let socket = socket
+        .ok_or_else(|| Error::BadArgument("serve stats: --socket PATH is required".into()))?;
+    let mut stream = std::os::unix::net::UnixStream::connect(&socket).map_err(|e| {
+        Error::io(
+            format!("serve stats: cannot connect to {}", socket.display()),
+            e,
+        )
+    })?;
+    let script = healers::serve::Script {
+        frames: vec![vec![healers::serve::Request::Stats { timings }]],
+    };
+    loop {
+        let replies =
+            healers::serve::run_script(&mut stream, &script, &healers::serve::Limits::default())
+                .map_err(|e| Error::Msg(format!("serve stats: {e}")))?;
+        let Some(healers::serve::Response::Stats(s)) =
+            replies.frames.first().and_then(|f| f.first())
+        else {
+            return Err(Error::Msg(
+                "serve stats: the daemon did not return a stats reply".into(),
+            ));
+        };
+        let text = if prom {
+            healers::serve::client::render_stats_prometheus(s)
+        } else if deterministic {
+            healers::serve::client::render_stats_deterministic(s)
+        } else {
+            healers::serve::client::render_stats(s)
+        };
+        print!("{text}");
+        if !watch {
+            return Ok(());
+        }
+        println!();
+        std::thread::sleep(std::time::Duration::from_secs(1));
+    }
 }
 
 /// `healers bench serve` — the in-process load generator plus the

@@ -75,7 +75,13 @@ fn fuzz_subcommand_forms_are_all_listed() {
 fn serve_and_bench_subcommand_forms_are_all_listed() {
     let out = healers(&[]);
     let stderr = String::from_utf8(out.stderr).unwrap();
-    for form in ["serve daemon", "serve exec", "serve send", "bench serve"] {
+    for form in [
+        "serve daemon",
+        "serve exec",
+        "serve send",
+        "serve stats",
+        "bench serve",
+    ] {
         assert!(
             stderr.contains(form),
             "usage is missing `{form}`:\n{stderr}"
@@ -132,4 +138,8 @@ fn explain_names_the_faulting_page_run_and_heap_block() {
     assert!(text.contains(" run 0x"), "{text}");
     // … and to the heap block whose guard page caught the overrun.
     assert!(text.contains("guard page after live block 0x"), "{text}");
+    // The flight-recorder tail follows the provenance: the injection
+    // campaign's resolved faults are events, so strcpy must appear.
+    assert!(text.contains("flight recorder ("), "{text}");
+    assert!(text.contains("fault-injected strcpy"), "{text}");
 }

@@ -14,8 +14,12 @@ fn healers(args: &[&str]) -> Output {
 }
 
 fn smoke_script() -> String {
+    serve_script("smoke")
+}
+
+fn serve_script(name: &str) -> String {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/serve_scripts/smoke.txt")
+        .join(format!("tests/serve_scripts/{name}.txt"))
         .display()
         .to_string()
 }
@@ -123,6 +127,116 @@ fn serve_exec_warm_cache_reports_zero_injected_calls() {
     std::fs::remove_dir_all(&cache).unwrap();
 }
 
+/// Kill the daemon child even when an assertion unwinds the test.
+struct DaemonGuard(std::process::Child);
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn serve_stats_scrapes_a_live_daemon_in_all_three_views() {
+    let dir = temp_dir("stats");
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("healers.sock");
+    let sock = socket.display().to_string();
+    let mut daemon = DaemonGuard(
+        Command::new(env!("CARGO_BIN_EXE_healers"))
+            .args([
+                "serve",
+                "daemon",
+                "--socket",
+                &sock,
+                "--workers",
+                "2",
+                "strlen",
+                "abs",
+            ])
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn daemon"),
+    );
+    // The daemon binds the socket only after the plans are built.
+    for _ in 0..400 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert!(socket.exists(), "daemon never bound {sock}");
+
+    let traffic = healers(&[
+        "serve",
+        "send",
+        "--socket",
+        &sock,
+        "--script",
+        &serve_script("traffic"),
+    ]);
+    assert!(
+        traffic.status.success(),
+        "traffic failed:\n{}",
+        String::from_utf8_lossy(&traffic.stderr)
+    );
+
+    // Deterministic view: exactly the worker-count-invariant subset.
+    let det = healers(&["serve", "stats", "--socket", &sock, "--deterministic"]);
+    assert!(
+        det.status.success(),
+        "{}",
+        String::from_utf8_lossy(&det.stderr)
+    );
+    let det = String::from_utf8(det.stdout).unwrap();
+    assert!(det.contains("validates 3"), "{det}");
+    assert!(
+        det.contains("fn strlen admitted 1 rejected 1 unchecked 0"),
+        "{det}"
+    );
+    assert!(
+        det.contains("fn abs admitted 0 rejected 0 unchecked 1"),
+        "{det}"
+    );
+    assert!(!det.contains("worker"), "live sections leaked: {det}");
+
+    // Prometheus view: parseable text exposition format.
+    let prom = healers(&["serve", "stats", "--socket", &sock, "--prom"]);
+    assert!(prom.status.success());
+    let prom = String::from_utf8(prom.stdout).unwrap();
+    assert!(
+        prom.contains("# TYPE healers_serve_validates counter"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains(
+            "healers_serve_validate_outcomes_total{function=\"strlen\",outcome=\"rejected\"} 1"
+        ),
+        "{prom}"
+    );
+
+    // Full view: the live sections appear.
+    let full = healers(&["serve", "stats", "--socket", &sock]);
+    assert!(full.status.success());
+    let full = String::from_utf8(full.stdout).unwrap();
+    assert!(full.contains("workers:"), "{full}");
+    assert!(full.contains("queue highwater:"), "{full}");
+
+    let bye = healers(&[
+        "serve",
+        "send",
+        "--socket",
+        &sock,
+        "--script",
+        &serve_script("shutdown"),
+    ]);
+    assert!(bye.status.success());
+    let _ = daemon.0.wait();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn serve_misuse_exits_2() {
     for args in [
@@ -131,6 +245,16 @@ fn serve_misuse_exits_2() {
         &["serve", "exec"][..],             // missing --script
         &["serve", "daemon"][..],           // missing --socket
         &["serve", "exec", "--script"][..], // missing the value
+        &["serve", "stats"][..],            // missing --socket
+        &[
+            "serve",
+            "stats",
+            "--socket",
+            "/tmp/x",
+            "--prom",
+            "--deterministic",
+        ][..],
+        &["serve", "stats", "--frob"][..],
         &["bench"][..],
         &["bench", "frobnicate"][..],
     ] {
