@@ -5,7 +5,8 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use healers_core::{
-    analyze, FunctionDecl, RobustnessWrapper, WrapperBuilder, WrapperConfig, WrapperStats,
+    analyze, FunctionDecl, RobustnessWrapper, ViolationAction, WrapperBuilder, WrapperConfig,
+    WrapperStats,
 };
 use healers_libc::{Libc, World};
 use healers_simproc::{rollback, Containment, CowStats, SimFault, SimValue, WorldSnapshot};
@@ -95,6 +96,7 @@ pub struct Ballista {
     cap_per_function: usize,
     seed: u64,
     containment: Containment,
+    action: Option<ViolationAction>,
 }
 
 impl Ballista {
@@ -105,7 +107,17 @@ impl Ballista {
             cap_per_function: 180,
             seed: 0x2002_0623,
             containment: Containment::Cow,
+            action: None,
         }
+    }
+
+    /// Override the wrapped configurations' violation policy (the CLI's
+    /// `--on-violation`). `None` keeps each mode's default
+    /// ([`ViolationAction::ReturnError`]); [`Mode::Unwrapped`] runs are
+    /// unaffected either way.
+    pub fn with_action(mut self, action: ViolationAction) -> Self {
+        self.action = Some(action);
+        self
     }
 
     /// Choose how each test's throwaway child world is captured. The
@@ -198,19 +210,25 @@ impl Ballista {
     /// the per-function loop lets orchestrators (the campaign crate) fan
     /// functions out over worker threads against a shared context.
     pub fn prepare_mode(&self, libc: &Libc, mode: Mode, decls: Vec<FunctionDecl>) -> PreparedMode {
+        let override_action = |mut config: WrapperConfig| {
+            if let Some(action) = self.action {
+                config.action = action;
+            }
+            config
+        };
         let mut wrapper = match mode {
             Mode::Unwrapped => None,
             Mode::FullAuto => Some(
                 WrapperBuilder::new()
                     .decls(decls)
-                    .config(WrapperConfig::full_auto())
+                    .config(override_action(WrapperConfig::full_auto()))
                     .build(),
             ),
             Mode::SemiAuto => Some(
                 WrapperBuilder::new()
                     .decls(decls)
                     .overrides(&healers_core::semi_auto_overrides())
-                    .config(WrapperConfig::semi_auto())
+                    .config(override_action(WrapperConfig::semi_auto()))
                     .build(),
             ),
         };

@@ -11,10 +11,13 @@
 //! workers, and cached declarations skip injection entirely. Both
 //! paths seed every function's sampling RNG independently
 //! (`derive_seed`), so the serial run and `--jobs N` print identical
-//! reports for any N.
+//! reports for any N. `--on-violation abort|error|repair` overrides
+//! the wrapped configurations' violation policy (the CI repair-smoke
+//! job byte-diffs the repair run across jobs and plan modes).
 
 use healers_ballista::{Ballista, BallistaReport, Mode};
 use healers_campaign::{Campaign, CampaignConfig};
+use healers_core::ViolationAction;
 use healers_libc::Libc;
 
 fn print_report(report: &BallistaReport, detail: bool) {
@@ -50,8 +53,17 @@ fn main() {
         .position(|a| a == "--cache")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
+    let action = args.iter().position(|a| a == "--on-violation").map(|i| {
+        args.get(i + 1)
+            .expect("--on-violation needs a policy token")
+            .parse::<ViolationAction>()
+            .expect("unknown violation policy")
+    });
 
-    let ballista = Ballista::new();
+    let mut ballista = Ballista::new();
+    if let Some(action) = action {
+        ballista = ballista.with_action(action);
+    }
     let libc = Libc::standard();
 
     println!("Figure 6 — Ballista outcomes for 86 POSIX functions");

@@ -47,9 +47,10 @@ use std::time::{Duration, Instant};
 
 use healers_ballista::ballista_targets;
 use healers_bench::{run_workload, run_workload_traced, workloads, TraceCall, Workload};
-use healers_core::checker::CheckCounters;
+use healers_core::checker::{CheckCounters, CheckKind};
 use healers_core::{
-    analyze, FnId, FunctionDecl, PlanMode, RobustnessWrapper, WrapperBuilder, WrapperConfig,
+    analyze, FnId, FunctionDecl, PlanMode, RobustnessWrapper, ViolationAction, WrapperBuilder,
+    WrapperConfig,
 };
 use healers_libc::Libc;
 use healers_simproc::SimValue;
@@ -77,20 +78,27 @@ struct Row {
     calls_per_sec: f64,
     calls_per_sec_interpreted: f64,
     calls_per_sec_metrics_on: f64,
+    calls_per_sec_repair: f64,
     workload_calls_per_sec: f64,
     time_in_library: f64,
     checking_overhead: f64,
     execution_overhead: f64,
     check_kinds: CheckCounters,
+    format_checks: u64,
     lat_p50_ns: u64,
     lat_p99_ns: u64,
 }
 
-fn build_wrapper(decls: &[FunctionDecl], mode: PlanMode) -> RobustnessWrapper {
+fn build_wrapper(
+    decls: &[FunctionDecl],
+    mode: PlanMode,
+    action: ViolationAction,
+) -> RobustnessWrapper {
     WrapperBuilder::new()
         .decls(decls.to_vec())
         .config(WrapperConfig {
             plan_mode: Some(mode),
+            action,
             ..WrapperConfig::full_auto()
         })
         .build()
@@ -148,10 +156,11 @@ fn replay_calls_per_sec(
     decls: &[FunctionDecl],
     workload: &Workload,
     mode: PlanMode,
+    action: ViolationAction,
     reps: usize,
 ) -> f64 {
     let (_, trace, world, wrapper) =
-        run_workload_traced(libc, workload, Some(build_wrapper(decls, mode)));
+        run_workload_traced(libc, workload, Some(build_wrapper(decls, mode, action)));
     let mut wrapper = wrapper.expect("wrapper survives the workload");
     let calls = checked_calls(&wrapper, &trace);
     replay_throughput(&world, &mut wrapper, &calls, reps)
@@ -204,25 +213,56 @@ fn measure(libc: &Libc, decls: &[FunctionDecl], workload: &Workload, reps: usize
     // counters themselves are unconditional and thus part of every
     // throughput number in this table.
     healers_trace::set_enabled(true);
-    let metrics_on = replay_calls_per_sec(libc, decls, workload, PlanMode::Compiled, reps);
+    let metrics_on = replay_calls_per_sec(
+        libc,
+        decls,
+        workload,
+        PlanMode::Compiled,
+        ViolationAction::ReturnError,
+        reps,
+    );
     healers_trace::set_enabled(false);
     Row {
         name: workload.name,
-        calls_per_sec: replay_calls_per_sec(libc, decls, workload, PlanMode::Compiled, reps),
+        calls_per_sec: replay_calls_per_sec(
+            libc,
+            decls,
+            workload,
+            PlanMode::Compiled,
+            ViolationAction::ReturnError,
+            reps,
+        ),
         calls_per_sec_interpreted: replay_calls_per_sec(
             libc,
             decls,
             workload,
             PlanMode::Interpreted,
+            ViolationAction::ReturnError,
             reps,
         ),
         calls_per_sec_metrics_on: metrics_on,
+        // Repair-policy ablation: the identical compiled replay with
+        // `--on-violation repair` semantics. The workloads are correct
+        // programs, so nothing is actually repaired — this prices the
+        // policy's pass-path cost, which must be indistinguishable
+        // from reject mode (the repair machinery only runs after a
+        // check has already failed).
+        calls_per_sec_repair: replay_calls_per_sec(
+            libc,
+            decls,
+            workload,
+            PlanMode::Compiled,
+            ViolationAction::Repair,
+            reps,
+        ),
         workload_calls_per_sec: plain_stats.wrapped_calls as f64 / wrapped.as_secs_f64(),
         time_in_library: 100.0 * measured.time_in_library.as_secs_f64() / total,
         checking_overhead: 100.0 * measured.time_checking.as_secs_f64() / total,
         execution_overhead: 100.0 * (wrapped.as_secs_f64() - unwrapped.as_secs_f64())
             / unwrapped.as_secs_f64(),
         check_kinds: measured.check_kinds,
+        format_checks: measured.check_outcomes.passed(CheckKind::Format)
+            + measured.check_outcomes.failed(CheckKind::Format),
         lat_p50_ns: traced.latency_ns.percentile(50.0),
         lat_p99_ns: traced.latency_ns.percentile(99.0),
     }
@@ -235,15 +275,18 @@ fn json_for(rows: &[Row]) -> String {
             "    {{\"name\": \"{}\", \"calls_per_sec\": {:.0}, \
              \"calls_per_sec_interpreted\": {:.0}, \
              \"calls_per_sec_metrics_on\": {:.0}, \
+             \"calls_per_sec_repair\": {:.0}, \
              \"workload_calls_per_sec\": {:.0}, \
              \"time_in_library_pct\": {:.4}, \"checking_overhead_pct\": {:.4}, \
              \"execution_overhead_pct\": {:.4}, \"table_hits\": {}, \
              \"run_probes\": {}, \"nul_scans\": {}, \"bytes_scanned\": {}, \
+             \"format_checks\": {}, \
              \"lat_p50_ns\": {}, \"lat_p99_ns\": {}}}{}\n",
             r.name,
             r.calls_per_sec,
             r.calls_per_sec_interpreted,
             r.calls_per_sec_metrics_on,
+            r.calls_per_sec_repair,
             r.workload_calls_per_sec,
             r.time_in_library,
             r.checking_overhead,
@@ -252,6 +295,7 @@ fn json_for(rows: &[Row]) -> String {
             r.check_kinds.run_probes,
             r.check_kinds.nul_scans,
             r.check_kinds.bytes_scanned,
+            r.format_checks,
             r.lat_p50_ns,
             r.lat_p99_ns,
             if i + 1 == rows.len() { "" } else { "," },
@@ -330,6 +374,11 @@ fn main() {
         print!("{:>12.0}", r.calls_per_sec_metrics_on);
     }
     println!("   (same replay, telemetry gate on)");
+    print!("{:<22}", "  repair-mode");
+    for r in &rows {
+        print!("{:>12.0}", r.calls_per_sec_repair);
+    }
+    println!("   (same replay, --on-violation repair)");
     print!("{:<22}", "  compiled speedup");
     for r in &rows {
         print!(
@@ -375,6 +424,11 @@ fn main() {
         print!("{:>12}", r.check_kinds.bytes_scanned);
     }
     println!();
+    print!("{:<22}", "format scans");
+    for r in &rows {
+        print!("{:>12}", r.format_checks);
+    }
+    println!();
     println!();
     println!("Wrapped-call latency (telemetry run, whole call incl. checks):");
     print!("{:<22}", "p50");
@@ -414,6 +468,27 @@ fn main() {
         eprintln!("gcc trace-replay throughput: baseline {base_tp:.0}/s vs now {now_tp:.0}/s");
         if now_tp < base_tp * 0.9 {
             eprintln!("FAIL: gcc trace-replay throughput regressed more than 10% vs baseline");
+            std::process::exit(1);
+        }
+        // The repair policy and the format directive scan ride the same
+        // hot path, so they answer to the same budget: repair-mode
+        // replay throughput gets the identical 10% gate, and the
+        // format scans must actually have run (a silently skipped
+        // check family would otherwise look like a speedup).
+        if gcc.format_checks == 0 {
+            eprintln!("FAIL: gcc workload exercised no format checks");
+            std::process::exit(1);
+        }
+        let base_rp = baseline_field(&doc, "gcc", "calls_per_sec_repair")
+            .expect("gcc calls_per_sec_repair in baseline");
+        let now_rp = gcc.calls_per_sec_repair;
+        eprintln!(
+            "gcc repair-mode replay throughput: baseline {base_rp:.0}/s vs now {now_rp:.0}/s"
+        );
+        if now_rp < base_rp * 0.9 {
+            eprintln!(
+                "FAIL: gcc repair-mode replay throughput regressed more than 10% vs baseline"
+            );
             std::process::exit(1);
         }
         eprintln!("OK: within the 10% regression budget");

@@ -20,7 +20,7 @@
 
 use std::time::{Duration, Instant};
 
-use healers_core::checker::CheckCounters;
+use healers_core::checker::{CheckCounters, CheckOutcomes};
 use healers_core::RobustnessWrapper;
 use healers_libc::{Libc, World};
 use healers_simproc::{SimFault, SimValue};
@@ -110,6 +110,8 @@ pub struct WorkloadStats {
     /// Per-kernel decomposition of the checks: table hits, bulk run
     /// probes, NUL scans, and bytes scanned.
     pub check_kinds: CheckCounters,
+    /// Per-claim pass/fail/repair tallies (region, string, format, …).
+    pub check_outcomes: CheckOutcomes,
     /// Whole-call latency histogram, merged across every wrapped
     /// function the workload touched. Empty unless the telemetry gate
     /// (`healers_trace::set_enabled`) was on during the run.
@@ -178,6 +180,7 @@ fn run_workload_inner(
                 time_in_library: w.stats.time_in_library,
                 time_checking: w.stats.time_checking,
                 check_kinds: w.stats.check_kinds,
+                check_outcomes: w.stats.check_outcomes,
                 latency_ns,
             }
         }
@@ -187,6 +190,7 @@ fn run_workload_inner(
             time_in_library: Duration::ZERO,
             time_checking: Duration::ZERO,
             check_kinds: CheckCounters::default(),
+            check_outcomes: CheckOutcomes::default(),
             latency_ns: Histogram::new(),
         },
     };
@@ -405,6 +409,16 @@ mod tests {
             wrapper.reset_stats();
             let stats = run_workload(&libc, &w, Some(wrapper));
             assert!(stats.wrapped_calls > 0, "{} made no wrapped calls", w.name);
+            // Every sprintf-using workload must exercise the format
+            // directive scan (gzip is the one profile without one).
+            if w.name != "gzip" {
+                let fmt = healers_core::checker::CheckKind::Format;
+                assert!(
+                    stats.check_outcomes.passed(fmt) > 0,
+                    "{} exercised no format checks",
+                    w.name
+                );
+            }
         }
     }
 

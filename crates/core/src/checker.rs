@@ -116,17 +116,21 @@ pub enum CheckKind {
     Scalar,
     /// Executable size assertions (semi-automatic).
     Assertion,
+    /// `printf`-family directive scans: `%s` pointer arguments are
+    /// validated against the world and `%n` is rejected outright.
+    Format,
 }
 
 impl CheckKind {
     /// Every kind, in tally/report order.
-    pub const ALL: [CheckKind; 6] = [
+    pub const ALL: [CheckKind; 7] = [
         CheckKind::Region,
         CheckKind::String,
         CheckKind::Stream,
         CheckKind::Dir,
         CheckKind::Scalar,
         CheckKind::Assertion,
+        CheckKind::Format,
     ];
 
     /// The kind of check [`check_value`] performs for `t`.
@@ -152,18 +156,23 @@ impl CheckKind {
             CheckKind::Dir => "dir",
             CheckKind::Scalar => "scalar",
             CheckKind::Assertion => "assertion",
+            CheckKind::Format => "format",
         }
     }
 }
 
-/// Pass/fail tallies per [`CheckKind`] — plain array increments, cheap
-/// enough to stay unconditional on the hot path (unlike the gated
+/// Pass/fail/repair tallies per [`CheckKind`] — plain array increments,
+/// cheap enough to stay unconditional on the hot path (unlike the gated
 /// latency histograms). Deterministic: a function of the checked values
-/// alone, so these appear in the stable `healers report` output.
+/// alone, so these appear in the stable `healers report` output. A
+/// *repaired* check is one that failed and whose argument was then
+/// substituted or clamped under `ViolationAction::Repair`; it is
+/// counted in both `failed` and `repaired`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CheckOutcomes {
     passed: [u64; CheckKind::ALL.len()],
     failed: [u64; CheckKind::ALL.len()],
+    repaired: [u64; CheckKind::ALL.len()],
 }
 
 impl CheckOutcomes {
@@ -194,20 +203,33 @@ impl CheckOutcomes {
         self.failed[Self::index(kind)]
     }
 
+    /// Tally one repaired check: the failure was already recorded via
+    /// [`CheckOutcomes::record`]; this adds the repair on top.
+    pub fn record_repair(&mut self, kind: CheckKind) {
+        self.repaired[Self::index(kind)] += 1;
+    }
+
+    /// Checks of `kind` whose failing argument was repaired.
+    pub fn repaired(&self, kind: CheckKind) -> u64 {
+        self.repaired[Self::index(kind)]
+    }
+
     /// Fold another tally set into this one.
     pub fn absorb(&mut self, other: &CheckOutcomes) {
         for i in 0..CheckKind::ALL.len() {
             self.passed[i] += other.passed[i];
             self.failed[i] += other.failed[i];
+            self.repaired[i] += other.repaired[i];
         }
     }
 
-    /// `(kind, passed, failed)` triples in [`CheckKind::ALL`] order.
-    pub fn iter(&self) -> impl Iterator<Item = (CheckKind, u64, u64)> + '_ {
+    /// `(kind, passed, failed, repaired)` tuples in [`CheckKind::ALL`]
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (CheckKind, u64, u64, u64)> + '_ {
         CheckKind::ALL
             .iter()
             .enumerate()
-            .map(|(i, &k)| (k, self.passed[i], self.failed[i]))
+            .map(|(i, &k)| (k, self.passed[i], self.failed[i], self.repaired[i]))
     }
 }
 
@@ -1090,6 +1112,8 @@ mod tests {
         one.record(CheckKind::Region, true);
         one.record(CheckKind::Region, false);
         one.record(CheckKind::String, false);
+        one.record(CheckKind::Format, false);
+        one.record_repair(CheckKind::Format);
         let mut total = CheckOutcomes::default();
         total.absorb(&one);
         total.absorb(&one);
@@ -1097,6 +1121,9 @@ mod tests {
         assert_eq!(total.failed(CheckKind::Region), 2);
         assert_eq!(total.failed(CheckKind::String), 2);
         assert_eq!(total.passed(CheckKind::Assertion), 0);
+        assert_eq!(total.failed(CheckKind::Format), 2);
+        assert_eq!(total.repaired(CheckKind::Format), 2);
+        assert_eq!(total.repaired(CheckKind::Region), 0);
         assert_eq!(total.iter().count(), CheckKind::ALL.len());
     }
 

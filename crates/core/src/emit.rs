@@ -5,11 +5,17 @@
 //! `LD_PRELOAD`-able shared object. The emitted shape follows Figure 5
 //! exactly: recursion-flag fast path, argument checks, error return
 //! with `errno`, the call through the saved function pointer, and the
-//! `PostProcessing` label.
+//! `PostProcessing` label. The violation policy is a parameter
+//! ([`emit_function_as`]/[`emit_wrapper_source_as`]): `ReturnError`
+//! emits Figure 5 verbatim, `Abort` replaces the error return with a
+//! hard `abort()`, and `Repair` replaces it with an in-place argument
+//! fix-up through the `heal_*` companions of the checking functions
+//! (declared alongside them in `healers_checks.h`).
 
 use healers_typesys::TypeExpr;
 
 use crate::decl::FunctionDecl;
+use crate::wrapper::ViolationAction;
 
 fn check_call(t: TypeExpr, arg: &str) -> String {
     use TypeExpr::*;
@@ -57,9 +63,15 @@ fn errno_token(e: i32) -> String {
     }
 }
 
-/// Emit the wrapper function for one declaration (Figure 5). Returns
-/// `None` for safe functions, which need no wrapper.
+/// Emit the wrapper function for one declaration (Figure 5) under the
+/// default reject policy. Returns `None` for safe functions, which
+/// need no wrapper.
 pub fn emit_function(decl: &FunctionDecl) -> Option<String> {
+    emit_function_as(decl, ViolationAction::ReturnError)
+}
+
+/// [`emit_function`] with an explicit violation policy.
+pub fn emit_function_as(decl: &FunctionDecl, action: ViolationAction) -> Option<String> {
     if !decl.is_unsafe() {
         return None;
     }
@@ -105,22 +117,43 @@ pub fn emit_function(decl: &FunctionDecl) -> Option<String> {
     for (i, robust) in decl.robust_args.iter().enumerate() {
         let Some(t) = robust else { continue };
         let arg = format!("a{}", i + 1);
-        out.push_str(&format!("    if (!{}) {{\n", check_call(*t, &arg)));
-        out.push_str(&format!(
-            "        errno = {} ;\n",
-            errno_token(decl.errno_value)
-        ));
-        if let Some(v) = decl.error_value {
-            let text = match v {
-                healers_simproc::SimValue::Ptr(0) => format!("({ret_type}) NULL"),
-                healers_simproc::SimValue::Int(n) => format!("{n}"),
-                healers_simproc::SimValue::Ptr(p) => format!("({ret_type}) 0x{p:x}"),
-                healers_simproc::SimValue::Double(d) => format!("{d}"),
-                healers_simproc::SimValue::Void => "0".into(),
-            };
-            out.push_str(&format!("        ret = {text};\n"));
+        let check = check_call(*t, &arg);
+        out.push_str(&format!("    if (!{check}) {{\n"));
+        match action {
+            ViolationAction::Abort => {
+                out.push_str("        abort ();\n");
+            }
+            ViolationAction::ReturnError => {
+                out.push_str(&format!(
+                    "        errno = {} ;\n",
+                    errno_token(decl.errno_value)
+                ));
+                if let Some(v) = decl.error_value {
+                    let text = match v {
+                        healers_simproc::SimValue::Ptr(0) => format!("({ret_type}) NULL"),
+                        healers_simproc::SimValue::Int(n) => format!("{n}"),
+                        healers_simproc::SimValue::Ptr(p) => format!("({ret_type}) 0x{p:x}"),
+                        healers_simproc::SimValue::Double(d) => format!("{d}"),
+                        healers_simproc::SimValue::Void => "0".into(),
+                    };
+                    out.push_str(&format!("        ret = {text};\n"));
+                }
+                out.push_str("        goto PostProcessing;\n");
+            }
+            ViolationAction::Repair => {
+                let ty = decl.proto.params[i].ty.display_with("");
+                let fix = match check.strip_prefix("check_") {
+                    // `heal_*` mirrors `check_*`: same arguments, returns
+                    // the bounded-safe substitute for the rejected value.
+                    Some(rest) => format!("{arg} = ({ty}) heal_{rest};"),
+                    // Literal claims (`(aN == 0)` / `(aN == NULL)`) have
+                    // exactly one admitted value: substitute it directly.
+                    None if matches!(*t, TypeExpr::Null) => format!("{arg} = NULL;"),
+                    None => format!("{arg} = 0;"),
+                };
+                out.push_str(&format!("        {fix}\n"));
+            }
         }
-        out.push_str("        goto PostProcessing;\n");
         out.push_str("    }\n");
     }
 
@@ -160,7 +193,7 @@ pub fn emit_checks_header(decls: &[FunctionDecl]) -> String {
     out.push_str("/* Generated by HEALERS — checking-function declarations. */\n");
     out.push_str("#ifndef HEALERS_CHECKS_H\n#define HEALERS_CHECKS_H\n\n");
     out.push_str("#include <stddef.h>\n\n");
-    for name in names {
+    for name in &names {
         // Sized checks take (pointer, size); the rest take one value.
         if name.contains("ARRAY") || name.contains("NTS_MAX") {
             out.push_str(&format!("int {name}(const void *p, size_t size);\n"));
@@ -170,18 +203,39 @@ pub fn emit_checks_header(decls: &[FunctionDecl]) -> String {
             out.push_str(&format!("int {name}(const void *p);\n"));
         }
     }
+    // The repair-mode companions: same arguments as the check, return
+    // the bounded-safe substitute for a rejected value (wrappers
+    // emitted with `ViolationAction::Repair` call these).
+    out.push('\n');
+    for name in &names {
+        let heal = name.replacen("check_", "heal_", 1);
+        if name.contains("ARRAY") || name.contains("NTS_MAX") {
+            out.push_str(&format!("void *{heal}(const void *p, size_t size);\n"));
+        } else if name.contains("INT") || name.contains("FD") || name.contains("SPEED") {
+            out.push_str(&format!("long {heal}(long value);\n"));
+        } else {
+            out.push_str(&format!("void *{heal}(const void *p);\n"));
+        }
+    }
     out.push_str("\n#endif /* HEALERS_CHECKS_H */\n");
     out
 }
 
 /// Emit the complete wrapper library source: prelude (function-pointer
 /// slots, recursion flag, resolver) plus one wrapper per unsafe
-/// function.
+/// function, under the default reject policy.
 pub fn emit_wrapper_source(decls: &[FunctionDecl]) -> String {
+    emit_wrapper_source_as(decls, ViolationAction::ReturnError)
+}
+
+/// [`emit_wrapper_source`] with an explicit violation policy (the
+/// CLI's `wrap --on-violation`).
+pub fn emit_wrapper_source_as(decls: &[FunctionDecl], action: ViolationAction) -> String {
     let mut out = String::new();
     out.push_str("/* Generated by HEALERS — robustness wrapper library. */\n");
     out.push_str("#define _GNU_SOURCE\n");
     out.push_str("#include <errno.h>\n#include <dlfcn.h>\n#include <stddef.h>\n");
+    out.push_str("#include <stdlib.h>\n");
     out.push_str("#include \"healers_checks.h\"\n\n");
     out.push_str("static __thread int in_flag = 0;\n\n");
 
@@ -210,7 +264,7 @@ pub fn emit_wrapper_source(decls: &[FunctionDecl]) -> String {
     out.push_str("}\n\n");
 
     for d in decls {
-        if let Some(f) = emit_function(d) {
+        if let Some(f) = emit_function_as(d, action) {
             out.push_str(&f);
             out.push('\n');
         }
@@ -293,6 +347,40 @@ PostProcessing: ;
         assert!(header.contains("#ifndef HEALERS_CHECKS_H"));
         // abs is safe and contributes nothing.
         assert!(!header.contains("INT_ANY"));
+    }
+
+    #[test]
+    fn abort_policy_replaces_the_error_return() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["asctime"]);
+        let emitted = emit_function_as(&decls[0], ViolationAction::Abort).unwrap();
+        assert!(emitted.contains("        abort ();\n"), "{emitted}");
+        assert!(!emitted.contains("errno ="), "{emitted}");
+        assert!(!emitted.contains("goto PostProcessing;"), "{emitted}");
+    }
+
+    #[test]
+    fn repair_policy_heals_the_argument_in_place() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["asctime"]);
+        let emitted = emit_function_as(&decls[0], ViolationAction::Repair).unwrap();
+        assert!(
+            emitted.contains("a1 = (const struct tm*) heal_R_ARRAY_NULL(a1,44);"),
+            "{emitted}"
+        );
+        // The call still happens — on the healed argument.
+        assert!(emitted.contains("ret = (*libc_asctime) (a1);"), "{emitted}");
+        assert!(!emitted.contains("goto PostProcessing;"), "{emitted}");
+    }
+
+    #[test]
+    fn checks_header_declares_the_heal_companions() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["asctime", "strlen", "fclose"]);
+        let header = emit_checks_header(&decls);
+        assert!(header.contains("void *heal_R_ARRAY_NULL(const void *p, size_t size);"));
+        assert!(header.contains("heal_NTS"));
+        assert!(header.contains("heal_OPEN_FILE"));
     }
 
     #[test]

@@ -62,11 +62,11 @@ pub mod xml;
 
 pub use checker::{CheckCounters, CheckKind, CheckOutcomes};
 pub use decl::{analyze, FunctionAttribute, FunctionDecl};
-pub use emit::{emit_checks_header, emit_wrapper_source};
+pub use emit::{emit_checks_header, emit_wrapper_source, emit_wrapper_source_as};
 pub use overrides::{semi_auto_overrides, ManualOverride, SizeAssertion};
-pub use plan::{eval_op, CheckOp, CompiledPlan, OpAction, PlanMode};
+pub use plan::{eval_op, CheckOp, CompiledPlan, FormatViolation, OpAction, PlanMode};
 pub use wrapper::{
-    FnId, FnTelemetry, RobustnessWrapper, ViolationAction, WrapperBuilder, WrapperConfig,
-    WrapperStats,
+    FnId, FnTelemetry, ParseViolationActionError, Repair, RobustnessWrapper, Verdict,
+    ViolationAction, WrapperBuilder, WrapperConfig, WrapperStats,
 };
 pub use xml::{decls_from_xml, decls_to_xml};

@@ -144,6 +144,14 @@ pub enum OpAction {
         /// The buffer must be writable (else readable).
         write: bool,
     },
+    /// `printf`-family directive scan: the op's argument is the format
+    /// string; every `%s` pointer vararg must be a readable NUL
+    /// terminated string and `%n` (the format-string attack vector) is
+    /// rejected outright.
+    Format {
+        /// Index of the first variadic argument in the call vector.
+        varargs_from: u32,
+    },
 }
 
 /// One compiled check: which argument, what to assert about it, and
@@ -176,17 +184,32 @@ impl CheckOp {
             (None, OpAction::Assertion { terms, .. }) => {
                 format!("size assertion over {terms:?}")
             }
+            (None, OpAction::Format { .. }) => "printf-format directives".to_string(),
             (None, other) => format!("{other:?}"),
         }
     }
 }
 
+/// The `printf`-family functions that receive a compiled
+/// [`OpAction::Format`] op, keyed by name: `(fmt_arg, varargs_from)`.
+/// `sscanf` is deliberately absent — its `%s` varargs are *written*,
+/// the opposite contract.
+pub fn format_spec(function: &str) -> Option<(u32, u32)> {
+    match function {
+        "sprintf" => Some((1, 2)),
+        "snprintf" => Some((2, 3)),
+        "fprintf" => Some((1, 2)),
+        _ => None,
+    }
+}
+
 /// A function's checks, compiled at build time: typed claims in
-/// argument order first, then executable assertions in configuration
+/// argument order first, then the `printf`-family format op (if the
+/// function has one), then executable assertions in configuration
 /// order. `claims` counts the leading claim ops —
 /// [`claim_ops`](CompiledPlan::claim_ops) is the slice the serve
-/// daemon validates against (its verdicts exclude assertions, which
-/// relate multiple arguments of a concrete call).
+/// daemon validates against by default (its verdicts exclude
+/// assertions, which relate multiple arguments of a concrete call).
 #[derive(Debug, Clone, Default)]
 pub struct CompiledPlan {
     ops: Box<[CheckOp]>,
@@ -194,11 +217,13 @@ pub struct CompiledPlan {
 }
 
 impl CompiledPlan {
-    /// Fuse a per-argument claim list and an assertion list into one
-    /// flat program. `cache` is the config's validity-cache switch,
-    /// burned into each claim op's `cacheable` flag.
+    /// Fuse a per-argument claim list, an optional format spec, and an
+    /// assertion list into one flat program. `cache` is the config's
+    /// validity-cache switch, burned into each claim op's `cacheable`
+    /// flag.
     pub fn compile(
         plan: Option<&[Option<TypeExpr>]>,
+        format: Option<(u32, u32)>,
         asserts: Option<&[SizeAssertion]>,
         cache: bool,
     ) -> CompiledPlan {
@@ -216,6 +241,15 @@ impl CompiledPlan {
             }
         }
         let claims = ops.len();
+        if let Some((fmt_arg, varargs_from)) = format {
+            ops.push(CheckOp {
+                arg: fmt_arg,
+                kind: CheckKind::Format,
+                ty: None,
+                cacheable: false,
+                action: OpAction::Format { varargs_from },
+            });
+        }
         if let Some(asserts) = asserts {
             for a in asserts {
                 ops.push(CheckOp {
@@ -329,6 +363,117 @@ pub fn action_for(t: TypeExpr) -> OpAction {
         SpeedValid => OpAction::Speed,
         other => panic!("no checking function for {other}"),
     }
+}
+
+/// Why a `printf`-family directive scan failed — the detail repair
+/// mode needs to know *which* argument to fix and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormatViolation {
+    /// The format string itself is not a readable NUL-terminated string
+    /// within the robust scan limit.
+    BadFormat {
+        /// The format-string argument index.
+        arg: u32,
+    },
+    /// The format contains `%n`, which writes the running byte count
+    /// through a pointer vararg — rejected outright.
+    PercentN {
+        /// The format-string argument index.
+        arg: u32,
+    },
+    /// A `%s` directive's pointer vararg is not a readable string.
+    BadString {
+        /// The offending vararg's index in the call vector.
+        arg: u32,
+    },
+}
+
+/// Scan a `printf`-family call's format string and varargs, mirroring
+/// the renderer's directive grammar exactly: `%%` and unknown
+/// conversions consume no vararg, the numeric/char/pointer conversions
+/// consume one (any value formats safely), `%s` consumes one whose
+/// pointer must be a readable NUL-terminated string (the renderer
+/// dereferences it blindly), and `%n` fails the call outright. `None`
+/// means the call is safe to forward.
+pub fn check_format(
+    world: &World,
+    args: &[SimValue],
+    fmt_arg: u32,
+    varargs_from: u32,
+    ctrs: &mut CheckCounters,
+) -> Option<FormatViolation> {
+    let fmt = args
+        .get(fmt_arg as usize)
+        .copied()
+        .unwrap_or(SimValue::Void)
+        .as_ptr();
+    // The format itself must be a readable string within the robust
+    // scan limit before any directive in it is trusted.
+    let Some(len) = scan_string(world, fmt, MAX_STRING_SCAN, false, ctrs) else {
+        return Some(FormatViolation::BadFormat { arg: fmt_arg });
+    };
+    let Ok(bytes) = world.proc.mem.read_bytes(fmt, len) else {
+        return Some(FormatViolation::BadFormat { arg: fmt_arg });
+    };
+    let mut vararg = varargs_from as usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'%' {
+            i += 1;
+            continue;
+        }
+        i += 1;
+        if i >= bytes.len() {
+            // Trailing lone '%': the renderer emits it literally.
+            break;
+        }
+        // Flags, width, precision, length modifiers — skipped exactly
+        // as the renderer parses them, so both agree on which byte is
+        // the conversion.
+        while i < bytes.len() && matches!(bytes[i], b'-' | b'0' | b'+' | b' ' | b'#') {
+            i += 1;
+        }
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i < bytes.len() && bytes[i] == b'.' {
+            i += 1;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+        while i < bytes.len() && matches!(bytes[i], b'l' | b'h' | b'z') {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        let conv = bytes[i];
+        i += 1;
+        match conv {
+            b'%' => {}
+            b'd' | b'i' | b'u' | b'x' | b'X' | b'o' | b'c' | b'p' | b'f' | b'g' | b'e' => {
+                vararg += 1;
+            }
+            b's' => {
+                // A missing vararg defaults to `Int(0)` in the
+                // renderer, whose blind dereference faults on NULL.
+                let ptr = args
+                    .get(vararg)
+                    .copied()
+                    .unwrap_or(SimValue::Int(0))
+                    .as_ptr();
+                if scan_string(world, ptr, MAX_STRING_SCAN, false, ctrs).is_none() {
+                    return Some(FormatViolation::BadString { arg: vararg as u32 });
+                }
+                vararg += 1;
+            }
+            b'n' => return Some(FormatViolation::PercentN { arg: fmt_arg }),
+            // Unknown conversions render literally, consuming nothing.
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Evaluate a size assertion's required byte count. `None` means the
@@ -474,6 +619,9 @@ pub fn eval_op(
                 }
                 _ => false,
             }
+        }
+        OpAction::Format { varargs_from } => {
+            check_format(world, args, op.arg, varargs_from, ctrs).is_none()
         }
     }
 }
@@ -630,7 +778,7 @@ mod tests {
         let assertions = crate::overrides::builtin_assertions();
         assert!(!assertions.is_empty());
         for a in &assertions {
-            let plan = CompiledPlan::compile(None, Some(std::slice::from_ref(a)), true);
+            let plan = CompiledPlan::compile(None, None, Some(std::slice::from_ref(a)), true);
             assert_eq!(plan.ops().len(), 1);
             assert!(plan.claim_ops().is_empty(), "assertions are not claims");
             let op = &plan.ops()[0];
@@ -677,7 +825,7 @@ mod tests {
             terms: vec![SizeTerm::Arg(1), SizeTerm::Const(1)],
             write: true,
         }];
-        let compiled = CompiledPlan::compile(Some(&plan), Some(&asserts), true);
+        let compiled = CompiledPlan::compile(Some(&plan), None, Some(&asserts), true);
         assert_eq!(compiled.ops().len(), 3);
         assert_eq!(compiled.claim_ops().len(), 2);
         assert_eq!(compiled.ops()[0].arg, 1);
@@ -692,6 +840,85 @@ mod tests {
             "assertion violation text must match the interpreted wrapper's"
         );
         assert!(CompiledPlan::default().is_empty());
+    }
+
+    #[test]
+    fn format_op_scans_directives_like_the_renderer() {
+        let (mut world, tables, _) = rich_world();
+        let caps = CheckCapabilities {
+            stateful_heap: true,
+            dir_tracking: true,
+            file_tracking: true,
+        };
+        // The sprintf shape: fmt at 1, varargs from 2.
+        assert_eq!(format_spec("sprintf"), Some((1, 2)));
+        assert_eq!(format_spec("snprintf"), Some((2, 3)));
+        assert_eq!(format_spec("fprintf"), Some((1, 2)));
+        assert_eq!(format_spec("sscanf"), None, "scanf writes its %s varargs");
+        let plan = CompiledPlan::compile(None, Some((1, 2)), None, true);
+        assert_eq!(plan.ops().len(), 1);
+        assert!(plan.claim_ops().is_empty(), "format ops are not claims");
+        let op = &plan.ops()[0];
+        assert_eq!(op.arg, 1);
+        assert_eq!(op.kind, CheckKind::Format);
+        assert!(!op.cacheable, "verdicts depend on varargs, never cacheable");
+        assert_eq!(op.describe(), "printf-format directives");
+
+        let good = world.alloc_cstr("x=%d s=%-8.3ls pct=%% q=%q tail=%");
+        let pn = world.alloc_cstr("count%n");
+        let sfmt = world.alloc_cstr("%s");
+        let payload = world.alloc_cstr("payload");
+        let check = |args: &[SimValue]| {
+            let mut c = CheckCounters::default();
+            eval_op(&world, &tables, &caps, args, op, &mut c)
+        };
+        let dst = SimValue::Int(0);
+        assert!(
+            check(&[
+                dst,
+                SimValue::Ptr(good),
+                SimValue::Int(7),
+                SimValue::Ptr(payload)
+            ]),
+            "flags/width/precision/modifiers parse, %% and unknown consume nothing"
+        );
+        assert!(
+            !check(&[dst, SimValue::Ptr(good), SimValue::Int(7)]),
+            "a missing %s vararg defaults to NULL and must fail"
+        );
+        assert!(
+            !check(&[
+                dst,
+                SimValue::Ptr(good),
+                SimValue::Int(7),
+                SimValue::Ptr(0xdead_0000)
+            ]),
+            "a wild %s pointer must fail"
+        );
+        assert!(!check(&[dst, SimValue::Ptr(pn)]), "%n is rejected outright");
+        assert!(!check(&[dst, SimValue::Ptr(0xdead_0000)]), "unreadable fmt");
+        assert!(check(&[dst, SimValue::Ptr(sfmt), SimValue::Ptr(payload)]));
+
+        // The violation detail names the argument repair must fix.
+        let mut c = CheckCounters::default();
+        assert_eq!(
+            check_format(&world, &[dst, SimValue::Ptr(pn)], 1, 2, &mut c),
+            Some(FormatViolation::PercentN { arg: 1 })
+        );
+        assert_eq!(
+            check_format(
+                &world,
+                &[dst, SimValue::Ptr(sfmt), SimValue::Ptr(0xdead_0000)],
+                1,
+                2,
+                &mut c
+            ),
+            Some(FormatViolation::BadString { arg: 2 })
+        );
+        assert_eq!(
+            check_format(&world, &[dst, SimValue::NULL], 1, 2, &mut c),
+            Some(FormatViolation::BadFormat { arg: 1 })
+        );
     }
 
     #[test]

@@ -15,7 +15,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use healers_libc::{file, Libc, World};
-use healers_simproc::{SimFault, SimValue};
+use healers_os::OpenFlags;
+use healers_simproc::{Addr, SimFault, SimValue};
 use healers_typesys::TypeExpr;
 
 use healers_trace::metrics::{self, Counter};
@@ -23,13 +24,14 @@ use healers_trace::recorder::flight;
 use healers_trace::Histogram;
 
 use crate::checker::{
-    check_value_counted, checkable_supertype, CheckCapabilities, CheckCounters, CheckKind,
-    CheckOutcomes, Tables,
+    check_value_counted, checkable_supertype, scan_string, CheckCapabilities, CheckCounters,
+    CheckKind, CheckOutcomes, Tables, MAX_STRING_SCAN,
 };
 use crate::decl::FunctionDecl;
-use crate::overrides::{ManualOverride, SizeAssertion};
+use crate::overrides::{ManualOverride, SizeAssertion, SizeTerm};
 use crate::plan::{
-    assertion_size, eval_op, plan_mode_from_env, CheckOp, CompiledPlan, PlanMode, ValidityCache,
+    assertion_size, check_format, eval_op, format_spec, plan_mode_from_env, CheckOp, CompiledPlan,
+    FormatViolation, IntCond, OpAction, PlanMode, ValidityCache,
 };
 
 /// What the wrapper does when an argument check fails.
@@ -41,6 +43,67 @@ pub enum ViolationAction {
     ReturnError,
     /// Abort the process — the debugging-phase policy.
     Abort,
+    /// Substitute or clamp the offending argument and let the call
+    /// proceed — the ISO TR 24731-style bounded-safe policy. Failures
+    /// with no safe substitute fall back to
+    /// [`ViolationAction::ReturnError`].
+    Repair,
+}
+
+impl ViolationAction {
+    /// Every policy, in CLI presentation order.
+    pub const ALL: [ViolationAction; 3] = [
+        ViolationAction::Abort,
+        ViolationAction::ReturnError,
+        ViolationAction::Repair,
+    ];
+
+    /// The CLI token (`--on-violation <token>`).
+    pub fn token(self) -> &'static str {
+        match self {
+            ViolationAction::Abort => "abort",
+            ViolationAction::ReturnError => "error",
+            ViolationAction::Repair => "repair",
+        }
+    }
+}
+
+impl std::fmt::Display for ViolationAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// Error from parsing a [`ViolationAction`] token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseViolationActionError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl std::fmt::Display for ParseViolationActionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown violation policy '{}' (expected abort, error, or repair)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseViolationActionError {}
+
+impl std::str::FromStr for ViolationAction {
+    type Err = ParseViolationActionError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ViolationAction::ALL
+            .into_iter()
+            .find(|a| a.token() == s)
+            .ok_or_else(|| ParseViolationActionError {
+                input: s.to_string(),
+            })
+    }
 }
 
 /// Wrapper configuration.
@@ -148,6 +211,9 @@ pub struct WrapperStats {
     pub checks: u64,
     /// Violations detected.
     pub violations: u64,
+    /// Individual argument fixes applied under
+    /// [`ViolationAction::Repair`].
+    pub repairs: u64,
     /// Checks skipped thanks to the validity cache.
     pub check_cache_hits: u64,
     /// Per-kernel decomposition of the checks above: tracking-table
@@ -188,6 +254,7 @@ impl WrapperStats {
             wrapped_calls,
             checks,
             violations,
+            repairs,
             check_cache_hits,
             check_kinds,
             check_outcomes,
@@ -199,6 +266,7 @@ impl WrapperStats {
         self.wrapped_calls += wrapped_calls;
         self.checks += checks;
         self.violations += violations;
+        self.repairs += repairs;
         self.check_cache_hits += check_cache_hits;
         self.check_kinds.absorb(check_kinds);
         self.check_outcomes.absorb(check_outcomes);
@@ -223,6 +291,61 @@ pub struct Violation {
     pub check: String,
     /// The offending value.
     pub value: SimValue,
+}
+
+/// What happened to one wrapped call — the explicit outcome the old
+/// implicit bool/errno plumbing couldn't express. Returned by
+/// [`RobustnessWrapper::call_verdict`]; per-[`CheckKind`] tallies land
+/// in [`WrapperStats::check_outcomes`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Verdict {
+    /// Every check passed; the call went through unmodified.
+    #[default]
+    Pass,
+    /// A check failed and the call was refused.
+    Rejected {
+        /// The `errno` value set.
+        errno: i32,
+        /// The declared error value returned in place of the result.
+        error_value: SimValue,
+    },
+    /// Checks failed but every offending argument was substituted or
+    /// clamped ([`ViolationAction::Repair`]); the call went through
+    /// with the fixed arguments.
+    Repaired {
+        /// The fixes applied, in order.
+        fixes: Vec<Repair>,
+    },
+}
+
+/// One applied repair: which argument was fixed, the check it failed,
+/// and the value before and after — both outcomes stay visible to
+/// `healers explain` and the flight recorder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repair {
+    /// Argument index that was fixed.
+    pub arg: usize,
+    /// Outcome-tally classification of the failed check.
+    pub kind: CheckKind,
+    /// The check that failed (type notation or description).
+    pub check: String,
+    /// The argument value before the fix.
+    pub before: SimValue,
+    /// The substituted or clamped value.
+    pub after: SimValue,
+}
+
+/// The first failing check of a call's prefix: everything the
+/// violation and repair paths need about it. `op` indexes the entry's
+/// compiled program — both plan modes count ops identically, so the
+/// repair dispatch works under either.
+#[derive(Debug, Clone)]
+struct CheckFailure {
+    op: usize,
+    arg: usize,
+    kind: CheckKind,
+    check: String,
+    value: SimValue,
 }
 
 /// Builder-style construction of a [`RobustnessWrapper`] — the public
@@ -374,13 +497,20 @@ impl WrapperBuilder {
             let plan = plans.get(&name).map(|p| p.as_slice());
             let asserts = assertions.get(&name).map(|a| a.as_slice());
             let decl = decl_map.get(&name);
+            // The printf-family directive scan rides with the claim
+            // plan: a disabled or declared-safe function gets neither.
+            let format = if plan.is_some() {
+                format_spec(&name)
+            } else {
+                None
+            };
             entries.push(FnEntry {
                 wrapped: plan.is_some() || asserts.is_some(),
                 has_plan: plan.is_some(),
                 has_decl: decl.is_some(),
                 track: track_for(&name),
                 on_error: decl.map(|d| (d.errno_value, d.error_value)),
-                plan: CompiledPlan::compile(plan, asserts, config.check_cache),
+                plan: CompiledPlan::compile(plan, format, asserts, config.check_cache),
                 name: name.clone(),
             });
             index.insert(name, entries.len() - 1);
@@ -404,6 +534,7 @@ impl WrapperBuilder {
             log: Vec::new(),
             m_calls: metrics::global().counter("wrapper_calls_total"),
             m_violations: metrics::global().counter("wrapper_violations_total"),
+            m_repairs: metrics::global().counter("wrapper_repairs_total"),
         }
     }
 }
@@ -412,6 +543,49 @@ impl WrapperBuilder {
 /// tracking tables current (§5.1–5.2) — each bumps the cache
 /// generation, so `TRACKED` membership and generation bumps are the
 /// same set by construction.
+/// Copy of a format string with every `%...n` directive removed and
+/// all other bytes untouched. The directive grammar mirrors the
+/// renderer and [`check_format`]: flags, width, `.precision`, and
+/// `l`/`h`/`z` length modifiers, then one conversion byte.
+fn strip_percent_n(fmt: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(fmt.len());
+    let mut i = 0usize;
+    while i < fmt.len() {
+        if fmt[i] != b'%' {
+            out.push(fmt[i]);
+            i += 1;
+            continue;
+        }
+        let start = i;
+        i += 1;
+        while i < fmt.len() && matches!(fmt[i], b'-' | b'0' | b'+' | b' ' | b'#') {
+            i += 1;
+        }
+        while i < fmt.len() && fmt[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i < fmt.len() && fmt[i] == b'.' {
+            i += 1;
+            while i < fmt.len() && fmt[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+        while i < fmt.len() && matches!(fmt[i], b'l' | b'h' | b'z') {
+            i += 1;
+        }
+        if i >= fmt.len() {
+            out.extend_from_slice(&fmt[start..]);
+            break;
+        }
+        let conv = fmt[i];
+        i += 1;
+        if conv != b'n' {
+            out.extend_from_slice(&fmt[start..i]);
+        }
+    }
+    out
+}
+
 const TRACKED: [&str; 13] = [
     "malloc", "calloc", "realloc", "free", "strdup", "getcwd", "fopen", "fdopen", "tmpfile",
     "freopen", "fclose", "opendir", "closedir",
@@ -517,36 +691,10 @@ pub struct RobustnessWrapper {
     /// each — the registry lock is never taken per call.
     m_calls: Arc<Counter>,
     m_violations: Arc<Counter>,
+    m_repairs: Arc<Counter>,
 }
 
 impl RobustnessWrapper {
-    /// Generate the wrapper from declarations (phase two of Figure 1).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use WrapperBuilder::new().decls(decls).config(config).build()"
-    )]
-    pub fn new(decls: Vec<FunctionDecl>, config: WrapperConfig) -> Self {
-        WrapperBuilder::new().decls(decls).config(config).build()
-    }
-
-    /// Apply manual overrides *and* rebuild the plans — convenience for
-    /// the semi-automatic pipeline.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use WrapperBuilder::new().decls(decls).overrides(overrides).config(config).build()"
-    )]
-    pub fn with_overrides(
-        decls: Vec<FunctionDecl>,
-        overrides: &BTreeMap<String, ManualOverride>,
-        config: WrapperConfig,
-    ) -> Self {
-        WrapperBuilder::new()
-            .decls(decls)
-            .overrides(overrides)
-            .config(config)
-            .build()
-    }
-
     /// The declaration for `name`, if the wrapper knows it.
     pub fn decl(&self, name: &str) -> Option<&FunctionDecl> {
         self.decls.get(name)
@@ -614,11 +762,10 @@ impl RobustnessWrapper {
         &mut self,
         world: &mut World,
         name: &str,
-        arg: usize,
-        check: String,
-        value: SimValue,
+        failure: &CheckFailure,
         on_error: Option<(i32, Option<SimValue>)>,
-    ) -> Result<SimValue, SimFault> {
+    ) -> Result<(SimValue, Verdict), SimFault> {
+        let (arg, check) = (failure.arg, &failure.check);
         self.stats.violations += 1;
         self.m_violations.inc();
         // Violations are rare by construction (the hot path is the
@@ -634,7 +781,7 @@ impl RobustnessWrapper {
                 function: name.to_string(),
                 arg,
                 check: check.clone(),
-                value,
+                value: failure.value,
             });
         }
         self.in_flag = false;
@@ -642,11 +789,20 @@ impl RobustnessWrapper {
             ViolationAction::Abort => Err(SimFault::Abort {
                 reason: format!("healers: {name} argument {arg} failed {check}"),
             }),
-            ViolationAction::ReturnError => {
+            // Repair lands here only when the failure had no safe
+            // substitute — the documented fallback to the error return.
+            ViolationAction::ReturnError | ViolationAction::Repair => {
                 let (errno, error_value) =
                     on_error.unwrap_or_else(|| panic!("no declaration for {name}"));
                 world.proc.set_errno(errno);
-                Ok(error_value.unwrap_or(SimValue::Void))
+                let value = error_value.unwrap_or(SimValue::Void);
+                Ok((
+                    value,
+                    Verdict::Rejected {
+                        errno,
+                        error_value: value,
+                    },
+                ))
             }
         }
     }
@@ -669,6 +825,29 @@ impl RobustnessWrapper {
         name: &str,
         args: &[SimValue],
     ) -> Result<SimValue, SimFault> {
+        self.call_verdict(libc, world, name, args)
+            .map(|(value, _)| value)
+    }
+
+    /// The interposed call with its explicit [`Verdict`]: what the
+    /// checks decided about this call and — under
+    /// [`ViolationAction::Repair`] — exactly which arguments were
+    /// fixed, with their before/after values.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RobustnessWrapper::call`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not exported by `libc`.
+    pub fn call_verdict(
+        &mut self,
+        libc: &Libc,
+        world: &mut World,
+        name: &str,
+        args: &[SimValue],
+    ) -> Result<(SimValue, Verdict), SimFault> {
         // The telemetry gate: with tracing off this costs one relaxed
         // atomic load; with it on, the whole call (checks + library) is
         // timed into the per-function latency histogram.
@@ -690,7 +869,7 @@ impl RobustnessWrapper {
         world: &mut World,
         name: &str,
         args: &[SimValue],
-    ) -> Result<SimValue, SimFault> {
+    ) -> Result<(SimValue, Verdict), SimFault> {
         self.stats.calls += 1;
         self.m_calls.inc();
         let func = libc
@@ -701,7 +880,7 @@ impl RobustnessWrapper {
         // another wrapped function must reach the real library directly.
         if self.in_flag {
             world.proc.reset_fuel();
-            return func.invoke(world, args);
+            return func.invoke(world, args).map(|v| (v, Verdict::Pass));
         }
 
         // The single hoisted dispatch lookup: wrapped, safe, tracked,
@@ -710,7 +889,7 @@ impl RobustnessWrapper {
         // (tracked functions are always in the index).
         let Some(&idx) = self.index.get(name) else {
             world.proc.reset_fuel();
-            return func.invoke(world, args);
+            return func.invoke(world, args).map(|v| (v, Verdict::Pass));
         };
         let entry = &self.entries[idx];
         let wrapped = entry.wrapped;
@@ -722,7 +901,7 @@ impl RobustnessWrapper {
             world.proc.reset_fuel();
             let result = func.invoke(world, args);
             self.post_track(world, track, args, &result);
-            return result;
+            return result.map(|v| (v, Verdict::Pass));
         }
 
         self.stats.wrapped_calls += 1;
@@ -737,8 +916,27 @@ impl RobustnessWrapper {
         if let Some(s) = check_started {
             self.stats.time_checking += s.elapsed();
         }
-        if let Err((arg, check, value)) = verdict {
-            return self.violation(world, name, arg, check, value, on_error);
+        if let Err(failure) = verdict {
+            if self.config.action == ViolationAction::Repair {
+                match self.repair_call(libc, world, idx, args, failure) {
+                    Ok((repaired, fixes)) => {
+                        // The call proceeds with the fixed arguments.
+                        world.proc.reset_fuel();
+                        let lib_started = self.config.measure.then(Instant::now);
+                        let result = func.invoke(world, &repaired);
+                        if let Some(s) = lib_started {
+                            self.stats.time_in_library += s.elapsed();
+                        }
+                        self.in_flag = false;
+                        self.post_track(world, track, &repaired, &result);
+                        return result.map(|v| (v, Verdict::Repaired { fixes }));
+                    }
+                    Err(unrepairable) => {
+                        return self.violation(world, name, &unrepairable, on_error)
+                    }
+                }
+            }
+            return self.violation(world, name, &failure, on_error);
         }
 
         // The call itself.
@@ -752,7 +950,7 @@ impl RobustnessWrapper {
         // Postfix.
         self.in_flag = false;
         self.post_track(world, track, args, &result);
-        result
+        result.map(|v| (v, Verdict::Pass))
     }
 
     /// Run the prefix checks for entry `idx` without invoking the
@@ -795,18 +993,18 @@ impl RobustnessWrapper {
     }
 
     /// Execute entry `idx`'s compiled program. `Err` carries the first
-    /// violation as (argument index, check description, value).
+    /// violation as a [`CheckFailure`].
     fn run_compiled(
         &mut self,
         world: &World,
         idx: usize,
         args: &[SimValue],
-    ) -> Result<(), (usize, String, SimValue)> {
+    ) -> Result<(), CheckFailure> {
         // Field-disjoint borrows: `ops` pins `self.entries` while the
         // loop mutates `self.stats`/`self.check_cache` and reads
         // `self.tables`/`self.caps`.
         let ops: &[CheckOp] = self.entries[idx].plan.ops();
-        for op in ops {
+        for (opno, op) in ops.iter().enumerate() {
             self.stats.checks += 1;
             let value = args.get(op.arg as usize).copied().unwrap_or(SimValue::Void);
             // Validity caching ([3]): a pointer validated under the
@@ -831,7 +1029,13 @@ impl RobustnessWrapper {
                 );
                 self.stats.check_outcomes.record(op.kind, ok);
                 if !ok {
-                    return Err((op.arg as usize, op.describe(), value));
+                    return Err(CheckFailure {
+                        op: opno,
+                        arg: op.arg as usize,
+                        kind: op.kind,
+                        check: op.describe(),
+                        value,
+                    });
                 }
                 if self.check_cache.len() >= 4096 {
                     self.check_cache.clear();
@@ -848,7 +1052,13 @@ impl RobustnessWrapper {
                 );
                 self.stats.check_outcomes.record(op.kind, ok);
                 if !ok {
-                    return Err((op.arg as usize, op.describe(), value));
+                    return Err(CheckFailure {
+                        op: opno,
+                        arg: op.arg as usize,
+                        kind: op.kind,
+                        check: op.describe(),
+                        value,
+                    });
                 }
             }
         }
@@ -866,9 +1076,12 @@ impl RobustnessWrapper {
         world: &World,
         idx: usize,
         args: &[SimValue],
-    ) -> Result<(), (usize, String, SimValue)> {
+    ) -> Result<(), CheckFailure> {
         let name: &str = &self.entries[idx].name;
         let caps = self.caps;
+        // Running op index, kept in lockstep with the compiled program:
+        // claims in argument order, then the format op, then assertions.
+        let mut opno = 0usize;
 
         // Prefix: robust-type checks.
         if let Some(plan) = self.plans.get(name) {
@@ -882,6 +1095,7 @@ impl RobustnessWrapper {
                 if cacheable && self.check_cache.get(&cache_key) == Some(&self.generation) {
                     self.stats.check_cache_hits += 1;
                     self.stats.check_outcomes.record(CheckKind::of(*t), true);
+                    opno += 1;
                     continue;
                 }
                 let ok = check_value_counted(
@@ -894,7 +1108,13 @@ impl RobustnessWrapper {
                 );
                 self.stats.check_outcomes.record(CheckKind::of(*t), ok);
                 if !ok {
-                    return Err((i, t.notation(), value));
+                    return Err(CheckFailure {
+                        op: opno,
+                        arg: i,
+                        kind: CheckKind::of(*t),
+                        check: t.notation(),
+                        value,
+                    });
                 }
                 if cacheable {
                     if self.check_cache.len() >= 4096 {
@@ -902,6 +1122,38 @@ impl RobustnessWrapper {
                     }
                     self.check_cache.insert(cache_key, self.generation);
                 }
+                opno += 1;
+            }
+        }
+
+        // Prefix: printf-family format directive scan. Gated exactly
+        // like the compiled build: only functions with a robust-type
+        // plan get a format op.
+        if self.plans.contains_key(name) {
+            if let Some((fmt_arg, varargs_from)) = format_spec(name) {
+                self.stats.checks += 1;
+                let ok = check_format(
+                    world,
+                    args,
+                    fmt_arg,
+                    varargs_from,
+                    &mut self.stats.check_kinds,
+                )
+                .is_none();
+                self.stats.check_outcomes.record(CheckKind::Format, ok);
+                if !ok {
+                    return Err(CheckFailure {
+                        op: opno,
+                        arg: fmt_arg as usize,
+                        kind: CheckKind::Format,
+                        check: "printf-format directives".to_string(),
+                        value: args
+                            .get(fmt_arg as usize)
+                            .copied()
+                            .unwrap_or(SimValue::Void),
+                    });
+                }
+                opno += 1;
             }
         }
 
@@ -931,15 +1183,377 @@ impl RobustnessWrapper {
                 };
                 self.stats.check_outcomes.record(CheckKind::Assertion, ok);
                 if !ok {
-                    return Err((
-                        a.buf_arg,
-                        format!("size assertion over {:?}", a.terms),
+                    return Err(CheckFailure {
+                        op: opno,
+                        arg: a.buf_arg,
+                        kind: CheckKind::Assertion,
+                        check: format!("size assertion over {:?}", a.terms),
                         value,
-                    ));
+                    });
                 }
+                opno += 1;
             }
         }
         Ok(())
+    }
+
+    /// Upper bound on fix-and-recheck iterations per call under
+    /// [`ViolationAction::Repair`]. The bound is a safety net, not a
+    /// tuning knob: each iteration fixes the first failing op, op order
+    /// is fixed, and fixed ops stay fixed, so the loop converges in at
+    /// most one pass over the program in practice.
+    const MAX_REPAIRS_PER_CALL: usize = 32;
+
+    /// Write `v` into slot `i` of the owned argument vector, growing it
+    /// with `Int(0)` — the renderer's missing-vararg default — if the
+    /// call site passed fewer arguments. Returns the previous value.
+    fn set_arg(args: &mut Vec<SimValue>, i: usize, v: SimValue) -> SimValue {
+        if args.len() <= i {
+            args.resize(i + 1, SimValue::Int(0));
+        }
+        std::mem::replace(&mut args[i], v)
+    }
+
+    /// The shared one-byte empty C string used by string substitutions.
+    fn empty_cstr(world: &mut World) -> Addr {
+        let s = world.proc.named_static("healers.repair.empty", 1);
+        let _ = world.proc.mem.write_u8(s, 0);
+        s
+    }
+
+    /// The fix-and-recheck loop behind [`ViolationAction::Repair`]:
+    /// substitute or clamp the argument named by `first`, re-run the
+    /// whole prefix over the fixed vector, and repeat until the checks
+    /// admit the call or a failure has no safe substitute. Every fix is
+    /// tallied into [`WrapperStats::repairs`] and
+    /// [`CheckOutcomes::repaired`] and recorded on the flight recorder
+    /// with its before/after values; re-run tallies count again each
+    /// iteration, identically under either plan mode, so repair-mode
+    /// reports stay byte-stable across `--jobs` and plan modes.
+    fn repair_call(
+        &mut self,
+        libc: &Libc,
+        world: &mut World,
+        idx: usize,
+        args: &[SimValue],
+        first: CheckFailure,
+    ) -> Result<(Vec<SimValue>, Vec<Repair>), CheckFailure> {
+        let name = self.entries[idx].name.clone();
+        let mut repaired = args.to_vec();
+        let mut fixes = Vec::new();
+        let mut failure = first;
+        for _ in 0..Self::MAX_REPAIRS_PER_CALL {
+            let Some(fix) = self.repair_one(libc, world, idx, &mut repaired, &failure) else {
+                return Err(failure);
+            };
+            self.stats.repairs += 1;
+            self.m_repairs.inc();
+            self.stats.check_outcomes.record_repair(failure.kind);
+            flight().record(
+                "check-repair",
+                &name,
+                &format!(
+                    "argument {} failed {}: {:?} -> {:?}",
+                    fix.arg, fix.check, fix.before, fix.after
+                ),
+            );
+            fixes.push(fix);
+            let verdict = match self.mode {
+                PlanMode::Compiled => self.run_compiled(world, idx, &repaired),
+                PlanMode::Interpreted => self.run_interpreted(world, idx, &repaired),
+            };
+            match verdict {
+                Ok(()) => return Ok((repaired, fixes)),
+                Err(f) => failure = f,
+            }
+        }
+        Err(failure)
+    }
+
+    /// Attempt one bounded-safe substitution for `failure`. `None`
+    /// means the failure has no safe substitute and the caller falls
+    /// back to the declared error return.
+    fn repair_one(
+        &mut self,
+        libc: &Libc,
+        world: &mut World,
+        idx: usize,
+        args: &mut Vec<SimValue>,
+        failure: &CheckFailure,
+    ) -> Option<Repair> {
+        let op = self.entries[idx].plan.ops().get(failure.op)?.clone();
+        let arg = failure.arg;
+        let value = args.get(arg).copied().unwrap_or(SimValue::Void);
+        let (target, after): (usize, SimValue) = match op.action {
+            // Trivially-true ops never fail, so never reach repair.
+            OpAction::Always => return None,
+            OpAction::Null => (arg, SimValue::NULL),
+            OpAction::Region { size, .. } => {
+                // Swap in a zeroed scratch region of the claimed size,
+                // preserving whatever prefix of the original argument
+                // is actually accessible.
+                let size = size.max(1);
+                let scratch = world
+                    .proc
+                    .named_static(&format!("healers.repair.region.{size}"), size);
+                world
+                    .proc
+                    .mem
+                    .write_bytes(scratch, &vec![0u8; size as usize])
+                    .ok()?;
+                world.proc.mem.bounded_copy(scratch, value.as_ptr(), size);
+                (arg, SimValue::Ptr(scratch))
+            }
+            OpAction::File { .. } => {
+                // Substitute a safe read/write scratch stream for the
+                // wild `FILE*` and register it with the stream table so
+                // the re-run admits it (the FopenLike arm reads only
+                // the returned pointer).
+                let path = world.alloc_cstr("/healers.repair.stream");
+                let mode = world.alloc_cstr("w+");
+                let stream = libc
+                    .get("fopen")?
+                    .invoke(world, &[SimValue::Ptr(path), SimValue::Ptr(mode)])
+                    .ok()?;
+                if stream.as_ptr() == 0 {
+                    return None;
+                }
+                self.post_track(world, Track::FopenLike, &[], &Ok(stream));
+                (arg, stream)
+            }
+            OpAction::Dir { .. } => {
+                let path = world.alloc_cstr("/tmp");
+                let dirp = libc
+                    .get("opendir")?
+                    .invoke(world, &[SimValue::Ptr(path)])
+                    .ok()?;
+                if dirp.as_ptr() == 0 {
+                    return None;
+                }
+                self.post_track(world, Track::Opendir, &[], &Ok(dirp));
+                (arg, dirp)
+            }
+            OpAction::Nts { limit, .. } => {
+                // Truncate in place at the end of the accessible run —
+                // the discovered robust scan limit. Truncation needs
+                // the bytes writable; a read-only or unmapped argument
+                // gets the empty scratch string instead.
+                let ptr = value.as_ptr();
+                let run = world
+                    .proc
+                    .mem
+                    .accessible_run(ptr, limit.saturating_add(1), true, true);
+                if ptr != 0 && run > 0 {
+                    world.proc.mem.write_u8(ptr + run - 1, 0).ok()?;
+                    (arg, value)
+                } else {
+                    (arg, SimValue::Ptr(Self::empty_cstr(world)))
+                }
+            }
+            OpAction::ModeValid => {
+                let m = world.proc.named_static("healers.repair.mode", 2);
+                world.proc.mem.write_bytes(m, b"r\0").ok()?;
+                (arg, SimValue::Ptr(m))
+            }
+            OpAction::Int(cond) => {
+                // Clamp to the nearest value in the claimed domain.
+                let v = value.as_int();
+                let new = match cond {
+                    IntCond::Neg => -1,
+                    IntCond::Zero => 0,
+                    IntCond::Pos => 1,
+                    IntCond::NonNeg => v.max(0),
+                    IntCond::NonPos => v.min(0),
+                };
+                (arg, SimValue::Int(new))
+            }
+            OpAction::FdOpen | OpAction::FdFlags { .. } => {
+                let fd = world
+                    .kernel
+                    .open(
+                        "/healers.repair.fd",
+                        OpenFlags {
+                            read: true,
+                            write: true,
+                            create: true,
+                            ..OpenFlags::default()
+                        },
+                        0o644,
+                    )
+                    .ok()?;
+                (arg, SimValue::Int(i64::from(fd)))
+            }
+            OpAction::Speed => (arg, SimValue::Int(i64::from(healers_os::B9600))),
+            OpAction::Assertion { ref terms, write } => {
+                self.repair_assertion(world, args, arg, terms, write)?
+            }
+            OpAction::Format { varargs_from } => {
+                Self::repair_format(world, args, op.arg, varargs_from)?
+            }
+        };
+        let before = Self::set_arg(args, target, after);
+        Some(Repair {
+            arg: target,
+            kind: failure.kind,
+            check: failure.check.clone(),
+            before,
+            after,
+        })
+    }
+
+    /// Repair a failing size assertion: shrink the first count-like
+    /// term so the size expression fits the buffer's real capacity (the
+    /// owning heap block's remainder, else the accessible page run), or
+    /// substitute a scratch buffer when the argument has no usable
+    /// memory at all. One fix per invocation; the repair loop iterates.
+    fn repair_assertion(
+        &self,
+        world: &mut World,
+        args: &[SimValue],
+        buf_arg: usize,
+        terms: &[SizeTerm],
+        write: bool,
+    ) -> Option<(usize, SimValue)> {
+        // Diagnostic re-scans use throwaway counters so repair mode's
+        // kernel tallies stay identical across plan modes.
+        let mut scratch = CheckCounters::default();
+        let Some(needed) = assertion_size(world, args, terms, &mut scratch) else {
+            // The size expression itself is broken: some strlen term
+            // points at a non-string. Give that term the empty string.
+            for t in terms {
+                if let SizeTerm::StrlenArg(i) = *t {
+                    let p = args.get(i).copied().unwrap_or(SimValue::Int(0)).as_ptr();
+                    if scan_string(world, p, MAX_STRING_SCAN, false, &mut scratch).is_none() {
+                        return Some((i, SimValue::Ptr(Self::empty_cstr(world))));
+                    }
+                }
+            }
+            return None;
+        };
+        let ptr = args
+            .get(buf_arg)
+            .copied()
+            .unwrap_or(SimValue::Void)
+            .as_ptr();
+        let cap = if ptr == 0 {
+            0
+        } else {
+            match self.tables.block_containing(ptr) {
+                Some((base, size)) => u64::from(size - (ptr - base)),
+                None => u64::from(world.proc.mem.accessible_run(ptr, u32::MAX, !write, write)),
+            }
+        };
+        if cap == 0 {
+            // No usable buffer at all: substitute a scratch buffer big
+            // enough for the requested size (clamped to the scan cap).
+            let n = needed.clamp(1, u64::from(MAX_STRING_SCAN)) as u32;
+            let buf = world
+                .proc
+                .named_static(&format!("healers.repair.buf.{n}"), n);
+            return Some((buf_arg, SimValue::Ptr(buf)));
+        }
+        let deficit = needed.saturating_sub(cap);
+        if deficit > 0 {
+            // The buffer is real but small: shrink the first nonzero
+            // count-like term so the expression fits the capacity.
+            for t in terms {
+                match *t {
+                    SizeTerm::Arg(i) => {
+                        let v = args
+                            .get(i)
+                            .copied()
+                            .unwrap_or(SimValue::Int(0))
+                            .as_int()
+                            .max(0) as u64;
+                        if v > 0 {
+                            return Some((i, SimValue::Int((v - v.min(deficit)) as i64)));
+                        }
+                    }
+                    SizeTerm::ArgProduct(i, j) => {
+                        let a = args
+                            .get(i)
+                            .copied()
+                            .unwrap_or(SimValue::Int(0))
+                            .as_int()
+                            .max(0) as u64;
+                        let b = args
+                            .get(j)
+                            .copied()
+                            .unwrap_or(SimValue::Int(0))
+                            .as_int()
+                            .max(0) as u64;
+                        if a > 0 && b > 0 {
+                            let total = a.saturating_mul(b);
+                            let new_a = (total - total.min(deficit)) / b;
+                            return Some((i, SimValue::Int(new_a as i64)));
+                        }
+                    }
+                    SizeTerm::StrlenArg(i) => {
+                        let p = args.get(i).copied().unwrap_or(SimValue::Int(0)).as_ptr();
+                        let Some(len) = scan_string(world, p, MAX_STRING_SCAN, false, &mut scratch)
+                        else {
+                            continue;
+                        };
+                        let len = u64::from(len);
+                        if len == 0 {
+                            continue;
+                        }
+                        let new_len = (len - len.min(deficit)) as u32;
+                        // Truncate the source in place when writable;
+                        // otherwise copy the surviving prefix out.
+                        if world.proc.mem.write_u8(p + new_len, 0).is_ok() {
+                            return Some((i, SimValue::Ptr(p)));
+                        }
+                        let dst = world
+                            .proc
+                            .named_static(&format!("healers.repair.str.{new_len}"), new_len + 1);
+                        world.proc.mem.bounded_copy(dst, p, new_len);
+                        world.proc.mem.write_u8(dst + new_len, 0).ok()?;
+                        return Some((i, SimValue::Ptr(dst)));
+                    }
+                    SizeTerm::Const(_) => {}
+                }
+            }
+        }
+        // Nothing shrinkable (constants only, or the failure wasn't a
+        // size deficit): swap in a scratch buffer of the needed size.
+        let n = needed.clamp(1, u64::from(MAX_STRING_SCAN)) as u32;
+        let buf = world
+            .proc
+            .named_static(&format!("healers.repair.buf.{n}"), n);
+        Some((buf_arg, SimValue::Ptr(buf)))
+    }
+
+    /// Repair a failing printf-family call: replace an unreadable
+    /// format with the empty string, strip `%n` directives from the
+    /// format, or replace the offending `%s` vararg with the empty
+    /// string.
+    fn repair_format(
+        world: &mut World,
+        args: &[SimValue],
+        fmt_arg: u32,
+        varargs_from: u32,
+    ) -> Option<(usize, SimValue)> {
+        let mut scratch = CheckCounters::default();
+        match check_format(world, args, fmt_arg, varargs_from, &mut scratch)? {
+            FormatViolation::BadFormat { arg } | FormatViolation::BadString { arg } => {
+                Some((arg as usize, SimValue::Ptr(Self::empty_cstr(world))))
+            }
+            FormatViolation::PercentN { arg } => {
+                let fmt = args
+                    .get(arg as usize)
+                    .copied()
+                    .unwrap_or(SimValue::Int(0))
+                    .as_ptr();
+                let len = scan_string(world, fmt, MAX_STRING_SCAN, false, &mut scratch)?;
+                let bytes = world.proc.mem.read_bytes(fmt, len).ok()?;
+                let out = strip_percent_n(&bytes);
+                let dst = world.alloc_buf(out.len() as u32 + 1);
+                world.proc.mem.write_bytes(dst, &out).ok()?;
+                world.proc.mem.write_u8(dst + out.len() as u32, 0).ok()?;
+                Some((arg as usize, SimValue::Ptr(dst)))
+            }
+        }
     }
 
     /// Postfix bookkeeping: keep the heap/stream/directory tables
@@ -1057,34 +1671,6 @@ mod tests {
         let decls = analyze(&libc, functions);
         let wrapper = WrapperBuilder::new().decls(decls).config(config).build();
         (libc, wrapper, World::new())
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_match_the_builder() {
-        let libc = Libc::standard();
-        let decls = analyze(&libc, &["strcpy", "closedir"]);
-        let via_new = RobustnessWrapper::new(decls.clone(), WrapperConfig::full_auto());
-        let via_builder = WrapperBuilder::new().decls(decls.clone()).build();
-        assert_eq!(
-            format!("{:?}", via_new.plan("strcpy")),
-            format!("{:?}", via_builder.plan("strcpy"))
-        );
-        let overrides = crate::overrides::semi_auto_overrides();
-        let via_old = RobustnessWrapper::with_overrides(
-            decls.clone(),
-            &overrides,
-            WrapperConfig::semi_auto(),
-        );
-        let via_builder = WrapperBuilder::new()
-            .decls(decls)
-            .overrides(&overrides)
-            .config(WrapperConfig::semi_auto())
-            .build();
-        assert_eq!(
-            format!("{:?}", via_old.plan("closedir")),
-            format!("{:?}", via_builder.plan("closedir"))
-        );
     }
 
     #[test]
@@ -1620,5 +2206,228 @@ mod tests {
         }
         assert_eq!(w.stats.wrapped_calls, 100);
         assert!(w.stats.time_in_library > Duration::ZERO);
+    }
+
+    #[test]
+    fn violation_action_tokens_round_trip() {
+        for a in ViolationAction::ALL {
+            assert_eq!(a.to_string(), a.token());
+            assert_eq!(a.token().parse::<ViolationAction>().unwrap(), a);
+        }
+        assert_eq!(
+            "error".parse::<ViolationAction>().unwrap(),
+            ViolationAction::ReturnError
+        );
+        let err = "fix".parse::<ViolationAction>().unwrap_err();
+        assert_eq!(err.input, "fix");
+        assert!(err.to_string().contains("abort, error, or repair"));
+    }
+
+    fn repair(base: WrapperConfig) -> WrapperConfig {
+        WrapperConfig {
+            action: ViolationAction::Repair,
+            ..base
+        }
+    }
+
+    #[test]
+    fn repair_mode_substitutes_strings_and_regions() {
+        let (libc, mut w, mut world) =
+            build(&["strlen", "asctime"], repair(WrapperConfig::full_auto()));
+        // A wild string argument has no safe truncation point, so the
+        // empty scratch string is substituted and the call succeeds.
+        let (r, v) = w
+            .call_verdict(&libc, &mut world, "strlen", &[SimValue::Ptr(INVALID_PTR)])
+            .unwrap();
+        assert_eq!(r, SimValue::Int(0));
+        let Verdict::Repaired { fixes } = v else {
+            panic!("expected a repair, got {v:?}");
+        };
+        assert_eq!(fixes.len(), 1);
+        assert_eq!(fixes[0].arg, 0);
+        assert_eq!(fixes[0].before, SimValue::Ptr(INVALID_PTR));
+        assert_ne!(fixes[0].after, fixes[0].before);
+        assert_eq!(w.stats.repairs, 1);
+        assert_eq!(w.stats.check_outcomes.repaired(fixes[0].kind), 1);
+
+        // A wild struct-tm pointer: a zeroed scratch region stands in
+        // and the render succeeds.
+        let (r, v) = w
+            .call_verdict(&libc, &mut world, "asctime", &[SimValue::Ptr(INVALID_PTR)])
+            .unwrap();
+        assert_ne!(r, SimValue::NULL);
+        assert!(matches!(v, Verdict::Repaired { .. }), "got {v:?}");
+    }
+
+    #[test]
+    fn repair_mode_truncates_unterminated_strings_in_place() {
+        use healers_simproc::Protection;
+        let (libc, mut w, mut world) = build(&["strlen"], repair(WrapperConfig::full_auto()));
+        // One RW page full of 'A's with nothing mapped after it: no NUL
+        // anywhere in the accessible run.
+        let base: Addr = 0x2000_0000;
+        world.proc.mem.map(base, 4096, Protection::ReadWrite);
+        for i in 0..4096 {
+            world.proc.mem.write_u8(base + i, b'A').unwrap();
+        }
+        let (r, v) = w
+            .call_verdict(&libc, &mut world, "strlen", &[SimValue::Ptr(base)])
+            .unwrap();
+        // Truncated in place at the end of the discovered run: the last
+        // accessible byte became the terminator.
+        assert_eq!(r, SimValue::Int(4095));
+        let Verdict::Repaired { fixes } = v else {
+            panic!("expected a repair, got {v:?}");
+        };
+        assert_eq!(fixes[0].before, SimValue::Ptr(base));
+        assert_eq!(fixes[0].after, SimValue::Ptr(base));
+        assert_eq!(world.proc.mem.read_u8(base + 4095).unwrap(), 0);
+    }
+
+    #[test]
+    fn repair_mode_sanitizes_hostile_formats() {
+        // Reject mode refuses %n outright...
+        let (libc, mut w, mut world) = build(&["sprintf"], WrapperConfig::full_auto());
+        let dst = world.alloc_buf(64);
+        let fmt = world.alloc_cstr("x%n!");
+        let (_, v) = w
+            .call_verdict(
+                &libc,
+                &mut world,
+                "sprintf",
+                &[SimValue::Ptr(dst), SimValue::Ptr(fmt), SimValue::Int(0)],
+            )
+            .unwrap();
+        assert!(matches!(v, Verdict::Rejected { .. }), "got {v:?}");
+
+        // ...repair mode strips the directive and lets the call run.
+        let (libc, mut w, mut world) = build(&["sprintf"], repair(WrapperConfig::full_auto()));
+        let dst = world.alloc_buf(64);
+        let fmt = world.alloc_cstr("x%n!");
+        let (_, v) = w
+            .call_verdict(
+                &libc,
+                &mut world,
+                "sprintf",
+                &[SimValue::Ptr(dst), SimValue::Ptr(fmt), SimValue::Int(0)],
+            )
+            .unwrap();
+        let Verdict::Repaired { fixes } = v else {
+            panic!("expected a repair, got {v:?}");
+        };
+        assert_eq!(fixes[0].arg, 1, "the format argument was replaced");
+        assert_eq!(fixes[0].kind, CheckKind::Format);
+        assert_eq!(world.proc.mem.read_bytes(dst, 3).unwrap(), b"x!\0");
+
+        // A %s whose vararg points nowhere: the vararg itself is
+        // replaced with the empty string.
+        let fmt = world.alloc_cstr("[%s]");
+        let (_, v) = w
+            .call_verdict(
+                &libc,
+                &mut world,
+                "sprintf",
+                &[
+                    SimValue::Ptr(dst),
+                    SimValue::Ptr(fmt),
+                    SimValue::Ptr(INVALID_PTR),
+                ],
+            )
+            .unwrap();
+        let Verdict::Repaired { fixes } = v else {
+            panic!("expected a repair, got {v:?}");
+        };
+        assert_eq!(fixes[0].arg, 2, "the %s vararg was replaced");
+        assert_eq!(world.proc.mem.read_bytes(dst, 3).unwrap(), b"[]\0");
+    }
+
+    #[test]
+    fn repair_mode_clamps_overflowing_copies() {
+        let (libc, mut w, mut world) = build(&["malloc", "strcpy"], {
+            let mut c = repair(WrapperConfig::semi_auto());
+            c.enabled = None;
+            c
+        });
+        // Allocate through the wrapper so the block's true size is
+        // tracked, then overflow it — §5.1's Libsafe scenario, but with
+        // the bounded-safe answer instead of a refusal.
+        let block = w
+            .call(&libc, &mut world, "malloc", &[SimValue::Int(8)])
+            .unwrap();
+        let long = world.alloc_cstr("a string that is far longer than eight bytes");
+        let (r, v) = w
+            .call_verdict(&libc, &mut world, "strcpy", &[block, SimValue::Ptr(long)])
+            .unwrap();
+        assert_eq!(r, block);
+        let Verdict::Repaired { fixes } = v else {
+            panic!("expected a repair, got {v:?}");
+        };
+        assert!(!fixes.is_empty());
+        // The source was truncated in place to the block's capacity:
+        // exactly strlen 7 + NUL landed in the 8-byte block.
+        let copied = world.proc.mem.read_bytes(block.as_ptr(), 8).unwrap();
+        assert_eq!(&copied[..7], b"a strin");
+        assert_eq!(copied[7], 0);
+    }
+
+    #[test]
+    fn repair_mode_resolves_every_reject_across_plan_modes() {
+        // Acceptance criterion: every call reject-mode answers with
+        // `Rejected` completes under repair-mode with `Repaired` or
+        // `Pass` — zero aborts, zero wrapped crashes — and the repair
+        // tallies are identical across plan modes.
+        let functions = [
+            "strlen", "strcpy", "sprintf", "asctime", "fclose", "closedir", "malloc",
+        ];
+        let drive = |action: ViolationAction, mode: PlanMode| {
+            let config = WrapperConfig {
+                action,
+                plan_mode: Some(mode),
+                ..WrapperConfig::semi_auto()
+            };
+            let (libc, mut w, mut world) = build(&functions, config);
+            let block = w
+                .call(&libc, &mut world, "malloc", &[SimValue::Int(8)])
+                .unwrap();
+            let long = world.alloc_cstr("definitely longer than eight bytes");
+            let fmt = world.alloc_cstr("n=%n");
+            let garbage = world.alloc_buf(32);
+            let calls: Vec<(&str, Vec<SimValue>)> = vec![
+                ("strlen", vec![SimValue::Ptr(INVALID_PTR)]),
+                ("strcpy", vec![block, SimValue::Ptr(long)]),
+                ("sprintf", vec![block, SimValue::Ptr(fmt), SimValue::Int(0)]),
+                ("asctime", vec![SimValue::Ptr(INVALID_PTR)]),
+                ("fclose", vec![SimValue::Ptr(garbage)]),
+                ("closedir", vec![SimValue::Ptr(garbage)]),
+                ("strlen", vec![SimValue::Ptr(long)]),
+            ];
+            let mut verdicts = Vec::new();
+            for (name, args) in calls {
+                let (_, v) = w
+                    .call_verdict(&libc, &mut world, name, &args)
+                    .unwrap_or_else(|e| panic!("{name} crashed under {action}: {e:?}"));
+                verdicts.push(v);
+            }
+            let tallies = format!("{:?}", w.stats.check_outcomes);
+            (verdicts, w.stats.repairs, tallies)
+        };
+        let (rejected, _, _) = drive(ViolationAction::ReturnError, PlanMode::Compiled);
+        let (repaired_c, nfix_c, tally_c) = drive(ViolationAction::Repair, PlanMode::Compiled);
+        let (repaired_i, nfix_i, tally_i) = drive(ViolationAction::Repair, PlanMode::Interpreted);
+        for (i, v) in rejected.iter().enumerate() {
+            if matches!(v, Verdict::Rejected { .. }) {
+                assert!(
+                    matches!(repaired_c[i], Verdict::Repaired { .. } | Verdict::Pass),
+                    "call {i}: reject-mode said {v:?} but repair-mode said {:?}",
+                    repaired_c[i]
+                );
+            }
+        }
+        assert!(rejected
+            .iter()
+            .any(|v| matches!(v, Verdict::Rejected { .. })));
+        assert_eq!(repaired_c, repaired_i, "plan modes disagreed on verdicts");
+        assert_eq!(nfix_c, nfix_i);
+        assert_eq!(tally_c, tally_i, "plan modes disagreed on tallies");
     }
 }

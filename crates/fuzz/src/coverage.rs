@@ -43,6 +43,12 @@ pub enum CoverageKey {
         kind: &'static str,
         ok: bool,
     },
+    /// `(function, check-kind-label)` — repair mode fixed an argument
+    /// that failed this check kind during this call.
+    Repair {
+        function: String,
+        kind: &'static str,
+    },
 }
 
 impl fmt::Display for CoverageKey {
@@ -57,6 +63,7 @@ impl fmt::Display for CoverageKey {
                     if *ok { "pass" } else { "fail" }
                 )
             }
+            CoverageKey::Repair { function, kind } => write!(f, "repair {function} {kind}"),
         }
     }
 }
@@ -131,7 +138,7 @@ pub fn step_keys(record: &crate::exec::StepRecord) -> Vec<CoverageKey> {
             site,
         });
     }
-    for &(kind, passed, failed) in &record.checks {
+    for &(kind, passed, failed, repaired) in &record.checks {
         if passed > 0 {
             keys.push(CoverageKey::Check {
                 function: record.function.clone(),
@@ -144,6 +151,12 @@ pub fn step_keys(record: &crate::exec::StepRecord) -> Vec<CoverageKey> {
                 function: record.function.clone(),
                 kind: kind.label(),
                 ok: false,
+            });
+        }
+        if repaired > 0 {
+            keys.push(CoverageKey::Repair {
+                function: record.function.clone(),
+                kind: kind.label(),
             });
         }
     }

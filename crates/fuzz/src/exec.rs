@@ -61,8 +61,8 @@ pub struct StepRecord {
     /// Address-free fault provenance, when the step segfaulted.
     pub site: Option<CoverageSite>,
     /// Check-outcome deltas this step contributed (wrapped mode only):
-    /// `(kind, passed, failed)` for kinds with activity.
-    pub checks: Vec<(CheckKind, u64, u64)>,
+    /// `(kind, passed, failed, repaired)` for kinds with activity.
+    pub checks: Vec<(CheckKind, u64, u64, u64)>,
 }
 
 /// The result of executing one sequence in one mode.
@@ -74,6 +74,9 @@ pub struct ExecResult {
     pub completed: bool,
     /// Violations the wrapper absorbed (0 in unwrapped mode).
     pub violations: u64,
+    /// Argument fixes the wrapper applied (0 outside
+    /// `ViolationAction::Repair`).
+    pub repairs: u64,
     /// Total wrapped check outcomes (empty in unwrapped mode).
     pub check_outcomes: CheckOutcomes,
     /// FNV-1a digest of the final world image (page-run layout +
@@ -178,9 +181,10 @@ pub fn execute(libc: &Libc, seq: &Sequence, mode: ExecMode<'_>) -> ExecResult {
                                 k,
                                 wr.stats.check_outcomes.passed(k) - before.passed(k),
                                 wr.stats.check_outcomes.failed(k) - before.failed(k),
+                                wr.stats.check_outcomes.repaired(k) - before.repaired(k),
                             )
                         })
-                        .filter(|(_, p, f)| *p + *f > 0)
+                        .filter(|(_, p, f, _)| *p + *f > 0)
                         .collect()
                 })
                 .unwrap_or_default();
@@ -233,9 +237,13 @@ pub fn execute(libc: &Libc, seq: &Sequence, mode: ExecMode<'_>) -> ExecResult {
 
     let completed = matches!(result, ChildResult::Returned(_));
     let digest = if completed { world_digest(&child) } else { 0 };
-    let (violations, check_outcomes) = match &wrapper {
-        Some(wr) => (wr.stats.violations, wr.stats.check_outcomes),
-        None => (0, CheckOutcomes::default()),
+    let (violations, repairs, check_outcomes) = match &wrapper {
+        Some(wr) => (
+            wr.stats.violations,
+            wr.stats.repairs,
+            wr.stats.check_outcomes,
+        ),
+        None => (0, 0, CheckOutcomes::default()),
     };
     // The parent is the rollback: dropping the child discards exactly
     // the pages the sequence dirtied.
@@ -245,6 +253,7 @@ pub fn execute(libc: &Libc, seq: &Sequence, mode: ExecMode<'_>) -> ExecResult {
         steps: records,
         completed,
         violations,
+        repairs,
         check_outcomes,
         digest,
     }
@@ -403,7 +412,7 @@ mod tests {
         assert_eq!(r.steps[1].outcome, Outcome::ErrorReturn);
         // The strcpy step performed region/string checks.
         assert!(!r.steps[1].checks.is_empty());
-        let failed: u64 = r.steps[1].checks.iter().map(|(_, _, f)| f).sum();
+        let failed: u64 = r.steps[1].checks.iter().map(|(_, _, f, _)| f).sum();
         assert!(failed >= 1, "{:?}", r.steps[1].checks);
     }
 

@@ -102,7 +102,7 @@ fn first_divergence(wrapped: &ExecResult, unwrapped: &ExecResult) -> Option<Stri
 pub fn detect(wrapped: &ExecResult, unwrapped: &ExecResult) -> Vec<Finding> {
     let mut findings = Vec::new();
     for step in &wrapped.steps {
-        for &(kind, _, failed) in &step.checks {
+        for &(kind, _, failed, _) in &step.checks {
             if failed > 0 {
                 findings.push(Finding {
                     kind: FindingKind::CheckViolation {
@@ -123,7 +123,9 @@ pub fn detect(wrapped: &ExecResult, unwrapped: &ExecResult) -> Vec<Finding> {
             });
         }
     }
-    if wrapped.violations == 0 {
+    // Violations and repairs both make the wrapped history diverge on
+    // purpose; only an unexplained difference is a finding.
+    if wrapped.violations == 0 && wrapped.repairs == 0 {
         if let Some(function) = first_divergence(wrapped, unwrapped) {
             findings.push(Finding {
                 kind: FindingKind::Divergence { function },

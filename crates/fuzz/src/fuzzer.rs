@@ -27,7 +27,7 @@ use std::collections::BTreeMap;
 
 use healers_ballista::ballista_targets;
 use healers_campaign::{run_indexed, JournalSender};
-use healers_core::{analyze, FunctionDecl};
+use healers_core::{analyze, FunctionDecl, ViolationAction};
 use healers_libc::Libc;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -65,6 +65,8 @@ pub struct FuzzConfig {
     /// Wrapper configuration for the wrapped half of each execution
     /// (and for the pins the run emits).
     pub mode: PinMode,
+    /// Violation policy for the wrapped half (and for the pins).
+    pub action: ViolationAction,
     /// Function pool; empty means the full Ballista target set.
     pub functions: Vec<String>,
 }
@@ -77,6 +79,7 @@ impl Default for FuzzConfig {
             jobs: 1,
             max_len: 8,
             mode: PinMode::Full,
+            action: ViolationAction::ReturnError,
             functions: Vec::new(),
         }
     }
@@ -154,7 +157,7 @@ pub fn run(libc: &Libc, config: &FuzzConfig, sender: &JournalSender<FuzzEvent>) 
         // Execute: parallel, item-ordered results.
         let results: Vec<(ExecResult, ExecResult)> =
             run_indexed(config.jobs, &tasks, |_, (seq, _)| {
-                execute_pair(libc, seq, &decls, config.mode)
+                execute_pair(libc, seq, &decls, config.mode, config.action)
             });
         // Merge: sequential, item order.
         for ((seq, origin), (wrapped, unwrapped)) in tasks.iter().zip(&results) {
@@ -203,7 +206,7 @@ pub fn run(libc: &Libc, config: &FuzzConfig, sender: &JournalSender<FuzzEvent>) 
 
     // Shrink + pin phase: sequential, key order.
     let oracle = |seq: &Sequence, finding: &Finding| {
-        let (wrapped, unwrapped) = execute_pair(libc, seq, &decls, config.mode);
+        let (wrapped, unwrapped) = execute_pair(libc, seq, &decls, config.mode, config.action);
         reproduces(finding, &wrapped, &unwrapped)
     };
     let mut reports = Vec::with_capacity(findings.len());
@@ -215,10 +218,11 @@ pub fn run(libc: &Libc, config: &FuzzConfig, sender: &JournalSender<FuzzEvent>) 
             to_len: shrunk.len() as u64,
             probes: stats.probes as u64,
         });
-        let (wrapped, _) = execute_pair(libc, &shrunk, &decls, config.mode);
+        let (wrapped, _) = execute_pair(libc, &shrunk, &decls, config.mode, config.action);
         let pin = Pin {
             finding: key.clone(),
             mode: config.mode,
+            action: config.action,
             seq: shrunk.clone(),
             expect: Expectation::from_result(&wrapped),
         };
@@ -248,21 +252,18 @@ pub fn run(libc: &Libc, config: &FuzzConfig, sender: &JournalSender<FuzzEvent>) 
     }
 }
 
-/// Execute `seq` wrapped (under `mode`'s configuration) and unwrapped.
+/// Execute `seq` wrapped (under `mode`'s configuration with `action`
+/// as the violation policy) and unwrapped.
 fn execute_pair(
     libc: &Libc,
     seq: &Sequence,
     decls: &[FunctionDecl],
     mode: PinMode,
+    action: ViolationAction,
 ) -> (ExecResult, ExecResult) {
-    let wrapped = execute(
-        libc,
-        seq,
-        ExecMode::Wrapped {
-            decls,
-            config: mode.config(),
-        },
-    );
+    let mut config = mode.config();
+    config.action = action;
+    let wrapped = execute(libc, seq, ExecMode::Wrapped { decls, config });
     let unwrapped = execute(libc, seq, ExecMode::Unwrapped);
     (wrapped, unwrapped)
 }
@@ -278,6 +279,7 @@ mod tests {
             jobs: 1,
             max_len: 6,
             mode: PinMode::Full,
+            action: ViolationAction::ReturnError,
             functions: vec![
                 "malloc".into(),
                 "free".into(),

@@ -24,7 +24,7 @@
 //! ```
 
 use healers_core::checker::CheckKind;
-use healers_core::wrapper::WrapperConfig;
+use healers_core::wrapper::{ViolationAction, WrapperConfig};
 use healers_core::FunctionDecl;
 use healers_libc::Libc;
 
@@ -64,11 +64,13 @@ pub struct Expectation {
     pub completed: bool,
     /// Wrapper violation count.
     pub violations: u64,
+    /// Wrapper repair count (0 outside repair mode).
+    pub repairs: u64,
     /// Per executed step: `(outcome-label, errno)`.
     pub steps: Vec<(String, i32)>,
-    /// Per check kind with activity: `(kind-label, passed, failed)`,
-    /// in `CheckKind::ALL` order.
-    pub checks: Vec<(String, u64, u64)>,
+    /// Per check kind with activity: `(kind-label, passed, failed,
+    /// repaired)`, in `CheckKind::ALL` order.
+    pub checks: Vec<(String, u64, u64, u64)>,
 }
 
 impl Expectation {
@@ -77,6 +79,7 @@ impl Expectation {
         Expectation {
             completed: result.completed,
             violations: result.violations,
+            repairs: result.repairs,
             steps: result
                 .steps
                 .iter()
@@ -89,9 +92,10 @@ impl Expectation {
                         k.label().to_string(),
                         result.check_outcomes.passed(k),
                         result.check_outcomes.failed(k),
+                        result.check_outcomes.repaired(k),
                     )
                 })
-                .filter(|(_, p, f)| p + f > 0)
+                .filter(|(_, p, f, _)| p + f > 0)
                 .collect(),
         }
     }
@@ -104,6 +108,10 @@ pub struct Pin {
     pub finding: String,
     /// Wrapper configuration for replay.
     pub mode: PinMode,
+    /// Violation policy the pin replays under. Defaults to
+    /// [`ViolationAction::ReturnError`]; pins recorded under repair
+    /// mode carry an explicit `action repair` directive.
+    pub action: ViolationAction,
     /// The shrunk sequence.
     pub seq: Sequence,
     /// Recorded behaviour.
@@ -121,19 +129,27 @@ impl Pin {
         let mut out = String::from("# healers-fuzz pin v1\n");
         out.push_str(&format!("finding {}\n", self.finding));
         out.push_str(&format!("mode {}\n", self.mode.label()));
+        if self.action != ViolationAction::ReturnError {
+            out.push_str(&format!("action {}\n", self.action.token()));
+        }
         for step in &self.seq.steps {
             out.push_str(&step.to_string());
             out.push('\n');
         }
         out.push_str(&format!("expect completed {}\n", self.expect.completed));
         out.push_str(&format!("expect violations {}\n", self.expect.violations));
+        if self.expect.repairs > 0 {
+            out.push_str(&format!("expect repairs {}\n", self.expect.repairs));
+        }
         for (i, (outcome, errno)) in self.expect.steps.iter().enumerate() {
             out.push_str(&format!("expect step {i} {outcome} errno {errno}\n"));
         }
-        for (kind, passed, failed) in &self.expect.checks {
-            out.push_str(&format!(
-                "expect check {kind} pass {passed} fail {failed}\n"
-            ));
+        for (kind, passed, failed, repaired) in &self.expect.checks {
+            out.push_str(&format!("expect check {kind} pass {passed} fail {failed}"));
+            if *repaired > 0 {
+                out.push_str(&format!(" repair {repaired}"));
+            }
+            out.push('\n');
         }
         out
     }
@@ -146,6 +162,7 @@ impl Pin {
     pub fn parse(text: &str) -> Result<Pin, String> {
         let mut finding: Option<String> = None;
         let mut mode: Option<PinMode> = None;
+        let mut action = ViolationAction::ReturnError;
         let mut calls = String::new();
         let mut expect = Expectation::default();
         let mut saw_completed = false;
@@ -163,6 +180,8 @@ impl Pin {
                     "semi" => PinMode::Semi,
                     other => return Err(err(&format!("unknown mode {other:?}"))),
                 });
+            } else if let Some(rest) = line.strip_prefix("action ") {
+                action = rest.trim().parse().map_err(|e| err(&format!("{e}")))?;
             } else if line.starts_with("call ") {
                 calls.push_str(line);
                 calls.push('\n');
@@ -177,6 +196,11 @@ impl Pin {
                     }
                     ["violations", v] => {
                         expect.violations = v
+                            .parse::<u64>()
+                            .map_err(|e| err(&format!("bad count {v:?}: {e}")))?;
+                    }
+                    ["repairs", v] => {
+                        expect.repairs = v
                             .parse::<u64>()
                             .map_err(|e| err(&format!("bad count {v:?}: {e}")))?;
                     }
@@ -196,7 +220,16 @@ impl Pin {
                         }
                         let p: u64 = p.parse().map_err(|_| err("bad pass count"))?;
                         let f: u64 = f.parse().map_err(|_| err("bad fail count"))?;
-                        expect.checks.push(((*kind).to_string(), p, f));
+                        expect.checks.push(((*kind).to_string(), p, f, 0));
+                    }
+                    ["check", kind, "pass", p, "fail", f, "repair", r] => {
+                        if !CheckKind::ALL.iter().any(|k| k.label() == *kind) {
+                            return Err(err(&format!("unknown check kind {kind:?}")));
+                        }
+                        let p: u64 = p.parse().map_err(|_| err("bad pass count"))?;
+                        let f: u64 = f.parse().map_err(|_| err("bad fail count"))?;
+                        let r: u64 = r.parse().map_err(|_| err("bad repair count"))?;
+                        expect.checks.push(((*kind).to_string(), p, f, r));
                     }
                     _ => return Err(err(&format!("bad expect line {rest:?}"))),
                 }
@@ -214,6 +247,7 @@ impl Pin {
         Ok(Pin {
             finding: finding.ok_or("pin has no `finding` line")?,
             mode: mode.ok_or("pin has no `mode` line")?,
+            action,
             seq,
             expect,
         })
@@ -225,14 +259,9 @@ impl Pin {
     ///
     /// Returns a human-readable diff of every divergence.
     pub fn replay(&self, libc: &Libc, decls: &[FunctionDecl]) -> Result<(), String> {
-        let result = execute(
-            libc,
-            &self.seq,
-            ExecMode::Wrapped {
-                decls,
-                config: self.mode.config(),
-            },
-        );
+        let mut config = self.mode.config();
+        config.action = self.action;
+        let result = execute(libc, &self.seq, ExecMode::Wrapped { decls, config });
         let got = Expectation::from_result(&result);
         if got == self.expect {
             return Ok(());
@@ -248,6 +277,12 @@ impl Pin {
             diffs.push(format!(
                 "violations: expected {}, got {}",
                 self.expect.violations, got.violations
+            ));
+        }
+        if got.repairs != self.expect.repairs {
+            diffs.push(format!(
+                "repairs: expected {}, got {}",
+                self.expect.repairs, got.repairs
             ));
         }
         if got.steps != self.expect.steps {
@@ -307,10 +342,14 @@ mod tests {
         let pin = Pin {
             finding: "check-region-strcpy".into(),
             mode: PinMode::Full,
+            action: ViolationAction::ReturnError,
             seq,
             expect: Expectation::from_result(&result),
         };
         let text = pin.render();
+        // The default policy stays implicit so pre-repair pins render
+        // byte-identically.
+        assert!(!text.contains("action "), "{text}");
         let parsed = Pin::parse(&text).unwrap();
         assert_eq!(parsed, pin);
         parsed.replay(&libc, &decls).unwrap();
@@ -334,11 +373,44 @@ mod tests {
         let pin = Pin {
             finding: "check-region-strcpy".into(),
             mode: PinMode::Full,
+            action: ViolationAction::ReturnError,
             seq,
             expect,
         };
         let err = pin.replay(&libc, &decls).unwrap_err();
         assert!(err.contains("violations"), "{err}");
+    }
+
+    #[test]
+    fn repair_pins_round_trip_and_replay() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["malloc", "strcpy"]);
+        let seq = overflow_seq();
+        let mut config = WrapperConfig::full_auto();
+        config.action = ViolationAction::Repair;
+        let result = execute(
+            &libc,
+            &seq,
+            ExecMode::Wrapped {
+                decls: &decls,
+                config,
+            },
+        );
+        assert!(result.repairs > 0, "{result:?}");
+        let pin = Pin {
+            finding: "repair-region-strcpy".into(),
+            mode: PinMode::Full,
+            action: ViolationAction::Repair,
+            seq,
+            expect: Expectation::from_result(&result),
+        };
+        let text = pin.render();
+        assert!(text.contains("action repair"), "{text}");
+        assert!(text.contains("expect repairs "), "{text}");
+        assert!(text.contains(" repair "), "{text}");
+        let parsed = Pin::parse(&text).unwrap();
+        assert_eq!(parsed, pin);
+        parsed.replay(&libc, &decls).unwrap();
     }
 
     #[test]
@@ -348,6 +420,10 @@ mod tests {
         assert!(Pin::parse("finding x\nmode full\nexpect completed true").is_err());
         assert!(Pin::parse("finding x\nmode full\ncall free null").is_err());
         assert!(Pin::parse("finding x\nmode odd\ncall free null\nexpect completed true").is_err());
+        assert!(Pin::parse(
+            "finding x\nmode full\naction odd\ncall free null\nexpect completed true"
+        )
+        .is_err());
         assert!(Pin::parse(
             "finding x\nmode full\ncall free null\nexpect completed true\nexpect check bogus pass 1 fail 0"
         )

@@ -133,6 +133,9 @@ pub fn render(frames: &[Vec<Response>]) -> String {
                     ValidateVerdict::Reject { arg, check } => {
                         let _ = writeln!(out, "  validated: reject arg {arg} check {check}");
                     }
+                    ValidateVerdict::WouldRepair { arg, check } => {
+                        let _ = writeln!(out, "  validated: would-repair arg {arg} check {check}");
+                    }
                     ValidateVerdict::UnknownFunction => {
                         out.push_str("  validated: unknown function\n");
                     }

@@ -269,7 +269,10 @@ impl StatsHub {
         };
         let cell = match verdict {
             ValidateVerdict::Admit => 0,
-            ValidateVerdict::Reject { .. } => 1,
+            // A repair hint is still a failed validation; it lands in
+            // the reject column so the deterministic stats are
+            // identical whether or not the hint gate is on.
+            ValidateVerdict::Reject { .. } | ValidateVerdict::WouldRepair { .. } => 1,
             ValidateVerdict::AdmitUnchecked => 2,
             ValidateVerdict::UnknownFunction => return,
         };
@@ -494,7 +497,7 @@ fn handle_request(
                     stats.admitted_unchecked += 1;
                     counters.admits.fetch_add(1, Ordering::Relaxed);
                 }
-                ValidateVerdict::Reject { .. } => {
+                ValidateVerdict::Reject { .. } | ValidateVerdict::WouldRepair { .. } => {
                     stats.rejected += 1;
                     counters.rejects.fetch_add(1, Ordering::Relaxed);
                 }

@@ -60,6 +60,12 @@ pub struct PlanConfig {
     pub cache_dir: Option<PathBuf>,
     /// Worker threads for a cold-start analysis.
     pub jobs: usize,
+    /// Answer failing validates with
+    /// [`ValidateVerdict::WouldRepair`] instead of
+    /// [`ValidateVerdict::Reject`]. Off by default: the flag is the
+    /// wire version gate for verdict tag 4, so a daemon only emits it
+    /// when the operator opted every client in.
+    pub repair_hints: bool,
 }
 
 impl Default for PlanConfig {
@@ -68,6 +74,7 @@ impl Default for PlanConfig {
             functions: Vec::new(),
             cache_dir: None,
             jobs: 1,
+            repair_hints: false,
         }
     }
 }
@@ -137,6 +144,7 @@ pub struct ServePlans {
     scratch_str: Addr,
     scratch_buf: Addr,
     functions: Vec<String>,
+    repair_hints: bool,
 }
 
 impl fmt::Debug for ServePlans {
@@ -215,6 +223,7 @@ impl ServePlans {
                 scratch_str,
                 scratch_buf,
                 functions,
+                repair_hints: config.repair_hints,
             },
             metrics,
         ))
@@ -276,9 +285,15 @@ impl ServePlans {
         };
         for op in ops {
             if !eval_op(&self.world, &self.tables, &self.caps, args, op, ctrs) {
-                return ValidateVerdict::Reject {
-                    arg: op.arg as u16,
-                    check: op.ty.expect("claim ops carry a claim").notation(),
+                let arg = op.arg as u16;
+                let check = op.ty.expect("claim ops carry a claim").notation();
+                // Every claim op has a repair strategy in the wrapper
+                // (`repair_one` is total over `OpAction`), so under
+                // the hint gate a failing claim is always repairable.
+                return if self.repair_hints {
+                    ValidateVerdict::WouldRepair { arg, check }
+                } else {
+                    ValidateVerdict::Reject { arg, check }
                 };
             }
         }
@@ -403,6 +418,41 @@ mod tests {
             plans.validate_resolved(abs, &[SimValue::Int(1)], &mut ctrs),
             ValidateVerdict::AdmitUnchecked
         );
+    }
+
+    #[test]
+    fn repair_hints_turn_rejects_into_would_repair() {
+        let libc = Libc::standard();
+        let config = PlanConfig {
+            functions: vec!["strlen".into(), "abs".into()],
+            repair_hints: true,
+            ..PlanConfig::default()
+        };
+        let plans = ServePlans::build(&libc, &config).unwrap().0;
+        let mut ctrs = CheckCounters::default();
+        // Passing and unchecked verdicts are untouched by the gate.
+        assert_eq!(
+            plans.validate("strlen", &[SimValue::Ptr(plans.scratch_str())], &mut ctrs),
+            ValidateVerdict::Admit
+        );
+        assert_eq!(
+            plans.validate("abs", &[SimValue::Int(-5)], &mut ctrs),
+            ValidateVerdict::AdmitUnchecked
+        );
+        // A failing claim now carries the repair hint, with the same
+        // argument index and check notation a Reject would name.
+        let hinted = plans.validate("strlen", &[SimValue::NULL], &mut ctrs);
+        let plain = plans_for(&["strlen"]).validate("strlen", &[SimValue::NULL], &mut ctrs);
+        match (hinted, plain) {
+            (
+                ValidateVerdict::WouldRepair { arg: ha, check: hc },
+                ValidateVerdict::Reject { arg: pa, check: pc },
+            ) => {
+                assert_eq!(ha, pa);
+                assert_eq!(hc, pc);
+            }
+            (h, p) => panic!("expected WouldRepair/Reject, got {h:?} / {p:?}"),
+        }
     }
 
     #[test]

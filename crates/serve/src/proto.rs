@@ -112,6 +112,17 @@ pub enum ValidateVerdict {
         /// Notation of the check that failed.
         check: String,
     },
+    /// A check failed, but a repair-mode wrapper would fix the
+    /// argument and let the call proceed. Only emitted when the daemon
+    /// runs with [`repair_hints`](crate::PlanConfig::repair_hints)
+    /// enabled — the flag is the wire version gate, so clients that
+    /// predate this tag never see it.
+    WouldRepair {
+        /// Index of the violating (repairable) argument.
+        arg: u16,
+        /// Notation of the check that failed.
+        check: String,
+    },
     /// The daemon has no plan or declaration for the function.
     UnknownFunction,
 }
@@ -416,6 +427,7 @@ const VERDICT_ADMIT: u8 = 0;
 const VERDICT_ADMIT_UNCHECKED: u8 = 1;
 const VERDICT_REJECT: u8 = 2;
 const VERDICT_UNKNOWN_FUNCTION: u8 = 3;
+const VERDICT_WOULD_REPAIR: u8 = 4;
 
 impl Response {
     /// Append the wire form of this response to `out`.
@@ -429,6 +441,11 @@ impl Response {
                     ValidateVerdict::AdmitUnchecked => out.push(VERDICT_ADMIT_UNCHECKED),
                     ValidateVerdict::Reject { arg, check } => {
                         out.push(VERDICT_REJECT);
+                        put_u16(out, *arg);
+                        put_string(out, check);
+                    }
+                    ValidateVerdict::WouldRepair { arg, check } => {
+                        out.push(VERDICT_WOULD_REPAIR);
                         put_u16(out, *arg);
                         put_string(out, check);
                     }
@@ -519,6 +536,10 @@ impl Response {
                     VERDICT_ADMIT => ValidateVerdict::Admit,
                     VERDICT_ADMIT_UNCHECKED => ValidateVerdict::AdmitUnchecked,
                     VERDICT_REJECT => ValidateVerdict::Reject {
+                        arg: c.u16()?,
+                        check: c.string()?,
+                    },
+                    VERDICT_WOULD_REPAIR => ValidateVerdict::WouldRepair {
                         arg: c.u16()?,
                         check: c.string()?,
                     },
@@ -657,6 +678,10 @@ mod tests {
             arg: 1,
             check: "RNTS".into(),
         }));
+        roundtrip_rsp(Response::Validated(ValidateVerdict::WouldRepair {
+            arg: 0,
+            check: "WNTS".into(),
+        }));
         roundtrip_rsp(Response::Validated(ValidateVerdict::UnknownFunction));
         roundtrip_rsp(Response::Explained { info: None });
         roundtrip_rsp(Response::Explained {
@@ -785,6 +810,13 @@ mod tests {
         assert_eq!(
             Response::decode(&[super::RSP_VALIDATED, 9]),
             Err(WireError::UnknownTag(9))
+        );
+        // Tag 5 is the first unassigned verdict tag: a client one
+        // version ahead of this codec must get a clean decode error,
+        // exactly as pre-repair clients do for tag 4.
+        assert_eq!(
+            Response::decode(&[super::RSP_VALIDATED, 5]),
+            Err(WireError::UnknownTag(5))
         );
     }
 }

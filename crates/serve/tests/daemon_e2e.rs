@@ -109,7 +109,7 @@ fn warm_start_builds_plans_with_zero_injected_calls() {
     let config = PlanConfig {
         functions: vec!["strlen".into(), "strcpy".into(), "abs".into()],
         cache_dir: Some(dir.clone()),
-        jobs: 1,
+        ..PlanConfig::default()
     };
 
     let (_, cold) = ServePlans::build(&libc, &config).unwrap();
@@ -147,7 +147,7 @@ fn corrupt_cache_entry_fails_startup() {
     let config = PlanConfig {
         functions: vec!["strlen".into()],
         cache_dir: Some(dir.clone()),
-        jobs: 1,
+        ..PlanConfig::default()
     };
     ServePlans::build(&libc, &config).unwrap();
     let entry = std::fs::read_dir(&dir)

@@ -492,6 +492,64 @@ impl AddressSpace {
         None
     }
 
+    /// Length of the maximal accessible byte run starting at `addr`,
+    /// bounded by `max`: the largest `n <= max` such that every byte
+    /// of `[addr, addr+n)` permits the required access. The discovery
+    /// half of [`probe_range`](AddressSpace::probe_range): instead of
+    /// a yes/no on a known length, it finds the length a clamped
+    /// substitute may safely use. Page-table walk only — one entry per
+    /// contiguous run, no byte scans.
+    pub fn accessible_run(&self, addr: Addr, max: u32, need_read: bool, need_write: bool) -> u32 {
+        if max == 0 {
+            return 0;
+        }
+        if !need_read && !need_write {
+            return max;
+        }
+        // A budget past the top of the address space clamps: the wrap
+        // would land on the never-mapped null page anyway.
+        let end = addr.saturating_add(max - 1);
+        let first = page_of(addr);
+        let mut expect = first;
+        let mut last_ok: Option<Addr> = None;
+        for (&p, page) in self.pages.range(first..=page_of(end)) {
+            if p != expect {
+                break; // hole in the mapping
+            }
+            if (need_read && !page.prot.allows_read()) || (need_write && !page.prot.allows_write())
+            {
+                break;
+            }
+            last_ok = Some((p * PAGE_SIZE + (PAGE_SIZE - 1)).min(end));
+            expect = p + 1;
+        }
+        match last_ok {
+            Some(e) => e - addr + 1,
+            None => 0,
+        }
+    }
+
+    /// Copy up to `len` bytes from `src` to `dst`, stopping early at
+    /// the first unreadable source byte or unwritable destination byte
+    /// — never faulting, never writing past either bound. Returns the
+    /// count copied. The bounded-copy primitive repair mode uses to
+    /// move a wild argument's accessible prefix into a safe substitute
+    /// buffer.
+    pub fn bounded_copy(&mut self, dst: Addr, src: Addr, len: u32) -> u32 {
+        let n = self
+            .accessible_run(src, len, true, false)
+            .min(self.accessible_run(dst, len, false, true));
+        for i in 0..n {
+            let Ok(b) = self.read_u8(src + i) else {
+                return i;
+            };
+            if self.write_u8(dst + i, b).is_err() {
+                return i;
+            }
+        }
+        n
+    }
+
     /// Number of mapped pages (diagnostics).
     pub fn mapped_pages(&self) -> usize {
         self.pages.len()
@@ -869,6 +927,34 @@ mod tests {
     fn mapping_null_page_panics() {
         let mut m = AddressSpace::new();
         m.map(0, 4096, Protection::ReadWrite);
+    }
+
+    #[test]
+    fn accessible_run_and_bounded_copy_respect_bounds() {
+        let mut m = AddressSpace::new();
+        m.map(0x1000, 2 * 4096, Protection::ReadWrite);
+        m.map(0x3000, 4096, Protection::ReadOnly);
+        // 0x4000 unmapped.
+        assert_eq!(m.accessible_run(0x1000, 64, true, false), 64);
+        assert_eq!(m.accessible_run(0x2ff0, 8192, true, false), 0x1010);
+        assert_eq!(m.accessible_run(0x2ff0, 8192, true, true), 16);
+        assert_eq!(m.accessible_run(0x3ff0, 8192, true, false), 16);
+        assert_eq!(m.accessible_run(0x4000, 16, true, false), 0);
+        assert_eq!(m.accessible_run(0x1000, 0, true, false), 0);
+        assert_eq!(
+            m.accessible_run(0x4000, 16, false, false),
+            16,
+            "a no-access run asserts nothing, like probe_range"
+        );
+
+        // The copy stops at the writable end of the destination...
+        m.write_bytes(0x1000, b"abcdefgh").unwrap();
+        assert_eq!(m.bounded_copy(0x2ffa, 0x1000, 8), 6);
+        assert_eq!(m.read_bytes(0x2ffa, 6).unwrap(), b"abcdef");
+        assert_eq!(m.read_u8(0x3000).unwrap(), 0, "never writes past the bound");
+        // ...and at the readable end of the source.
+        assert_eq!(m.bounded_copy(0x1100, 0x3ffc, 16), 4);
+        assert_eq!(m.bounded_copy(0x1100, 0x4000, 8), 0);
     }
 
     #[test]

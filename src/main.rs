@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! healers [--seed N] analyze <function>...   print generated declarations (Figure 2 XML)
-//! healers [--seed N] wrap [--out FILE]       emit the C wrapper library for all 86 targets
+//! healers [--seed N] wrap [--out FILE] [--on-violation M]  emit the C wrapper library for all 86 targets
 //! healers [--seed N] ballista [--mode M] [--cap N]  run the Figure 6 evaluation
 //! healers [--seed N] campaign [--jobs N] [--cache DIR] [--journal FILE] [--trace FILE]
 //!                             [--mode M] [--cap N] [--out FILE] [--progress] [<function>...]
@@ -17,9 +17,9 @@
 //! healers fuzz shrink <file> [--out FILE]    shrink a seed file's first finding
 //! healers explain <function>...              replay a declaration's lattice walk with
 //!                                            per-case fault provenance
-//! healers serve daemon --socket PATH [--workers N] [--queue N] [--cache DIR] [<function>...]
+//! healers serve daemon --socket PATH [--workers N] [--queue N] [--cache DIR] [--repair-hints] [<function>...]
 //!                                            long-lived hardening-as-a-service daemon
-//! healers serve exec --script FILE [--workers N] [--raw-out FILE] [--cache DIR] [<function>...]
+//! healers serve exec --script FILE [--workers N] [--raw-out FILE] [--cache DIR] [--repair-hints] [<function>...]
 //!                                            replay a request script against an in-process daemon
 //! healers serve send --socket PATH --script FILE [--raw-out FILE]
 //!                                            replay a request script against a running daemon
@@ -45,7 +45,10 @@ use std::process::ExitCode;
 use healers::ballista::{ballista_targets, Ballista, Mode};
 use healers::campaign::json::JsonObject;
 use healers::campaign::{Campaign, CampaignConfig, Journal};
-use healers::core::{analyze, decls_to_xml, emit_checks_header, emit_wrapper_source, WrapperStats};
+use healers::core::{
+    analyze, decls_to_xml, emit_checks_header, emit_wrapper_source_as, ViolationAction,
+    WrapperStats,
+};
 use healers::corpus::{generate::CorpusConfig, pipeline::recover_all};
 use healers::fuzz::{FuzzConfig, FuzzEvent, Pin, PinMode};
 use healers::inject::FaultInjector;
@@ -56,21 +59,26 @@ use healers::Error;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  healers [--seed N] analyze <function>...\n  \
-         healers [--seed N] wrap [--out FILE]\n  \
+         healers [--seed N] wrap [--out FILE] [--on-violation abort|error|repair]\n  \
          healers [--seed N] ballista [--mode unwrapped|full|semi|all] [--cap N]\n  \
+         \x20                        [--on-violation abort|error|repair]\n  \
          healers [--seed N] campaign [--jobs N] [--cache DIR] [--journal FILE]\n  \
          \x20                        [--trace FILE] [--mode decls|unwrapped|full|semi|all]\n  \
-         \x20                        [--cap N] [--out FILE] [--progress] [<function>...]\n  \
+         \x20                        [--cap N] [--out FILE] [--progress]\n  \
+         \x20                        [--on-violation abort|error|repair] [<function>...]\n  \
          healers [--seed N] report [--mode unwrapped|full|semi] [--cap N] [--jobs N]\n  \
-         \x20                      [--json] [--timings] [<function>...]\n  \
+         \x20                      [--json] [--timings]\n  \
+         \x20                      [--on-violation abort|error|repair] [<function>...]\n  \
          healers [--seed N] fuzz run [--budget N] [--jobs N] [--max-len N]\n  \
          \x20                        [--mode full|semi] [--journal FILE] [--trace FILE]\n  \
-         \x20                        [--pins DIR] [<function>...]\n  \
+         \x20                        [--pins DIR] [--on-violation abort|error|repair]\n  \
+         \x20                        [<function>...]\n  \
          healers fuzz replay [--flight-dump FILE] <file>...\n  \
-         healers fuzz shrink <file> [--out FILE]\n  \
+         healers fuzz shrink <file> [--out FILE] [--mode full|semi]\n  \
+         \x20                [--on-violation abort|error|repair]\n  \
          healers explain <function>...\n  \
-         healers serve daemon --socket PATH [--workers N] [--queue N] [--cache DIR] [<function>...]\n  \
-         healers serve exec --script FILE [--workers N] [--raw-out FILE] [--cache DIR] [<function>...]\n  \
+         healers serve daemon --socket PATH [--workers N] [--queue N] [--cache DIR] [--repair-hints] [<function>...]\n  \
+         healers serve exec --script FILE [--workers N] [--raw-out FILE] [--cache DIR] [--repair-hints] [<function>...]\n  \
          healers serve send --socket PATH --script FILE [--raw-out FILE]\n  \
          healers serve stats --socket PATH [--prom | --deterministic] [--timings] [--watch]\n  \
          healers bench serve [--fast] [--clients N] [--workers N] [--frames N] [--batch N]\n  \
@@ -142,6 +150,15 @@ fn parse_modes(command: &'static str, token: &str) -> Result<Vec<Mode>, Error> {
         .map_err(|e| Error::BadArgument(format!("{command}: {e}")))
 }
 
+/// Parse an `--on-violation` token into a [`ViolationAction`]. Every
+/// subcommand that takes the flag funnels through here so the token
+/// set and the error message stay identical across the CLI.
+fn parse_action(command: &'static str, token: &str) -> Result<ViolationAction, Error> {
+    token
+        .parse::<ViolationAction>()
+        .map_err(|e| Error::BadArgument(format!("{command}: {e}")))
+}
+
 /// Reject any function name the library does not export, with the
 /// historic `cmd: name is not exported by the library` message.
 fn require_exported(command: &'static str, libc: &Libc, names: &[String]) -> Result<(), Error> {
@@ -174,15 +191,20 @@ fn cmd_analyze(functions: &[String]) -> Result<(), Error> {
 }
 
 fn cmd_wrap(rest: &[String]) -> Result<(), Error> {
-    let out = match rest {
-        [] => None,
-        [flag, path] if flag == "--out" => Some(path.clone()),
-        _ => return Err(Error::Usage),
-    };
+    let mut out: Option<String> = None;
+    let mut action = ViolationAction::ReturnError;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(it.next().ok_or(Error::Usage)?.clone()),
+            "--on-violation" => action = parse_action("wrap", it.next().ok_or(Error::Usage)?)?,
+            _ => return Err(Error::Usage),
+        }
+    }
     let libc = Libc::standard();
     eprintln!("analyzing {} functions…", ballista_targets().len());
     let decls = analyze(&libc, &ballista_targets());
-    let source = emit_wrapper_source(&decls);
+    let source = emit_wrapper_source_as(&decls, action);
     let header = emit_checks_header(&decls);
     match out {
         Some(path) => {
@@ -208,6 +230,7 @@ fn cmd_wrap(rest: &[String]) -> Result<(), Error> {
 fn cmd_ballista(rest: &[String], seed: Option<u64>) -> Result<(), Error> {
     let mut mode = "all".to_string();
     let mut cap = 180usize;
+    let mut action: Option<ViolationAction> = None;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -215,11 +238,17 @@ fn cmd_ballista(rest: &[String], seed: Option<u64>) -> Result<(), Error> {
             "--cap" => {
                 cap = it.next().and_then(|v| v.parse().ok()).ok_or(Error::Usage)?;
             }
+            "--on-violation" => {
+                action = Some(parse_action("ballista", it.next().ok_or(Error::Usage)?)?);
+            }
             _ => return Err(Error::Usage),
         }
     }
     let modes = parse_modes("ballista", &mode)?;
     let mut ballista = Ballista::new().with_cap(cap);
+    if let Some(action) = action {
+        ballista = ballista.with_action(action);
+    }
     if let Some(seed) = seed {
         ballista = ballista.with_seed(seed);
     }
@@ -246,6 +275,7 @@ fn cmd_campaign(rest: &[String], seed: Option<u64>) -> Result<(), Error> {
     let mut cap = 180usize;
     let mut out: Option<PathBuf> = None;
     let mut progress = false;
+    let mut action: Option<ViolationAction> = None;
     let mut functions: Vec<String> = Vec::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -263,6 +293,9 @@ fn cmd_campaign(rest: &[String], seed: Option<u64>) -> Result<(), Error> {
             }
             "--out" => out = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
             "--progress" => progress = true,
+            "--on-violation" => {
+                action = Some(parse_action("campaign", it.next().ok_or(Error::Usage)?)?);
+            }
             flag if flag.starts_with("--") => return Err(Error::Usage),
             name => functions.push(name.to_string()),
         }
@@ -349,6 +382,9 @@ fn cmd_campaign(rest: &[String], seed: Option<u64>) -> Result<(), Error> {
     if let Some(seed) = seed {
         ballista = ballista.with_seed(seed);
     }
+    if let Some(action) = action {
+        ballista = ballista.with_action(action);
+    }
     for m in modes {
         let (report, metrics) = campaign.evaluate(&libc, &ballista, m, decls.clone());
         println!("{}", report.render());
@@ -385,6 +421,7 @@ fn cmd_report(rest: &[String], seed: Option<u64>) -> Result<(), Error> {
     let mut jobs = 1usize;
     let mut json = false;
     let mut timings = false;
+    let mut action: Option<ViolationAction> = None;
     let mut functions: Vec<String> = Vec::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -399,6 +436,9 @@ fn cmd_report(rest: &[String], seed: Option<u64>) -> Result<(), Error> {
             },
             "--json" => json = true,
             "--timings" => timings = true,
+            "--on-violation" => {
+                action = Some(parse_action("report", it.next().ok_or(Error::Usage)?)?);
+            }
             flag if flag.starts_with("--") => return Err(Error::Usage),
             name => functions.push(name.to_string()),
         }
@@ -432,6 +472,9 @@ fn cmd_report(rest: &[String], seed: Option<u64>) -> Result<(), Error> {
     let mut ballista = Ballista::new().with_functions(&name_refs).with_cap(cap);
     if let Some(seed) = seed {
         ballista = ballista.with_seed(seed);
+    }
+    if let Some(action) = action {
+        ballista = ballista.with_action(action);
     }
     let report_seed = ballista.seed();
     let (report, _metrics, stats) = campaign.evaluate_traced(&libc, &ballista, mode, decls);
@@ -467,13 +510,29 @@ fn render_report_text(
     }
     let _ = writeln!(
         out,
-        "wrapper: calls={} wrapped={} checks={} violations={} cache-hits={}",
-        stats.calls, stats.wrapped_calls, stats.checks, stats.violations, stats.check_cache_hits
+        "wrapper: calls={} wrapped={} checks={} violations={} repairs={} cache-hits={}",
+        stats.calls,
+        stats.wrapped_calls,
+        stats.checks,
+        stats.violations,
+        stats.repairs,
+        stats.check_cache_hits
     );
     let _ = writeln!(out, "checks by claim kind:");
-    let _ = writeln!(out, "  {:<10} {:>8} {:>8}", "kind", "passed", "failed");
-    for (kind, passed, failed) in stats.check_outcomes.iter() {
-        let _ = writeln!(out, "  {:<10} {:>8} {:>8}", kind.label(), passed, failed);
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>8} {:>8} {:>8}",
+        "kind", "passed", "failed", "repaired"
+    );
+    for (kind, passed, failed, repaired) in stats.check_outcomes.iter() {
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>8} {:>8} {:>8}",
+            kind.label(),
+            passed,
+            failed,
+            repaired
+        );
     }
     if timings {
         let _ = writeln!(
@@ -511,13 +570,15 @@ fn render_report_json(
         .u64("wrapped_calls", stats.wrapped_calls)
         .u64("checks", stats.checks)
         .u64("violations", stats.violations)
+        .u64("repairs", stats.repairs)
         .u64("cache_hits", stats.check_cache_hits)
         .finish();
     let mut checks = JsonObject::new();
-    for (kind, passed, failed) in stats.check_outcomes.iter() {
+    for (kind, passed, failed, repaired) in stats.check_outcomes.iter() {
         let entry = JsonObject::new()
             .u64("passed", passed)
             .u64("failed", failed)
+            .u64("repaired", repaired)
             .finish();
         checks = checks.raw(kind.label(), &entry);
     }
@@ -602,6 +663,9 @@ fn cmd_fuzz_run(rest: &[String], seed: Option<u64>) -> Result<(), Error> {
                 _ => return Err(Error::Usage),
             },
             "--mode" => config.mode = parse_pin_mode(it.next().ok_or(Error::Usage)?)?,
+            "--on-violation" => {
+                config.action = parse_action("fuzz", it.next().ok_or(Error::Usage)?)?;
+            }
             "--journal" => journal_path = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
             "--trace" => trace_path = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
             "--pins" => pins_dir = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
@@ -757,11 +821,15 @@ fn cmd_fuzz_shrink(rest: &[String]) -> Result<(), Error> {
     let mut file: Option<&String> = None;
     let mut out: Option<PathBuf> = None;
     let mut mode = PinMode::Full;
+    let mut action = ViolationAction::ReturnError;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => out = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
             "--mode" => mode = parse_pin_mode(it.next().ok_or(Error::Usage)?)?,
+            "--on-violation" => {
+                action = parse_action("fuzz shrink", it.next().ok_or(Error::Usage)?)?;
+            }
             flag if flag.starts_with("--") => return Err(Error::Usage),
             _ if file.is_none() => file = Some(arg),
             _ => return Err(Error::Usage),
@@ -776,12 +844,14 @@ fn cmd_fuzz_shrink(rest: &[String]) -> Result<(), Error> {
     let decls = fuzz_decls_for("fuzz shrink", &libc, &seq)?;
 
     let execute_pair = |s: &healers::fuzz::Sequence| {
+        let mut config = mode.config();
+        config.action = action;
         let wrapped = healers::fuzz::execute(
             &libc,
             s,
             healers::fuzz::ExecMode::Wrapped {
                 decls: &decls,
-                config: mode.config(),
+                config,
             },
         );
         let unwrapped = healers::fuzz::execute_unwrapped(&libc, s);
@@ -812,6 +882,7 @@ fn cmd_fuzz_shrink(rest: &[String]) -> Result<(), Error> {
     let pin = Pin {
         finding: finding.key(),
         mode,
+        action,
         seq: shrunk,
         expect: healers::fuzz::Expectation::from_result(&wrapped),
     };
@@ -945,12 +1016,14 @@ fn build_serve_plans(
     functions: Vec<String>,
     cache_dir: Option<PathBuf>,
     jobs: usize,
+    repair_hints: bool,
 ) -> Result<std::sync::Arc<healers::serve::ServePlans>, Error> {
     let libc = Libc::standard();
     let config = healers::serve::PlanConfig {
         functions,
         cache_dir,
         jobs,
+        repair_hints,
     };
     let (plans, metrics) = healers::serve::ServePlans::build(&libc, &config)?;
     eprintln!("{metrics}");
@@ -962,6 +1035,7 @@ fn cmd_serve_daemon(rest: &[String]) -> Result<(), Error> {
     let mut workers = 4usize;
     let mut queue = 16usize;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut repair_hints = false;
     let mut functions: Vec<String> = Vec::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -976,6 +1050,7 @@ fn cmd_serve_daemon(rest: &[String]) -> Result<(), Error> {
                 _ => return Err(Error::Usage),
             },
             "--cache" => cache_dir = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            "--repair-hints" => repair_hints = true,
             flag if flag.starts_with("--") => return Err(Error::Usage),
             name => functions.push(name.to_string()),
         }
@@ -983,7 +1058,7 @@ fn cmd_serve_daemon(rest: &[String]) -> Result<(), Error> {
     let socket = socket
         .ok_or_else(|| Error::BadArgument("serve daemon: --socket PATH is required".into()))?;
 
-    let plans = build_serve_plans(functions, cache_dir, workers)?;
+    let plans = build_serve_plans(functions, cache_dir, workers, repair_hints)?;
     let listener = healers::serve::daemon::UnixSocketListener::bind(&socket)
         .map_err(|e| Error::io(format!("serve daemon: cannot bind {}", socket.display()), e))?;
     eprintln!(
@@ -1037,6 +1112,7 @@ fn cmd_serve_exec(rest: &[String]) -> Result<(), Error> {
     let mut workers = 4usize;
     let mut raw_out: Option<PathBuf> = None;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut repair_hints = false;
     let mut functions: Vec<String> = Vec::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -1048,6 +1124,7 @@ fn cmd_serve_exec(rest: &[String]) -> Result<(), Error> {
             },
             "--raw-out" => raw_out = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
             "--cache" => cache_dir = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
+            "--repair-hints" => repair_hints = true,
             flag if flag.starts_with("--") => return Err(Error::Usage),
             name => functions.push(name.to_string()),
         }
@@ -1063,7 +1140,7 @@ fn cmd_serve_exec(rest: &[String]) -> Result<(), Error> {
     let script = healers::serve::Script::parse(&text)
         .map_err(|e| Error::BadArgument(format!("serve exec: {e}")))?;
 
-    let plans = build_serve_plans(functions, cache_dir, workers)?;
+    let plans = build_serve_plans(functions, cache_dir, workers, repair_hints)?;
     let (dial, listener) = healers::serve::daemon::PipeListener::new();
     let daemon = healers::serve::Daemon::spawn(
         Box::new(listener),
@@ -1230,7 +1307,7 @@ fn cmd_bench(rest: &[String]) -> Result<(), Error> {
         .iter()
         .map(|s| s.to_string())
         .collect();
-    let plans = build_serve_plans(functions, None, 1)?;
+    let plans = build_serve_plans(functions, None, 1, false)?;
     let report = healers::serve::bench::run(plans, &config);
     print!("{}", report.render());
     if let Some(path) = &json_out {

@@ -24,8 +24,9 @@
 pub use healers_ballista::{ballista_targets, Ballista, BallistaReport, Mode, ParseModeError};
 pub use healers_campaign::{Campaign, CampaignConfig, CampaignMetrics};
 pub use healers_core::{
-    analyze, decls_from_xml, decls_to_xml, semi_auto_overrides, FunctionDecl, RobustnessWrapper,
-    WrapperBuilder, WrapperConfig, WrapperStats,
+    analyze, decls_from_xml, decls_to_xml, semi_auto_overrides, FunctionDecl,
+    ParseViolationActionError, Repair, RobustnessWrapper, Verdict, ViolationAction, WrapperBuilder,
+    WrapperConfig, WrapperStats,
 };
 pub use healers_inject::FaultInjector;
 pub use healers_libc::{Libc, World};

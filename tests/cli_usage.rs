@@ -112,6 +112,56 @@ fn unknown_flags_exit_2() {
 }
 
 #[test]
+fn on_violation_misuse_exits_2_everywhere_it_is_accepted() {
+    // Satellite contract: every subcommand that takes `--on-violation`
+    // funnels the token through the same parser, so misuse is exit 2
+    // with the same diagnostic wording regardless of subcommand.
+    for args in [
+        &["ballista", "--on-violation"][..], // missing operand
+        &["ballista", "--on-violation", "panic"][..],
+        &["wrap", "--on-violation", "heal"][..],
+        &["campaign", "--on-violation", "Repair"][..], // tokens are lowercase
+        &["report", "--on-violation", "none"][..],
+        &["fuzz", "run", "--on-violation", "fix"][..],
+        &[
+            "fuzz",
+            "shrink",
+            "no-such-seed.txt",
+            "--on-violation",
+            "retry",
+        ][..],
+    ] {
+        let out = healers(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        if args.len() > 2 {
+            let stderr = String::from_utf8(out.stderr).unwrap();
+            assert!(
+                stderr.contains("expected abort, error, or repair"),
+                "args {args:?} stderr:\n{stderr}"
+            );
+        }
+    }
+}
+
+#[test]
+fn on_violation_repair_is_accepted_end_to_end() {
+    let out = healers(&[
+        "--seed",
+        "7",
+        "report",
+        "--cap",
+        "4",
+        "--on-violation",
+        "repair",
+        "strcpy",
+        "strlen",
+    ]);
+    assert!(out.status.success(), "{:?}", out);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("repairs="), "{text}");
+}
+
+#[test]
 fn report_output_is_byte_identical_across_worker_counts() {
     let base = &["--seed", "7", "report", "--cap", "6", "strcpy", "strlen"];
     let one = healers(&[base as &[&str], &["--jobs", "1"]].concat());

@@ -35,11 +35,23 @@ fn report_body(report: &BallistaReport, stats: &WrapperStats) -> String {
     }
     let _ = writeln!(
         out,
-        "wrapper: calls={} wrapped={} checks={} violations={} cache-hits={}",
-        stats.calls, stats.wrapped_calls, stats.checks, stats.violations, stats.check_cache_hits
+        "wrapper: calls={} wrapped={} checks={} violations={} repairs={} cache-hits={}",
+        stats.calls,
+        stats.wrapped_calls,
+        stats.checks,
+        stats.violations,
+        stats.repairs,
+        stats.check_cache_hits
     );
-    for (kind, passed, failed) in stats.check_outcomes.iter() {
-        let _ = writeln!(out, "  {:<10} {:>8} {:>8}", kind.label(), passed, failed);
+    for (kind, passed, failed, repaired) in stats.check_outcomes.iter() {
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>8} {:>8} {:>8}",
+            kind.label(),
+            passed,
+            failed,
+            repaired
+        );
     }
     out
 }

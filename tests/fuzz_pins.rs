@@ -68,23 +68,39 @@ fn committed_pins_cover_every_check_kind_and_a_wrapped_crash() {
     // crash that got through the wrapper.
     let pins = load_pins();
     let mut failed_kinds: BTreeSet<String> = BTreeSet::new();
+    let mut repaired_kinds: BTreeSet<String> = BTreeSet::new();
     let mut wrapped_crashes = 0usize;
     for (_, pin) in &pins {
-        for (kind, _, failed) in &pin.expect.checks {
+        for (kind, _, failed, repaired) in &pin.expect.checks {
             if *failed > 0 {
                 failed_kinds.insert(kind.clone());
+            }
+            if *repaired > 0 {
+                repaired_kinds.insert(kind.clone());
             }
         }
         if !pin.expect.completed {
             wrapped_crashes += 1;
         }
     }
-    for kind in ["region", "string", "stream", "dir", "scalar", "assertion"] {
+    for kind in [
+        "region",
+        "string",
+        "stream",
+        "dir",
+        "scalar",
+        "assertion",
+        "format",
+    ] {
         assert!(
             failed_kinds.contains(kind),
             "no committed pin exercises a failed {kind} check (have: {failed_kinds:?})"
         );
     }
+    assert!(
+        !repaired_kinds.is_empty(),
+        "no committed pin exercises a repair-mode fix"
+    );
     assert!(wrapped_crashes >= 1, "no committed wrapped-crash pin");
-    assert!(pins.len() >= 10, "the committed set must stay at 10+ pins");
+    assert!(pins.len() >= 12, "the committed set must stay at 12+ pins");
 }
