@@ -27,6 +27,13 @@ use crate::json::JsonObject;
 /// campaign's [`CampaignEvent`] and the fuzzer's event type both
 /// implement this, which is how campaigns and fuzz runs share one
 /// journal/trace pipeline.
+///
+/// The pipeline is schedule-aware by construction: the threaded
+/// fuzzer's interleaving events (thread lanes and check-vs-call
+/// windows) are just another `JournalEvent`, sequenced by the same
+/// single drainer — so a journal with schedules is exactly as
+/// byte-deterministic across worker counts as one without, and CI can
+/// diff `--jobs 1` against `--jobs 4` with schedules in the stream.
 pub trait JournalEvent: Send + 'static {
     /// Render as a single JSON line with sequence number `seq`.
     fn to_json(&self, seq: u64) -> String;

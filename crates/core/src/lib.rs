@@ -66,7 +66,7 @@ pub use emit::{emit_checks_header, emit_wrapper_source, emit_wrapper_source_as};
 pub use overrides::{semi_auto_overrides, ManualOverride, SizeAssertion};
 pub use plan::{eval_op, CheckOp, CompiledPlan, FormatViolation, OpAction, PlanMode};
 pub use wrapper::{
-    FnId, FnTelemetry, ParseViolationActionError, Repair, RobustnessWrapper, Verdict,
+    FnId, FnTelemetry, ParseViolationActionError, PendingCall, Repair, RobustnessWrapper, Verdict,
     ViolationAction, WrapperBuilder, WrapperConfig, WrapperStats,
 };
 pub use xml::{decls_from_xml, decls_to_xml};

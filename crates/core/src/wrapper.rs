@@ -138,6 +138,13 @@ pub struct WrapperConfig {
     /// flipped to the interpreted reference without CLI plumbing; set
     /// it explicitly to pin a mode (the ablation benches do).
     pub plan_mode: Option<PlanMode>,
+    /// Re-run the checks at [`RobustnessWrapper::finish_call`] when the
+    /// call was preempted inside its check-vs-call window. Off by
+    /// default — the 2002 paper's wrapper checks once, which is exactly
+    /// the TOCTOU exposure the threaded fuzzer hunts; turning this on
+    /// closes the window (a recheck failure is handled like any other
+    /// violation, including repair under [`ViolationAction::Repair`]).
+    pub revalidate_on_preempt: bool,
 }
 
 impl WrapperConfig {
@@ -160,6 +167,7 @@ impl WrapperConfig {
             // only skips re-probing unchanged pointers.
             check_cache: true,
             plan_mode: None,
+            revalidate_on_preempt: false,
         }
     }
 
@@ -216,6 +224,15 @@ pub struct WrapperStats {
     pub repairs: u64,
     /// Checks skipped thanks to the validity cache.
     pub check_cache_hits: u64,
+    /// Wrapped calls preempted inside their check-vs-call window
+    /// (another simulated thread ran between checks and library call).
+    pub preempted_calls: u64,
+    /// Re-validations performed at the end of a preempted window
+    /// ([`WrapperConfig::revalidate_on_preempt`]).
+    pub window_rechecks: u64,
+    /// Re-validations that failed — checks that passed before the
+    /// window but no longer hold after it: a caught TOCTOU mutation.
+    pub recheck_failures: u64,
     /// Per-kernel decomposition of the checks above: tracking-table
     /// hits, bulk page-run probes, NUL scans, and bytes scanned.
     pub check_kinds: CheckCounters,
@@ -256,6 +273,9 @@ impl WrapperStats {
             violations,
             repairs,
             check_cache_hits,
+            preempted_calls,
+            window_rechecks,
+            recheck_failures,
             check_kinds,
             check_outcomes,
             per_function,
@@ -268,6 +288,9 @@ impl WrapperStats {
         self.violations += violations;
         self.repairs += repairs;
         self.check_cache_hits += check_cache_hits;
+        self.preempted_calls += preempted_calls;
+        self.window_rechecks += window_rechecks;
+        self.recheck_failures += recheck_failures;
         self.check_kinds.absorb(check_kinds);
         self.check_outcomes.absorb(check_outcomes);
         for (name, telemetry) in per_function {
@@ -346,6 +369,64 @@ struct CheckFailure {
     kind: CheckKind,
     check: String,
     value: SimValue,
+}
+
+/// An in-flight wrapped call between its checks and its library call —
+/// the check-vs-call window, reified. Produced by
+/// [`RobustnessWrapper::begin_call`]; consumed by
+/// [`RobustnessWrapper::finish_call`]. Between the two, other simulated
+/// threads may mutate the world (free the checked buffer, close the
+/// checked stream) — exactly the TOCTOU races the threaded fuzzer
+/// explores and `revalidate_on_preempt` closes.
+#[derive(Debug, Clone)]
+pub struct PendingCall {
+    name: String,
+    /// The original arguments as passed (pre-repair).
+    args: Vec<SimValue>,
+    /// Dispatch slot; meaningless for [`PendingPhase::Bare`].
+    idx: usize,
+    phase: PendingPhase,
+}
+
+#[derive(Debug, Clone)]
+enum PendingPhase {
+    /// Recursive or unknown call: straight through, no tracking.
+    Bare,
+    /// Known but unwrapped (safe or disabled): call through and keep
+    /// the tracking tables current.
+    Passthrough,
+    /// Checks passed — possibly after repair, in which case `args`
+    /// carries the fixed values and `fixes` the record of them.
+    Admitted {
+        args: Vec<SimValue>,
+        fixes: Vec<Repair>,
+    },
+    /// Checks failed with no safe substitute: the violation is
+    /// delivered at finish (after the window — the refusal happens at
+    /// the call point).
+    Refused { failure: CheckFailure },
+}
+
+impl PendingCall {
+    /// The function this call targets.
+    pub fn function(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the checks admitted the call (the library call will
+    /// actually execute at finish).
+    pub fn admitted(&self) -> bool {
+        matches!(self.phase, PendingPhase::Admitted { .. })
+    }
+
+    /// Whether this call's prefix checks actually ran (i.e. the
+    /// function is wrapped and this was not a recursive entry).
+    pub fn checked(&self) -> bool {
+        matches!(
+            self.phase,
+            PendingPhase::Admitted { .. } | PendingPhase::Refused { .. }
+        )
+    }
 }
 
 /// Builder-style construction of a [`RobustnessWrapper`] — the public
@@ -870,6 +951,13 @@ impl RobustnessWrapper {
         name: &str,
         args: &[SimValue],
     ) -> Result<(SimValue, Verdict), SimFault> {
+        // The zero-allocation fast path: semantically a begin/finish
+        // pair with an empty check-vs-call window, but monolithic so
+        // the unpreempted call never materializes a [`PendingCall`]
+        // (no name clone, no argument vectors — the §7 overhead gate
+        // measures this path). The schedule-invariance tests pin the
+        // two paths to byte-identical observable histories, so the
+        // split windowed path cannot drift from this one.
         self.stats.calls += 1;
         self.m_calls.inc();
         let func = libc
@@ -951,6 +1039,223 @@ impl RobustnessWrapper {
         self.in_flag = false;
         self.post_track(world, track, args, &result);
         result.map(|v| (v, Verdict::Pass))
+    }
+
+    /// First half of the interposed call: dispatch and the prefix
+    /// checks (and, under [`ViolationAction::Repair`], the fixes). The
+    /// returned [`PendingCall`] is the reified check-vs-call window —
+    /// other simulated threads may run between `begin_call` and
+    /// [`RobustnessWrapper::finish_call`], which is precisely the
+    /// TOCTOU surface the threaded fuzzer explores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not exported by `libc`.
+    pub fn begin_call(
+        &mut self,
+        libc: &Libc,
+        world: &mut World,
+        name: &str,
+        args: &[SimValue],
+    ) -> PendingCall {
+        self.stats.calls += 1;
+        self.m_calls.inc();
+        assert!(libc.get(name).is_some(), "undefined symbol: {name}");
+
+        let bare = |phase| PendingCall {
+            name: name.to_string(),
+            args: args.to_vec(),
+            idx: 0,
+            phase,
+        };
+
+        // Recursion detection: a wrapped function internally invoking
+        // another wrapped function must reach the real library directly.
+        if self.in_flag {
+            return bare(PendingPhase::Bare);
+        }
+
+        // The single hoisted dispatch lookup: wrapped, safe, tracked,
+        // and error-return data resolve in one probe. A miss means the
+        // wrapper knows nothing about the function — straight through
+        // (tracked functions are always in the index).
+        let Some(&idx) = self.index.get(name) else {
+            return bare(PendingPhase::Bare);
+        };
+        if !self.entries[idx].wrapped {
+            // Unwrapped (safe or disabled): call through at finish, but
+            // keep the tracking tables current — the cost §5.2 points
+            // out.
+            return PendingCall {
+                name: name.to_string(),
+                args: args.to_vec(),
+                idx,
+                phase: PendingPhase::Passthrough,
+            };
+        }
+
+        self.stats.wrapped_calls += 1;
+        self.in_flag = true;
+        let check_started = self.config.measure.then(Instant::now);
+
+        // Prefix: the compiled program (or the interpreted reference).
+        let verdict = match self.mode {
+            PlanMode::Compiled => self.run_compiled(world, idx, args),
+            PlanMode::Interpreted => self.run_interpreted(world, idx, args),
+        };
+        if let Some(s) = check_started {
+            self.stats.time_checking += s.elapsed();
+        }
+        let phase = match verdict {
+            Ok(()) => PendingPhase::Admitted {
+                args: args.to_vec(),
+                fixes: Vec::new(),
+            },
+            Err(failure) => {
+                if self.config.action == ViolationAction::Repair {
+                    match self.repair_call(libc, world, idx, args, failure) {
+                        Ok((repaired, fixes)) => PendingPhase::Admitted {
+                            args: repaired,
+                            fixes,
+                        },
+                        Err(unrepairable) => PendingPhase::Refused {
+                            failure: unrepairable,
+                        },
+                    }
+                } else {
+                    PendingPhase::Refused { failure }
+                }
+            }
+        };
+        // The window itself runs with the recursion flag clear — the
+        // steps another thread pulls into it are ordinary wrapped calls.
+        self.in_flag = false;
+        PendingCall {
+            name: name.to_string(),
+            args: args.to_vec(),
+            idx,
+            phase,
+        }
+    }
+
+    /// Second half of the interposed call: the library call itself (or
+    /// the deferred violation). `preempted` says whether any other
+    /// simulated thread ran inside the window; with
+    /// [`WrapperConfig::revalidate_on_preempt`] set, the checks are
+    /// re-run against the post-window world before the call is allowed
+    /// through.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RobustnessWrapper::call`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pending call's function is not exported by `libc`
+    /// (it was at `begin_call` time, so only a different `libc` can
+    /// trip this).
+    pub fn finish_call(
+        &mut self,
+        libc: &Libc,
+        world: &mut World,
+        pending: PendingCall,
+        preempted: bool,
+    ) -> Result<(SimValue, Verdict), SimFault> {
+        let PendingCall {
+            name,
+            args,
+            idx,
+            phase,
+        } = pending;
+        let func = libc
+            .get(&name)
+            .unwrap_or_else(|| panic!("undefined symbol: {name}"));
+        match phase {
+            PendingPhase::Bare => {
+                world.proc.reset_fuel();
+                func.invoke(world, &args).map(|v| (v, Verdict::Pass))
+            }
+            PendingPhase::Passthrough => {
+                let track = self.entries[idx].track;
+                world.proc.reset_fuel();
+                let result = func.invoke(world, &args);
+                self.post_track(world, track, &args, &result);
+                result.map(|v| (v, Verdict::Pass))
+            }
+            PendingPhase::Refused { failure } => {
+                let on_error = self.entries[idx].on_error;
+                self.violation(world, &name, &failure, on_error)
+            }
+            PendingPhase::Admitted {
+                args: admitted,
+                mut fixes,
+            } => {
+                let mut admitted = admitted;
+                if preempted {
+                    self.stats.preempted_calls += 1;
+                    if self.config.revalidate_on_preempt {
+                        // The world may have changed under the admitted
+                        // arguments; check again before trusting them.
+                        self.stats.window_rechecks += 1;
+                        let verdict = match self.mode {
+                            PlanMode::Compiled => self.run_compiled(world, idx, &admitted),
+                            PlanMode::Interpreted => self.run_interpreted(world, idx, &admitted),
+                        };
+                        if let Err(failure) = verdict {
+                            self.stats.recheck_failures += 1;
+                            flight().record(
+                                "window-recheck-failure",
+                                &name,
+                                &format!(
+                                    "argument {} failed {} after preemption",
+                                    failure.arg, failure.check
+                                ),
+                            );
+                            if self.config.action == ViolationAction::Repair {
+                                match self.repair_call(libc, world, idx, &admitted, failure) {
+                                    Ok((repaired, more)) => {
+                                        admitted = repaired;
+                                        fixes.extend(more);
+                                    }
+                                    Err(unrepairable) => {
+                                        let on_error = self.entries[idx].on_error;
+                                        return self.violation(
+                                            world,
+                                            &name,
+                                            &unrepairable,
+                                            on_error,
+                                        );
+                                    }
+                                }
+                            } else {
+                                let on_error = self.entries[idx].on_error;
+                                return self.violation(world, &name, &failure, on_error);
+                            }
+                        }
+                    }
+                }
+
+                // The call itself.
+                let track = self.entries[idx].track;
+                self.in_flag = true;
+                world.proc.reset_fuel();
+                let lib_started = self.config.measure.then(Instant::now);
+                let result = func.invoke(world, &admitted);
+                if let Some(s) = lib_started {
+                    self.stats.time_in_library += s.elapsed();
+                }
+
+                // Postfix.
+                self.in_flag = false;
+                self.post_track(world, track, &admitted, &result);
+                let verdict = if fixes.is_empty() {
+                    Verdict::Pass
+                } else {
+                    Verdict::Repaired { fixes }
+                };
+                result.map(|v| (v, verdict))
+            }
+        }
     }
 
     /// Run the prefix checks for entry `idx` without invoking the
@@ -1992,6 +2297,9 @@ mod tests {
             checks: 3,
             violations: 4,
             check_cache_hits: 5,
+            preempted_calls: 21,
+            window_rechecks: 22,
+            recheck_failures: 23,
             ..Default::default()
         };
         part.check_kinds.table_hits = 6;
@@ -2014,12 +2322,106 @@ mod tests {
         assert_eq!(total.checks, 6);
         assert_eq!(total.violations, 8);
         assert_eq!(total.check_cache_hits, 10);
+        assert_eq!(total.preempted_calls, 42);
+        assert_eq!(total.window_rechecks, 44);
+        assert_eq!(total.recheck_failures, 46);
         assert_eq!(total.check_kinds.table_hits, 12);
         assert_eq!(total.check_outcomes.passed(CheckKind::String), 2);
         assert_eq!(total.per_function["strlen"].calls, 14);
         assert_eq!(total.per_function["strlen"].latency_ns.count(), 2);
         assert_eq!(total.time_checking, Duration::from_micros(16));
         assert_eq!(total.time_in_library, Duration::from_micros(18));
+    }
+
+    #[test]
+    fn toctou_free_in_window_slips_past_the_single_check() {
+        // The paper's wrapper checks once: a buffer freed by another
+        // thread *after* the checks but *before* the library call sails
+        // through — the fault the threaded fuzzer exists to find.
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["strlen", "malloc", "free"]);
+        let mut w = WrapperBuilder::new()
+            .decls(decls)
+            .config(WrapperConfig::full_auto())
+            .build();
+        let mut world = World::new_guarded();
+        let SimValue::Ptr(p) = w
+            .call(&libc, &mut world, "malloc", &[SimValue::Int(16)])
+            .unwrap()
+        else {
+            panic!("malloc returned a non-pointer")
+        };
+        world.proc.write_cstr(p, b"hello").unwrap();
+
+        let pending = w.begin_call(&libc, &mut world, "strlen", &[SimValue::Ptr(p)]);
+        assert!(pending.admitted(), "live NTS must pass the checks");
+        // "Another thread" frees the checked buffer inside the window.
+        w.call(&libc, &mut world, "free", &[SimValue::Ptr(p)])
+            .unwrap();
+        let err = w.finish_call(&libc, &mut world, pending, true).unwrap_err();
+        assert!(err.segv_addr().is_some(), "expected a fault, got {err:?}");
+        assert_eq!(w.stats.preempted_calls, 1);
+        assert_eq!(w.stats.window_rechecks, 0, "revalidation is off");
+    }
+
+    #[test]
+    fn revalidate_on_preempt_closes_the_window() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["strlen", "malloc", "free"]);
+        let mut config = WrapperConfig::full_auto();
+        config.revalidate_on_preempt = true;
+        let mut w = WrapperBuilder::new().decls(decls).config(config).build();
+        let mut world = World::new_guarded();
+        let SimValue::Ptr(p) = w
+            .call(&libc, &mut world, "malloc", &[SimValue::Int(16)])
+            .unwrap()
+        else {
+            panic!("malloc returned a non-pointer")
+        };
+        world.proc.write_cstr(p, b"hello").unwrap();
+
+        // Unpreempted windows never re-check: zero added cost.
+        let pending = w.begin_call(&libc, &mut world, "strlen", &[SimValue::Ptr(p)]);
+        let (len, verdict) = w.finish_call(&libc, &mut world, pending, false).unwrap();
+        assert_eq!((len, verdict), (SimValue::Int(5), Verdict::Pass));
+        assert_eq!(w.stats.window_rechecks, 0);
+
+        // Preempted + mutated: the re-check catches the freed buffer
+        // and the call is refused instead of faulting.
+        let pending = w.begin_call(&libc, &mut world, "strlen", &[SimValue::Ptr(p)]);
+        assert!(pending.admitted());
+        w.call(&libc, &mut world, "free", &[SimValue::Ptr(p)])
+            .unwrap();
+        let (_, verdict) = w.finish_call(&libc, &mut world, pending, true).unwrap();
+        assert!(
+            matches!(verdict, Verdict::Rejected { .. }),
+            "recheck must reject the stale argument, got {verdict:?}"
+        );
+        assert_eq!(w.stats.preempted_calls, 1);
+        assert_eq!(w.stats.window_rechecks, 1);
+        assert_eq!(w.stats.recheck_failures, 1);
+    }
+
+    #[test]
+    fn begin_finish_matches_plain_call_without_preemption() {
+        // `call` is literally begin+finish(false); a split drive of the
+        // same sequence must agree on results and every counter.
+        let functions = ["strlen", "malloc", "free"];
+        let (libc, mut a, mut world_a) = build(&functions, WrapperConfig::full_auto());
+        let (_, mut b, mut world_b) = build(&functions, WrapperConfig::full_auto());
+        let s_a = world_a.alloc_cstr("window");
+        let s_b = world_b.alloc_cstr("window");
+        let ra = a
+            .call(&libc, &mut world_a, "strlen", &[SimValue::Ptr(s_a)])
+            .unwrap();
+        let pending = b.begin_call(&libc, &mut world_b, "strlen", &[SimValue::Ptr(s_b)]);
+        let (rb, _) = b.finish_call(&libc, &mut world_b, pending, false).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(a.stats.calls, b.stats.calls);
+        assert_eq!(a.stats.wrapped_calls, b.stats.wrapped_calls);
+        assert_eq!(a.stats.checks, b.stats.checks);
+        assert_eq!(a.stats.preempted_calls, 0);
+        assert_eq!(b.stats.preempted_calls, 0);
     }
 
     #[test]

@@ -49,6 +49,11 @@ pub enum CoverageKey {
         function: String,
         kind: &'static str,
     },
+    /// `(function, mutator)` — `mutator` was pulled into `function`'s
+    /// check-vs-call window. This is the interleaving dimension: a
+    /// schedule that races a new mutator through a function's window is
+    /// novel even when every call edge is already known.
+    Schedule { function: String, mutator: String },
 }
 
 impl fmt::Display for CoverageKey {
@@ -64,6 +69,9 @@ impl fmt::Display for CoverageKey {
                 )
             }
             CoverageKey::Repair { function, kind } => write!(f, "repair {function} {kind}"),
+            CoverageKey::Schedule { function, mutator } => {
+                write!(f, "sched {function} {mutator}")
+            }
         }
     }
 }
@@ -160,6 +168,12 @@ pub fn step_keys(record: &crate::exec::StepRecord) -> Vec<CoverageKey> {
             });
         }
     }
+    for mutator in &record.window {
+        keys.push(CoverageKey::Schedule {
+            function: record.function.clone(),
+            mutator: mutator.clone(),
+        });
+    }
     keys
 }
 
@@ -178,6 +192,7 @@ mod tests {
             access: AccessKind::Read,
             prot: None,
             attribution: BlockAttribution::GuardOverrun,
+            preempted: false,
         }
     }
 
@@ -257,16 +272,52 @@ mod tests {
     }
 
     #[test]
+    fn schedule_edges_are_their_own_dimension() {
+        let mut map = CoverageMap::new();
+        map.insert(CoverageKey::Call {
+            function: "strlen".into(),
+            outcome: "success",
+        });
+        // Racing free through strlen's window is novel even though the
+        // call edge is already known.
+        let edge = CoverageKey::Schedule {
+            function: "strlen".into(),
+            mutator: "free".into(),
+        };
+        assert_eq!(edge.to_string(), "sched strlen free");
+        assert!(map.insert(edge.clone()));
+        assert!(!map.insert(edge));
+    }
+
+    #[test]
+    fn preempted_sites_are_distinct_coverage_keys() {
+        let plain = site();
+        let mut raced = site();
+        raced.preempted = true;
+        let mut map = CoverageMap::new();
+        map.insert(CoverageKey::Fault {
+            function: "strlen".into(),
+            site: plain,
+        });
+        assert!(map.insert(CoverageKey::Fault {
+            function: "strlen".into(),
+            site: raced,
+        }));
+    }
+
+    #[test]
     fn prot_is_part_of_the_site_key() {
         let mapped = CoverageSite {
             access: AccessKind::Write,
             prot: Some(Protection::ReadOnly),
             attribution: BlockAttribution::None,
+            preempted: false,
         };
         let unmapped = CoverageSite {
             access: AccessKind::Write,
             prot: None,
             attribution: BlockAttribution::None,
+            preempted: false,
         };
         let mut map = CoverageMap::new();
         map.insert(CoverageKey::Fault {

@@ -34,6 +34,20 @@ pub enum FuzzEvent {
         /// Coverage keys this execution added to the map.
         new_coverage: u64,
     },
+    /// A threaded sequence is about to execute: its schedule shape.
+    /// Emitted from the merge loop right before the matching [`Exec`]
+    /// event, so journals carry the interleaving dimension explicitly
+    /// (and the threads-smoke CI job can byte-diff it across `--jobs`).
+    ///
+    /// [`Exec`]: FuzzEvent::Exec
+    Schedule {
+        /// Global sequence counter (matches the following `Exec`).
+        id: u64,
+        /// Thread lanes the genome uses (main lane included).
+        lanes: u64,
+        /// Check-vs-call windows in the genome.
+        preempts: u64,
+    },
     /// A coverage key entered the map.
     Coverage {
         /// The rendered key (`call strcpy crash`, …).
@@ -104,6 +118,15 @@ impl JournalEvent for FuzzEvent {
                 .str("origin", origin)
                 .u64("len", *len)
                 .u64("new_coverage", *new_coverage),
+            FuzzEvent::Schedule {
+                id,
+                lanes,
+                preempts,
+            } => base
+                .str("event", "schedule")
+                .u64("id", *id)
+                .u64("lanes", *lanes)
+                .u64("preempts", *preempts),
             FuzzEvent::Coverage { key } => base.str("event", "coverage").str("key", key),
             FuzzEvent::Round {
                 round,
@@ -179,6 +202,7 @@ pub fn chrome_trace(events: &[(u64, FuzzEvent)]) -> ChromeTrace {
                 trace.counter("corpus", ts, *corpus);
                 round_begin = ts;
             }
+            FuzzEvent::Schedule { id, .. } => trace.instant(&format!("sched:{id}"), 2, ts),
             FuzzEvent::Finding { key, .. } => trace.instant(&format!("finding:{key}"), 1, ts),
             FuzzEvent::Shrunk { key, .. } => trace.instant(&format!("shrunk:{key}"), 1, ts),
             FuzzEvent::Pinned { key, .. } => trace.instant(&format!("pinned:{key}"), 1, ts),
@@ -205,6 +229,11 @@ mod tests {
             },
             FuzzEvent::Coverage {
                 key: "fault strcpy write:unmapped:guard-overrun".into(),
+            },
+            FuzzEvent::Schedule {
+                id: 3,
+                lanes: 2,
+                preempts: 1,
             },
             FuzzEvent::Round {
                 round: 0,

@@ -73,21 +73,38 @@ fn slug(s: &str) -> String {
 
 /// Compare two executions step-by-step; the function name of the first
 /// observable difference, or `None` if the histories match.
+///
+/// Records are matched by their step *index*, not position: with
+/// windows, a faulted run's record list can have gaps (a victim whose
+/// window crashed never reaches its own call), so a step present in
+/// only one history is itself the divergence point.
 fn first_divergence(wrapped: &ExecResult, unwrapped: &ExecResult) -> Option<String> {
-    for (w, u) in wrapped.steps.iter().zip(&unwrapped.steps) {
-        debug_assert_eq!(w.function, u.function);
-        if w.outcome != u.outcome || w.returned != u.returned || w.errno != u.errno {
-            return Some(w.function.clone());
+    let mut ws = wrapped.steps.iter().peekable();
+    let mut us = unwrapped.steps.iter().peekable();
+    loop {
+        match (ws.peek(), us.peek()) {
+            (Some(w), Some(u)) if w.index == u.index => {
+                debug_assert_eq!(w.function, u.function);
+                if w.outcome != u.outcome || w.returned != u.returned || w.errno != u.errno {
+                    return Some(w.function.clone());
+                }
+                ws.next();
+                us.next();
+            }
+            (Some(w), Some(u)) => {
+                let first = if w.index < u.index { w } else { u };
+                return Some(first.function.clone());
+            }
+            (Some(w), None) => return Some(w.function.clone()),
+            (None, Some(u)) => return Some(u.function.clone()),
+            (None, None) => break,
         }
     }
-    if wrapped.steps.len() != unwrapped.steps.len() || wrapped.completed != unwrapped.completed {
-        let longer = if wrapped.steps.len() >= unwrapped.steps.len() {
-            &wrapped.steps
-        } else {
-            &unwrapped.steps
-        };
-        return longer
-            .get(wrapped.steps.len().min(unwrapped.steps.len()))
+    if wrapped.completed != unwrapped.completed {
+        return wrapped
+            .steps
+            .last()
+            .or(unwrapped.steps.last())
             .map(|s| s.function.clone());
     }
     if wrapped.completed && wrapped.digest != unwrapped.digest {
@@ -114,11 +131,18 @@ pub fn detect(wrapped: &ExecResult, unwrapped: &ExecResult) -> Vec<Finding> {
         }
     }
     if !wrapped.completed {
-        if let Some(last) = wrapped.steps.last() {
+        // The faulting record is named by `fault`, not `steps.last()`:
+        // with windows the faulting call is not necessarily the
+        // highest-indexed record.
+        let crashed = wrapped
+            .fault
+            .and_then(|i| wrapped.steps.iter().find(|r| r.index == i))
+            .or(wrapped.steps.last());
+        if let Some(rec) = crashed {
             findings.push(Finding {
                 kind: FindingKind::WrappedCrash {
-                    function: last.function.clone(),
-                    site: last.site,
+                    function: rec.function.clone(),
+                    site: rec.site,
                 },
             });
         }
@@ -164,10 +188,29 @@ mod tests {
                     access: AccessKind::Write,
                     prot: None,
                     attribution: BlockAttribution::GuardOverrun,
+                    preempted: false,
                 }),
             },
         };
         assert_eq!(c.key(), "wrapped-crash-memcpy-write-unmapped-guard-overrun");
+        // The schedule-edge component flows into the finding key, so a
+        // TOCTOU crash dedups separately from the same site hit
+        // single-threaded.
+        let t = Finding {
+            kind: FindingKind::WrappedCrash {
+                function: "strlen".into(),
+                site: Some(CoverageSite {
+                    access: AccessKind::Read,
+                    prot: None,
+                    attribution: BlockAttribution::Freed,
+                    preempted: true,
+                }),
+            },
+        };
+        assert_eq!(
+            t.key(),
+            "wrapped-crash-strlen-read-unmapped-freed-block-preempted"
+        );
         let d = Finding {
             kind: FindingKind::Divergence {
                 function: "fopen".into(),

@@ -36,7 +36,7 @@ use crate::coverage::{result_keys, CoverageKey, CoverageMap};
 use crate::event::FuzzEvent;
 use crate::exec::{execute, ExecMode, ExecResult};
 use crate::finding::{detect, reproduces, Finding};
-use crate::generate::{generate, mutate, Pool};
+use crate::generate::{generate, mutate, mutate_schedule, weave_schedule, Pool};
 use crate::pin::{Expectation, Pin, PinMode};
 use crate::sequence::Sequence;
 use crate::shrink::{shrink, ShrinkStats};
@@ -69,6 +69,12 @@ pub struct FuzzConfig {
     pub action: ViolationAction,
     /// Function pool; empty means the full Ballista target set.
     pub functions: Vec<String>,
+    /// Fuzz interleavings too: weave thread lanes and check-vs-call
+    /// windows into generated genomes and mutate them alongside the
+    /// call genes. Off by default — an unthreaded run draws exactly
+    /// the RNG stream earlier releases drew, so its artifacts stay
+    /// byte-identical.
+    pub threads: bool,
 }
 
 impl Default for FuzzConfig {
@@ -81,6 +87,7 @@ impl Default for FuzzConfig {
             mode: PinMode::Full,
             action: ViolationAction::ReturnError,
             functions: Vec::new(),
+            threads: false,
         }
     }
 }
@@ -145,13 +152,18 @@ pub fn run(libc: &Libc, config: &FuzzConfig, sender: &JournalSender<FuzzEvent>) 
         let mut tasks: Vec<(Sequence, &'static str)> = Vec::with_capacity(batch);
         for _ in 0..batch {
             if corpus.is_empty() || rng.random_bool(FRESH_PROB) {
-                tasks.push((generate(&mut rng, &pool, config.max_len), "generate"));
+                let mut seq = generate(&mut rng, &pool, config.max_len);
+                if config.threads {
+                    weave_schedule(&mut rng, &mut seq);
+                }
+                tasks.push((seq, "generate"));
             } else {
                 let i = rng.random_range(0..corpus.len() as u64) as usize;
-                tasks.push((
-                    mutate(&mut rng, &pool, &corpus[i], config.max_len),
-                    "mutate",
-                ));
+                let mut seq = mutate(&mut rng, &pool, &corpus[i], config.max_len);
+                if config.threads {
+                    mutate_schedule(&mut rng, &mut seq);
+                }
+                tasks.push((seq, "mutate"));
             }
         }
         // Execute: parallel, item-ordered results.
@@ -172,6 +184,13 @@ pub fn run(libc: &Libc, config: &FuzzConfig, sender: &JournalSender<FuzzEvent>) 
                 coverage.insert(key.clone());
                 sender.emit(FuzzEvent::Coverage {
                     key: key.to_string(),
+                });
+            }
+            if seq.is_threaded() {
+                sender.emit(FuzzEvent::Schedule {
+                    id: executed,
+                    lanes: u64::from(seq.max_thread()) + 1,
+                    preempts: seq.preempts.len() as u64,
                 });
             }
             sender.emit(FuzzEvent::Exec {
@@ -287,6 +306,7 @@ mod tests {
                 "strlen".into(),
                 "memset".into(),
             ],
+            threads: false,
         }
     }
 

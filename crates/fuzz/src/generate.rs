@@ -20,7 +20,7 @@ use healers_libc::Libc;
 use rand::rngs::StdRng;
 use rand::RngExt;
 
-use crate::sequence::{ArgSpec, CallStep, Sequence};
+use crate::sequence::{ArgSpec, CallStep, Preempt, Sequence};
 
 /// The typed resources flowing through a sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -296,10 +296,7 @@ fn generate_step(rng: &mut StdRng, proto: &FunctionPrototype, avail: &[Avail]) -
         .iter()
         .map(|p| choose_arg(rng, param_want(p), avail))
         .collect();
-    CallStep {
-        function: proto.name.clone(),
-        args,
-    }
+    CallStep::new(proto.name.clone(), args)
 }
 
 /// Recompute the resource table for a prefix of `seq` (used when
@@ -341,6 +338,66 @@ pub fn generate(rng: &mut StdRng, pool: &Pool, max_len: usize) -> Sequence {
         seq.steps.push(generate_step(rng, proto, &avail));
     }
     seq
+}
+
+/// Weave a thread schedule into a sequence: move some steps onto extra
+/// lanes and place check-vs-call windows where a cross-lane adjacency
+/// makes them meaningful. The schedule is part of the genome — it
+/// renders into the v2 seed format and shrinks like any other gene.
+/// Only called when the fuzz config enables threads, so unthreaded
+/// runs draw zero extra randomness and stay byte-identical to earlier
+/// releases.
+pub fn weave_schedule(rng: &mut StdRng, seq: &mut Sequence) {
+    if seq.len() < 2 {
+        return;
+    }
+    // Two or three lanes; more spreads the steps too thin to race.
+    let lanes = rng.random_range(2..=3u64) as u32;
+    for step in seq.steps.iter_mut().skip(1) {
+        if rng.random_bool(0.35) {
+            step.thread = rng.random_range(0..u64::from(lanes)) as u32;
+        }
+    }
+    seq.preempts.clear();
+    for i in 0..seq.len() - 1 {
+        if seq.preempts.len() >= 2 {
+            break;
+        }
+        if seq.steps[i + 1].thread != seq.steps[i].thread && rng.random_bool(0.4) {
+            let budget =
+                1 + rng.random_range(0..u64::from(healers_simproc::MAX_WINDOW_BUDGET)) as u32;
+            seq.preempts.push(Preempt { step: i, budget });
+        }
+    }
+}
+
+/// One schedule edit on a threaded genome: re-lane a step, place or
+/// move a window, or drop one. Applied after [`mutate`] when threads
+/// are on, so the schedule evolves alongside the call genes.
+pub fn mutate_schedule(rng: &mut StdRng, seq: &mut Sequence) {
+    if seq.len() < 2 {
+        return;
+    }
+    match rng.random_range(0..4u64) {
+        0 => {
+            let i = 1 + rng.random_range(0..(seq.len() - 1) as u64) as usize;
+            seq.steps[i].thread = rng.random_range(0..3u64) as u32;
+        }
+        1 => {
+            let i = rng.random_range(0..(seq.len() - 1) as u64) as usize;
+            let budget =
+                1 + rng.random_range(0..u64::from(healers_simproc::MAX_WINDOW_BUDGET)) as u32;
+            seq.preempts.retain(|p| p.step != i);
+            if seq.preempts.len() < 2 {
+                seq.preempts.push(Preempt { step: i, budget });
+            }
+        }
+        2 if !seq.preempts.is_empty() => {
+            let k = rng.random_range(0..seq.preempts.len() as u64) as usize;
+            seq.preempts.remove(k);
+        }
+        _ => {}
+    }
 }
 
 /// Mutate `parent` into a new sequence: 1–3 random edits drawn from
@@ -471,6 +528,48 @@ mod tests {
                 }
             }
             // Round-trips through the seed format too.
+            assert_eq!(Sequence::parse(&seq.render()).unwrap(), seq);
+        }
+    }
+
+    #[test]
+    fn woven_schedules_are_deterministic_and_well_formed() {
+        let (_, pool) = pool();
+        let mut threaded = 0usize;
+        for seed in 0..50u64 {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            let mut sa = generate(&mut a, &pool, 8);
+            let mut sb = generate(&mut b, &pool, 8);
+            weave_schedule(&mut a, &mut sa);
+            weave_schedule(&mut b, &mut sb);
+            assert_eq!(sa, sb);
+            assert!(sa.max_thread() < crate::sequence::MAX_LANES);
+            for p in &sa.preempts {
+                assert!(p.step < sa.len());
+                assert!(p.budget >= 1 && p.budget <= healers_simproc::MAX_WINDOW_BUDGET);
+            }
+            if sa.is_threaded() {
+                threaded += 1;
+                // Threaded genomes round-trip through the v2 format.
+                assert_eq!(Sequence::parse(&sa.render()).unwrap(), sa);
+            }
+        }
+        assert!(threaded >= 10, "weaving should usually thread: {threaded}");
+    }
+
+    #[test]
+    fn schedule_mutation_keeps_genomes_parseable() {
+        let (_, pool) = pool();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seq = generate(&mut rng, &pool, 8);
+        weave_schedule(&mut rng, &mut seq);
+        for _ in 0..200 {
+            seq = mutate(&mut rng, &pool, &seq, 8);
+            mutate_schedule(&mut rng, &mut seq);
+            for p in &seq.preempts {
+                assert!(p.step < seq.len(), "dangling preempt: {seq:?}");
+            }
             assert_eq!(Sequence::parse(&seq.render()).unwrap(), seq);
         }
     }

@@ -67,11 +67,12 @@ pub mod shrink;
 pub use coverage::{CoverageKey, CoverageMap};
 pub use event::{chrome_trace, FuzzEvent};
 pub use exec::{
-    execute, execute_unwrapped, execute_wrapped, world_digest, ExecMode, ExecResult, StepRecord,
+    execute, execute_reference, execute_unwrapped, execute_with_schedule, execute_wrapped,
+    world_digest, ExecMode, ExecResult, StepRecord,
 };
 pub use finding::{detect, Finding, FindingKind};
 pub use fuzzer::{run, FindingReport, FuzzConfig, FuzzOutcome};
-pub use generate::{generate, mutate, Pool};
+pub use generate::{generate, mutate, mutate_schedule, weave_schedule, Pool};
 pub use pin::{Expectation, Pin, PinMode};
-pub use sequence::{ArgSpec, CallStep, Sequence};
+pub use sequence::{ArgSpec, CallStep, Preempt, Sequence, MAX_LANES};
 pub use shrink::{shrink, ShrinkStats};

@@ -66,8 +66,10 @@ pub struct Expectation {
     pub violations: u64,
     /// Wrapper repair count (0 outside repair mode).
     pub repairs: u64,
-    /// Per executed step: `(outcome-label, errno)`.
-    pub steps: Vec<(String, i32)>,
+    /// Per executed step: `(step-index, outcome-label, errno)`. The
+    /// index is explicit because a windowed run's record list can have
+    /// gaps (the victim of a crashing window never reaches its call).
+    pub steps: Vec<(usize, String, i32)>,
     /// Per check kind with activity: `(kind-label, passed, failed,
     /// repaired)`, in `CheckKind::ALL` order.
     pub checks: Vec<(String, u64, u64, u64)>,
@@ -83,7 +85,7 @@ impl Expectation {
             steps: result
                 .steps
                 .iter()
-                .map(|s| (outcome_label(s.outcome).to_string(), s.errno))
+                .map(|s| (s.index, outcome_label(s.outcome).to_string(), s.errno))
                 .collect(),
             checks: CheckKind::ALL
                 .iter()
@@ -132,16 +134,13 @@ impl Pin {
         if self.action != ViolationAction::ReturnError {
             out.push_str(&format!("action {}\n", self.action.token()));
         }
-        for step in &self.seq.steps {
-            out.push_str(&step.to_string());
-            out.push('\n');
-        }
+        self.seq.render_body(&mut out);
         out.push_str(&format!("expect completed {}\n", self.expect.completed));
         out.push_str(&format!("expect violations {}\n", self.expect.violations));
         if self.expect.repairs > 0 {
             out.push_str(&format!("expect repairs {}\n", self.expect.repairs));
         }
-        for (i, (outcome, errno)) in self.expect.steps.iter().enumerate() {
+        for (i, outcome, errno) in &self.expect.steps {
             out.push_str(&format!("expect step {i} {outcome} errno {errno}\n"));
         }
         for (kind, passed, failed, repaired) in &self.expect.checks {
@@ -182,7 +181,10 @@ impl Pin {
                 });
             } else if let Some(rest) = line.strip_prefix("action ") {
                 action = rest.trim().parse().map_err(|e| err(&format!("{e}")))?;
-            } else if line.starts_with("call ") {
+            } else if line.starts_with("call ")
+                || line.starts_with("call@")
+                || line.starts_with("preempt ")
+            {
                 calls.push_str(line);
                 calls.push('\n');
             } else if let Some(rest) = line.strip_prefix("expect ") {
@@ -206,13 +208,15 @@ impl Pin {
                     }
                     ["step", i, outcome, "errno", errno] => {
                         let i: usize = i.parse().map_err(|_| err("bad step index"))?;
-                        if i != expect.steps.len() {
+                        // Indices must be strictly increasing; gaps are
+                        // legal (a windowed victim that never called).
+                        if expect.steps.last().is_some_and(|(last, ..)| i <= *last) {
                             return Err(err("step expectations out of order"));
                         }
                         outcome_from_label(outcome)
                             .ok_or_else(|| err(&format!("unknown outcome {outcome:?}")))?;
                         let errno: i32 = errno.parse().map_err(|_| err("bad errno"))?;
-                        expect.steps.push((outcome.to_string(), errno));
+                        expect.steps.push((i, outcome.to_string(), errno));
                     }
                     ["check", kind, "pass", p, "fail", f] => {
                         if !CheckKind::ALL.iter().any(|k| k.label() == *kind) {
@@ -312,18 +316,13 @@ mod tests {
     use healers_core::analyze;
 
     fn overflow_seq() -> Sequence {
-        Sequence {
-            steps: vec![
-                CallStep {
-                    function: "malloc".into(),
-                    args: vec![ArgSpec::Int(8)],
-                },
-                CallStep {
-                    function: "strcpy".into(),
-                    args: vec![ArgSpec::Out(0), ArgSpec::Str("aaaaaaaaaaaaaaaa".into())],
-                },
-            ],
-        }
+        Sequence::from_steps(vec![
+            CallStep::new("malloc", vec![ArgSpec::Int(8)]),
+            CallStep::new(
+                "strcpy",
+                vec![ArgSpec::Out(0), ArgSpec::Str("aaaaaaaaaaaaaaaa".into())],
+            ),
+        ])
     }
 
     #[test]
@@ -408,6 +407,52 @@ mod tests {
         assert!(text.contains("action repair"), "{text}");
         assert!(text.contains("expect repairs "), "{text}");
         assert!(text.contains(" repair "), "{text}");
+        let parsed = Pin::parse(&text).unwrap();
+        assert_eq!(parsed, pin);
+        parsed.replay(&libc, &decls).unwrap();
+    }
+
+    #[test]
+    fn threaded_toctou_pins_round_trip_and_replay() {
+        let libc = Libc::standard();
+        let decls = analyze(&libc, &["malloc", "strcpy", "strlen", "free"]);
+        let mut seq = Sequence::from_steps(vec![
+            CallStep::new("malloc", vec![ArgSpec::Int(16)]),
+            CallStep::new(
+                "strcpy",
+                vec![ArgSpec::Out(0), ArgSpec::Str("hello".into())],
+            ),
+            CallStep::new("strlen", vec![ArgSpec::Out(0)]),
+            {
+                let mut s = CallStep::new("free", vec![ArgSpec::Out(0)]);
+                s.thread = 1;
+                s
+            },
+        ]);
+        seq.preempts
+            .push(crate::sequence::Preempt { step: 2, budget: 1 });
+        let result = execute(
+            &libc,
+            &seq,
+            ExecMode::Wrapped {
+                decls: &decls,
+                config: WrapperConfig::full_auto(),
+            },
+        );
+        assert!(!result.completed, "the raced strlen must fault");
+        let pin = Pin {
+            finding: "wrapped-crash-strlen-read-unmapped-freed-block-preempted".into(),
+            mode: PinMode::Full,
+            action: ViolationAction::ReturnError,
+            seq,
+            expect: Expectation::from_result(&result),
+        };
+        let text = pin.render();
+        assert!(text.contains("call@1 free"), "{text}");
+        assert!(text.contains("preempt 2 1"), "{text}");
+        // The free (step 3) completed inside the window; the victim
+        // (step 2) faulted — indices carry that shape explicitly.
+        assert!(text.contains("expect step 3 success"), "{text}");
         let parsed = Pin::parse(&text).unwrap();
         assert_eq!(parsed, pin);
         parsed.replay(&libc, &decls).unwrap();

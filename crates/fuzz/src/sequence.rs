@@ -18,8 +18,34 @@
 //! call strcpy out:0 str:"hello"
 //! call free out:0
 //! ```
+//!
+//! # The schedule genome (v2)
+//!
+//! With simulated threads, *interleaving* joins the genome. Each step
+//! carries a thread lane (`call@1` = run on thread 1; bare `call` =
+//! thread 0), and `preempt` lines place check-vs-call windows: after
+//! step `i`'s wrapper checks pass, up to `budget` pending steps of
+//! *other* lanes execute before step `i`'s library call. A
+//! single-threaded sequence with no preempts renders byte-identically
+//! to v1, so every pre-thread seed and pin is unchanged.
+//!
+//! ```text
+//! # healers-fuzz seed v2
+//! call malloc int:24
+//! call@1 free out:0
+//! call strlen out:0
+//! preempt 2 1
+//! ```
+//!
+//! (Step 2's `strlen` checks the block, then thread 1's `free` runs
+//! inside the window, then `strlen`'s library call reads freed memory
+//! — the classic TOCTOU, now a deterministic five-line text file.)
 
 use std::fmt;
+
+/// Lanes are capped below the simulated process's thread-table limit
+/// so a parsed sequence can always actually spawn its threads.
+pub const MAX_LANES: u32 = healers_simproc::MAX_THREADS as u32;
 
 /// One argument of one call, as a symbolic spec.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,11 +91,28 @@ pub struct CallStep {
     pub function: String,
     /// One spec per declared parameter.
     pub args: Vec<ArgSpec>,
+    /// The thread lane this step runs on (0 = main thread).
+    pub thread: u32,
+}
+
+impl CallStep {
+    /// A step on the main thread.
+    pub fn new(function: impl Into<String>, args: Vec<ArgSpec>) -> Self {
+        CallStep {
+            function: function.into(),
+            args,
+            thread: 0,
+        }
+    }
 }
 
 impl fmt::Display for CallStep {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "call {}", self.function)?;
+        if self.thread == 0 {
+            write!(f, "call {}", self.function)?;
+        } else {
+            write!(f, "call@{} {}", self.thread, self.function)?;
+        }
         for a in &self.args {
             write!(f, " {a}")?;
         }
@@ -77,14 +120,36 @@ impl fmt::Display for CallStep {
     }
 }
 
+/// A check-vs-call window: after `step`'s wrapper checks, up to
+/// `budget` pending steps of other lanes run before `step`'s library
+/// call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Preempt {
+    /// The step whose window opens (index into [`Sequence::steps`]).
+    pub step: usize,
+    /// Maximum number of other-lane steps pulled into the window.
+    pub budget: u32,
+}
+
 /// An ordered list of calls — the fuzzer's genome.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Sequence {
-    /// The calls, executed in order inside one contained child.
+    /// The calls. Steps of the same lane execute in list order; the
+    /// executor only reorders *across* lanes, and only at `preempts`.
     pub steps: Vec<CallStep>,
+    /// Check-vs-call windows, the schedule half of the genome.
+    pub preempts: Vec<Preempt>,
 }
 
 impl Sequence {
+    /// A sequence of main-thread steps with no windows (the v1 shape).
+    pub fn from_steps(steps: Vec<CallStep>) -> Sequence {
+        Sequence {
+            steps,
+            preempts: Vec::new(),
+        }
+    }
+
     /// Number of steps.
     pub fn len(&self) -> usize {
         self.steps.len()
@@ -95,10 +160,30 @@ impl Sequence {
         self.steps.is_empty()
     }
 
+    /// Highest lane any step runs on (0 = purely single-threaded).
+    pub fn max_thread(&self) -> u32 {
+        self.steps.iter().map(|s| s.thread).max().unwrap_or(0)
+    }
+
+    /// Whether the schedule dimension is in play at all.
+    pub fn is_threaded(&self) -> bool {
+        self.max_thread() > 0 || !self.preempts.is_empty()
+    }
+
+    /// The window budget at `step`, if a preempt is placed there (the
+    /// first matching entry wins).
+    pub fn window_budget_at(&self, step: usize) -> Option<u32> {
+        self.preempts
+            .iter()
+            .find(|p| p.step == step)
+            .map(|p| p.budget)
+    }
+
     /// Remove step `index`, keeping the dependency graph well-formed:
     /// references *to* the removed step fall back to [`ArgSpec::Benign`]
-    /// and references past it are renumbered. This is the shrinker's
-    /// deletion operator.
+    /// and references past it are renumbered. Preempts on the removed
+    /// step are dropped; later ones are renumbered. This is the
+    /// shrinker's deletion operator.
     pub fn remove_step(&self, index: usize) -> Sequence {
         let mut steps = Vec::with_capacity(self.steps.len() - 1);
         for (i, step) in self.steps.iter().enumerate() {
@@ -117,7 +202,16 @@ impl Sequence {
             }
             steps.push(step);
         }
-        Sequence { steps }
+        let preempts = self
+            .preempts
+            .iter()
+            .filter(|p| p.step != index)
+            .map(|p| Preempt {
+                step: if p.step > index { p.step - 1 } else { p.step },
+                budget: p.budget,
+            })
+            .collect();
+        Sequence { steps, preempts }
     }
 
     /// Insert `step` before position `at` (which may equal `len` to
@@ -143,37 +237,83 @@ impl Sequence {
         if at >= self.steps.len() {
             steps.push(step);
         }
-        Sequence { steps }
+        let preempts = self
+            .preempts
+            .iter()
+            .map(|p| Preempt {
+                step: if p.step >= at { p.step + 1 } else { p.step },
+                budget: p.budget,
+            })
+            .collect();
+        Sequence { steps, preempts }
     }
 
-    /// Render as the seed-file text (header comment + one `call` line
-    /// per step, trailing newline).
-    pub fn render(&self) -> String {
-        let mut out = String::from("# healers-fuzz seed v1\n");
+    /// The body lines (no header): one `call` line per step, then one
+    /// `preempt` line per window. Shared with the pin format.
+    pub fn render_body(&self, out: &mut String) {
         for step in &self.steps {
             out.push_str(&step.to_string());
             out.push('\n');
         }
+        for p in &self.preempts {
+            out.push_str(&format!("preempt {} {}\n", p.step, p.budget));
+        }
+    }
+
+    /// Render as the seed-file text (header comment + body, trailing
+    /// newline). A single-threaded sequence with no preempts renders
+    /// the exact v1 bytes; the schedule dimension bumps the header to
+    /// v2.
+    pub fn render(&self) -> String {
+        let mut out = String::from(if self.is_threaded() {
+            "# healers-fuzz seed v2\n"
+        } else {
+            "# healers-fuzz seed v1\n"
+        });
+        self.render_body(&mut out);
         out
     }
 
-    /// Parse the seed-file text. Comment lines (`#`) and blank lines
-    /// are ignored; unknown directives are errors.
+    /// Parse the seed-file text (v1 or v2). Comment lines (`#`) and
+    /// blank lines are ignored; unknown directives are errors.
     ///
     /// # Errors
     ///
     /// Returns a message naming the offending line.
     pub fn parse(text: &str) -> Result<Sequence, String> {
-        let mut steps = Vec::new();
+        let mut steps: Vec<CallStep> = Vec::new();
+        let mut preempts = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let rest = line
-                .strip_prefix("call ")
+            if let Some(rest) = line.strip_prefix("preempt ") {
+                let mut it = rest.split_whitespace();
+                let step = it
+                    .next()
+                    .and_then(|t| t.parse::<usize>().ok())
+                    .ok_or_else(|| format!("line {}: bad preempt step", lineno + 1))?;
+                let budget = it
+                    .next()
+                    .and_then(|t| t.parse::<u32>().ok())
+                    .ok_or_else(|| format!("line {}: bad preempt budget", lineno + 1))?;
+                if it.next().is_some() {
+                    return Err(format!("line {}: trailing preempt tokens", lineno + 1));
+                }
+                preempts.push(Preempt { step, budget });
+                continue;
+            }
+            let (thread, rest) = parse_call_prefix(line)
                 .ok_or_else(|| format!("line {}: expected `call`, got {line:?}", lineno + 1))?;
-            let step = parse_step(rest).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            if thread >= MAX_LANES {
+                return Err(format!(
+                    "line {}: thread lane {thread} exceeds the {MAX_LANES}-lane cap",
+                    lineno + 1
+                ));
+            }
+            let mut step = parse_step(rest).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            step.thread = thread;
             if let Some(bad) = step.args.iter().find_map(|a| match a {
                 ArgSpec::Out(r) if *r >= steps.len() => Some(*r),
                 _ => None,
@@ -185,8 +325,28 @@ impl Sequence {
             }
             steps.push(step);
         }
-        Ok(Sequence { steps })
+        for p in &preempts {
+            if p.step >= steps.len() {
+                return Err(format!(
+                    "preempt {} names a missing step (sequence has {})",
+                    p.step,
+                    steps.len()
+                ));
+            }
+        }
+        Ok(Sequence { steps, preempts })
     }
+}
+
+/// Split a `call` / `call@N` line head from the step body.
+fn parse_call_prefix(line: &str) -> Option<(u32, &str)> {
+    if let Some(rest) = line.strip_prefix("call ") {
+        return Some((0, rest));
+    }
+    let rest = line.strip_prefix("call@")?;
+    let (lane, body) = rest.split_once(' ')?;
+    let thread = lane.parse::<u32>().ok()?;
+    Some((thread, body))
 }
 
 fn parse_step(rest: &str) -> Result<CallStep, String> {
@@ -199,7 +359,7 @@ fn parse_step(rest: &str) -> Result<CallStep, String> {
         .iter()
         .map(|t| parse_arg(t))
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(CallStep { function, args })
+    Ok(CallStep::new(function, args))
 }
 
 /// Split on whitespace, except inside `str:"…"` quoting.
@@ -330,22 +490,21 @@ mod tests {
     use super::*;
 
     fn sample() -> Sequence {
-        Sequence {
-            steps: vec![
-                CallStep {
-                    function: "malloc".into(),
-                    args: vec![ArgSpec::Int(24)],
-                },
-                CallStep {
-                    function: "strcpy".into(),
-                    args: vec![ArgSpec::Out(0), ArgSpec::Str("he\"l\\lo\n".into())],
-                },
-                CallStep {
-                    function: "free".into(),
-                    args: vec![ArgSpec::Out(0)],
-                },
-            ],
-        }
+        Sequence::from_steps(vec![
+            CallStep::new("malloc", vec![ArgSpec::Int(24)]),
+            CallStep::new(
+                "strcpy",
+                vec![ArgSpec::Out(0), ArgSpec::Str("he\"l\\lo\n".into())],
+            ),
+            CallStep::new("free", vec![ArgSpec::Out(0)]),
+        ])
+    }
+
+    fn threaded_sample() -> Sequence {
+        let mut seq = sample();
+        seq.steps[2].thread = 1;
+        seq.preempts.push(Preempt { step: 1, budget: 1 });
+        seq
     }
 
     #[test]
@@ -354,21 +513,56 @@ mod tests {
         let text = seq.render();
         assert_eq!(Sequence::parse(&text).unwrap(), seq);
         // Every spec kind round-trips.
-        let all = Sequence {
-            steps: vec![CallStep {
-                function: "f".into(),
-                args: vec![
-                    ArgSpec::Int(-5),
-                    ArgSpec::Dbl(1.5),
-                    ArgSpec::Null,
-                    ArgSpec::Wild(0xdead_0000),
-                    ArgSpec::Str("a b\tc\x01".into()),
-                    ArgSpec::Buf(0),
-                    ArgSpec::Benign,
-                ],
-            }],
-        };
+        let all = Sequence::from_steps(vec![CallStep::new(
+            "f",
+            vec![
+                ArgSpec::Int(-5),
+                ArgSpec::Dbl(1.5),
+                ArgSpec::Null,
+                ArgSpec::Wild(0xdead_0000),
+                ArgSpec::Str("a b\tc\x01".into()),
+                ArgSpec::Buf(0),
+                ArgSpec::Benign,
+            ],
+        )]);
         assert_eq!(Sequence::parse(&all.render()).unwrap(), all);
+    }
+
+    #[test]
+    fn single_threaded_sequences_render_v1_bytes() {
+        // Byte-compat guarantee: pre-thread seeds and pins must not
+        // change by a single byte.
+        let seq = sample();
+        assert!(!seq.is_threaded());
+        let text = seq.render();
+        assert!(text.starts_with("# healers-fuzz seed v1\n"), "{text}");
+        assert!(!text.contains("call@"), "{text}");
+        assert!(!text.contains("preempt"), "{text}");
+    }
+
+    #[test]
+    fn threaded_sequences_round_trip_as_v2() {
+        let seq = threaded_sample();
+        assert!(seq.is_threaded());
+        assert_eq!(seq.max_thread(), 1);
+        assert_eq!(seq.window_budget_at(1), Some(1));
+        assert_eq!(seq.window_budget_at(0), None);
+        let text = seq.render();
+        assert!(text.starts_with("# healers-fuzz seed v2\n"), "{text}");
+        assert!(text.contains("call@1 free out:0\n"), "{text}");
+        assert!(text.contains("preempt 1 1\n"), "{text}");
+        assert_eq!(Sequence::parse(&text).unwrap(), seq);
+    }
+
+    #[test]
+    fn hostile_schedule_lines_are_rejected() {
+        let err = Sequence::parse("call@99 strlen null").unwrap_err();
+        assert!(err.contains("lane cap"), "{err}");
+        let err = Sequence::parse("call strlen null\npreempt 7 1").unwrap_err();
+        assert!(err.contains("missing step"), "{err}");
+        assert!(Sequence::parse("preempt x 1").is_err());
+        assert!(Sequence::parse("call strlen null\npreempt 0 1 9").is_err());
+        assert!(Sequence::parse("call@ strlen null").is_err());
     }
 
     #[test]
@@ -392,12 +586,21 @@ mod tests {
     }
 
     #[test]
+    fn remove_step_keeps_preempts_well_formed() {
+        let seq = threaded_sample();
+        // Removing the windowed step drops its preempt.
+        let dropped = seq.remove_step(1);
+        assert!(dropped.preempts.is_empty());
+        // Removing an earlier step renumbers the window with its step.
+        let shifted = seq.remove_step(0);
+        assert_eq!(shifted.preempts, vec![Preempt { step: 0, budget: 1 }]);
+        assert_eq!(shifted.steps[0].function, "strcpy");
+    }
+
+    #[test]
     fn insert_step_shifts_references() {
         let seq = sample();
-        let new = CallStep {
-            function: "getpid".into(),
-            args: vec![],
-        };
+        let new = CallStep::new("getpid", vec![]);
         let inserted = seq.insert_step(1, new.clone());
         assert_eq!(inserted.len(), 4);
         assert_eq!(inserted.steps[1], new);
@@ -407,5 +610,14 @@ mod tests {
         // Appending keeps everything untouched.
         let appended = seq.insert_step(3, new);
         assert_eq!(appended.steps[3].function, "getpid");
+    }
+
+    #[test]
+    fn insert_step_shifts_preempts() {
+        let seq = threaded_sample();
+        let inserted = seq.insert_step(0, CallStep::new("getpid", vec![]));
+        assert_eq!(inserted.preempts, vec![Preempt { step: 2, budget: 1 }]);
+        let appended = seq.insert_step(3, CallStep::new("getpid", vec![]));
+        assert_eq!(appended.preempts, seq.preempts);
     }
 }

@@ -1,5 +1,13 @@
-//! Automatic shrinking: delta-debugging over the call list, then a
-//! per-argument lattice walk toward the robust-type boundary.
+//! Automatic shrinking: delta-debugging over the schedule and the call
+//! list, then a per-argument lattice walk toward the robust-type
+//! boundary.
+//!
+//! Phase 0 shrinks the schedule genes of a threaded genome: it first
+//! probes whether the finding survives with no threads at all (most
+//! findings do — they were never about the race), then drops
+//! individual windows, walks budgets down to 1, and pulls steps back
+//! onto the main lane. A pin that stays threaded after phase 0 is a
+//! genuine interleaving finding.
 //!
 //! Phase 1 removes whole calls greedily to a fixpoint: a step is
 //! dropped iff the finding key still reproduces without it (dangling
@@ -37,6 +45,8 @@ impl<F: Fn(&Sequence, &Finding) -> bool> ShrinkOracle for F {
 /// Statistics of one shrink run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShrinkStats {
+    /// Schedule genes (windows, budgets, lanes) simplified by phase 0.
+    pub schedule_simplified: usize,
     /// Steps removed by phase 1.
     pub steps_removed: usize,
     /// Arguments simplified by phase 2.
@@ -58,6 +68,66 @@ pub fn shrink<O: ShrinkOracle>(
         oracle.holds(&current, finding),
         "finding must hold before shrinking"
     );
+
+    // Phase 0: schedule shrink. Windows and lanes are genes too —
+    // drop every one the finding does not need, so a pin stays
+    // threaded only when the race is essential to it.
+    if current.is_threaded() {
+        // Cheapest probe first: does the finding survive with no
+        // schedule at all? If so it was never about the race.
+        let mut flat = current.clone();
+        let gene_count = flat.preempts.len() + flat.steps.iter().filter(|s| s.thread != 0).count();
+        flat.preempts.clear();
+        for s in &mut flat.steps {
+            s.thread = 0;
+        }
+        stats.probes += 1;
+        if oracle.holds(&flat, finding) {
+            current = flat;
+            stats.schedule_simplified += gene_count;
+        } else {
+            // Drop individual windows.
+            let mut k = 0;
+            while k < current.preempts.len() {
+                let mut candidate = current.clone();
+                candidate.preempts.remove(k);
+                stats.probes += 1;
+                if oracle.holds(&candidate, finding) {
+                    current = candidate;
+                    stats.schedule_simplified += 1;
+                } else {
+                    k += 1;
+                }
+            }
+            // Walk surviving budgets down to 1.
+            for k in 0..current.preempts.len() {
+                while current.preempts[k].budget > 1 {
+                    let mut candidate = current.clone();
+                    candidate.preempts[k].budget -= 1;
+                    stats.probes += 1;
+                    if oracle.holds(&candidate, finding) {
+                        current = candidate;
+                        stats.schedule_simplified += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // Pull steps back onto the main lane where possible.
+            for i in 0..current.len() {
+                if current.steps[i].thread == 0 {
+                    continue;
+                }
+                let mut candidate = current.clone();
+                candidate.steps[i].thread = 0;
+                stats.probes += 1;
+                if oracle.holds(&candidate, finding) {
+                    current = candidate;
+                    stats.schedule_simplified += 1;
+                }
+            }
+        }
+    }
 
     // Phase 1: greedy step removal to fixpoint.
     loop {
@@ -161,10 +231,7 @@ mod tests {
     use healers_core::checker::CheckKind;
 
     fn step(function: &str, args: Vec<ArgSpec>) -> CallStep {
-        CallStep {
-            function: function.into(),
-            args,
-        }
+        CallStep::new(function, args)
     }
 
     fn finding() -> Finding {
@@ -189,21 +256,19 @@ mod tests {
 
     #[test]
     fn removes_irrelevant_steps_and_minimizes_the_string() {
-        let seq = Sequence {
-            steps: vec![
-                step("malloc", vec![ArgSpec::Int(64)]),
-                step("getpid", vec![]),
-                step("strlen", vec![ArgSpec::Str("noise".into())]),
-                step(
-                    "strcpy",
-                    vec![
-                        ArgSpec::Out(0),
-                        ArgSpec::Str("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa".into()),
-                    ],
-                ),
-                step("free", vec![ArgSpec::Out(0)]),
-            ],
-        };
+        let seq = Sequence::from_steps(vec![
+            step("malloc", vec![ArgSpec::Int(64)]),
+            step("getpid", vec![]),
+            step("strlen", vec![ArgSpec::Str("noise".into())]),
+            step(
+                "strcpy",
+                vec![
+                    ArgSpec::Out(0),
+                    ArgSpec::Str("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa".into()),
+                ],
+            ),
+            step("free", vec![ArgSpec::Out(0)]),
+        ]);
         let (small, stats) = shrink(&seq, &finding(), &oracle);
         assert_eq!(small.len(), 1, "{}", small.render());
         assert_eq!(small.steps[0].function, "strcpy");
@@ -219,15 +284,66 @@ mod tests {
     #[test]
     fn wild_pointer_becomes_null_when_irrelevant() {
         let ora = |seq: &Sequence, _f: &Finding| seq.steps.iter().any(|s| s.function == "strcpy");
-        let seq = Sequence {
-            steps: vec![step(
-                "strcpy",
-                vec![ArgSpec::Wild(0xdead_0000), ArgSpec::Str("x".into())],
-            )],
-        };
+        let seq = Sequence::from_steps(vec![step(
+            "strcpy",
+            vec![ArgSpec::Wild(0xdead_0000), ArgSpec::Str("x".into())],
+        )]);
         let (small, _) = shrink(&seq, &finding(), &ora);
         assert_eq!(small.steps[0].args[0], ArgSpec::Null);
         assert_eq!(small.steps[0].args[1], ArgSpec::Str(String::new()));
+    }
+
+    #[test]
+    fn incidental_schedules_are_flattened() {
+        // The oracle only cares about the strcpy string — the lanes and
+        // the window are noise, and phase 0 must strip them in one probe.
+        let mut seq = Sequence::from_steps(vec![step("malloc", vec![ArgSpec::Int(64)]), {
+            let mut s = step(
+                "strcpy",
+                vec![ArgSpec::Out(0), ArgSpec::Str("aaaaaaaaaaaa".into())],
+            );
+            s.thread = 1;
+            s
+        }]);
+        seq.preempts
+            .push(crate::sequence::Preempt { step: 0, budget: 2 });
+        let (small, stats) = shrink(&seq, &finding(), &oracle);
+        assert!(!small.is_threaded(), "{}", small.render());
+        assert!(stats.schedule_simplified >= 2);
+    }
+
+    #[test]
+    fn essential_schedules_survive_but_get_minimal() {
+        // The oracle demands a threaded genome with a window — lanes and
+        // window survive, but the budget walks down to 1.
+        let ora = |seq: &Sequence, _f: &Finding| seq.max_thread() > 0 && !seq.preempts.is_empty();
+        let mut seq = Sequence::from_steps(vec![
+            step("strlen", vec![ArgSpec::Str("x".into())]),
+            {
+                let mut s = step("getpid", vec![]);
+                s.thread = 1;
+                s
+            },
+            {
+                let mut s = step("getppid", vec![]);
+                s.thread = 2;
+                s
+            },
+        ]);
+        seq.preempts
+            .push(crate::sequence::Preempt { step: 0, budget: 2 });
+        let (small, _) = shrink(&seq, &finding(), &ora);
+        assert!(small.is_threaded());
+        assert_eq!(small.preempts.len(), 1);
+        assert_eq!(small.preempts[0].budget, 1);
+        // One of the two extra lanes gets pulled back to lane 0 (and
+        // phase 1 then deletes its step); the other is essential.
+        assert_eq!(
+            small.steps.iter().filter(|s| s.thread != 0).count(),
+            1,
+            "{}",
+            small.render()
+        );
     }
 
     #[test]
@@ -239,9 +355,7 @@ mod tests {
                     .any(|a| matches!(a, ArgSpec::Int(v) if *v >= 3))
             })
         };
-        let seq = Sequence {
-            steps: vec![step("malloc", vec![ArgSpec::Int(4096)])],
-        };
+        let seq = Sequence::from_steps(vec![step("malloc", vec![ArgSpec::Int(4096)])]);
         let (small, _) = shrink(&seq, &finding(), &ora);
         // 4096 -> 2048 -> ... -> 4 (3 would fail: 4/2 == 2 < 3).
         assert_eq!(small.steps[0].args[0], ArgSpec::Int(4));

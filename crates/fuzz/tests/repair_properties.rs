@@ -23,7 +23,7 @@ use rand::SeedableRng;
 use healers_core::analyze;
 use healers_core::wrapper::{ViolationAction, WrapperConfig};
 use healers_fuzz::exec::outcome_label;
-use healers_fuzz::{execute, generate, ExecMode, ExecResult, Pool, Sequence};
+use healers_fuzz::{execute, generate, weave_schedule, ExecMode, ExecResult, Pool, Sequence};
 use healers_libc::Libc;
 
 /// Heap traffic, pointer-chasing string ops, a printf-family function
@@ -38,6 +38,23 @@ fn run_with_action(libc: &Libc, seq: &Sequence, action: ViolationAction) -> Exec
     let decls = analyze(libc, FUNCTIONS);
     let mut config = WrapperConfig::full_auto();
     config.action = action;
+    execute(
+        libc,
+        seq,
+        ExecMode::Wrapped {
+            decls: &decls,
+            config,
+        },
+    )
+}
+
+/// Repair mode with window revalidation on: the hardened configuration
+/// the TOCTOU scenarios argue for.
+fn run_repair_revalidated(libc: &Libc, seq: &Sequence) -> ExecResult {
+    let decls = analyze(libc, FUNCTIONS);
+    let mut config = WrapperConfig::full_auto();
+    config.action = ViolationAction::Repair;
+    config.revalidate_on_preempt = true;
     execute(
         libc,
         seq,
@@ -112,5 +129,60 @@ proptest! {
             prop_assert_eq!(a.errno, b.errno, "step {} errno", i);
             prop_assert_eq!(&a.checks, &b.checks, "step {} checks", i);
         }
+    }
+
+    /// Repair under preemption: the genome gains lanes and
+    /// check-vs-call windows (a mutator step racing through the
+    /// victim's window), and the wrapper runs with repair + window
+    /// revalidation. The contract: the wrapper never *admits* a call
+    /// whose post-window re-check fails — a stale admission would
+    /// surface as a wrapped crash (`completed == false` with a faulted
+    /// step). Every step still ends in success or a clean error
+    /// return, and two runs of the same threaded genome agree byte
+    /// for byte.
+    #[test]
+    fn repair_with_revalidation_survives_preemption(
+        seed in any::<u64>(),
+        max_len in 3usize..8,
+    ) {
+        let libc = Libc::standard();
+        let pool = Pool::new(&libc, FUNCTIONS);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seq = generate(&mut rng, &pool, max_len);
+        weave_schedule(&mut rng, &mut seq);
+        if !seq.is_threaded() {
+            return Ok(()); // the weave left it single-lane: covered above
+        }
+
+        let run = run_repair_revalidated(&libc, &seq);
+        prop_assert!(
+            run.completed,
+            "revalidated repair mode crashed at step {:?} on {}",
+            run.fault,
+            seq.render()
+        );
+        prop_assert_eq!(
+            run.steps.len(),
+            seq.len(),
+            "revalidated repair mode lost steps on {}",
+            seq.render()
+        );
+        for (i, step) in run.steps.iter().enumerate() {
+            let label = outcome_label(step.outcome);
+            prop_assert!(
+                label == "success" || label == "error",
+                "step {} was {} under revalidated repair for {}",
+                i,
+                label,
+                seq.render()
+            );
+        }
+
+        // Schedules are genome, not noise: byte-identical replay.
+        let again = run_repair_revalidated(&libc, &seq);
+        prop_assert_eq!(run.repairs, again.repairs);
+        prop_assert_eq!(run.violations, again.violations);
+        prop_assert_eq!(run.preempted_calls, again.preempted_calls);
+        prop_assert_eq!(run.digest, again.digest);
     }
 }

@@ -1,0 +1,197 @@
+//! Schedule invariance: the seeded scheduler is an *exploration*
+//! dimension, not a noise source. For a race-free threaded sequence —
+//! one where every call that can be pulled into a check-vs-call window
+//! commutes with the window's victim — the observable history must not
+//! depend on the schedule at all: verdicts, per-step records, fault
+//! status and the final world digest are byte-identical across every
+//! scheduler seed and equal to the single-window-free reference
+//! executor. Only then is a schedule-dependent difference (a TOCTOU)
+//! attributable to the sequence rather than to the executor.
+//!
+//! Schedule-plane bookkeeping (`preempted_calls`, per-step `in_window`
+//! and `window` lists) is *expected* to vary with the seed — that is
+//! the coverage signal — and is excluded from the comparison.
+
+use healers_core::{analyze, FunctionDecl, WrapperConfig};
+use healers_fuzz::{
+    execute_reference, execute_with_schedule, ArgSpec, CallStep, ExecMode, ExecResult, Sequence,
+    StepRecord,
+};
+use healers_libc::Libc;
+
+const SEEDS: u64 = 16;
+
+fn step(function: &str, args: Vec<ArgSpec>, thread: u32) -> CallStep {
+    let mut s = CallStep::new(function, args);
+    s.thread = thread;
+    s
+}
+
+/// Race-free threaded sequences: lanes other than 0 run only pure,
+/// non-allocating calls (`getpid`/`getppid`), so any step the seeded
+/// scheduler pulls into a window commutes with the victim's call.
+fn race_free_sequences() -> Vec<Sequence> {
+    vec![
+        // Heap lifecycle on lane 0, pure probes on lane 1.
+        Sequence::from_steps(vec![
+            step("malloc", vec![ArgSpec::Int(16)], 0),
+            step("getpid", vec![], 1),
+            step(
+                "strcpy",
+                vec![ArgSpec::Out(0), ArgSpec::Str("hello".into())],
+                0,
+            ),
+            step("abs", vec![ArgSpec::Int(-5)], 1),
+            step("strlen", vec![ArgSpec::Out(0)], 0),
+            step("getpid", vec![], 1),
+            step("free", vec![ArgSpec::Out(0)], 0),
+        ]),
+        // Three lanes; windows can pull up to two steps.
+        Sequence::from_steps(vec![
+            step("malloc", vec![ArgSpec::Int(32)], 0),
+            step("getpid", vec![], 1),
+            step("isalpha", vec![ArgSpec::Int(65)], 2),
+            step(
+                "memset",
+                vec![ArgSpec::Out(0), ArgSpec::Int(0), ArgSpec::Int(32)],
+                0,
+            ),
+            step("getpid", vec![], 2),
+            step("free", vec![ArgSpec::Out(0)], 0),
+        ]),
+        // Fresh string arguments materialize inside windows.
+        Sequence::from_steps(vec![
+            step("strlen", vec![ArgSpec::Str("abc".into())], 0),
+            step("getpid", vec![], 1),
+            step("strlen", vec![ArgSpec::Str("defg".into())], 0),
+            step("abs", vec![ArgSpec::Int(-5)], 1),
+        ]),
+    ]
+}
+
+fn functions() -> Vec<&'static str> {
+    vec![
+        "malloc", "free", "strcpy", "strlen", "memset", "getpid", "abs", "isalpha",
+    ]
+}
+
+/// The schedule-independent view of a step record. Check *pass* counts
+/// are collapsed to per-kind failure/repair presence: with
+/// `revalidate_on_preempt` a windowed step legitimately runs its checks
+/// twice, so raw pass tallies are schedule-plane bookkeeping, while a
+/// failure or repair appearing at all is verdict-plane.
+fn strip_step(r: &StepRecord) -> StepRecord {
+    let mut r = r.clone();
+    r.in_window = false;
+    r.window.clear();
+    r.checks = r
+        .checks
+        .iter()
+        .map(|&(kind, _, failed, repaired)| {
+            (kind, 0, u64::from(failed > 0), u64::from(repaired > 0))
+        })
+        .collect();
+    r
+}
+
+/// The schedule-independent view of a result: everything except the
+/// schedule plane.
+fn strip(r: &ExecResult) -> (Vec<StepRecord>, bool, Option<usize>, u64, u64, u64) {
+    (
+        r.steps.iter().map(strip_step).collect(),
+        r.completed,
+        r.fault,
+        r.violations,
+        r.repairs,
+        r.digest,
+    )
+}
+
+fn assert_invariant(libc: &Libc, seq: &Sequence, mode: impl Fn() -> ExecMode<'static>, tag: &str) {
+    let reference = execute_reference(libc, seq, mode());
+    assert!(
+        reference.completed,
+        "{tag}: race-free sequence must complete in the reference executor"
+    );
+    assert_eq!(reference.violations, 0, "{tag}: sequence must be benign");
+    let want = strip(&reference);
+    let mut windows_seen = 0u64;
+    for seed in 0..SEEDS {
+        let run = execute_with_schedule(libc, seq, mode(), seed);
+        windows_seen += run.steps.iter().filter(|s| s.in_window).count() as u64;
+        assert_eq!(
+            strip(&run),
+            want,
+            "{tag}: seed {seed} changed the observable history"
+        );
+    }
+    assert!(
+        windows_seen > 0,
+        "{tag}: no seed opened a window — the property is vacuous"
+    );
+}
+
+#[test]
+fn race_free_sequences_are_schedule_invariant_unwrapped() {
+    let libc = Libc::standard();
+    for (i, seq) in race_free_sequences().iter().enumerate() {
+        assert_invariant(&libc, seq, || ExecMode::Unwrapped, &format!("seq {i}"));
+    }
+}
+
+#[test]
+fn race_free_sequences_are_schedule_invariant_wrapped() {
+    let libc = Libc::standard();
+    let decls: &'static [FunctionDecl] = Box::leak(analyze(&libc, &functions()).into_boxed_slice());
+    for (i, seq) in race_free_sequences().iter().enumerate() {
+        assert_invariant(
+            &libc,
+            seq,
+            || ExecMode::Wrapped {
+                decls,
+                config: WrapperConfig::full_auto(),
+            },
+            &format!("seq {i} wrapped"),
+        );
+        // Revalidation must also be invisible on race-free schedules:
+        // re-running a check the world did not invalidate changes
+        // nothing observable.
+        assert_invariant(
+            &libc,
+            seq,
+            || ExecMode::Wrapped {
+                decls,
+                config: {
+                    let mut c = WrapperConfig::full_auto();
+                    c.revalidate_on_preempt = true;
+                    c
+                },
+            },
+            &format!("seq {i} revalidated"),
+        );
+    }
+}
+
+#[test]
+fn wrapped_and_unwrapped_agree_under_every_schedule() {
+    let libc = Libc::standard();
+    let decls = analyze(&libc, &functions());
+    for (i, seq) in race_free_sequences().iter().enumerate() {
+        for seed in 0..SEEDS {
+            let unwrapped = execute_with_schedule(&libc, seq, ExecMode::Unwrapped, seed);
+            let wrapped = execute_with_schedule(
+                &libc,
+                seq,
+                ExecMode::Wrapped {
+                    decls: &decls,
+                    config: WrapperConfig::full_auto(),
+                },
+                seed,
+            );
+            assert_eq!(
+                unwrapped.digest, wrapped.digest,
+                "seq {i} seed {seed}: transparency broke under the schedule"
+            );
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Canned racing-thread bodies for check-vs-call (TOCTOU) windows.
+//!
+//! A robustness wrapper validates its arguments *then* calls the
+//! library; a concurrent thread can invalidate an argument between the
+//! two. A [`WindowMutator`] is the body of that concurrent thread,
+//! reduced to the one call that matters: revoke the resource the
+//! victim's check just blessed. The executor (fuzz) and the TOCTOU
+//! scenario runner (ballista) schedule these deterministically inside a
+//! victim's window — there is no real concurrency anywhere, which is
+//! what makes every race replayable from a seed.
+//!
+//! This module is deliberately wrapper-agnostic: mutators call the
+//! library directly (a racing application thread is not obliged to go
+//! through anyone's wrapper), so it lives here with the other
+//! test-case machinery rather than next to the wrapper.
+
+use healers_libc::{Libc, World};
+use healers_simproc::{SimFault, SimValue};
+
+/// One canned racing-thread body: the call a hostile (or merely
+/// unlucky) sibling thread makes inside a victim's check-vs-call
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowMutator {
+    /// `free(target)` — the classic use-after-check: the victim's
+    /// pointer check saw a live heap block.
+    FreeArg,
+    /// `realloc(target, n)` — shrink the block under the victim so a
+    /// size that passed the region check now overruns.
+    ShrinkArg(u32),
+    /// `fclose(target)` — revoke a `FILE *` the stream check blessed.
+    CloseStream,
+    /// `closedir(target)` — revoke a `DIR *` the dir check blessed.
+    CloseDir,
+}
+
+impl WindowMutator {
+    /// Every mutator shape, in a fixed order (scenario tables iterate
+    /// this, so the order is part of the deterministic surface).
+    pub const ALL: [WindowMutator; 4] = [
+        WindowMutator::FreeArg,
+        WindowMutator::ShrinkArg(8),
+        WindowMutator::CloseStream,
+        WindowMutator::CloseDir,
+    ];
+
+    /// Stable lowercase label for reports and journal lines.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WindowMutator::FreeArg => "free",
+            WindowMutator::ShrinkArg(_) => "realloc-shrink",
+            WindowMutator::CloseStream => "fclose",
+            WindowMutator::CloseDir => "closedir",
+        }
+    }
+
+    /// The library function this mutator calls.
+    pub fn function(&self) -> &'static str {
+        match self {
+            WindowMutator::FreeArg => "free",
+            WindowMutator::ShrinkArg(_) => "realloc",
+            WindowMutator::CloseStream => "fclose",
+            WindowMutator::CloseDir => "closedir",
+        }
+    }
+
+    /// The argument vector for [`function`](Self::function) against
+    /// `target` — callers that route the mutation through an
+    /// interposing wrapper (every thread of a preloaded process does)
+    /// build the call themselves from this.
+    pub fn args(&self, target: SimValue) -> Vec<SimValue> {
+        match self {
+            WindowMutator::ShrinkArg(n) => vec![target, SimValue::Int(i64::from(*n))],
+            _ => vec![target],
+        }
+    }
+
+    /// Run the mutation against `target` on the *current* thread (the
+    /// caller is responsible for switching to the racing thread first),
+    /// straight against the library.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the library call's own fault — a mutator that crashes
+    /// is itself a finding for whoever scheduled it.
+    pub fn run(
+        &self,
+        libc: &Libc,
+        world: &mut World,
+        target: SimValue,
+    ) -> Result<SimValue, SimFault> {
+        libc.call(world, self.function(), &self.args(target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_functions_are_stable() {
+        for m in WindowMutator::ALL {
+            assert!(!m.label().is_empty());
+            let libc = Libc::standard();
+            assert!(
+                libc.get(m.function()).is_some(),
+                "{} must be exported",
+                m.function()
+            );
+        }
+    }
+
+    #[test]
+    fn free_mutator_revokes_a_live_block() {
+        let libc = Libc::standard();
+        let mut w = World::new_guarded();
+        let block = libc.call(&mut w, "malloc", &[SimValue::Int(16)]).unwrap();
+        WindowMutator::FreeArg.run(&libc, &mut w, block).unwrap();
+        // The freed block is gone: strlen over it faults.
+        assert!(libc.call(&mut w, "strlen", &[block]).is_err());
+    }
+
+    #[test]
+    fn shrink_mutator_moves_the_goalposts() {
+        let libc = Libc::standard();
+        let mut w = World::new_guarded();
+        let block = libc.call(&mut w, "malloc", &[SimValue::Int(64)]).unwrap();
+        let shrunk = WindowMutator::ShrinkArg(8)
+            .run(&libc, &mut w, block)
+            .unwrap();
+        // Writing the original 64 bytes through the shrunk block faults.
+        assert!(libc
+            .call(
+                &mut w,
+                "memset",
+                &[shrunk, SimValue::Int(7), SimValue::Int(64)]
+            )
+            .is_err());
+    }
+}

@@ -21,6 +21,21 @@
 //!   the connection; a slow reader blocks its worker (throttling that
 //!   one connection) instead of growing a daemon-side buffer. Daemon
 //!   memory per connection is O(max frame length).
+//!
+//! # Why this worker model is TOCTOU-free by construction
+//!
+//! The simulated-thread work in `healers-simproc` exists precisely
+//! because a robustness wrapper's check-vs-call window is exploitable
+//! by a concurrent thread (see DESIGN.md §8). The daemon dodges that
+//! class entirely: validation here is **stateless per frame** — a
+//! `validate` request carries its argument *values* in the frame, the
+//! check plan runs against those bytes, and nothing is re-read from
+//! shared state between check and reply. There is no admitted pointer
+//! for a sibling connection to revoke, workers share only the
+//! immutable [`ServePlans`] and monotonic counters, and a connection's
+//! verdicts therefore cannot depend on what any other connection is
+//! doing. The `revalidate_on_preempt` hardening is an in-process
+//! wrapper concern; the service boundary needs no analogue of it.
 
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -45,6 +45,8 @@ pub mod mem;
 pub mod proc;
 pub mod provenance;
 pub mod sandbox;
+pub mod sched;
+pub mod thread;
 pub mod value;
 
 pub use heap::{Heap, HeapBlock, HeapError, HeapMode};
@@ -54,6 +56,8 @@ pub use provenance::{BlockAttribution, CoverageSite, FaultSite};
 pub use sandbox::{
     rollback, run_in_child, run_in_child_with, ChildResult, Containment, WorldSnapshot,
 };
+pub use sched::{Scheduler, MAX_WINDOW_BUDGET};
+pub use thread::{SimThread, ThreadId, ThreadRegs, ThreadState, ThreadTable, MAX_THREADS};
 pub use value::SimValue;
 
 /// A simulated 32-bit address.

@@ -1,10 +1,12 @@
-//! The simulated process: address space, heap, stack, statics, `errno`,
-//! and the fuel budget that models hang detection.
+//! The simulated process: address space, heap, threads (stacks,
+//! registers, per-thread `errno`), statics, and the fuel budget that
+//! models hang detection.
 
 use std::collections::BTreeMap;
 
 use crate::heap::{Heap, HeapError, HeapMode};
 use crate::mem::{AddressSpace, Protection, SimFault, PAGE_SIZE};
+use crate::thread::{SimThread, ThreadId, ThreadState, ThreadTable};
 use crate::Addr;
 
 /// Base of the static-data region (libc internal buffers, `errno`
@@ -43,8 +45,10 @@ pub struct SimProcess {
     pub mem: AddressSpace,
     /// The heap allocator.
     pub heap: Heap,
-    /// The C `errno` cell.
-    errno: i32,
+    /// The thread table: per-thread stacks, registers, and `errno`.
+    /// Thread 0 (the main thread) always exists; single-threaded
+    /// workloads never notice the table.
+    threads: ThreadTable,
     /// Fuel remaining for the current call.
     fuel_left: u64,
     /// Configured fuel budget per call.
@@ -53,8 +57,6 @@ pub struct SimProcess {
     static_cursor: Addr,
     /// Named static buffers (e.g. `asctime`'s result buffer).
     statics: BTreeMap<String, Addr>,
-    /// Bump cursor for stack "frames" handed to application code.
-    stack_cursor: Addr,
 }
 
 impl SimProcess {
@@ -67,12 +69,11 @@ impl SimProcess {
         SimProcess {
             mem,
             heap: Heap::new(HEAP_BASE, HEAP_LIMIT, HeapMode::Packed),
-            errno: 0,
+            threads: ThreadTable::new(STACK_BASE, STACK_SIZE),
             fuel_left: DEFAULT_FUEL,
             fuel_budget: DEFAULT_FUEL,
             static_cursor: STATIC_BASE,
             statics: BTreeMap::new(),
-            stack_cursor: STACK_BASE,
         }
     }
 
@@ -84,14 +85,92 @@ impl SimProcess {
         p
     }
 
-    /// Current `errno` value.
+    /// Current `errno` value (of the current thread).
     pub fn errno(&self) -> i32 {
-        self.errno
+        self.threads.current().errno
     }
 
-    /// Set `errno`.
+    /// Set the current thread's `errno`.
     pub fn set_errno(&mut self, e: i32) {
-        self.errno = e;
+        self.threads.current_mut().errno = e;
+    }
+
+    /// Spawn a new simulated thread with its own stack window, one
+    /// guard page below the previous thread's stack. Returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics past [`crate::thread::MAX_THREADS`] — callers that take
+    /// thread counts from external input cap them first.
+    pub fn spawn_thread(&mut self) -> ThreadId {
+        let k = self.threads.len() as u32;
+        let top = STACK_BASE - k * (STACK_SIZE + PAGE_SIZE);
+        self.mem
+            .map(top - STACK_SIZE, STACK_SIZE, Protection::ReadWrite);
+        self.threads.push(top, STACK_SIZE)
+    }
+
+    /// Id of the currently running thread.
+    pub fn current_thread(&self) -> ThreadId {
+        self.threads.current_id()
+    }
+
+    /// Make `id` the current thread (a context switch). All subsequent
+    /// `errno` and stack operations act on that thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown or non-runnable thread — scheduling bugs,
+    /// not application errors.
+    pub fn switch_to(&mut self, id: ThreadId) {
+        self.threads.switch_to(id);
+    }
+
+    /// Mark `id` finished (its stack stays mapped until joined). If it
+    /// was the current thread, control returns to the main thread.
+    pub fn finish_thread(&mut self, id: ThreadId) {
+        if let Some(t) = self.threads.get_mut(id) {
+            if t.state == ThreadState::Runnable {
+                t.state = ThreadState::Finished;
+            }
+        }
+        if self.threads.current_id() == id {
+            self.threads.switch_to(0);
+        }
+    }
+
+    /// Join a thread: reaps it if finished. Returns `true` once joined
+    /// (idempotent), `false` while the thread is still runnable.
+    pub fn join_thread(&mut self, id: ThreadId) -> bool {
+        match self.threads.get_mut(id) {
+            Some(t) if t.state == ThreadState::Finished => {
+                t.state = ThreadState::Joined;
+                true
+            }
+            Some(t) => t.state == ThreadState::Joined,
+            None => false,
+        }
+    }
+
+    /// Look up a thread by id.
+    pub fn thread(&self, id: ThreadId) -> Option<&SimThread> {
+        self.threads.get(id)
+    }
+
+    /// Iterate over all threads in id order (deterministic — used by
+    /// the world digest).
+    pub fn threads(&self) -> impl Iterator<Item = &SimThread> {
+        self.threads.iter()
+    }
+
+    /// Number of threads ever spawned (including finished/joined).
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Ids of all runnable threads, in id order.
+    pub fn runnable_threads(&self) -> Vec<ThreadId> {
+        self.threads.runnable()
     }
 
     /// Allocate on the heap (read-write).
@@ -146,19 +225,26 @@ impl SimProcess {
     }
 
     /// Carve `size` bytes of mapped stack space (for application-owned
-    /// buffers in examples and workloads). Wraps around when exhausted.
+    /// buffers in examples and workloads) from the *current thread's*
+    /// stack window. Wraps around when that window is exhausted.
+    ///
+    /// Because each thread bumps its own `sp`, the addresses a thread's
+    /// steps receive depend only on that thread's own allocation order
+    /// — not on how its steps interleave with other threads'. That is
+    /// one of the properties the schedule-invariance tests lean on.
     pub fn stack_alloc(&mut self, size: u32) -> Addr {
         let size = size.next_multiple_of(8);
-        if self.stack_cursor - size < STACK_BASE - STACK_SIZE {
-            self.stack_cursor = STACK_BASE;
+        let t = self.threads.current_mut();
+        if t.regs.sp - size < t.stack_limit {
+            t.regs.sp = t.stack_top;
         }
-        self.stack_cursor -= size;
-        self.stack_cursor
+        t.regs.sp -= size;
+        t.regs.sp
     }
 
-    /// Whether `addr` is inside the mapped stack.
+    /// Whether `addr` is inside any thread's mapped stack window.
     pub fn in_stack(&self, addr: Addr) -> bool {
-        (STACK_BASE - STACK_SIZE..STACK_BASE).contains(&addr)
+        self.threads.iter().any(|t| t.owns_stack(addr))
     }
 
     /// Consume `n` units of fuel.
@@ -302,5 +388,78 @@ mod tests {
         assert_eq!(parent.mem.read_u32(a).unwrap(), 1);
         assert_eq!(parent.errno(), 0);
         assert_eq!(child.mem.read_u32(a).unwrap(), 2);
+    }
+
+    #[test]
+    fn spawned_threads_have_disjoint_mapped_stacks() {
+        let mut p = SimProcess::new();
+        let t1 = p.spawn_thread();
+        let t2 = p.spawn_thread();
+        assert_eq!((t1, t2), (1, 2));
+
+        let main_buf = p.stack_alloc(64);
+        p.switch_to(t1);
+        let t1_buf = p.stack_alloc(64);
+        p.switch_to(t2);
+        let t2_buf = p.stack_alloc(64);
+
+        // All three live in their own windows, all mapped writable.
+        for buf in [main_buf, t1_buf, t2_buf] {
+            assert!(p.in_stack(buf));
+            p.mem.write_bytes(buf, &[9; 64]).unwrap();
+        }
+        assert!(p.thread(0).unwrap().owns_stack(main_buf));
+        assert!(p.thread(t1).unwrap().owns_stack(t1_buf));
+        assert!(!p.thread(t1).unwrap().owns_stack(t2_buf));
+        assert!(p.thread(t2).unwrap().owns_stack(t2_buf));
+
+        // The guard page between stack windows stays unmapped.
+        let gap = p.thread(t1).unwrap().stack_limit - 1;
+        assert!(!p.mem.probe_read(gap));
+    }
+
+    #[test]
+    fn errno_is_per_thread() {
+        let mut p = SimProcess::new();
+        let t1 = p.spawn_thread();
+        p.set_errno(7);
+        p.switch_to(t1);
+        assert_eq!(p.errno(), 0);
+        p.set_errno(22);
+        p.switch_to(0);
+        assert_eq!(p.errno(), 7);
+        assert_eq!(p.thread(t1).unwrap().errno, 22);
+    }
+
+    #[test]
+    fn thread_lifecycle_spawn_finish_join() {
+        let mut p = SimProcess::new();
+        let t1 = p.spawn_thread();
+        assert!(!p.join_thread(t1), "runnable thread must not join");
+        p.switch_to(t1);
+        p.finish_thread(t1);
+        // Finishing the current thread hands control back to main.
+        assert_eq!(p.current_thread(), 0);
+        assert_eq!(p.runnable_threads(), vec![0]);
+        assert!(p.join_thread(t1));
+        assert!(p.join_thread(t1), "join is idempotent");
+        assert_eq!(p.thread_count(), 2);
+    }
+
+    #[test]
+    fn clone_carries_per_thread_state() {
+        let mut parent = SimProcess::new();
+        let t1 = parent.spawn_thread();
+        parent.switch_to(t1);
+        parent.set_errno(5);
+        let sp_before = parent.thread(t1).unwrap().regs.sp;
+        let mut child = parent.clone();
+        child.stack_alloc(32);
+        child.set_errno(9);
+        // Child diverged; parent's thread state is untouched.
+        assert_eq!(parent.thread(t1).unwrap().regs.sp, sp_before);
+        assert_eq!(parent.thread(t1).unwrap().errno, 5);
+        assert_eq!(child.thread(t1).unwrap().errno, 9);
+        assert!(child.thread(t1).unwrap().regs.sp < sp_before);
     }
 }

@@ -65,6 +65,7 @@ impl FaultSite {
         CoverageSite {
             access: self.access,
             prot: self.run.prot,
+            preempted: false,
             attribution: match &self.block {
                 _ if self.guard_overrun => BlockAttribution::GuardOverrun,
                 Some(b) if b.free => BlockAttribution::Freed,
@@ -141,6 +142,13 @@ pub struct CoverageSite {
     pub prot: Option<Protection>,
     /// Heap attribution class.
     pub attribution: BlockAttribution,
+    /// Schedule-edge component: `true` when the faulting call was
+    /// preempted inside its check-vs-call window (or the fault occurred
+    /// *in* such a window). A fault that only reproduces with this flag
+    /// set is a TOCTOU finding — single-threaded execution cannot
+    /// express it. Kept last so site ordering is still dominated by the
+    /// access/protection/attribution triple.
+    pub preempted: bool,
 }
 
 impl fmt::Display for CoverageSite {
@@ -156,7 +164,11 @@ impl fmt::Display for CoverageSite {
             Some(Protection::ReadWrite) => "read-write",
             Some(Protection::WriteOnly) => "write-only",
         };
-        write!(f, "{access}:{prot}:{}", self.attribution.label())
+        write!(f, "{access}:{prot}:{}", self.attribution.label())?;
+        if self.preempted {
+            write!(f, ":preempted")?;
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,263 @@
+//! Simulated threads: per-thread stacks, register state, and `errno`.
+//!
+//! The 2002 paper's hardening model is single-threaded — every check
+//! assumes the world cannot change between `check_*` and the wrapped
+//! call. To make check-vs-mutate (TOCTOU) windows *expressible* as
+//! deterministic test cases, the simulated process carries a small
+//! thread table. Threads here are cooperative and explicit: there is no
+//! ambient preemption — a caller (the fuzzer's executor, the ballista
+//! TOCTOU runner) decides exactly when to [`switch`] between threads,
+//! usually driven by a seeded [`Scheduler`](crate::sched::Scheduler).
+//! That is what keeps every interleaving reproducible from the master
+//! seed and byte-identical at any `--jobs`.
+//!
+//! Per-thread state is deliberately minimal: a stack window carved from
+//! the classic stack region (one guard page between neighbours), a
+//! register file (`sp` doubles as the stack bump cursor), the thread's
+//! private `errno` cell, and a lifecycle state. Everything else — the
+//! address space, the heap, statics — is shared process state, exactly
+//! like real threads.
+//!
+//! [`switch`]: crate::SimProcess::switch_to
+
+use crate::Addr;
+
+/// Identifier of a simulated thread. Thread 0 is the main thread and
+/// always exists.
+pub type ThreadId = u32;
+
+/// Hard cap on simultaneously existing threads. Sixteen stack windows
+/// (plus guard gaps) fit comfortably under the classic stack base
+/// without approaching the heap limit, and no workload in this
+/// reproduction needs more lanes than that.
+pub const MAX_THREADS: usize = 16;
+
+/// Lifecycle state of a simulated thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Eligible to run; [`SimProcess::switch_to`](crate::SimProcess::switch_to)
+    /// accepts it.
+    Runnable,
+    /// Ran to completion; its stack stays mapped until joined (the
+    /// classic "pthread not yet joined" zombie).
+    Finished,
+    /// Finished and reaped by [`SimProcess::join_thread`](crate::SimProcess::join_thread).
+    Joined,
+}
+
+/// The simulated register file. `sp` is live — it is the per-thread
+/// stack bump cursor used by
+/// [`SimProcess::stack_alloc`](crate::SimProcess::stack_alloc). The
+/// remaining registers exist so thread state has the shape of a real
+/// context (and so snapshots/clones demonstrably carry it), but no
+/// simulated library routine interprets them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadRegs {
+    /// Stack pointer; doubles as the stack-allocation bump cursor.
+    pub sp: Addr,
+    /// Program counter (cosmetic: the index of the last step the
+    /// executor ran on this thread, if it chooses to record one).
+    pub pc: u32,
+    /// General-purpose registers.
+    pub gpr: [u32; 6],
+}
+
+/// One simulated thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimThread {
+    /// Thread identifier (index into the thread table).
+    pub id: ThreadId,
+    /// Lifecycle state.
+    pub state: ThreadState,
+    /// This thread's private `errno` cell.
+    pub errno: i32,
+    /// Exclusive top of this thread's stack window.
+    pub stack_top: Addr,
+    /// Inclusive bottom of this thread's stack window.
+    pub stack_limit: Addr,
+    /// Register file.
+    pub regs: ThreadRegs,
+}
+
+impl SimThread {
+    /// A fresh runnable thread whose stack window is
+    /// `[stack_top - stack_size, stack_top)`.
+    pub fn new(id: ThreadId, stack_top: Addr, stack_size: u32) -> Self {
+        SimThread {
+            id,
+            state: ThreadState::Runnable,
+            errno: 0,
+            stack_top,
+            stack_limit: stack_top - stack_size,
+            regs: ThreadRegs {
+                sp: stack_top,
+                pc: 0,
+                gpr: [0; 6],
+            },
+        }
+    }
+
+    /// Whether `addr` falls inside this thread's stack window.
+    pub fn owns_stack(&self, addr: Addr) -> bool {
+        (self.stack_limit..self.stack_top).contains(&addr)
+    }
+}
+
+/// The process's thread table: a dense vector indexed by [`ThreadId`]
+/// plus the currently running thread. Cloning the table clones every
+/// thread's registers and `errno` — this is what makes CoW world
+/// snapshots carry per-thread state for free.
+#[derive(Debug, Clone)]
+pub struct ThreadTable {
+    threads: Vec<SimThread>,
+    current: ThreadId,
+}
+
+impl ThreadTable {
+    /// A table holding only the main thread (id 0) with the given stack
+    /// window.
+    pub fn new(main_stack_top: Addr, main_stack_size: u32) -> Self {
+        ThreadTable {
+            threads: vec![SimThread::new(0, main_stack_top, main_stack_size)],
+            current: 0,
+        }
+    }
+
+    /// Number of threads ever spawned (including finished/joined ones).
+    pub fn len(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Always false: the main thread exists for the life of the process.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The currently running thread's id.
+    pub fn current_id(&self) -> ThreadId {
+        self.current
+    }
+
+    /// The currently running thread.
+    pub fn current(&self) -> &SimThread {
+        &self.threads[self.current as usize]
+    }
+
+    /// The currently running thread, mutably.
+    pub fn current_mut(&mut self) -> &mut SimThread {
+        &mut self.threads[self.current as usize]
+    }
+
+    /// Look up a thread by id.
+    pub fn get(&self, id: ThreadId) -> Option<&SimThread> {
+        self.threads.get(id as usize)
+    }
+
+    /// Look up a thread by id, mutably.
+    pub fn get_mut(&mut self, id: ThreadId) -> Option<&mut SimThread> {
+        self.threads.get_mut(id as usize)
+    }
+
+    /// Iterate over all threads in id order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = &SimThread> {
+        self.threads.iter()
+    }
+
+    /// Ids of all [`ThreadState::Runnable`] threads, in id order.
+    pub fn runnable(&self) -> Vec<ThreadId> {
+        self.threads
+            .iter()
+            .filter(|t| t.state == ThreadState::Runnable)
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Append a freshly constructed thread and return its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics past [`MAX_THREADS`] — a harness bug, not an application
+    /// error: every caller that takes thread counts from input caps
+    /// them first.
+    pub fn push(&mut self, stack_top: Addr, stack_size: u32) -> ThreadId {
+        assert!(
+            self.threads.len() < MAX_THREADS,
+            "thread table full ({MAX_THREADS} threads)"
+        );
+        let id = self.threads.len() as ThreadId;
+        self.threads.push(SimThread::new(id, stack_top, stack_size));
+        id
+    }
+
+    /// Make `id` the current thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not exist or is not runnable — scheduling a
+    /// finished thread is a harness bug.
+    pub fn switch_to(&mut self, id: ThreadId) {
+        let t = self
+            .threads
+            .get(id as usize)
+            .unwrap_or_else(|| panic!("switch to unknown thread {id}"));
+        assert!(
+            t.state == ThreadState::Runnable,
+            "switch to non-runnable thread {id} ({:?})",
+            t.state
+        );
+        self.current = id;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::PAGE_SIZE;
+
+    const TOP: Addr = 0xbfff_f000;
+    const SIZE: u32 = 16 * PAGE_SIZE;
+
+    #[test]
+    fn table_starts_with_main_thread() {
+        let t = ThreadTable::new(TOP, SIZE);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert_eq!(t.current_id(), 0);
+        assert_eq!(t.current().state, ThreadState::Runnable);
+        assert_eq!(t.current().regs.sp, TOP);
+        assert_eq!(t.current().stack_limit, TOP - SIZE);
+    }
+
+    #[test]
+    fn push_assigns_dense_ids_and_disjoint_stacks() {
+        let mut t = ThreadTable::new(TOP, SIZE);
+        let a = t.push(TOP - SIZE - PAGE_SIZE, SIZE);
+        let b = t.push(TOP - 2 * (SIZE + PAGE_SIZE), SIZE);
+        assert_eq!((a, b), (1, 2));
+        let one = t.get(1).unwrap();
+        let two = t.get(2).unwrap();
+        assert!(one.stack_limit >= two.stack_top); // guard gap between
+        assert!(one.owns_stack(one.stack_top - 4));
+        assert!(!one.owns_stack(two.stack_top - 4));
+    }
+
+    #[test]
+    fn switch_and_join_lifecycle() {
+        let mut t = ThreadTable::new(TOP, SIZE);
+        let id = t.push(TOP - SIZE - PAGE_SIZE, SIZE);
+        t.switch_to(id);
+        assert_eq!(t.current_id(), id);
+        t.switch_to(0);
+        t.get_mut(id).unwrap().state = ThreadState::Finished;
+        assert_eq!(t.runnable(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-runnable")]
+    fn switching_to_finished_thread_panics() {
+        let mut t = ThreadTable::new(TOP, SIZE);
+        let id = t.push(TOP - SIZE - PAGE_SIZE, SIZE);
+        t.get_mut(id).unwrap().state = ThreadState::Finished;
+        t.switch_to(id);
+    }
+}

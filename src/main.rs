@@ -9,7 +9,7 @@
 //!                                            parallel orchestrated analysis/evaluation
 //! healers [--seed N] report [--mode M] [--cap N] [--jobs N] [--json] [--timings]
 //!                           [<function>...]  deterministic telemetry report of one evaluation
-//! healers [--seed N] fuzz run [--budget N] [--jobs N] [--max-len N] [--mode full|semi]
+//! healers [--seed N] fuzz run [--budget N] [--jobs N] [--max-len N] [--mode full|semi] [--threads]
 //!                             [--journal FILE] [--trace FILE] [--pins DIR] [<function>...]
 //!                                            coverage-guided API-sequence fuzzing
 //! healers fuzz replay [--flight-dump FILE] <file>...
@@ -70,9 +70,9 @@ fn usage() -> ExitCode {
          \x20                      [--json] [--timings]\n  \
          \x20                      [--on-violation abort|error|repair] [<function>...]\n  \
          healers [--seed N] fuzz run [--budget N] [--jobs N] [--max-len N]\n  \
-         \x20                        [--mode full|semi] [--journal FILE] [--trace FILE]\n  \
-         \x20                        [--pins DIR] [--on-violation abort|error|repair]\n  \
-         \x20                        [<function>...]\n  \
+         \x20                        [--mode full|semi] [--threads] [--journal FILE]\n  \
+         \x20                        [--trace FILE] [--pins DIR]\n  \
+         \x20                        [--on-violation abort|error|repair] [<function>...]\n  \
          healers fuzz replay [--flight-dump FILE] <file>...\n  \
          healers fuzz shrink <file> [--out FILE] [--mode full|semi]\n  \
          \x20                [--on-violation abort|error|repair]\n  \
@@ -666,6 +666,7 @@ fn cmd_fuzz_run(rest: &[String], seed: Option<u64>) -> Result<(), Error> {
             "--on-violation" => {
                 config.action = parse_action("fuzz", it.next().ok_or(Error::Usage)?)?;
             }
+            "--threads" => config.threads = true,
             "--journal" => journal_path = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
             "--trace" => trace_path = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
             "--pins" => pins_dir = Some(PathBuf::from(it.next().ok_or(Error::Usage)?)),
@@ -710,13 +711,14 @@ fn cmd_fuzz_run(rest: &[String], seed: Option<u64>) -> Result<(), Error> {
     // The summary is part of the determinism guarantee: only logical
     // counters, in BTree order — byte-identical for any --jobs value.
     println!(
-        "healers fuzz — seed {} budget {} mode {} pool {pool_size}",
+        "healers fuzz — seed {} budget {} mode {}{} pool {pool_size}",
         config.seed,
         config.budget,
         match config.mode {
             PinMode::Full => "full",
             PinMode::Semi => "semi",
-        }
+        },
+        if config.threads { " threads" } else { "" }
     );
     println!("coverage: {} keys", outcome.coverage.len());
     println!("corpus: {} sequences", outcome.corpus_len);

@@ -102,5 +102,45 @@ fn committed_pins_cover_every_check_kind_and_a_wrapped_crash() {
         "no committed pin exercises a repair-mode fix"
     );
     assert!(wrapped_crashes >= 1, "no committed wrapped-crash pin");
-    assert!(pins.len() >= 12, "the committed set must stay at 12+ pins");
+    assert!(pins.len() >= 15, "the committed set must stay at 15+ pins");
+}
+
+#[test]
+fn committed_pins_cover_check_vs_call_races() {
+    // The threaded fuzzer's findings: at least three pins must record
+    // a TOCTOU — a sequence with thread lanes and a preempt window
+    // whose finding key carries the schedule-edge (`-preempted`)
+    // component, crashing a call whose checks passed.
+    let pins = load_pins();
+    let toctou: Vec<&(String, Pin)> = pins
+        .iter()
+        .filter(|(name, _)| name.contains("preempted"))
+        .collect();
+    assert!(
+        toctou.len() >= 3,
+        "the committed set must keep 3+ TOCTOU pins (have {})",
+        toctou.len()
+    );
+    for (name, pin) in toctou {
+        assert!(
+            pin.seq.is_threaded(),
+            "{name}: a -preempted pin must carry lanes or windows"
+        );
+        assert!(
+            !pin.seq.preempts.is_empty(),
+            "{name}: a -preempted pin must place a check-vs-call window"
+        );
+        assert!(
+            !pin.expect.completed,
+            "{name}: a TOCTOU pin records a crash that got through"
+        );
+        // The race is the *only* thing wrong with the sequence: every
+        // check the wrapper ran before the window passed.
+        for (kind, _, failed, _) in &pin.expect.checks {
+            assert_eq!(
+                *failed, 0,
+                "{name}: {kind} check failed — not a pure TOCTOU"
+            );
+        }
+    }
 }
